@@ -1,0 +1,36 @@
+#ifndef SEMDRIFT_BENCH_BENCH_COMMON_H_
+#define SEMDRIFT_BENCH_BENCH_COMMON_H_
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "eval/experiment.h"
+
+namespace semdrift {
+namespace bench {
+
+/// Bench scale knob: SEMDRIFT_BENCH_SCALE scales the corpus (1.0 = the
+/// default reproduction size, ~120k sentences). The default 0.25 keeps every
+/// bench within seconds while preserving all qualitative shapes.
+inline double EnvScale() {
+  const char* env = std::getenv("SEMDRIFT_BENCH_SCALE");
+  if (env == nullptr) return 0.25;
+  double value = std::atof(env);
+  return value > 0.0 ? value : 0.25;
+}
+
+/// Builds the shared paper-reproduction experiment at the bench scale.
+inline std::unique_ptr<Experiment> BuildBenchExperiment(bool render_text = false) {
+  ExperimentConfig config = PaperScaleConfig(EnvScale());
+  config.corpus.render_text = render_text;
+  return Experiment::Build(config);
+}
+
+/// F1 helper for cleaning metric pairs.
+inline double F1(double p, double r) { return p + r > 0 ? 2 * p * r / (p + r) : 0.0; }
+
+}  // namespace bench
+}  // namespace semdrift
+
+#endif  // SEMDRIFT_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,95 @@
+// Reproduces Fig. 2: frequency distributions of the instances *triggered by*
+// DPs vs non-DPs under the "animal" concept, against the concept's average
+// (iteration-1) distribution. Shape to match: non-DP-triggered
+// distributions resemble AVG; DP-triggered ones concentrate on instances
+// outside the core.
+
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "dp/features.h"
+#include "dp/seed_labeling.h"
+#include "util/table_writer.h"
+
+using namespace semdrift;
+
+int main() {
+  auto experiment = bench::BuildBenchExperiment();
+  KnowledgeBase kb = experiment->Extract();
+  ConceptId animal = experiment->world().FindConcept("animal");
+
+  // Reference instances: the concept's 12 most frequent iteration-1
+  // instances plus 4 frequent foreign (drifted) instances — the x-axis of
+  // Fig. 2 (Horse..Chimpanzee | Beef..Meat in the paper).
+  auto core = kb.Iter1InstancesOf(animal);
+  std::sort(core.begin(), core.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  std::vector<InstanceId> axis;
+  for (size_t i = 0; i < core.size() && axis.size() < 12; ++i) {
+    axis.push_back(core[i].first);
+  }
+  // Foreign columns: most frequent live instances that are NOT true members.
+  std::vector<std::pair<int, InstanceId>> foreign;
+  for (InstanceId e : kb.LiveInstancesOf(animal)) {
+    if (experiment->truth().PairCorrect(IsAPair{animal, e})) continue;
+    foreign.emplace_back(kb.Count(IsAPair{animal, e}), e);
+  }
+  std::sort(foreign.rbegin(), foreign.rend());
+  for (size_t i = 0; i < foreign.size() && i < 4; ++i) axis.push_back(foreign[i].second);
+
+  // Panels: the AVG distribution + per-trigger distributions for up to 4
+  // ground-truth non-DPs and 2 Intentional DPs (like CAT/DOG/... vs CHICKEN).
+  std::vector<std::pair<std::string, std::unordered_map<InstanceId, int>>> panels;
+  std::unordered_map<InstanceId, int> avg;
+  for (const auto& [e, count] : core) avg[e] = count;
+  panels.emplace_back("AVG", std::move(avg));
+  int non_dps_shown = 0;
+  int dps_shown = 0;
+  for (InstanceId e : kb.LiveInstancesOf(animal)) {
+    auto sub = kb.SubInstancesOf(IsAPair{animal, e});
+    if (sub.size() < 3) continue;
+    DpClass label = experiment->truth().DpLabelOf(kb, IsAPair{animal, e});
+    if (label == DpClass::kNonDP && non_dps_shown < 4) {
+      panels.emplace_back("non-DP:" + experiment->world().InstanceName(e),
+                          std::move(sub));
+      ++non_dps_shown;
+    } else if (label == DpClass::kIntentionalDP && dps_shown < 2) {
+      panels.emplace_back("DP:" + experiment->world().InstanceName(e),
+                          std::move(sub));
+      ++dps_shown;
+    }
+    if (non_dps_shown == 4 && dps_shown == 2) break;
+  }
+
+  TableWriter table(
+      "Fig. 2: normalized trigger-target distributions under 'animal' "
+      "(columns: top core instances then top drifted-in foreign instances)");
+  std::vector<std::string> header{"trigger"};
+  for (InstanceId e : axis) header.push_back(experiment->world().InstanceName(e));
+  header.push_back("[other]");
+  table.SetHeader(header);
+  for (const auto& [name, distribution] : panels) {
+    double total = 0.0;
+    for (const auto& [e, count] : distribution) {
+      (void)e;
+      total += count;
+    }
+    std::vector<double> values;
+    double covered = 0.0;
+    for (InstanceId e : axis) {
+      auto it = distribution.find(e);
+      double share = it == distribution.end() || total == 0
+                         ? 0.0
+                         : static_cast<double>(it->second) / total;
+      covered += share;
+      values.push_back(share);
+    }
+    values.push_back(std::max(0.0, 1.0 - covered));
+    table.AddRow(name, values, 3);
+  }
+  table.Print(std::cout);
+  (void)table.WriteCsv("bench_fig2.csv");
+  return 0;
+}

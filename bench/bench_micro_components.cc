@@ -1,0 +1,189 @@
+// Google-benchmark micro benchmarks for the library's hot components:
+// extraction throughput, ranking-model cost, mutex-index construction,
+// feature extraction, rollback cascades, kernel PCA and the manifold
+// regularizer.
+
+#include <benchmark/benchmark.h>
+
+#include "corpus/generator.h"
+#include "corpus/world.h"
+#include "dp/features.h"
+#include "extract/extractor.h"
+#include "extract/hearst_parser.h"
+#include "kb/knowledge_base.h"
+#include "ml/kpca.h"
+#include "ml/manifold.h"
+#include "mutex/mutex_index.h"
+#include "rank/scorers.h"
+#include "util/rng.h"
+
+namespace semdrift {
+namespace {
+
+/// Shared fixture state, built once (static locals are fine in a bench
+/// binary's single-threaded setup).
+struct MicroWorld {
+  World world;
+  Corpus corpus;
+
+  static const MicroWorld& Get() {
+    static MicroWorld* instance = [] {
+      auto* m = new MicroWorld();
+      WorldSpec wspec;
+      wspec.num_concepts = 120;
+      Rng wrng(99);
+      m->world = GenerateWorld(wspec, &wrng);
+      CorpusSpec cspec;
+      cspec.num_sentences = 20000;
+      cspec.render_text = true;
+      Rng crng(100);
+      m->corpus = GenerateCorpus(m->world, cspec, &crng);
+      return m;
+    }();
+    return *instance;
+  }
+
+ private:
+  MicroWorld() : world(World::Builder().Build()) {}
+};
+
+KnowledgeBase ExtractMicro() {
+  const MicroWorld& m = MicroWorld::Get();
+  KnowledgeBase kb;
+  IterativeExtractor extractor(&m.corpus.sentences, ExtractorOptions{});
+  extractor.Run(&kb);
+  return kb;
+}
+
+void BM_CorpusGeneration(benchmark::State& state) {
+  const MicroWorld& m = MicroWorld::Get();
+  CorpusSpec spec;
+  spec.num_sentences = static_cast<int>(state.range(0));
+  spec.render_text = false;
+  for (auto _ : state) {
+    Rng rng(7);
+    Corpus corpus = GenerateCorpus(m.world, spec, &rng);
+    benchmark::DoNotOptimize(corpus.sentences.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CorpusGeneration)->Arg(2000)->Arg(10000);
+
+void BM_IterativeExtraction(benchmark::State& state) {
+  const MicroWorld& m = MicroWorld::Get();
+  for (auto _ : state) {
+    KnowledgeBase kb;
+    IterativeExtractor extractor(&m.corpus.sentences, ExtractorOptions{});
+    extractor.Run(&kb);
+    benchmark::DoNotOptimize(kb.num_live_pairs());
+  }
+  state.SetItemsProcessed(state.iterations() * m.corpus.sentences.size());
+}
+BENCHMARK(BM_IterativeExtraction);
+
+void BM_HearstParse(benchmark::State& state) {
+  const MicroWorld& m = MicroWorld::Get();
+  HearstParser parser(&m.world.concept_vocab(), m.world.instance_vocab());
+  size_t index = 0;
+  const auto& sentences = m.corpus.sentences.sentences();
+  for (auto _ : state) {
+    const auto& sentence = sentences[index++ % sentences.size()];
+    benchmark::DoNotOptimize(parser.Parse(sentence.text));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HearstParse);
+
+void BM_RankModel(benchmark::State& state) {
+  static KnowledgeBase* kb = new KnowledgeBase(ExtractMicro());
+  RankModel model = static_cast<RankModel>(state.range(0));
+  for (auto _ : state) {
+    auto scores = ScoreConcept(*kb, ConceptId(0), model);
+    benchmark::DoNotOptimize(scores.size());
+  }
+}
+BENCHMARK(BM_RankModel)
+    ->Arg(static_cast<int>(RankModel::kFrequency))
+    ->Arg(static_cast<int>(RankModel::kPageRank))
+    ->Arg(static_cast<int>(RankModel::kRandomWalk));
+
+void BM_MutexIndexBuild(benchmark::State& state) {
+  static KnowledgeBase* kb = new KnowledgeBase(ExtractMicro());
+  const MicroWorld& m = MicroWorld::Get();
+  for (auto _ : state) {
+    MutexIndex index(*kb, m.world.num_concepts());
+    benchmark::DoNotOptimize(index.num_concepts());
+  }
+}
+BENCHMARK(BM_MutexIndexBuild);
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  static KnowledgeBase* kb = new KnowledgeBase(ExtractMicro());
+  const MicroWorld& m = MicroWorld::Get();
+  static MutexIndex* mutex = new MutexIndex(*kb, m.world.num_concepts());
+  static ScoreCache* scores = new ScoreCache(kb, RankModel::kRandomWalk);
+  static FeatureExtractor* features = new FeatureExtractor(kb, mutex, scores);
+  auto instances = kb->LiveInstancesOf(ConceptId(0));
+  size_t index = 0;
+  for (auto _ : state) {
+    InstanceId e = instances[index++ % instances.size()];
+    benchmark::DoNotOptimize(features->Extract(ConceptId(0), e));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FeatureExtraction);
+
+void BM_RollbackCascade(benchmark::State& state) {
+  const MicroWorld& m = MicroWorld::Get();
+  CascadePolicy policy = static_cast<CascadePolicy>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    KnowledgeBase kb = ExtractMicro();
+    // Pick popular iteration-1 pairs of concept 0 to remove.
+    auto core = kb.Iter1InstancesOf(ConceptId(0));
+    state.ResumeTiming();
+    int rolled = 0;
+    for (size_t i = 0; i < core.size() && i < 10; ++i) {
+      rolled += kb.RemovePair(IsAPair{ConceptId(0), core[i].first}, policy);
+    }
+    benchmark::DoNotOptimize(rolled);
+  }
+  (void)m;
+}
+BENCHMARK(BM_RollbackCascade)
+    ->Arg(static_cast<int>(CascadePolicy::kAllTriggersDead))
+    ->Arg(static_cast<int>(CascadePolicy::kAnyTriggerDead))
+    ->Unit(benchmark::kMillisecond);
+
+void BM_KernelPcaFit(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(5);
+  Matrix x(n, 4);
+  for (size_t i = 0; i < n; ++i)
+    for (size_t j = 0; j < 4; ++j) x(i, j) = rng.NextGaussian();
+  for (auto _ : state) {
+    KernelPca kpca;
+    KpcaOptions options;
+    benchmark::DoNotOptimize(kpca.Fit(x, options));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_KernelPcaFit)->Arg(100)->Arg(300)->Arg(600)->Unit(benchmark::kMillisecond);
+
+void BM_ManifoldRegularizer(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(6);
+  Matrix x(n, 20);
+  for (size_t i = 0; i < n; ++i)
+    for (size_t j = 0; j < 20; ++j) x(i, j) = rng.NextGaussian();
+  ManifoldOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildManifoldRegularizer(x, options).Trace());
+  }
+}
+BENCHMARK(BM_ManifoldRegularizer)->Arg(100)->Arg(300)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace semdrift
+
+BENCHMARK_MAIN();

@@ -1,0 +1,167 @@
+// The paper's running example (Fig. 1(b) / Example 1), end to end on a
+// hand-crafted world: "chicken" is a famous animal and an obscure food, the
+// corpus contains the fateful sentence "common food from animals such as
+// pork, beef and chicken", the naive extractor drifts pork/beef into
+// Animal, and DP cleaning identifies chicken as an Intentional DP and rolls
+// the drift back via Eq. 21.
+//
+// Run: ./build/examples/animal_drift
+
+#include <cstdio>
+
+#include "corpus/world.h"
+#include "dp/cleaner.h"
+#include "dp/features.h"
+#include "dp/sentence_check.h"
+#include "extract/extractor.h"
+#include "extract/hearst_parser.h"
+
+using namespace semdrift;
+
+int main() {
+  // --- World: the paper's Animal / Food story ------------------------------
+  World::Builder builder;
+  ConceptId animal = builder.AddConcept("animal");
+  ConceptId food = builder.AddConcept("food");
+  const char* animals[] = {"dog",   "cat",    "horse",  "rabbit", "elephant",
+                           "dolphin", "lion", "camel",  "pigeon", "donkey",
+                           "chimpanzee", "snake", "monkey", "duck"};
+  const char* foods[] = {"pork", "beef", "milk", "meat", "rice",
+                         "bread", "cheese", "noodle", "soup"};
+  double weight = 1.0;
+  for (const char* name : animals) {
+    builder.AddMembership(animal, builder.AddInstance(name), weight *= 0.9);
+  }
+  weight = 1.0;
+  for (const char* name : foods) {
+    builder.AddMembership(food, builder.AddInstance(name), weight *= 0.9);
+  }
+  // chicken: popular animal, obscure food (the polyseme).
+  InstanceId chicken = builder.AddInstance("chicken");
+  builder.AddMembership(animal, chicken, 0.8);
+  builder.AddMembership(food, chicken, 0.02);
+  builder.AddPolyseme(chicken, animal, food);
+  builder.AddConfusable(animal, food);
+  builder.AddConfusable(food, animal);
+  for (const char* name : {"dog", "cat", "horse"}) {
+    builder.MarkVerified(animal, builder.AddInstance(name));
+  }
+  for (const char* name : {"pork", "beef", "milk"}) {
+    builder.MarkVerified(food, builder.AddInstance(name));
+  }
+  builder.MarkVerified(animal, chicken);
+  World world = builder.Build();
+
+  // --- Corpus: hand-written Hearst sentences, parsed from raw text ---------
+  const char* raw_sentences[] = {
+      // Iteration-1 core for Animal (chicken included: S1 of the paper).
+      "animals such as dog, cat, pig and chicken .",
+      "animals such as dog and cat .",
+      "many animals such as horse, rabbit and elephant .",
+      "animals such as dolphin, lion and camel .",
+      "animals such as pigeon, donkey and chimpanzee .",
+      "animals such as snake and monkey .",
+      "animals such as dog, horse and chicken .",
+      "popular animals such as cat, dog and chicken .",
+      "animals such as chicken and duck .",
+      "animals such as chicken, dog and lion .",
+      "animals such as chicken and monkey .",
+      // Iteration-1 core for Food.
+      "foods such as pork, beef and milk .",
+      "common foods such as meat, rice and bread .",
+      "foods such as cheese, noodle and soup .",
+      "foods such as pork and beef .",
+      "foods such as milk and meat .",
+      // S3: the drift trigger — ambiguous between food (head) and animal
+      // (adjacent), list truly about food, mentioning the polyseme.
+      "common food from animals such as pork, beef and chicken .",
+      "food from animals such as beef, milk and chicken .",
+      "food of animals such as meat and chicken .",
+  };
+
+  HearstParser parser(&world.concept_vocab(), world.instance_vocab());
+  SentenceStore store;
+  for (const char* text : raw_sentences) {
+    auto parsed = parser.Parse(text);
+    if (!parsed.has_value()) {
+      std::printf("unparseable: %s\n", text);
+      continue;
+    }
+    store.Add(std::move(*parsed));
+  }
+  std::printf("parsed %zu Hearst sentences\n", store.size());
+
+  // --- Iterative extraction: watch the drift happen ------------------------
+  KnowledgeBase kb;
+  IterativeExtractor extractor(&store, ExtractorOptions{});
+  extractor.Run(&kb);
+
+  // Instance names come from the parser's lexicon: it is a superset of the
+  // world's (open-class instances like "pig" were discovered from text).
+  auto name = [&](InstanceId e) -> const std::string& {
+    return parser.instance_lexicon().TermOf(e.value);
+  };
+  auto show = [&](const char* label) {
+    std::printf("%s\n  animal = {", label);
+    for (InstanceId e : kb.LiveInstancesOf(animal)) {
+      std::printf(" %s(%d)", name(e).c_str(), kb.Count(IsAPair{animal, e}));
+    }
+    std::printf(" }\n");
+  };
+  show("after extraction:");
+  std::printf("  -> pork isA animal? %s   beef isA animal? %s\n",
+              kb.Contains(IsAPair{animal, world.FindInstance("pork")}) ? "YES (drift!)"
+                                                                       : "no",
+              kb.Contains(IsAPair{animal, world.FindInstance("beef")}) ? "YES (drift!)"
+                                                                       : "no");
+
+  // --- Inspect the DP machinery on "chicken" -------------------------------
+  MutexIndex mutex(kb, world.num_concepts());
+  ScoreCache scores(&kb, RankModel::kRandomWalk);
+  FeatureExtractor features(&kb, &mutex, &scores);
+  FeatureVector f = features.Extract(animal, chicken);
+  std::printf("features of (chicken isA animal): f1=%.3f f2=%.0f f3=%.3f f4=%.3f\n",
+              f[0], f[1], f[2], f[3]);
+  auto sub = kb.SubInstancesOf(IsAPair{animal, chicken});
+  std::printf("sub-instances of chicken under animal:");
+  for (const auto& [e, count] : sub) {
+    std::printf(" %s(x%d)", name(e).c_str(), count);
+  }
+  std::printf("\n");
+
+  // Eq. 21 on the S3 sentence directly.
+  for (const auto& sentence : store.sentences()) {
+    if (sentence.candidate_concepts.size() < 2) continue;
+    double food_score = SentenceConceptScore(sentence, food, &scores);
+    double animal_score = SentenceConceptScore(sentence, animal, &scores);
+    std::printf("Eq.21 on \"%s\": Score(food)=%.3f Score(animal)=%.3f -> %s\n",
+                sentence.text.c_str(), food_score, animal_score,
+                food_score > animal_score ? "food (roll back the drift)"
+                                          : "animal");
+  }
+
+  // --- DP cleaning ----------------------------------------------------------
+  CleanerOptions options;
+  options.seeds.frequency_threshold_k = 1;  // Tiny corpus: low evidence bar.
+  options.train.max_unlabeled_per_concept = 50;
+  DpCleaner cleaner(&store,
+                    [&world](const IsAPair& pair) {
+                      return world.IsVerified(pair.concept_id, pair.instance);
+                    },
+                    world.num_concepts(), options);
+  CleaningReport report = cleaner.Clean(&kb, {animal, food});
+  std::printf("cleaning: %zu intentional DPs flagged, %zu records rolled back\n",
+              report.intentional_dps.size(), report.records_rolled_back);
+  for (const IsAPair& pair : report.intentional_dps) {
+    if (!(pair.instance == chicken)) continue;
+    std::printf("  -> chicken flagged as an Intentional DP of %s\n",
+                world.ConceptName(pair.concept_id).c_str());
+  }
+  show("after DP cleaning:");
+  std::printf("  -> pork isA animal? %s   beef isA animal? %s   "
+              "chicken isA animal? %s\n",
+              kb.Contains(IsAPair{animal, world.FindInstance("pork")}) ? "YES" : "no",
+              kb.Contains(IsAPair{animal, world.FindInstance("beef")}) ? "YES" : "no",
+              kb.Contains(IsAPair{animal, chicken}) ? "yes (kept: correct!)" : "NO");
+  return 0;
+}

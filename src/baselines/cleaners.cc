@@ -1,0 +1,171 @@
+#include "baselines/cleaners.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace semdrift {
+
+std::vector<IsAPair> MutualExclusionClean(const KnowledgeBase& kb,
+                                          const MutexIndex& mutex,
+                                          const std::vector<ConceptId>& scope) {
+  std::unordered_set<uint32_t> in_scope;
+  for (ConceptId c : scope) in_scope.insert(c.value);
+
+  std::unordered_set<IsAPair, IsAPairHash> removed;
+  std::unordered_set<InstanceId> visited;
+  for (ConceptId c : scope) {
+    for (InstanceId e : kb.LiveInstancesOf(c)) {
+      if (!visited.insert(e).second) continue;
+      const auto& holders = mutex.ConceptsContaining(e);
+      if (holders.size() < 2) continue;
+      for (size_t i = 0; i < holders.size(); ++i) {
+        for (size_t j = i + 1; j < holders.size(); ++j) {
+          if (!mutex.IsMutex(holders[i], holders[j])) continue;
+          // Report the weaker side of the conflict as the error — but only
+          // when the asymmetry is clear-cut; a near-tie is the ambiguity
+          // the heuristic explicitly tolerates ("unless the instances are
+          // ambiguous", [5]), and removing either side is a coin flip.
+          IsAPair a{holders[i], e};
+          IsAPair b{holders[j], e};
+          int count_a = kb.Count(a);
+          int count_b = kb.Count(b);
+          IsAPair weaker = count_a <= count_b ? a : b;
+          int weak_count = std::min(count_a, count_b);
+          int strong_count = std::max(count_a, count_b);
+          if (weak_count * 3 > strong_count) continue;  // Ambiguous conflict.
+          if (in_scope.count(weaker.concept_id.value) > 0) removed.insert(weaker);
+        }
+      }
+    }
+  }
+  return std::vector<IsAPair>(removed.begin(), removed.end());
+}
+
+TypeOracle::TypeOracle(const World* world, Options options)
+    : world_(world), options_(options) {
+  Rng rng(options_.seed);
+  // Concepts map to groups uniformly at random (a coarse ontology of
+  // person/place/organization/... types).
+  concept_group_.resize(world_->num_concepts());
+  for (size_t ci = 0; ci < concept_group_.size(); ++ci) {
+    concept_group_[ci] = static_cast<int>(rng.NextBounded(options_.num_groups));
+  }
+  // Twins share a group (they genuinely are the same kind of thing).
+  for (size_t ci = 0; ci < concept_group_.size(); ++ci) {
+    ConceptId twin = world_->SimilarTwin(ConceptId(static_cast<uint32_t>(ci)));
+    if (twin.valid() && twin.value < ci) concept_group_[ci] = concept_group_[twin.value];
+  }
+  for (size_t ei = 0; ei < world_->num_instances(); ++ei) {
+    InstanceId e(static_cast<uint32_t>(ei));
+    if (!rng.NextBool(options_.coverage)) continue;
+    const auto& concepts = world_->ConceptsOf(e);
+    if (concepts.empty()) continue;
+    int truth = concept_group_[concepts.front().value];
+    int reported = rng.NextBool(options_.accuracy)
+                       ? truth
+                       : static_cast<int>(rng.NextBounded(options_.num_groups));
+    instance_type_.emplace(e, reported);
+  }
+}
+
+int TypeOracle::GroupOf(ConceptId c) const { return concept_group_[c.value]; }
+
+int TypeOracle::TypeOf(InstanceId e) const {
+  auto it = instance_type_.find(e);
+  return it == instance_type_.end() ? -1 : it->second;
+}
+
+std::vector<IsAPair> TypeCheckClean(const KnowledgeBase& kb, const TypeOracle& oracle,
+                                    const std::vector<ConceptId>& scope) {
+  std::vector<IsAPair> removed;
+  for (ConceptId c : scope) {
+    int expected = oracle.GroupOf(c);
+    for (InstanceId e : kb.LiveInstancesOf(c)) {
+      int type = oracle.TypeOf(e);
+      if (type >= 0 && type != expected) removed.push_back(IsAPair{c, e});
+    }
+  }
+  return removed;
+}
+
+std::unordered_map<IsAPair, double, IsAPairHash> PrDualRankScores(
+    const KnowledgeBase& kb, const std::vector<ConceptId>& scope,
+    const PrDualRankOptions& options) {
+  // Collect live pairs and live records in scope; build the bipartite
+  // adjacency (record -> produced pairs).
+  std::unordered_map<IsAPair, double, IsAPairHash> pair_score;
+  std::vector<const ExtractionRecord*> records;
+  for (ConceptId c : scope) {
+    for (InstanceId e : kb.LiveInstancesOf(c)) {
+      IsAPair pair{c, e};
+      pair_score[pair] =
+          kb.Iter1Count(pair) >= options.seed_support ? 1.0 : 0.0;
+    }
+    kb.ForEachLiveRecordOfConcept(
+        c, [&](const ExtractionRecord& record) { records.push_back(&record); });
+  }
+
+  std::vector<double> record_score(records.size(), 0.0);
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    // Record ("pattern") precision = mean precision of its tuples.
+    for (size_t ri = 0; ri < records.size(); ++ri) {
+      const ExtractionRecord& record = *records[ri];
+      double total = 0.0;
+      int n = 0;
+      for (InstanceId e : record.instances) {
+        auto it = pair_score.find(IsAPair{record.concept_id, e});
+        if (it == pair_score.end()) continue;
+        total += it->second;
+        ++n;
+      }
+      record_score[ri] = n > 0 ? total / n : 0.0;
+    }
+    // Tuple precision = mean precision of the records producing it — except
+    // seeds, which stay pinned at 1 (they are known-correct anchors).
+    std::unordered_map<IsAPair, std::pair<double, int>, IsAPairHash> accumulator;
+    for (size_t ri = 0; ri < records.size(); ++ri) {
+      const ExtractionRecord& record = *records[ri];
+      for (InstanceId e : record.instances) {
+        IsAPair pair{record.concept_id, e};
+        if (pair_score.find(pair) == pair_score.end()) continue;
+        auto& acc = accumulator[pair];
+        acc.first += record_score[ri];
+        acc.second += 1;
+      }
+    }
+    for (auto& [pair, score] : pair_score) {
+      if (kb.Iter1Count(pair) >= options.seed_support) continue;  // Pinned seed.
+      auto it = accumulator.find(pair);
+      score = it != accumulator.end() && it->second.second > 0
+                  ? it->second.first / it->second.second
+                  : 0.0;
+    }
+  }
+  return pair_score;
+}
+
+std::unordered_map<IsAPair, double, IsAPairHash> RwRankScores(
+    const KnowledgeBase& kb, const std::vector<ConceptId>& scope, RankModel model) {
+  std::unordered_map<IsAPair, double, IsAPairHash> out;
+  for (ConceptId c : scope) {
+    auto scores = ScoreConcept(kb, c, model);
+    double n = static_cast<double>(scores.size());
+    for (const auto& [e, score] : scores) {
+      // Rescale so 1.0 is the uniform level within the concept.
+      out[IsAPair{c, e}] = score * n;
+    }
+  }
+  return out;
+}
+
+std::vector<IsAPair> ThresholdClean(
+    const std::unordered_map<IsAPair, double, IsAPairHash>& scores,
+    double threshold) {
+  std::vector<IsAPair> removed;
+  for (const auto& [pair, score] : scores) {
+    if (score < threshold) removed.push_back(pair);
+  }
+  return removed;
+}
+
+}  // namespace semdrift

@@ -1,0 +1,93 @@
+#ifndef SEMDRIFT_BASELINES_CLEANERS_H_
+#define SEMDRIFT_BASELINES_CLEANERS_H_
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "corpus/world.h"
+#include "kb/knowledge_base.h"
+#include "mutex/mutex_index.h"
+#include "rank/scorers.h"
+#include "text/ids.h"
+#include "util/rng.h"
+
+namespace semdrift {
+
+/// Baseline cleaners identify pairs to remove without mutating the KB (none
+/// of them has the trigger provenance DP cleaning exploits); evaluation
+/// compares the returned removal sets against ground truth.
+
+/// Mutual Exclusion cleaning [5] (Table 3, "MEx"): an instance living under
+/// two mutually exclusive concepts is suspicious; the pair with the weaker
+/// support is reported as an error. Only pairs under `scope` are reported.
+std::vector<IsAPair> MutualExclusionClean(const KnowledgeBase& kb,
+                                          const MutexIndex& mutex,
+                                          const std::vector<ConceptId>& scope);
+
+/// Simulated named-entity recognizer standing in for Stanford NER [10] in
+/// the Type Checking baseline [14]. The oracle assigns each *covered*
+/// instance one coarse type (the type group of its primary true concept,
+/// with `accuracy` probability of being right); concepts map to type groups
+/// by construction. Coverage below 1 is what caps the baseline's recall,
+/// exactly as the paper observes for TCh.
+class TypeOracle {
+ public:
+  struct Options {
+    int num_groups = 12;
+    /// Probability an instance is recognized at all.
+    double coverage = 0.2;
+    /// Probability a recognized instance gets its true group.
+    double accuracy = 0.95;
+    uint64_t seed = 99;
+  };
+
+  TypeOracle(const World* world, Options options);
+
+  /// Group of a concept (always known; concepts are closed-class).
+  int GroupOf(ConceptId c) const;
+
+  /// Group the NER reports for an instance; -1 when not covered.
+  int TypeOf(InstanceId e) const;
+
+ private:
+  const World* world_;
+  Options options_;
+  std::vector<int> concept_group_;
+  std::unordered_map<InstanceId, int> instance_type_;
+};
+
+/// Type Checking cleaning [14, 4] (Table 3, "TCh"): remove live pairs whose
+/// instance's recognized type conflicts with the concept's type group.
+std::vector<IsAPair> TypeCheckClean(const KnowledgeBase& kb, const TypeOracle& oracle,
+                                    const std::vector<ConceptId>& scope);
+
+/// PRDual-Rank [9] adapted to pairs/sentences (Table 3, "PRDual-Rank"):
+/// precision scores propagate between extraction records ("patterns") and
+/// the pairs they produce ("tuples"), seeded by frequent iteration-1 pairs.
+/// Returns the per-pair score for live pairs under `scope`.
+struct PrDualRankOptions {
+  int iterations = 20;
+  /// Iteration-1 support needed to be a precision seed.
+  int seed_support = 5;
+};
+std::unordered_map<IsAPair, double, IsAPairHash> PrDualRankScores(
+    const KnowledgeBase& kb, const std::vector<ConceptId>& scope,
+    const PrDualRankOptions& options = {});
+
+/// Random-walk ranking scores per live pair under `scope`, rescaled within
+/// each concept by its instance count so one threshold can serve all
+/// concepts (score 1.0 = the uniform-visit level).
+std::unordered_map<IsAPair, double, IsAPairHash> RwRankScores(
+    const KnowledgeBase& kb, const std::vector<ConceptId>& scope,
+    RankModel model = RankModel::kRandomWalk);
+
+/// Applies a removal threshold to a score map: pairs scoring strictly below
+/// `threshold` are removed.
+std::vector<IsAPair> ThresholdClean(
+    const std::unordered_map<IsAPair, double, IsAPairHash>& scores,
+    double threshold);
+
+}  // namespace semdrift
+
+#endif  // SEMDRIFT_BASELINES_CLEANERS_H_

@@ -1,0 +1,36 @@
+#include "baselines/threshold.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace semdrift {
+
+double LearnRemovalThreshold(std::vector<std::pair<double, bool>> scored) {
+  size_t total_errors = 0;
+  for (const auto& [score, is_error] : scored) {
+    (void)score;
+    total_errors += is_error ? 1 : 0;
+  }
+  if (total_errors == 0 || scored.empty()) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  std::sort(scored.begin(), scored.end());
+  double best_f1 = -1.0;
+  double best_threshold = -std::numeric_limits<double>::infinity();
+  size_t errors_below = 0;
+  for (size_t i = 0; i + 1 < scored.size(); ++i) {
+    errors_below += scored[i].second ? 1 : 0;
+    if (scored[i].first == scored[i + 1].first) continue;
+    double tp = static_cast<double>(errors_below);
+    double fp = static_cast<double>(i + 1) - tp;
+    double fn = static_cast<double>(total_errors) - tp;
+    double f1 = tp > 0 ? 2 * tp / (2 * tp + fp + fn) : 0.0;
+    if (f1 > best_f1) {
+      best_f1 = f1;
+      best_threshold = 0.5 * (scored[i].first + scored[i + 1].first);
+    }
+  }
+  return best_threshold;
+}
+
+}  // namespace semdrift

@@ -1,0 +1,17 @@
+#ifndef SEMDRIFT_BASELINES_THRESHOLD_H_
+#define SEMDRIFT_BASELINES_THRESHOLD_H_
+
+#include <vector>
+
+namespace semdrift {
+
+/// Learns the removal threshold the paper grants the ranking baselines
+/// ("with well-learned thresholds", Sec. 5.3): given (score, is_error)
+/// samples, returns the threshold t maximizing the F1 of "remove everything
+/// scoring below t". Returns -infinity when removal can never help (no
+/// errors in the sample).
+double LearnRemovalThreshold(std::vector<std::pair<double, bool>> scored);
+
+}  // namespace semdrift
+
+#endif  // SEMDRIFT_BASELINES_THRESHOLD_H_

@@ -1,0 +1,179 @@
+#include "corpus/generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+#include "corpus/renderer.h"
+
+namespace semdrift {
+
+namespace {
+
+/// How an instance list is sampled from a concept's members.
+enum class ListSampling {
+  /// Popularity-weighted (head-heavy) — the unambiguous / core channel.
+  kPopularity,
+  /// Uniform over the tail (popularity ranks past the head zone) — the
+  /// ambiguous channel. Tail items are the ones iteration 1 has not seen,
+  /// which is what leaves ambiguous sentences to later iterations and makes
+  /// wrong attachments productive.
+  kTail,
+};
+
+/// Samples `count` distinct members of `c`. `forced` (if valid) is always
+/// included. Returns fewer than `count` when the concept is small.
+std::vector<InstanceId> SampleList(const World& world, ConceptId c, int count,
+                                   ListSampling sampling, InstanceId forced,
+                                   Rng* rng) {
+  const auto& members = world.Members(c);
+  const auto& weights = world.MemberWeights(c);
+  std::vector<InstanceId> list;
+  std::unordered_set<uint32_t> chosen;
+  if (forced.valid()) {
+    list.push_back(forced);
+    chosen.insert(forced.value);
+  }
+  size_t tail_start = std::min(members.size() - 1, members.size() / 2);
+  int guard = 0;
+  while (static_cast<int>(list.size()) < count && guard++ < 50 * count) {
+    size_t idx;
+    if (sampling == ListSampling::kTail && !rng->NextBool(0.15)) {
+      idx = tail_start + rng->NextBounded(members.size() - tail_start);
+    } else {
+      // Popularity-weighted; tail lists also mix in some popular items (a
+      // real list about a topic usually names a famous example too).
+      idx = rng->NextDiscrete(weights);
+    }
+    if (!chosen.insert(members[idx].value).second) continue;
+    list.push_back(members[idx]);
+  }
+  // Put the forced polyseme at a random position so it is not a giveaway.
+  if (forced.valid() && list.size() > 1) {
+    size_t pos = rng->NextBounded(list.size());
+    std::swap(list[0], list[pos]);
+  }
+  return list;
+}
+
+}  // namespace
+
+Corpus GenerateCorpus(const World& world, const CorpusSpec& spec, Rng* rng) {
+  assert(spec.min_list >= 1 && spec.max_list >= spec.min_list);
+  Corpus corpus;
+  SentenceRenderer renderer(&world);
+
+  // Sentence allocation across concepts: Zipf over concept index, so the
+  // named evaluation concepts (index 0..) are the popular, drift-prone ones.
+  std::vector<double> concept_weights(world.num_concepts());
+  for (size_t ci = 0; ci < concept_weights.size(); ++ci) {
+    concept_weights[ci] =
+        1.0 / std::pow(static_cast<double>(ci + 1), spec.concept_zipf);
+  }
+
+  auto emit = [&](Sentence sentence, SentenceKind kind, ConceptId true_concept,
+                  InstanceId polyseme = InstanceId()) {
+    corpus.sentences.Add(std::move(sentence));
+    corpus.truths.push_back(SentenceTruth{kind, true_concept, polyseme});
+  };
+
+  for (int si = 0; si < spec.num_sentences; ++si) {
+    ConceptId head(static_cast<uint32_t>(rng->NextDiscrete(concept_weights)));
+    if (world.Members(head).size() < 2) continue;
+    int list_len = static_cast<int>(rng->NextInt(spec.min_list, spec.max_list));
+
+    double roll = rng->NextDouble();
+    if (roll < spec.wrongfact_rate) {
+      // Wrong-fact: unambiguous sentence about `head` with one foreign
+      // instance smuggled in from a confusable concept.
+      const auto& confusables = world.Confusables(head);
+      if (confusables.empty()) continue;
+      ConceptId donor = confusables[rng->NextBounded(confusables.size())];
+      const auto& donor_members = world.Members(donor);
+      if (donor_members.empty()) continue;
+      InstanceId foreign = donor_members[rng->NextBounded(donor_members.size())];
+      if (world.IsTrueMember(head, foreign)) continue;  // Not foreign after all.
+      std::vector<InstanceId> list = SampleList(
+          world, head, list_len - 1, ListSampling::kPopularity, InstanceId(), rng);
+      list.insert(list.begin() + rng->NextBounded(list.size() + 1), foreign);
+      Sentence s;
+      s.candidate_concepts = {head};
+      s.candidate_instances = list;
+      if (spec.render_text) s.text = renderer.RenderUnambiguous(head, list, rng);
+      emit(std::move(s), SentenceKind::kWrongFact, head);
+      continue;
+    }
+    roll -= spec.wrongfact_rate;
+
+    if (roll < spec.misparse_rate) {
+      // Misparse: an "other than" sentence the parser wrongly committed to
+      // the excluded concept. All listed instances (true members of `head`)
+      // become false pairs under `excluded`, each supported by this one
+      // sentence — the paper's "(cat isA dog)" channel.
+      const auto& confusables = world.Confusables(head);
+      if (confusables.empty()) continue;
+      ConceptId excluded = confusables[rng->NextBounded(confusables.size())];
+      std::vector<InstanceId> list = SampleList(
+          world, head, std::min(list_len, 2), ListSampling::kTail, InstanceId(), rng);
+      Sentence s;
+      s.candidate_concepts = {excluded};  // The wrong commitment.
+      s.candidate_instances = list;
+      if (spec.render_text) s.text = renderer.RenderOtherThan(head, excluded, list, rng);
+      emit(std::move(s), SentenceKind::kMisparse, head);
+      continue;
+    }
+    roll -= spec.misparse_rate;
+
+    if (roll < spec.frac_ambiguous) {
+      // Ambiguous: head is the true topic; an adjacent concept competes for
+      // the "such as" attachment. Polyseme-linked sentences mention a guest
+      // polyseme of the head concept ("food ... such as pork, beef and
+      // chicken") whose famous home is the adjacent concept ("animal") —
+      // the Intentional-DP drift channel.
+      ListSampling sampling = rng->NextBool(spec.ambiguous_uniform_prob)
+                                  ? ListSampling::kTail
+                                  : ListSampling::kPopularity;
+      ConceptId adjacent;
+      InstanceId forced;
+      const auto& guests = world.PolysemesIntoGuest(head);
+      if (!guests.empty() && rng->NextBool(spec.polyseme_link_prob)) {
+        const auto& link = guests[rng->NextBounded(guests.size())];
+        adjacent = link.home;
+        forced = link.instance;
+      } else {
+        const auto& confusables = world.Confusables(head);
+        if (confusables.empty()) continue;
+        adjacent = confusables[rng->NextBounded(confusables.size())];
+      }
+      std::vector<InstanceId> list =
+          SampleList(world, head, list_len, sampling, forced, rng);
+      if (list.size() < 2) continue;
+      Sentence s;
+      s.candidate_concepts = {head, adjacent};  // Adjacent (last) hugs "such as".
+      s.candidate_instances = list;
+      if (spec.render_text) {
+        s.text = rng->NextBool(spec.other_than_prob)
+                     ? renderer.RenderOtherThan(head, adjacent, list, rng)
+                     : renderer.RenderAmbiguous(head, adjacent, list, rng);
+      }
+      emit(std::move(s), SentenceKind::kAmbiguous, head, forced);
+      continue;
+    }
+
+    // Unambiguous: the iteration-1 core channel.
+    std::vector<InstanceId> list = SampleList(world, head, list_len,
+                                              ListSampling::kPopularity,
+                                              InstanceId(), rng);
+    if (list.empty()) continue;
+    Sentence s;
+    s.candidate_concepts = {head};
+    s.candidate_instances = list;
+    if (spec.render_text) s.text = renderer.RenderUnambiguous(head, list, rng);
+    emit(std::move(s), SentenceKind::kUnambiguous, head);
+  }
+
+  return corpus;
+}
+
+}  // namespace semdrift

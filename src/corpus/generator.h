@@ -1,0 +1,93 @@
+#ifndef SEMDRIFT_CORPUS_GENERATOR_H_
+#define SEMDRIFT_CORPUS_GENERATOR_H_
+
+#include <vector>
+
+#include "corpus/world.h"
+#include "text/sentence.h"
+#include "util/rng.h"
+
+namespace semdrift {
+
+/// What kind of sentence the generator produced — retained as generator
+/// metadata only (the extractor never sees it); used by tests and by the
+/// sentence-level evaluation of Table 5.
+enum class SentenceKind : uint8_t {
+  /// Single candidate concept; instances truly belong to it.
+  kUnambiguous = 0,
+  /// Two candidate concepts; the head (first) is the true one.
+  kAmbiguous = 1,
+  /// An ambiguous sentence mis-committed by the parser: only the *wrong*
+  /// concept survives as candidate (paper Sec. 2.2, "(cat isA dog)").
+  kMisparse = 2,
+  /// Unambiguous sentence asserting >= 1 false fact (paper Sec. 2.2,
+  /// "(New York isA country)").
+  kWrongFact = 3,
+};
+
+/// Generator-side ground truth about one sentence.
+struct SentenceTruth {
+  SentenceKind kind = SentenceKind::kUnambiguous;
+  /// The concept the instance list was genuinely drawn from.
+  ConceptId true_concept;
+  /// For ambiguous sentences: the forced polyseme, when polyseme-linked.
+  InstanceId polyseme;
+};
+
+/// Corpus-generation parameters. The defaults reproduce the paper's drift
+/// dynamics: iteration-1 precision > 0.9 collapsing under 0.6 within a few
+/// iterations, driven mostly by polyseme-linked ambiguous sentences.
+struct CorpusSpec {
+  int num_sentences = 100000;
+  /// Fraction of sentences with two candidate concepts.
+  double frac_ambiguous = 0.6;
+  /// Probability that an ambiguous sentence is polyseme-linked: its adjacent
+  /// concept is the other sense of a polysemous member of the head concept,
+  /// and that polyseme is forced into the instance list.
+  double polyseme_link_prob = 0.75;
+  /// Of all sentences: ambiguous sentences whose parse wrongly commits to
+  /// the adjacent concept (accidental-DP source #1).
+  double misparse_rate = 0.01;
+  /// Of all sentences: unambiguous sentences carrying one false fact
+  /// (accidental-DP source #2).
+  double wrongfact_rate = 0.01;
+  /// Instance-list length is uniform in [min_list, max_list].
+  int min_list = 2;
+  int max_list = 5;
+  /// Zipf exponent for sentence allocation across concepts (popular concepts
+  /// are written about more).
+  double concept_zipf = 0.6;
+  /// Probability that an *ambiguous* sentence samples its instances
+  /// uniformly instead of by popularity. Tail-heavy ambiguous lists are what
+  /// make later iterations add many distinct (and driftable) pairs.
+  double ambiguous_uniform_prob = 0.95;
+  /// Fraction of ambiguous sentences using the "other than" surface shape.
+  double other_than_prob = 0.15;
+  /// Render surface text (needed for parser round-trips and demos; benches
+  /// that never look at text can turn it off to save memory).
+  bool render_text = true;
+};
+
+/// A generated corpus: de-duplicated parsed sentences plus per-sentence
+/// generator truth (parallel to the store, indexed by SentenceId).
+struct Corpus {
+  SentenceStore sentences;
+  std::vector<SentenceTruth> truths;
+
+  const SentenceTruth& TruthOf(SentenceId id) const { return truths[id.value]; }
+};
+
+/// Generates a corpus against a world. Deterministic in (*rng) state.
+///
+/// Mechanics mirror how the paper's web corpus feeds semantic drift:
+///  * unambiguous sentences create the high-precision iteration-1 core;
+///  * ambiguous sentences defer to later iterations where the knowledge base
+///    disambiguates them — polyseme-linked ones are the Intentional-DP
+///    channel ("food from animals such as pork, beef and chicken");
+///  * misparse and wrong-fact sentences inject support-1 false pairs, the
+///    Accidental-DP channel.
+Corpus GenerateCorpus(const World& world, const CorpusSpec& spec, Rng* rng);
+
+}  // namespace semdrift
+
+#endif  // SEMDRIFT_CORPUS_GENERATOR_H_

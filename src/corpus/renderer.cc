@@ -1,0 +1,72 @@
+#include "corpus/renderer.h"
+
+#include "text/morphology.h"
+
+namespace semdrift {
+
+namespace {
+const char* const kFillers[] = {"", "many", "some", "popular", "various", "common"};
+const char* const kPreps[] = {"from", "in", "of"};
+}  // namespace
+
+std::string SentenceRenderer::RenderList(const std::vector<InstanceId>& list,
+                                         Rng* rng) const {
+  std::string out;
+  bool oxford = rng->NextBool(0.5);
+  for (size_t i = 0; i < list.size(); ++i) {
+    if (i > 0) {
+      if (i + 1 == list.size()) {
+        out += oxford && list.size() > 2 ? ", and " : " and ";
+      } else {
+        out += ", ";
+      }
+    }
+    out += world_->InstanceName(list[i]);
+  }
+  return out;
+}
+
+std::string SentenceRenderer::RenderUnambiguous(ConceptId c,
+                                                const std::vector<InstanceId>& list,
+                                                Rng* rng) const {
+  std::string filler = kFillers[rng->NextBounded(std::size(kFillers))];
+  std::string out;
+  if (!filler.empty()) {
+    out += filler;
+    out += ' ';
+  }
+  out += Pluralize(world_->ConceptName(c));
+  out += " such as ";
+  out += RenderList(list, rng);
+  out += " .";
+  return out;
+}
+
+std::string SentenceRenderer::RenderAmbiguous(ConceptId head, ConceptId adjacent,
+                                              const std::vector<InstanceId>& list,
+                                              Rng* rng) const {
+  std::string out = Pluralize(world_->ConceptName(head));
+  out += ' ';
+  out += kPreps[rng->NextBounded(std::size(kPreps))];
+  out += ' ';
+  out += Pluralize(world_->ConceptName(adjacent));
+  if (rng->NextBool(0.4)) out += " ,";
+  out += " such as ";
+  out += RenderList(list, rng);
+  out += " .";
+  return out;
+}
+
+std::string SentenceRenderer::RenderOtherThan(ConceptId head, ConceptId excluded,
+                                              const std::vector<InstanceId>& list,
+                                              Rng* rng) const {
+  std::string out = Pluralize(world_->ConceptName(head));
+  out += " other than ";
+  out += Pluralize(world_->ConceptName(excluded));
+  out += " such as ";
+  out += RenderList(list, rng);
+  out += " .";
+  return out;
+}
+
+}  // namespace semdrift

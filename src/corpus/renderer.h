@@ -1,0 +1,44 @@
+#ifndef SEMDRIFT_CORPUS_RENDERER_H_
+#define SEMDRIFT_CORPUS_RENDERER_H_
+
+#include <string>
+#include <vector>
+
+#include "corpus/world.h"
+#include "text/ids.h"
+#include "util/rng.h"
+
+namespace semdrift {
+
+/// Renders parsed sentence structures to English-like surface text using
+/// Hearst "such as" templates. The renderer is the inverse of the Hearst
+/// parser (src/extract/hearst_parser.h): parsing a rendered sentence
+/// recovers the candidate concepts and instances.
+class SentenceRenderer {
+ public:
+  explicit SentenceRenderer(const World* world) : world_(world) {}
+
+  /// "{filler} {PL C} such as {list} ." — exactly one candidate concept.
+  std::string RenderUnambiguous(ConceptId c, const std::vector<InstanceId>& list,
+                                Rng* rng) const;
+
+  /// "{PL head} {prep} {PL adjacent} , such as {list} ." — two candidate
+  /// concepts; `adjacent` sits next to "such as" (the default syntactic
+  /// attachment), `head` is the true topic of the list.
+  std::string RenderAmbiguous(ConceptId head, ConceptId adjacent,
+                              const std::vector<InstanceId>& list, Rng* rng) const;
+
+  /// "{PL head} other than {PL excluded} such as {list} ." — the paper's
+  /// accidental-DP trap shape (Sec. 2.2).
+  std::string RenderOtherThan(ConceptId head, ConceptId excluded,
+                              const std::vector<InstanceId>& list, Rng* rng) const;
+
+ private:
+  std::string RenderList(const std::vector<InstanceId>& list, Rng* rng) const;
+
+  const World* world_;
+};
+
+}  // namespace semdrift
+
+#endif  // SEMDRIFT_CORPUS_RENDERER_H_

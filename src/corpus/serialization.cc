@@ -1,0 +1,186 @@
+#include "corpus/serialization.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace semdrift {
+
+namespace {
+
+constexpr char kWorldHeader[] = "semdrift-world\tv1";
+constexpr char kCorpusHeader[] = "semdrift-corpus\tv1";
+
+}  // namespace
+
+Status SaveWorld(const World& world, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path);
+  out << kWorldHeader << "\n";
+  for (size_t ci = 0; ci < world.num_concepts(); ++ci) {
+    out << "C\t" << world.ConceptName(ConceptId(static_cast<uint32_t>(ci))) << "\n";
+  }
+  for (size_t ei = 0; ei < world.num_instances(); ++ei) {
+    out << "I\t" << world.InstanceName(InstanceId(static_cast<uint32_t>(ei))) << "\n";
+  }
+  for (size_t ci = 0; ci < world.num_concepts(); ++ci) {
+    ConceptId c(static_cast<uint32_t>(ci));
+    const auto& members = world.Members(c);
+    const auto& weights = world.MemberWeights(c);
+    for (size_t i = 0; i < members.size(); ++i) {
+      out << "M\t" << world.ConceptName(c) << "\t" << world.InstanceName(members[i])
+          << "\t" << FormatDouble(weights[i], 9) << "\t"
+          << (world.IsVerified(c, members[i]) ? 1 : 0) << "\n";
+    }
+    for (ConceptId other : world.Confusables(c)) {
+      out << "X\t" << world.ConceptName(c) << "\t" << world.ConceptName(other) << "\n";
+    }
+    ConceptId twin = world.SimilarTwin(c);
+    if (twin.valid() && twin.value > c.value) {
+      out << "T\t" << world.ConceptName(c) << "\t" << world.ConceptName(twin) << "\n";
+    }
+  }
+  for (const auto& polyseme : world.polysemes()) {
+    out << "P\t" << world.InstanceName(polyseme.instance) << "\t"
+        << world.ConceptName(polyseme.home) << "\t"
+        << world.ConceptName(polyseme.guest) << "\n";
+  }
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<World> LoadWorld(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::string line;
+  if (!std::getline(in, line) || line != kWorldHeader) {
+    return Status::InvalidArgument(path + ": not a semdrift world file");
+  }
+  World::Builder builder;
+  size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    std::vector<std::string> fields = Split(line, '\t');
+    const std::string& tag = fields[0];
+    auto fail = [&](const std::string& why) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_number) +
+                                     ": " + why);
+    };
+    if (tag == "C" && fields.size() == 2) {
+      builder.AddConcept(fields[1]);
+    } else if (tag == "I" && fields.size() == 2) {
+      builder.AddInstance(fields[1]);
+    } else if (tag == "M" && fields.size() == 5) {
+      ConceptId c = builder.AddConcept(fields[1]);
+      InstanceId e = builder.AddInstance(fields[2]);
+      builder.AddMembership(c, e, std::atof(fields[3].c_str()));
+      if (fields[4] == "1") builder.MarkVerified(c, e);
+    } else if (tag == "X" && fields.size() == 3) {
+      builder.AddConfusable(builder.AddConcept(fields[1]),
+                            builder.AddConcept(fields[2]));
+    } else if (tag == "T" && fields.size() == 3) {
+      builder.SetSimilarTwins(builder.AddConcept(fields[1]),
+                              builder.AddConcept(fields[2]));
+    } else if (tag == "P" && fields.size() == 4) {
+      builder.AddPolyseme(builder.AddInstance(fields[1]),
+                          builder.AddConcept(fields[2]),
+                          builder.AddConcept(fields[3]));
+    } else {
+      return fail("unrecognized record '" + tag + "' with " +
+                  std::to_string(fields.size()) + " fields");
+    }
+  }
+  return builder.Build();
+}
+
+Status SaveCorpus(const World& world, const Corpus& corpus, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path);
+  out << kCorpusHeader << "\n";
+  for (const Sentence& sentence : corpus.sentences.sentences()) {
+    const SentenceTruth& truth = corpus.TruthOf(sentence.id);
+    out << "S\t" << static_cast<int>(truth.kind) << "\t"
+        << world.ConceptName(truth.true_concept) << "\t"
+        << (truth.polyseme.valid() ? world.InstanceName(truth.polyseme) : "-");
+    out << "\t";
+    for (size_t i = 0; i < sentence.candidate_concepts.size(); ++i) {
+      if (i > 0) out << "|";
+      out << world.ConceptName(sentence.candidate_concepts[i]);
+    }
+    out << "\t";
+    for (size_t i = 0; i < sentence.candidate_instances.size(); ++i) {
+      if (i > 0) out << "|";
+      out << world.InstanceName(sentence.candidate_instances[i]);
+    }
+    out << "\t" << sentence.text << "\n";
+  }
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<Corpus> LoadCorpus(const World& world, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::string line;
+  if (!std::getline(in, line) || line != kCorpusHeader) {
+    return Status::InvalidArgument(path + ": not a semdrift corpus file");
+  }
+  Corpus corpus;
+  size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    std::vector<std::string> fields = Split(line, '\t');
+    auto fail = [&](const std::string& why) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_number) +
+                                     ": " + why);
+    };
+    if (fields.size() != 7 || fields[0] != "S") return fail("malformed record");
+    SentenceTruth truth;
+    truth.kind = static_cast<SentenceKind>(std::atoi(fields[1].c_str()));
+    truth.true_concept = world.FindConcept(fields[2]);
+    if (!truth.true_concept.valid()) return fail("unknown concept " + fields[2]);
+    if (fields[3] != "-") {
+      truth.polyseme = world.FindInstance(fields[3]);
+      if (!truth.polyseme.valid()) return fail("unknown instance " + fields[3]);
+    }
+    Sentence sentence;
+    for (const std::string& name : Split(fields[4], '|')) {
+      ConceptId c = world.FindConcept(name);
+      if (!c.valid()) return fail("unknown concept " + name);
+      sentence.candidate_concepts.push_back(c);
+    }
+    for (const std::string& name : Split(fields[5], '|')) {
+      InstanceId e = world.FindInstance(name);
+      if (!e.valid()) return fail("unknown instance " + name);
+      sentence.candidate_instances.push_back(e);
+    }
+    sentence.text = fields[6];
+    corpus.sentences.Add(std::move(sentence));
+    corpus.truths.push_back(truth);
+  }
+  return corpus;
+}
+
+Status ExportTaxonomyTsv(const KnowledgeBase& kb, const World& world,
+                         const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path);
+  out << "concept\tinstance\tsupport\titer1_support\n";
+  for (size_t ci = 0; ci < world.num_concepts(); ++ci) {
+    ConceptId c(static_cast<uint32_t>(ci));
+    for (InstanceId e : kb.LiveInstancesOf(c)) {
+      if (e.value >= world.num_instances()) continue;  // Open-class discovery.
+      IsAPair pair{c, e};
+      out << world.ConceptName(c) << "\t" << world.InstanceName(e) << "\t"
+          << kb.Count(pair) << "\t" << kb.Iter1Count(pair) << "\n";
+    }
+  }
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace semdrift

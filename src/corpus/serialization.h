@@ -1,0 +1,44 @@
+#ifndef SEMDRIFT_CORPUS_SERIALIZATION_H_
+#define SEMDRIFT_CORPUS_SERIALIZATION_H_
+
+#include <string>
+
+#include "corpus/generator.h"
+#include "corpus/world.h"
+#include "kb/knowledge_base.h"
+#include "util/status.h"
+
+namespace semdrift {
+
+/// Persistence for worlds, corpora and extracted taxonomies, in simple
+/// line-oriented text formats (one record per line, tab-separated, with a
+/// leading record-type tag). Formats are versioned by a header line and are
+/// deliberately human-greppable — the database-engineering idiom of
+/// debuggable on-disk state.
+
+/// Writes a world: concepts, instances, memberships (with weights and
+/// verified flags), confusables, twins and polysemes.
+Status SaveWorld(const World& world, const std::string& path);
+
+/// Reads a world written by SaveWorld. Ids are re-assigned densely but the
+/// name<->structure mapping round-trips exactly.
+Result<World> LoadWorld(const std::string& path);
+
+/// Writes a corpus: per sentence the candidate concepts, candidate
+/// instances (by name, resolved against `world`), the generator truth, and
+/// the surface text when present.
+Status SaveCorpus(const World& world, const Corpus& corpus, const std::string& path);
+
+/// Reads a corpus written by SaveCorpus, resolving names against `world`.
+Result<Corpus> LoadCorpus(const World& world, const std::string& path);
+
+/// Exports the live pairs of a knowledge base as a taxonomy TSV:
+///   concept <tab> instance <tab> support_count <tab> iter1_count
+/// Names resolve through `world`; instances unknown to the world (open-class
+/// discoveries) are skipped unless `instance_names` is provided.
+Status ExportTaxonomyTsv(const KnowledgeBase& kb, const World& world,
+                         const std::string& path);
+
+}  // namespace semdrift
+
+#endif  // SEMDRIFT_CORPUS_SERIALIZATION_H_

@@ -1,0 +1,306 @@
+#include "corpus/world.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_map>
+
+namespace semdrift {
+
+ConceptId World::FindConcept(std::string_view name) const {
+  uint32_t id = concept_vocab_.Find(name);
+  return id == Vocab::kNotFound ? ConceptId() : ConceptId(id);
+}
+
+InstanceId World::FindInstance(std::string_view name) const {
+  uint32_t id = instance_vocab_.Find(name);
+  return id == Vocab::kNotFound ? InstanceId() : InstanceId(id);
+}
+
+bool World::TrulyMutex(ConceptId a, ConceptId b) const {
+  if (a == b) return false;
+  if (concepts_[a.value].twin == b) return false;
+  // Share-check over the smaller member list.
+  const ConceptId small = Members(a).size() <= Members(b).size() ? a : b;
+  const ConceptId large = small == a ? b : a;
+  for (InstanceId e : Members(small)) {
+    if (IsTrueMember(large, e)) return false;
+  }
+  return true;
+}
+
+ConceptId World::Builder::AddConcept(std::string_view name) {
+  uint32_t existing = world_->concept_vocab_.Find(name);
+  if (existing != Vocab::kNotFound) return ConceptId(existing);
+  uint32_t id = world_->concept_vocab_.Intern(name);
+  world_->concepts_.emplace_back();
+  return ConceptId(id);
+}
+
+InstanceId World::Builder::AddInstance(std::string_view name) {
+  uint32_t existing = world_->instance_vocab_.Find(name);
+  if (existing != Vocab::kNotFound) return InstanceId(existing);
+  uint32_t id = world_->instance_vocab_.Intern(name);
+  world_->instance_concepts_.emplace_back();
+  return InstanceId(id);
+}
+
+void World::Builder::AddMembership(ConceptId c, InstanceId e, double weight) {
+  assert(c.value < world_->concepts_.size());
+  assert(e.value < world_->instance_concepts_.size());
+  if (!world_->membership_.insert(IsAPair{c, e}).second) return;
+  auto& info = world_->concepts_[c.value];
+  info.members.push_back(e);
+  info.member_weights.push_back(weight);
+  world_->instance_concepts_[e.value].push_back(c);
+}
+
+void World::Builder::MarkVerified(ConceptId c, InstanceId e) {
+  assert(world_->membership_.count(IsAPair{c, e}) > 0);
+  world_->verified_.insert(IsAPair{c, e});
+}
+
+void World::Builder::AddConfusable(ConceptId c, ConceptId other) {
+  if (c == other) return;
+  auto& list = world_->concepts_[c.value].confusables;
+  if (std::find(list.begin(), list.end(), other) == list.end()) list.push_back(other);
+}
+
+void World::Builder::SetSimilarTwins(ConceptId a, ConceptId b) {
+  world_->concepts_[a.value].twin = b;
+  world_->concepts_[b.value].twin = a;
+}
+
+void World::Builder::AddPolyseme(InstanceId instance, ConceptId home,
+                                 ConceptId guest) {
+  World::Polyseme polyseme{instance, home, guest};
+  world_->polysemes_.push_back(polyseme);
+  if (guest.value >= world_->polysemes_by_guest_.size()) {
+    world_->polysemes_by_guest_.resize(guest.value + 1);
+  }
+  world_->polysemes_by_guest_[guest.value].push_back(polyseme);
+}
+
+const std::vector<World::Polyseme>& World::PolysemesIntoGuest(ConceptId c) const {
+  static const auto& kEmpty = *new std::vector<Polyseme>();
+  if (c.value >= polysemes_by_guest_.size()) return kEmpty;
+  return polysemes_by_guest_[c.value];
+}
+
+World World::Builder::Build() {
+  World out = std::move(*world_);
+  world_.reset(new World());
+  return out;
+}
+
+std::vector<std::string> PaperEvaluationConcepts() {
+  return {
+      "animal",        "asian country",     "child",
+      "chinese city",  "chinese food",      "chinese university",
+      "computer",      "computer software", "developing country",
+      "disney classic", "key u.s. export",  "money",
+      "people",        "phone",             "president",
+      "religion",      "student",           "u.s. state",
+      "weather",       "woman",
+  };
+}
+
+namespace {
+
+/// Generates pronounceable pseudo-word names so the Hearst parser has a
+/// realistic controlled vocabulary to match against.
+class NameGenerator {
+ public:
+  explicit NameGenerator(Rng* rng) : rng_(rng) {}
+
+  std::string NewWord(int min_syllables, int max_syllables) {
+    static const char* kOnsets[] = {"b", "k",  "d",  "f",  "g", "l", "m",
+                                    "n", "p",  "r",  "s",  "t", "v", "z",
+                                    "br", "kr", "dr", "st", "tr", "pl"};
+    static const char* kNuclei[] = {"a", "e", "i", "o", "u", "ai", "ou", "ea"};
+    static const char* kCodas[] = {"", "", "n", "r", "l", "s", "t", "k", "m"};
+    std::string word;
+    int syllables =
+        static_cast<int>(rng_->NextInt(min_syllables, max_syllables));
+    for (int i = 0; i < syllables; ++i) {
+      word += kOnsets[rng_->NextBounded(std::size(kOnsets))];
+      word += kNuclei[rng_->NextBounded(std::size(kNuclei))];
+      word += kCodas[rng_->NextBounded(std::size(kCodas))];
+    }
+    return word;
+  }
+
+ private:
+  Rng* rng_;
+};
+
+double ZipfWeight(size_t rank, double exponent) {
+  return 1.0 / std::pow(static_cast<double>(rank + 1), exponent);
+}
+
+}  // namespace
+
+World GenerateWorld(const WorldSpec& spec, Rng* rng) {
+  assert(spec.num_concepts >= 1);
+  World::Builder builder;
+  NameGenerator names(rng);
+
+  // Local mirrors of what the builder accumulates, so the whole world is
+  // assembled in a single pass.
+  std::vector<ConceptId> concepts;
+  std::vector<std::vector<InstanceId>> members_of;
+  std::vector<std::vector<size_t>> confusables_of;  // indices into `concepts`
+  std::vector<int> twin_of;                         // -1 when none
+  std::unordered_set<std::string> used_names(spec.named_concepts.begin(),
+                                             spec.named_concepts.end());
+  std::unordered_set<std::string> used_instance_names;
+  std::unordered_set<IsAPair, IsAPairHash> memberships;
+
+  auto new_instance_name = [&]() {
+    std::string name;
+    do {
+      name = names.NewWord(2, 4);
+    } while (!used_instance_names.insert(name).second);
+    return name;
+  };
+
+  // 1. Concepts: named evaluation concepts first, then pseudo-word names.
+  for (const std::string& name : spec.named_concepts) {
+    if (static_cast<int>(concepts.size()) == spec.num_concepts) break;
+    concepts.push_back(builder.AddConcept(name));
+  }
+  while (static_cast<int>(concepts.size()) < spec.num_concepts) {
+    std::string name = names.NewWord(2, 3);
+    if (!used_names.insert(name).second) continue;
+    concepts.push_back(builder.AddConcept(name));
+  }
+  size_t base_count = concepts.size();
+  members_of.resize(base_count);
+  confusables_of.resize(base_count);
+  twin_of.assign(base_count, -1);
+
+  auto add_membership = [&](size_t ci, InstanceId e, double weight) {
+    if (!memberships.insert(IsAPair{concepts[ci], e}).second) return false;
+    builder.AddMembership(concepts[ci], e, weight);
+    members_of[ci].push_back(e);
+    return true;
+  };
+
+  // 2. Members with Zipf popularity. Per-concept sizes are log-uniform so a
+  //    few concepts are much larger than most ("animal" vs "key u.s. export").
+  size_t named_count = spec.named_concepts.size();
+  for (size_t ci = 0; ci < base_count; ++ci) {
+    int count;
+    if (ci < named_count) {
+      // Named evaluation concepts are large ("animal" has 16k instances in
+      // the paper's Table 1) — draw from the upper half of the size range.
+      count = static_cast<int>(
+          rng->NextInt(spec.max_instances / 2, spec.max_instances));
+    } else {
+      double log_lo = std::log(static_cast<double>(spec.min_instances));
+      double log_hi = std::log(static_cast<double>(spec.max_instances));
+      count = static_cast<int>(std::exp(rng->NextDouble(log_lo, log_hi)));
+      count = std::max(count, spec.min_instances);
+    }
+    for (int i = 0; i < count; ++i) {
+      InstanceId e = builder.AddInstance(new_instance_name());
+      add_membership(ci, e, ZipfWeight(i, spec.popularity_zipf));
+    }
+  }
+
+  // 3. Highly-similar twins: a twin shares `twin_overlap` of the base
+  //    concept's members and contributes a few of its own.
+  int twin_target = static_cast<int>(spec.similar_twin_rate * spec.num_concepts);
+  for (int t = 0; t < twin_target; ++t) {
+    size_t base = rng->NextBounded(base_count);
+    if (twin_of[base] >= 0) continue;
+    std::string twin_name;
+    do {
+      twin_name = names.NewWord(2, 3);
+    } while (!used_names.insert(twin_name).second);
+    size_t twin_idx = concepts.size();
+    concepts.push_back(builder.AddConcept(twin_name));
+    members_of.emplace_back();
+    confusables_of.emplace_back();
+    twin_of.push_back(static_cast<int>(base));
+    twin_of[base] = static_cast<int>(twin_idx);
+    size_t rank = 0;
+    for (InstanceId e : members_of[base]) {
+      if (rng->NextBool(spec.twin_overlap)) {
+        add_membership(twin_idx, e, ZipfWeight(rank++, spec.popularity_zipf));
+      }
+    }
+    for (int extra = 0; extra < 3; ++extra) {
+      InstanceId e = builder.AddInstance(new_instance_name());
+      add_membership(twin_idx, e, ZipfWeight(rank++, spec.popularity_zipf));
+    }
+    builder.SetSimilarTwins(concepts[base], concepts[twin_idx]);
+  }
+
+  // 4. Confusable sets: topical co-occurrence partners, excluding twins.
+  for (size_t ci = 0; ci < concepts.size(); ++ci) {
+    int want = static_cast<int>(
+        rng->NextInt(spec.min_confusables, spec.max_confusables));
+    int guard = 0;
+    while (static_cast<int>(confusables_of[ci].size()) < want && guard++ < 200) {
+      size_t other = rng->NextBounded(concepts.size());
+      if (other == ci || twin_of[ci] == static_cast<int>(other)) continue;
+      if (std::find(confusables_of[ci].begin(), confusables_of[ci].end(), other) !=
+          confusables_of[ci].end()) {
+        continue;
+      }
+      confusables_of[ci].push_back(other);
+      confusables_of[other].push_back(ci);
+      builder.AddConfusable(concepts[ci], concepts[other]);
+      builder.AddConfusable(concepts[other], concepts[ci]);
+    }
+  }
+
+  // 5. Polysemes: popular members of a *home* concept additionally join one
+  //    confusable *guest* concept with a low popularity there (chicken:
+  //    famous animal, obscure iteration-1 food). The asymmetry is what makes
+  //    a later guest-topic sentence drift toward the home concept — the
+  //    polyseme's home pair is well-established while its guest pair (and
+  //    the guest's tail instances) are not.
+  for (size_t ci = 0; ci < base_count; ++ci) {
+    if (confusables_of[ci].empty()) continue;
+    // Popular home concepts produce most polysemes: a drift-causing word is
+    // one whose home sense is famous (chicken the animal), and concept
+    // popularity follows index order (the corpus generator's Zipf).
+    double popularity_weight =
+        1.0 / (1.0 + 4.0 * static_cast<double>(ci) / static_cast<double>(base_count));
+    // Iterate over a snapshot: add_membership mutates members_of[target].
+    std::vector<InstanceId> snapshot = members_of[ci];
+    size_t head_zone = std::max<size_t>(1, snapshot.size() / 3);
+    for (size_t rank = 0; rank < snapshot.size(); ++rank) {
+      // Popular (head-zone) members polysemize at the full rate; tail
+      // members only rarely (common words are the ambiguous ones).
+      double rate = rank < head_zone ? spec.polysemy_rate : spec.polysemy_rate / 4;
+      rate *= popularity_weight;
+      if (!rng->NextBool(rate)) continue;
+      size_t target = confusables_of[ci][rng->NextBounded(confusables_of[ci].size())];
+      // Twin-linked targets would not be mutually exclusive; skip them.
+      if (twin_of[ci] == static_cast<int>(target)) continue;
+      InstanceId e = snapshot[rank];
+      if (add_membership(target, e, rng->NextDouble(0.001, 0.02))) {
+        builder.AddPolyseme(e, concepts[ci], concepts[target]);
+      }
+    }
+  }
+
+  // 6. Verified source: a random subset of true memberships, biased toward
+  //    popular pairs (popular facts are the ones encyclopedias carry).
+  for (size_t ci = 0; ci < concepts.size(); ++ci) {
+    const auto& members = members_of[ci];
+    for (size_t i = 0; i < members.size(); ++i) {
+      double rank_fraction =
+          static_cast<double>(i) / std::max<size_t>(members.size(), 1);
+      double p = std::clamp(spec.verified_fraction * (1.5 - rank_fraction), 0.0, 1.0);
+      if (rng->NextBool(p)) builder.MarkVerified(concepts[ci], members[i]);
+    }
+  }
+
+  return builder.Build();
+}
+
+}  // namespace semdrift

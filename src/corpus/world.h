@@ -1,0 +1,211 @@
+#ifndef SEMDRIFT_CORPUS_WORLD_H_
+#define SEMDRIFT_CORPUS_WORLD_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "text/ids.h"
+#include "text/vocab.h"
+#include "util/rng.h"
+
+namespace semdrift {
+
+/// Ground-truth ontology behind the synthetic web corpus. It plays the role
+/// of "reality" that the paper's 1.6-billion-page crawl reflects: concepts
+/// with Zipf-popular member instances, *polysemous* instances that belong to
+/// two topically-related but mutually exclusive concepts (the raw material of
+/// Intentional DPs), *highly-similar twin* concepts that legitimately share
+/// most members ("nation"/"country"), and per-concept *confusable* concept
+/// sets modelling topical co-occurrence (the concepts a sentence about C is
+/// likely to also mention — the raw material of ambiguous attachments).
+///
+/// The world also designates a subset of true memberships as *verified*
+/// (standing in for Wikipedia-style evidence in Sec. 3.2.2).
+class World {
+ public:
+  /// Incremental constructor; used directly by the hand-crafted example
+  /// worlds and by GenerateWorld() for synthetic ones.
+  class Builder;
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+  World(World&&) = default;
+  World& operator=(World&&) = default;
+
+  // -- Size & naming --------------------------------------------------------
+
+  size_t num_concepts() const { return concepts_.size(); }
+  size_t num_instances() const { return instance_concepts_.size(); }
+
+  const std::string& ConceptName(ConceptId c) const {
+    return concept_vocab_.TermOf(c.value);
+  }
+  const std::string& InstanceName(InstanceId e) const {
+    return instance_vocab_.TermOf(e.value);
+  }
+
+  /// Id lookup by name; invalid id when absent.
+  ConceptId FindConcept(std::string_view name) const;
+  InstanceId FindInstance(std::string_view name) const;
+
+  /// Read access to the underlying vocabularies (the Hearst parser seeds its
+  /// open-class instance lexicon from a copy of the instance vocabulary so
+  /// its ids align with world ids).
+  const Vocab& concept_vocab() const { return concept_vocab_; }
+  const Vocab& instance_vocab() const { return instance_vocab_; }
+
+  // -- Ground truth ---------------------------------------------------------
+
+  /// True iff "e isA c" holds in reality.
+  bool IsTrueMember(ConceptId c, InstanceId e) const {
+    return membership_.count(IsAPair{c, e}) > 0;
+  }
+
+  /// True members of `c`, most popular first.
+  const std::vector<InstanceId>& Members(ConceptId c) const {
+    return concepts_[c.value].members;
+  }
+
+  /// Unnormalized popularity weight of the i-th member (parallel to
+  /// Members(); Zipf-decreasing for generated worlds).
+  const std::vector<double>& MemberWeights(ConceptId c) const {
+    return concepts_[c.value].member_weights;
+  }
+
+  /// All concepts `e` truly belongs to. Size >= 2 means `e` is polysemous.
+  const std::vector<ConceptId>& ConceptsOf(InstanceId e) const {
+    return instance_concepts_[e.value];
+  }
+
+  /// Topically confusable concepts of `c` (candidates for ambiguous
+  /// co-mention and for accidental wrong facts).
+  const std::vector<ConceptId>& Confusables(ConceptId c) const {
+    return concepts_[c.value].confusables;
+  }
+
+  /// The highly-similar twin of `c` (invalid id when none).
+  ConceptId SimilarTwin(ConceptId c) const { return concepts_[c.value].twin; }
+
+  /// Whether the pair is in the simulated verified source (Sec. 3.2.2).
+  bool IsVerified(ConceptId c, InstanceId e) const {
+    return verified_.count(IsAPair{c, e}) > 0;
+  }
+
+  /// A polysemous instance: a popular member of `home` that also (more
+  /// obscurely) belongs to `guest` — chicken with home "animal" and guest
+  /// "food" would be the paper's running example. These are the raw
+  /// material of Intentional DPs: a sentence about `guest` mentioning the
+  /// polyseme drifts its list into `home`.
+  struct Polyseme {
+    InstanceId instance;
+    ConceptId home;
+    ConceptId guest;
+  };
+
+  const std::vector<Polyseme>& polysemes() const { return polysemes_; }
+
+  /// Polysemes whose guest concept is `c` (sentences about `c` can mention
+  /// them and drift toward their home concept).
+  const std::vector<Polyseme>& PolysemesIntoGuest(ConceptId c) const;
+
+  /// Ground-truth mutual exclusion: two concepts are truly mutually
+  /// exclusive when they are distinct, not twins, and share no true member.
+  bool TrulyMutex(ConceptId a, ConceptId b) const;
+
+ private:
+  friend class Builder;
+  World() = default;
+
+  struct ConceptInfo {
+    std::vector<InstanceId> members;
+    std::vector<double> member_weights;
+    std::vector<ConceptId> confusables;
+    ConceptId twin;
+  };
+
+  Vocab concept_vocab_;
+  Vocab instance_vocab_;
+  std::vector<ConceptInfo> concepts_;
+  std::vector<std::vector<ConceptId>> instance_concepts_;
+  std::unordered_set<IsAPair, IsAPairHash> membership_;
+  std::unordered_set<IsAPair, IsAPairHash> verified_;
+  std::vector<Polyseme> polysemes_;
+  std::vector<std::vector<Polyseme>> polysemes_by_guest_;
+};
+
+class World::Builder {
+ public:
+  Builder() : world_(new World()) {}
+
+  /// Adds (or finds) a concept by name.
+  ConceptId AddConcept(std::string_view name);
+
+  /// Adds (or finds) an instance by name. Instances are global: the same
+  /// instance id may be a member of several concepts (polysemy).
+  InstanceId AddInstance(std::string_view name);
+
+  /// Declares "e isA c" with a popularity weight (relative frequency of the
+  /// pair being mentioned in text). Duplicate declarations are ignored.
+  void AddMembership(ConceptId c, InstanceId e, double weight = 1.0);
+
+  /// Marks an existing membership as present in the verified source.
+  void MarkVerified(ConceptId c, InstanceId e);
+
+  /// Declares `other` as topically confusable with `c` (one direction).
+  void AddConfusable(ConceptId c, ConceptId other);
+
+  /// Declares `a` and `b` as highly-similar twins (both directions).
+  void SetSimilarTwins(ConceptId a, ConceptId b);
+
+  /// Records a polyseme (the membership of `instance` in both concepts must
+  /// already exist or be added separately).
+  void AddPolyseme(InstanceId instance, ConceptId home, ConceptId guest);
+
+  /// Finalizes the world. The builder is left empty.
+  World Build();
+
+ private:
+  std::unique_ptr<World> world_;
+};
+
+/// Parameters of a generated world. Defaults give a mid-sized universe that
+/// drifts visibly within ten extraction iterations.
+struct WorldSpec {
+  /// Total number of concepts, including the named evaluation concepts.
+  int num_concepts = 200;
+  /// Per-concept member count is log-uniform in [min, max].
+  int min_instances = 30;
+  int max_instances = 400;
+  /// Zipf exponent of member popularity within a concept.
+  double popularity_zipf = 1.3;
+  /// Fraction of instances that additionally join one confusable concept
+  /// (polysemes; the Intentional-DP raw material).
+  double polysemy_rate = 0.3;
+  /// Fraction of concepts that get a highly-similar twin sharing most
+  /// members ("nations"/"countries").
+  double similar_twin_rate = 0.05;
+  /// Fraction of memberships shared by a twin pair.
+  double twin_overlap = 0.8;
+  /// Confusable-set size range per concept.
+  int min_confusables = 2;
+  int max_confusables = 5;
+  /// Fraction of true memberships present in the verified source.
+  double verified_fraction = 0.25;
+  /// Concept names to assign to the first concepts (e.g. the paper's 20
+  /// evaluation concepts); the remainder get generated pseudo-word names.
+  std::vector<std::string> named_concepts;
+};
+
+/// The paper's 20 manually-evaluated concepts (Table 1), usable as
+/// WorldSpec::named_concepts.
+std::vector<std::string> PaperEvaluationConcepts();
+
+/// Builds a random world from the spec. Deterministic in (*rng) state.
+World GenerateWorld(const WorldSpec& spec, Rng* rng);
+
+}  // namespace semdrift
+
+#endif  // SEMDRIFT_CORPUS_WORLD_H_

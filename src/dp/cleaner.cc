@@ -1,0 +1,142 @@
+#include "dp/cleaner.h"
+
+#include <unordered_set>
+
+#include "dp/sentence_check.h"
+#include "util/logging.h"
+
+namespace semdrift {
+
+DpCleaner::DpCleaner(const SentenceStore* sentences, VerifiedSource verified,
+                     size_t num_concepts, CleanerOptions options)
+    : sentences_(sentences),
+      verified_(std::move(verified)),
+      num_concepts_(num_concepts),
+      options_(std::move(options)) {}
+
+CleaningReport DpCleaner::Clean(KnowledgeBase* kb,
+                                const std::vector<ConceptId>& scope) const {
+  CleaningReport report;
+  report.live_pairs_before = kb->num_live_pairs();
+  std::unordered_set<IsAPair, IsAPairHash> seen_accidental;
+  std::unordered_set<IsAPair, IsAPairHash> seen_intentional;
+  std::unique_ptr<DpDetector> detector;
+
+  for (int round = 1; round <= options_.max_rounds; ++round) {
+    // Fresh views of the (possibly already partially cleaned) KB.
+    MutexIndex mutex(*kb, num_concepts_, options_.mutex);
+    ScoreCache scores(kb, options_.score_model);
+    FeatureExtractor features(kb, &mutex, &scores);
+    SeedLabeler seeds(kb, &mutex, verified_, options_.seeds);
+
+    if (options_.retrain_each_round || detector == nullptr) {
+      TrainingData data = CollectTrainingData(*kb, &features, seeds, scope);
+      auto trained = TrainDetector(options_.detector, data, options_.train);
+      if (trained != nullptr) {
+        detector = std::move(trained);
+      } else if (detector == nullptr) {
+        SD_LOG(kWarning) << "DP cleaning: no labeled seeds; nothing to do";
+        break;
+      }
+    }
+
+    // Classify every live instance in scope against this round's features.
+    struct Detection {
+      IsAPair pair;
+      DpClass type;
+    };
+    std::vector<Detection> detections;
+    for (ConceptId c : scope) {
+      for (InstanceId e : kb->LiveInstancesOf(c)) {
+        FeatureVector f = features.Extract(c, e);
+        DpClass type = detector->Classify(c, f);
+        if (type == DpClass::kAccidentalDP || type == DpClass::kIntentionalDP) {
+          detections.push_back(Detection{IsAPair{c, e}, type});
+        }
+      }
+    }
+
+    size_t rolled_this_round = 0;
+    // Eq. 21 adjudication of one record; returns rolled-back count.
+    auto adjudicate = [&](uint32_t record_id) -> size_t {
+      const ExtractionRecord& record = kb->record(record_id);
+      if (record.rolled_back) return 0;
+      const Sentence& sentence = sentences_->Get(record.sentence);
+      if (sentence.candidate_concepts.size() < 2) return 0;
+      SmoothedVote vote = SmoothedAttachmentVote(sentence, record.concept_id,
+                                                 &scores, options_.eq21_smoothing);
+      // Two arbitration views: the raw Eq. 21 argmax (paper-exact; nearly
+      // zero false positives) and the smoothed, concept-size-calibrated vote
+      // with its weak-evidence floor (Property 4). A disagreement from
+      // either rolls the record back.
+      ConceptId raw_best = BestAttachment(sentence, &scores);
+      SentenceCheckDecision decision;
+      decision.record_id = record_id;
+      decision.extracted_concept = record.concept_id;
+      decision.best_concept = vote.best;
+      decision.rolled_back =
+          vote.best != record.concept_id || raw_best != record.concept_id ||
+          vote.average_vote_for_extracted < options_.eq21_min_average_vote;
+      report.sentence_checks.push_back(decision);
+      if (!decision.rolled_back) return 0;
+      return kb->RollbackRecord(record_id, options_.cascade);
+    };
+
+    for (const Detection& detection : detections) {
+      if (!kb->Contains(detection.pair)) continue;  // Died in an earlier cascade.
+      if (detection.type == DpClass::kAccidentalDP) {
+        if (seen_accidental.insert(detection.pair).second) {
+          report.accidental_dps.push_back(detection.pair);
+        }
+        if (options_.eq21_gate_accidental) {
+          // Arbitrate every extraction the DP activated...
+          for (uint32_t record_id : kb->LiveRecordsTriggeredBy(detection.pair)) {
+            rolled_this_round += adjudicate(record_id);
+          }
+          // ...and every extraction that produced the pair. Ambiguous
+          // producers get the Eq. 21 check; an unambiguous producer is
+          // rolled back only when it is the pair's sole support (the
+          // accidental single-sentence signature, Property 3).
+          const PairStats* stats = kb->Find(detection.pair);
+          if (stats != nullptr) {
+            std::vector<uint32_t> producers = stats->producing_records;
+            for (uint32_t record_id : producers) {
+              const ExtractionRecord& record = kb->record(record_id);
+              if (record.rolled_back) continue;
+              const Sentence& sentence = sentences_->Get(record.sentence);
+              if (sentence.candidate_concepts.size() >= 2) {
+                rolled_this_round += adjudicate(record_id);
+              } else if (kb->Count(detection.pair) == 1) {
+                rolled_this_round +=
+                    kb->RollbackRecord(record_id, options_.cascade);
+              }
+            }
+          }
+        } else {
+          // The paper's unconditional treatment: drop the DP and everything
+          // it activated.
+          rolled_this_round +=
+              kb->RollbackTriggeredBy(detection.pair, options_.cascade);
+          rolled_this_round += kb->RemovePair(detection.pair, options_.cascade);
+        }
+      } else {
+        if (seen_intentional.insert(detection.pair).second) {
+          report.intentional_dps.push_back(detection.pair);
+        }
+        // Eq. 21 adjudication of every live extraction this DP triggered.
+        for (uint32_t record_id : kb->LiveRecordsTriggeredBy(detection.pair)) {
+          rolled_this_round += adjudicate(record_id);
+        }
+      }
+    }
+
+    report.rounds = round;
+    report.records_rolled_back += rolled_this_round;
+    if (rolled_this_round == 0) break;
+  }
+
+  report.live_pairs_after = kb->num_live_pairs();
+  return report;
+}
+
+}  // namespace semdrift

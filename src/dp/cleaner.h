@@ -1,0 +1,101 @@
+#ifndef SEMDRIFT_DP_CLEANER_H_
+#define SEMDRIFT_DP_CLEANER_H_
+
+#include <vector>
+
+#include "dp/detector.h"
+#include "dp/seed_labeling.h"
+#include "text/sentence.h"
+
+namespace semdrift {
+
+/// Configuration of the DP-based cleaning pipeline (Sec. 4).
+struct CleanerOptions {
+  /// Which detector the pipeline trains and applies each round.
+  DetectorKind detector = DetectorKind::kSemiSupervisedMultiTask;
+  DetectorTrainOptions train;
+  SeedLabelerConfig seeds;
+  MutexParams mutex;
+  /// Scoring model behind Eq. 21 and features f3/f4.
+  RankModel score_model = RankModel::kRandomWalk;
+  /// Cascade behaviour when pairs die (Sec. 4.2).
+  CascadePolicy cascade = CascadePolicy::kAllTriggersDead;
+  /// Cleaning repeats round after round until no DP fires (Sec. 4.2's
+  /// "one iteration after one") or this cap.
+  int max_rounds = 6;
+  /// Gate the Accidental-DP rollbacks with Eq. 21 as well: an extraction
+  /// produced by or triggered by a flagged Accidental DP is only rolled
+  /// back when the re-scored attachment disagrees (ambiguous sentences) or
+  /// when the pair rests on a single unambiguous sentence (Property 3's
+  /// "accidental" signature). Protects against detector false positives;
+  /// turning it off gives the paper's unconditional treatment (ablated in
+  /// bench_micro).
+  bool eq21_gate_accidental = true;
+  /// Laplace smoothing of the per-instance attachment votes (see
+  /// SmoothedAttachmentVote).
+  double eq21_smoothing = 0.5;
+  /// A DP-implicated extraction is also rolled back when the average
+  /// smoothed vote for its extracted concept falls below this floor — the
+  /// "supported by weak evidence" signature of Property 4. Set to 0 to
+  /// disable and use the pure argmax check.
+  double eq21_min_average_vote = 0.42;
+  /// Retrain the detector on the cleaned KB each round; turning this off
+  /// reuses the round-1 detector (ablated in bench_micro).
+  bool retrain_each_round = true;
+};
+
+/// One Eq. 21 adjudication of an extraction triggered by an Intentional DP.
+struct SentenceCheckDecision {
+  uint32_t record_id = 0;
+  ConceptId extracted_concept;
+  ConceptId best_concept;
+  bool rolled_back = false;
+};
+
+/// What a cleaning run did.
+struct CleaningReport {
+  int rounds = 0;
+  /// Pairs flagged per category, accumulated over rounds (deduplicated).
+  std::vector<IsAPair> accidental_dps;
+  std::vector<IsAPair> intentional_dps;
+  /// Every Eq. 21 adjudication performed (for the Table 5 pstc/rstc eval).
+  std::vector<SentenceCheckDecision> sentence_checks;
+  /// Total extraction records rolled back (including cascades).
+  size_t records_rolled_back = 0;
+  /// Live pairs before and after.
+  size_t live_pairs_before = 0;
+  size_t live_pairs_after = 0;
+};
+
+/// The DP-based cleaner (Sec. 4): per round it rebuilds the mutex index and
+/// the score cache from live KB state, re-labels seeds, trains the
+/// configured detector, classifies every live instance of the scoped
+/// concepts, then
+///   * for Accidental DPs: removes the pair itself and rolls back every
+///     extraction it triggered;
+///   * for Intentional DPs: re-scores each triggered sentence with Eq. 21
+///     and rolls back extractions whose concept is not the argmax;
+/// with pair deaths cascading per CleanerOptions::cascade. Rounds repeat
+/// until a round changes nothing.
+class DpCleaner {
+ public:
+  /// `sentences` provides the Eq. 21 candidate sets; `verified` feeds the
+  /// seed labeler; `num_concepts` bounds concept-id space for the index.
+  DpCleaner(const SentenceStore* sentences, VerifiedSource verified,
+            size_t num_concepts, CleanerOptions options = {});
+
+  /// Cleans `kb` in place over the given concept scope.
+  CleaningReport Clean(KnowledgeBase* kb, const std::vector<ConceptId>& scope) const;
+
+  const CleanerOptions& options() const { return options_; }
+
+ private:
+  const SentenceStore* sentences_;
+  VerifiedSource verified_;
+  size_t num_concepts_;
+  CleanerOptions options_;
+};
+
+}  // namespace semdrift
+
+#endif  // SEMDRIFT_DP_CLEANER_H_

@@ -1,0 +1,300 @@
+#include "dp/detector.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace semdrift {
+
+TrainingData CollectTrainingData(const KnowledgeBase& kb, FeatureExtractor* features,
+                                 const SeedLabeler& seeds,
+                                 const std::vector<ConceptId>& concepts) {
+  TrainingData data;
+  data.reserve(concepts.size());
+  for (ConceptId c : concepts) {
+    ConceptTrainingData entry;
+    entry.concept_id = c;
+    for (InstanceId e : kb.LiveInstancesOf(c)) {
+      entry.instances.push_back(e);
+      entry.features.push_back(features->Extract(c, e));
+      entry.seed_labels.push_back(seeds.Label(c, e));
+    }
+    if (!entry.instances.empty()) data.push_back(std::move(entry));
+  }
+  return data;
+}
+
+DpClass AdHocDetector::Classify(ConceptId /*c*/, const FeatureVector& f) const {
+  double value = f[property_];
+  bool is_dp = dp_below_ ? value < threshold_ : value > threshold_;
+  if (!is_dp) return DpClass::kNonDP;
+  return f[2] < type_threshold_ ? DpClass::kAccidentalDP : DpClass::kIntentionalDP;
+}
+
+DpClass ForestDetector::Classify(ConceptId /*c*/, const FeatureVector& f) const {
+  std::vector<double> point(f.begin(), f.end());
+  return static_cast<DpClass>(forest_.Predict(point));
+}
+
+LinearKpcaDetector::LinearKpcaDetector(KernelPca kpca,
+                                       std::vector<std::pair<uint32_t, Matrix>> w,
+                                       Matrix fallback)
+    : kpca_(std::move(kpca)), w_(std::move(w)), fallback_(std::move(fallback)) {
+  std::sort(w_.begin(), w_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+}
+
+DpClass LinearKpcaDetector::Classify(ConceptId c, const FeatureVector& f) const {
+  std::vector<double> raw(f.begin(), f.end());
+  std::vector<double> projected = kpca_.Transform(raw);
+  auto it = std::lower_bound(
+      w_.begin(), w_.end(), c.value,
+      [](const auto& entry, uint32_t value) { return entry.first < value; });
+  const Matrix& wc =
+      (it != w_.end() && it->first == c.value) ? it->second : fallback_;
+  return static_cast<DpClass>(PredictClass(wc, projected));
+}
+
+namespace {
+
+struct LabeledSample {
+  FeatureVector features;
+  DpClass label;
+};
+
+std::vector<LabeledSample> PoolLabeled(const TrainingData& data) {
+  std::vector<LabeledSample> out;
+  for (const auto& concept_data : data) {
+    for (size_t i = 0; i < concept_data.instances.size(); ++i) {
+      if (concept_data.seed_labels[i] == DpClass::kUnlabeled) continue;
+      out.push_back(LabeledSample{concept_data.features[i],
+                                  concept_data.seed_labels[i]});
+    }
+  }
+  return out;
+}
+
+/// Learns the (threshold, direction) on one feature that maximizes the F1 of
+/// binary DP detection over labeled seeds, plus the f3 threshold separating
+/// Accidental from Intentional DPs.
+std::unique_ptr<DpDetector> TrainAdHoc(int property_index,
+                                       const std::vector<LabeledSample>& labeled) {
+  std::vector<std::pair<double, bool>> samples;  // (value, is_dp)
+  samples.reserve(labeled.size());
+  size_t total_dps = 0;
+  for (const auto& sample : labeled) {
+    bool is_dp = sample.label != DpClass::kNonDP;
+    samples.emplace_back(sample.features[property_index], is_dp);
+    total_dps += is_dp ? 1 : 0;
+  }
+  if (samples.empty() || total_dps == 0 || total_dps == samples.size()) {
+    return nullptr;
+  }
+  std::sort(samples.begin(), samples.end());
+
+  // Scan all split points; evaluate both directions.
+  double best_f1 = -1.0;
+  double best_threshold = 0.0;
+  bool best_dp_below = true;
+  size_t dps_below = 0;
+  for (size_t i = 0; i + 1 < samples.size(); ++i) {
+    dps_below += samples[i].second ? 1 : 0;
+    if (samples[i].first == samples[i + 1].first) continue;
+    double threshold = 0.5 * (samples[i].first + samples[i + 1].first);
+    size_t below = i + 1;
+    // Direction "DP below threshold".
+    {
+      double tp = static_cast<double>(dps_below);
+      double fp = static_cast<double>(below) - tp;
+      double fn = static_cast<double>(total_dps) - tp;
+      double f1 = tp > 0 ? 2 * tp / (2 * tp + fp + fn) : 0.0;
+      if (f1 > best_f1) {
+        best_f1 = f1;
+        best_threshold = threshold;
+        best_dp_below = true;
+      }
+    }
+    // Direction "DP above threshold".
+    {
+      double tp = static_cast<double>(total_dps - dps_below);
+      double fp = static_cast<double>(samples.size() - below) - tp;
+      double fn = static_cast<double>(dps_below);
+      double f1 = tp > 0 ? 2 * tp / (2 * tp + fp + fn) : 0.0;
+      if (f1 > best_f1) {
+        best_f1 = f1;
+        best_threshold = threshold;
+        best_dp_below = false;
+      }
+    }
+  }
+
+  // Secondary f3 threshold: best accuracy separating Accidental (below)
+  // from Intentional (above) among labeled DPs.
+  std::vector<std::pair<double, bool>> dp_f3;  // (f3, is_accidental)
+  for (const auto& sample : labeled) {
+    if (sample.label == DpClass::kIntentionalDP) {
+      dp_f3.emplace_back(sample.features[2], false);
+    } else if (sample.label == DpClass::kAccidentalDP) {
+      dp_f3.emplace_back(sample.features[2], true);
+    }
+  }
+  std::sort(dp_f3.begin(), dp_f3.end());
+  double type_threshold = 0.0;
+  size_t total_accidental = 0;
+  for (const auto& [value, accidental] : dp_f3) {
+    (void)value;
+    total_accidental += accidental ? 1 : 0;
+  }
+  size_t best_correct = 0;
+  size_t accidental_below = 0;
+  for (size_t i = 0; i + 1 < dp_f3.size(); ++i) {
+    accidental_below += dp_f3[i].second ? 1 : 0;
+    size_t intentional_above =
+        (dp_f3.size() - i - 1) - (total_accidental - accidental_below);
+    size_t correct = accidental_below + intentional_above;
+    if (correct > best_correct) {
+      best_correct = correct;
+      type_threshold = 0.5 * (dp_f3[i].first + dp_f3[i + 1].first);
+    }
+  }
+
+  return std::make_unique<AdHocDetector>(property_index, best_threshold,
+                                         best_dp_below, type_threshold);
+}
+
+std::unique_ptr<DpDetector> TrainForest(const std::vector<LabeledSample>& labeled,
+                                        const RandomForestOptions& options) {
+  if (labeled.empty()) return nullptr;
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  x.reserve(labeled.size());
+  y.reserve(labeled.size());
+  for (const auto& sample : labeled) {
+    x.emplace_back(sample.features.begin(), sample.features.end());
+    y.push_back(static_cast<int>(sample.label));
+  }
+  RandomForest forest;
+  forest.Fit(x, y, /*num_classes=*/3, options);
+  return std::make_unique<ForestDetector>(std::move(forest));
+}
+
+std::unique_ptr<DpDetector> TrainLinearKpca(const TrainingData& data,
+                                            const DetectorTrainOptions& options,
+                                            bool multitask) {
+  Rng rng(options.seed);
+
+  // 1. Build the pooled sample: every labeled row plus a per-concept sample
+  //    of unlabeled rows (the semi-supervised ingredient).
+  std::vector<FeatureVector> pool;
+  for (const auto& concept_data : data) {
+    std::vector<size_t> unlabeled;
+    for (size_t i = 0; i < concept_data.instances.size(); ++i) {
+      if (concept_data.seed_labels[i] == DpClass::kUnlabeled) {
+        unlabeled.push_back(i);
+      } else {
+        pool.push_back(concept_data.features[i]);
+      }
+    }
+    rng.Shuffle(&unlabeled);
+    size_t take = std::min<size_t>(unlabeled.size(),
+                                   static_cast<size_t>(options.max_unlabeled_per_concept));
+    for (size_t t = 0; t < take; ++t) {
+      pool.push_back(concept_data.features[unlabeled[t]]);
+    }
+  }
+  if (pool.size() < 4) return nullptr;
+  if (pool.size() > static_cast<size_t>(options.max_pool_samples)) {
+    rng.Shuffle(&pool);
+    pool.resize(options.max_pool_samples);
+  }
+
+  Matrix pool_matrix(pool.size(), 4);
+  for (size_t i = 0; i < pool.size(); ++i) {
+    for (size_t j = 0; j < 4; ++j) pool_matrix(i, j) = pool[i][j];
+  }
+
+  // 2. Kernel PCA representation (Sec. 3.3.1).
+  KernelPca kpca;
+  if (!kpca.Fit(pool_matrix, options.kpca)) return nullptr;
+  size_t r = kpca.num_components();
+
+  // 3. Shared manifold regularizer over the pooled representation (Eq. 17).
+  Matrix pool_projected = kpca.TransformMatrix(pool_matrix);
+  Matrix a = BuildManifoldRegularizer(pool_projected, options.manifold);
+
+  // 4. One learning task per concept with labeled data.
+  std::vector<LearningTask> tasks;
+  std::vector<uint32_t> task_concepts;
+  for (const auto& concept_data : data) {
+    std::vector<size_t> labeled_rows;
+    for (size_t i = 0; i < concept_data.instances.size(); ++i) {
+      if (concept_data.seed_labels[i] != DpClass::kUnlabeled) labeled_rows.push_back(i);
+    }
+    if (labeled_rows.empty()) continue;
+    LearningTask task;
+    task.xl = Matrix(labeled_rows.size(), r);
+    task.y = Matrix(labeled_rows.size(), 3);
+    for (size_t row = 0; row < labeled_rows.size(); ++row) {
+      size_t i = labeled_rows[row];
+      std::vector<double> raw(concept_data.features[i].begin(),
+                              concept_data.features[i].end());
+      std::vector<double> projected = kpca.Transform(raw);
+      for (size_t p = 0; p < r; ++p) task.xl(row, p) = projected[p];
+      task.y(row, static_cast<size_t>(concept_data.seed_labels[i])) = 1.0;
+    }
+    tasks.push_back(std::move(task));
+    task_concepts.push_back(concept_data.concept_id.value);
+  }
+  if (tasks.empty()) return nullptr;
+
+  // 5. Train (Eq. 15 independently, or Eq. 18 / Algorithm 1 jointly).
+  std::vector<Matrix> w;
+  if (multitask) {
+    MultiTaskResult result = TrainMultiTask(tasks, a, options.multitask);
+    w = std::move(result.w);
+  } else {
+    w.reserve(tasks.size());
+    for (const auto& task : tasks) {
+      w.push_back(TrainSemiSupervised(task, a, options.multitask));
+    }
+  }
+
+  // 6. Mean classifier as the fallback for concepts without labels.
+  Matrix fallback(r, 3);
+  for (const Matrix& wc : w) fallback.AddInPlace(wc);
+  fallback.Scale(1.0 / static_cast<double>(w.size()));
+
+  std::vector<std::pair<uint32_t, Matrix>> by_concept;
+  by_concept.reserve(w.size());
+  for (size_t t = 0; t < w.size(); ++t) {
+    by_concept.emplace_back(task_concepts[t], std::move(w[t]));
+  }
+  return std::make_unique<LinearKpcaDetector>(std::move(kpca), std::move(by_concept),
+                                              std::move(fallback));
+}
+
+}  // namespace
+
+std::unique_ptr<DpDetector> TrainDetector(DetectorKind kind, const TrainingData& data,
+                                          const DetectorTrainOptions& options) {
+  std::vector<LabeledSample> labeled = PoolLabeled(data);
+  switch (kind) {
+    case DetectorKind::kAdHoc1:
+      return TrainAdHoc(0, labeled);
+    case DetectorKind::kAdHoc2:
+      return TrainAdHoc(1, labeled);
+    case DetectorKind::kAdHoc3:
+      return TrainAdHoc(2, labeled);
+    case DetectorKind::kAdHoc4:
+      return TrainAdHoc(3, labeled);
+    case DetectorKind::kSupervised:
+      return TrainForest(labeled, options.forest);
+    case DetectorKind::kSemiSupervised:
+      return TrainLinearKpca(data, options, /*multitask=*/false);
+    case DetectorKind::kSemiSupervisedMultiTask:
+      return TrainLinearKpca(data, options, /*multitask=*/true);
+  }
+  return nullptr;
+}
+
+}  // namespace semdrift

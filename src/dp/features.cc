@@ -1,0 +1,66 @@
+#include "dp/features.h"
+
+#include <cmath>
+
+namespace semdrift {
+
+double SparseCosine(const std::unordered_map<InstanceId, int>& a,
+                    const std::unordered_map<InstanceId, int>& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  const auto& small = a.size() <= b.size() ? a : b;
+  const auto& large = a.size() <= b.size() ? b : a;
+  double dot = 0.0;
+  for (const auto& [key, value] : small) {
+    auto it = large.find(key);
+    if (it != large.end()) dot += static_cast<double>(value) * it->second;
+  }
+  if (dot == 0.0) return 0.0;
+  double norm_a = 0.0;
+  for (const auto& [key, value] : a) {
+    (void)key;
+    norm_a += static_cast<double>(value) * value;
+  }
+  double norm_b = 0.0;
+  for (const auto& [key, value] : b) {
+    (void)key;
+    norm_b += static_cast<double>(value) * value;
+  }
+  return dot / (std::sqrt(norm_a) * std::sqrt(norm_b));
+}
+
+double FeatureExtractor::F1(ConceptId c, InstanceId e) const {
+  std::unordered_map<InstanceId, int> sub = kb_->SubInstancesOf(IsAPair{c, e});
+  if (sub.empty()) return 0.0;
+  std::unordered_map<InstanceId, int> core;
+  for (const auto& [instance, count] : kb_->Iter1InstancesOf(c)) {
+    core.emplace(instance, count);
+  }
+  return SparseCosine(sub, core);
+}
+
+FeatureVector FeatureExtractor::Extract(ConceptId c, InstanceId e) {
+  FeatureVector features{};
+  features[0] = F1(c, e);
+  features[1] = static_cast<double>(mutex_->F2Count(c, e));
+  // Walk scores sum to 1 within a concept, so their magnitude depends on
+  // concept size. The paper trains one detector per concept where that is
+  // harmless; our pooled KPCA representation and multi-task training share
+  // one space across concepts, so f3/f4 are rescaled to the within-concept
+  // uniform level (1.0 = the score a uniform visit distribution would give).
+  double scale = static_cast<double>(scores_->Concept(c).size());
+  if (scale <= 0.0) scale = 1.0;
+  features[2] = scores_->Get(c, e) * scale;
+  // f4: unweighted average random-walk score over distinct sub-instances.
+  std::unordered_map<InstanceId, int> sub = kb_->SubInstancesOf(IsAPair{c, e});
+  if (!sub.empty()) {
+    double total = 0.0;
+    for (const auto& [instance, count] : sub) {
+      (void)count;
+      total += scores_->Get(c, instance) * scale;
+    }
+    features[3] = total / static_cast<double>(sub.size());
+  }
+  return features;
+}
+
+}  // namespace semdrift

@@ -1,0 +1,52 @@
+#ifndef SEMDRIFT_DP_FEATURES_H_
+#define SEMDRIFT_DP_FEATURES_H_
+
+#include <array>
+#include <vector>
+
+#include "kb/knowledge_base.h"
+#include "mutex/mutex_index.h"
+#include "rank/scorers.h"
+#include "text/ids.h"
+
+namespace semdrift {
+
+/// The four DP-detection features of Sec. 3.1, one value per property:
+///   f1 — Cosine(F(sub(e)), F(E(C,1)))                  (Eq. 1)
+///   f2 — |{C' : e in E(C'), C' mutex C}|               (Eq. 2)
+///   f3 — score(e), the random-walk score               (Eq. 3)
+///   f4 — AVG(score(sub(e)))                            (Eq. 4)
+using FeatureVector = std::array<double, 4>;
+
+/// Computes feature vectors for instances of a concept. Holds borrowed
+/// views of the KB, the mutex index and a score cache; all must outlive the
+/// extractor and reflect the same KB state.
+class FeatureExtractor {
+ public:
+  FeatureExtractor(const KnowledgeBase* kb, const MutexIndex* mutex,
+                   ScoreCache* scores)
+      : kb_(kb), mutex_(mutex), scores_(scores) {}
+
+  FeatureExtractor(const FeatureExtractor&) = delete;
+  FeatureExtractor& operator=(const FeatureExtractor&) = delete;
+
+  /// Features of instance `e` under concept `c`.
+  FeatureVector Extract(ConceptId c, InstanceId e);
+
+  /// Feature f1 alone (exposed for Fig. 3(a) and tests).
+  double F1(ConceptId c, InstanceId e) const;
+
+ private:
+  const KnowledgeBase* kb_;
+  const MutexIndex* mutex_;
+  ScoreCache* scores_;
+};
+
+/// Cosine similarity between two sparse frequency distributions (instance ->
+/// count). Zero when either is empty.
+double SparseCosine(const std::unordered_map<InstanceId, int>& a,
+                    const std::unordered_map<InstanceId, int>& b);
+
+}  // namespace semdrift
+
+#endif  // SEMDRIFT_DP_FEATURES_H_

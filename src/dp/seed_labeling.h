@@ -1,0 +1,70 @@
+#ifndef SEMDRIFT_DP_SEED_LABELING_H_
+#define SEMDRIFT_DP_SEED_LABELING_H_
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "kb/knowledge_base.h"
+#include "mutex/mutex_index.h"
+#include "text/ids.h"
+
+namespace semdrift {
+
+/// The three DP-detector categories (Sec. 3.3.2's one-hot labels) plus
+/// "unlabeled" for instances the heuristic rules cannot decide.
+enum class DpClass : int {
+  kIntentionalDP = 0,
+  kAccidentalDP = 1,
+  kNonDP = 2,
+  kUnlabeled = 3,
+};
+
+/// Settings for the automatic seed labeler of Sec. 3.2.
+struct SeedLabelerConfig {
+  /// Support threshold k: pairs extracted from more than k sentences in
+  /// iteration 1 count as evidenced correct (the Fig. 5(b) sweep; the paper
+  /// settles on k = 4).
+  int frequency_threshold_k = 4;
+};
+
+/// Externally verified knowledge (the paper's Wikipedia-style source,
+/// Sec. 3.2.2). Returns true when the pair is known-correct a priori.
+using VerifiedSource = std::function<bool(const IsAPair&)>;
+
+/// Automatic training-set preparation (Sec. 3.2): evidenced correct and
+/// incorrect instances from the verified source, iteration-1 support, and
+/// the mutual-exclusion index; then RULES 1-3 label obvious Intentional
+/// DPs, Accidental DPs and non-DPs. Everything else stays kUnlabeled.
+class SeedLabeler {
+ public:
+  SeedLabeler(const KnowledgeBase* kb, const MutexIndex* mutex,
+              VerifiedSource verified, SeedLabelerConfig config = {});
+
+  /// Evidenced correct: in the verified source, or iteration-1 support > k
+  /// (Sec. 3.2.2). Checked on the pair regardless of liveness.
+  bool EvidencedCorrect(const IsAPair& pair) const;
+
+  /// Evidenced incorrect: extracted exactly once, in a later iteration, and
+  /// evidenced correct under some concept mutually exclusive with this one.
+  bool EvidencedIncorrect(const IsAPair& pair) const;
+
+  /// Applies RULES 1-3 to one (concept, instance).
+  DpClass Label(ConceptId c, InstanceId e) const;
+
+  /// Labels every live instance of `c`; returns (instance, label) including
+  /// kUnlabeled entries so callers see the full population.
+  std::vector<std::pair<InstanceId, DpClass>> LabelConcept(ConceptId c) const;
+
+  const SeedLabelerConfig& config() const { return config_; }
+
+ private:
+  const KnowledgeBase* kb_;
+  const MutexIndex* mutex_;
+  VerifiedSource verified_;
+  SeedLabelerConfig config_;
+};
+
+}  // namespace semdrift
+
+#endif  // SEMDRIFT_DP_SEED_LABELING_H_

@@ -1,0 +1,63 @@
+#include "dp/sentence_check.h"
+
+namespace semdrift {
+
+double SentenceConceptScore(const Sentence& s, ConceptId c, ScoreCache* scores) {
+  double total = 0.0;
+  for (InstanceId e : s.candidate_instances) {
+    double denominator = 0.0;
+    for (ConceptId candidate : s.candidate_concepts) {
+      denominator += scores->Get(candidate, e);
+    }
+    if (denominator <= 0.0) continue;
+    total += scores->Get(c, e) / denominator;
+  }
+  return total;
+}
+
+SmoothedVote SmoothedAttachmentVote(const Sentence& s, ConceptId extracted,
+                                    ScoreCache* scores, double alpha) {
+  SmoothedVote out;
+  std::vector<double> totals(s.candidate_concepts.size(), 0.0);
+  double extracted_total = 0.0;
+  for (InstanceId e : s.candidate_instances) {
+    double denominator = alpha;
+    std::vector<double> scaled(s.candidate_concepts.size(), 0.0);
+    for (size_t ci = 0; ci < s.candidate_concepts.size(); ++ci) {
+      ConceptId c = s.candidate_concepts[ci];
+      double n = static_cast<double>(scores->Concept(c).size());
+      scaled[ci] = scores->Get(c, e) * (n > 0 ? n : 1.0);
+      denominator += scaled[ci];
+    }
+    for (size_t ci = 0; ci < s.candidate_concepts.size(); ++ci) {
+      double vote = scaled[ci] / denominator;
+      totals[ci] += vote;
+      if (s.candidate_concepts[ci] == extracted) extracted_total += vote;
+    }
+  }
+  size_t best_index = 0;
+  for (size_t ci = 1; ci < totals.size(); ++ci) {
+    if (totals[ci] > totals[best_index]) best_index = ci;
+  }
+  out.best = s.candidate_concepts[best_index];
+  out.average_vote_for_extracted =
+      s.candidate_instances.empty()
+          ? 0.0
+          : extracted_total / static_cast<double>(s.candidate_instances.size());
+  return out;
+}
+
+ConceptId BestAttachment(const Sentence& s, ScoreCache* scores) {
+  ConceptId best = s.candidate_concepts.front();
+  double best_score = SentenceConceptScore(s, best, scores);
+  for (size_t i = 1; i < s.candidate_concepts.size(); ++i) {
+    double score = SentenceConceptScore(s, s.candidate_concepts[i], scores);
+    if (score > best_score) {
+      best_score = score;
+      best = s.candidate_concepts[i];
+    }
+  }
+  return best;
+}
+
+}  // namespace semdrift

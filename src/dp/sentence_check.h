@@ -1,0 +1,42 @@
+#ifndef SEMDRIFT_DP_SENTENCE_CHECK_H_
+#define SEMDRIFT_DP_SENTENCE_CHECK_H_
+
+#include "rank/scorers.h"
+#include "text/sentence.h"
+
+namespace semdrift {
+
+/// Eq. 21: the probabilistic score that `c` is the correct attachment for
+/// sentence `s`:
+///   Score(s, C) = sum_{e' in Es} score(C, e') / sum_{C' in Cs} score(C', e').
+/// Instances for which no candidate concept has a positive score are skipped
+/// (their ratio is undefined and carries no signal).
+double SentenceConceptScore(const Sentence& s, ConceptId c, ScoreCache* scores);
+
+/// The candidate concept with the highest Eq. 21 score. Ties and the
+/// all-zero case resolve to the *first* candidate in surface order (the
+/// head noun — the linguistically-default attachment).
+ConceptId BestAttachment(const Sentence& s, ScoreCache* scores);
+
+/// Smoothed per-instance voting used by the cleaner's adjudication. Each
+/// instance's vote for concept C is
+///     v(C, e') / (sum_{C' in Cs} v(C', e') + alpha),
+/// where v is the walk score rescaled to the concept's uniform level
+/// (1.0 = uniform visit mass) and alpha is Laplace smoothing. Unlike raw
+/// Eq. 21, an instance known *only* under C with negligible mass cannot
+/// cast a full-strength self-confirming vote; and the averaged vote is a
+/// calibrated confidence: a drifting extraction whose instances have no
+/// solid support anywhere averages near zero (Property 4).
+struct SmoothedVote {
+  /// The argmax candidate (first candidate on an all-zero tie).
+  ConceptId best;
+  /// Average vote for `concept` over the sentence's instances, in [0, 1].
+  double average_vote_for_extracted = 0.0;
+};
+
+SmoothedVote SmoothedAttachmentVote(const Sentence& s, ConceptId extracted,
+                                    ScoreCache* scores, double alpha = 0.5);
+
+}  // namespace semdrift
+
+#endif  // SEMDRIFT_DP_SENTENCE_CHECK_H_

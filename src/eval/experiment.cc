@@ -1,0 +1,69 @@
+#include "eval/experiment.h"
+
+#include <algorithm>
+
+namespace semdrift {
+
+ExperimentConfig PaperScaleConfig(double scale) {
+  ExperimentConfig config;
+  // The concept universe stays fixed while the sentence budget scales: what
+  // drives drift is the *coverage ratio* (sentences per concept member),
+  // which the paper's corpus keeps very thin (326M sentences over 13.5M
+  // concepts). Shrinking both together would saturate coverage and suppress
+  // drift.
+  config.world.num_concepts = 240;
+  config.world.named_concepts = PaperEvaluationConcepts();
+  config.corpus.num_sentences = std::max(4000, static_cast<int>(120000 * scale));
+  config.corpus.render_text = scale <= 0.3;  // Big corpora skip surface text.
+  return config;
+}
+
+Experiment::Experiment(ExperimentConfig config, World world, Corpus corpus)
+    : config_(std::move(config)), world_(std::move(world)), corpus_(std::move(corpus)) {
+  truth_ = std::make_unique<GroundTruth>(&world_);
+}
+
+std::unique_ptr<Experiment> Experiment::Build(const ExperimentConfig& config) {
+  Rng world_rng(config.seed);
+  World world = GenerateWorld(config.world, &world_rng);
+  Rng corpus_rng(config.seed ^ 0x5bd1e995ULL);
+  Corpus corpus = GenerateCorpus(world, config.corpus, &corpus_rng);
+  return std::unique_ptr<Experiment>(
+      new Experiment(config, std::move(world), std::move(corpus)));
+}
+
+KnowledgeBase Experiment::Extract(
+    std::vector<IterationStats>* stats,
+    const std::function<void(const IterationStats&, const KnowledgeBase&)>&
+        on_iteration) const {
+  KnowledgeBase kb;
+  IterativeExtractor extractor(&corpus_.sentences, config_.extractor);
+  std::vector<IterationStats> local = extractor.Run(&kb, on_iteration);
+  if (stats != nullptr) *stats = std::move(local);
+  return kb;
+}
+
+VerifiedSource Experiment::MakeVerifiedSource() const {
+  const World* world = &world_;
+  return [world](const IsAPair& pair) {
+    return world->IsVerified(pair.concept_id, pair.instance);
+  };
+}
+
+std::vector<ConceptId> Experiment::EvalConcepts() const {
+  std::vector<ConceptId> out;
+  int n = std::min<int>(config_.num_eval_concepts,
+                        static_cast<int>(world_.num_concepts()));
+  for (int i = 0; i < n; ++i) out.push_back(ConceptId(static_cast<uint32_t>(i)));
+  return out;
+}
+
+std::vector<ConceptId> Experiment::AllConcepts() const {
+  std::vector<ConceptId> out;
+  for (size_t i = 0; i < world_.num_concepts(); ++i) {
+    out.push_back(ConceptId(static_cast<uint32_t>(i)));
+  }
+  return out;
+}
+
+}  // namespace semdrift

@@ -1,0 +1,75 @@
+#ifndef SEMDRIFT_EVAL_EXPERIMENT_H_
+#define SEMDRIFT_EVAL_EXPERIMENT_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "corpus/generator.h"
+#include "corpus/world.h"
+#include "eval/ground_truth.h"
+#include "extract/extractor.h"
+#include "kb/knowledge_base.h"
+
+namespace semdrift {
+
+/// End-to-end experiment wiring: one world, one corpus, and as many fresh
+/// extractions as needed (cleaning methods mutate or consume the KB, so
+/// cross-method comparisons re-extract — extraction is deterministic).
+struct ExperimentConfig {
+  WorldSpec world;
+  CorpusSpec corpus;
+  ExtractorOptions extractor;
+  /// Master seed; world and corpus derive their streams from it.
+  uint64_t seed = 2014;
+  /// The first N concepts are the named evaluation set (Table 1's 20).
+  int num_eval_concepts = 20;
+};
+
+/// The configuration used by the paper-reproduction benches: the 20 named
+/// evaluation concepts embedded in a few-hundred-concept universe, scaled by
+/// `scale` (1.0 is the default bench size; tests pass ~0.1).
+ExperimentConfig PaperScaleConfig(double scale = 1.0);
+
+class Experiment {
+ public:
+  /// Generates the world and corpus. Heap-allocated because GroundTruth and
+  /// the corpus borrow the world.
+  static std::unique_ptr<Experiment> Build(const ExperimentConfig& config);
+
+  Experiment(const Experiment&) = delete;
+  Experiment& operator=(const Experiment&) = delete;
+
+  /// Runs the iterative extractor on a fresh KB. `on_iteration` observes
+  /// progress (used by the Fig. 5(a) bench).
+  KnowledgeBase Extract(
+      std::vector<IterationStats>* stats = nullptr,
+      const std::function<void(const IterationStats&, const KnowledgeBase&)>&
+          on_iteration = nullptr) const;
+
+  const World& world() const { return world_; }
+  const Corpus& corpus() const { return corpus_; }
+  const GroundTruth& truth() const { return *truth_; }
+  const ExperimentConfig& config() const { return config_; }
+
+  /// The simulated verified source (Sec. 3.2.2) backed by the world.
+  VerifiedSource MakeVerifiedSource() const;
+
+  /// The named evaluation concepts (first num_eval_concepts).
+  std::vector<ConceptId> EvalConcepts() const;
+
+  /// Every concept in the world.
+  std::vector<ConceptId> AllConcepts() const;
+
+ private:
+  Experiment(ExperimentConfig config, World world, Corpus corpus);
+
+  ExperimentConfig config_;
+  World world_;
+  Corpus corpus_;
+  std::unique_ptr<GroundTruth> truth_;
+};
+
+}  // namespace semdrift
+
+#endif  // SEMDRIFT_EVAL_EXPERIMENT_H_

@@ -1,0 +1,64 @@
+#include "eval/ground_truth.h"
+
+namespace semdrift {
+
+DpClass GroundTruth::DpLabelOf(const KnowledgeBase& kb, const IsAPair& pair) const {
+  // Definition 2: a Drifting Point is an instance that *introduced* drifting
+  // errors — some extraction it triggered produced an incorrect pair.
+  bool triggered_error = false;
+  for (uint32_t record_id : kb.LiveRecordsTriggeredBy(pair)) {
+    const ExtractionRecord& record = kb.record(record_id);
+    for (InstanceId produced : record.instances) {
+      if (produced == pair.instance) continue;
+      if (!PairCorrect(IsAPair{record.concept_id, produced})) {
+        triggered_error = true;
+        break;
+      }
+    }
+    if (triggered_error) break;
+  }
+  bool correct = PairCorrect(pair);
+  if (triggered_error) {
+    // Definitions 3/4: Intentional when the pair itself is correct
+    // (polyseme), Accidental when it is itself an error.
+    return correct ? DpClass::kIntentionalDP : DpClass::kAccidentalDP;
+  }
+  if (correct) return DpClass::kNonDP;
+  // A drifting error that triggered nothing: a *symptom*, not a cause. The
+  // paper's labeled sample keeps these in the correct/error pair counts but
+  // outside the DP/non-DP categories (Table 1: "animal" has 508 errors yet
+  // only 256 Accidental DPs), so detection metrics exclude them; we signal
+  // that with kUnlabeled.
+  return DpClass::kUnlabeled;
+}
+
+GroundTruth::ConceptStats GroundTruth::StatsOf(const KnowledgeBase& kb,
+                                               ConceptId c) const {
+  ConceptStats stats;
+  stats.concept_id = c;
+  for (InstanceId e : kb.LiveInstancesOf(c)) {
+    IsAPair pair{c, e};
+    ++stats.instances;
+    if (PairCorrect(pair)) {
+      ++stats.correct;
+    } else {
+      ++stats.errors;
+    }
+    switch (DpLabelOf(kb, pair)) {
+      case DpClass::kIntentionalDP:
+        ++stats.intentional_dps;
+        break;
+      case DpClass::kAccidentalDP:
+        ++stats.accidental_dps;
+        break;
+      case DpClass::kNonDP:
+        ++stats.non_dps;
+        break;
+      case DpClass::kUnlabeled:
+        break;
+    }
+  }
+  return stats;
+}
+
+}  // namespace semdrift

@@ -1,0 +1,51 @@
+#ifndef SEMDRIFT_EVAL_GROUND_TRUTH_H_
+#define SEMDRIFT_EVAL_GROUND_TRUTH_H_
+
+#include <vector>
+
+#include "corpus/world.h"
+#include "dp/seed_labeling.h"
+#include "kb/knowledge_base.h"
+#include "text/ids.h"
+
+namespace semdrift {
+
+/// Evaluation oracle: applies the paper's Definitions 1-4 with the world's
+/// perfect knowledge. This is what the authors' 1,097+ manual labels encode;
+/// ours come from the generator's ontology instead of annotators.
+class GroundTruth {
+ public:
+  explicit GroundTruth(const World* world) : world_(world) {}
+
+  /// Definition 1 complement: the pair states a true fact.
+  bool PairCorrect(const IsAPair& pair) const {
+    return world_->IsTrueMember(pair.concept_id, pair.instance);
+  }
+
+  /// Definitions 2-4 over the KB's (non-rolled-back) provenance: the
+  /// instance is a DP iff some extraction it triggered produced a drifting
+  /// error; Intentional when the pair itself is correct, Accidental when
+  /// not; otherwise non-DP. Call on the *uncleaned* KB.
+  DpClass DpLabelOf(const KnowledgeBase& kb, const IsAPair& pair) const;
+
+  /// Per-concept label statistics (the rows of Table 1).
+  struct ConceptStats {
+    ConceptId concept_id;
+    size_t instances = 0;
+    size_t correct = 0;
+    size_t errors = 0;
+    size_t intentional_dps = 0;
+    size_t accidental_dps = 0;
+    size_t non_dps = 0;
+  };
+  ConceptStats StatsOf(const KnowledgeBase& kb, ConceptId c) const;
+
+  const World* world() const { return world_; }
+
+ private:
+  const World* world_;
+};
+
+}  // namespace semdrift
+
+#endif  // SEMDRIFT_EVAL_GROUND_TRUTH_H_

@@ -1,0 +1,115 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+
+namespace semdrift {
+
+Prf Prf::FromCounts(size_t true_positives, size_t predicted_positives,
+                    size_t actual_positives) {
+  Prf out;
+  out.precision = predicted_positives > 0
+                      ? static_cast<double>(true_positives) / predicted_positives
+                      : 0.0;
+  out.recall = actual_positives > 0
+                   ? static_cast<double>(true_positives) / actual_positives
+                   : 0.0;
+  out.f1 = (out.precision + out.recall) > 0.0
+               ? 2.0 * out.precision * out.recall / (out.precision + out.recall)
+               : 0.0;
+  return out;
+}
+
+CleaningMetrics EvaluateCleaning(
+    const GroundTruth& truth, const std::vector<IsAPair>& population,
+    const std::unordered_set<IsAPair, IsAPairHash>& removed) {
+  CleaningMetrics m;
+  size_t removed_errors = 0;
+  size_t remaining_correct = 0;
+  for (const IsAPair& pair : population) {
+    bool correct = truth.PairCorrect(pair);
+    bool was_removed = removed.count(pair) > 0;
+    if (correct) {
+      ++m.total_correct;
+    } else {
+      ++m.total_errors;
+    }
+    if (was_removed) {
+      ++m.removed;
+      if (!correct) ++removed_errors;
+    } else {
+      ++m.remaining;
+      if (correct) ++remaining_correct;
+    }
+  }
+  m.perror = m.removed > 0 ? static_cast<double>(removed_errors) / m.removed : 0.0;
+  m.rerror =
+      m.total_errors > 0 ? static_cast<double>(removed_errors) / m.total_errors : 0.0;
+  m.pcorr =
+      m.remaining > 0 ? static_cast<double>(remaining_correct) / m.remaining : 0.0;
+  m.rcorr = m.total_correct > 0
+                ? static_cast<double>(remaining_correct) / m.total_correct
+                : 0.0;
+  return m;
+}
+
+std::vector<IsAPair> LivePairsOf(const KnowledgeBase& kb,
+                                 const std::vector<ConceptId>& scope) {
+  std::vector<IsAPair> out;
+  for (ConceptId c : scope) {
+    for (InstanceId e : kb.LiveInstancesOf(c)) out.push_back(IsAPair{c, e});
+  }
+  return out;
+}
+
+double LivePairPrecision(const GroundTruth& truth, const KnowledgeBase& kb,
+                         const std::vector<ConceptId>& scope) {
+  size_t total = 0;
+  size_t correct = 0;
+  for (ConceptId c : scope) {
+    for (InstanceId e : kb.LiveInstancesOf(c)) {
+      ++total;
+      if (truth.PairCorrect(IsAPair{c, e})) ++correct;
+    }
+  }
+  return total > 0 ? static_cast<double>(correct) / total : 0.0;
+}
+
+Prf DetectionPrf(const std::vector<DpClass>& predicted,
+                 const std::vector<DpClass>& actual) {
+  size_t tp = 0;
+  size_t predicted_positive = 0;
+  size_t actual_positive = 0;
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    bool pred_dp = predicted[i] == DpClass::kIntentionalDP ||
+                   predicted[i] == DpClass::kAccidentalDP;
+    bool true_dp =
+        actual[i] == DpClass::kIntentionalDP || actual[i] == DpClass::kAccidentalDP;
+    predicted_positive += pred_dp ? 1 : 0;
+    actual_positive += true_dp ? 1 : 0;
+    tp += (pred_dp && true_dp) ? 1 : 0;
+  }
+  return Prf::FromCounts(tp, predicted_positive, actual_positive);
+}
+
+double DetectionAccuracy(const std::vector<DpClass>& predicted,
+                         const std::vector<DpClass>& actual) {
+  if (predicted.empty()) return 0.0;
+  size_t hits = 0;
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    if (predicted[i] == actual[i]) ++hits;
+  }
+  return static_cast<double>(hits) / predicted.size();
+}
+
+double PrecisionAtK(const GroundTruth& truth, ConceptId c,
+                    const std::vector<InstanceId>& ranked, size_t k) {
+  size_t limit = std::min(k, ranked.size());
+  if (limit == 0) return 0.0;
+  size_t correct = 0;
+  for (size_t i = 0; i < limit; ++i) {
+    if (truth.PairCorrect(IsAPair{c, ranked[i]})) ++correct;
+  }
+  return static_cast<double>(correct) / limit;
+}
+
+}  // namespace semdrift

@@ -1,0 +1,70 @@
+#ifndef SEMDRIFT_EVAL_METRICS_H_
+#define SEMDRIFT_EVAL_METRICS_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "eval/ground_truth.h"
+#include "kb/knowledge_base.h"
+#include "text/ids.h"
+
+namespace semdrift {
+
+/// Precision / recall / F1 triple.
+struct Prf {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+
+  static Prf FromCounts(size_t true_positives, size_t predicted_positives,
+                        size_t actual_positives);
+};
+
+/// The four cleaning-quality dimensions of Table 3 / Table 5:
+///   perror — removed errors / all removed;
+///   rerror — removed errors / all errors;
+///   pcorr  — remaining correct / all remaining;
+///   rcorr  — remaining correct / all correct.
+struct CleaningMetrics {
+  double perror = 0.0;
+  double rerror = 0.0;
+  double pcorr = 0.0;
+  double rcorr = 0.0;
+  size_t removed = 0;
+  size_t remaining = 0;
+  size_t total_errors = 0;
+  size_t total_correct = 0;
+};
+
+/// Evaluates a removal set against the pre-cleaning live pair population
+/// (micro-averaged over `population`).
+CleaningMetrics EvaluateCleaning(const GroundTruth& truth,
+                                 const std::vector<IsAPair>& population,
+                                 const std::unordered_set<IsAPair, IsAPairHash>& removed);
+
+/// Live pairs of the scoped concepts (the evaluation population).
+std::vector<IsAPair> LivePairsOf(const KnowledgeBase& kb,
+                                 const std::vector<ConceptId>& scope);
+
+/// Precision of live pairs under `scope` (share of pairs stating true
+/// facts) — the y-axis of Fig. 5(a).
+double LivePairPrecision(const GroundTruth& truth, const KnowledgeBase& kb,
+                         const std::vector<ConceptId>& scope);
+
+/// Binary DP-detection precision/recall/F1: positives are DPs (either
+/// type). `predicted` and `actual` are parallel per-instance label arrays.
+Prf DetectionPrf(const std::vector<DpClass>& predicted,
+                 const std::vector<DpClass>& actual);
+
+/// Three-class accuracy over parallel label arrays.
+double DetectionAccuracy(const std::vector<DpClass>& predicted,
+                         const std::vector<DpClass>& actual);
+
+/// p@k of a ranked instance list under one concept: the fraction of the top
+/// k whose pair is correct (Table 2). `ranked` is best-first.
+double PrecisionAtK(const GroundTruth& truth, ConceptId c,
+                    const std::vector<InstanceId>& ranked, size_t k);
+
+}  // namespace semdrift
+
+#endif  // SEMDRIFT_EVAL_METRICS_H_

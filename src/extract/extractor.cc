@@ -1,0 +1,113 @@
+#include "extract/extractor.h"
+
+#include <cassert>
+
+namespace semdrift {
+
+IterativeExtractor::IterativeExtractor(const SentenceStore* corpus,
+                                       ExtractorOptions options)
+    : corpus_(corpus), options_(options), consumed_(corpus->size(), false) {}
+
+size_t IterativeExtractor::RunIteration(KnowledgeBase* kb, int iteration) {
+  assert(iteration >= 1);
+
+  if (iteration == 1) {
+    size_t extracted = 0;
+    for (const Sentence& sentence : corpus_->sentences()) {
+      if (consumed_[sentence.id.value] || !sentence.unambiguous()) continue;
+      kb->ApplyExtraction(sentence.id, sentence.candidate_concepts[0],
+                          sentence.candidate_instances, /*triggers=*/{}, iteration);
+      consumed_[sentence.id.value] = true;
+      ++extracted;
+    }
+    return extracted;
+  }
+
+  // Phase 1: decide attachments against the KB as of iteration start.
+  struct Decision {
+    SentenceId sentence;
+    ConceptId concept_id;
+    std::vector<InstanceId> triggers;
+  };
+  std::vector<Decision> decisions;
+  for (const Sentence& sentence : corpus_->sentences()) {
+    if (consumed_[sentence.id.value]) continue;
+    // A sentence is attachable when some candidate concept has evidence.
+    // Candidates are compared by a (primary, secondary) key set by the
+    // evidence policy; exact ties go to the syntactically adjacent (last)
+    // candidate when the policy allows, else the sentence waits.
+    long best_primary = 0;
+    long best_secondary = -1;
+    size_t best_index = 0;
+    std::vector<InstanceId> best_triggers;
+    bool unresolved_tie = false;
+    for (size_t ci = 0; ci < sentence.candidate_concepts.size(); ++ci) {
+      ConceptId c = sentence.candidate_concepts[ci];
+      std::vector<InstanceId> triggers;
+      long support = 0;
+      for (InstanceId e : sentence.candidate_instances) {
+        int count = kb->Count(IsAPair{c, e});
+        if (count > 0) {
+          triggers.push_back(e);
+          support += count;
+        }
+      }
+      if (triggers.empty()) continue;
+      long distinct = static_cast<long>(triggers.size());
+      long primary = options_.evidence == EvidencePolicy::kSupportSum ? support : distinct;
+      long secondary =
+          options_.evidence == EvidencePolicy::kSupportSum ? distinct : support;
+      bool better = false;
+      if (primary > best_primary) {
+        better = true;
+      } else if (primary == best_primary && best_primary > 0) {
+        if (secondary > best_secondary) {
+          better = true;
+        } else if (secondary == best_secondary) {
+          unresolved_tie = !options_.prefer_adjacent_on_tie;
+          better = options_.prefer_adjacent_on_tie;
+        }
+      }
+      if (better) {
+        best_primary = primary;
+        best_secondary = secondary;
+        best_index = ci;
+        best_triggers = std::move(triggers);
+        unresolved_tie = false;
+      }
+    }
+    if (best_primary == 0 || unresolved_tie) continue;
+    decisions.push_back(Decision{sentence.id,
+                                 sentence.candidate_concepts[best_index],
+                                 std::move(best_triggers)});
+  }
+
+  // Phase 2: apply.
+  for (Decision& decision : decisions) {
+    const Sentence& sentence = corpus_->Get(decision.sentence);
+    kb->ApplyExtraction(decision.sentence, decision.concept_id,
+                        sentence.candidate_instances, decision.triggers, iteration);
+    consumed_[decision.sentence.value] = true;
+  }
+  return decisions.size();
+}
+
+std::vector<IterationStats> IterativeExtractor::Run(
+    KnowledgeBase* kb,
+    const std::function<void(const IterationStats&, const KnowledgeBase&)>&
+        on_iteration) {
+  std::vector<IterationStats> stats;
+  for (int iteration = 1; iteration <= options_.max_iterations; ++iteration) {
+    size_t extracted = RunIteration(kb, iteration);
+    IterationStats s;
+    s.iteration = iteration;
+    s.extractions = extracted;
+    s.distinct_pairs = kb->num_live_pairs();
+    stats.push_back(s);
+    if (on_iteration) on_iteration(s, *kb);
+    if (extracted == 0 && iteration > 1) break;
+  }
+  return stats;
+}
+
+}  // namespace semdrift

@@ -1,0 +1,105 @@
+#include "extract/hearst_parser.h"
+
+#include <algorithm>
+
+#include "text/morphology.h"
+#include "text/tokenizer.h"
+
+namespace semdrift {
+
+namespace {
+
+constexpr size_t kMaxTermWords = 4;
+
+/// Joins tokens [begin, end) with single spaces.
+std::string JoinTokens(const std::vector<Token>& tokens, size_t begin, size_t end) {
+  std::string out;
+  for (size_t i = begin; i < end; ++i) {
+    if (i > begin) out += ' ';
+    out += tokens[i].text;
+  }
+  return out;
+}
+
+}  // namespace
+
+HearstParser::HearstParser(const Vocab* concept_lexicon, Vocab instance_lexicon)
+    : concept_lexicon_(concept_lexicon), instance_lexicon_(std::move(instance_lexicon)) {}
+
+std::optional<Sentence> HearstParser::Parse(std::string_view text) {
+  std::vector<Token> tokens = Tokenize(text);
+
+  // 1. Locate the "such as" anchor.
+  size_t anchor = tokens.size();
+  for (size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (tokens[i].text == "such" && tokens[i + 1].text == "as") {
+      anchor = i;
+      break;
+    }
+  }
+  if (anchor == tokens.size()) return std::nullopt;
+
+  Sentence sentence;
+
+  // 2. Candidate concepts: greedy longest pluralized match left of anchor.
+  //    Concept terms are rendered with a pluralized final word, so each match
+  //    window is singularized on its last word before lexicon lookup.
+  size_t i = 0;
+  while (i < anchor) {
+    bool matched = false;
+    size_t max_end = std::min(anchor, i + kMaxTermWords);
+    for (size_t end = max_end; end > i; --end) {
+      std::string term = JoinTokens(tokens, i, end);
+      std::string singular = Singularize(term);
+      uint32_t id = concept_lexicon_->Find(singular);
+      if (id != Vocab::kNotFound) {
+        sentence.candidate_concepts.push_back(ConceptId(id));
+        i = end;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) ++i;
+  }
+  if (sentence.candidate_concepts.empty()) return std::nullopt;
+
+  // 3. Candidate instances: the list after the anchor, items separated by
+  //    commas and/or "and"/"or". Items are interned (open class).
+  size_t pos = anchor + 2;  // Skip "such as".
+  std::vector<std::string> items;
+  std::string current;
+  auto flush_item = [&]() {
+    if (!current.empty()) {
+      items.push_back(current);
+      current.clear();
+    }
+  };
+  for (; pos < tokens.size(); ++pos) {
+    const Token& token = tokens[pos];
+    if (token.text == "and" || token.text == "or") {
+      flush_item();
+      continue;
+    }
+    if (!current.empty()) current += ' ';
+    current += token.text;
+    if (token.followed_by_comma) flush_item();
+  }
+  flush_item();
+
+  for (const std::string& item : items) {
+    uint32_t id = instance_lexicon_.Intern(item);
+    InstanceId e(id);
+    // De-duplicate repeated mentions within one list.
+    if (std::find(sentence.candidate_instances.begin(),
+                  sentence.candidate_instances.end(),
+                  e) == sentence.candidate_instances.end()) {
+      sentence.candidate_instances.push_back(e);
+    }
+  }
+  if (sentence.candidate_instances.empty()) return std::nullopt;
+
+  sentence.text = std::string(text);
+  return sentence;
+}
+
+}  // namespace semdrift

@@ -1,0 +1,43 @@
+#ifndef SEMDRIFT_EXTRACT_HEARST_PARSER_H_
+#define SEMDRIFT_EXTRACT_HEARST_PARSER_H_
+
+#include <optional>
+#include <string_view>
+
+#include "text/sentence.h"
+#include "text/vocab.h"
+
+namespace semdrift {
+
+/// Parses raw text against the Hearst "such as" pattern, producing the
+/// candidate analysis s := {Cs, Es} of Sec. 2.1.
+///
+/// Concepts are a closed class: the candidate-concept scan greedily matches
+/// the longest pluralized concept term (up to four words) to the left of the
+/// "such as" anchor, in surface order — so the *last* candidate is the one
+/// syntactically adjacent to the pattern. Instances are an open class: list
+/// items to the right of the anchor are interned into the parser's instance
+/// lexicon, so previously unseen instances get fresh ids (that is the point
+/// of extraction). Seeding the lexicon from a World's instance vocabulary
+/// keeps ids aligned with ground truth.
+class HearstParser {
+ public:
+  /// `concept_lexicon` is borrowed read-only and must outlive the parser;
+  /// `instance_lexicon` is copied and extended by parsing.
+  HearstParser(const Vocab* concept_lexicon, Vocab instance_lexicon);
+
+  /// Parses one sentence. Returns nullopt when the text does not match the
+  /// pattern (no "such as", no candidate concept, or an empty list).
+  /// The returned sentence has an unassigned id (SentenceStore assigns it).
+  std::optional<Sentence> Parse(std::string_view text);
+
+  const Vocab& instance_lexicon() const { return instance_lexicon_; }
+
+ private:
+  const Vocab* concept_lexicon_;
+  Vocab instance_lexicon_;
+};
+
+}  // namespace semdrift
+
+#endif  // SEMDRIFT_EXTRACT_HEARST_PARSER_H_

@@ -1,0 +1,212 @@
+#include "kb/knowledge_base.h"
+
+#include <cassert>
+
+namespace semdrift {
+
+namespace {
+const std::vector<InstanceId> kEmptyInstances;
+const std::vector<uint32_t> kEmptyRecords;
+}  // namespace
+
+uint32_t KnowledgeBase::ApplyExtraction(SentenceId sentence, ConceptId c,
+                                        const std::vector<InstanceId>& instances,
+                                        const std::vector<InstanceId>& triggers,
+                                        int iteration) {
+  uint32_t record_id = static_cast<uint32_t>(records_.size());
+  ExtractionRecord record;
+  record.id = record_id;
+  record.sentence = sentence;
+  record.concept_id = c;
+  record.iteration = iteration;
+  record.instances = instances;
+  record.triggers = triggers;
+  records_.push_back(std::move(record));
+
+  if (c.value >= concept_instances_.size()) {
+    concept_instances_.resize(c.value + 1);
+    concept_records_.resize(c.value + 1);
+  }
+  concept_records_[c.value].push_back(record_id);
+
+  for (InstanceId e : instances) {
+    IsAPair pair{c, e};
+    auto [it, inserted] = pairs_.emplace(pair, PairStats{});
+    PairStats& stats = it->second;
+    if (inserted) concept_instances_[c.value].push_back(e);
+    if (stats.count == 0) ++live_pairs_;
+    ++stats.count;
+    if (iteration == 1) ++stats.iter1_count;
+    if (stats.first_iteration < 0) stats.first_iteration = iteration;
+    stats.producing_records.push_back(record_id);
+  }
+  for (InstanceId t : triggers) {
+    auto it = pairs_.find(IsAPair{c, t});
+    assert(it != pairs_.end() && "trigger must already be a known pair");
+    it->second.triggered_records.push_back(record_id);
+  }
+  return record_id;
+}
+
+int KnowledgeBase::Count(const IsAPair& pair) const {
+  auto it = pairs_.find(pair);
+  return it == pairs_.end() ? 0 : it->second.count;
+}
+
+int KnowledgeBase::Iter1Count(const IsAPair& pair) const {
+  auto it = pairs_.find(pair);
+  return it == pairs_.end() ? 0 : it->second.iter1_count;
+}
+
+int KnowledgeBase::FirstIteration(const IsAPair& pair) const {
+  auto it = pairs_.find(pair);
+  return it == pairs_.end() ? -1 : it->second.first_iteration;
+}
+
+const PairStats* KnowledgeBase::Find(const IsAPair& pair) const {
+  auto it = pairs_.find(pair);
+  return it == pairs_.end() ? nullptr : &it->second;
+}
+
+const std::vector<InstanceId>& KnowledgeBase::InstancesEverOf(ConceptId c) const {
+  if (c.value >= concept_instances_.size()) return kEmptyInstances;
+  return concept_instances_[c.value];
+}
+
+std::vector<InstanceId> KnowledgeBase::LiveInstancesOf(ConceptId c) const {
+  std::vector<InstanceId> out;
+  for (InstanceId e : InstancesEverOf(c)) {
+    if (Contains(IsAPair{c, e})) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<std::pair<InstanceId, int>> KnowledgeBase::Iter1InstancesOf(
+    ConceptId c) const {
+  std::vector<std::pair<InstanceId, int>> out;
+  for (InstanceId e : InstancesEverOf(c)) {
+    IsAPair pair{c, e};
+    auto it = pairs_.find(pair);
+    if (it == pairs_.end()) continue;
+    if (it->second.count > 0 && it->second.iter1_count > 0) {
+      out.emplace_back(e, it->second.iter1_count);
+    }
+  }
+  return out;
+}
+
+const std::vector<uint32_t>& KnowledgeBase::RecordsOfConcept(ConceptId c) const {
+  if (c.value >= concept_records_.size()) return kEmptyRecords;
+  return concept_records_[c.value];
+}
+
+void KnowledgeBase::ForEachLiveRecordOfConcept(
+    ConceptId c, const std::function<void(const ExtractionRecord&)>& fn) const {
+  for (uint32_t id : RecordsOfConcept(c)) {
+    const ExtractionRecord& record = records_[id];
+    if (!record.rolled_back) fn(record);
+  }
+}
+
+std::vector<uint32_t> KnowledgeBase::LiveRecordsTriggeredBy(const IsAPair& pair) const {
+  std::vector<uint32_t> out;
+  auto it = pairs_.find(pair);
+  if (it == pairs_.end()) return out;
+  for (uint32_t id : it->second.triggered_records) {
+    if (!records_[id].rolled_back) out.push_back(id);
+  }
+  return out;
+}
+
+std::unordered_map<InstanceId, int> KnowledgeBase::SubInstancesOf(
+    const IsAPair& pair) const {
+  std::unordered_map<InstanceId, int> out;
+  for (uint32_t id : LiveRecordsTriggeredBy(pair)) {
+    for (InstanceId e : records_[id].instances) {
+      if (e == pair.instance) continue;
+      ++out[e];
+    }
+  }
+  return out;
+}
+
+bool KnowledgeBase::RollbackOne(uint32_t record_id, std::vector<IsAPair>* newly_dead) {
+  ExtractionRecord& record = records_[record_id];
+  if (record.rolled_back) return false;
+  record.rolled_back = true;
+  for (InstanceId e : record.instances) {
+    IsAPair pair{record.concept_id, e};
+    auto it = pairs_.find(pair);
+    assert(it != pairs_.end());
+    PairStats& stats = it->second;
+    assert(stats.count > 0);
+    --stats.count;
+    if (record.iteration == 1) --stats.iter1_count;
+    if (stats.count == 0) {
+      --live_pairs_;
+      newly_dead->push_back(pair);
+    }
+  }
+  return true;
+}
+
+int KnowledgeBase::CascadeDeadPairs(std::vector<IsAPair> dead, CascadePolicy policy) {
+  int rolled = 0;
+  while (!dead.empty()) {
+    IsAPair pair = dead.back();
+    dead.pop_back();
+    auto it = pairs_.find(pair);
+    if (it == pairs_.end()) continue;
+    for (uint32_t dependent_id : it->second.triggered_records) {
+      ExtractionRecord& dependent = records_[dependent_id];
+      if (dependent.rolled_back) continue;
+      bool roll = false;
+      if (policy == CascadePolicy::kAnyTriggerDead) {
+        roll = true;
+      } else {
+        // kAllTriggersDead: the record falls only when no live trigger
+        // could still have licensed it.
+        roll = true;
+        for (InstanceId t : dependent.triggers) {
+          if (Contains(IsAPair{dependent.concept_id, t})) {
+            roll = false;
+            break;
+          }
+        }
+      }
+      if (roll && RollbackOne(dependent_id, &dead)) ++rolled;
+    }
+  }
+  return rolled;
+}
+
+int KnowledgeBase::RollbackRecord(uint32_t record_id, CascadePolicy policy) {
+  std::vector<IsAPair> dead;
+  if (!RollbackOne(record_id, &dead)) return 0;
+  return 1 + CascadeDeadPairs(std::move(dead), policy);
+}
+
+int KnowledgeBase::RemovePair(const IsAPair& pair, CascadePolicy policy) {
+  auto it = pairs_.find(pair);
+  if (it == pairs_.end() || it->second.count == 0) return 0;
+  int rolled = 0;
+  std::vector<IsAPair> dead;
+  // Copy: RollbackOne does not mutate producing_records, but be defensive
+  // about iterator stability across future changes.
+  std::vector<uint32_t> producers = it->second.producing_records;
+  for (uint32_t id : producers) {
+    if (RollbackOne(id, &dead)) ++rolled;
+  }
+  return rolled + CascadeDeadPairs(std::move(dead), policy);
+}
+
+int KnowledgeBase::RollbackTriggeredBy(const IsAPair& pair, CascadePolicy policy) {
+  int rolled = 0;
+  std::vector<IsAPair> dead;
+  for (uint32_t id : LiveRecordsTriggeredBy(pair)) {
+    if (RollbackOne(id, &dead)) ++rolled;
+  }
+  return rolled + CascadeDeadPairs(std::move(dead), policy);
+}
+
+}  // namespace semdrift

@@ -1,0 +1,156 @@
+#ifndef SEMDRIFT_KB_KNOWLEDGE_BASE_H_
+#define SEMDRIFT_KB_KNOWLEDGE_BASE_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "text/ids.h"
+
+namespace semdrift {
+
+/// One extraction event: a sentence was understood under `concept`, adding
+/// support to every (concept, instance) pair in `instances`. `triggers` are
+/// the instances already known under `concept` that licensed the attachment
+/// (Sec. 2.1: "an existing instance triggers the extraction"); empty for
+/// iteration-1 (unambiguous) extractions. Records are immutable except for
+/// the rolled_back flag.
+struct ExtractionRecord {
+  uint32_t id = 0;
+  SentenceId sentence;
+  ConceptId concept_id;
+  int iteration = 0;
+  std::vector<InstanceId> instances;
+  std::vector<InstanceId> triggers;
+  bool rolled_back = false;
+};
+
+/// Support and provenance for one isA pair.
+struct PairStats {
+  /// Live support: number of non-rolled-back extraction records producing
+  /// this pair. The pair is *live* while count > 0 (Sec. 4.2).
+  int count = 0;
+  /// Support gathered in iteration 1 (the "core pair" count, Sec. 3.2.1).
+  int iter1_count = 0;
+  /// Iteration of the first extraction that produced the pair.
+  int first_iteration = -1;
+  /// Ids of records that produced this pair (rolled-back ones included;
+  /// check the record flag).
+  std::vector<uint32_t> producing_records;
+  /// Ids of records in which this pair served as a trigger.
+  std::vector<uint32_t> triggered_records;
+};
+
+/// When a pair dies (support reaches zero), which dependent extractions are
+/// rolled back in the cascade (Sec. 4.2)?
+enum class CascadePolicy {
+  /// Roll back a dependent record only when *all* of its triggers are dead
+  /// (the extraction could no longer have been licensed). Default.
+  kAllTriggersDead,
+  /// Roll back a dependent record as soon as *any* of its triggers dies
+  /// (the paper's aggressive wording; ablated in bench_micro).
+  kAnyTriggerDead,
+};
+
+/// The isA knowledge base: pair support counts, extraction provenance, the
+/// trigger graph, and the cascading rollback engine of Sec. 4.2. All
+/// mutation goes through ApplyExtraction / rollback entry points so that
+/// counts, liveness and provenance can never disagree.
+class KnowledgeBase {
+ public:
+  KnowledgeBase() = default;
+
+  KnowledgeBase(const KnowledgeBase&) = delete;
+  KnowledgeBase& operator=(const KnowledgeBase&) = delete;
+  KnowledgeBase(KnowledgeBase&&) = default;
+  KnowledgeBase& operator=(KnowledgeBase&&) = default;
+
+  // -- Ingest ---------------------------------------------------------------
+
+  /// Records one extraction event and bumps support of every produced pair.
+  /// Returns the new record id.
+  uint32_t ApplyExtraction(SentenceId sentence, ConceptId c,
+                           const std::vector<InstanceId>& instances,
+                           const std::vector<InstanceId>& triggers, int iteration);
+
+  // -- Queries --------------------------------------------------------------
+
+  /// Pair is live (support > 0).
+  bool Contains(const IsAPair& pair) const { return Count(pair) > 0; }
+
+  int Count(const IsAPair& pair) const;
+  int Iter1Count(const IsAPair& pair) const;
+  /// -1 when the pair was never extracted.
+  int FirstIteration(const IsAPair& pair) const;
+
+  /// Full stats; nullptr when the pair was never extracted.
+  const PairStats* Find(const IsAPair& pair) const;
+
+  /// Every instance ever extracted under `c` (including since-removed ones).
+  const std::vector<InstanceId>& InstancesEverOf(ConceptId c) const;
+
+  /// Instances currently live under `c`.
+  std::vector<InstanceId> LiveInstancesOf(ConceptId c) const;
+
+  /// Live instances of `c` extracted in iteration 1 — E(C, 1) of Eq. 1 —
+  /// paired with their iteration-1 support counts.
+  std::vector<std::pair<InstanceId, int>> Iter1InstancesOf(ConceptId c) const;
+
+  size_t num_live_pairs() const { return live_pairs_; }
+  size_t num_records() const { return records_.size(); }
+
+  const ExtractionRecord& record(uint32_t id) const { return records_[id]; }
+  const std::vector<ExtractionRecord>& records() const { return records_; }
+
+  /// Record ids (live and dead) under concept `c`.
+  const std::vector<uint32_t>& RecordsOfConcept(ConceptId c) const;
+
+  /// Invokes `fn` for every live record under `c`.
+  void ForEachLiveRecordOfConcept(ConceptId c,
+                                  const std::function<void(const ExtractionRecord&)>& fn) const;
+
+  /// Live records in which (c, e) served as a trigger — the extractions
+  /// "activated by" the pair; sub(e) is the union of their instances.
+  std::vector<uint32_t> LiveRecordsTriggeredBy(const IsAPair& pair) const;
+
+  /// Sub-instances of (c, e) with trigger multiplicities: how often each
+  /// instance was produced by extractions that (c, e) triggered (Sec. 2.1).
+  std::unordered_map<InstanceId, int> SubInstancesOf(const IsAPair& pair) const;
+
+  // -- Rollback (Sec. 4.2) ---------------------------------------------------
+
+  /// Rolls back one record and cascades through pair deaths per `policy`.
+  /// Returns the number of records rolled back (including this one).
+  /// Idempotent on already-rolled-back records.
+  int RollbackRecord(uint32_t record_id, CascadePolicy policy);
+
+  /// Force-removes a pair: rolls back every live record producing it, then
+  /// cascades. Returns the number of records rolled back.
+  int RemovePair(const IsAPair& pair, CascadePolicy policy);
+
+  /// Rolls back every live record in which `pair` served as a trigger (the
+  /// Accidental-DP treatment: extractions activated by the DP), then
+  /// cascades. Returns the number of records rolled back.
+  int RollbackTriggeredBy(const IsAPair& pair, CascadePolicy policy);
+
+ private:
+  /// Worklist-driven cascade starting from the given dead pairs.
+  int CascadeDeadPairs(std::vector<IsAPair> dead, CascadePolicy policy);
+
+  /// Rolls back exactly one record (no cascade); appends newly-dead pairs.
+  /// Returns false when the record was already rolled back.
+  bool RollbackOne(uint32_t record_id, std::vector<IsAPair>* newly_dead);
+
+  std::unordered_map<IsAPair, PairStats, IsAPairHash> pairs_;
+  std::vector<ExtractionRecord> records_;
+  /// Instances ever seen per concept, indexed by concept id.
+  std::vector<std::vector<InstanceId>> concept_instances_;
+  /// Record ids per concept, indexed by concept id.
+  std::vector<std::vector<uint32_t>> concept_records_;
+  size_t live_pairs_ = 0;
+};
+
+}  // namespace semdrift
+
+#endif  // SEMDRIFT_KB_KNOWLEDGE_BASE_H_

@@ -1,0 +1,19 @@
+#ifndef SEMDRIFT_ML_KNN_H_
+#define SEMDRIFT_ML_KNN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/matrix.h"
+
+namespace semdrift {
+
+/// For every row of `x`, the indices of its k nearest rows by Euclidean
+/// distance, *including the row itself first* (the paper's N_k(x~_i)
+/// "including itself", Sec. 3.3.2). Each result has min(k + 1, n) entries.
+/// Brute force O(n^2 d); adequate at the per-concept sample sizes used here.
+std::vector<std::vector<size_t>> KNearestNeighbors(const Matrix& x, int k);
+
+}  // namespace semdrift
+
+#endif  // SEMDRIFT_ML_KNN_H_

@@ -1,0 +1,360 @@
+#include "ml/matrix.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace semdrift {
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix out(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  }
+  return out;
+}
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  assert(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  // i-k-j loop order: streaming access on both inputs.
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* a_row = Row(i);
+    double* out_row = out.Row(i);
+    for (size_t k = 0; k < cols_; ++k) {
+      double a = a_row[k];
+      if (a == 0.0) continue;
+      const double* b_row = other.Row(k);
+      for (size_t j = 0; j < other.cols_; ++j) out_row[j] += a * b_row[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Add(const Matrix& other) const {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  Matrix out = *this;
+  out.AddInPlace(other);
+  return out;
+}
+
+Matrix Matrix::Sub(const Matrix& other) const {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  Matrix out = *this;
+  out.AddInPlace(other, -1.0);
+  return out;
+}
+
+void Matrix::AddInPlace(const Matrix& other, double scale) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += scale * other.data_[i];
+}
+
+void Matrix::Scale(double factor) {
+  for (double& v : data_) v *= factor;
+}
+
+void Matrix::AddDiagonal(double value) {
+  assert(rows_ == cols_);
+  for (size_t i = 0; i < rows_; ++i) (*this)(i, i) += value;
+}
+
+double Matrix::Trace() const {
+  assert(rows_ == cols_);
+  double t = 0.0;
+  for (size_t i = 0; i < rows_; ++i) t += (*this)(i, i);
+  return t;
+}
+
+double Matrix::FrobeniusNormSq() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return s;
+}
+
+double Matrix::MaxAbsDiff(const Matrix& other) const {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  double m = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    m = std::max(m, std::abs(data_[i] - other.data_[i]));
+  }
+  return m;
+}
+
+namespace {
+
+/// In-place Cholesky factorization: lower triangle of `a` becomes L with
+/// A = L L^T. Returns false when not positive definite.
+bool CholeskyFactor(Matrix* a) {
+  size_t n = a->rows();
+  for (size_t j = 0; j < n; ++j) {
+    double d = (*a)(j, j);
+    for (size_t k = 0; k < j; ++k) d -= (*a)(j, k) * (*a)(j, k);
+    if (d <= 0.0 || !std::isfinite(d)) return false;
+    double ljj = std::sqrt(d);
+    (*a)(j, j) = ljj;
+    for (size_t i = j + 1; i < n; ++i) {
+      double s = (*a)(i, j);
+      for (size_t k = 0; k < j; ++k) s -= (*a)(i, k) * (*a)(j, k);
+      (*a)(i, j) = s / ljj;
+    }
+  }
+  return true;
+}
+
+/// Solves L L^T x = b given the factor produced by CholeskyFactor.
+void CholeskyBackSolve(const Matrix& l, const double* b, double* x) {
+  size_t n = l.rows();
+  // Forward: L y = b.
+  for (size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (size_t k = 0; k < i; ++k) s -= l(i, k) * x[k];
+    x[i] = s / l(i, i);
+  }
+  // Backward: L^T x = y.
+  for (size_t ii = n; ii-- > 0;) {
+    double s = x[ii];
+    for (size_t k = ii + 1; k < n; ++k) s -= l(k, ii) * x[k];
+    x[ii] = s / l(ii, ii);
+  }
+}
+
+}  // namespace
+
+bool CholeskySolve(const Matrix& a, const std::vector<double>& b,
+                   std::vector<double>* x) {
+  assert(a.rows() == a.cols() && a.rows() == b.size());
+  Matrix l = a;
+  if (!CholeskyFactor(&l)) return false;
+  x->assign(b.size(), 0.0);
+  CholeskyBackSolve(l, b.data(), x->data());
+  return true;
+}
+
+bool CholeskySolveMatrix(const Matrix& a, const Matrix& b, Matrix* x) {
+  assert(a.rows() == a.cols() && a.rows() == b.rows());
+  Matrix l = a;
+  if (!CholeskyFactor(&l)) return false;
+  size_t n = b.rows();
+  size_t m = b.cols();
+  *x = Matrix(n, m);
+  std::vector<double> column(n), solved(n);
+  for (size_t j = 0; j < m; ++j) {
+    for (size_t i = 0; i < n; ++i) column[i] = b(i, j);
+    CholeskyBackSolve(l, column.data(), solved.data());
+    for (size_t i = 0; i < n; ++i) (*x)(i, j) = solved[i];
+  }
+  return true;
+}
+
+bool LuSolve(const Matrix& a, const std::vector<double>& b, std::vector<double>* x) {
+  assert(a.rows() == a.cols() && a.rows() == b.size());
+  size_t n = a.rows();
+  Matrix lu = a;
+  std::vector<size_t> perm(n);
+  for (size_t i = 0; i < n; ++i) perm[i] = i;
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    size_t pivot = col;
+    double best = std::abs(lu(col, col));
+    for (size_t r = col + 1; r < n; ++r) {
+      double v = std::abs(lu(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-14) return false;
+    if (pivot != col) {
+      for (size_t c = 0; c < n; ++c) std::swap(lu(col, c), lu(pivot, c));
+      std::swap(perm[col], perm[pivot]);
+    }
+    for (size_t r = col + 1; r < n; ++r) {
+      double f = lu(r, col) / lu(col, col);
+      lu(r, col) = f;
+      for (size_t c = col + 1; c < n; ++c) lu(r, c) -= f * lu(col, c);
+    }
+  }
+  // Solve with permuted b.
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) y[i] = b[perm[i]];
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t k = 0; k < i; ++k) y[i] -= lu(i, k) * y[k];
+  }
+  x->assign(n, 0.0);
+  for (size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (size_t k = ii + 1; k < n; ++k) s -= lu(ii, k) * (*x)[k];
+    (*x)[ii] = s / lu(ii, ii);
+  }
+  return true;
+}
+
+namespace {
+
+double Hypot(double a, double b) { return std::hypot(a, b); }
+
+/// Householder reduction of a symmetric matrix to tridiagonal form.
+/// On exit: d = diagonal, e = subdiagonal (e[0] unused), z = accumulated
+/// orthogonal transform (columns will become eigenvectors after QL).
+void Tridiagonalize(Matrix* z, std::vector<double>* d, std::vector<double>* e) {
+  size_t n = z->rows();
+  d->assign(n, 0.0);
+  e->assign(n, 0.0);
+  if (n == 0) return;
+  for (size_t i = n - 1; i > 0; --i) {
+    size_t l = i - 1;
+    double h = 0.0;
+    double scale = 0.0;
+    if (l > 0) {
+      for (size_t k = 0; k <= l; ++k) scale += std::abs((*z)(i, k));
+      if (scale == 0.0) {
+        (*e)[i] = (*z)(i, l);
+      } else {
+        for (size_t k = 0; k <= l; ++k) {
+          (*z)(i, k) /= scale;
+          h += (*z)(i, k) * (*z)(i, k);
+        }
+        double f = (*z)(i, l);
+        double g = f >= 0.0 ? -std::sqrt(h) : std::sqrt(h);
+        (*e)[i] = scale * g;
+        h -= f * g;
+        (*z)(i, l) = f - g;
+        f = 0.0;
+        for (size_t j = 0; j <= l; ++j) {
+          (*z)(j, i) = (*z)(i, j) / h;
+          g = 0.0;
+          for (size_t k = 0; k <= j; ++k) g += (*z)(j, k) * (*z)(i, k);
+          for (size_t k = j + 1; k <= l; ++k) g += (*z)(k, j) * (*z)(i, k);
+          (*e)[j] = g / h;
+          f += (*e)[j] * (*z)(i, j);
+        }
+        double hh = f / (h + h);
+        for (size_t j = 0; j <= l; ++j) {
+          f = (*z)(i, j);
+          (*e)[j] = g = (*e)[j] - hh * f;
+          for (size_t k = 0; k <= j; ++k) {
+            (*z)(j, k) -= f * (*e)[k] + g * (*z)(i, k);
+          }
+        }
+      }
+    } else {
+      (*e)[i] = (*z)(i, l);
+    }
+    (*d)[i] = h;
+  }
+  (*d)[0] = 0.0;
+  (*e)[0] = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    size_t l = i;  // Columns [0, i) already transformed.
+    if ((*d)[i] != 0.0) {
+      for (size_t j = 0; j < l; ++j) {
+        double g = 0.0;
+        for (size_t k = 0; k < l; ++k) g += (*z)(i, k) * (*z)(k, j);
+        for (size_t k = 0; k < l; ++k) (*z)(k, j) -= g * (*z)(k, i);
+      }
+    }
+    (*d)[i] = (*z)(i, i);
+    (*z)(i, i) = 1.0;
+    for (size_t j = 0; j < l; ++j) {
+      (*z)(j, i) = 0.0;
+      (*z)(i, j) = 0.0;
+    }
+  }
+}
+
+/// Implicit-shift QL on the tridiagonal (d, e), accumulating rotations
+/// into z's columns.
+bool TridiagonalQl(std::vector<double>* d, std::vector<double>* e, Matrix* z) {
+  size_t n = d->size();
+  if (n == 0) return true;
+  for (size_t i = 1; i < n; ++i) (*e)[i - 1] = (*e)[i];
+  (*e)[n - 1] = 0.0;
+  for (size_t l = 0; l < n; ++l) {
+    int iterations = 0;
+    size_t m;
+    do {
+      for (m = l; m + 1 < n; ++m) {
+        double dd = std::abs((*d)[m]) + std::abs((*d)[m + 1]);
+        if (std::abs((*e)[m]) <= 1e-15 * dd) break;
+      }
+      if (m != l) {
+        if (iterations++ == 50) return false;
+        double g = ((*d)[l + 1] - (*d)[l]) / (2.0 * (*e)[l]);
+        double r = Hypot(g, 1.0);
+        double sign_r = g >= 0.0 ? std::abs(r) : -std::abs(r);
+        g = (*d)[m] - (*d)[l] + (*e)[l] / (g + sign_r);
+        double s = 1.0;
+        double c = 1.0;
+        double p = 0.0;
+        bool broke_early = false;
+        for (size_t ii = m; ii-- > l;) {
+          double f = s * (*e)[ii];
+          double b = c * (*e)[ii];
+          r = Hypot(f, g);
+          (*e)[ii + 1] = r;
+          if (r == 0.0) {
+            (*d)[ii + 1] -= p;
+            (*e)[m] = 0.0;
+            broke_early = true;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = (*d)[ii + 1] - p;
+          r = ((*d)[ii] - g) * s + 2.0 * c * b;
+          p = s * r;
+          (*d)[ii + 1] = g + p;
+          g = c * r - b;
+          for (size_t k = 0; k < n; ++k) {
+            f = (*z)(k, ii + 1);
+            (*z)(k, ii + 1) = s * (*z)(k, ii) + c * f;
+            (*z)(k, ii) = c * (*z)(k, ii) - s * f;
+          }
+        }
+        if (broke_early) continue;
+        (*d)[l] -= p;
+        (*e)[l] = g;
+        (*e)[m] = 0.0;
+      }
+    } while (m != l);
+  }
+  return true;
+}
+
+}  // namespace
+
+EigenResult SymmetricEigen(const Matrix& a) {
+  assert(a.rows() == a.cols());
+  EigenResult result;
+  result.vectors = a;
+  std::vector<double> e;
+  Tridiagonalize(&result.vectors, &result.values, &e);
+  bool ok = TridiagonalQl(&result.values, &e, &result.vectors);
+  assert(ok && "QL iteration failed to converge");
+  (void)ok;
+  // Sort ascending by eigenvalue, permuting eigenvector columns.
+  size_t n = result.values.size();
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+    return result.values[x] < result.values[y];
+  });
+  std::vector<double> sorted_values(n);
+  Matrix sorted_vectors(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    sorted_values[j] = result.values[order[j]];
+    for (size_t i = 0; i < n; ++i) sorted_vectors(i, j) = result.vectors(i, order[j]);
+  }
+  result.values = std::move(sorted_values);
+  result.vectors = std::move(sorted_vectors);
+  return result;
+}
+
+}  // namespace semdrift

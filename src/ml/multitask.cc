@@ -1,0 +1,162 @@
+#include "ml/multitask.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace semdrift {
+
+namespace {
+
+/// Xl^T Xl (r x r) for a task.
+Matrix GramOfLabeled(const LearningTask& task) {
+  return task.xl.Transpose().Multiply(task.xl);
+}
+
+/// Xl^T Y (r x outputs) for a task.
+Matrix CrossOfLabeled(const LearningTask& task) {
+  return task.xl.Transpose().Multiply(task.y);
+}
+
+/// ||Xl Wc - Y||_F^2.
+double FitLoss(const LearningTask& task, const Matrix& wc) {
+  Matrix pred = task.xl.Multiply(wc);
+  return pred.Sub(task.y).FrobeniusNormSq();
+}
+
+/// Tr(Wc^T A Wc).
+double ManifoldTerm(const Matrix& a, const Matrix& wc) {
+  return wc.Transpose().Multiply(a.Multiply(wc)).Trace();
+}
+
+/// ||w_i|| for every shared-structure column i: w_i stacks row i of every
+/// task's Wc (W = [W1; ...; Wt]^T in the paper, w_i its i-th column).
+std::vector<double> SharedColumnNorms(const std::vector<Matrix>& w) {
+  size_t r = w.empty() ? 0 : w[0].rows();
+  std::vector<double> norms(r, 0.0);
+  for (const Matrix& wc : w) {
+    for (size_t i = 0; i < r; ++i) {
+      for (size_t o = 0; o < wc.cols(); ++o) norms[i] += wc(i, o) * wc(i, o);
+    }
+  }
+  for (double& v : norms) v = std::sqrt(v);
+  return norms;
+}
+
+}  // namespace
+
+Matrix TrainSemiSupervised(const LearningTask& task, const Matrix& a,
+                           const MultiTaskOptions& options) {
+  size_t r = a.rows();
+  assert(task.xl.cols() == r);
+  Matrix lhs = GramOfLabeled(task);
+  lhs.AddInPlace(a, options.lambda);
+  lhs.AddDiagonal(options.lambda * options.beta);
+  Matrix rhs = CrossOfLabeled(task);
+  Matrix wc;
+  bool ok = CholeskySolveMatrix(lhs, rhs, &wc);
+  assert(ok && "Eq. 15 system must be positive definite");
+  (void)ok;
+  return wc;
+}
+
+Matrix TrainRidge(const LearningTask& task, const MultiTaskOptions& options) {
+  Matrix lhs = GramOfLabeled(task);
+  lhs.AddDiagonal(std::max(options.lambda * options.beta, 1e-8));
+  Matrix rhs = CrossOfLabeled(task);
+  Matrix wc;
+  bool ok = CholeskySolveMatrix(lhs, rhs, &wc);
+  assert(ok);
+  (void)ok;
+  return wc;
+}
+
+double MultiTaskObjective(const std::vector<LearningTask>& tasks, const Matrix& a,
+                          const std::vector<Matrix>& w,
+                          const MultiTaskOptions& options) {
+  double objective = 0.0;
+  double frobenius = 0.0;
+  for (size_t c = 0; c < tasks.size(); ++c) {
+    objective += FitLoss(tasks[c], w[c]);
+    objective += options.lambda * ManifoldTerm(a, w[c]);
+    frobenius += w[c].FrobeniusNormSq();
+  }
+  double l21 = 0.0;
+  for (double norm : SharedColumnNorms(w)) l21 += norm;
+  objective += options.lambda * options.beta * l21;
+  objective += options.lambda * options.gamma * frobenius;
+  return objective;
+}
+
+MultiTaskResult TrainMultiTask(const std::vector<LearningTask>& tasks,
+                               const Matrix& a, const MultiTaskOptions& options) {
+  assert(!tasks.empty());
+  size_t r = a.rows();
+  size_t outputs = tasks[0].y.cols();
+
+  MultiTaskResult result;
+  Rng rng(options.seed);
+  result.w.reserve(tasks.size());
+  for (const LearningTask& task : tasks) {
+    assert(task.xl.cols() == r && task.y.cols() == outputs);
+    (void)task;
+    Matrix wc(r, outputs);
+    for (size_t i = 0; i < r; ++i) {
+      for (size_t o = 0; o < outputs; ++o) wc(i, o) = 0.01 * rng.NextGaussian();
+    }
+    result.w.push_back(std::move(wc));
+  }
+
+  // Precompute per-task constants.
+  std::vector<Matrix> grams, crosses;
+  grams.reserve(tasks.size());
+  crosses.reserve(tasks.size());
+  for (const LearningTask& task : tasks) {
+    grams.push_back(GramOfLabeled(task));
+    crosses.push_back(CrossOfLabeled(task));
+  }
+
+  double previous = MultiTaskObjective(tasks, a, result.w, options);
+  result.objective_trace.push_back(previous);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // D_ii = 1 / (2 ||w_i||), shared across tasks.
+    std::vector<double> norms = SharedColumnNorms(result.w);
+    // Wc = (Xl Xl^T + lambda A + lambda beta D + lambda gamma I)^(-1) Xl Yc
+    // (Eq. 20; our orientation uses Xl^T Xl etc., rows = samples).
+    for (size_t c = 0; c < tasks.size(); ++c) {
+      Matrix lhs = grams[c];
+      lhs.AddInPlace(a, options.lambda);
+      for (size_t i = 0; i < r; ++i) {
+        double d_ii = 1.0 / (2.0 * std::max(norms[i], options.norm_floor));
+        lhs(i, i) += options.lambda * options.beta * d_ii;
+      }
+      lhs.AddDiagonal(options.lambda * options.gamma);
+      Matrix wc;
+      bool ok = CholeskySolveMatrix(lhs, crosses[c], &wc);
+      assert(ok && "Eq. 20 system must be positive definite");
+      (void)ok;
+      result.w[c] = std::move(wc);
+    }
+    double objective = MultiTaskObjective(tasks, a, result.w, options);
+    result.objective_trace.push_back(objective);
+    if (previous - objective < options.tolerance * std::abs(previous)) break;
+    previous = objective;
+  }
+  return result;
+}
+
+int PredictClass(const Matrix& wc, const std::vector<double>& x) {
+  assert(x.size() == wc.rows());
+  int best = 0;
+  double best_score = -1e300;
+  for (size_t o = 0; o < wc.cols(); ++o) {
+    double score = 0.0;
+    for (size_t i = 0; i < wc.rows(); ++i) score += wc(i, o) * x[i];
+    if (score > best_score) {
+      best_score = score;
+      best = static_cast<int>(o);
+    }
+  }
+  return best;
+}
+
+}  // namespace semdrift

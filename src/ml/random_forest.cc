@@ -1,0 +1,191 @@
+#include "ml/random_forest.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace semdrift {
+
+namespace {
+
+double GiniFromCounts(const std::vector<int>& counts, int total) {
+  if (total == 0) return 0.0;
+  double impurity = 1.0;
+  for (int c : counts) {
+    double p = static_cast<double>(c) / total;
+    impurity -= p * p;
+  }
+  return impurity;
+}
+
+}  // namespace
+
+int32_t DecisionTree::Grow(const std::vector<std::vector<double>>& x,
+                           const std::vector<int>& y, std::vector<size_t>& indices,
+                           size_t begin, size_t end, int depth, int num_classes,
+                           const RandomForestOptions& options, Rng* rng) {
+  int32_t node_id = static_cast<int32_t>(nodes_.size());
+  nodes_.emplace_back();
+
+  std::vector<int> counts(num_classes, 0);
+  for (size_t i = begin; i < end; ++i) ++counts[y[indices[i]]];
+  int total = static_cast<int>(end - begin);
+  bool pure = std::count(counts.begin(), counts.end(), 0) >=
+              static_cast<long>(counts.size()) - 1;
+
+  if (pure || depth >= options.max_depth ||
+      total < 2 * options.min_samples_leaf) {
+    nodes_[node_id].counts = std::move(counts);
+    return node_id;
+  }
+
+  size_t d = x[0].size();
+  int features_per_split = options.features_per_split > 0
+                               ? options.features_per_split
+                               : static_cast<int>(std::ceil(std::sqrt(d)));
+
+  // Pick the best (feature, threshold) among a random feature subset.
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  double best_score = GiniFromCounts(counts, total) - 1e-12;
+  std::vector<size_t> features(d);
+  for (size_t f = 0; f < d; ++f) features[f] = f;
+  rng->Shuffle(&features);
+  features.resize(std::min<size_t>(features_per_split, d));
+
+  std::vector<std::pair<double, int>> column;  // (value, label)
+  for (size_t f : features) {
+    column.clear();
+    column.reserve(total);
+    for (size_t i = begin; i < end; ++i) {
+      column.emplace_back(x[indices[i]][f], y[indices[i]]);
+    }
+    std::sort(column.begin(), column.end());
+    std::vector<int> left_counts(num_classes, 0);
+    std::vector<int> right_counts = counts;
+    for (int i = 0; i + 1 < total; ++i) {
+      int label = column[i].second;
+      ++left_counts[label];
+      --right_counts[label];
+      if (column[i].first == column[i + 1].first) continue;
+      int left_total = i + 1;
+      int right_total = total - left_total;
+      if (left_total < options.min_samples_leaf ||
+          right_total < options.min_samples_leaf) {
+        continue;
+      }
+      double score =
+          (left_total * GiniFromCounts(left_counts, left_total) +
+           right_total * GiniFromCounts(right_counts, right_total)) /
+          total;
+      if (score < best_score) {
+        best_score = score;
+        best_feature = static_cast<int>(f);
+        best_threshold = 0.5 * (column[i].first + column[i + 1].first);
+      }
+    }
+  }
+
+  if (best_feature < 0) {
+    nodes_[node_id].counts = std::move(counts);
+    return node_id;
+  }
+
+  // Partition [begin, end) in place.
+  size_t mid = begin;
+  for (size_t i = begin; i < end; ++i) {
+    if (x[indices[i]][best_feature] <= best_threshold) {
+      std::swap(indices[i], indices[mid]);
+      ++mid;
+    }
+  }
+  if (mid == begin || mid == end) {  // Numerical edge: no real split.
+    nodes_[node_id].counts = std::move(counts);
+    return node_id;
+  }
+
+  nodes_[node_id].feature = best_feature;
+  nodes_[node_id].threshold = best_threshold;
+  int32_t left =
+      Grow(x, y, indices, begin, mid, depth + 1, num_classes, options, rng);
+  int32_t right = Grow(x, y, indices, mid, end, depth + 1, num_classes, options, rng);
+  nodes_[node_id].left = left;
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+void DecisionTree::Fit(const std::vector<std::vector<double>>& x,
+                       const std::vector<int>& y, const std::vector<size_t>& indices,
+                       int num_classes, const RandomForestOptions& options, Rng* rng) {
+  nodes_.clear();
+  std::vector<size_t> working = indices;
+  Grow(x, y, working, 0, working.size(), 0, num_classes, options, rng);
+}
+
+const std::vector<int>& DecisionTree::Leaf(const std::vector<double>& point) const {
+  int32_t node = 0;
+  for (;;) {
+    const Node& n = nodes_[node];
+    if (n.feature < 0) return n.counts;
+    node = point[n.feature] <= n.threshold ? n.left : n.right;
+  }
+}
+
+void RandomForest::Fit(const std::vector<std::vector<double>>& x,
+                       const std::vector<int>& y, int num_classes,
+                       const RandomForestOptions& options) {
+  assert(!x.empty() && x.size() == y.size());
+  num_classes_ = num_classes;
+  trees_.assign(options.num_trees, DecisionTree());
+  Rng rng(options.seed);
+  std::vector<std::vector<size_t>> by_class(num_classes);
+  if (options.balance_classes) {
+    for (size_t i = 0; i < y.size(); ++i) by_class[y[i]].push_back(i);
+  }
+  std::vector<size_t> bootstrap(x.size());
+  for (auto& tree : trees_) {
+    if (options.balance_classes) {
+      // Equal-probability class draw, then a uniform member of that class.
+      std::vector<int> present;
+      for (int k = 0; k < num_classes; ++k) {
+        if (!by_class[k].empty()) present.push_back(k);
+      }
+      for (size_t i = 0; i < x.size(); ++i) {
+        const auto& rows = by_class[present[rng.NextBounded(present.size())]];
+        bootstrap[i] = rows[rng.NextBounded(rows.size())];
+      }
+    } else {
+      for (size_t i = 0; i < x.size(); ++i) {
+        bootstrap[i] = static_cast<size_t>(rng.NextBounded(x.size()));
+      }
+    }
+    tree.Fit(x, y, bootstrap, num_classes, options, &rng);
+  }
+}
+
+std::vector<double> RandomForest::PredictProba(const std::vector<double>& point) const {
+  std::vector<double> proba(num_classes_, 0.0);
+  for (const auto& tree : trees_) {
+    const std::vector<int>& counts = tree.Leaf(point);
+    int total = 0;
+    for (int c : counts) total += c;
+    if (total == 0) continue;
+    for (int k = 0; k < num_classes_; ++k) {
+      proba[k] += static_cast<double>(counts[k]) / total;
+    }
+  }
+  double norm = 0.0;
+  for (double p : proba) norm += p;
+  if (norm > 0.0) {
+    for (double& p : proba) p /= norm;
+  }
+  return proba;
+}
+
+int RandomForest::Predict(const std::vector<double>& point) const {
+  std::vector<double> proba = PredictProba(point);
+  return static_cast<int>(std::max_element(proba.begin(), proba.end()) -
+                          proba.begin());
+}
+
+}  // namespace semdrift

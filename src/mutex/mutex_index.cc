@@ -1,0 +1,133 @@
+#include "mutex/mutex_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace semdrift {
+
+namespace {
+const std::vector<ConceptId> kNoConcepts;
+}  // namespace
+
+MutexIndex::MutexIndex(const KnowledgeBase& kb, size_t num_concepts,
+                       MutexParams params)
+    : params_(params) {
+  core_norms_.assign(num_concepts, 0.0);
+  similar_.resize(num_concepts);
+
+  // Core vectors (iteration-1 frequency) + an inverted index over shared
+  // core instances for sparse pairwise dot products.
+  struct Posting {
+    uint32_t concept_id;
+    double weight;
+  };
+  std::unordered_map<InstanceId, std::vector<Posting>> inverted;
+  std::vector<int> core_sizes(num_concepts, 0);
+  for (size_t ci = 0; ci < num_concepts; ++ci) {
+    ConceptId c(static_cast<uint32_t>(ci));
+    double norm_sq = 0.0;
+    int size = 0;
+    for (const auto& [e, count] : kb.Iter1InstancesOf(c)) {
+      double w = static_cast<double>(count);
+      norm_sq += w * w;
+      ++size;
+      inverted[e].push_back(Posting{c.value, w});
+    }
+    core_sizes[ci] = size;
+    if (size >= params_.min_core_instances) {
+      core_norms_[ci] = std::sqrt(norm_sq);
+    }
+  }
+
+  // Sparse pairwise dot products over co-occurring core instances.
+  std::unordered_map<uint64_t, double> dots;
+  for (const auto& [e, postings] : inverted) {
+    if (postings.size() < 2) continue;
+    for (size_t i = 0; i < postings.size(); ++i) {
+      for (size_t j = i + 1; j < postings.size(); ++j) {
+        uint64_t key = PairKey(ConceptId(postings[i].concept_id),
+                               ConceptId(postings[j].concept_id));
+        dots[key] += postings[i].weight * postings[j].weight;
+      }
+    }
+  }
+  for (const auto& [key, dot] : dots) {
+    uint32_t a = static_cast<uint32_t>(key >> 32);
+    uint32_t b = static_cast<uint32_t>(key & 0xffffffffu);
+    if (core_norms_[a] <= 0.0 || core_norms_[b] <= 0.0) continue;
+    double sim = dot / (core_norms_[a] * core_norms_[b]);
+    sims_.emplace(key, sim);
+    if (sim > params_.similar_threshold) {
+      similar_[a].push_back(ConceptId(b));
+      similar_[b].push_back(ConceptId(a));
+    }
+  }
+
+  // Live containment index for f2.
+  for (size_t ci = 0; ci < num_concepts; ++ci) {
+    ConceptId c(static_cast<uint32_t>(ci));
+    for (InstanceId e : kb.InstancesEverOf(c)) {
+      if (kb.Contains(IsAPair{c, e})) containing_[e].push_back(c);
+    }
+  }
+}
+
+double MutexIndex::Sim(ConceptId a, ConceptId b) const {
+  if (a == b) return 1.0;
+  auto it = sims_.find(PairKey(a, b));
+  return it == sims_.end() ? 0.0 : it->second;
+}
+
+bool MutexIndex::Usable(ConceptId c) const {
+  return c.value < core_norms_.size() && core_norms_[c.value] > 0.0;
+}
+
+double MutexIndex::EffectiveSim(ConceptId a, ConceptId b) const {
+  double best = Sim(a, b);
+  for (ConceptId a2 : similar_[a.value]) best = std::max(best, Sim(a2, b));
+  for (ConceptId b2 : similar_[b.value]) best = std::max(best, Sim(a, b2));
+  return best;
+}
+
+bool MutexIndex::IsMutex(ConceptId a, ConceptId b) const {
+  if (a == b) return false;
+  if (!Usable(a) || !Usable(b)) return false;
+  return EffectiveSim(a, b) < params_.mutex_threshold;
+}
+
+bool MutexIndex::HighlySimilar(ConceptId a, ConceptId b) const {
+  if (a == b) return true;
+  return Sim(a, b) > params_.similar_threshold;
+}
+
+const std::vector<ConceptId>& MutexIndex::SimilarConcepts(ConceptId c) const {
+  if (c.value >= similar_.size()) return kNoConcepts;
+  return similar_[c.value];
+}
+
+const std::vector<ConceptId>& MutexIndex::ConceptsContaining(InstanceId e) const {
+  auto it = containing_.find(e);
+  return it == containing_.end() ? kNoConcepts : it->second;
+}
+
+int MutexIndex::F2Count(ConceptId c, InstanceId e) const {
+  int count = 0;
+  for (ConceptId other : ConceptsContaining(e)) {
+    if (other == c) continue;
+    if (IsMutex(c, other)) ++count;
+  }
+  return count;
+}
+
+std::vector<double> MutexIndex::NonZeroSimilarities() const {
+  std::vector<double> out;
+  out.reserve(sims_.size());
+  for (const auto& [key, sim] : sims_) {
+    (void)key;
+    out.push_back(sim);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace semdrift

@@ -1,0 +1,93 @@
+#ifndef SEMDRIFT_MUTEX_MUTEX_INDEX_H_
+#define SEMDRIFT_MUTEX_MUTEX_INDEX_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "kb/knowledge_base.h"
+#include "text/ids.h"
+
+namespace semdrift {
+
+/// Thresholds for the concept-relatedness bands of Sec. 3.2.1 / Fig. 4.
+/// The paper's absolute values (<1e-4 mutually exclusive, >0.1 highly
+/// similar over ~90M pairs) are corpus-scale-dependent; these defaults fit
+/// the synthetic corpus and both are sweepable (the Fig. 4 bench prints the
+/// observed similarity distribution so the bands are visible).
+struct MutexParams {
+  /// Sim below this: mutually exclusive.
+  double mutex_threshold = 0.15;
+  /// Sim above this: highly similar ("nations"/"countries"); similarity
+  /// closures propagate mutual exclusion (Sec. 3.2.1).
+  double similar_threshold = 0.5;
+  /// Concepts with fewer live core instances than this are too small for a
+  /// reliable similarity estimate and never participate in mutex labeling.
+  int min_core_instances = 3;
+};
+
+/// Computes Eq. 5 concept-to-concept similarity over *core pairs* (the
+/// iteration-1 extractions) and serves the derived relations:
+///
+///  * Sim(C1, C2)  — cosine between iteration-1 frequency vectors;
+///  * IsMutex      — effective similarity (max over highly-similar
+///                   closures) below mutex_threshold;
+///  * HighlySimilar— similarity above similar_threshold;
+///  * F2Count      — |{C' : e in E(C'), C' mutex C}|, the paper's feature
+///                   f2 (Eq. 2), counted over *live* instances.
+///
+/// Construction cost is near-linear in KB size: only concept pairs sharing
+/// at least one core instance have nonzero similarity; everything else is
+/// mutually exclusive by default.
+class MutexIndex {
+ public:
+  /// Builds from the KB's current live state. The index is a snapshot:
+  /// rebuild after rollbacks if fresh values are needed.
+  MutexIndex(const KnowledgeBase& kb, size_t num_concepts, MutexParams params = {});
+
+  /// Eq. 5 core-pair cosine similarity; 0 when disjoint.
+  double Sim(ConceptId a, ConceptId b) const;
+
+  /// Both concepts usable and effective similarity < mutex_threshold.
+  bool IsMutex(ConceptId a, ConceptId b) const;
+
+  bool HighlySimilar(ConceptId a, ConceptId b) const;
+
+  /// Highly-similar partners of `c`.
+  const std::vector<ConceptId>& SimilarConcepts(ConceptId c) const;
+
+  /// Feature f2 (Eq. 2): number of concepts mutually exclusive with `c`
+  /// that currently hold `e` as a live instance.
+  int F2Count(ConceptId c, InstanceId e) const;
+
+  /// Concepts holding `e` live (restricted to usable concepts).
+  const std::vector<ConceptId>& ConceptsContaining(InstanceId e) const;
+
+  /// Whether `c` has enough core instances to participate.
+  bool Usable(ConceptId c) const;
+
+  /// All nonzero pairwise similarities (for the Fig. 4 distribution).
+  std::vector<double> NonZeroSimilarities() const;
+
+  const MutexParams& params() const { return params_; }
+  size_t num_concepts() const { return core_norms_.size(); }
+
+ private:
+  /// Max similarity over the highly-similar closures of both sides.
+  double EffectiveSim(ConceptId a, ConceptId b) const;
+
+  static uint64_t PairKey(ConceptId a, ConceptId b) {
+    uint32_t lo = a.value < b.value ? a.value : b.value;
+    uint32_t hi = a.value < b.value ? b.value : a.value;
+    return (static_cast<uint64_t>(lo) << 32) | hi;
+  }
+
+  MutexParams params_;
+  std::vector<double> core_norms_;                 // Per concept; 0 = unusable.
+  std::unordered_map<uint64_t, double> sims_;      // Nonzero pairs only.
+  std::vector<std::vector<ConceptId>> similar_;    // Highly-similar closure.
+  std::unordered_map<InstanceId, std::vector<ConceptId>> containing_;
+};
+
+}  // namespace semdrift
+
+#endif  // SEMDRIFT_MUTEX_MUTEX_INDEX_H_

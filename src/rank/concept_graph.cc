@@ -1,0 +1,54 @@
+#include "rank/concept_graph.h"
+
+#include <algorithm>
+
+namespace semdrift {
+
+ConceptGraph ConceptGraph::Build(const KnowledgeBase& kb, ConceptId c) {
+  ConceptGraph graph;
+  // Nodes: live instances.
+  for (InstanceId e : kb.InstancesEverOf(c)) {
+    IsAPair pair{c, e};
+    int count = kb.Count(pair);
+    if (count <= 0) continue;
+    graph.index_.emplace(e, graph.nodes_.size());
+    graph.nodes_.push_back(e);
+    graph.node_counts_.push_back(static_cast<double>(count));
+    graph.root_weights_.push_back(static_cast<double>(kb.Iter1Count(pair)));
+  }
+  graph.out_edges_.resize(graph.nodes_.size());
+
+  // Edges: trigger -> produced instance per live record, accumulated.
+  std::unordered_map<uint64_t, double> edge_weights;
+  kb.ForEachLiveRecordOfConcept(c, [&](const ExtractionRecord& record) {
+    for (InstanceId t : record.triggers) {
+      auto ti = graph.index_.find(t);
+      if (ti == graph.index_.end()) continue;
+      for (InstanceId e : record.instances) {
+        if (e == t) continue;
+        auto ei = graph.index_.find(e);
+        if (ei == graph.index_.end()) continue;
+        uint64_t key = (static_cast<uint64_t>(ti->second) << 32) |
+                       static_cast<uint64_t>(ei->second);
+        edge_weights[key] += 1.0;
+      }
+    }
+  });
+  for (const auto& [key, weight] : edge_weights) {
+    uint32_t from = static_cast<uint32_t>(key >> 32);
+    uint32_t to = static_cast<uint32_t>(key & 0xffffffffu);
+    graph.out_edges_[from].emplace_back(to, weight);
+  }
+  // Deterministic order for reproducible walks.
+  for (auto& edges : graph.out_edges_) {
+    std::sort(edges.begin(), edges.end());
+  }
+  return graph;
+}
+
+size_t ConceptGraph::IndexOf(InstanceId e) const {
+  auto it = index_.find(e);
+  return it == index_.end() ? static_cast<size_t>(-1) : it->second;
+}
+
+}  // namespace semdrift

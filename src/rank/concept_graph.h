@@ -1,0 +1,51 @@
+#ifndef SEMDRIFT_RANK_CONCEPT_GRAPH_H_
+#define SEMDRIFT_RANK_CONCEPT_GRAPH_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "kb/knowledge_base.h"
+#include "text/ids.h"
+
+namespace semdrift {
+
+/// Per-concept instance graph (Sec. 3.1, feature 3): one node per live
+/// instance of the concept, one weighted directed edge from a trigger
+/// instance to each sub-instance it licensed (weight = number of live
+/// extraction records realizing the edge). Iteration-1 instances are the
+/// graph's *roots*, weighted by their iteration-1 support — the restart
+/// distribution of the random walk.
+class ConceptGraph {
+ public:
+  /// Builds the graph for `c` from the KB's live records.
+  static ConceptGraph Build(const KnowledgeBase& kb, ConceptId c);
+
+  size_t num_nodes() const { return nodes_.size(); }
+
+  InstanceId node(size_t index) const { return nodes_[index]; }
+
+  /// Node index of an instance; SIZE_MAX when absent.
+  size_t IndexOf(InstanceId e) const;
+
+  /// Weighted out-edges of a node: (target index, weight).
+  const std::vector<std::pair<uint32_t, double>>& OutEdges(size_t index) const {
+    return out_edges_[index];
+  }
+
+  /// Restart weights, indexed by node; zero for non-root nodes.
+  const std::vector<double>& root_weights() const { return root_weights_; }
+
+  /// Live pair support per node (the Frequency model's raw score).
+  const std::vector<double>& node_counts() const { return node_counts_; }
+
+ private:
+  std::vector<InstanceId> nodes_;
+  std::unordered_map<InstanceId, size_t> index_;
+  std::vector<std::vector<std::pair<uint32_t, double>>> out_edges_;
+  std::vector<double> root_weights_;
+  std::vector<double> node_counts_;
+};
+
+}  // namespace semdrift
+
+#endif  // SEMDRIFT_RANK_CONCEPT_GRAPH_H_

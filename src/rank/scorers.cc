@@ -1,0 +1,140 @@
+#include "rank/scorers.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace semdrift {
+
+namespace {
+
+/// Normalizes `v` to sum to 1 in place (no-op on an all-zero vector).
+void NormalizeL1(std::vector<double>* v) {
+  double total = std::accumulate(v->begin(), v->end(), 0.0);
+  if (total <= 0.0) return;
+  for (double& x : *v) x /= total;
+}
+
+std::vector<double> FrequencyScores(const ConceptGraph& graph) {
+  std::vector<double> scores = graph.node_counts();
+  NormalizeL1(&scores);
+  return scores;
+}
+
+/// Power iteration for a teleporting walk. `restart` must be L1-normalized;
+/// `out_edges` are row-stochasticized on the fly; dangling mass teleports.
+std::vector<double> TeleportingWalk(
+    const std::vector<std::vector<std::pair<uint32_t, double>>>& out_edges,
+    const std::vector<double>& restart, const WalkParams& params) {
+  size_t n = out_edges.size();
+  std::vector<double> out_degree(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (const auto& [to, w] : out_edges[i]) {
+      (void)to;
+      out_degree[i] += w;
+    }
+  }
+  std::vector<double> p = restart;
+  std::vector<double> next(n, 0.0);
+  for (int iter = 0; iter < params.max_iterations; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    double dangling = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (p[i] == 0.0) continue;
+      if (out_degree[i] <= 0.0) {
+        dangling += p[i];
+        continue;
+      }
+      double share = p[i] / out_degree[i];
+      for (const auto& [to, w] : out_edges[i]) {
+        next[to] += share * w;
+      }
+    }
+    double l1 = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double value = (1.0 - params.teleport) * (next[i] + dangling * restart[i]) +
+                     params.teleport * restart[i];
+      l1 += std::abs(value - p[i]);
+      next[i] = value;
+    }
+    p.swap(next);
+    if (l1 < params.tolerance) break;
+  }
+  return p;
+}
+
+std::vector<double> RandomWalkScores(const ConceptGraph& graph,
+                                     const WalkParams& params) {
+  std::vector<double> restart = graph.root_weights();
+  double total = std::accumulate(restart.begin(), restart.end(), 0.0);
+  if (total <= 0.0) {
+    // Degenerate concept with no iteration-1 roots: restart uniformly.
+    restart.assign(graph.num_nodes(), graph.num_nodes() ? 1.0 / graph.num_nodes() : 0.0);
+  } else {
+    for (double& w : restart) w /= total;
+  }
+  return TeleportingWalk(
+      [&graph] {
+        std::vector<std::vector<std::pair<uint32_t, double>>> edges;
+        edges.reserve(graph.num_nodes());
+        for (size_t i = 0; i < graph.num_nodes(); ++i) edges.push_back(graph.OutEdges(i));
+        return edges;
+      }(),
+      restart, params);
+}
+
+std::vector<double> PageRankScores(const ConceptGraph& graph,
+                                   const WalkParams& params) {
+  size_t n = graph.num_nodes();
+  // Undirected: symmetrize the edge set (the paper's PageRank baseline uses
+  // the same graph with undirected edges and uniform teleportation).
+  std::vector<std::vector<std::pair<uint32_t, double>>> edges(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (const auto& [to, w] : graph.OutEdges(i)) {
+      edges[i].emplace_back(to, w);
+      edges[to].emplace_back(static_cast<uint32_t>(i), w);
+    }
+  }
+  std::vector<double> restart(n, n ? 1.0 / n : 0.0);
+  return TeleportingWalk(edges, restart, params);
+}
+
+}  // namespace
+
+std::vector<double> ScoreGraph(const ConceptGraph& graph, RankModel model,
+                               const WalkParams& params) {
+  switch (model) {
+    case RankModel::kFrequency:
+      return FrequencyScores(graph);
+    case RankModel::kPageRank:
+      return PageRankScores(graph, params);
+    case RankModel::kRandomWalk:
+      return RandomWalkScores(graph, params);
+  }
+  return {};
+}
+
+std::unordered_map<InstanceId, double> ScoreConcept(const KnowledgeBase& kb,
+                                                    ConceptId c, RankModel model,
+                                                    const WalkParams& params) {
+  ConceptGraph graph = ConceptGraph::Build(kb, c);
+  std::vector<double> scores = ScoreGraph(graph, model, params);
+  std::unordered_map<InstanceId, double> out;
+  out.reserve(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) out.emplace(graph.node(i), scores[i]);
+  return out;
+}
+
+double ScoreCache::Get(ConceptId c, InstanceId e) {
+  const auto& scores = Concept(c);
+  auto it = scores.find(e);
+  return it == scores.end() ? 0.0 : it->second;
+}
+
+const std::unordered_map<InstanceId, double>& ScoreCache::Concept(ConceptId c) {
+  auto it = cache_.find(c.value);
+  if (it != cache_.end()) return it->second;
+  auto [inserted, _] = cache_.emplace(c.value, ScoreConcept(*kb_, c, model_, params_));
+  return inserted->second;
+}
+
+}  // namespace semdrift

@@ -1,0 +1,74 @@
+#ifndef SEMDRIFT_RANK_SCORERS_H_
+#define SEMDRIFT_RANK_SCORERS_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "kb/knowledge_base.h"
+#include "rank/concept_graph.h"
+#include "text/ids.h"
+
+namespace semdrift {
+
+/// The three instance-scoring models compared in Table 2. The paper's
+/// score(.) (Eq. 3) is kRandomWalk; the others are baselines.
+enum class RankModel {
+  /// Score proportional to live pair support.
+  kFrequency,
+  /// PageRank on the undirected version of the trigger graph, teleport 0.15.
+  kPageRank,
+  /// Random walk with restart from the iteration-1 instances (restart
+  /// probability 0.15), on the directed trigger graph — Eq. 3 / [23].
+  kRandomWalk,
+};
+
+/// Numerical parameters shared by the walk-based models.
+struct WalkParams {
+  /// Teleporting probability (the paper uses 0.15).
+  double teleport = 0.15;
+  /// Convergence threshold on the L1 change of the score vector.
+  double tolerance = 1e-10;
+  int max_iterations = 200;
+};
+
+/// Scores every live instance of a concept under one model. Scores are
+/// normalized to sum to 1 over the concept (they are visit probabilities
+/// for the walk models; frequency is normalized for comparability).
+std::unordered_map<InstanceId, double> ScoreConcept(const KnowledgeBase& kb,
+                                                    ConceptId c, RankModel model,
+                                                    const WalkParams& params = {});
+
+/// Same, but over an already-built graph (used by benches that reuse one
+/// graph across models).
+std::vector<double> ScoreGraph(const ConceptGraph& graph, RankModel model,
+                               const WalkParams& params = {});
+
+/// Lazy per-concept score cache. The DP features (f3, f4) and the
+/// Intentional-DP sentence check (Eq. 21) query scores for many (concept,
+/// instance) pairs; each concept's walk runs once on first touch. The cache
+/// reads the KB at query time — invalidate (create a fresh cache) after any
+/// rollback.
+class ScoreCache {
+ public:
+  ScoreCache(const KnowledgeBase* kb, RankModel model, WalkParams params = {})
+      : kb_(kb), model_(model), params_(params) {}
+
+  ScoreCache(const ScoreCache&) = delete;
+  ScoreCache& operator=(const ScoreCache&) = delete;
+
+  /// Score of (c, e); 0 when the pair is unknown or dead.
+  double Get(ConceptId c, InstanceId e);
+
+  /// Whole-concept view (computing it on first use).
+  const std::unordered_map<InstanceId, double>& Concept(ConceptId c);
+
+ private:
+  const KnowledgeBase* kb_;
+  RankModel model_;
+  WalkParams params_;
+  std::unordered_map<uint32_t, std::unordered_map<InstanceId, double>> cache_;
+};
+
+}  // namespace semdrift
+
+#endif  // SEMDRIFT_RANK_SCORERS_H_

@@ -1,0 +1,74 @@
+#ifndef SEMDRIFT_TEXT_IDS_H_
+#define SEMDRIFT_TEXT_IDS_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace semdrift {
+
+/// Strongly-typed 32-bit identifiers. Concepts, instances and sentences live
+/// in separate id spaces; the strong types keep them from being mixed up in
+/// the trigger graph and the knowledge base.
+template <typename Tag>
+struct Id32 {
+  uint32_t value = kInvalidValue;
+
+  static constexpr uint32_t kInvalidValue = 0xffffffffu;
+
+  constexpr Id32() = default;
+  constexpr explicit Id32(uint32_t v) : value(v) {}
+
+  constexpr bool valid() const { return value != kInvalidValue; }
+
+  friend constexpr bool operator==(Id32 a, Id32 b) { return a.value == b.value; }
+  friend constexpr bool operator!=(Id32 a, Id32 b) { return a.value != b.value; }
+  friend constexpr bool operator<(Id32 a, Id32 b) { return a.value < b.value; }
+};
+
+struct ConceptTag {};
+struct InstanceTag {};
+struct SentenceTag {};
+
+/// A concept ("animal"); the left side of an isA pair.
+using ConceptId = Id32<ConceptTag>;
+/// An instance ("dog"); the right side of an isA pair.
+using InstanceId = Id32<InstanceTag>;
+/// A distinct sentence in the (de-duplicated) corpus.
+using SentenceId = Id32<SentenceTag>;
+
+/// An isA pair: (instance e, concept C) meaning "e isA C".
+struct IsAPair {
+  ConceptId concept_id;
+  InstanceId instance;
+
+  friend bool operator==(const IsAPair& a, const IsAPair& b) {
+    return a.concept_id == b.concept_id && a.instance == b.instance;
+  }
+  friend bool operator<(const IsAPair& a, const IsAPair& b) {
+    if (a.concept_id != b.concept_id) return a.concept_id < b.concept_id;
+    return a.instance < b.instance;
+  }
+};
+
+struct IsAPairHash {
+  size_t operator()(const IsAPair& p) const {
+    uint64_t x = (static_cast<uint64_t>(p.concept_id.value) << 32) | p.instance.value;
+    // SplitMix64 finalizer as the mixing function.
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<size_t>(x ^ (x >> 31));
+  }
+};
+
+}  // namespace semdrift
+
+namespace std {
+template <typename Tag>
+struct hash<semdrift::Id32<Tag>> {
+  size_t operator()(semdrift::Id32<Tag> id) const {
+    return std::hash<uint32_t>()(id.value);
+  }
+};
+}  // namespace std
+
+#endif  // SEMDRIFT_TEXT_IDS_H_

@@ -1,0 +1,95 @@
+#include "text/morphology.h"
+
+#include <array>
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace semdrift {
+
+namespace {
+
+struct Irregular {
+  const char* singular;
+  const char* plural;
+};
+
+// Irregulars that occur in the paper's concepts and the example worlds.
+constexpr std::array<Irregular, 10> kIrregulars = {{
+    {"child", "children"},
+    {"woman", "women"},
+    {"man", "men"},
+    {"person", "people"},
+    {"mouse", "mice"},
+    {"goose", "geese"},
+    {"foot", "feet"},
+    {"tooth", "teeth"},
+    {"datum", "data"},
+    {"criterion", "criteria"},
+}};
+
+bool IsVowel(char c) {
+  c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u';
+}
+
+// Applies `fn` to the final whitespace-separated word of `term`.
+template <typename Fn>
+std::string MapLastWord(std::string_view term, Fn fn) {
+  size_t pos = term.rfind(' ');
+  if (pos == std::string_view::npos) return fn(term);
+  std::string head(term.substr(0, pos + 1));
+  return head + fn(term.substr(pos + 1));
+}
+
+std::string PluralizeWord(std::string_view w) {
+  for (const auto& irr : kIrregulars) {
+    if (w == irr.singular) return irr.plural;
+  }
+  std::string s(w);
+  if (s.empty()) return s;
+  size_t n = s.size();
+  if (s[n - 1] == 'y' && n >= 2 && !IsVowel(s[n - 2])) {
+    s.erase(n - 1);
+    return s + "ies";
+  }
+  if (EndsWith(s, "s") || EndsWith(s, "x") || EndsWith(s, "z") || EndsWith(s, "ch") ||
+      EndsWith(s, "sh")) {
+    return s + "es";
+  }
+  return s + "s";
+}
+
+std::string SingularizeWord(std::string_view w) {
+  for (const auto& irr : kIrregulars) {
+    if (w == irr.plural) return irr.singular;
+  }
+  std::string s(w);
+  size_t n = s.size();
+  if (n >= 4 && EndsWith(s, "ies")) {
+    s.erase(n - 3);
+    return s + "y";
+  }
+  if (n >= 3 && (EndsWith(s, "ses") || EndsWith(s, "xes") || EndsWith(s, "zes") ||
+                 EndsWith(s, "ches") || EndsWith(s, "shes"))) {
+    s.erase(n - 2);
+    return s;
+  }
+  if (n >= 2 && s[n - 1] == 's' && s[n - 2] != 's') {
+    s.erase(n - 1);
+    return s;
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string Pluralize(std::string_view singular) {
+  return MapLastWord(singular, PluralizeWord);
+}
+
+std::string Singularize(std::string_view plural) {
+  return MapLastWord(plural, SingularizeWord);
+}
+
+}  // namespace semdrift

@@ -1,0 +1,23 @@
+#ifndef SEMDRIFT_TEXT_MORPHOLOGY_H_
+#define SEMDRIFT_TEXT_MORPHOLOGY_H_
+
+#include <string>
+#include <string_view>
+
+namespace semdrift {
+
+/// English noun-number morphology, sufficient for the Hearst-pattern corpus:
+/// the generator pluralizes concept head nouns when rendering ("animal" ->
+/// "animals such as ...") and the parser singularizes candidate heads before
+/// vocabulary lookup. Handles the common irregulars the paper's 20 evaluation
+/// concepts need ("child" -> "children", "woman" -> "women", ...) plus the
+/// regular -s / -es / -ies rules. Multi-word terms pluralize their final word.
+std::string Pluralize(std::string_view singular);
+
+/// Inverse of Pluralize for forms it produces. Returns the input unchanged
+/// when no rule applies (already-singular words pass through).
+std::string Singularize(std::string_view plural);
+
+}  // namespace semdrift
+
+#endif  // SEMDRIFT_TEXT_MORPHOLOGY_H_

@@ -1,0 +1,12 @@
+#include "text/sentence.h"
+
+namespace semdrift {
+
+SentenceId SentenceStore::Add(Sentence sentence) {
+  SentenceId id(static_cast<uint32_t>(sentences_.size()));
+  sentence.id = id;
+  sentences_.push_back(std::move(sentence));
+  return id;
+}
+
+}  // namespace semdrift

@@ -1,0 +1,53 @@
+#ifndef SEMDRIFT_TEXT_SENTENCE_H_
+#define SEMDRIFT_TEXT_SENTENCE_H_
+
+#include <string>
+#include <vector>
+
+#include "text/ids.h"
+
+namespace semdrift {
+
+/// A Hearst-pattern sentence after candidate analysis: s := {Cs, Es}
+/// (Sec. 2.1 of the paper). `candidate_concepts` are the noun phrases that
+/// "such as" could attach to; `candidate_instances` are the listed terms.
+/// A sentence is *unambiguous* when exactly one candidate concept exists;
+/// only those sentences are consumed by extraction iteration 1.
+struct Sentence {
+  SentenceId id;
+  /// Candidate concepts Cs, in surface order (last one is adjacent to
+  /// "such as" — the default syntactic attachment).
+  std::vector<ConceptId> candidate_concepts;
+  /// Candidate instances Es, in list order.
+  std::vector<InstanceId> candidate_instances;
+  /// Optional rendered surface text (kept for demos and parser round-trips).
+  std::string text;
+
+  bool unambiguous() const { return candidate_concepts.size() == 1; }
+};
+
+/// Append-only store of distinct sentences, addressed by SentenceId.
+class SentenceStore {
+ public:
+  SentenceStore() = default;
+
+  SentenceStore(const SentenceStore&) = delete;
+  SentenceStore& operator=(const SentenceStore&) = delete;
+  SentenceStore(SentenceStore&&) = default;
+  SentenceStore& operator=(SentenceStore&&) = default;
+
+  /// Appends a sentence and assigns its id. Returns the assigned id.
+  SentenceId Add(Sentence sentence);
+
+  const Sentence& Get(SentenceId id) const { return sentences_[id.value]; }
+
+  size_t size() const { return sentences_.size(); }
+  const std::vector<Sentence>& sentences() const { return sentences_; }
+
+ private:
+  std::vector<Sentence> sentences_;
+};
+
+}  // namespace semdrift
+
+#endif  // SEMDRIFT_TEXT_SENTENCE_H_

@@ -1,0 +1,64 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace semdrift {
+
+std::vector<Token> Tokenize(std::string_view text) {
+  std::vector<Token> tokens;
+  std::string current;
+  auto flush = [&](bool comma) {
+    if (!current.empty()) {
+      tokens.push_back(Token{current, comma});
+      current.clear();
+    } else if (comma && !tokens.empty()) {
+      tokens.back().followed_by_comma = true;
+    }
+  };
+  for (char raw : text) {
+    unsigned char c = static_cast<unsigned char>(raw);
+    if (std::isalnum(c) || raw == '\'' || raw == '-' || raw == '.') {
+      current.push_back(static_cast<char>(std::tolower(c)));
+    } else if (raw == ',') {
+      flush(/*comma=*/true);
+    } else {
+      flush(/*comma=*/false);
+    }
+  }
+  flush(/*comma=*/false);
+  // Strip trailing periods that came from sentence-final punctuation — but
+  // keep them on abbreviations ("u.s.") whose body contains another dot.
+  for (auto& token : tokens) {
+    while (!token.text.empty() && token.text.back() == '.' &&
+           token.text.find('.') == token.text.size() - 1) {
+      token.text.pop_back();
+    }
+  }
+  std::vector<Token> out;
+  out.reserve(tokens.size());
+  for (auto& token : tokens) {
+    // Keep only tokens carrying at least one alphanumeric character;
+    // punctuation-only tokens ("..", "'") are noise.
+    bool has_alnum = false;
+    for (char c : token.text) {
+      if (std::isalnum(static_cast<unsigned char>(c))) {
+        has_alnum = true;
+        break;
+      }
+    }
+    if (has_alnum) out.push_back(std::move(token));
+  }
+  return out;
+}
+
+std::string Detokenize(const std::vector<Token>& tokens) {
+  std::string out;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += tokens[i].text;
+    if (tokens[i].followed_by_comma) out += ',';
+  }
+  return out;
+}
+
+}  // namespace semdrift

@@ -1,0 +1,28 @@
+#ifndef SEMDRIFT_TEXT_TOKENIZER_H_
+#define SEMDRIFT_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace semdrift {
+
+/// A surface token plus whether a list separator (comma) immediately
+/// followed it in the original text. The Hearst parser needs separator
+/// positions to split instance lists.
+struct Token {
+  std::string text;
+  bool followed_by_comma = false;
+};
+
+/// Lower-cases and splits a raw sentence into word tokens, recording comma
+/// positions and dropping other punctuation. Deliberately simple: the corpus
+/// language is controlled, so no Unicode segmentation is needed.
+std::vector<Token> Tokenize(std::string_view text);
+
+/// Joins token texts with single spaces (round-trip helper for tests).
+std::string Detokenize(const std::vector<Token>& tokens);
+
+}  // namespace semdrift
+
+#endif  // SEMDRIFT_TEXT_TOKENIZER_H_

@@ -1,0 +1,20 @@
+#include "text/vocab.h"
+
+namespace semdrift {
+
+uint32_t Vocab::Intern(std::string_view term) {
+  auto it = index_.find(std::string(term));
+  if (it != index_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(terms_.size());
+  terms_.emplace_back(term);
+  index_.emplace(terms_.back(), id);
+  return id;
+}
+
+uint32_t Vocab::Find(std::string_view term) const {
+  auto it = index_.find(std::string(term));
+  if (it == index_.end()) return kNotFound;
+  return it->second;
+}
+
+}  // namespace semdrift

@@ -1,0 +1,43 @@
+#ifndef SEMDRIFT_TEXT_VOCAB_H_
+#define SEMDRIFT_TEXT_VOCAB_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace semdrift {
+
+/// Bidirectional string <-> dense-id interning table. The corpus, the
+/// knowledge base and the trigger graphs all speak dense 32-bit ids; this is
+/// the single place strings live. Ids are assigned in insertion order and are
+/// stable for the lifetime of the vocabulary.
+class Vocab {
+ public:
+  static constexpr uint32_t kNotFound = 0xffffffffu;
+
+  Vocab() = default;
+  Vocab(const Vocab&) = default;
+  Vocab& operator=(const Vocab&) = default;
+
+  /// Interns `term`, returning its id (existing or newly assigned).
+  uint32_t Intern(std::string_view term);
+
+  /// Looks a term up without interning. Returns kNotFound when absent.
+  uint32_t Find(std::string_view term) const;
+
+  bool Contains(std::string_view term) const { return Find(term) != kNotFound; }
+
+  /// Term for an id. Precondition: id < size().
+  const std::string& TermOf(uint32_t id) const { return terms_[id]; }
+
+  size_t size() const { return terms_.size(); }
+
+ private:
+  std::unordered_map<std::string, uint32_t> index_;
+  std::vector<std::string> terms_;
+};
+
+}  // namespace semdrift
+
+#endif  // SEMDRIFT_TEXT_VOCAB_H_

@@ -1,0 +1,44 @@
+#ifndef SEMDRIFT_UTIL_LOGGING_H_
+#define SEMDRIFT_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace semdrift {
+
+/// Log severity, lowest to highest.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum severity; messages below it are dropped. Defaults to
+/// kInfo. Cheap to query, safe to set once at startup (not synchronized).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink that emits on destruction. Use via the SD_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace semdrift
+
+/// Usage: SD_LOG(kInfo) << "extracted " << n << " pairs";
+#define SD_LOG(severity)                                                      \
+  ::semdrift::internal::LogMessage(::semdrift::LogLevel::severity, __FILE__, \
+                                   __LINE__)                                  \
+      .stream()
+
+#endif  // SEMDRIFT_UTIL_LOGGING_H_

@@ -1,0 +1,119 @@
+#ifndef SEMDRIFT_UTIL_STATUS_H_
+#define SEMDRIFT_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace semdrift {
+
+/// Outcome of a fallible operation. Modeled on the database-engine idiom
+/// (rocksdb::Status): cheap to construct/copy in the OK case, carries an
+/// error code plus a human-readable message otherwise. Library code never
+/// throws across its public boundary; fallible APIs return Status or
+/// Result<T> instead.
+class Status {
+ public:
+  /// Error category. Kept deliberately small; the message carries detail.
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kAlreadyExists,
+    kOutOfRange,
+    kFailedPrecondition,
+    kInternal,
+    kIOError,
+  };
+
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Factory functions, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(Code::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(Code::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(Code::kIOError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<category>: <message>" for logs and test failures.
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_ = Code::kOk;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. The database-engine
+/// replacement for exceptions on value-returning fallible APIs.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: `return some_t;`.
+  Result(T value) : state_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from an error status: `return Status::NotFound(...)`.
+  Result(Status status) : state_(std::move(status)) {  // NOLINT(runtime/explicit)
+    // An OK status carries no value; normalize to an internal error so the
+    // caller's `ok()` check stays truthful.
+    if (std::get<Status>(state_).ok()) {
+      state_ = Status::Internal("Result constructed from OK status without a value");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+
+  /// Error status; OK() when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(state_);
+  }
+
+  /// Access the held value. Precondition: ok().
+  const T& value() const& { return std::get<T>(state_); }
+  T& value() & { return std::get<T>(state_); }
+  T&& value() && { return std::get<T>(std::move(state_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> state_;
+};
+
+}  // namespace semdrift
+
+#endif  // SEMDRIFT_UTIL_STATUS_H_

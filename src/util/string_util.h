@@ -1,0 +1,38 @@
+#ifndef SEMDRIFT_UTIL_STRING_UTIL_H_
+#define SEMDRIFT_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace semdrift {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Splits on any run of ASCII whitespace, dropping empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// ASCII lower-casing.
+std::string ToLower(std::string_view s);
+
+/// Trims ASCII whitespace from both ends.
+std::string Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Formats a double with fixed `digits` decimals (the paper's table style,
+/// e.g. 0.9696 -> "0.970" at 3 digits).
+std::string FormatDouble(double v, int digits);
+
+/// Formats an integer count with thousands separators, e.g. 90521133 ->
+/// "90,521,133"; used by bench output that mirrors the paper's large counts.
+std::string FormatCount(int64_t v);
+
+}  // namespace semdrift
+
+#endif  // SEMDRIFT_UTIL_STRING_UTIL_H_

@@ -1,0 +1,121 @@
+#include "util/table_writer.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace semdrift {
+
+namespace {
+
+/// CSV-escapes a cell (quotes cells containing separators or quotes).
+std::string CsvCell(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+TableWriter::TableWriter(std::string title) : title_(std::move(title)) {}
+
+void TableWriter::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TableWriter::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TableWriter::AddRow(const std::string& label, const std::vector<double>& values,
+                         int digits) {
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (double v : values) row.push_back(FormatDouble(v, digits));
+  AddRow(std::move(row));
+}
+
+void TableWriter::Print(std::ostream& os) const {
+  os << "== " << title_ << " ==\n";
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      os << cell << std::string(widths[c] - cell.size() + 2, ' ');
+    }
+    os << "\n";
+  };
+  print_row(header_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+  os << "\n";
+}
+
+Status TableWriter::WriteCsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path);
+  auto write_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << ",";
+      out << CsvCell(row[c]);
+    }
+    out << "\n";
+  };
+  write_row(header_);
+  for (const auto& row : rows_) write_row(row);
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+SeriesWriter::SeriesWriter(std::string title) : title_(std::move(title)) {}
+
+void SeriesWriter::SetColumns(std::vector<std::string> columns) {
+  columns_ = std::move(columns);
+}
+
+void SeriesWriter::AddPoint(const std::vector<double>& values) {
+  points_.push_back(values);
+  points_.back().resize(columns_.size(), 0.0);
+}
+
+void SeriesWriter::Print(std::ostream& os, int digits) const {
+  TableWriter table(title_);
+  table.SetHeader(columns_);
+  for (const auto& point : points_) {
+    std::vector<std::string> row;
+    row.reserve(point.size());
+    for (double v : point) row.push_back(FormatDouble(v, digits));
+    table.AddRow(std::move(row));
+  }
+  table.Print(os);
+}
+
+Status SeriesWriter::WriteCsv(const std::string& path, int digits) const {
+  TableWriter table(title_);
+  table.SetHeader(columns_);
+  for (const auto& point : points_) {
+    std::vector<std::string> row;
+    row.reserve(point.size());
+    for (double v : point) row.push_back(FormatDouble(v, digits));
+    table.AddRow(std::move(row));
+  }
+  return table.WriteCsv(path);
+}
+
+}  // namespace semdrift

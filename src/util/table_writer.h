@@ -1,0 +1,73 @@
+#ifndef SEMDRIFT_UTIL_TABLE_WRITER_H_
+#define SEMDRIFT_UTIL_TABLE_WRITER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace semdrift {
+
+/// Column-aligned plain-text table renderer. The bench binaries use it to
+/// print rows in the same layout as the paper's tables, plus an optional CSV
+/// dump for downstream plotting.
+class TableWriter {
+ public:
+  /// `title` is printed above the table (e.g. "Table 3: Comparing cleaning
+  /// performance with other methods").
+  explicit TableWriter(std::string title);
+
+  /// Sets the header row. Must be called before AddRow.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends one data row; the row is padded/truncated to the header width.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats each double cell with `digits` decimals.
+  void AddRow(const std::string& label, const std::vector<double>& values,
+              int digits = 4);
+
+  /// Renders the aligned table.
+  void Print(std::ostream& os) const;
+
+  /// Writes the table as CSV to `path` (header + rows).
+  Status WriteCsv(const std::string& path) const;
+
+  size_t row_count() const { return rows_.size(); }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+  const std::vector<std::string>& header() const { return header_; }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders a simple two-column "series" (x, y...) listing used for the
+/// paper's figures: each figure bench prints its data series so the shape is
+/// inspectable without a plotting stack.
+class SeriesWriter {
+ public:
+  explicit SeriesWriter(std::string title);
+
+  /// Names the columns, e.g. {"iteration", "distinct_pairs", "precision"}.
+  void SetColumns(std::vector<std::string> columns);
+
+  /// Appends one sample point.
+  void AddPoint(const std::vector<double>& values);
+
+  void Print(std::ostream& os, int digits = 4) const;
+  Status WriteCsv(const std::string& path, int digits = 6) const;
+
+  const std::vector<std::vector<double>>& points() const { return points_; }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<double>> points_;
+};
+
+}  // namespace semdrift
+
+#endif  // SEMDRIFT_UTIL_TABLE_WRITER_H_

@@ -1,0 +1,31 @@
+#ifndef SEMDRIFT_UTIL_TIMER_H_
+#define SEMDRIFT_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace semdrift {
+
+/// Monotonic wall-clock stopwatch for coarse pipeline timing.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Resets the epoch to now.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace semdrift
+
+#endif  // SEMDRIFT_UTIL_TIMER_H_

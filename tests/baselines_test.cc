@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "baselines/cleaners.h"
+#include "baselines/threshold.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+
+namespace semdrift {
+namespace {
+
+ConceptId C(uint32_t v) { return ConceptId(v); }
+InstanceId E(uint32_t v) { return InstanceId(v); }
+SentenceId S(uint32_t v) { return SentenceId(v); }
+
+TEST(ThresholdTest, FindsSeparatingValue) {
+  // Errors score low (0.1-0.2), correct score high (0.8-0.9).
+  std::vector<std::pair<double, bool>> scored{
+      {0.1, true}, {0.15, true}, {0.2, true}, {0.8, false}, {0.85, false},
+      {0.9, false}};
+  double t = LearnRemovalThreshold(scored);
+  EXPECT_GT(t, 0.2);
+  EXPECT_LT(t, 0.8);
+}
+
+TEST(ThresholdTest, NoErrorsMeansNoRemoval) {
+  std::vector<std::pair<double, bool>> scored{{0.5, false}, {0.7, false}};
+  EXPECT_EQ(LearnRemovalThreshold(scored), -std::numeric_limits<double>::infinity());
+}
+
+TEST(ThresholdTest, OverlappingScoresStillPickBestF1) {
+  std::vector<std::pair<double, bool>> scored{
+      {0.1, true}, {0.3, false}, {0.2, true}, {0.5, true}, {0.8, false},
+      {0.9, false}};
+  double t = LearnRemovalThreshold(scored);
+  // Best F1 threshold removes the three errors and at most one correct.
+  int removed_errors = 0;
+  int removed_correct = 0;
+  for (const auto& [score, is_error] : scored) {
+    if (score < t) {
+      removed_errors += is_error;
+      removed_correct += !is_error;
+    }
+  }
+  EXPECT_GE(removed_errors, 2);
+  EXPECT_LE(removed_correct, 1);
+}
+
+/// Mutex scenario: concepts 0 and 1 have disjoint cores; e5 lives under
+/// both (strong in 0, weak in 1).
+TEST(MutualExclusionCleanTest, RemovesWeakerSideOfConflict) {
+  KnowledgeBase kb;
+  uint32_t sid = 0;
+  for (int i = 0; i < 4; ++i) kb.ApplyExtraction(S(sid++), C(0), {E(1)}, {}, 1);
+  for (int i = 0; i < 4; ++i) kb.ApplyExtraction(S(sid++), C(0), {E(2)}, {}, 1);
+  for (int i = 0; i < 3; ++i) kb.ApplyExtraction(S(sid++), C(0), {E(5)}, {}, 1);
+  for (int i = 0; i < 4; ++i) kb.ApplyExtraction(S(sid++), C(1), {E(3)}, {}, 1);
+  for (int i = 0; i < 4; ++i) kb.ApplyExtraction(S(sid++), C(1), {E(4)}, {}, 1);
+  kb.ApplyExtraction(S(sid++), C(1), {E(6)}, {}, 1);
+  kb.ApplyExtraction(S(sid++), C(1), {E(5)}, {E(3)}, 2);  // Weak conflict side.
+  MutexIndex mutex(kb, 2);
+  ASSERT_TRUE(mutex.IsMutex(C(0), C(1)));
+  auto removed = MutualExclusionClean(kb, mutex, {C(0), C(1)});
+  ASSERT_EQ(removed.size(), 1u);
+  EXPECT_EQ(removed[0].concept_id, C(1));
+  EXPECT_EQ(removed[0].instance, E(5));
+}
+
+TEST(MutualExclusionCleanTest, ScopeRestrictsReports) {
+  KnowledgeBase kb;
+  uint32_t sid = 0;
+  for (int i = 0; i < 4; ++i) kb.ApplyExtraction(S(sid++), C(0), {E(i)}, {}, 1);
+  for (int i = 0; i < 3; ++i) kb.ApplyExtraction(S(sid++), C(0), {E(0)}, {}, 1);
+  for (int i = 0; i < 4; ++i) kb.ApplyExtraction(S(sid++), C(1), {E(10 + i)}, {}, 1);
+  kb.ApplyExtraction(S(sid++), C(1), {E(0)}, {E(10)}, 2);
+  MutexIndex mutex(kb, 2);
+  // Conflict pair is under C1; scoping to C0 only yields nothing.
+  auto removed = MutualExclusionClean(kb, mutex, {C(0)});
+  EXPECT_TRUE(removed.empty());
+}
+
+TEST(TypeOracleTest, CoverageAndAccuracyBounds) {
+  WorldSpec spec;
+  spec.num_concepts = 30;
+  Rng rng(5);
+  World world = GenerateWorld(spec, &rng);
+  TypeOracle::Options options;
+  options.coverage = 0.5;
+  options.accuracy = 1.0;
+  TypeOracle oracle(&world, options);
+  size_t covered = 0;
+  size_t correct = 0;
+  for (size_t ei = 0; ei < world.num_instances(); ++ei) {
+    InstanceId e(static_cast<uint32_t>(ei));
+    int type = oracle.TypeOf(e);
+    if (type < 0) continue;
+    ++covered;
+    if (type == oracle.GroupOf(world.ConceptsOf(e).front())) ++correct;
+  }
+  double coverage = static_cast<double>(covered) / world.num_instances();
+  EXPECT_NEAR(coverage, 0.5, 0.05);
+  EXPECT_EQ(correct, covered);  // accuracy = 1.0.
+}
+
+TEST(TypeOracleTest, TwinsShareGroups) {
+  WorldSpec spec;
+  spec.num_concepts = 40;
+  spec.similar_twin_rate = 0.3;
+  Rng rng(7);
+  World world = GenerateWorld(spec, &rng);
+  TypeOracle oracle(&world, TypeOracle::Options{});
+  bool saw_twin = false;
+  for (size_t ci = 0; ci < world.num_concepts(); ++ci) {
+    ConceptId c(static_cast<uint32_t>(ci));
+    ConceptId twin = world.SimilarTwin(c);
+    if (!twin.valid()) continue;
+    saw_twin = true;
+    EXPECT_EQ(oracle.GroupOf(c), oracle.GroupOf(twin));
+  }
+  EXPECT_TRUE(saw_twin);
+}
+
+TEST(TypeCheckCleanTest, FlagsTypeConflicts) {
+  WorldSpec spec;
+  spec.num_concepts = 25;
+  Rng rng(9);
+  World world = GenerateWorld(spec, &rng);
+  // Extract, then check: every removed pair has a conflicting reported type.
+  ExperimentConfig config;
+  config.world = spec;
+  config.corpus.num_sentences = 3000;
+  config.corpus.render_text = false;
+  auto experiment = Experiment::Build(config);
+  KnowledgeBase kb = experiment->Extract();
+  TypeOracle::Options ooptions;
+  ooptions.coverage = 0.4;
+  TypeOracle oracle(&experiment->world(), ooptions);
+  auto scope = experiment->AllConcepts();
+  auto removed = TypeCheckClean(kb, oracle, scope);
+  for (const IsAPair& pair : removed) {
+    int type = oracle.TypeOf(pair.instance);
+    ASSERT_GE(type, 0);
+    EXPECT_NE(type, oracle.GroupOf(pair.concept_id));
+  }
+}
+
+TEST(PrDualRankTest, SeedsStayPinnedAndScoresBounded) {
+  KnowledgeBase kb;
+  uint32_t sid = 0;
+  for (int i = 0; i < 6; ++i) kb.ApplyExtraction(S(sid++), C(0), {E(1)}, {}, 1);
+  kb.ApplyExtraction(S(sid++), C(0), {E(2)}, {}, 1);
+  kb.ApplyExtraction(S(sid++), C(0), {E(3), E(1)}, {E(1)}, 2);
+  PrDualRankOptions options;
+  options.seed_support = 5;
+  auto scores = PrDualRankScores(kb, {C(0)}, options);
+  EXPECT_EQ((scores[IsAPair{C(0), E(1)}]), 1.0);  // Seed pinned.
+  for (const auto& [pair, score] : scores) {
+    (void)pair;
+    EXPECT_GE(score, 0.0);
+    EXPECT_LE(score, 1.0);
+  }
+  // e3 co-occurs with the seed, so it inherits a positive score; e2 only
+  // appears alone in a non-seed record and stays at zero.
+  EXPECT_GT((scores[IsAPair{C(0), E(3)}]), 0.0);
+  EXPECT_EQ((scores[IsAPair{C(0), E(2)}]), 0.0);
+}
+
+TEST(RwRankTest, ScoresRelativeToUniform) {
+  KnowledgeBase kb;
+  uint32_t sid = 0;
+  for (int i = 0; i < 5; ++i) kb.ApplyExtraction(S(sid++), C(0), {E(1)}, {}, 1);
+  kb.ApplyExtraction(S(sid++), C(0), {E(2)}, {}, 1);
+  kb.ApplyExtraction(S(sid++), C(0), {E(3)}, {E(1)}, 2);
+  auto scores = RwRankScores(kb, {C(0)});
+  // Popular core instance sits above the uniform level and above the late
+  // tail instance (absolute tail values depend on graph size).
+  EXPECT_GT((scores[IsAPair{C(0), E(1)}]), 1.0);
+  EXPECT_GT((scores[IsAPair{C(0), E(1)}]), (scores[IsAPair{C(0), E(3)}]));
+}
+
+TEST(ThresholdCleanTest, RemovesBelowThreshold) {
+  std::unordered_map<IsAPair, double, IsAPairHash> scores;
+  scores[IsAPair{C(0), E(1)}] = 0.2;
+  scores[IsAPair{C(0), E(2)}] = 0.9;
+  auto removed = ThresholdClean(scores, 0.5);
+  ASSERT_EQ(removed.size(), 1u);
+  EXPECT_EQ(removed[0].instance, E(1));
+}
+
+}  // namespace
+}  // namespace semdrift

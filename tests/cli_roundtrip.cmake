@@ -1,0 +1,30 @@
+# CTest script: exercises the semdrift CLI end to end.
+file(MAKE_DIRECTORY ${WORK_DIR})
+execute_process(
+  COMMAND ${CLI} generate --scale 0.05 --seed 7
+          --world ${WORK_DIR}/w.tsv --corpus ${WORK_DIR}/c.tsv
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "generate failed (${rc}): ${out} ${err}")
+endif()
+execute_process(
+  COMMAND ${CLI} run --world ${WORK_DIR}/w.tsv --corpus ${WORK_DIR}/c.tsv
+          --out ${WORK_DIR}/t.tsv
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "run failed (${rc}): ${out} ${err}")
+endif()
+if(NOT out MATCHES "cleaned:")
+  message(FATAL_ERROR "run output missing cleaning summary: ${out}")
+endif()
+file(READ ${WORK_DIR}/t.tsv taxonomy LIMIT 200)
+if(NOT taxonomy MATCHES "concept\tinstance")
+  message(FATAL_ERROR "taxonomy header missing")
+endif()
+execute_process(
+  COMMAND ${CLI} parse --world ${WORK_DIR}/w.tsv
+  INPUT_FILE /dev/null
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "parse failed (${rc})")
+endif()

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dp/features.h"
+
+namespace semdrift {
+namespace {
+
+ConceptId C(uint32_t v) { return ConceptId(v); }
+InstanceId E(uint32_t v) { return InstanceId(v); }
+SentenceId S(uint32_t v) { return SentenceId(v); }
+
+TEST(SparseCosineTest, EmptyIsZero) {
+  std::unordered_map<InstanceId, int> empty;
+  std::unordered_map<InstanceId, int> some{{E(1), 2}};
+  EXPECT_EQ(SparseCosine(empty, some), 0.0);
+  EXPECT_EQ(SparseCosine(some, empty), 0.0);
+}
+
+TEST(SparseCosineTest, IdenticalIsOne) {
+  std::unordered_map<InstanceId, int> a{{E(1), 2}, {E(2), 3}};
+  EXPECT_NEAR(SparseCosine(a, a), 1.0, 1e-12);
+}
+
+TEST(SparseCosineTest, DisjointIsZero) {
+  std::unordered_map<InstanceId, int> a{{E(1), 2}};
+  std::unordered_map<InstanceId, int> b{{E(2), 5}};
+  EXPECT_EQ(SparseCosine(a, b), 0.0);
+}
+
+TEST(SparseCosineTest, KnownValue) {
+  std::unordered_map<InstanceId, int> a{{E(1), 3}, {E(2), 4}};
+  std::unordered_map<InstanceId, int> b{{E(1), 4}, {E(3), 3}};
+  // dot = 12; |a| = 5, |b| = 5 -> 12/25.
+  EXPECT_NEAR(SparseCosine(a, b), 0.48, 1e-12);
+}
+
+TEST(SparseCosineTest, SymmetricRegardlessOfSize) {
+  std::unordered_map<InstanceId, int> a{{E(1), 1}, {E(2), 1}, {E(3), 1}};
+  std::unordered_map<InstanceId, int> b{{E(1), 2}};
+  EXPECT_NEAR(SparseCosine(a, b), SparseCosine(b, a), 1e-15);
+}
+
+/// Scenario: concept 0 ("animal") has core {e1 (popular), e2}. e1 triggers a
+/// clean record {e3}; ep ("chicken") triggers a foreign record {e8, e9}
+/// whose instances also live under the mutually exclusive concept 1
+/// ("food"). e8 is never a trigger.
+class FeatureScenario : public ::testing::Test {
+ protected:
+  FeatureScenario() {
+    uint32_t sid = 0;
+    // Animal core.
+    kb_.ApplyExtraction(S(sid++), C(0), {E(1), E(2), E(10)}, {}, 1);
+    kb_.ApplyExtraction(S(sid++), C(0), {E(1)}, {}, 1);
+    kb_.ApplyExtraction(S(sid++), C(0), {E(1)}, {}, 1);
+    kb_.ApplyExtraction(S(sid++), C(0), {E(2)}, {}, 1);
+    // Food core (>= 3 instances so the concept is usable in the index).
+    kb_.ApplyExtraction(S(sid++), C(1), {E(8), E(9), E(11)}, {}, 1);
+    kb_.ApplyExtraction(S(sid++), C(1), {E(8)}, {}, 1);
+    // Clean triggered record: e1 -> {e3} plus an overlap with the core.
+    kb_.ApplyExtraction(S(sid++), C(0), {E(3), E(2)}, {E(1)}, 2);
+    // Drifting record: e10 ("chicken") triggers food items into animal.
+    kb_.ApplyExtraction(S(sid++), C(0), {E(8), E(9), E(10)}, {E(10)}, 2);
+    mutex_ = std::make_unique<MutexIndex>(kb_, 2);
+    scores_ = std::make_unique<ScoreCache>(&kb_, RankModel::kRandomWalk);
+    features_ =
+        std::make_unique<FeatureExtractor>(&kb_, mutex_.get(), scores_.get());
+  }
+
+  KnowledgeBase kb_;
+  std::unique_ptr<MutexIndex> mutex_;
+  std::unique_ptr<ScoreCache> scores_;
+  std::unique_ptr<FeatureExtractor> features_;
+};
+
+TEST_F(FeatureScenario, F1HigherForCleanTrigger) {
+  // e1's sub-instances ({e3, e2}) overlap the animal core (e2); e10's
+  // ({e8, e9}) are disjoint from it.
+  double clean = features_->F1(C(0), E(1));
+  double drifting = features_->F1(C(0), E(10));
+  EXPECT_GT(clean, 0.0);
+  EXPECT_EQ(drifting, 0.0);
+}
+
+TEST_F(FeatureScenario, F1ZeroWithoutSubInstances) {
+  EXPECT_EQ(features_->F1(C(0), E(2)), 0.0);
+}
+
+TEST_F(FeatureScenario, F2CountsMutexMembership) {
+  // e8 now lives under both animal (drifted) and food, which are mutex.
+  FeatureVector f = features_->Extract(C(0), E(8));
+  EXPECT_EQ(f[1], 1.0);
+  // e3 lives only under animal.
+  FeatureVector f3 = features_->Extract(C(0), E(3));
+  EXPECT_EQ(f3[1], 0.0);
+}
+
+TEST_F(FeatureScenario, F3ScaledScorePositiveForCore) {
+  FeatureVector f = features_->Extract(C(0), E(1));
+  EXPECT_GT(f[2], 0.0);
+  // Popular core instance scores above the uniform level.
+  EXPECT_GT(f[2], 1.0);
+}
+
+TEST_F(FeatureScenario, F4AveragesSubScores) {
+  FeatureVector clean = features_->Extract(C(0), E(1));
+  FeatureVector drifting = features_->Extract(C(0), E(10));
+  FeatureVector no_subs = features_->Extract(C(0), E(3));
+  EXPECT_GT(clean[3], drifting[3]);
+  EXPECT_EQ(no_subs[3], 0.0);
+}
+
+TEST_F(FeatureScenario, FeaturesAreDeterministic) {
+  FeatureVector a = features_->Extract(C(0), E(10));
+  FeatureVector b = features_->Extract(C(0), E(10));
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace semdrift

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <unordered_set>
+
+#include "dp/seed_labeling.h"
+
+namespace semdrift {
+namespace {
+
+ConceptId C(uint32_t v) { return ConceptId(v); }
+InstanceId E(uint32_t v) { return InstanceId(v); }
+SentenceId S(uint32_t v) { return SentenceId(v); }
+
+/// Scenario mirroring the paper's running example (Sec. 3.2.3):
+///   C0 = animal, C1 = food; mutually exclusive cores.
+///   e1  "dog":     verified animal, triggers clean record {e2, e3}.
+///   e10 "chicken": verified animal, triggers a drifted record {e8, e9}
+///                  whose instances are verified food.
+///   e8  "pork":    accidentally extracted once under animal (via the
+///                  drifted record); verified food -> RULE 2.
+class SeedScenario : public ::testing::Test {
+ protected:
+  SeedScenario() {
+    uint32_t sid = 0;
+    // Animal core: dog (e1) x6, cat (e2) x6, chicken (e10) x6 — all above
+    // the frequency threshold k=4.
+    for (int i = 0; i < 6; ++i) kb_.ApplyExtraction(S(sid++), C(0), {E(1)}, {}, 1);
+    for (int i = 0; i < 6; ++i) kb_.ApplyExtraction(S(sid++), C(0), {E(2)}, {}, 1);
+    for (int i = 0; i < 6; ++i) kb_.ApplyExtraction(S(sid++), C(0), {E(10)}, {}, 1);
+    kb_.ApplyExtraction(S(sid++), C(0), {E(3)}, {}, 1);  // Tail correct.
+    // Food core: pork (e8) x6, beef (e9) x6, rice (e11) x6.
+    for (int i = 0; i < 6; ++i) kb_.ApplyExtraction(S(sid++), C(1), {E(8)}, {}, 1);
+    for (int i = 0; i < 6; ++i) kb_.ApplyExtraction(S(sid++), C(1), {E(9)}, {}, 1);
+    for (int i = 0; i < 6; ++i) kb_.ApplyExtraction(S(sid++), C(1), {E(11)}, {}, 1);
+    // Clean triggered record under animal: dog -> {cat, e3}.
+    kb_.ApplyExtraction(S(sid++), C(0), {E(2), E(3)}, {E(1)}, 2);
+    // Drifted record under animal: chicken -> {pork, beef}.
+    kb_.ApplyExtraction(S(sid++), C(0), {E(8), E(9), E(10)}, {E(10)}, 2);
+    mutex_ = std::make_unique<MutexIndex>(kb_, 2);
+    verified_ = [](const IsAPair&) { return false; };  // Frequency evidence only.
+    labeler_ = std::make_unique<SeedLabeler>(&kb_, mutex_.get(), verified_);
+  }
+
+  KnowledgeBase kb_;
+  std::unique_ptr<MutexIndex> mutex_;
+  VerifiedSource verified_;
+  std::unique_ptr<SeedLabeler> labeler_;
+};
+
+TEST_F(SeedScenario, EvidencedCorrectByFrequency) {
+  EXPECT_TRUE(labeler_->EvidencedCorrect(IsAPair{C(0), E(1)}));   // 6 > k=4.
+  EXPECT_FALSE(labeler_->EvidencedCorrect(IsAPair{C(0), E(3)}));  // Count 2.
+  EXPECT_FALSE(labeler_->EvidencedCorrect(IsAPair{C(0), E(8)}));  // Late only.
+}
+
+TEST_F(SeedScenario, EvidencedCorrectByVerifiedSource) {
+  SeedLabeler with_source(&kb_, mutex_.get(), [](const IsAPair& pair) {
+    return pair.concept_id == ConceptId(0) && pair.instance == InstanceId(3);
+  });
+  EXPECT_TRUE(with_source.EvidencedCorrect(IsAPair{C(0), E(3)}));
+}
+
+TEST_F(SeedScenario, EvidencedIncorrectRequiresLateSingleAndMutexHome) {
+  // pork under animal: count 1, first iteration 2, verified-correct food
+  // home (frequency evidence), food mutex animal.
+  EXPECT_TRUE(labeler_->EvidencedIncorrect(IsAPair{C(0), E(8)}));
+  // cat under animal: evidenced correct, not incorrect.
+  EXPECT_FALSE(labeler_->EvidencedIncorrect(IsAPair{C(0), E(2)}));
+  // e3: late-ish count 2 but no mutex home.
+  EXPECT_FALSE(labeler_->EvidencedIncorrect(IsAPair{C(0), E(3)}));
+}
+
+TEST_F(SeedScenario, Rule2LabelsAccidental) {
+  EXPECT_EQ(labeler_->Label(C(0), E(8)), DpClass::kAccidentalDP);
+  EXPECT_EQ(labeler_->Label(C(0), E(9)), DpClass::kAccidentalDP);
+}
+
+TEST_F(SeedScenario, Rule1LabelsIntentional) {
+  // chicken triggered a record with two foreign-evidenced subs (pork, beef)
+  // and no home-evidenced sub.
+  EXPECT_EQ(labeler_->Label(C(0), E(10)), DpClass::kIntentionalDP);
+}
+
+TEST_F(SeedScenario, Rule3LabelsNonDp) {
+  // dog's only triggered record contains cat (evidenced correct in animal).
+  EXPECT_EQ(labeler_->Label(C(0), E(1)), DpClass::kNonDP);
+  // cat has no triggered records at all.
+  EXPECT_EQ(labeler_->Label(C(0), E(2)), DpClass::kNonDP);
+}
+
+TEST_F(SeedScenario, UnevidencedStaysUnlabeled) {
+  EXPECT_EQ(labeler_->Label(C(0), E(3)), DpClass::kUnlabeled);
+}
+
+TEST_F(SeedScenario, LabelConceptCoversLiveInstances) {
+  auto labels = labeler_->LabelConcept(C(0));
+  std::unordered_set<uint32_t> seen;
+  for (const auto& [e, label] : labels) {
+    (void)label;
+    seen.insert(e.value);
+  }
+  EXPECT_EQ(labels.size(), kb_.LiveInstancesOf(C(0)).size());
+  EXPECT_TRUE(seen.count(E(10).value) > 0);
+}
+
+TEST_F(SeedScenario, SingleForeignSubIsNotEnoughForRule1) {
+  // Build a *correct* guest-topic record: dog triggers {e8} only — one
+  // foreign-evidenced sub, which must NOT make dog an Intentional DP (the
+  // symmetric polyseme situation).
+  kb_.ApplyExtraction(S(500), C(0), {E(8), E(1)}, {E(1)}, 3);
+  MutexIndex fresh_mutex(kb_, 2);
+  SeedLabeler fresh(&kb_, &fresh_mutex, verified_);
+  EXPECT_NE(fresh.Label(C(0), E(1)), DpClass::kIntentionalDP);
+}
+
+TEST_F(SeedScenario, ThresholdKControlsEvidence) {
+  SeedLabelerConfig config;
+  config.frequency_threshold_k = 10;  // Nothing reaches 10.
+  SeedLabeler strict(&kb_, mutex_.get(), verified_, config);
+  EXPECT_FALSE(strict.EvidencedCorrect(IsAPair{C(0), E(1)}));
+  EXPECT_EQ(strict.Label(C(0), E(1)), DpClass::kUnlabeled);
+  // Lower k labels more.
+  config.frequency_threshold_k = 0;
+  SeedLabeler loose(&kb_, mutex_.get(), verified_, config);
+  EXPECT_TRUE(loose.EvidencedCorrect(IsAPair{C(0), E(3)}));
+}
+
+}  // namespace
+}  // namespace semdrift

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "eval/experiment.h"
+#include "eval/ground_truth.h"
+#include "eval/metrics.h"
+
+namespace semdrift {
+namespace {
+
+ConceptId C(uint32_t v) { return ConceptId(v); }
+InstanceId E(uint32_t v) { return InstanceId(v); }
+SentenceId S(uint32_t v) { return SentenceId(v); }
+
+World BuildTruthWorld() {
+  World::Builder builder;
+  ConceptId animal = builder.AddConcept("animal");
+  ConceptId food = builder.AddConcept("food");
+  InstanceId dog = builder.AddInstance("dog");
+  InstanceId cat = builder.AddInstance("cat");
+  InstanceId chicken = builder.AddInstance("chicken");
+  InstanceId pork = builder.AddInstance("pork");
+  InstanceId beef = builder.AddInstance("beef");
+  builder.AddMembership(animal, dog);
+  builder.AddMembership(animal, cat);
+  builder.AddMembership(animal, chicken);
+  builder.AddMembership(food, pork);
+  builder.AddMembership(food, beef);
+  builder.AddMembership(food, chicken);  // chicken also food.
+  return builder.Build();
+}
+
+TEST(GroundTruthTest, PairCorrectness) {
+  World world = BuildTruthWorld();
+  GroundTruth truth(&world);
+  EXPECT_TRUE(truth.PairCorrect(IsAPair{world.FindConcept("animal"),
+                                        world.FindInstance("dog")}));
+  EXPECT_FALSE(truth.PairCorrect(IsAPair{world.FindConcept("animal"),
+                                         world.FindInstance("pork")}));
+}
+
+TEST(GroundTruthTest, DpLabelsFollowDefinitions) {
+  World world = BuildTruthWorld();
+  GroundTruth truth(&world);
+  ConceptId animal = world.FindConcept("animal");
+  InstanceId dog = world.FindInstance("dog");
+  InstanceId cat = world.FindInstance("cat");
+  InstanceId chicken = world.FindInstance("chicken");
+  InstanceId pork = world.FindInstance("pork");
+
+  InstanceId beef = world.FindInstance("beef");
+
+  KnowledgeBase kb;
+  uint32_t sid = 0;
+  kb.ApplyExtraction(S(sid++), animal, {dog, cat, chicken}, {}, 1);
+  // chicken (correct) triggers a drifted record containing pork (wrong):
+  // chicken is an Intentional DP (Def. 3).
+  kb.ApplyExtraction(S(sid++), animal, {pork, chicken}, {chicken}, 2);
+  // pork (wrong) triggers another wrong extraction (beef): Accidental DP
+  // (Def. 4).
+  kb.ApplyExtraction(S(sid++), animal, {beef, pork}, {pork}, 3);
+
+  EXPECT_EQ(truth.DpLabelOf(kb, IsAPair{animal, chicken}), DpClass::kIntentionalDP);
+  EXPECT_EQ(truth.DpLabelOf(kb, IsAPair{animal, pork}), DpClass::kAccidentalDP);
+  EXPECT_EQ(truth.DpLabelOf(kb, IsAPair{animal, dog}), DpClass::kNonDP);
+  // beef is wrong but triggered nothing: a symptom, not a cause.
+  EXPECT_EQ(truth.DpLabelOf(kb, IsAPair{animal, beef}), DpClass::kUnlabeled);
+}
+
+TEST(GroundTruthTest, StatsCountCategories) {
+  World world = BuildTruthWorld();
+  GroundTruth truth(&world);
+  ConceptId animal = world.FindConcept("animal");
+  KnowledgeBase kb;
+  kb.ApplyExtraction(S(0), animal,
+                     {world.FindInstance("dog"), world.FindInstance("cat")}, {}, 1);
+  kb.ApplyExtraction(S(1), animal, {world.FindInstance("pork")},
+                     {world.FindInstance("dog")}, 2);
+  auto stats = truth.StatsOf(kb, animal);
+  EXPECT_EQ(stats.instances, 3u);
+  EXPECT_EQ(stats.correct, 2u);
+  EXPECT_EQ(stats.errors, 1u);
+  EXPECT_EQ(stats.intentional_dps, 1u);  // dog triggered the wrong pork.
+  EXPECT_EQ(stats.non_dps, 1u);          // cat.
+}
+
+TEST(MetricsTest, PrfFromCounts) {
+  Prf prf = Prf::FromCounts(8, 10, 16);
+  EXPECT_NEAR(prf.precision, 0.8, 1e-12);
+  EXPECT_NEAR(prf.recall, 0.5, 1e-12);
+  EXPECT_NEAR(prf.f1, 2 * 0.8 * 0.5 / 1.3, 1e-12);
+  Prf zero = Prf::FromCounts(0, 0, 0);
+  EXPECT_EQ(zero.precision, 0.0);
+  EXPECT_EQ(zero.f1, 0.0);
+}
+
+TEST(MetricsTest, CleaningMetricsMatchHandComputation) {
+  World world = BuildTruthWorld();
+  GroundTruth truth(&world);
+  ConceptId animal = world.FindConcept("animal");
+  InstanceId dog = world.FindInstance("dog");
+  InstanceId cat = world.FindInstance("cat");
+  InstanceId pork = world.FindInstance("pork");
+  std::vector<IsAPair> population{{animal, dog}, {animal, cat}, {animal, pork}};
+  std::unordered_set<IsAPair, IsAPairHash> removed{{animal, pork}, {animal, cat}};
+  CleaningMetrics m = EvaluateCleaning(truth, population, removed);
+  // Removed: pork (error) + cat (correct) -> perror 0.5.
+  EXPECT_NEAR(m.perror, 0.5, 1e-12);
+  // All 1 errors removed -> rerror 1.
+  EXPECT_NEAR(m.rerror, 1.0, 1e-12);
+  // Remaining: dog (correct) -> pcorr 1.
+  EXPECT_NEAR(m.pcorr, 1.0, 1e-12);
+  // Correct total 2, remaining correct 1 -> rcorr 0.5.
+  EXPECT_NEAR(m.rcorr, 0.5, 1e-12);
+}
+
+TEST(MetricsTest, DetectionPrfBinaryOverTypes) {
+  using D = DpClass;
+  std::vector<DpClass> predicted{D::kIntentionalDP, D::kNonDP, D::kAccidentalDP,
+                                 D::kNonDP};
+  std::vector<DpClass> actual{D::kAccidentalDP, D::kNonDP, D::kNonDP,
+                              D::kIntentionalDP};
+  // Binary: predicted DP at 0 (true DP: yes), 2 (no). Actual DPs at 0, 3.
+  Prf prf = DetectionPrf(predicted, actual);
+  EXPECT_NEAR(prf.precision, 0.5, 1e-12);
+  EXPECT_NEAR(prf.recall, 0.5, 1e-12);
+}
+
+TEST(MetricsTest, AccuracyCountsExactMatches) {
+  using D = DpClass;
+  std::vector<DpClass> predicted{D::kNonDP, D::kAccidentalDP, D::kIntentionalDP};
+  std::vector<DpClass> actual{D::kNonDP, D::kIntentionalDP, D::kIntentionalDP};
+  EXPECT_NEAR(DetectionAccuracy(predicted, actual), 2.0 / 3.0, 1e-12);
+}
+
+TEST(MetricsTest, PrecisionAtK) {
+  World world = BuildTruthWorld();
+  GroundTruth truth(&world);
+  ConceptId animal = world.FindConcept("animal");
+  std::vector<InstanceId> ranked{world.FindInstance("dog"),
+                                 world.FindInstance("pork"),
+                                 world.FindInstance("cat")};
+  EXPECT_NEAR(PrecisionAtK(truth, animal, ranked, 1), 1.0, 1e-12);
+  EXPECT_NEAR(PrecisionAtK(truth, animal, ranked, 2), 0.5, 1e-12);
+  EXPECT_NEAR(PrecisionAtK(truth, animal, ranked, 3), 2.0 / 3.0, 1e-12);
+  // k beyond the list clamps.
+  EXPECT_NEAR(PrecisionAtK(truth, animal, ranked, 10), 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(PrecisionAtK(truth, animal, {}, 5), 0.0);
+}
+
+TEST(ExperimentTest, BuildIsDeterministic) {
+  ExperimentConfig config = PaperScaleConfig(0.05);
+  auto a = Experiment::Build(config);
+  auto b = Experiment::Build(config);
+  EXPECT_EQ(a->world().num_concepts(), b->world().num_concepts());
+  EXPECT_EQ(a->world().num_instances(), b->world().num_instances());
+  EXPECT_EQ(a->corpus().sentences.size(), b->corpus().sentences.size());
+  KnowledgeBase kb_a = a->Extract();
+  KnowledgeBase kb_b = b->Extract();
+  EXPECT_EQ(kb_a.num_live_pairs(), kb_b.num_live_pairs());
+}
+
+TEST(ExperimentTest, EvalConceptsAreTheNamedOnes) {
+  ExperimentConfig config = PaperScaleConfig(0.05);
+  auto experiment = Experiment::Build(config);
+  auto eval = experiment->EvalConcepts();
+  ASSERT_EQ(eval.size(), 20u);
+  EXPECT_EQ(experiment->world().ConceptName(eval[0]), "animal");
+  EXPECT_EQ(experiment->world().ConceptName(eval[19]), "woman");
+}
+
+TEST(ExperimentTest, VerifiedSourceMatchesWorld) {
+  ExperimentConfig config = PaperScaleConfig(0.05);
+  auto experiment = Experiment::Build(config);
+  VerifiedSource source = experiment->MakeVerifiedSource();
+  const World& world = experiment->world();
+  int checked = 0;
+  for (size_t ci = 0; ci < 5; ++ci) {
+    ConceptId c(static_cast<uint32_t>(ci));
+    for (InstanceId e : world.Members(c)) {
+      EXPECT_EQ(source(IsAPair{c, e}), world.IsVerified(c, e));
+      if (++checked > 200) return;
+    }
+  }
+}
+
+TEST(ExperimentTest, DifferentSeedsDiffer) {
+  ExperimentConfig a = PaperScaleConfig(0.05);
+  ExperimentConfig b = a;
+  b.seed = a.seed + 1;
+  auto ea = Experiment::Build(a);
+  auto eb = Experiment::Build(b);
+  EXPECT_NE(ea->world().num_instances(), eb->world().num_instances());
+}
+
+}  // namespace
+}  // namespace semdrift

@@ -1,0 +1,354 @@
+#include <gtest/gtest.h>
+
+#include "corpus/generator.h"
+#include "corpus/renderer.h"
+#include "corpus/world.h"
+#include "extract/extractor.h"
+#include "extract/hearst_parser.h"
+
+namespace semdrift {
+namespace {
+
+World BuildParserWorld() {
+  World::Builder builder;
+  ConceptId animal = builder.AddConcept("animal");
+  ConceptId food = builder.AddConcept("food");
+  builder.AddConcept("asian country");
+  builder.AddConcept("u.s. state");
+  InstanceId dog = builder.AddInstance("dog");
+  InstanceId cat = builder.AddInstance("cat");
+  InstanceId chicken = builder.AddInstance("chicken");
+  InstanceId pork = builder.AddInstance("pork");
+  InstanceId beef = builder.AddInstance("beef");
+  builder.AddInstance("new york");
+  builder.AddMembership(animal, dog);
+  builder.AddMembership(animal, cat);
+  builder.AddMembership(animal, chicken);
+  builder.AddMembership(food, pork);
+  builder.AddMembership(food, beef);
+  builder.AddMembership(food, chicken);
+  return builder.Build();
+}
+
+class HearstParserTest : public ::testing::Test {
+ protected:
+  HearstParserTest()
+      : world_(BuildParserWorld()),
+        parser_(&world_.concept_vocab(), world_.instance_vocab()) {}
+  World world_;
+  HearstParser parser_;
+};
+
+TEST_F(HearstParserTest, ParsesUnambiguousSentence) {
+  auto parsed = parser_.Parse("animals such as dog and cat .");
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->candidate_concepts.size(), 1u);
+  EXPECT_EQ(parsed->candidate_concepts[0], world_.FindConcept("animal"));
+  ASSERT_EQ(parsed->candidate_instances.size(), 2u);
+  EXPECT_EQ(parsed->candidate_instances[0], world_.FindInstance("dog"));
+  EXPECT_EQ(parsed->candidate_instances[1], world_.FindInstance("cat"));
+}
+
+TEST_F(HearstParserTest, ParsesThePaperS3Sentence) {
+  // "Common food from animals such as pork, beef, and chicken" (Sec. 1).
+  auto parsed =
+      parser_.Parse("common food from animals such as pork, beef, and chicken .");
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->candidate_concepts.size(), 2u);
+  EXPECT_EQ(parsed->candidate_concepts[0], world_.FindConcept("food"));
+  EXPECT_EQ(parsed->candidate_concepts[1], world_.FindConcept("animal"));
+  ASSERT_EQ(parsed->candidate_instances.size(), 3u);
+  EXPECT_EQ(parsed->candidate_instances[2], world_.FindInstance("chicken"));
+}
+
+TEST_F(HearstParserTest, FillerWordsIgnored) {
+  auto parsed = parser_.Parse("many popular animals such as dog .");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->candidate_concepts.size(), 1u);
+}
+
+TEST_F(HearstParserTest, MultiWordConceptMatches) {
+  auto parsed = parser_.Parse("asian countries such as dog .");  // Vocabulary toy.
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->candidate_concepts[0], world_.FindConcept("asian country"));
+}
+
+TEST_F(HearstParserTest, AbbreviatedConceptMatches) {
+  auto parsed = parser_.Parse("u.s. states such as dog .");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->candidate_concepts[0], world_.FindConcept("u.s. state"));
+}
+
+TEST_F(HearstParserTest, UnknownInstancesAreInterned) {
+  size_t before = parser_.instance_lexicon().size();
+  auto parsed = parser_.Parse("animals such as axolotl and quokka .");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->candidate_instances.size(), 2u);
+  EXPECT_EQ(parser_.instance_lexicon().size(), before + 2);
+}
+
+TEST_F(HearstParserTest, MultiWordInstance) {
+  auto parsed = parser_.Parse("foods such as new york and pork .");
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->candidate_instances.size(), 2u);
+  EXPECT_EQ(parsed->candidate_instances[0], world_.FindInstance("new york"));
+}
+
+TEST_F(HearstParserTest, RejectsNonHearstText) {
+  EXPECT_FALSE(parser_.Parse("the dog chased the cat").has_value());
+  EXPECT_FALSE(parser_.Parse("").has_value());
+}
+
+TEST_F(HearstParserTest, RejectsWhenNoConceptBeforeAnchor) {
+  EXPECT_FALSE(parser_.Parse("wonderful things such as dog .").has_value());
+}
+
+TEST_F(HearstParserTest, RejectsEmptyList) {
+  EXPECT_FALSE(parser_.Parse("animals such as .").has_value());
+}
+
+TEST_F(HearstParserTest, DeduplicatesRepeatedInstances) {
+  auto parsed = parser_.Parse("animals such as dog, dog and cat .");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->candidate_instances.size(), 2u);
+}
+
+TEST_F(HearstParserTest, OtherThanYieldsBothConcepts) {
+  auto parsed = parser_.Parse("animals other than foods such as cat .");
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->candidate_concepts.size(), 2u);
+  EXPECT_EQ(parsed->candidate_concepts[0], world_.FindConcept("animal"));
+  EXPECT_EQ(parsed->candidate_concepts[1], world_.FindConcept("food"));
+}
+
+/// Round-trip: parsing a rendered generated corpus recovers the generator's
+/// candidate structure (on worlds whose vocabularies the parser holds).
+TEST(ParserRoundTripTest, RecoverGeneratedSentences) {
+  WorldSpec wspec;
+  wspec.num_concepts = 25;
+  Rng wrng(3);
+  World world = GenerateWorld(wspec, &wrng);
+  CorpusSpec cspec;
+  cspec.num_sentences = 300;
+  cspec.misparse_rate = 0.0;  // Misparses deliberately differ from the text.
+  Rng crng(4);
+  Corpus corpus = GenerateCorpus(world, cspec, &crng);
+  HearstParser parser(&world.concept_vocab(), world.instance_vocab());
+  size_t checked = 0;
+  for (const auto& sentence : corpus.sentences.sentences()) {
+    auto parsed = parser.Parse(sentence.text);
+    ASSERT_TRUE(parsed.has_value()) << sentence.text;
+    EXPECT_EQ(parsed->candidate_concepts, sentence.candidate_concepts)
+        << sentence.text;
+    EXPECT_EQ(parsed->candidate_instances, sentence.candidate_instances)
+        << sentence.text;
+    ++checked;
+  }
+  EXPECT_GT(checked, 250u);
+}
+
+// ---------------------------------------------------------------------------
+// IterativeExtractor
+// ---------------------------------------------------------------------------
+
+/// A tiny hand-built corpus exercising the S1/S3 drift story.
+class ExtractorTest : public ::testing::Test {
+ protected:
+  ExtractorTest() : world_(BuildParserWorld()) {
+    animal_ = world_.FindConcept("animal");
+    food_ = world_.FindConcept("food");
+    dog_ = world_.FindInstance("dog");
+    cat_ = world_.FindInstance("cat");
+    chicken_ = world_.FindInstance("chicken");
+    pork_ = world_.FindInstance("pork");
+    beef_ = world_.FindInstance("beef");
+  }
+
+  void AddUnambiguous(ConceptId c, std::vector<InstanceId> list) {
+    Sentence s;
+    s.candidate_concepts = {c};
+    s.candidate_instances = std::move(list);
+    store_.Add(std::move(s));
+  }
+
+  void AddAmbiguous(ConceptId head, ConceptId adjacent, std::vector<InstanceId> list) {
+    Sentence s;
+    s.candidate_concepts = {head, adjacent};
+    s.candidate_instances = std::move(list);
+    store_.Add(std::move(s));
+  }
+
+  World world_;
+  SentenceStore store_;
+  ConceptId animal_, food_;
+  InstanceId dog_, cat_, chicken_, pork_, beef_;
+};
+
+TEST_F(ExtractorTest, IterationOneTakesOnlyUnambiguous) {
+  AddUnambiguous(animal_, {dog_, cat_});
+  AddAmbiguous(food_, animal_, {pork_});
+  KnowledgeBase kb;
+  IterativeExtractor extractor(&store_, ExtractorOptions{});
+  EXPECT_EQ(extractor.RunIteration(&kb, 1), 1u);
+  EXPECT_TRUE(kb.Contains(IsAPair{animal_, dog_}));
+  EXPECT_FALSE(kb.Contains(IsAPair{food_, pork_}));
+  EXPECT_FALSE(kb.Contains(IsAPair{animal_, pork_}));
+}
+
+TEST_F(ExtractorTest, PaperDriftScenario) {
+  // S1: "animals such as dog, cat and chicken" — iteration 1.
+  AddUnambiguous(animal_, {dog_, cat_, chicken_});
+  // S3: "food from animals such as pork, beef and chicken" — ambiguous;
+  // knowing (chicken isA animal) makes the naive extractor attach to
+  // animal, producing the drifting errors (pork/beef isA animal).
+  AddAmbiguous(food_, animal_, {pork_, beef_, chicken_});
+  KnowledgeBase kb;
+  IterativeExtractor extractor(&store_, ExtractorOptions{});
+  auto stats = extractor.Run(&kb);
+  ASSERT_GE(stats.size(), 2u);
+  EXPECT_TRUE(kb.Contains(IsAPair{animal_, pork_}));
+  EXPECT_TRUE(kb.Contains(IsAPair{animal_, beef_}));
+  // Provenance: chicken triggered the drift.
+  auto sub = kb.SubInstancesOf(IsAPair{animal_, chicken_});
+  EXPECT_EQ(sub.count(pork_), 1u);
+  EXPECT_EQ(sub.count(beef_), 1u);
+}
+
+TEST_F(ExtractorTest, StrongerEvidenceSideWins) {
+  AddUnambiguous(animal_, {chicken_});
+  AddUnambiguous(food_, {pork_, beef_});
+  // List has two known food items vs one known animal item: attaches food.
+  AddAmbiguous(food_, animal_, {pork_, beef_, chicken_});
+  KnowledgeBase kb;
+  IterativeExtractor extractor(&store_, ExtractorOptions{});
+  extractor.Run(&kb);
+  EXPECT_TRUE(kb.Contains(IsAPair{food_, chicken_}));
+  EXPECT_FALSE(kb.Contains(IsAPair{animal_, pork_}));
+}
+
+TEST_F(ExtractorTest, SupportSumOutweighsDistinctCount) {
+  // chicken@animal has count 3; pork@food count 1.
+  AddUnambiguous(animal_, {chicken_});
+  AddUnambiguous(animal_, {chicken_});
+  AddUnambiguous(animal_, {chicken_});
+  AddUnambiguous(food_, {pork_});
+  AddAmbiguous(food_, animal_, {pork_, chicken_});
+  KnowledgeBase kb;
+  ExtractorOptions options;
+  options.evidence = EvidencePolicy::kSupportSum;
+  IterativeExtractor extractor(&store_, options);
+  extractor.Run(&kb);
+  // Support: animal 3 vs food 1 (+1 chicken? chicken unknown under food).
+  EXPECT_TRUE(kb.Contains(IsAPair{animal_, pork_}));
+}
+
+TEST_F(ExtractorTest, DistinctCountPolicyPrefersMoreInstances) {
+  AddUnambiguous(animal_, {chicken_});
+  AddUnambiguous(animal_, {chicken_});
+  AddUnambiguous(animal_, {chicken_});
+  AddUnambiguous(food_, {pork_, beef_});
+  AddAmbiguous(food_, animal_, {pork_, beef_, chicken_});
+  KnowledgeBase kb;
+  ExtractorOptions options;
+  options.evidence = EvidencePolicy::kDistinctCount;
+  IterativeExtractor extractor(&store_, options);
+  extractor.Run(&kb);
+  // Distinct: food 2 (pork, beef) vs animal 1 (chicken).
+  EXPECT_TRUE(kb.Contains(IsAPair{food_, chicken_}));
+  EXPECT_FALSE(kb.Contains(IsAPair{animal_, pork_}));
+}
+
+TEST_F(ExtractorTest, AdjacentWinsExactTie) {
+  AddUnambiguous(animal_, {chicken_});
+  AddUnambiguous(food_, {pork_});
+  // One known instance each side with equal counts: adjacency decides.
+  AddAmbiguous(food_, animal_, {pork_, chicken_});
+  KnowledgeBase kb;
+  ExtractorOptions options;
+  options.prefer_adjacent_on_tie = true;
+  IterativeExtractor extractor(&store_, options);
+  extractor.Run(&kb);
+  EXPECT_TRUE(kb.Contains(IsAPair{animal_, pork_}));  // Adjacent = animal.
+}
+
+TEST_F(ExtractorTest, TieWithoutAdjacencyPreferenceWaits) {
+  AddUnambiguous(animal_, {chicken_});
+  AddUnambiguous(food_, {pork_});
+  AddAmbiguous(food_, animal_, {pork_, chicken_});
+  KnowledgeBase kb;
+  ExtractorOptions options;
+  options.prefer_adjacent_on_tie = false;
+  IterativeExtractor extractor(&store_, options);
+  extractor.Run(&kb);
+  // The tied sentence is never extracted (the tie never breaks).
+  EXPECT_FALSE(kb.Contains(IsAPair{animal_, pork_}));
+  EXPECT_FALSE(kb.Contains(IsAPair{food_, chicken_}));
+}
+
+TEST_F(ExtractorTest, SentencesConsumedOnce) {
+  AddUnambiguous(animal_, {dog_});
+  KnowledgeBase kb;
+  IterativeExtractor extractor(&store_, ExtractorOptions{});
+  extractor.Run(&kb);
+  EXPECT_EQ(kb.Count(IsAPair{animal_, dog_}), 1);
+  EXPECT_TRUE(extractor.Consumed(SentenceId(0)));
+}
+
+TEST_F(ExtractorTest, TwoPhaseWithinIteration) {
+  // Two ambiguous sentences whose resolution depends on each other's output
+  // must NOT see each other's extractions within the same iteration.
+  AddUnambiguous(animal_, {chicken_});
+  // A: resolvable at iteration 2 via chicken -> adds pork to animal.
+  AddAmbiguous(food_, animal_, {pork_, chicken_});
+  // B: contains only pork; at iteration 2 start pork is unknown everywhere,
+  // so B must wait until iteration 3.
+  AddAmbiguous(food_, animal_, {pork_, beef_});
+  KnowledgeBase kb;
+  IterativeExtractor extractor(&store_, ExtractorOptions{});
+  extractor.RunIteration(&kb, 1);
+  size_t second = extractor.RunIteration(&kb, 2);
+  EXPECT_EQ(second, 1u);  // Only A.
+  size_t third = extractor.RunIteration(&kb, 3);
+  EXPECT_EQ(third, 1u);  // B follows once pork is known.
+  EXPECT_TRUE(kb.Contains(IsAPair{animal_, beef_}));  // Chained drift.
+}
+
+TEST_F(ExtractorTest, RunStopsAtFixpoint) {
+  AddUnambiguous(animal_, {dog_});
+  AddAmbiguous(food_, animal_, {pork_, beef_});  // Never resolvable.
+  KnowledgeBase kb;
+  ExtractorOptions options;
+  options.max_iterations = 50;
+  IterativeExtractor extractor(&store_, options);
+  auto stats = extractor.Run(&kb);
+  EXPECT_LT(stats.size(), 5u);
+  EXPECT_EQ(stats.back().extractions, 0u);
+}
+
+TEST(ExtractorDeterminismTest, SameCorpusSameResult) {
+  WorldSpec wspec;
+  wspec.num_concepts = 30;
+  Rng wrng(8);
+  World world = GenerateWorld(wspec, &wrng);
+  CorpusSpec cspec;
+  cspec.num_sentences = 2000;
+  cspec.render_text = false;
+  Rng crng(9);
+  Corpus corpus = GenerateCorpus(world, cspec, &crng);
+  KnowledgeBase kb1;
+  KnowledgeBase kb2;
+  IterativeExtractor e1(&corpus.sentences, ExtractorOptions{});
+  IterativeExtractor e2(&corpus.sentences, ExtractorOptions{});
+  auto s1 = e1.Run(&kb1);
+  auto s2 = e2.Run(&kb2);
+  ASSERT_EQ(s1.size(), s2.size());
+  for (size_t i = 0; i < s1.size(); ++i) {
+    EXPECT_EQ(s1[i].extractions, s2[i].extractions);
+    EXPECT_EQ(s1[i].distinct_pairs, s2[i].distinct_pairs);
+  }
+  EXPECT_EQ(kb1.num_live_pairs(), kb2.num_live_pairs());
+  EXPECT_EQ(kb1.num_records(), kb2.num_records());
+}
+
+}  // namespace
+}  // namespace semdrift

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "baselines/cleaners.h"
+#include "baselines/threshold.h"
+#include "dp/cleaner.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "extract/hearst_parser.h"
+
+namespace semdrift {
+namespace {
+
+/// Full-pipeline invariants on one small shared experiment.
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ExperimentConfig config = PaperScaleConfig(0.08);
+    config.corpus.render_text = true;
+    experiment_ = Experiment::Build(config).release();
+  }
+  static void TearDownTestSuite() {
+    delete experiment_;
+    experiment_ = nullptr;
+  }
+
+  static Experiment* experiment_;
+};
+
+Experiment* PipelineTest::experiment_ = nullptr;
+
+TEST_F(PipelineTest, DriftLowersPrecisionAcrossIterations) {
+  std::vector<double> precision_by_iteration;
+  std::vector<ConceptId> scope = experiment_->EvalConcepts();
+  KnowledgeBase kb = experiment_->Extract(
+      nullptr, [&](const IterationStats&, const KnowledgeBase& snapshot) {
+        precision_by_iteration.push_back(
+            LivePairPrecision(experiment_->truth(), snapshot, scope));
+      });
+  ASSERT_GE(precision_by_iteration.size(), 2u);
+  EXPECT_GT(precision_by_iteration.front(), 0.85);  // Clean core.
+  EXPECT_LT(precision_by_iteration.back(),
+            precision_by_iteration.front() - 0.1);  // Visible drift.
+}
+
+TEST_F(PipelineTest, PairCountGrowsAcrossIterations) {
+  std::vector<IterationStats> stats;
+  KnowledgeBase kb = experiment_->Extract(&stats);
+  ASSERT_GE(stats.size(), 2u);
+  EXPECT_GT(stats[1].distinct_pairs, stats[0].distinct_pairs);
+}
+
+TEST_F(PipelineTest, ExtractionConsumesMostSentences) {
+  KnowledgeBase kb = experiment_->Extract();
+  // Records (one per consumed sentence) cover most of the corpus.
+  EXPECT_GT(kb.num_records(), experiment_->corpus().sentences.size() * 7 / 10);
+}
+
+TEST_F(PipelineTest, RenderedCorpusRoundTripsThroughParser) {
+  const World& world = experiment_->world();
+  HearstParser parser(&world.concept_vocab(), world.instance_vocab());
+  size_t mismatches = 0;
+  size_t checked = 0;
+  for (const auto& sentence : experiment_->corpus().sentences.sentences()) {
+    if (sentence.text.empty()) continue;
+    const auto& truth = experiment_->corpus().TruthOf(sentence.id);
+    if (truth.kind == SentenceKind::kMisparse) continue;  // Text differs by design.
+    auto parsed = parser.Parse(sentence.text);
+    if (!parsed.has_value() ||
+        parsed->candidate_concepts != sentence.candidate_concepts ||
+        parsed->candidate_instances != sentence.candidate_instances) {
+      ++mismatches;
+    }
+    if (++checked >= 2000) break;
+  }
+  EXPECT_EQ(mismatches, 0u);
+}
+
+TEST_F(PipelineTest, DpCleaningBeatsThresholdBaselinesOnF1) {
+  std::vector<ConceptId> scope = experiment_->EvalConcepts();
+
+  // DP cleaning.
+  KnowledgeBase kb = experiment_->Extract();
+  std::vector<IsAPair> population = LivePairsOf(kb, scope);
+  CleanerOptions options;
+  options.max_rounds = 3;
+  DpCleaner cleaner(&experiment_->corpus().sentences,
+                    experiment_->MakeVerifiedSource(),
+                    experiment_->world().num_concepts(), options);
+  cleaner.Clean(&kb, scope);
+  std::unordered_set<IsAPair, IsAPairHash> dp_removed;
+  for (const IsAPair& pair : population) {
+    if (!kb.Contains(pair)) dp_removed.insert(pair);
+  }
+  CleaningMetrics dp =
+      EvaluateCleaning(experiment_->truth(), population, dp_removed);
+  double dp_f1 = dp.perror + dp.rerror > 0
+                     ? 2 * dp.perror * dp.rerror / (dp.perror + dp.rerror)
+                     : 0;
+
+  // RW-Rank with its best (ground-truth-learned) threshold.
+  KnowledgeBase kb2 = experiment_->Extract();
+  auto scores = RwRankScores(kb2, scope);
+  std::vector<std::pair<double, bool>> scored;
+  for (const auto& [pair, score] : scores) {
+    scored.emplace_back(score, !experiment_->truth().PairCorrect(pair));
+  }
+  double threshold = LearnRemovalThreshold(scored);
+  auto rw_removed_list = ThresholdClean(scores, threshold);
+  std::unordered_set<IsAPair, IsAPairHash> rw_removed(rw_removed_list.begin(),
+                                                      rw_removed_list.end());
+  CleaningMetrics rw = EvaluateCleaning(experiment_->truth(),
+                                        LivePairsOf(kb2, scope), rw_removed);
+  double rw_f1 = rw.perror + rw.rerror > 0
+                     ? 2 * rw.perror * rw.rerror / (rw.perror + rw.rerror)
+                     : 0;
+
+  EXPECT_GT(dp_f1, rw_f1);
+}
+
+TEST_F(PipelineTest, MutualExclusionBaselineIsPreciseButLowRecall) {
+  KnowledgeBase kb = experiment_->Extract();
+  std::vector<ConceptId> scope = experiment_->EvalConcepts();
+  std::vector<IsAPair> population = LivePairsOf(kb, scope);
+  MutexIndex mutex(kb, experiment_->world().num_concepts());
+  auto removed_list = MutualExclusionClean(kb, mutex, scope);
+  std::unordered_set<IsAPair, IsAPairHash> removed(removed_list.begin(),
+                                                   removed_list.end());
+  CleaningMetrics m = EvaluateCleaning(experiment_->truth(), population, removed);
+  EXPECT_GT(m.perror, 0.35);  // More precise than chance...
+  EXPECT_LT(m.rerror, 0.6);   // ...but limited recall (the paper's story).
+}
+
+TEST_F(PipelineTest, GroundTruthDpCountsAreProportionedLikeThePaper) {
+  KnowledgeBase kb = experiment_->Extract();
+  size_t intentional = 0;
+  size_t accidental = 0;
+  size_t non_dp = 0;
+  size_t errors = 0;
+  for (ConceptId c : experiment_->EvalConcepts()) {
+    auto stats = experiment_->truth().StatsOf(kb, c);
+    intentional += stats.intentional_dps;
+    accidental += stats.accidental_dps;
+    non_dp += stats.non_dps;
+    errors += stats.errors;
+  }
+  // The paper's Table 1: DPs are a small minority of instances, errors are
+  // plentiful, and non-DPs dominate.
+  EXPECT_GT(intentional, 0u);
+  EXPECT_GT(accidental, 0u);
+  EXPECT_GT(errors, intentional + accidental);
+  EXPECT_GT(non_dp, intentional + accidental);
+}
+
+TEST_F(PipelineTest, SeedLabelsAreHighPrecisionAgainstGroundTruth) {
+  KnowledgeBase kb = experiment_->Extract();
+  MutexIndex mutex(kb, experiment_->world().num_concepts());
+  SeedLabeler seeds(&kb, &mutex, experiment_->MakeVerifiedSource());
+  size_t non_dp_seeds = 0;
+  size_t non_dp_correct = 0;
+  for (ConceptId c : experiment_->EvalConcepts()) {
+    for (auto [e, label] : seeds.LabelConcept(c)) {
+      if (label != DpClass::kNonDP) continue;
+      ++non_dp_seeds;
+      // A non-DP seed must at least be a correct pair.
+      non_dp_correct += experiment_->truth().PairCorrect(IsAPair{c, e});
+    }
+  }
+  ASSERT_GT(non_dp_seeds, 20u);
+  EXPECT_GT(static_cast<double>(non_dp_correct) / non_dp_seeds, 0.9);
+}
+
+}  // namespace
+}  // namespace semdrift

@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "kb/knowledge_base.h"
+#include "util/rng.h"
+
+namespace semdrift {
+namespace {
+
+ConceptId C(uint32_t v) { return ConceptId(v); }
+InstanceId E(uint32_t v) { return InstanceId(v); }
+SentenceId S(uint32_t v) { return SentenceId(v); }
+
+TEST(KnowledgeBaseTest, ApplyCreatesPairsWithCounts) {
+  KnowledgeBase kb;
+  kb.ApplyExtraction(S(0), C(0), {E(1), E(2)}, {}, 1);
+  kb.ApplyExtraction(S(1), C(0), {E(1)}, {}, 1);
+  EXPECT_EQ(kb.Count(IsAPair{C(0), E(1)}), 2);
+  EXPECT_EQ(kb.Count(IsAPair{C(0), E(2)}), 1);
+  EXPECT_EQ(kb.Count(IsAPair{C(0), E(3)}), 0);
+  EXPECT_EQ(kb.num_live_pairs(), 2u);
+  EXPECT_EQ(kb.num_records(), 2u);
+}
+
+TEST(KnowledgeBaseTest, Iter1CountTracksFirstIterationOnly) {
+  KnowledgeBase kb;
+  kb.ApplyExtraction(S(0), C(0), {E(1)}, {}, 1);
+  kb.ApplyExtraction(S(1), C(0), {E(1)}, {E(1)}, 2);
+  IsAPair pair{C(0), E(1)};
+  EXPECT_EQ(kb.Count(pair), 2);
+  EXPECT_EQ(kb.Iter1Count(pair), 1);
+  EXPECT_EQ(kb.FirstIteration(pair), 1);
+}
+
+TEST(KnowledgeBaseTest, FirstIterationOfLatePair) {
+  KnowledgeBase kb;
+  kb.ApplyExtraction(S(0), C(0), {E(1)}, {}, 1);
+  kb.ApplyExtraction(S(1), C(0), {E(2)}, {E(1)}, 3);
+  EXPECT_EQ(kb.FirstIteration(IsAPair{C(0), E(2)}), 3);
+  EXPECT_EQ(kb.FirstIteration(IsAPair{C(0), E(9)}), -1);
+}
+
+TEST(KnowledgeBaseTest, LiveInstancesAndIter1Instances) {
+  KnowledgeBase kb;
+  kb.ApplyExtraction(S(0), C(0), {E(1), E(2)}, {}, 1);
+  kb.ApplyExtraction(S(1), C(0), {E(3)}, {E(1)}, 2);
+  auto live = kb.LiveInstancesOf(C(0));
+  EXPECT_EQ(live.size(), 3u);
+  auto core = kb.Iter1InstancesOf(C(0));
+  EXPECT_EQ(core.size(), 2u);
+}
+
+TEST(KnowledgeBaseTest, TriggerProvenance) {
+  KnowledgeBase kb;
+  kb.ApplyExtraction(S(0), C(0), {E(1)}, {}, 1);
+  uint32_t triggered =
+      kb.ApplyExtraction(S(1), C(0), {E(2), E(3)}, {E(1)}, 2);
+  auto records = kb.LiveRecordsTriggeredBy(IsAPair{C(0), E(1)});
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0], triggered);
+  auto sub = kb.SubInstancesOf(IsAPair{C(0), E(1)});
+  EXPECT_EQ(sub.size(), 2u);
+  EXPECT_EQ(sub[E(2)], 1);
+  EXPECT_EQ(sub[E(3)], 1);
+}
+
+TEST(KnowledgeBaseTest, SubInstancesExcludeSelf) {
+  KnowledgeBase kb;
+  kb.ApplyExtraction(S(0), C(0), {E(1)}, {}, 1);
+  kb.ApplyExtraction(S(1), C(0), {E(1), E(2)}, {E(1)}, 2);
+  auto sub = kb.SubInstancesOf(IsAPair{C(0), E(1)});
+  EXPECT_EQ(sub.count(E(1)), 0u);
+  EXPECT_EQ(sub.count(E(2)), 1u);
+}
+
+TEST(KnowledgeBaseTest, RollbackDecrementsAndRemoves) {
+  KnowledgeBase kb;
+  uint32_t r0 = kb.ApplyExtraction(S(0), C(0), {E(1), E(2)}, {}, 1);
+  kb.ApplyExtraction(S(1), C(0), {E(1)}, {}, 1);
+  int rolled = kb.RollbackRecord(r0, CascadePolicy::kAllTriggersDead);
+  EXPECT_EQ(rolled, 1);
+  EXPECT_EQ(kb.Count(IsAPair{C(0), E(1)}), 1);   // Still supported by r1.
+  EXPECT_EQ(kb.Count(IsAPair{C(0), E(2)}), 0);   // Dead.
+  EXPECT_EQ(kb.num_live_pairs(), 1u);
+  EXPECT_TRUE(kb.record(r0).rolled_back);
+}
+
+TEST(KnowledgeBaseTest, RollbackIsIdempotent) {
+  KnowledgeBase kb;
+  uint32_t r0 = kb.ApplyExtraction(S(0), C(0), {E(1)}, {}, 1);
+  EXPECT_EQ(kb.RollbackRecord(r0, CascadePolicy::kAllTriggersDead), 1);
+  EXPECT_EQ(kb.RollbackRecord(r0, CascadePolicy::kAllTriggersDead), 0);
+  EXPECT_EQ(kb.Count(IsAPair{C(0), E(1)}), 0);
+}
+
+TEST(KnowledgeBaseTest, CascadeAllTriggersDead) {
+  KnowledgeBase kb;
+  // e1 supports a chain: e1 triggers (e2), e2 triggers (e3).
+  uint32_t root = kb.ApplyExtraction(S(0), C(0), {E(1)}, {}, 1);
+  kb.ApplyExtraction(S(1), C(0), {E(2)}, {E(1)}, 2);
+  kb.ApplyExtraction(S(2), C(0), {E(3)}, {E(2)}, 3);
+  int rolled = kb.RollbackRecord(root, CascadePolicy::kAllTriggersDead);
+  // Root + both dependents must fall: their sole triggers died.
+  EXPECT_EQ(rolled, 3);
+  EXPECT_EQ(kb.num_live_pairs(), 0u);
+}
+
+TEST(KnowledgeBaseTest, CascadeStopsWhenAnotherTriggerAlive) {
+  KnowledgeBase kb;
+  kb.ApplyExtraction(S(0), C(0), {E(1)}, {}, 1);
+  uint32_t other = kb.ApplyExtraction(S(1), C(0), {E(4)}, {}, 1);
+  (void)other;
+  // Dependent triggered by BOTH e1 and e4.
+  kb.ApplyExtraction(S(2), C(0), {E(2)}, {E(1), E(4)}, 2);
+  int rolled = kb.RemovePair(IsAPair{C(0), E(1)}, CascadePolicy::kAllTriggersDead);
+  EXPECT_EQ(rolled, 1);  // Only the producer of e1; dependent survives via e4.
+  EXPECT_EQ(kb.Count(IsAPair{C(0), E(2)}), 1);
+}
+
+TEST(KnowledgeBaseTest, CascadeAnyTriggerDeadIsAggressive) {
+  KnowledgeBase kb;
+  kb.ApplyExtraction(S(0), C(0), {E(1)}, {}, 1);
+  kb.ApplyExtraction(S(1), C(0), {E(4)}, {}, 1);
+  kb.ApplyExtraction(S(2), C(0), {E(2)}, {E(1), E(4)}, 2);
+  int rolled = kb.RemovePair(IsAPair{C(0), E(1)}, CascadePolicy::kAnyTriggerDead);
+  EXPECT_EQ(rolled, 2);  // Producer + dependent, though e4 is still alive.
+  EXPECT_EQ(kb.Count(IsAPair{C(0), E(2)}), 0);
+}
+
+TEST(KnowledgeBaseTest, RemovePairRollsAllProducers) {
+  KnowledgeBase kb;
+  kb.ApplyExtraction(S(0), C(0), {E(1), E(2)}, {}, 1);
+  kb.ApplyExtraction(S(1), C(0), {E(1), E(3)}, {}, 1);
+  int rolled = kb.RemovePair(IsAPair{C(0), E(1)}, CascadePolicy::kAllTriggersDead);
+  EXPECT_EQ(rolled, 2);
+  EXPECT_EQ(kb.Count(IsAPair{C(0), E(1)}), 0);
+  // Collateral: e2 and e3 lose their only producers too.
+  EXPECT_EQ(kb.Count(IsAPair{C(0), E(2)}), 0);
+  EXPECT_EQ(kb.Count(IsAPair{C(0), E(3)}), 0);
+}
+
+TEST(KnowledgeBaseTest, RollbackTriggeredByLeavesPairItself) {
+  KnowledgeBase kb;
+  kb.ApplyExtraction(S(0), C(0), {E(1)}, {}, 1);
+  kb.ApplyExtraction(S(1), C(0), {E(2)}, {E(1)}, 2);
+  int rolled = kb.RollbackTriggeredBy(IsAPair{C(0), E(1)},
+                                      CascadePolicy::kAllTriggersDead);
+  EXPECT_EQ(rolled, 1);
+  EXPECT_EQ(kb.Count(IsAPair{C(0), E(1)}), 1);  // DP pair itself untouched.
+  EXPECT_EQ(kb.Count(IsAPair{C(0), E(2)}), 0);
+}
+
+TEST(KnowledgeBaseTest, ConceptsAreIsolated) {
+  KnowledgeBase kb;
+  kb.ApplyExtraction(S(0), C(0), {E(1)}, {}, 1);
+  kb.ApplyExtraction(S(1), C(5), {E(1)}, {}, 1);
+  EXPECT_EQ(kb.Count(IsAPair{C(0), E(1)}), 1);
+  EXPECT_EQ(kb.Count(IsAPair{C(5), E(1)}), 1);
+  kb.RemovePair(IsAPair{C(0), E(1)}, CascadePolicy::kAllTriggersDead);
+  EXPECT_EQ(kb.Count(IsAPair{C(5), E(1)}), 1);
+}
+
+TEST(KnowledgeBaseTest, ForEachLiveRecordSkipsRolledBack) {
+  KnowledgeBase kb;
+  uint32_t r0 = kb.ApplyExtraction(S(0), C(0), {E(1)}, {}, 1);
+  kb.ApplyExtraction(S(1), C(0), {E(2)}, {}, 1);
+  kb.RollbackRecord(r0, CascadePolicy::kAllTriggersDead);
+  int live = 0;
+  kb.ForEachLiveRecordOfConcept(C(0), [&](const ExtractionRecord&) { ++live; });
+  EXPECT_EQ(live, 1);
+}
+
+TEST(KnowledgeBaseTest, UnknownConceptQueriesAreEmpty) {
+  KnowledgeBase kb;
+  EXPECT_TRUE(kb.InstancesEverOf(C(42)).empty());
+  EXPECT_TRUE(kb.RecordsOfConcept(C(42)).empty());
+  EXPECT_TRUE(kb.LiveRecordsTriggeredBy(IsAPair{C(42), E(0)}).empty());
+}
+
+/// Property: after any random sequence of rollbacks, pair counts equal the
+/// number of live producing records, and live_pairs matches the count of
+/// positive pairs.
+class KbRollbackPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KbRollbackPropertyTest, CountsStayConsistent) {
+  Rng rng(GetParam());
+  KnowledgeBase kb;
+  // Build a random KB: 3 concepts, 30 instances, 80 records.
+  std::vector<uint32_t> record_ids;
+  for (int r = 0; r < 80; ++r) {
+    ConceptId c(static_cast<uint32_t>(rng.NextBounded(3)));
+    std::vector<InstanceId> instances;
+    int len = 1 + static_cast<int>(rng.NextBounded(4));
+    for (int i = 0; i < len; ++i) {
+      InstanceId e(static_cast<uint32_t>(rng.NextBounded(30)));
+      if (std::find(instances.begin(), instances.end(), e) == instances.end()) {
+        instances.push_back(e);
+      }
+    }
+    // Triggers must already be live under c.
+    std::vector<InstanceId> triggers;
+    auto live = kb.LiveInstancesOf(c);
+    if (!live.empty() && rng.NextBool(0.6)) {
+      triggers.push_back(live[rng.NextBounded(live.size())]);
+    }
+    int iteration = triggers.empty() ? 1 : 2;
+    record_ids.push_back(kb.ApplyExtraction(SentenceId(r), c, instances, triggers,
+                                            iteration));
+  }
+  // Roll back a random third, mixing policies.
+  for (uint32_t id : record_ids) {
+    if (rng.NextBool(0.33)) {
+      kb.RollbackRecord(id, rng.NextBool(0.5) ? CascadePolicy::kAllTriggersDead
+                                              : CascadePolicy::kAnyTriggerDead);
+    }
+  }
+  // Invariant check.
+  size_t live_pairs = 0;
+  for (uint32_t ci = 0; ci < 3; ++ci) {
+    ConceptId c(ci);
+    for (InstanceId e : kb.InstancesEverOf(c)) {
+      const PairStats* stats = kb.Find(IsAPair{c, e});
+      ASSERT_NE(stats, nullptr);
+      int expected = 0;
+      for (uint32_t id : stats->producing_records) {
+        if (!kb.record(id).rolled_back) ++expected;
+      }
+      EXPECT_EQ(stats->count, expected);
+      EXPECT_GE(stats->count, 0);
+      if (stats->count > 0) ++live_pairs;
+    }
+  }
+  EXPECT_EQ(kb.num_live_pairs(), live_pairs);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KbRollbackPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace semdrift

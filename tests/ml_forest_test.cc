@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "ml/random_forest.h"
+#include "util/rng.h"
+
+namespace semdrift {
+namespace {
+
+/// Two-feature XOR-ish dataset a single linear cut cannot solve.
+void MakeXorData(size_t n, Rng* rng, std::vector<std::vector<double>>* x,
+                 std::vector<int>* y) {
+  for (size_t i = 0; i < n; ++i) {
+    double a = rng->NextDouble() < 0.5 ? 0.0 : 1.0;
+    double b = rng->NextDouble() < 0.5 ? 0.0 : 1.0;
+    x->push_back({a + 0.05 * rng->NextGaussian(), b + 0.05 * rng->NextGaussian()});
+    y->push_back(static_cast<int>(a) ^ static_cast<int>(b));
+  }
+}
+
+TEST(DecisionTreeTest, FitsPureLeafOnConstantLabels) {
+  std::vector<std::vector<double>> x{{0.0}, {1.0}, {2.0}};
+  std::vector<int> y{1, 1, 1};
+  DecisionTree tree;
+  Rng rng(1);
+  tree.Fit(x, y, {0, 1, 2}, 2, RandomForestOptions{}, &rng);
+  EXPECT_EQ(tree.num_nodes(), 1u);
+  const auto& counts = tree.Leaf({0.5});
+  EXPECT_EQ(counts[1], 3);
+}
+
+TEST(DecisionTreeTest, SplitsSimpleThreshold) {
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back({static_cast<double>(i)});
+    y.push_back(i < 10 ? 0 : 1);
+  }
+  std::vector<size_t> all(20);
+  for (size_t i = 0; i < 20; ++i) all[i] = i;
+  DecisionTree tree;
+  Rng rng(2);
+  RandomForestOptions options;
+  options.features_per_split = 1;
+  tree.Fit(x, y, all, 2, options, &rng);
+  EXPECT_GT(tree.num_nodes(), 1u);
+  EXPECT_GT(tree.Leaf({3.0})[0], 0);
+  EXPECT_EQ(tree.Leaf({3.0})[1], 0);
+  EXPECT_GT(tree.Leaf({15.0})[1], 0);
+}
+
+TEST(RandomForestTest, LearnsXor) {
+  Rng rng(3);
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  MakeXorData(400, &rng, &x, &y);
+  RandomForest forest;
+  RandomForestOptions options;
+  options.num_trees = 30;
+  forest.Fit(x, y, 2, options);
+  int correct = 0;
+  for (size_t i = 0; i < x.size(); ++i) correct += forest.Predict(x[i]) == y[i];
+  EXPECT_GT(correct, static_cast<int>(0.95 * x.size()));
+}
+
+TEST(RandomForestTest, ThreeClasses) {
+  Rng rng(5);
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  for (int i = 0; i < 300; ++i) {
+    int cls = i % 3;
+    x.push_back({cls * 2.0 + 0.2 * rng.NextGaussian(),
+                 -cls * 1.5 + 0.2 * rng.NextGaussian()});
+    y.push_back(cls);
+  }
+  RandomForest forest;
+  RandomForestOptions options;
+  options.num_trees = 25;
+  forest.Fit(x, y, 3, options);
+  int correct = 0;
+  for (size_t i = 0; i < x.size(); ++i) correct += forest.Predict(x[i]) == y[i];
+  EXPECT_GT(correct, 290);
+  auto proba = forest.PredictProba({0.0, 0.0});
+  EXPECT_EQ(proba.size(), 3u);
+  double total = proba[0] + proba[1] + proba[2];
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(proba[0], proba[2]);
+}
+
+TEST(RandomForestTest, DeterministicGivenSeed) {
+  Rng rng(7);
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  MakeXorData(200, &rng, &x, &y);
+  RandomForestOptions options;
+  options.num_trees = 10;
+  options.seed = 99;
+  RandomForest a;
+  a.Fit(x, y, 2, options);
+  RandomForest b;
+  b.Fit(x, y, 2, options);
+  for (size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.Predict(x[i]), b.Predict(x[i]));
+    EXPECT_EQ(a.PredictProba(x[i]), b.PredictProba(x[i]));
+  }
+}
+
+TEST(RandomForestTest, MinSamplesLeafLimitsDepth) {
+  Rng rng(9);
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  MakeXorData(100, &rng, &x, &y);
+  RandomForestOptions coarse;
+  coarse.num_trees = 1;
+  coarse.min_samples_leaf = 50;
+  RandomForest forest;
+  forest.Fit(x, y, 2, coarse);
+  // With leaves of >= 50 samples, a 100-sample tree has at most 3 nodes.
+  EXPECT_EQ(forest.num_trees(), 1u);
+}
+
+TEST(RandomForestTest, MaxDepthZeroGivesStumps) {
+  Rng rng(11);
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  MakeXorData(60, &rng, &x, &y);
+  RandomForestOptions options;
+  options.num_trees = 5;
+  options.max_depth = 0;
+  RandomForest forest;
+  forest.Fit(x, y, 2, options);
+  // Depth-0 trees are single leaves: prediction equals the majority class.
+  auto proba = forest.PredictProba({0.0, 0.0});
+  EXPECT_NEAR(proba[0] + proba[1], 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace semdrift

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kb/knowledge_base.h"
+#include "mutex/mutex_index.h"
+
+namespace semdrift {
+namespace {
+
+ConceptId C(uint32_t v) { return ConceptId(v); }
+InstanceId E(uint32_t v) { return InstanceId(v); }
+SentenceId S(uint32_t v) { return SentenceId(v); }
+
+/// Three concepts with iteration-1 cores:
+///   C0: {e1:3, e2:2, e3:1}
+///   C1: {e1:3, e2:2, e4:1}  (shares the head of C0 -> highly similar)
+///   C2: {e9:4, e10:1, e11:1} (disjoint -> mutually exclusive with both)
+KnowledgeBase BuildCoreKb() {
+  KnowledgeBase kb;
+  uint32_t sid = 0;
+  auto repeat = [&](ConceptId c, InstanceId e, int times) {
+    for (int i = 0; i < times; ++i) kb.ApplyExtraction(S(sid++), c, {e}, {}, 1);
+  };
+  repeat(C(0), E(1), 3);
+  repeat(C(0), E(2), 2);
+  repeat(C(0), E(3), 1);
+  repeat(C(1), E(1), 3);
+  repeat(C(1), E(2), 2);
+  repeat(C(1), E(4), 1);
+  repeat(C(2), E(9), 4);
+  repeat(C(2), E(10), 1);
+  repeat(C(2), E(11), 1);
+  return kb;
+}
+
+TEST(MutexIndexTest, SimMatchesManualCosine) {
+  KnowledgeBase kb = BuildCoreKb();
+  MutexIndex index(kb, 3);
+  // Dot = 3*3 + 2*2 = 13; norms: sqrt(9+4+1)=sqrt(14), sqrt(14).
+  double expected = 13.0 / 14.0;
+  EXPECT_NEAR(index.Sim(C(0), C(1)), expected, 1e-9);
+  EXPECT_EQ(index.Sim(C(0), C(2)), 0.0);
+  EXPECT_EQ(index.Sim(C(1), C(1)), 1.0);
+}
+
+TEST(MutexIndexTest, BandsClassifyRelations) {
+  KnowledgeBase kb = BuildCoreKb();
+  MutexIndex index(kb, 3);
+  EXPECT_TRUE(index.HighlySimilar(C(0), C(1)));
+  EXPECT_FALSE(index.IsMutex(C(0), C(1)));
+  EXPECT_TRUE(index.IsMutex(C(0), C(2)));
+  EXPECT_TRUE(index.IsMutex(C(1), C(2)));
+  EXPECT_FALSE(index.IsMutex(C(0), C(0)));
+}
+
+TEST(MutexIndexTest, SimilarConceptsListed) {
+  KnowledgeBase kb = BuildCoreKb();
+  MutexIndex index(kb, 3);
+  const auto& similar = index.SimilarConcepts(C(0));
+  ASSERT_EQ(similar.size(), 1u);
+  EXPECT_EQ(similar[0], C(1));
+  EXPECT_TRUE(index.SimilarConcepts(C(2)).empty());
+}
+
+TEST(MutexIndexTest, MutexPropagatesThroughSimilarClosure) {
+  KnowledgeBase kb = BuildCoreKb();
+  // Add a concept C3 overlapping C1's tail only: moderately similar to C1,
+  // disjoint from C0.
+  uint32_t sid = 100;
+  for (int i = 0; i < 2; ++i) kb.ApplyExtraction(S(sid++), C(3), {E(4)}, {}, 1);
+  kb.ApplyExtraction(S(sid++), C(3), {E(11)}, {}, 1);
+  kb.ApplyExtraction(S(sid++), C(3), {E(12)}, {}, 1);
+  MutexParams params;
+  MutexIndex index(kb, 4, params);
+  // Raw Sim(C0, C3) is zero, but C0 is highly similar to C1 which overlaps
+  // C3 — effective similarity blocks the mutex call when above threshold.
+  double c1_c3 = index.Sim(C(1), C(3));
+  ASSERT_GT(c1_c3, 0.0);
+  if (c1_c3 >= params.mutex_threshold) {
+    EXPECT_FALSE(index.IsMutex(C(0), C(3)));
+  } else {
+    EXPECT_TRUE(index.IsMutex(C(0), C(3)));
+  }
+}
+
+TEST(MutexIndexTest, SmallCoreConceptsAreUnusable) {
+  KnowledgeBase kb;
+  kb.ApplyExtraction(S(0), C(0), {E(1)}, {}, 1);  // Core size 1 < min 3.
+  for (int i = 0; i < 5; ++i) {
+    kb.ApplyExtraction(S(10 + i), C(1), {E(10 + i)}, {}, 1);
+  }
+  MutexIndex index(kb, 2);
+  EXPECT_FALSE(index.Usable(C(0)));
+  EXPECT_TRUE(index.Usable(C(1)));
+  EXPECT_FALSE(index.IsMutex(C(0), C(1)));  // Unusable never mutex.
+}
+
+TEST(MutexIndexTest, F2CountsMutexHolders) {
+  KnowledgeBase kb = BuildCoreKb();
+  // e1 lives in C0 and C1 (highly similar -> not mutex): f2 should be 0.
+  MutexIndex index(kb, 3);
+  EXPECT_EQ(index.F2Count(C(0), E(1)), 0);
+  // Put e9 (C2 core) into C0 via a late extraction: C0 & C2 are mutex, so
+  // f2(C0, e9) counts C2 and vice versa.
+  kb.ApplyExtraction(S(50), C(0), {E(9)}, {E(1)}, 2);
+  MutexIndex fresh(kb, 3);
+  EXPECT_EQ(fresh.F2Count(C(0), E(9)), 1);
+  EXPECT_EQ(fresh.F2Count(C(2), E(9)), 1);
+}
+
+TEST(MutexIndexTest, DeadPairsNotCounted) {
+  KnowledgeBase kb = BuildCoreKb();
+  uint32_t rec = kb.ApplyExtraction(S(60), C(0), {E(9)}, {E(1)}, 2);
+  kb.RollbackRecord(rec, CascadePolicy::kAllTriggersDead);
+  MutexIndex index(kb, 3);
+  // (C0, e9) is dead, so from C2's side e9 no longer has a mutex home.
+  EXPECT_EQ(index.F2Count(C(2), E(9)), 0);
+  // From C0's side e9 still lives under C2 (its legitimate home); f2 counts
+  // the instance's *other* live homes, not this pair's own liveness.
+  EXPECT_EQ(index.F2Count(C(0), E(9)), 1);
+}
+
+TEST(MutexIndexTest, NonZeroSimilaritiesSorted) {
+  KnowledgeBase kb = BuildCoreKb();
+  MutexIndex index(kb, 3);
+  auto sims = index.NonZeroSimilarities();
+  ASSERT_EQ(sims.size(), 1u);  // Only the C0-C1 pair overlaps.
+  EXPECT_NEAR(sims[0], 13.0 / 14.0, 1e-9);
+}
+
+TEST(MutexIndexTest, ThresholdsConfigurable) {
+  KnowledgeBase kb = BuildCoreKb();
+  MutexParams strict;
+  strict.similar_threshold = 0.99;  // C0-C1 (0.93) no longer "highly similar".
+  MutexIndex index(kb, 3, strict);
+  EXPECT_FALSE(index.HighlySimilar(C(0), C(1)));
+  // But sim 0.93 is far above the mutex threshold, so still not mutex.
+  EXPECT_FALSE(index.IsMutex(C(0), C(1)));
+}
+
+}  // namespace
+}  // namespace semdrift

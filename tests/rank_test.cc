@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "kb/knowledge_base.h"
+#include "rank/concept_graph.h"
+#include "rank/scorers.h"
+
+namespace semdrift {
+namespace {
+
+ConceptId C(uint32_t v) { return ConceptId(v); }
+InstanceId E(uint32_t v) { return InstanceId(v); }
+SentenceId S(uint32_t v) { return SentenceId(v); }
+
+/// KB with a small trigger structure under concept 0:
+///   roots (iteration 1): e1 (count 2), e2 (count 1)
+///   e1 triggers {e3, e4}; e3 triggers {e5}.
+KnowledgeBase BuildChainKb() {
+  KnowledgeBase kb;
+  kb.ApplyExtraction(S(0), C(0), {E(1), E(2)}, {}, 1);
+  kb.ApplyExtraction(S(1), C(0), {E(1)}, {}, 1);
+  kb.ApplyExtraction(S(2), C(0), {E(3), E(4)}, {E(1)}, 2);
+  kb.ApplyExtraction(S(3), C(0), {E(5)}, {E(3)}, 3);
+  return kb;
+}
+
+TEST(ConceptGraphTest, NodesAreLiveInstances) {
+  KnowledgeBase kb = BuildChainKb();
+  ConceptGraph graph = ConceptGraph::Build(kb, C(0));
+  EXPECT_EQ(graph.num_nodes(), 5u);
+  EXPECT_NE(graph.IndexOf(E(1)), static_cast<size_t>(-1));
+  EXPECT_EQ(graph.IndexOf(E(99)), static_cast<size_t>(-1));
+}
+
+TEST(ConceptGraphTest, EdgesFollowTriggers) {
+  KnowledgeBase kb = BuildChainKb();
+  ConceptGraph graph = ConceptGraph::Build(kb, C(0));
+  size_t e1 = graph.IndexOf(E(1));
+  const auto& edges = graph.OutEdges(e1);
+  EXPECT_EQ(edges.size(), 2u);  // e3 and e4.
+  size_t e2 = graph.IndexOf(E(2));
+  EXPECT_TRUE(graph.OutEdges(e2).empty());
+}
+
+TEST(ConceptGraphTest, RootWeightsAreIter1Counts) {
+  KnowledgeBase kb = BuildChainKb();
+  ConceptGraph graph = ConceptGraph::Build(kb, C(0));
+  EXPECT_EQ(graph.root_weights()[graph.IndexOf(E(1))], 2.0);
+  EXPECT_EQ(graph.root_weights()[graph.IndexOf(E(2))], 1.0);
+  EXPECT_EQ(graph.root_weights()[graph.IndexOf(E(4))], 0.0);
+}
+
+TEST(ConceptGraphTest, RolledBackRecordsExcluded) {
+  KnowledgeBase kb = BuildChainKb();
+  kb.RollbackRecord(3, CascadePolicy::kAllTriggersDead);  // Kills e5.
+  ConceptGraph graph = ConceptGraph::Build(kb, C(0));
+  EXPECT_EQ(graph.num_nodes(), 4u);
+  EXPECT_EQ(graph.IndexOf(E(5)), static_cast<size_t>(-1));
+}
+
+TEST(ScorersTest, FrequencyProportionalToCounts) {
+  KnowledgeBase kb = BuildChainKb();
+  auto scores = ScoreConcept(kb, C(0), RankModel::kFrequency);
+  // e1 has count 2, everything else count 1: total weight 6.
+  EXPECT_NEAR(scores[E(1)], 2.0 / 6.0, 1e-12);
+  EXPECT_NEAR(scores[E(2)], 1.0 / 6.0, 1e-12);
+}
+
+TEST(ScorersTest, ScoresSumToOne) {
+  KnowledgeBase kb = BuildChainKb();
+  for (RankModel model : {RankModel::kFrequency, RankModel::kPageRank,
+                          RankModel::kRandomWalk}) {
+    auto scores = ScoreConcept(kb, C(0), model);
+    double total = 0.0;
+    for (const auto& [e, s] : scores) {
+      (void)e;
+      EXPECT_GE(s, 0.0);
+      total += s;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-6) << static_cast<int>(model);
+  }
+}
+
+TEST(ScorersTest, RandomWalkMassDecaysAlongChain) {
+  KnowledgeBase kb = BuildChainKb();
+  auto scores = ScoreConcept(kb, C(0), RankModel::kRandomWalk);
+  // Roots hold more mass than first-hop children, which hold more than
+  // second-hop ones.
+  EXPECT_GT(scores[E(1)], scores[E(3)]);
+  EXPECT_GT(scores[E(3)], scores[E(5)]);
+}
+
+TEST(ScorersTest, RandomWalkUnreachableGetsZero) {
+  KnowledgeBase kb;
+  kb.ApplyExtraction(S(0), C(0), {E(1)}, {}, 1);
+  // e2 arrives late with a trigger from e1; e9's subtree is disconnected
+  // from the roots: insert it via a late record with trigger e2.
+  kb.ApplyExtraction(S(1), C(0), {E(2)}, {E(1)}, 2);
+  auto scores = ScoreConcept(kb, C(0), RankModel::kRandomWalk);
+  EXPECT_GT(scores[E(1)], 0.0);
+  EXPECT_GT(scores[E(2)], 0.0);
+}
+
+TEST(ScorersTest, PageRankIsUndirected) {
+  // In the directed trigger graph e1 -> e3; PageRank treats it undirected,
+  // so e3 passes mass back to e1 and both exceed the isolated node e2.
+  KnowledgeBase kb;
+  kb.ApplyExtraction(S(0), C(0), {E(1)}, {}, 1);
+  kb.ApplyExtraction(S(1), C(0), {E(2)}, {}, 1);
+  kb.ApplyExtraction(S(2), C(0), {E(3)}, {E(1)}, 2);
+  auto scores = ScoreConcept(kb, C(0), RankModel::kPageRank);
+  EXPECT_GT(scores[E(1)], scores[E(2)]);
+  EXPECT_GT(scores[E(3)], scores[E(2)]);
+}
+
+TEST(ScorersTest, EmptyConcept) {
+  KnowledgeBase kb;
+  auto scores = ScoreConcept(kb, C(7), RankModel::kRandomWalk);
+  EXPECT_TRUE(scores.empty());
+}
+
+TEST(ScorersTest, NoRootsFallsBackToUniformRestart) {
+  KnowledgeBase kb;
+  // All records in iteration 2 (triggers faked through an iteration-1 pair
+  // under a different concept is impossible; use a concept whose iter-1
+  // record was rolled back instead).
+  uint32_t root = kb.ApplyExtraction(S(0), C(0), {E(1)}, {}, 1);
+  kb.ApplyExtraction(S(1), C(0), {E(1), E(2)}, {E(1)}, 2);
+  kb.RollbackRecord(root, CascadePolicy::kAllTriggersDead);
+  // e1 survives via the iteration-2 record but has no iter-1 count now.
+  ASSERT_TRUE(kb.Contains(IsAPair{C(0), E(1)}));
+  auto scores = ScoreConcept(kb, C(0), RankModel::kRandomWalk);
+  double total = 0.0;
+  for (const auto& [e, s] : scores) {
+    (void)e;
+    total += s;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-6);
+}
+
+TEST(ScoreCacheTest, CachesAndServesScores) {
+  KnowledgeBase kb = BuildChainKb();
+  ScoreCache cache(&kb, RankModel::kRandomWalk);
+  double first = cache.Get(C(0), E(1));
+  EXPECT_GT(first, 0.0);
+  EXPECT_EQ(cache.Get(C(0), E(1)), first);  // Stable on repeat.
+  EXPECT_EQ(cache.Get(C(0), E(77)), 0.0);   // Unknown instance.
+  EXPECT_EQ(cache.Get(C(9), E(1)), 0.0);    // Unknown concept.
+}
+
+TEST(ScorersTest, WalkParamsTeleportAffectsConcentration) {
+  KnowledgeBase kb = BuildChainKb();
+  WalkParams strong;
+  strong.teleport = 0.9;
+  WalkParams weak;
+  weak.teleport = 0.05;
+  auto concentrated = ScoreConcept(kb, C(0), RankModel::kRandomWalk, strong);
+  auto diffuse = ScoreConcept(kb, C(0), RankModel::kRandomWalk, weak);
+  // Strong teleport keeps mass at the roots.
+  EXPECT_GT(concentrated[E(1)], diffuse[E(1)]);
+  EXPECT_LT(concentrated[E(5)], diffuse[E(5)]);
+}
+
+}  // namespace
+}  // namespace semdrift

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "corpus/generator.h"
+#include "corpus/serialization.h"
+#include "corpus/world.h"
+#include "extract/extractor.h"
+
+namespace semdrift {
+namespace {
+
+World MakeWorld() {
+  WorldSpec spec;
+  spec.num_concepts = 25;
+  spec.named_concepts = {"animal", "food"};
+  Rng rng(7);
+  return GenerateWorld(spec, &rng);
+}
+
+TEST(WorldSerializationTest, RoundTripPreservesStructure) {
+  World original = MakeWorld();
+  std::string path = ::testing::TempDir() + "/world_roundtrip.tsv";
+  ASSERT_TRUE(SaveWorld(original, path).ok());
+  auto loaded = LoadWorld(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  ASSERT_EQ(loaded->num_concepts(), original.num_concepts());
+  ASSERT_EQ(loaded->num_instances(), original.num_instances());
+  for (size_t ci = 0; ci < original.num_concepts(); ++ci) {
+    ConceptId c(static_cast<uint32_t>(ci));
+    EXPECT_EQ(loaded->ConceptName(c), original.ConceptName(c));
+    EXPECT_EQ(loaded->Members(c).size(), original.Members(c).size());
+    EXPECT_EQ(loaded->Confusables(c).size(), original.Confusables(c).size());
+    EXPECT_EQ(loaded->SimilarTwin(c).valid(), original.SimilarTwin(c).valid());
+    for (size_t i = 0; i < original.Members(c).size(); ++i) {
+      InstanceId e = original.Members(c)[i];
+      EXPECT_EQ(loaded->InstanceName(loaded->Members(c)[i]), original.InstanceName(e));
+      EXPECT_EQ(loaded->IsVerified(c, loaded->Members(c)[i]),
+                original.IsVerified(c, e));
+      EXPECT_NEAR(loaded->MemberWeights(c)[i], original.MemberWeights(c)[i], 1e-8);
+    }
+  }
+  EXPECT_EQ(loaded->polysemes().size(), original.polysemes().size());
+}
+
+TEST(WorldSerializationTest, RejectsWrongHeader) {
+  std::string path = ::testing::TempDir() + "/not_a_world.tsv";
+  {
+    std::ofstream out(path);
+    out << "something else\n";
+  }
+  auto loaded = LoadWorld(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(WorldSerializationTest, MissingFileIsIoError) {
+  auto loaded = LoadWorld("/nonexistent/definitely/missing.tsv");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), Status::Code::kIOError);
+}
+
+TEST(CorpusSerializationTest, RoundTripPreservesSentences) {
+  World world = MakeWorld();
+  CorpusSpec spec;
+  spec.num_sentences = 500;
+  spec.render_text = true;
+  Rng rng(11);
+  Corpus original = GenerateCorpus(world, spec, &rng);
+  std::string path = ::testing::TempDir() + "/corpus_roundtrip.tsv";
+  ASSERT_TRUE(SaveCorpus(world, original, path).ok());
+  auto loaded = LoadCorpus(world, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  ASSERT_EQ(loaded->sentences.size(), original.sentences.size());
+  for (size_t i = 0; i < original.sentences.size(); ++i) {
+    SentenceId id(static_cast<uint32_t>(i));
+    const Sentence& a = original.sentences.Get(id);
+    const Sentence& b = loaded->sentences.Get(id);
+    EXPECT_EQ(a.candidate_concepts, b.candidate_concepts);
+    EXPECT_EQ(a.candidate_instances, b.candidate_instances);
+    EXPECT_EQ(a.text, b.text);
+    EXPECT_EQ(original.TruthOf(id).kind, loaded->TruthOf(id).kind);
+    EXPECT_EQ(original.TruthOf(id).true_concept, loaded->TruthOf(id).true_concept);
+    EXPECT_EQ(original.TruthOf(id).polyseme, loaded->TruthOf(id).polyseme);
+  }
+}
+
+TEST(CorpusSerializationTest, LoadedCorpusExtractsIdentically) {
+  World world = MakeWorld();
+  CorpusSpec spec;
+  spec.num_sentences = 1000;
+  spec.render_text = false;
+  Rng rng(13);
+  Corpus original = GenerateCorpus(world, spec, &rng);
+  std::string path = ::testing::TempDir() + "/corpus_extract.tsv";
+  ASSERT_TRUE(SaveCorpus(world, original, path).ok());
+  auto loaded = LoadCorpus(world, path);
+  ASSERT_TRUE(loaded.ok());
+
+  KnowledgeBase kb_a;
+  IterativeExtractor ea(&original.sentences, ExtractorOptions{});
+  ea.Run(&kb_a);
+  KnowledgeBase kb_b;
+  IterativeExtractor eb(&loaded->sentences, ExtractorOptions{});
+  eb.Run(&kb_b);
+  EXPECT_EQ(kb_a.num_live_pairs(), kb_b.num_live_pairs());
+  EXPECT_EQ(kb_a.num_records(), kb_b.num_records());
+}
+
+TEST(TaxonomyExportTest, WritesLivePairsOnly) {
+  World world = MakeWorld();
+  KnowledgeBase kb;
+  ConceptId c(0);
+  InstanceId kept = world.Members(c)[0];
+  InstanceId dropped = world.Members(c)[1];
+  kb.ApplyExtraction(SentenceId(0), c, {kept, dropped}, {}, 1);
+  kb.ApplyExtraction(SentenceId(1), c, {kept}, {}, 1);
+  kb.RollbackRecord(0, CascadePolicy::kAllTriggersDead);  // Kills `dropped`.
+  std::string path = ::testing::TempDir() + "/taxonomy.tsv";
+  ASSERT_TRUE(ExportTaxonomyTsv(kb, world, path).ok());
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find(world.InstanceName(kept)), std::string::npos);
+  EXPECT_EQ(content.find(world.InstanceName(dropped)), std::string::npos);
+  EXPECT_NE(content.find("concept\tinstance"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace semdrift

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "text/ids.h"
+#include "text/morphology.h"
+#include "text/sentence.h"
+#include "text/tokenizer.h"
+#include "text/vocab.h"
+
+namespace semdrift {
+namespace {
+
+TEST(IdsTest, DefaultIsInvalid) {
+  ConceptId c;
+  EXPECT_FALSE(c.valid());
+  EXPECT_TRUE(ConceptId(0).valid());
+}
+
+TEST(IdsTest, DistinctTagTypesDoNotCompare) {
+  // Compile-time property: ConceptId and InstanceId are distinct types.
+  static_assert(!std::is_same_v<ConceptId, InstanceId>);
+  EXPECT_EQ(ConceptId(3), ConceptId(3));
+  EXPECT_NE(ConceptId(3), ConceptId(4));
+  EXPECT_LT(ConceptId(3), ConceptId(4));
+}
+
+TEST(IdsTest, PairEqualityAndOrdering) {
+  IsAPair a{ConceptId(1), InstanceId(2)};
+  IsAPair b{ConceptId(1), InstanceId(2)};
+  IsAPair c{ConceptId(1), InstanceId(3)};
+  IsAPair d{ConceptId(2), InstanceId(0)};
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(a < c);
+  EXPECT_TRUE(c < d);
+}
+
+TEST(IdsTest, PairHashSpreads) {
+  IsAPairHash hash;
+  EXPECT_NE(hash(IsAPair{ConceptId(0), InstanceId(1)}),
+            hash(IsAPair{ConceptId(1), InstanceId(0)}));
+}
+
+TEST(VocabTest, InternAssignsSequentialIds) {
+  Vocab vocab;
+  EXPECT_EQ(vocab.Intern("dog"), 0u);
+  EXPECT_EQ(vocab.Intern("cat"), 1u);
+  EXPECT_EQ(vocab.Intern("dog"), 0u);  // Idempotent.
+  EXPECT_EQ(vocab.size(), 2u);
+}
+
+TEST(VocabTest, FindDoesNotIntern) {
+  Vocab vocab;
+  EXPECT_EQ(vocab.Find("ghost"), Vocab::kNotFound);
+  EXPECT_EQ(vocab.size(), 0u);
+  vocab.Intern("real");
+  EXPECT_EQ(vocab.Find("real"), 0u);
+  EXPECT_TRUE(vocab.Contains("real"));
+}
+
+TEST(VocabTest, TermOfRoundTrips) {
+  Vocab vocab;
+  uint32_t id = vocab.Intern("asian country");
+  EXPECT_EQ(vocab.TermOf(id), "asian country");
+}
+
+TEST(VocabTest, CopyIsIndependent) {
+  Vocab vocab;
+  vocab.Intern("a");
+  Vocab copy = vocab;
+  copy.Intern("b");
+  EXPECT_EQ(vocab.size(), 1u);
+  EXPECT_EQ(copy.size(), 2u);
+  EXPECT_EQ(copy.Find("a"), 0u);
+}
+
+TEST(MorphologyTest, RegularPlurals) {
+  EXPECT_EQ(Pluralize("dog"), "dogs");
+  EXPECT_EQ(Pluralize("fox"), "foxes");
+  EXPECT_EQ(Pluralize("dish"), "dishes");
+  EXPECT_EQ(Pluralize("church"), "churches");
+  EXPECT_EQ(Pluralize("city"), "cities");
+  EXPECT_EQ(Pluralize("day"), "days");  // Vowel + y.
+}
+
+TEST(MorphologyTest, IrregularPlurals) {
+  EXPECT_EQ(Pluralize("child"), "children");
+  EXPECT_EQ(Pluralize("woman"), "women");
+  EXPECT_EQ(Pluralize("person"), "people");
+}
+
+TEST(MorphologyTest, MultiWordPluralizesLastWord) {
+  EXPECT_EQ(Pluralize("asian country"), "asian countries");
+  EXPECT_EQ(Pluralize("u.s. state"), "u.s. states");
+  EXPECT_EQ(Pluralize("disney classic"), "disney classics");
+}
+
+TEST(MorphologyTest, SingularizeInvertsPluralize) {
+  const char* words[] = {"dog",   "fox",  "dish",  "city",  "day",
+                         "child", "woman", "person", "computer", "weather",
+                         "money", "religion", "student", "phone"};
+  for (const char* word : words) {
+    EXPECT_EQ(Singularize(Pluralize(word)), word) << word;
+  }
+}
+
+TEST(MorphologyTest, SingularizeMultiWordRoundTrip) {
+  const char* terms[] = {"asian country", "chinese city", "computer software",
+                         "developing country", "key u.s. export", "u.s. state"};
+  for (const char* term : terms) {
+    EXPECT_EQ(Singularize(Pluralize(term)), term) << term;
+  }
+}
+
+TEST(MorphologyTest, AlreadySingularPassesThroughMostly) {
+  // Words not ending in plural-looking suffixes are unchanged.
+  EXPECT_EQ(Singularize("dog"), "dog");
+  EXPECT_EQ(Singularize("weather"), "weather");
+}
+
+TEST(TokenizerTest, LowercasesAndSplits) {
+  auto tokens = Tokenize("Animals such as Dogs and Cats .");
+  ASSERT_EQ(tokens.size(), 6u);
+  EXPECT_EQ(tokens[0].text, "animals");
+  EXPECT_EQ(tokens[3].text, "dogs");
+  EXPECT_EQ(tokens[5].text, "cats");
+}
+
+TEST(TokenizerTest, RecordsCommas) {
+  auto tokens = Tokenize("such as a, b, and c");
+  // Tokens: such as a(,) b(,) and c
+  ASSERT_EQ(tokens.size(), 6u);
+  EXPECT_TRUE(tokens[2].followed_by_comma);
+  EXPECT_TRUE(tokens[3].followed_by_comma);
+  EXPECT_FALSE(tokens[5].followed_by_comma);
+}
+
+TEST(TokenizerTest, KeepsAbbreviationDots) {
+  auto tokens = Tokenize("u.s. states such as texas .");
+  ASSERT_GE(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].text, "u.s.");
+  EXPECT_EQ(tokens[1].text, "states");
+  // Sentence-final period token is dropped entirely.
+  EXPECT_EQ(tokens.back().text, "texas");
+}
+
+TEST(TokenizerTest, StripsSentencePunctuation) {
+  auto tokens = Tokenize("dogs!");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].text, "dogs");
+}
+
+TEST(TokenizerTest, EmptyInput) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("  ,, .. !").empty());
+}
+
+TEST(TokenizerTest, DetokenizeJoins) {
+  auto tokens = Tokenize("a, b and c");
+  EXPECT_EQ(Detokenize(tokens), "a, b and c");
+}
+
+TEST(SentenceTest, UnambiguousPredicate) {
+  Sentence s;
+  s.candidate_concepts = {ConceptId(1)};
+  EXPECT_TRUE(s.unambiguous());
+  s.candidate_concepts.push_back(ConceptId(2));
+  EXPECT_FALSE(s.unambiguous());
+}
+
+TEST(SentenceStoreTest, AssignsSequentialIds) {
+  SentenceStore store;
+  Sentence a;
+  a.candidate_concepts = {ConceptId(0)};
+  SentenceId first = store.Add(std::move(a));
+  Sentence b;
+  b.candidate_concepts = {ConceptId(1)};
+  SentenceId second = store.Add(std::move(b));
+  EXPECT_EQ(first.value, 0u);
+  EXPECT_EQ(second.value, 1u);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.Get(first).id, first);
+  EXPECT_EQ(store.Get(second).candidate_concepts[0], ConceptId(1));
+}
+
+}  // namespace
+}  // namespace semdrift

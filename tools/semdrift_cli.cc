@@ -1,0 +1,197 @@
+// semdrift — command-line driver for the library.
+//
+//   semdrift generate --scale 0.25 --seed 2014 --world w.tsv --corpus c.tsv
+//       Generate a ground-truth world + Hearst corpus and save both.
+//   semdrift run --world w.tsv --corpus c.tsv --out taxonomy.tsv [--no-clean]
+//       Load world+corpus, run iterative extraction (and DP cleaning unless
+//       --no-clean), report quality against ground truth, export the
+//       taxonomy.
+//   semdrift parse --world w.tsv
+//       Read raw sentences from stdin, parse each with the Hearst parser,
+//       print the candidate analysis.
+//
+// Every subcommand is deterministic in --seed.
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <unordered_map>
+
+#include "corpus/serialization.h"
+#include "dp/cleaner.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "extract/extractor.h"
+#include "extract/hearst_parser.h"
+#include "util/logging.h"
+
+using namespace semdrift;
+
+namespace {
+
+/// Minimal --flag value parser: flags() holds every "--name value" pair.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) == 0) {
+        values_[argv[i] + 2] = argv[i + 1];
+      } else {
+        std::fprintf(stderr, "unexpected argument: %s\n", argv[i]);
+      }
+    }
+    // Boolean flags (no value) are handled by Has() on the raw argv.
+    for (int i = first; i < argc; ++i) raw_.emplace_back(argv[i]);
+  }
+
+  std::string Get(const std::string& name, const std::string& fallback) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& name, double fallback) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+  uint64_t GetUint(const std::string& name, uint64_t fallback) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+  bool Has(const std::string& name) const {
+    for (const std::string& arg : raw_) {
+      if (arg == "--" + name) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::unordered_map<std::string, std::string> values_;
+  std::vector<std::string> raw_;
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  semdrift generate --scale S --seed N --world W --corpus C\n"
+               "  semdrift run --world W --corpus C --out T.tsv [--no-clean]\n"
+               "  semdrift parse --world W   (sentences on stdin)\n");
+  return 2;
+}
+
+int Generate(const Flags& flags) {
+  ExperimentConfig config = PaperScaleConfig(flags.GetDouble("scale", 0.25));
+  config.seed = flags.GetUint("seed", 2014);
+  config.corpus.render_text = true;
+  auto experiment = Experiment::Build(config);
+  std::string world_path = flags.Get("world", "world.tsv");
+  std::string corpus_path = flags.Get("corpus", "corpus.tsv");
+  Status s = SaveWorld(experiment->world(), world_path);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  s = SaveCorpus(experiment->world(), experiment->corpus(), corpus_path);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("world: %zu concepts, %zu instances -> %s\n",
+              experiment->world().num_concepts(), experiment->world().num_instances(),
+              world_path.c_str());
+  std::printf("corpus: %zu sentences -> %s\n", experiment->corpus().sentences.size(),
+              corpus_path.c_str());
+  return 0;
+}
+
+int Run(const Flags& flags) {
+  auto world = LoadWorld(flags.Get("world", "world.tsv"));
+  if (!world.ok()) {
+    std::fprintf(stderr, "%s\n", world.status().ToString().c_str());
+    return 1;
+  }
+  auto corpus = LoadCorpus(*world, flags.Get("corpus", "corpus.tsv"));
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "%s\n", corpus.status().ToString().c_str());
+    return 1;
+  }
+
+  KnowledgeBase kb;
+  IterativeExtractor extractor(&corpus->sentences, ExtractorOptions{});
+  auto iterations = extractor.Run(&kb);
+  GroundTruth truth(&*world);
+  std::vector<ConceptId> scope;
+  for (size_t ci = 0; ci < world->num_concepts(); ++ci) {
+    scope.push_back(ConceptId(static_cast<uint32_t>(ci)));
+  }
+  std::printf("extracted %zu pairs in %zu iterations (precision %.3f)\n",
+              kb.num_live_pairs(), iterations.size(),
+              LivePairPrecision(truth, kb, scope));
+
+  if (!flags.Has("no-clean")) {
+    CleanerOptions options;
+    const World* world_ptr = &*world;
+    DpCleaner cleaner(
+        &corpus->sentences,
+        [world_ptr](const IsAPair& pair) {
+          return world_ptr->IsVerified(pair.concept_id, pair.instance);
+        },
+        world->num_concepts(), options);
+    CleaningReport report = cleaner.Clean(&kb, scope);
+    std::printf("cleaned: %d rounds, %zu DPs, %zu -> %zu pairs (precision %.3f)\n",
+                report.rounds,
+                report.intentional_dps.size() + report.accidental_dps.size(),
+                report.live_pairs_before, report.live_pairs_after,
+                LivePairPrecision(truth, kb, scope));
+  }
+
+  std::string out = flags.Get("out", "taxonomy.tsv");
+  Status s = ExportTaxonomyTsv(kb, *world, out);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("taxonomy -> %s\n", out.c_str());
+  return 0;
+}
+
+int Parse(const Flags& flags) {
+  auto world = LoadWorld(flags.Get("world", "world.tsv"));
+  if (!world.ok()) {
+    std::fprintf(stderr, "%s\n", world.status().ToString().c_str());
+    return 1;
+  }
+  HearstParser parser(&world->concept_vocab(), world->instance_vocab());
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    auto parsed = parser.Parse(line);
+    if (!parsed.has_value()) {
+      std::printf("NO-MATCH\t%s\n", line.c_str());
+      continue;
+    }
+    std::printf("MATCH\tconcepts=[");
+    for (size_t i = 0; i < parsed->candidate_concepts.size(); ++i) {
+      std::printf("%s%s", i ? ", " : "",
+                  world->ConceptName(parsed->candidate_concepts[i]).c_str());
+    }
+    std::printf("]\tinstances=[");
+    for (size_t i = 0; i < parsed->candidate_instances.size(); ++i) {
+      std::printf("%s%s", i ? ", " : "",
+                  parser.instance_lexicon().TermOf(parsed->candidate_instances[i].value)
+                      .c_str());
+    }
+    std::printf("]\n");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  Flags flags(argc, argv, 2);
+  std::string command = argv[1];
+  if (command == "generate") return Generate(flags);
+  if (command == "run") return Run(flags);
+  if (command == "parse") return Parse(flags);
+  return Usage();
+}
