@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5a_iterations.dir/bench_fig5a_iterations.cc.o"
+  "CMakeFiles/bench_fig5a_iterations.dir/bench_fig5a_iterations.cc.o.d"
+  "bench_fig5a_iterations"
+  "bench_fig5a_iterations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5a_iterations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5b_threshold_k.dir/bench_fig5b_threshold_k.cc.o"
+  "CMakeFiles/bench_fig5b_threshold_k.dir/bench_fig5b_threshold_k.cc.o.d"
+  "bench_fig5b_threshold_k"
+  "bench_fig5b_threshold_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5b_threshold_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_per_concept.dir/bench_table5_per_concept.cc.o"
+  "CMakeFiles/bench_table5_per_concept.dir/bench_table5_per_concept.cc.o.d"
+  "bench_table5_per_concept"
+  "bench_table5_per_concept.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_per_concept.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

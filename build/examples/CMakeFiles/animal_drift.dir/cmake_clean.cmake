@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/animal_drift.dir/animal_drift.cpp.o"
+  "CMakeFiles/animal_drift.dir/animal_drift.cpp.o.d"
+  "animal_drift"
+  "animal_drift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/animal_drift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

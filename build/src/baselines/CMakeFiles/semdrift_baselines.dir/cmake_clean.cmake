@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semdrift_baselines.dir/cleaners.cc.o"
+  "CMakeFiles/semdrift_baselines.dir/cleaners.cc.o.d"
+  "CMakeFiles/semdrift_baselines.dir/threshold.cc.o"
+  "CMakeFiles/semdrift_baselines.dir/threshold.cc.o.d"
+  "libsemdrift_baselines.a"
+  "libsemdrift_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semdrift_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

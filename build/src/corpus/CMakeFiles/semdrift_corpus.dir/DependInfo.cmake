@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/generator.cc" "src/corpus/CMakeFiles/semdrift_corpus.dir/generator.cc.o" "gcc" "src/corpus/CMakeFiles/semdrift_corpus.dir/generator.cc.o.d"
+  "/root/repo/src/corpus/renderer.cc" "src/corpus/CMakeFiles/semdrift_corpus.dir/renderer.cc.o" "gcc" "src/corpus/CMakeFiles/semdrift_corpus.dir/renderer.cc.o.d"
+  "/root/repo/src/corpus/serialization.cc" "src/corpus/CMakeFiles/semdrift_corpus.dir/serialization.cc.o" "gcc" "src/corpus/CMakeFiles/semdrift_corpus.dir/serialization.cc.o.d"
+  "/root/repo/src/corpus/world.cc" "src/corpus/CMakeFiles/semdrift_corpus.dir/world.cc.o" "gcc" "src/corpus/CMakeFiles/semdrift_corpus.dir/world.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kb/CMakeFiles/semdrift_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/semdrift_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/semdrift_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semdrift_corpus.dir/generator.cc.o"
+  "CMakeFiles/semdrift_corpus.dir/generator.cc.o.d"
+  "CMakeFiles/semdrift_corpus.dir/renderer.cc.o"
+  "CMakeFiles/semdrift_corpus.dir/renderer.cc.o.d"
+  "CMakeFiles/semdrift_corpus.dir/serialization.cc.o"
+  "CMakeFiles/semdrift_corpus.dir/serialization.cc.o.d"
+  "CMakeFiles/semdrift_corpus.dir/world.cc.o"
+  "CMakeFiles/semdrift_corpus.dir/world.cc.o.d"
+  "libsemdrift_corpus.a"
+  "libsemdrift_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semdrift_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dp/cleaner.cc" "src/dp/CMakeFiles/semdrift_dp.dir/cleaner.cc.o" "gcc" "src/dp/CMakeFiles/semdrift_dp.dir/cleaner.cc.o.d"
+  "/root/repo/src/dp/detector.cc" "src/dp/CMakeFiles/semdrift_dp.dir/detector.cc.o" "gcc" "src/dp/CMakeFiles/semdrift_dp.dir/detector.cc.o.d"
+  "/root/repo/src/dp/features.cc" "src/dp/CMakeFiles/semdrift_dp.dir/features.cc.o" "gcc" "src/dp/CMakeFiles/semdrift_dp.dir/features.cc.o.d"
+  "/root/repo/src/dp/seed_labeling.cc" "src/dp/CMakeFiles/semdrift_dp.dir/seed_labeling.cc.o" "gcc" "src/dp/CMakeFiles/semdrift_dp.dir/seed_labeling.cc.o.d"
+  "/root/repo/src/dp/sentence_check.cc" "src/dp/CMakeFiles/semdrift_dp.dir/sentence_check.cc.o" "gcc" "src/dp/CMakeFiles/semdrift_dp.dir/sentence_check.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kb/CMakeFiles/semdrift_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/mutex/CMakeFiles/semdrift_mutex.dir/DependInfo.cmake"
+  "/root/repo/build/src/rank/CMakeFiles/semdrift_rank.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/semdrift_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/semdrift_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/semdrift_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

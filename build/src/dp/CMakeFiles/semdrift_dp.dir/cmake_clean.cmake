@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semdrift_dp.dir/cleaner.cc.o"
+  "CMakeFiles/semdrift_dp.dir/cleaner.cc.o.d"
+  "CMakeFiles/semdrift_dp.dir/detector.cc.o"
+  "CMakeFiles/semdrift_dp.dir/detector.cc.o.d"
+  "CMakeFiles/semdrift_dp.dir/features.cc.o"
+  "CMakeFiles/semdrift_dp.dir/features.cc.o.d"
+  "CMakeFiles/semdrift_dp.dir/seed_labeling.cc.o"
+  "CMakeFiles/semdrift_dp.dir/seed_labeling.cc.o.d"
+  "CMakeFiles/semdrift_dp.dir/sentence_check.cc.o"
+  "CMakeFiles/semdrift_dp.dir/sentence_check.cc.o.d"
+  "libsemdrift_dp.a"
+  "libsemdrift_dp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semdrift_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

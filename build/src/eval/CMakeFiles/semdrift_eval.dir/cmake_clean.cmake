@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semdrift_eval.dir/experiment.cc.o"
+  "CMakeFiles/semdrift_eval.dir/experiment.cc.o.d"
+  "CMakeFiles/semdrift_eval.dir/ground_truth.cc.o"
+  "CMakeFiles/semdrift_eval.dir/ground_truth.cc.o.d"
+  "CMakeFiles/semdrift_eval.dir/metrics.cc.o"
+  "CMakeFiles/semdrift_eval.dir/metrics.cc.o.d"
+  "libsemdrift_eval.a"
+  "libsemdrift_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semdrift_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/extract/extractor.cc" "src/extract/CMakeFiles/semdrift_extract.dir/extractor.cc.o" "gcc" "src/extract/CMakeFiles/semdrift_extract.dir/extractor.cc.o.d"
+  "/root/repo/src/extract/hearst_parser.cc" "src/extract/CMakeFiles/semdrift_extract.dir/hearst_parser.cc.o" "gcc" "src/extract/CMakeFiles/semdrift_extract.dir/hearst_parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kb/CMakeFiles/semdrift_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/semdrift_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/semdrift_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

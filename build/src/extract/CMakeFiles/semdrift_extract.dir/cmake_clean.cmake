@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semdrift_extract.dir/extractor.cc.o"
+  "CMakeFiles/semdrift_extract.dir/extractor.cc.o.d"
+  "CMakeFiles/semdrift_extract.dir/hearst_parser.cc.o"
+  "CMakeFiles/semdrift_extract.dir/hearst_parser.cc.o.d"
+  "libsemdrift_extract.a"
+  "libsemdrift_extract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semdrift_extract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

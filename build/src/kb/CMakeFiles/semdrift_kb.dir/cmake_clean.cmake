@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semdrift_kb.dir/knowledge_base.cc.o"
+  "CMakeFiles/semdrift_kb.dir/knowledge_base.cc.o.d"
+  "libsemdrift_kb.a"
+  "libsemdrift_kb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semdrift_kb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

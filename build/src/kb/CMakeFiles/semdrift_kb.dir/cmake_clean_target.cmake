@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsemdrift_kb.a"
+)

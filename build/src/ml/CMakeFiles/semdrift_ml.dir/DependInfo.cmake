@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/kernel.cc" "src/ml/CMakeFiles/semdrift_ml.dir/kernel.cc.o" "gcc" "src/ml/CMakeFiles/semdrift_ml.dir/kernel.cc.o.d"
+  "/root/repo/src/ml/knn.cc" "src/ml/CMakeFiles/semdrift_ml.dir/knn.cc.o" "gcc" "src/ml/CMakeFiles/semdrift_ml.dir/knn.cc.o.d"
+  "/root/repo/src/ml/kpca.cc" "src/ml/CMakeFiles/semdrift_ml.dir/kpca.cc.o" "gcc" "src/ml/CMakeFiles/semdrift_ml.dir/kpca.cc.o.d"
+  "/root/repo/src/ml/manifold.cc" "src/ml/CMakeFiles/semdrift_ml.dir/manifold.cc.o" "gcc" "src/ml/CMakeFiles/semdrift_ml.dir/manifold.cc.o.d"
+  "/root/repo/src/ml/matrix.cc" "src/ml/CMakeFiles/semdrift_ml.dir/matrix.cc.o" "gcc" "src/ml/CMakeFiles/semdrift_ml.dir/matrix.cc.o.d"
+  "/root/repo/src/ml/multitask.cc" "src/ml/CMakeFiles/semdrift_ml.dir/multitask.cc.o" "gcc" "src/ml/CMakeFiles/semdrift_ml.dir/multitask.cc.o.d"
+  "/root/repo/src/ml/random_forest.cc" "src/ml/CMakeFiles/semdrift_ml.dir/random_forest.cc.o" "gcc" "src/ml/CMakeFiles/semdrift_ml.dir/random_forest.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/semdrift_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semdrift_ml.dir/kernel.cc.o"
+  "CMakeFiles/semdrift_ml.dir/kernel.cc.o.d"
+  "CMakeFiles/semdrift_ml.dir/knn.cc.o"
+  "CMakeFiles/semdrift_ml.dir/knn.cc.o.d"
+  "CMakeFiles/semdrift_ml.dir/kpca.cc.o"
+  "CMakeFiles/semdrift_ml.dir/kpca.cc.o.d"
+  "CMakeFiles/semdrift_ml.dir/manifold.cc.o"
+  "CMakeFiles/semdrift_ml.dir/manifold.cc.o.d"
+  "CMakeFiles/semdrift_ml.dir/matrix.cc.o"
+  "CMakeFiles/semdrift_ml.dir/matrix.cc.o.d"
+  "CMakeFiles/semdrift_ml.dir/multitask.cc.o"
+  "CMakeFiles/semdrift_ml.dir/multitask.cc.o.d"
+  "CMakeFiles/semdrift_ml.dir/random_forest.cc.o"
+  "CMakeFiles/semdrift_ml.dir/random_forest.cc.o.d"
+  "libsemdrift_ml.a"
+  "libsemdrift_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semdrift_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

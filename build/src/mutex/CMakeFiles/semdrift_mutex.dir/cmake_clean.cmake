@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semdrift_mutex.dir/mutex_index.cc.o"
+  "CMakeFiles/semdrift_mutex.dir/mutex_index.cc.o.d"
+  "libsemdrift_mutex.a"
+  "libsemdrift_mutex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semdrift_mutex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rank/concept_graph.cc" "src/rank/CMakeFiles/semdrift_rank.dir/concept_graph.cc.o" "gcc" "src/rank/CMakeFiles/semdrift_rank.dir/concept_graph.cc.o.d"
+  "/root/repo/src/rank/scorers.cc" "src/rank/CMakeFiles/semdrift_rank.dir/scorers.cc.o" "gcc" "src/rank/CMakeFiles/semdrift_rank.dir/scorers.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kb/CMakeFiles/semdrift_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/semdrift_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/semdrift_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

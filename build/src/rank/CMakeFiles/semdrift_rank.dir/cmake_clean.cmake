@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semdrift_rank.dir/concept_graph.cc.o"
+  "CMakeFiles/semdrift_rank.dir/concept_graph.cc.o.d"
+  "CMakeFiles/semdrift_rank.dir/scorers.cc.o"
+  "CMakeFiles/semdrift_rank.dir/scorers.cc.o.d"
+  "libsemdrift_rank.a"
+  "libsemdrift_rank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semdrift_rank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

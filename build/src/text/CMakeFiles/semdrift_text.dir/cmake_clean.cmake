@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semdrift_text.dir/morphology.cc.o"
+  "CMakeFiles/semdrift_text.dir/morphology.cc.o.d"
+  "CMakeFiles/semdrift_text.dir/sentence.cc.o"
+  "CMakeFiles/semdrift_text.dir/sentence.cc.o.d"
+  "CMakeFiles/semdrift_text.dir/tokenizer.cc.o"
+  "CMakeFiles/semdrift_text.dir/tokenizer.cc.o.d"
+  "CMakeFiles/semdrift_text.dir/vocab.cc.o"
+  "CMakeFiles/semdrift_text.dir/vocab.cc.o.d"
+  "libsemdrift_text.a"
+  "libsemdrift_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semdrift_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

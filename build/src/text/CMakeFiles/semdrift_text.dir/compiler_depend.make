@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for semdrift_text.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semdrift_util.dir/logging.cc.o"
+  "CMakeFiles/semdrift_util.dir/logging.cc.o.d"
+  "CMakeFiles/semdrift_util.dir/rng.cc.o"
+  "CMakeFiles/semdrift_util.dir/rng.cc.o.d"
+  "CMakeFiles/semdrift_util.dir/status.cc.o"
+  "CMakeFiles/semdrift_util.dir/status.cc.o.d"
+  "CMakeFiles/semdrift_util.dir/string_util.cc.o"
+  "CMakeFiles/semdrift_util.dir/string_util.cc.o.d"
+  "CMakeFiles/semdrift_util.dir/table_writer.cc.o"
+  "CMakeFiles/semdrift_util.dir/table_writer.cc.o.d"
+  "libsemdrift_util.a"
+  "libsemdrift_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semdrift_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

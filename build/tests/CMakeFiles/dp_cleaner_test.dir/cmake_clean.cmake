@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_cleaner_test.dir/dp_cleaner_test.cc.o"
+  "CMakeFiles/dp_cleaner_test.dir/dp_cleaner_test.cc.o.d"
+  "dp_cleaner_test"
+  "dp_cleaner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_cleaner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_detector_test.dir/dp_detector_test.cc.o"
+  "CMakeFiles/dp_detector_test.dir/dp_detector_test.cc.o.d"
+  "dp_detector_test"
+  "dp_detector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_detector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_seeds_test.dir/dp_seeds_test.cc.o"
+  "CMakeFiles/dp_seeds_test.dir/dp_seeds_test.cc.o.d"
+  "dp_seeds_test"
+  "dp_seeds_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_seeds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_kpca_test.dir/ml_kpca_test.cc.o"
+  "CMakeFiles/ml_kpca_test.dir/ml_kpca_test.cc.o.d"
+  "ml_kpca_test"
+  "ml_kpca_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_kpca_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_manifold_test.dir/ml_manifold_test.cc.o"
+  "CMakeFiles/ml_manifold_test.dir/ml_manifold_test.cc.o.d"
+  "ml_manifold_test"
+  "ml_manifold_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_manifold_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

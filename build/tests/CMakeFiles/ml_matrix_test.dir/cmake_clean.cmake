@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_matrix_test.dir/ml_matrix_test.cc.o"
+  "CMakeFiles/ml_matrix_test.dir/ml_matrix_test.cc.o.d"
+  "ml_matrix_test"
+  "ml_matrix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

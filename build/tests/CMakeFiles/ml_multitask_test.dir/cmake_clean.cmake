@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_multitask_test.dir/ml_multitask_test.cc.o"
+  "CMakeFiles/ml_multitask_test.dir/ml_multitask_test.cc.o.d"
+  "ml_multitask_test"
+  "ml_multitask_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_multitask_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mutex_test.cc" "tests/CMakeFiles/mutex_test.dir/mutex_test.cc.o" "gcc" "tests/CMakeFiles/mutex_test.dir/mutex_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/semdrift_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/semdrift_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/semdrift_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/extract/CMakeFiles/semdrift_extract.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/semdrift_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/rank/CMakeFiles/semdrift_rank.dir/DependInfo.cmake"
+  "/root/repo/build/src/mutex/CMakeFiles/semdrift_mutex.dir/DependInfo.cmake"
+  "/root/repo/build/src/kb/CMakeFiles/semdrift_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/semdrift_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/semdrift_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/semdrift_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

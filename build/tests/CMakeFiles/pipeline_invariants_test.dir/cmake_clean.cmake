@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_invariants_test.dir/pipeline_invariants_test.cc.o"
+  "CMakeFiles/pipeline_invariants_test.dir/pipeline_invariants_test.cc.o.d"
+  "pipeline_invariants_test"
+  "pipeline_invariants_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

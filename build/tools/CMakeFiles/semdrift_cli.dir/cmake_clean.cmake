@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semdrift_cli.dir/semdrift_cli.cc.o"
+  "CMakeFiles/semdrift_cli.dir/semdrift_cli.cc.o.d"
+  "semdrift"
+  "semdrift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semdrift_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
