@@ -1,166 +1,268 @@
 #include "corpus/serialization.h"
 
-#include <cstdlib>
 #include <fstream>
 #include <unordered_map>
 
+#include "util/framed_file.h"
 #include "util/string_util.h"
 
 namespace semdrift {
 
 namespace {
 
-constexpr char kWorldHeader[] = "semdrift-world\tv1";
-constexpr char kCorpusHeader[] = "semdrift-corpus\tv1";
+constexpr char kWorldTag[] = "semdrift-world";
+constexpr char kCorpusTag[] = "semdrift-corpus";
+constexpr int kFormatVersion = 2;
+
+/// Per-load policy driver shared by the world and corpus loaders: turns a
+/// framed file's verdicts plus per-line failures into strict errors or
+/// lenient LoadReport entries.
+class LineLoader {
+ public:
+  LineLoader(const std::string& path, const LoadOptions& options, LoadReport* report)
+      : path_(path), lenient_(options.mode == LoadOptions::Mode::kLenient),
+        report_(report) {}
+
+  /// Framing verdicts first: truncation and checksum damage fail a strict
+  /// load before any line is looked at (a half-file must never half-load).
+  Status CheckFraming(const FramedFile& file) {
+    if (report_ != nullptr) {
+      report_->format_version = file.version;
+      report_->checksum_present = file.checksum_present;
+      report_->checksum_ok = file.checksum_ok;
+      report_->truncated = file.truncated;
+    }
+    if (!lenient_) {
+      if (file.truncated) {
+        return Status::DataLoss(path_ + ": truncated file (missing checksum footer)");
+      }
+      if (file.checksum_present && !file.checksum_ok) {
+        return Status::DataLoss(path_ + ": checksum mismatch (corrupt file)");
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Called once per payload line that failed to parse. Returns OK in
+  /// lenient mode (line recorded and skipped), the error in strict mode.
+  Status LineError(size_t line_number, const std::string& why) {
+    if (lenient_) {
+      if (report_ != nullptr) report_->skipped.push_back({line_number, why});
+      return Status::OK();
+    }
+    return Status::InvalidArgument(path_ + ":" + std::to_string(line_number) +
+                                   ": " + why);
+  }
+
+  void CountSeen() {
+    if (report_ != nullptr) ++report_->lines_seen;
+  }
+  void CountLoaded() {
+    if (report_ != nullptr) ++report_->lines_loaded;
+  }
+
+ private:
+  const std::string& path_;
+  bool lenient_;
+  LoadReport* report_;
+};
 
 }  // namespace
 
 Status SaveWorld(const World& world, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IOError("cannot open " + path);
-  out << kWorldHeader << "\n";
+  FramedWriter out(path, kWorldTag, kFormatVersion);
   for (size_t ci = 0; ci < world.num_concepts(); ++ci) {
-    out << "C\t" << world.ConceptName(ConceptId(static_cast<uint32_t>(ci))) << "\n";
+    out.WriteLine("C\t" + world.ConceptName(ConceptId(static_cast<uint32_t>(ci))));
   }
   for (size_t ei = 0; ei < world.num_instances(); ++ei) {
-    out << "I\t" << world.InstanceName(InstanceId(static_cast<uint32_t>(ei))) << "\n";
+    out.WriteLine("I\t" + world.InstanceName(InstanceId(static_cast<uint32_t>(ei))));
   }
   for (size_t ci = 0; ci < world.num_concepts(); ++ci) {
     ConceptId c(static_cast<uint32_t>(ci));
     const auto& members = world.Members(c);
     const auto& weights = world.MemberWeights(c);
     for (size_t i = 0; i < members.size(); ++i) {
-      out << "M\t" << world.ConceptName(c) << "\t" << world.InstanceName(members[i])
-          << "\t" << FormatDouble(weights[i], 9) << "\t"
-          << (world.IsVerified(c, members[i]) ? 1 : 0) << "\n";
+      out.WriteLine("M\t" + world.ConceptName(c) + "\t" +
+                    world.InstanceName(members[i]) + "\t" +
+                    FormatDouble(weights[i], 9) + "\t" +
+                    (world.IsVerified(c, members[i]) ? "1" : "0"));
     }
     for (ConceptId other : world.Confusables(c)) {
-      out << "X\t" << world.ConceptName(c) << "\t" << world.ConceptName(other) << "\n";
+      out.WriteLine("X\t" + world.ConceptName(c) + "\t" + world.ConceptName(other));
     }
     ConceptId twin = world.SimilarTwin(c);
     if (twin.valid() && twin.value > c.value) {
-      out << "T\t" << world.ConceptName(c) << "\t" << world.ConceptName(twin) << "\n";
+      out.WriteLine("T\t" + world.ConceptName(c) + "\t" + world.ConceptName(twin));
     }
   }
   for (const auto& polyseme : world.polysemes()) {
-    out << "P\t" << world.InstanceName(polyseme.instance) << "\t"
-        << world.ConceptName(polyseme.home) << "\t"
-        << world.ConceptName(polyseme.guest) << "\n";
+    out.WriteLine("P\t" + world.InstanceName(polyseme.instance) + "\t" +
+                  world.ConceptName(polyseme.home) + "\t" +
+                  world.ConceptName(polyseme.guest));
   }
-  if (!out) return Status::IOError("write failed for " + path);
-  return Status::OK();
+  return out.Close();
 }
 
 Result<World> LoadWorld(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::IOError("cannot open " + path);
-  std::string line;
-  if (!std::getline(in, line) || line != kWorldHeader) {
-    return Status::InvalidArgument(path + ": not a semdrift world file");
-  }
+  return LoadWorld(path, LoadOptions{}, nullptr);
+}
+
+Result<World> LoadWorld(const std::string& path, const LoadOptions& options,
+                        LoadReport* report) {
+  auto framed = ReadFramedFile(path, kWorldTag, kFormatVersion);
+  if (!framed.ok()) return framed.status();
+  LineLoader loader(path, options, report);
+  Status framing = loader.CheckFraming(*framed);
+  if (!framing.ok()) return framing;
+
   World::Builder builder;
-  size_t line_number = 1;
-  while (std::getline(in, line)) {
-    ++line_number;
-    if (line.empty()) continue;
+  for (size_t i = 0; i < framed->lines.size(); ++i) {
+    const std::string& line = framed->lines[i];
+    size_t line_number = framed->line_numbers[i];
+    loader.CountSeen();
     std::vector<std::string> fields = Split(line, '\t');
     const std::string& tag = fields[0];
-    auto fail = [&](const std::string& why) {
-      return Status::InvalidArgument(path + ":" + std::to_string(line_number) +
-                                     ": " + why);
-    };
-    if (tag == "C" && fields.size() == 2) {
+    std::string why;
+    if (tag == "C" && fields.size() == 2 && !fields[1].empty()) {
       builder.AddConcept(fields[1]);
-    } else if (tag == "I" && fields.size() == 2) {
+    } else if (tag == "I" && fields.size() == 2 && !fields[1].empty()) {
       builder.AddInstance(fields[1]);
     } else if (tag == "M" && fields.size() == 5) {
-      ConceptId c = builder.AddConcept(fields[1]);
-      InstanceId e = builder.AddInstance(fields[2]);
-      builder.AddMembership(c, e, std::atof(fields[3].c_str()));
-      if (fields[4] == "1") builder.MarkVerified(c, e);
-    } else if (tag == "X" && fields.size() == 3) {
+      double weight = 0.0;
+      if (fields[1].empty() || fields[2].empty()) {
+        why = "empty name in membership";
+      } else if (!ParseDouble(fields[3], &weight) || weight < 0.0) {
+        why = "bad membership weight '" + fields[3] + "'";
+      } else if (fields[4] != "0" && fields[4] != "1") {
+        why = "bad verified flag '" + fields[4] + "'";
+      } else {
+        ConceptId c = builder.AddConcept(fields[1]);
+        InstanceId e = builder.AddInstance(fields[2]);
+        builder.AddMembership(c, e, weight);
+        if (fields[4] == "1") builder.MarkVerified(c, e);
+      }
+    } else if (tag == "X" && fields.size() == 3 && !fields[1].empty() &&
+               !fields[2].empty()) {
       builder.AddConfusable(builder.AddConcept(fields[1]),
                             builder.AddConcept(fields[2]));
-    } else if (tag == "T" && fields.size() == 3) {
+    } else if (tag == "T" && fields.size() == 3 && !fields[1].empty() &&
+               !fields[2].empty()) {
       builder.SetSimilarTwins(builder.AddConcept(fields[1]),
                               builder.AddConcept(fields[2]));
-    } else if (tag == "P" && fields.size() == 4) {
+    } else if (tag == "P" && fields.size() == 4 && !fields[1].empty() &&
+               !fields[2].empty() && !fields[3].empty()) {
       builder.AddPolyseme(builder.AddInstance(fields[1]),
                           builder.AddConcept(fields[2]),
                           builder.AddConcept(fields[3]));
     } else {
-      return fail("unrecognized record '" + tag + "' with " +
-                  std::to_string(fields.size()) + " fields");
+      why = "unrecognized record '" + tag + "' with " +
+            std::to_string(fields.size()) + " fields";
     }
+    if (!why.empty()) {
+      Status s = loader.LineError(line_number, why);
+      if (!s.ok()) return s;
+      continue;
+    }
+    loader.CountLoaded();
   }
   return builder.Build();
 }
 
 Status SaveCorpus(const World& world, const Corpus& corpus, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IOError("cannot open " + path);
-  out << kCorpusHeader << "\n";
+  FramedWriter out(path, kCorpusTag, kFormatVersion);
   for (const Sentence& sentence : corpus.sentences.sentences()) {
     const SentenceTruth& truth = corpus.TruthOf(sentence.id);
-    out << "S\t" << static_cast<int>(truth.kind) << "\t"
-        << world.ConceptName(truth.true_concept) << "\t"
-        << (truth.polyseme.valid() ? world.InstanceName(truth.polyseme) : "-");
-    out << "\t";
+    std::string line = "S\t" + std::to_string(static_cast<int>(truth.kind)) + "\t" +
+                       world.ConceptName(truth.true_concept) + "\t" +
+                       (truth.polyseme.valid() ? world.InstanceName(truth.polyseme)
+                                               : "-");
+    line += "\t";
     for (size_t i = 0; i < sentence.candidate_concepts.size(); ++i) {
-      if (i > 0) out << "|";
-      out << world.ConceptName(sentence.candidate_concepts[i]);
+      if (i > 0) line += "|";
+      line += world.ConceptName(sentence.candidate_concepts[i]);
     }
-    out << "\t";
+    line += "\t";
     for (size_t i = 0; i < sentence.candidate_instances.size(); ++i) {
-      if (i > 0) out << "|";
-      out << world.InstanceName(sentence.candidate_instances[i]);
+      if (i > 0) line += "|";
+      line += world.InstanceName(sentence.candidate_instances[i]);
     }
-    out << "\t" << sentence.text << "\n";
+    line += "\t" + sentence.text;
+    out.WriteLine(line);
   }
-  if (!out) return Status::IOError("write failed for " + path);
-  return Status::OK();
+  return out.Close();
 }
 
 Result<Corpus> LoadCorpus(const World& world, const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::IOError("cannot open " + path);
-  std::string line;
-  if (!std::getline(in, line) || line != kCorpusHeader) {
-    return Status::InvalidArgument(path + ": not a semdrift corpus file");
-  }
+  return LoadCorpus(world, path, LoadOptions{}, nullptr);
+}
+
+Result<Corpus> LoadCorpus(const World& world, const std::string& path,
+                          const LoadOptions& options, LoadReport* report) {
+  auto framed = ReadFramedFile(path, kCorpusTag, kFormatVersion);
+  if (!framed.ok()) return framed.status();
+  LineLoader loader(path, options, report);
+  Status framing = loader.CheckFraming(*framed);
+  if (!framing.ok()) return framing;
+
   Corpus corpus;
-  size_t line_number = 1;
-  while (std::getline(in, line)) {
-    ++line_number;
-    if (line.empty()) continue;
+  for (size_t i = 0; i < framed->lines.size(); ++i) {
+    const std::string& line = framed->lines[i];
+    size_t line_number = framed->line_numbers[i];
+    loader.CountSeen();
     std::vector<std::string> fields = Split(line, '\t');
-    auto fail = [&](const std::string& why) {
-      return Status::InvalidArgument(path + ":" + std::to_string(line_number) +
-                                     ": " + why);
-    };
-    if (fields.size() != 7 || fields[0] != "S") return fail("malformed record");
+    std::string why;
     SentenceTruth truth;
-    truth.kind = static_cast<SentenceKind>(std::atoi(fields[1].c_str()));
-    truth.true_concept = world.FindConcept(fields[2]);
-    if (!truth.true_concept.valid()) return fail("unknown concept " + fields[2]);
-    if (fields[3] != "-") {
-      truth.polyseme = world.FindInstance(fields[3]);
-      if (!truth.polyseme.valid()) return fail("unknown instance " + fields[3]);
-    }
     Sentence sentence;
-    for (const std::string& name : Split(fields[4], '|')) {
-      ConceptId c = world.FindConcept(name);
-      if (!c.valid()) return fail("unknown concept " + name);
-      sentence.candidate_concepts.push_back(c);
+    if (fields.size() != 7 || fields[0] != "S") {
+      why = "malformed record";
+    } else {
+      int64_t kind = 0;
+      if (!ParseIntInRange(fields[1], 0,
+                           static_cast<int64_t>(SentenceKind::kWrongFact), &kind)) {
+        why = "sentence kind '" + fields[1] + "' out of range";
+      } else {
+        truth.kind = static_cast<SentenceKind>(kind);
+        truth.true_concept = world.FindConcept(fields[2]);
+        if (!truth.true_concept.valid()) why = "unknown concept " + fields[2];
+      }
+      if (why.empty() && fields[3] != "-") {
+        truth.polyseme = world.FindInstance(fields[3]);
+        if (!truth.polyseme.valid()) why = "unknown instance " + fields[3];
+      }
+      if (why.empty()) {
+        for (const std::string& name : Split(fields[4], '|')) {
+          ConceptId c = world.FindConcept(name);
+          if (!c.valid()) {
+            why = "unknown concept " + name;
+            break;
+          }
+          sentence.candidate_concepts.push_back(c);
+        }
+      }
+      if (why.empty()) {
+        for (const std::string& name : Split(fields[5], '|')) {
+          InstanceId e = world.FindInstance(name);
+          if (!e.valid()) {
+            why = "unknown instance " + name;
+            break;
+          }
+          sentence.candidate_instances.push_back(e);
+        }
+      }
+      if (why.empty() &&
+          (sentence.candidate_concepts.empty() || sentence.candidate_instances.empty())) {
+        why = "sentence without candidates";
+      }
     }
-    for (const std::string& name : Split(fields[5], '|')) {
-      InstanceId e = world.FindInstance(name);
-      if (!e.valid()) return fail("unknown instance " + name);
-      sentence.candidate_instances.push_back(e);
+    if (!why.empty()) {
+      Status s = loader.LineError(line_number, why);
+      if (!s.ok()) return s;
+      continue;
     }
     sentence.text = fields[6];
     corpus.sentences.Add(std::move(sentence));
     corpus.truths.push_back(truth);
+    loader.CountLoaded();
   }
   return corpus;
 }

@@ -1,7 +1,9 @@
 #ifndef SEMDRIFT_CORPUS_SERIALIZATION_H_
 #define SEMDRIFT_CORPUS_SERIALIZATION_H_
 
+#include <cstddef>
 #include <string>
+#include <vector>
 
 #include "corpus/generator.h"
 #include "corpus/world.h"
@@ -15,22 +17,75 @@ namespace semdrift {
 /// leading record-type tag). Formats are versioned by a header line and are
 /// deliberately human-greppable — the database-engineering idiom of
 /// debuggable on-disk state.
+///
+/// Fault tolerance (format v2): every file ends with a `#crc32  <hex>`
+/// footer checksumming all preceding bytes, so truncation, bit rot and torn
+/// writes are detected at load time instead of silently producing a wrong
+/// world. v1 files (no footer) still load for backward compatibility.
+/// Loaders never crash on corrupt input: in *strict* mode the first problem
+/// fails the load with a precise Status (kDataLoss for truncation/checksum
+/// damage, kInvalidArgument for malformed records); in *lenient* mode
+/// malformed lines are counted, skipped and reported via LoadReport.
+
+/// Load-time error handling policy.
+struct LoadOptions {
+  enum class Mode {
+    /// First malformed line / failed checksum fails the whole load.
+    kStrict,
+    /// Malformed lines are skipped and recorded in the LoadReport; a bad or
+    /// missing checksum is recorded but does not fail the load.
+    kLenient,
+  };
+  Mode mode = Mode::kStrict;
+};
+
+/// What happened during a load: how many payload lines were seen, which
+/// were skipped and why, and whether the integrity footer checked out.
+/// In lenient mode every corrupted line is accounted for here; `lines_seen
+/// == lines_loaded + skipped.size()` always holds.
+struct LoadReport {
+  /// Format version parsed from the header (1 or 2).
+  int format_version = 0;
+  /// Payload lines seen (header, footer and blank lines excluded).
+  size_t lines_seen = 0;
+  /// Payload lines successfully applied.
+  size_t lines_loaded = 0;
+  struct SkippedLine {
+    size_t line_number;  // 1-based, header included in the numbering.
+    std::string reason;
+  };
+  std::vector<SkippedLine> skipped;
+  /// A `#crc32` footer was present.
+  bool checksum_present = false;
+  /// The footer was present and matched the bytes read.
+  bool checksum_ok = false;
+  /// The file ended without a footer although the version requires one
+  /// (the signature of a torn write).
+  bool truncated = false;
+};
 
 /// Writes a world: concepts, instances, memberships (with weights and
-/// verified flags), confusables, twins and polysemes.
+/// verified flags), confusables, twins and polysemes. v2 format with a
+/// CRC32 integrity footer.
 Status SaveWorld(const World& world, const std::string& path);
 
 /// Reads a world written by SaveWorld. Ids are re-assigned densely but the
-/// name<->structure mapping round-trips exactly.
+/// name<->structure mapping round-trips exactly. The default overload loads
+/// strictly; pass LoadOptions for lenient mode, and a LoadReport to observe
+/// skipped lines and checksum state.
 Result<World> LoadWorld(const std::string& path);
+Result<World> LoadWorld(const std::string& path, const LoadOptions& options,
+                        LoadReport* report = nullptr);
 
 /// Writes a corpus: per sentence the candidate concepts, candidate
 /// instances (by name, resolved against `world`), the generator truth, and
-/// the surface text when present.
+/// the surface text when present. v2 format with a CRC32 integrity footer.
 Status SaveCorpus(const World& world, const Corpus& corpus, const std::string& path);
 
 /// Reads a corpus written by SaveCorpus, resolving names against `world`.
 Result<Corpus> LoadCorpus(const World& world, const std::string& path);
+Result<Corpus> LoadCorpus(const World& world, const std::string& path,
+                          const LoadOptions& options, LoadReport* report = nullptr);
 
 /// Exports the live pairs of a knowledge base as a taxonomy TSV:
 ///   concept <tab> instance <tab> support_count <tab> iter1_count

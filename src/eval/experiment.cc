@@ -43,6 +43,20 @@ KnowledgeBase Experiment::Extract(
   return kb;
 }
 
+Result<KnowledgeBase> Experiment::ExtractWithCheckpoints(
+    CheckpointConfig checkpoint, std::vector<IterationStats>* stats,
+    const std::function<void(const IterationStats&, const KnowledgeBase&)>&
+        on_iteration) const {
+  checkpoint.num_concepts = world_.num_concepts();
+  checkpoint.num_sentences = corpus_.sentences.size();
+  KnowledgeBase kb;
+  IterativeExtractor extractor(&corpus_.sentences, config_.extractor);
+  auto local = RunWithCheckpoints(&extractor, &kb, checkpoint, on_iteration);
+  if (!local.ok()) return local.status();
+  if (stats != nullptr) *stats = std::move(*local);
+  return kb;
+}
+
 VerifiedSource Experiment::MakeVerifiedSource() const {
   const World* world = &world_;
   return [world](const IsAPair& pair) {

@@ -8,6 +8,7 @@
 #include "corpus/generator.h"
 #include "corpus/world.h"
 #include "eval/ground_truth.h"
+#include "extract/checkpoint.h"
 #include "extract/extractor.h"
 #include "kb/knowledge_base.h"
 
@@ -44,6 +45,16 @@ class Experiment {
   /// progress (used by the Fig. 5(a) bench).
   KnowledgeBase Extract(
       std::vector<IterationStats>* stats = nullptr,
+      const std::function<void(const IterationStats&, const KnowledgeBase&)>&
+          on_iteration = nullptr) const;
+
+  /// Fault-tolerant variant: checkpoints after every iteration and (when
+  /// `checkpoint.resume` is set) continues from the latest valid snapshot
+  /// in `checkpoint.dir`. Produces a KB identical to Extract() on the same
+  /// seed, interrupted or not. Id-space bounds for restore validation are
+  /// filled in from this experiment's world and corpus.
+  Result<KnowledgeBase> ExtractWithCheckpoints(
+      CheckpointConfig checkpoint, std::vector<IterationStats>* stats = nullptr,
       const std::function<void(const IterationStats&, const KnowledgeBase&)>&
           on_iteration = nullptr) const;
 

@@ -1,0 +1,315 @@
+#include "extract/checkpoint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+#include "util/framed_file.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace semdrift {
+
+namespace {
+
+constexpr char kCheckpointTag[] = "semdrift-checkpoint";
+constexpr int kCheckpointVersion = 1;
+constexpr char kFilePrefix[] = "checkpoint-";
+constexpr char kFileSuffix[] = ".ckpt";
+
+std::string JoinIds(const std::vector<InstanceId>& ids) {
+  if (ids.empty()) return "-";
+  std::string out;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(ids[i].value);
+  }
+  return out;
+}
+
+bool ParseIds(std::string_view field, std::vector<InstanceId>* out) {
+  out->clear();
+  if (field == "-") return true;
+  for (const std::string& part : Split(field, ',')) {
+    uint64_t value = 0;
+    if (!ParseUint64(part, &value) || value >= InstanceId::kInvalidValue) {
+      return false;
+    }
+    out->push_back(InstanceId(static_cast<uint32_t>(value)));
+  }
+  return !out->empty();
+}
+
+/// Iteration number encoded in a checkpoint file name, or -1.
+int IterationOfFileName(const std::string& name) {
+  if (!StartsWith(name, kFilePrefix) || !EndsWith(name, kFileSuffix)) return -1;
+  std::string_view middle(name);
+  middle.remove_prefix(sizeof(kFilePrefix) - 1);
+  middle.remove_suffix(sizeof(kFileSuffix) - 1);
+  int64_t iteration = 0;
+  if (!ParseIntInRange(middle, 1, 1000000, &iteration)) return -1;
+  return static_cast<int>(iteration);
+}
+
+}  // namespace
+
+std::string CheckpointPath(const std::string& dir, int iteration) {
+  char name[64];
+  std::snprintf(name, sizeof(name), "%s%06d%s", kFilePrefix, iteration, kFileSuffix);
+  return dir + "/" + name;
+}
+
+Status SaveCheckpoint(const CheckpointState& state, const std::string& path) {
+  FramedWriter out(path, kCheckpointTag, kCheckpointVersion);
+  out.WriteLine("M\t" + std::to_string(state.completed_iteration) + "\t" +
+                std::to_string(state.records.size()) + "\t" +
+                std::to_string(state.stats.size()));
+  for (const IterationStats& s : state.stats) {
+    out.WriteLine("T\t" + std::to_string(s.iteration) + "\t" +
+                  std::to_string(s.extractions) + "\t" +
+                  std::to_string(s.distinct_pairs));
+  }
+  // Record ids are implicit in line order; the M-line count pins the total
+  // so dropped/duplicated record lines break the load even if the checksum
+  // were somehow satisfied.
+  for (const ExtractionRecord& r : state.records) {
+    out.WriteLine("R\t" + std::to_string(r.sentence.value) + "\t" +
+                  std::to_string(r.concept_id.value) + "\t" +
+                  std::to_string(r.iteration) + "\t" +
+                  (r.rolled_back ? "1" : "0") + "\t" + JoinIds(r.instances) +
+                  "\t" + JoinIds(r.triggers));
+  }
+  return out.Close();
+}
+
+Result<CheckpointState> LoadCheckpoint(const std::string& path) {
+  // min_checksum_version = 1: a checkpoint has carried its footer from the
+  // first format version, so a missing footer is always a torn write.
+  auto framed = ReadFramedFile(path, kCheckpointTag, kCheckpointVersion,
+                               /*min_checksum_version=*/1);
+  if (!framed.ok()) return framed.status();
+  if (framed->truncated) {
+    return Status::DataLoss(path + ": truncated checkpoint (missing footer)");
+  }
+  if (!framed->checksum_ok) {
+    return Status::DataLoss(path + ": checksum mismatch");
+  }
+
+  auto fail = [&](size_t index, const std::string& why) {
+    return Status::DataLoss(path + ":" +
+                            std::to_string(framed->line_numbers[index]) + ": " + why);
+  };
+
+  if (framed->lines.empty()) return Status::DataLoss(path + ": missing meta line");
+  CheckpointState state;
+  uint64_t num_records = 0;
+  uint64_t num_stats = 0;
+  {
+    std::vector<std::string> fields = Split(framed->lines[0], '\t');
+    int64_t completed = 0;
+    if (fields.size() != 4 || fields[0] != "M" ||
+        !ParseIntInRange(fields[1], 1, 1000000, &completed) ||
+        !ParseUint64(fields[2], &num_records) ||
+        !ParseUint64(fields[3], &num_stats)) {
+      return fail(0, "malformed meta line");
+    }
+    state.completed_iteration = static_cast<int>(completed);
+  }
+  // Compare without arithmetic on the untrusted counts (overflow-safe):
+  // lines.size() >= 1 here, so the subtraction below cannot underflow.
+  if (num_stats > framed->lines.size() - 1 ||
+      framed->lines.size() - 1 - num_stats != num_records) {
+    return Status::DataLoss(path + ": line count disagrees with meta line");
+  }
+
+  for (size_t i = 0; i < num_stats; ++i) {
+    size_t index = 1 + i;
+    std::vector<std::string> fields = Split(framed->lines[index], '\t');
+    int64_t iteration = 0;
+    uint64_t extractions = 0;
+    uint64_t pairs = 0;
+    if (fields.size() != 4 || fields[0] != "T" ||
+        !ParseIntInRange(fields[1], 1, 1000000, &iteration) ||
+        !ParseUint64(fields[2], &extractions) || !ParseUint64(fields[3], &pairs)) {
+      return fail(index, "malformed iteration-stats line");
+    }
+    IterationStats s;
+    s.iteration = static_cast<int>(iteration);
+    s.extractions = extractions;
+    s.distinct_pairs = pairs;
+    state.stats.push_back(s);
+  }
+
+  state.records.reserve(num_records);
+  for (size_t i = 0; i < num_records; ++i) {
+    size_t index = 1 + num_stats + i;
+    std::vector<std::string> fields = Split(framed->lines[index], '\t');
+    uint64_t sentence = 0;
+    uint64_t concept_raw = 0;
+    int64_t iteration = 0;
+    ExtractionRecord r;
+    if (fields.size() != 7 || fields[0] != "R" ||
+        !ParseUint64(fields[1], &sentence) || sentence >= SentenceId::kInvalidValue ||
+        !ParseUint64(fields[2], &concept_raw) || concept_raw >= ConceptId::kInvalidValue ||
+        !ParseIntInRange(fields[3], 1, 1000000, &iteration) ||
+        (fields[4] != "0" && fields[4] != "1") ||
+        !ParseIds(fields[5], &r.instances)) {
+      return fail(index, "malformed record line");
+    }
+    // Triggers may be empty ("-"); instances may not.
+    r.triggers.clear();
+    if (fields[6] != "-") {
+      if (!ParseIds(fields[6], &r.triggers)) return fail(index, "malformed trigger list");
+    }
+    r.id = static_cast<uint32_t>(i);
+    r.sentence = SentenceId(static_cast<uint32_t>(sentence));
+    r.concept_id = ConceptId(static_cast<uint32_t>(concept_raw));
+    r.iteration = static_cast<int>(iteration);
+    r.rolled_back = fields[4] == "1";
+    state.records.push_back(std::move(r));
+  }
+  return state;
+}
+
+Status WriteCheckpoint(const std::string& dir, const CheckpointState& state) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return Status::IOError("cannot create " + dir + ": " + ec.message());
+  std::string final_path = CheckpointPath(dir, state.completed_iteration);
+  std::string tmp_path = final_path + ".tmp";
+  Status s = SaveCheckpoint(state, tmp_path);
+  if (!s.ok()) return s;
+  std::filesystem::rename(tmp_path, final_path, ec);
+  if (ec) {
+    return Status::IOError("cannot rename " + tmp_path + ": " + ec.message());
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Checkpoint iterations present in `dir`, ascending.
+Result<std::vector<int>> ListCheckpointIterations(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) return Status::IOError("cannot list " + dir + ": " + ec.message());
+  std::vector<int> iterations;
+  for (const auto& entry : it) {
+    int iteration = IterationOfFileName(entry.path().filename().string());
+    if (iteration > 0) iterations.push_back(iteration);
+  }
+  std::sort(iterations.begin(), iterations.end());
+  return iterations;
+}
+
+}  // namespace
+
+Status PruneCheckpoints(const std::string& dir, int keep) {
+  if (keep <= 0) return Status::OK();
+  auto iterations = ListCheckpointIterations(dir);
+  if (!iterations.ok()) return iterations.status();
+  if (iterations->size() <= static_cast<size_t>(keep)) return Status::OK();
+  for (size_t i = 0; i + static_cast<size_t>(keep) < iterations->size(); ++i) {
+    std::error_code ec;
+    std::filesystem::remove(CheckpointPath(dir, (*iterations)[i]), ec);
+    // Best effort: a stale checkpoint left behind is harmless.
+  }
+  return Status::OK();
+}
+
+Result<RestoredCheckpoint> LoadLatestValidCheckpoint(const std::string& dir,
+                                                     size_t num_concepts,
+                                                     size_t num_sentences) {
+  if (!std::filesystem::is_directory(dir)) {
+    return Status::NotFound("no checkpoint directory " + dir);
+  }
+  auto iterations = ListCheckpointIterations(dir);
+  if (!iterations.ok()) return iterations.status();
+  for (auto it = iterations->rbegin(); it != iterations->rend(); ++it) {
+    std::string path = CheckpointPath(dir, *it);
+    auto loaded = LoadCheckpoint(path);
+    if (!loaded.ok()) {
+      SD_LOG(kInfo) << "checkpoint: skipping " << path << ": "
+                    << loaded.status().ToString();
+      continue;
+    }
+    auto kb = KnowledgeBase::FromRecords(loaded->records);
+    if (!kb.ok()) {
+      SD_LOG(kInfo) << "checkpoint: skipping " << path << ": "
+                    << kb.status().ToString();
+      continue;
+    }
+    Status valid = kb->Validate(num_concepts, num_sentences);
+    if (!valid.ok()) {
+      SD_LOG(kInfo) << "checkpoint: skipping " << path << ": " << valid.ToString();
+      continue;
+    }
+    RestoredCheckpoint restored;
+    restored.state = std::move(*loaded);
+    restored.kb = std::move(*kb);
+    return restored;
+  }
+  return Status::NotFound("no valid checkpoint in " + dir);
+}
+
+Result<std::vector<IterationStats>> RunWithCheckpoints(
+    IterativeExtractor* extractor, KnowledgeBase* kb,
+    const CheckpointConfig& config,
+    const std::function<void(const IterationStats&, const KnowledgeBase&)>&
+        on_iteration) {
+  std::vector<IterationStats> stats;
+  int first_iteration = 1;
+  if (config.resume) {
+    auto restored = LoadLatestValidCheckpoint(config.dir, config.num_concepts,
+                                              config.num_sentences);
+    if (restored.ok()) {
+      Status s = extractor->ResumeFrom(restored->kb);
+      if (!s.ok()) return s;
+      *kb = std::move(restored->kb);
+      stats = std::move(restored->state.stats);
+      first_iteration = restored->state.completed_iteration + 1;
+      SD_LOG(kInfo) << "checkpoint: resuming after iteration "
+                    << restored->state.completed_iteration;
+      // The interrupted run may already have reached its fixpoint or cap.
+      if (!stats.empty() && stats.back().extractions == 0 &&
+          stats.back().iteration > 1) {
+        return stats;
+      }
+    } else if (restored.status().code() != Status::Code::kNotFound) {
+      return restored.status();
+    } else {
+      SD_LOG(kInfo) << "checkpoint: " << restored.status().message()
+                    << ", starting fresh";
+    }
+  }
+
+  for (int iteration = first_iteration;
+       iteration <= extractor->options().max_iterations; ++iteration) {
+    size_t extracted = extractor->RunIteration(kb, iteration);
+    IterationStats s;
+    s.iteration = iteration;
+    s.extractions = extracted;
+    s.distinct_pairs = kb->num_live_pairs();
+    stats.push_back(s);
+    if (config.validate_each_iteration) {
+      Status valid = kb->Validate(config.num_concepts);
+      if (!valid.ok()) return valid;
+    }
+    if (on_iteration) on_iteration(s, *kb);
+    CheckpointState state;
+    state.completed_iteration = iteration;
+    state.stats = stats;
+    state.records = kb->records();
+    Status written = WriteCheckpoint(config.dir, state);
+    if (!written.ok()) return written;
+    if (config.keep_last > 0) {
+      Status pruned = PruneCheckpoints(config.dir, config.keep_last);
+      if (!pruned.ok()) return pruned;
+    }
+    if (extracted == 0 && iteration > 1) break;
+  }
+  return stats;
+}
+
+}  // namespace semdrift

@@ -1,0 +1,111 @@
+#ifndef SEMDRIFT_EXTRACT_CHECKPOINT_H_
+#define SEMDRIFT_EXTRACT_CHECKPOINT_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "extract/extractor.h"
+#include "kb/knowledge_base.h"
+#include "util/status.h"
+
+namespace semdrift {
+
+/// Checkpoint/resume for the iterative extraction loop (Sec. 3's
+/// bootstrapping run). Later iterations depend entirely on earlier state,
+/// so a crash mid-run used to waste everything; with checkpointing the run
+/// snapshots `(extraction provenance, per-iteration stats, iteration
+/// cursor)` after every iteration and can resume from the latest valid
+/// snapshot with byte-identical results.
+///
+/// On-disk format: one framed text file per iteration
+/// (`checkpoint-<iter>.ckpt`), versioned header + CRC32 footer (see
+/// util/framed_file.h). Records are the KB's full provenance log — counts,
+/// liveness and the trigger graph are *derived* state and are rebuilt by
+/// replay (KnowledgeBase::FromRecords), which keeps the format small and
+/// makes every restore self-verifying: a restored KB must pass
+/// KnowledgeBase::Validate() before it is allowed to seed more iterations.
+/// Files are written to a temp name and renamed into place, so a torn write
+/// leaves at most a `.tmp` carcass plus the intact previous checkpoint; a
+/// checkpoint that *is* damaged anyway (checksum/replay/validation failure)
+/// is skipped and the previous one is used.
+
+/// One snapshot: everything needed to continue the run after
+/// `completed_iteration`.
+struct CheckpointState {
+  /// The last iteration fully applied to the records.
+  int completed_iteration = 0;
+  /// Stats of every completed iteration, in order.
+  std::vector<IterationStats> stats;
+  /// The KB's provenance log (KnowledgeBase::records()).
+  std::vector<ExtractionRecord> records;
+};
+
+/// Serializes one snapshot to `path` (not atomic — use WriteCheckpoint for
+/// the rename dance). Exposed for tests.
+Status SaveCheckpoint(const CheckpointState& state, const std::string& path);
+
+/// Reads one snapshot. Fails with kDataLoss on truncation, checksum
+/// mismatch or malformed/out-of-range fields — a checkpoint is
+/// machine-written, so *any* deviation means the bytes cannot be trusted
+/// and the loader refuses them wholesale (no lenient mode here).
+Result<CheckpointState> LoadCheckpoint(const std::string& path);
+
+/// The canonical file path of iteration `iteration` inside `dir`.
+std::string CheckpointPath(const std::string& dir, int iteration);
+
+/// Atomically persists a snapshot into `dir` (created if missing): writes
+/// `checkpoint-<iter>.ckpt.tmp`, then renames over the final name.
+Status WriteCheckpoint(const std::string& dir, const CheckpointState& state);
+
+/// Deletes all but the newest `keep` checkpoints in `dir`.
+Status PruneCheckpoints(const std::string& dir, int keep);
+
+/// A checkpoint restored all the way to a live, validated knowledge base.
+struct RestoredCheckpoint {
+  CheckpointState state;
+  KnowledgeBase kb;
+};
+
+/// Scans `dir` for checkpoints, newest first, and returns the first one
+/// that loads, replays and validates. Torn or corrupt snapshots are skipped
+/// (that is the fall-back guarantee: a crash during checkpoint N resumes
+/// from N-1). kNotFound when the directory holds no valid checkpoint.
+/// `num_concepts` / `num_sentences` bound-check restored ids when nonzero.
+Result<RestoredCheckpoint> LoadLatestValidCheckpoint(const std::string& dir,
+                                                     size_t num_concepts = 0,
+                                                     size_t num_sentences = 0);
+
+/// Checkpointing policy for a run.
+struct CheckpointConfig {
+  /// Directory holding `checkpoint-*.ckpt`; created on first write.
+  std::string dir;
+  /// Start from the latest valid checkpoint in `dir` (fresh run when none).
+  bool resume = false;
+  /// Re-run KnowledgeBase::Validate() after every iteration, not just after
+  /// restores — the debug belt-and-braces mode.
+  bool validate_each_iteration = false;
+  /// Keep only the newest N checkpoints (0 = keep all).
+  int keep_last = 0;
+  /// Id-space bounds for restore validation (0 = skip the bound check).
+  /// ResumeFrom re-checks sentence bounds either way; these make the
+  /// validator reject dangling ids with a precise message first.
+  size_t num_concepts = 0;
+  size_t num_sentences = 0;
+};
+
+/// The checkpointed equivalent of IterativeExtractor::Run: restores (when
+/// asked), then alternates RunIteration / WriteCheckpoint until fixpoint or
+/// the iteration cap. `kb` must be empty unless resuming restored into it.
+/// Produces byte-identical extraction state to an uninterrupted Run —
+/// that equivalence is what makes mid-run kills recoverable without
+/// touching Table 1/2 numbers.
+Result<std::vector<IterationStats>> RunWithCheckpoints(
+    IterativeExtractor* extractor, KnowledgeBase* kb,
+    const CheckpointConfig& config,
+    const std::function<void(const IterationStats&, const KnowledgeBase&)>&
+        on_iteration = nullptr);
+
+}  // namespace semdrift
+
+#endif  // SEMDRIFT_EXTRACT_CHECKPOINT_H_

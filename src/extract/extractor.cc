@@ -92,12 +92,29 @@ size_t IterativeExtractor::RunIteration(KnowledgeBase* kb, int iteration) {
   return decisions.size();
 }
 
+Status IterativeExtractor::ResumeFrom(const KnowledgeBase& kb) {
+  std::vector<bool> consumed(corpus_->size(), false);
+  for (const ExtractionRecord& record : kb.records()) {
+    if (!record.sentence.valid() || record.sentence.value >= corpus_->size()) {
+      return Status::DataLoss("restored KB references sentence " +
+                              std::to_string(record.sentence.value) +
+                              " outside the corpus of " +
+                              std::to_string(corpus_->size()) + " sentences");
+    }
+    consumed[record.sentence.value] = true;
+  }
+  consumed_ = std::move(consumed);
+  return Status::OK();
+}
+
 std::vector<IterationStats> IterativeExtractor::Run(
     KnowledgeBase* kb,
     const std::function<void(const IterationStats&, const KnowledgeBase&)>&
-        on_iteration) {
+        on_iteration,
+    int first_iteration) {
   std::vector<IterationStats> stats;
-  for (int iteration = 1; iteration <= options_.max_iterations; ++iteration) {
+  for (int iteration = first_iteration; iteration <= options_.max_iterations;
+       ++iteration) {
     size_t extracted = RunIteration(kb, iteration);
     IterationStats s;
     s.iteration = iteration;

@@ -6,6 +6,7 @@
 
 #include "kb/knowledge_base.h"
 #include "text/sentence.h"
+#include "util/status.h"
 
 namespace semdrift {
 
@@ -68,17 +69,29 @@ class IterativeExtractor {
   /// Runs iterations until fixpoint or the cap, populating `kb`.
   /// `on_iteration` (optional) observes the KB after each iteration — used
   /// by the Fig. 5(a) bench to compute per-iteration precision.
+  /// `first_iteration` > 1 continues a run restored via ResumeFrom.
   std::vector<IterationStats> Run(
       KnowledgeBase* kb,
       const std::function<void(const IterationStats&, const KnowledgeBase&)>&
-          on_iteration = nullptr);
+          on_iteration = nullptr,
+      int first_iteration = 1);
 
   /// Runs a single iteration (1-based); returns the number of extraction
-  /// events applied. Exposed for tests and step-wise demos.
+  /// events applied. Exposed for tests, step-wise demos and the
+  /// checkpointing driver.
   size_t RunIteration(KnowledgeBase* kb, int iteration);
+
+  /// Rebuilds the consumed-sentence state from a restored knowledge base
+  /// (checkpoint resume): every recorded extraction marks its sentence
+  /// consumed, rolled back or not — a rollback never returns a sentence to
+  /// the pool. Fails with kDataLoss when a record references a sentence
+  /// outside this corpus (the KB belongs to different data).
+  Status ResumeFrom(const KnowledgeBase& kb);
 
   /// True when sentence `id` has been consumed by some iteration.
   bool Consumed(SentenceId id) const { return consumed_[id.value]; }
+
+  const ExtractorOptions& options() const { return options_; }
 
  private:
   const SentenceStore* corpus_;

@@ -1,6 +1,8 @@
 #include "kb/knowledge_base.h"
 
+#include <algorithm>
 #include <cassert>
+#include <unordered_set>
 
 namespace semdrift {
 
@@ -46,6 +48,39 @@ uint32_t KnowledgeBase::ApplyExtraction(SentenceId sentence, ConceptId c,
     it->second.triggered_records.push_back(record_id);
   }
   return record_id;
+}
+
+Result<KnowledgeBase> KnowledgeBase::FromRecords(
+    const std::vector<ExtractionRecord>& records) {
+  KnowledgeBase kb;
+  auto fail = [](size_t i, const std::string& why) {
+    return Status::DataLoss("record " + std::to_string(i) + ": " + why);
+  };
+  for (size_t i = 0; i < records.size(); ++i) {
+    const ExtractionRecord& r = records[i];
+    if (r.id != i) return fail(i, "id breaks the sequence");
+    if (!r.concept_id.valid()) return fail(i, "invalid concept id");
+    if (!r.sentence.valid()) return fail(i, "invalid sentence id");
+    if (r.iteration < 1) return fail(i, "iteration < 1");
+    if (r.instances.empty()) return fail(i, "no instances");
+    for (InstanceId e : r.instances) {
+      if (!e.valid()) return fail(i, "invalid instance id");
+    }
+    for (InstanceId t : r.triggers) {
+      // At replay time no rollbacks have been applied yet, so "was live at
+      // extraction time" reduces to "was produced by an earlier record".
+      if (!t.valid() || kb.Count(IsAPair{r.concept_id, t}) <= 0) {
+        return fail(i, "trigger was never a live pair");
+      }
+    }
+    kb.ApplyExtraction(r.sentence, r.concept_id, r.instances, r.triggers,
+                       r.iteration);
+  }
+  std::vector<IsAPair> dead;  // Discarded: the flags already encode the cascade.
+  for (const ExtractionRecord& r : records) {
+    if (r.rolled_back) kb.RollbackOne(r.id, &dead);
+  }
+  return kb;
 }
 
 int KnowledgeBase::Count(const IsAPair& pair) const {
@@ -198,6 +233,133 @@ int KnowledgeBase::RemovePair(const IsAPair& pair, CascadePolicy policy) {
     if (RollbackOne(id, &dead)) ++rolled;
   }
   return rolled + CascadeDeadPairs(std::move(dead), policy);
+}
+
+Status KnowledgeBase::Validate(size_t num_concepts, size_t num_sentences) const {
+  auto fail = [](const std::string& why) { return Status::DataLoss("KB invariant: " + why); };
+
+  // Records: dense ids, valid references, in-bounds against the world.
+  for (size_t i = 0; i < records_.size(); ++i) {
+    const ExtractionRecord& r = records_[i];
+    std::string at = "record " + std::to_string(i);
+    if (r.id != i) return fail(at + " id mismatch");
+    if (!r.concept_id.valid()) return fail(at + " has invalid concept id");
+    if (!r.sentence.valid()) return fail(at + " has invalid sentence id");
+    if (num_concepts > 0 && r.concept_id.value >= num_concepts) {
+      return fail(at + " references dangling concept id " +
+                  std::to_string(r.concept_id.value));
+    }
+    if (num_sentences > 0 && r.sentence.value >= num_sentences) {
+      return fail(at + " references dangling sentence id " +
+                  std::to_string(r.sentence.value));
+    }
+    if (r.iteration < 1) return fail(at + " has iteration < 1");
+    if (r.instances.empty()) return fail(at + " has no instances");
+    if (r.concept_id.value >= concept_records_.size()) {
+      return fail(at + " missing from the concept-record index");
+    }
+    const auto& index = concept_records_[r.concept_id.value];
+    if (std::find(index.begin(), index.end(), r.id) == index.end()) {
+      return fail(at + " missing from the concept-record index");
+    }
+    for (InstanceId e : r.instances) {
+      if (!e.valid()) return fail(at + " lists an invalid instance id");
+      auto it = pairs_.find(IsAPair{r.concept_id, e});
+      if (it == pairs_.end()) return fail(at + " produced a pair missing from the table");
+      const auto& producers = it->second.producing_records;
+      if (std::find(producers.begin(), producers.end(), r.id) == producers.end()) {
+        return fail(at + " missing from its pair's producing records");
+      }
+    }
+    for (InstanceId t : r.triggers) {
+      if (!t.valid()) return fail(at + " lists an invalid trigger id");
+      auto it = pairs_.find(IsAPair{r.concept_id, t});
+      if (it == pairs_.end()) return fail(at + " triggered by a pair missing from the table");
+      const auto& triggered = it->second.triggered_records;
+      if (std::find(triggered.begin(), triggered.end(), r.id) == triggered.end()) {
+        return fail(at + " missing from its trigger pair's triggered records");
+      }
+    }
+  }
+
+  // Pairs: counts derive exactly from live provenance; edges point at real
+  // records that really involve the pair.
+  size_t live = 0;
+  for (const auto& [pair, stats] : pairs_) {
+    std::string at = "pair (" + std::to_string(pair.concept_id.value) + "," +
+                     std::to_string(pair.instance.value) + ")";
+    if (stats.count < 0 || stats.iter1_count < 0) return fail(at + " has negative support");
+    int expected_count = 0;
+    int expected_iter1 = 0;
+    int expected_first = -1;
+    for (uint32_t id : stats.producing_records) {
+      if (id >= records_.size()) return fail(at + " produced by out-of-range record id");
+      const ExtractionRecord& r = records_[id];
+      if (r.concept_id != pair.concept_id) return fail(at + " produced by a record of another concept");
+      if (std::find(r.instances.begin(), r.instances.end(), pair.instance) ==
+          r.instances.end()) {
+        return fail(at + " produced by a record that does not list it");
+      }
+      if (expected_first < 0) expected_first = r.iteration;
+      if (!r.rolled_back) {
+        ++expected_count;
+        if (r.iteration == 1) ++expected_iter1;
+      }
+    }
+    if (stats.count != expected_count) {
+      return fail(at + " support " + std::to_string(stats.count) +
+                  " != live producing records " + std::to_string(expected_count));
+    }
+    if (stats.iter1_count != expected_iter1) {
+      return fail(at + " iteration-1 support disagrees with provenance");
+    }
+    if (stats.first_iteration != expected_first) {
+      return fail(at + " first-iteration disagrees with provenance");
+    }
+    for (uint32_t id : stats.triggered_records) {
+      if (id >= records_.size()) return fail(at + " triggers an out-of-range record id");
+      const ExtractionRecord& r = records_[id];
+      if (r.concept_id != pair.concept_id ||
+          std::find(r.triggers.begin(), r.triggers.end(), pair.instance) ==
+              r.triggers.end()) {
+        return fail(at + " triggers a record that does not list it as trigger");
+      }
+    }
+    if (stats.count > 0) ++live;
+    // The pair must be indexed under its concept.
+    if (pair.concept_id.value >= concept_instances_.size()) {
+      return fail(at + " missing from the concept-instance index");
+    }
+    const auto& ever = concept_instances_[pair.concept_id.value];
+    if (std::find(ever.begin(), ever.end(), pair.instance) == ever.end()) {
+      return fail(at + " missing from the concept-instance index");
+    }
+  }
+  if (live != live_pairs_) {
+    return fail("live-pair counter " + std::to_string(live_pairs_) +
+                " != recount " + std::to_string(live));
+  }
+
+  // Indexes: no duplicates, nothing indexed that the pair table lacks.
+  for (size_t ci = 0; ci < concept_instances_.size(); ++ci) {
+    std::unordered_set<uint32_t> seen;
+    for (InstanceId e : concept_instances_[ci]) {
+      if (!seen.insert(e.value).second) {
+        return fail("concept " + std::to_string(ci) + " indexes a duplicate instance");
+      }
+      if (pairs_.find(IsAPair{ConceptId(static_cast<uint32_t>(ci)), e}) == pairs_.end()) {
+        return fail("concept " + std::to_string(ci) + " indexes an unknown pair");
+      }
+    }
+  }
+  for (size_t ci = 0; ci < concept_records_.size(); ++ci) {
+    for (uint32_t id : concept_records_[ci]) {
+      if (id >= records_.size() || records_[id].concept_id.value != ci) {
+        return fail("concept " + std::to_string(ci) + " indexes a foreign record");
+      }
+    }
+  }
+  return Status::OK();
 }
 
 int KnowledgeBase::RollbackTriggeredBy(const IsAPair& pair, CascadePolicy policy) {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "text/ids.h"
+#include "util/status.h"
 
 namespace semdrift {
 
@@ -74,6 +75,14 @@ class KnowledgeBase {
                            const std::vector<InstanceId>& instances,
                            const std::vector<InstanceId>& triggers, int iteration);
 
+  /// Rebuilds a knowledge base from a provenance log (the checkpoint restore
+  /// path): records are re-applied in id order, then rolled-back flags are
+  /// re-asserted without cascading (the flags already encode the cascade's
+  /// outcome). Unlike ApplyExtraction this never trusts its input — a record
+  /// whose id breaks the sequence, whose trigger was never a live pair, or
+  /// whose ids are invalid yields kDataLoss instead of corrupt state.
+  static Result<KnowledgeBase> FromRecords(const std::vector<ExtractionRecord>& records);
+
   // -- Queries --------------------------------------------------------------
 
   /// Pair is live (support > 0).
@@ -117,6 +126,21 @@ class KnowledgeBase {
   /// Sub-instances of (c, e) with trigger multiplicities: how often each
   /// instance was produced by extractions that (c, e) triggered (Sec. 2.1).
   std::unordered_map<InstanceId, int> SubInstancesOf(const IsAPair& pair) const;
+
+  // -- Integrity -------------------------------------------------------------
+
+  /// Full cross-check of the KB's internal invariants: every pair's support
+  /// equals its live producing records, iteration-1 counts and first
+  /// iterations match provenance, the trigger graph references only real
+  /// records that actually list the pair as a trigger, the per-concept
+  /// indexes agree with the pair table, and the live-pair counter is exact.
+  /// Optional bounds (pass 0 to skip) additionally reject concept/sentence
+  /// ids outside the world/corpus — the "dangling id" class of corruption.
+  /// Called after every checkpoint restore (and per-iteration under a debug
+  /// flag) so a corrupted restore can never silently poison later
+  /// iterations and drift metrics. Returns kDataLoss naming the first
+  /// violated invariant.
+  Status Validate(size_t num_concepts = 0, size_t num_sentences = 0) const;
 
   // -- Rollback (Sec. 4.2) ---------------------------------------------------
 

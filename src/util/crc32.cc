@@ -1,0 +1,49 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace semdrift {
+
+namespace {
+
+/// Byte-at-a-time lookup table for the reflected IEEE polynomial 0xEDB88320,
+/// generated once at startup. Table-driven CRC is ~8x faster than bitwise
+/// and plenty for line-oriented file formats.
+std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = MakeTable();
+  return table;
+}
+
+}  // namespace
+
+void Crc32::Update(const void* data, size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  const auto& table = Table();
+  uint32_t c = state_;
+  for (size_t i = 0; i < size; ++i) {
+    c = table[(c ^ bytes[i]) & 0xffu] ^ (c >> 8);
+  }
+  state_ = c;
+}
+
+void Crc32::Update(std::string_view data) { Update(data.data(), data.size()); }
+
+uint32_t Crc32Of(std::string_view data) {
+  Crc32 crc;
+  crc.Update(data);
+  return crc.value();
+}
+
+}  // namespace semdrift

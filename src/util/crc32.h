@@ -1,0 +1,39 @@
+#ifndef SEMDRIFT_UTIL_CRC32_H_
+#define SEMDRIFT_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace semdrift {
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib/gzip variant). Used as the
+/// integrity checksum in the on-disk file formats: cheap, well-understood,
+/// and strong enough to catch torn writes, bit flips and truncation — the
+/// failure modes the fault-tolerance layer defends against. Not a
+/// cryptographic hash; it detects corruption, not tampering.
+class Crc32 {
+ public:
+  Crc32() = default;
+
+  /// Feeds `data` into the running checksum. Can be called repeatedly to
+  /// checksum a stream incrementally.
+  void Update(std::string_view data);
+  void Update(const void* data, size_t size);
+
+  /// Finalized checksum of everything fed so far. Does not reset state.
+  uint32_t value() const { return state_ ^ 0xffffffffu; }
+
+  /// Resets to the empty-input state.
+  void Reset() { state_ = 0xffffffffu; }
+
+ private:
+  uint32_t state_ = 0xffffffffu;
+};
+
+/// One-shot convenience: checksum of a single buffer.
+uint32_t Crc32Of(std::string_view data);
+
+}  // namespace semdrift
+
+#endif  // SEMDRIFT_UTIL_CRC32_H_

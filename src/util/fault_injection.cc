@@ -1,0 +1,167 @@
+#include "util/fault_injection.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace semdrift {
+
+namespace {
+
+/// Splits into lines *including* their trailing newline bytes, so that
+/// reassembly after drop/duplicate is byte-exact for untouched lines.
+std::vector<std::string> SplitKeepingNewlines(const std::string& content) {
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < content.size()) {
+    size_t nl = content.find('\n', start);
+    if (nl == std::string::npos) {
+      lines.push_back(content.substr(start));
+      break;
+    }
+    lines.push_back(content.substr(start, nl - start + 1));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+std::string JoinLines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const std::string& line : lines) out += line;
+  return out;
+}
+
+/// Bytes that are invalid in any UTF-8 sequence position (lone continuation
+/// bytes and overlong-encoding leads), guaranteed to poison text fields.
+std::string GarbageBytes(Rng* rng, size_t n) {
+  static const unsigned char kPool[] = {0xff, 0xfe, 0xc0, 0xc1, 0x80,
+                                        0x9f, 0xf5, 0x00, 0x0b, 0x1b};
+  std::string out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(static_cast<char>(kPool[rng->NextBounded(sizeof(kPool))]));
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kTruncate:
+      return "truncate";
+    case FaultKind::kFlipBytes:
+      return "flip-bytes";
+    case FaultKind::kDropLine:
+      return "drop-line";
+    case FaultKind::kDuplicateLine:
+      return "duplicate-line";
+    case FaultKind::kGarbageLine:
+      return "garbage-line";
+    case FaultKind::kSpliceGarbage:
+      return "splice-garbage";
+  }
+  return "unknown";
+}
+
+std::vector<FaultKind> AllFaultKinds() {
+  return {FaultKind::kTruncate,       FaultKind::kFlipBytes,
+          FaultKind::kDropLine,       FaultKind::kDuplicateLine,
+          FaultKind::kGarbageLine,    FaultKind::kSpliceGarbage};
+}
+
+std::string FaultInjector::Corrupt(const std::string& content, FaultKind kind) {
+  if (content.empty()) return content;
+  switch (kind) {
+    case FaultKind::kTruncate: {
+      // Cut anywhere, including byte 0 (empty file) — a torn write can leave
+      // any prefix behind.
+      size_t cut = static_cast<size_t>(rng_.NextBounded(content.size()));
+      return content.substr(0, cut);
+    }
+    case FaultKind::kFlipBytes: {
+      std::string out = content;
+      size_t flips = 1 + static_cast<size_t>(rng_.NextBounded(8));
+      for (size_t i = 0; i < flips; ++i) {
+        size_t pos = static_cast<size_t>(rng_.NextBounded(out.size()));
+        unsigned mask = 1u << rng_.NextBounded(8);
+        out[pos] = static_cast<char>(static_cast<unsigned char>(out[pos]) ^ mask);
+      }
+      return out;
+    }
+    case FaultKind::kDropLine: {
+      std::vector<std::string> lines = SplitKeepingNewlines(content);
+      if (lines.size() <= 1) return std::string();
+      size_t victim = static_cast<size_t>(rng_.NextBounded(lines.size()));
+      lines.erase(lines.begin() + static_cast<ptrdiff_t>(victim));
+      return JoinLines(lines);
+    }
+    case FaultKind::kDuplicateLine: {
+      std::vector<std::string> lines = SplitKeepingNewlines(content);
+      size_t victim = static_cast<size_t>(rng_.NextBounded(lines.size()));
+      lines.insert(lines.begin() + static_cast<ptrdiff_t>(victim), lines[victim]);
+      return JoinLines(lines);
+    }
+    case FaultKind::kGarbageLine: {
+      std::vector<std::string> lines = SplitKeepingNewlines(content);
+      size_t victim = static_cast<size_t>(rng_.NextBounded(lines.size()));
+      bool had_newline = !lines[victim].empty() && lines[victim].back() == '\n';
+      size_t len = 1 + static_cast<size_t>(rng_.NextBounded(40));
+      lines[victim] = GarbageBytes(&rng_, len);
+      // Keep the line structure: garbage replaces the payload, not the
+      // record separator (a missing separator is kTruncate's job).
+      if (had_newline) lines[victim] += '\n';
+      // Strip embedded newlines so exactly one line is poisoned.
+      for (size_t i = 0; i + 1 < lines[victim].size(); ++i) {
+        if (lines[victim][i] == '\n') lines[victim][i] = static_cast<char>(0xff);
+      }
+      return JoinLines(lines);
+    }
+    case FaultKind::kSpliceGarbage: {
+      std::string out = content;
+      size_t pos = static_cast<size_t>(rng_.NextBounded(out.size()));
+      size_t len = 1 + static_cast<size_t>(rng_.NextBounded(16));
+      std::string garbage = GarbageBytes(&rng_, len);
+      for (char& c : garbage) {
+        if (c == '\n') c = static_cast<char>(0xfe);
+      }
+      out.insert(pos, garbage);
+      return out;
+    }
+  }
+  return content;
+}
+
+std::string FaultInjector::CorruptRandom(const std::string& content,
+                                         FaultKind* kind_out) {
+  std::vector<FaultKind> kinds = AllFaultKinds();
+  FaultKind kind = kinds[rng_.NextBounded(kinds.size())];
+  if (kind_out != nullptr) *kind_out = kind;
+  return Corrupt(content, kind);
+}
+
+Status FaultInjector::CorruptFile(const std::string& in_path,
+                                  const std::string& out_path, FaultKind kind) {
+  auto content = ReadFileToString(in_path);
+  if (!content.ok()) return content.status();
+  return WriteStringToFile(Corrupt(*content, kind), out_path);
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IOError("read failed for " + path);
+  return buffer.str();
+}
+
+Status WriteStringToFile(const std::string& content, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + path);
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  out.flush();
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace semdrift

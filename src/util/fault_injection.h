@@ -1,0 +1,69 @@
+#ifndef SEMDRIFT_UTIL_FAULT_INJECTION_H_
+#define SEMDRIFT_UTIL_FAULT_INJECTION_H_
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace semdrift {
+
+/// Ways a persisted file can go wrong in the wild. Each kind models a real
+/// failure the loaders must survive: a crash mid-write (truncation), disk or
+/// transfer bit rot (byte flips), a buggy producer or concat (dropped /
+/// duplicated lines), and encoding garbage leaking into text fields.
+enum class FaultKind {
+  /// Cut the content at a random byte offset (torn write).
+  kTruncate,
+  /// Flip 1–8 random bytes in place (bit rot).
+  kFlipBytes,
+  /// Remove one random line (lost record).
+  kDropLine,
+  /// Duplicate one random line (replayed record).
+  kDuplicateLine,
+  /// Replace one random line's bytes with non-UTF8 garbage.
+  kGarbageLine,
+  /// Splice random binary garbage into the middle of a random line
+  /// (field-level corruption: numbers become junk, tabs disappear).
+  kSpliceGarbage,
+};
+
+/// Human-readable name, e.g. "truncate"; used in fuzz-load reports.
+const char* FaultKindName(FaultKind kind);
+
+/// All kinds, for sweeps.
+std::vector<FaultKind> AllFaultKinds();
+
+/// Deterministic, seeded corruption engine. Equal seeds produce equal
+/// corruptions of equal inputs, so every fuzz failure is replayable from
+/// its seed alone. Used by `semdrift fuzz-load` and the robustness tests to
+/// prove the loaders never crash and degrade exactly as specified.
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed) : rng_(seed) {}
+
+  /// Returns a corrupted copy of `content`. The original is untouched.
+  /// Degenerate inputs (empty content) are returned unchanged.
+  std::string Corrupt(const std::string& content, FaultKind kind);
+
+  /// Picks a kind from the seeded stream, then corrupts.
+  std::string CorruptRandom(const std::string& content, FaultKind* kind_out = nullptr);
+
+  /// File-level convenience: reads `in_path`, corrupts, writes `out_path`.
+  Status CorruptFile(const std::string& in_path, const std::string& out_path,
+                     FaultKind kind);
+
+ private:
+  Rng rng_;
+};
+
+/// Reads a whole file into a string. Shared by the injector and tests.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Writes a string to a file, replacing it.
+Status WriteStringToFile(const std::string& content, const std::string& path);
+
+}  // namespace semdrift
+
+#endif  // SEMDRIFT_UTIL_FAULT_INJECTION_H_

@@ -1,0 +1,123 @@
+#include "util/framed_file.h"
+
+#include <cstdio>
+
+#include "util/string_util.h"
+
+namespace semdrift {
+
+namespace {
+
+constexpr char kFooterPrefix[] = "#crc32\t";
+
+std::string HeaderLine(std::string_view tag, int version) {
+  return std::string(tag) + "\tv" + std::to_string(version);
+}
+
+}  // namespace
+
+FramedWriter::FramedWriter(const std::string& path, std::string_view tag,
+                           int version)
+    : out_(path, std::ios::binary | std::ios::trunc), path_(path) {
+  if (!out_) {
+    status_ = Status::IOError("cannot open " + path);
+    return;
+  }
+  Write(HeaderLine(tag, version));
+  Write("\n");
+}
+
+void FramedWriter::Write(std::string_view bytes) {
+  if (!status_.ok()) return;
+  crc_.Update(bytes);
+  out_.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out_) status_ = Status::IOError("write failed for " + path_);
+}
+
+void FramedWriter::WriteLine(std::string_view line) {
+  Write(line);
+  Write("\n");
+}
+
+Status FramedWriter::Close() {
+  if (closed_) return status_;
+  closed_ = true;
+  if (!status_.ok()) return status_;
+  char footer[32];
+  std::snprintf(footer, sizeof(footer), "%s%08x\n", kFooterPrefix, crc_.value());
+  out_ << footer;
+  out_.flush();
+  if (!out_) status_ = Status::IOError("write failed for " + path_);
+  return status_;
+}
+
+Result<FramedFile> ReadFramedFile(const std::string& path, std::string_view tag,
+                                  int max_version, int min_checksum_version) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+
+  FramedFile file;
+  Crc32 crc;
+  std::string line;
+  size_t line_number = 0;
+
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument(path + ": empty file, expected '" +
+                                   HeaderLine(tag, 1) + "'-style header");
+  }
+  ++line_number;
+  // Header: "<tag>\tv<N>".
+  std::string expected_prefix = std::string(tag) + "\tv";
+  int64_t version = 0;
+  if (!StartsWith(line, expected_prefix) ||
+      !ParseIntInRange(std::string_view(line).substr(expected_prefix.size()), 1,
+                       max_version, &version)) {
+    return Status::InvalidArgument(path + ": not a " + std::string(tag) +
+                                   " file (bad header '" + line + "')");
+  }
+  file.version = static_cast<int>(version);
+  crc.Update(line);
+  crc.Update("\n");
+
+  bool saw_footer = false;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (StartsWith(line, kFooterPrefix)) {
+      file.checksum_present = true;
+      uint64_t stored = 0;
+      std::string_view hex = std::string_view(line).substr(sizeof(kFooterPrefix) - 1);
+      bool parsed = hex.size() == 8;
+      uint32_t value = 0;
+      if (parsed) {
+        for (char c : hex) {
+          int digit;
+          if (c >= '0' && c <= '9') digit = c - '0';
+          else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+          else if (c >= 'A' && c <= 'F') digit = c - 'A' + 10;
+          else { parsed = false; break; }
+          value = (value << 4) | static_cast<uint32_t>(digit);
+        }
+        stored = value;
+      }
+      file.checksum_ok = parsed && stored == crc.value();
+      saw_footer = true;
+      continue;
+    }
+    if (saw_footer) {
+      // Payload after the footer: something appended or spliced bytes into
+      // a sealed file. Whatever it is, the file is not what was written.
+      file.checksum_ok = false;
+      continue;
+    }
+    crc.Update(line);
+    crc.Update("\n");
+    if (line.empty()) continue;
+    file.lines.push_back(line);
+    file.line_numbers.push_back(line_number);
+  }
+  if (in.bad()) return Status::IOError("read failed for " + path);
+  if (file.version >= min_checksum_version && !saw_footer) file.truncated = true;
+  return file;
+}
+
+}  // namespace semdrift

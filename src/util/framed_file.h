@@ -1,0 +1,79 @@
+#ifndef SEMDRIFT_UTIL_FRAMED_FILE_H_
+#define SEMDRIFT_UTIL_FRAMED_FILE_H_
+
+#include <cstddef>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/crc32.h"
+#include "util/status.h"
+
+namespace semdrift {
+
+/// Shared framing for the line-oriented on-disk formats (worlds, corpora,
+/// checkpoints): a `<tag>\tv<N>` version header, tab-separated payload
+/// lines, and a trailing `#crc32\t<hex>` footer checksumming every byte
+/// before it. The footer is what turns "the file ends here" into a
+/// verifiable claim: a torn write loses the footer (truncation detected), a
+/// bit flip breaks the checksum (corruption detected).
+
+/// Streams payload lines to disk while accumulating their checksum, then
+/// seals the file with the footer on Close(). Always write through a
+/// FramedWriter so no v2 file can exist without its footer.
+class FramedWriter {
+ public:
+  /// Opens `path` for writing and emits the `<tag>\tv<version>` header.
+  /// Check status() before use.
+  FramedWriter(const std::string& path, std::string_view tag, int version);
+
+  /// Appends one payload line (newline added here). No-op after an error.
+  void WriteLine(std::string_view line);
+
+  /// Writes the checksum footer and flushes. Returns the first error seen.
+  Status Close();
+
+  /// First error encountered so far (IOError on open/write failure).
+  const Status& status() const { return status_; }
+
+ private:
+  void Write(std::string_view bytes);
+
+  std::ofstream out_;
+  std::string path_;
+  Crc32 crc_;
+  Status status_;
+  bool closed_ = false;
+};
+
+/// A framed file read back into memory, with framing verdicts the caller
+/// turns into strict/lenient policy.
+struct FramedFile {
+  /// Version parsed from the header.
+  int version = 0;
+  /// Payload lines in order, without trailing newlines. Blank lines are
+  /// dropped (but still checksummed).
+  std::vector<std::string> lines;
+  /// 1-based file line number of each payload line (header is line 1).
+  std::vector<size_t> line_numbers;
+  /// A `#crc32` footer line was present.
+  bool checksum_present = false;
+  /// Footer present and matching the preceding bytes.
+  bool checksum_ok = false;
+  /// Version >= min_checksum_version but no footer arrived before EOF —
+  /// the signature of a torn write.
+  bool truncated = false;
+};
+
+/// Reads and frames `path`. Fails with kIOError when the file cannot be
+/// read, kInvalidArgument when the header tag is wrong or the version is
+/// outside [1, max_version]. Checksum problems do NOT fail the read — they
+/// are reported in the returned struct so lenient callers can proceed.
+/// Lines after the footer count as corruption (checksum_ok forced false).
+Result<FramedFile> ReadFramedFile(const std::string& path, std::string_view tag,
+                                  int max_version, int min_checksum_version = 2);
+
+}  // namespace semdrift
+
+#endif  // SEMDRIFT_UTIL_FRAMED_FILE_H_

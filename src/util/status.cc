@@ -22,6 +22,8 @@ const char* CodeName(Status::Code code) {
       return "Internal";
     case Status::Code::kIOError:
       return "IOError";
+    case Status::Code::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }

@@ -24,6 +24,10 @@ class Status {
     kFailedPrecondition,
     kInternal,
     kIOError,
+    /// Unrecoverable corruption of persisted state: truncated file,
+    /// checksum mismatch, torn checkpoint. Distinct from kIOError (the
+    /// operating system failed us) — here the bytes arrived but are wrong.
+    kDataLoss,
   };
 
   /// Constructs an OK status.
@@ -56,6 +60,9 @@ class Status {
   }
   static Status IOError(std::string msg) {
     return Status(Code::kIOError, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(Code::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == Code::kOk; }

@@ -1,7 +1,11 @@
 #include "util/string_util.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <limits>
 
 namespace semdrift {
 
@@ -79,6 +83,65 @@ std::string FormatCount(int64_t v) {
   }
   if (neg) out.push_back('-');
   return std::string(out.rbegin(), out.rend());
+}
+
+namespace {
+
+/// Copies into a NUL-terminated buffer for the strto* family and rejects
+/// embedded NULs (strto* would silently stop at them). Returns false for
+/// input too long to be a sane number.
+bool CopyForStrto(std::string_view s, char* buf, size_t buf_size) {
+  if (s.empty() || s.size() >= buf_size) return false;
+  if (s.find('\0') != std::string_view::npos) return false;
+  s.copy(buf, s.size());
+  buf[s.size()] = '\0';
+  return true;
+}
+
+}  // namespace
+
+bool ParseDouble(std::string_view s, double* out) {
+  char buf[64];
+  if (!CopyForStrto(s, buf, sizeof(buf))) return false;
+  if (std::isspace(static_cast<unsigned char>(buf[0]))) return false;
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(buf, &end);
+  if (end != buf + s.size() || errno == ERANGE || !std::isfinite(v)) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseInt64(std::string_view s, int64_t* out) {
+  char buf[32];
+  if (!CopyForStrto(s, buf, sizeof(buf))) return false;
+  if (std::isspace(static_cast<unsigned char>(buf[0]))) return false;
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(buf, &end, 10);
+  if (end != buf + s.size() || errno == ERANGE) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseUint64(std::string_view s, uint64_t* out) {
+  char buf[32];
+  if (!CopyForStrto(s, buf, sizeof(buf))) return false;
+  // strtoull accepts a leading '-' and wraps; forbid it explicitly.
+  if (buf[0] == '-' || std::isspace(static_cast<unsigned char>(buf[0]))) return false;
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(buf, &end, 10);
+  if (end != buf + s.size() || errno == ERANGE) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseIntInRange(std::string_view s, int64_t lo, int64_t hi, int64_t* out) {
+  int64_t v = 0;
+  if (!ParseInt64(s, &v) || v < lo || v > hi) return false;
+  *out = v;
+  return true;
 }
 
 }  // namespace semdrift

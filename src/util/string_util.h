@@ -33,6 +33,16 @@ std::string FormatDouble(double v, int digits);
 /// "90,521,133"; used by bench output that mirrors the paper's large counts.
 std::string FormatCount(int64_t v);
 
+/// Checked numeric parsing. Unlike std::atof / std::strtoull these reject
+/// trailing garbage, empty input and out-of-range values instead of
+/// silently returning 0 — the loaders and the CLI use them so a corrupt
+/// field surfaces as an error, never as a wrong number.
+bool ParseDouble(std::string_view s, double* out);
+bool ParseInt64(std::string_view s, int64_t* out);
+bool ParseUint64(std::string_view s, uint64_t* out);
+/// Like ParseInt64 but additionally range-checks into [lo, hi].
+bool ParseIntInRange(std::string_view s, int64_t lo, int64_t hi, int64_t* out);
+
 }  // namespace semdrift
 
 #endif  // SEMDRIFT_UTIL_STRING_UTIL_H_

@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "corpus/serialization.h"
+#include "eval/experiment.h"
+#include "extract/checkpoint.h"
+#include "util/fault_injection.h"
+
+namespace semdrift {
+namespace {
+
+namespace fs = std::filesystem;
+
+ExperimentConfig SmallConfig() {
+  ExperimentConfig config = PaperScaleConfig(0.05);
+  config.seed = 31;
+  return config;
+}
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "/" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+std::string TaxonomyBytes(const Experiment& experiment, const KnowledgeBase& kb,
+                          const std::string& name) {
+  std::string path = ::testing::TempDir() + "/" + name;
+  EXPECT_TRUE(ExportTaxonomyTsv(kb, experiment.world(), path).ok());
+  auto content = ReadFileToString(path);
+  EXPECT_TRUE(content.ok());
+  return *content;
+}
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { experiment_ = Experiment::Build(SmallConfig()); }
+  std::unique_ptr<Experiment> experiment_;
+};
+
+TEST_F(CheckpointTest, SaveLoadRoundTrip) {
+  std::vector<IterationStats> stats;
+  KnowledgeBase kb = experiment_->Extract(&stats);
+  CheckpointState state;
+  state.completed_iteration = stats.back().iteration;
+  state.stats = stats;
+  state.records = kb.records();
+
+  std::string path = ::testing::TempDir() + "/roundtrip.ckpt";
+  ASSERT_TRUE(SaveCheckpoint(state, path).ok());
+  auto loaded = LoadCheckpoint(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ(loaded->completed_iteration, state.completed_iteration);
+  ASSERT_EQ(loaded->stats.size(), state.stats.size());
+  for (size_t i = 0; i < state.stats.size(); ++i) {
+    EXPECT_EQ(loaded->stats[i].iteration, state.stats[i].iteration);
+    EXPECT_EQ(loaded->stats[i].extractions, state.stats[i].extractions);
+    EXPECT_EQ(loaded->stats[i].distinct_pairs, state.stats[i].distinct_pairs);
+  }
+  ASSERT_EQ(loaded->records.size(), state.records.size());
+  for (size_t i = 0; i < state.records.size(); ++i) {
+    const ExtractionRecord& a = state.records[i];
+    const ExtractionRecord& b = loaded->records[i];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.sentence, b.sentence);
+    EXPECT_EQ(a.concept_id, b.concept_id);
+    EXPECT_EQ(a.iteration, b.iteration);
+    EXPECT_EQ(a.instances, b.instances);
+    EXPECT_EQ(a.triggers, b.triggers);
+    EXPECT_EQ(a.rolled_back, b.rolled_back);
+  }
+
+  // The restore pipeline rebuilds an identical, valid KB.
+  auto restored = KnowledgeBase::FromRecords(loaded->records);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->num_live_pairs(), kb.num_live_pairs());
+  EXPECT_TRUE(restored
+                  ->Validate(experiment_->world().num_concepts(),
+                             experiment_->corpus().sentences.size())
+                  .ok());
+}
+
+TEST_F(CheckpointTest, UncheckpointedAndCheckpointedRunsMatch) {
+  KnowledgeBase plain = experiment_->Extract();
+  CheckpointConfig config;
+  config.dir = FreshDir("ckpt_match");
+  config.validate_each_iteration = true;
+  auto checkpointed = experiment_->ExtractWithCheckpoints(config);
+  ASSERT_TRUE(checkpointed.ok()) << checkpointed.status().ToString();
+  EXPECT_EQ(TaxonomyBytes(*experiment_, plain, "plain.tsv"),
+            TaxonomyBytes(*experiment_, *checkpointed, "checkpointed.tsv"));
+}
+
+TEST_F(CheckpointTest, KillAndResumeIsByteIdentical) {
+  CheckpointConfig config;
+  config.dir = FreshDir("ckpt_kill");
+  std::vector<IterationStats> stats;
+  auto full = experiment_->ExtractWithCheckpoints(config, &stats);
+  ASSERT_TRUE(full.ok());
+  std::string expected = TaxonomyBytes(*experiment_, *full, "full.tsv");
+  ASSERT_GT(stats.size(), 3u) << "need a multi-iteration run to simulate a kill";
+
+  // Simulate a kill after iteration 2: delete every later snapshot.
+  for (size_t i = 3; i <= stats.size(); ++i) {
+    fs::remove(CheckpointPath(config.dir, static_cast<int>(i)));
+  }
+  config.resume = true;
+  std::vector<IterationStats> resumed_stats;
+  auto resumed = experiment_->ExtractWithCheckpoints(config, &resumed_stats);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_EQ(resumed_stats.size(), stats.size());
+  EXPECT_EQ(TaxonomyBytes(*experiment_, *resumed, "resumed.tsv"), expected);
+}
+
+TEST_F(CheckpointTest, TornNewestCheckpointFallsBackToPrevious) {
+  CheckpointConfig config;
+  config.dir = FreshDir("ckpt_torn");
+  std::vector<IterationStats> stats;
+  auto full = experiment_->ExtractWithCheckpoints(config, &stats);
+  ASSERT_TRUE(full.ok());
+  std::string expected = TaxonomyBytes(*experiment_, *full, "torn_full.tsv");
+
+  // Tear the newest snapshot mid-write: resume must skip it and restart from
+  // the one before, still converging to the same output.
+  std::string newest = CheckpointPath(config.dir, stats.back().iteration);
+  auto content = ReadFileToString(newest);
+  ASSERT_TRUE(content.ok());
+  ASSERT_TRUE(WriteStringToFile(content->substr(0, content->size() / 3), newest).ok());
+
+  config.resume = true;
+  auto resumed = experiment_->ExtractWithCheckpoints(config);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_EQ(TaxonomyBytes(*experiment_, *resumed, "torn_resumed.tsv"), expected);
+}
+
+TEST_F(CheckpointTest, ValidateRejectsCorruptedRestore) {
+  std::vector<IterationStats> stats;
+  KnowledgeBase kb = experiment_->Extract(&stats);
+  CheckpointState state;
+  state.completed_iteration = stats.back().iteration;
+  state.stats = stats;
+  state.records = kb.records();
+
+  // Dangling concept id: FromRecords accepts it (no bounds known), Validate
+  // with the world's bounds must reject it.
+  CheckpointState dangling = state;
+  dangling.records[0].concept_id = ConceptId(999999);
+  auto restored = KnowledgeBase::FromRecords(dangling.records);
+  if (restored.ok()) {
+    Status validated = restored->Validate(experiment_->world().num_concepts(),
+                                          experiment_->corpus().sentences.size());
+    ASSERT_FALSE(validated.ok());
+    EXPECT_EQ(validated.code(), Status::Code::kDataLoss);
+  }
+
+  // End to end: a directory whose only checkpoint is corrupted (re-framed
+  // with a *valid* CRC, so only replay+validation can catch it) yields
+  // kNotFound, not a poisoned KB.
+  std::string dir = FreshDir("ckpt_poisoned");
+  ASSERT_TRUE(WriteCheckpoint(dir, dangling).ok());
+  auto latest = LoadLatestValidCheckpoint(dir, experiment_->world().num_concepts(),
+                                          experiment_->corpus().sentences.size());
+  ASSERT_FALSE(latest.ok());
+  EXPECT_EQ(latest.status().code(), Status::Code::kNotFound);
+
+  // A negative-support replay: rolling back a record that never produced
+  // anything valid. Mangle iteration ordering instead — records claiming
+  // iteration 0 are rejected at replay time.
+  CheckpointState bad_iteration = state;
+  bad_iteration.records[0].iteration = 0;
+  EXPECT_FALSE(KnowledgeBase::FromRecords(bad_iteration.records).ok());
+}
+
+TEST_F(CheckpointTest, ValidatePassesOnOrganicKb) {
+  KnowledgeBase kb = experiment_->Extract();
+  EXPECT_TRUE(kb.Validate(experiment_->world().num_concepts(),
+                          experiment_->corpus().sentences.size())
+                  .ok());
+  EXPECT_TRUE(kb.Validate().ok());  // Bound-free variant.
+}
+
+TEST_F(CheckpointTest, PruneKeepsNewest) {
+  CheckpointConfig config;
+  config.dir = FreshDir("ckpt_prune");
+  config.keep_last = 2;
+  std::vector<IterationStats> stats;
+  auto kb = experiment_->ExtractWithCheckpoints(config, &stats);
+  ASSERT_TRUE(kb.ok());
+  ASSERT_GT(stats.size(), 2u);
+  size_t files = 0;
+  for (const auto& entry : fs::directory_iterator(config.dir)) {
+    EXPECT_TRUE(entry.path().extension() == ".ckpt");
+    ++files;
+  }
+  EXPECT_EQ(files, 2u);
+  // The survivors are the newest two, so resume still works.
+  config.resume = true;
+  auto resumed = experiment_->ExtractWithCheckpoints(config);
+  EXPECT_TRUE(resumed.ok()) << resumed.status().ToString();
+}
+
+TEST_F(CheckpointTest, EmptyDirResumeStartsFresh) {
+  CheckpointConfig config;
+  config.dir = FreshDir("ckpt_empty");
+  config.resume = true;  // Nothing to resume from: must behave like a cold run.
+  auto kb = experiment_->ExtractWithCheckpoints(config);
+  ASSERT_TRUE(kb.ok()) << kb.status().ToString();
+  KnowledgeBase plain = experiment_->Extract();
+  EXPECT_EQ(kb->num_live_pairs(), plain.num_live_pairs());
+}
+
+}  // namespace
+}  // namespace semdrift

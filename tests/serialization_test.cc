@@ -6,6 +6,7 @@
 #include "corpus/serialization.h"
 #include "corpus/world.h"
 #include "extract/extractor.h"
+#include "util/fault_injection.h"
 
 namespace semdrift {
 namespace {
@@ -107,6 +108,155 @@ TEST(CorpusSerializationTest, LoadedCorpusExtractsIdentically) {
   eb.Run(&kb_b);
   EXPECT_EQ(kb_a.num_live_pairs(), kb_b.num_live_pairs());
   EXPECT_EQ(kb_a.num_records(), kb_b.num_records());
+}
+
+// --- Error paths: truncation, checksum damage, malformed records, and the
+// --- strict/lenient policy split. The loaders must reject or account for
+// --- every kind of damage, never crash, and never silently half-load.
+
+std::string SaveWorldToString(const World& world, const std::string& path) {
+  EXPECT_TRUE(SaveWorld(world, path).ok());
+  auto content = ReadFileToString(path);
+  EXPECT_TRUE(content.ok());
+  return *content;
+}
+
+TEST(WorldSerializationTest, TruncatedFileIsDataLossStrict) {
+  World world = MakeWorld();
+  std::string path = ::testing::TempDir() + "/world_truncated.tsv";
+  std::string content = SaveWorldToString(world, path);
+  ASSERT_TRUE(WriteStringToFile(content.substr(0, content.size() / 2), path).ok());
+
+  auto strict = LoadWorld(path);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_EQ(strict.status().code(), Status::Code::kDataLoss);
+
+  // Lenient mode loads the intact prefix but reports the torn tail.
+  LoadReport report;
+  auto lenient = LoadWorld(path, {LoadOptions::Mode::kLenient}, &report);
+  ASSERT_TRUE(lenient.ok()) << lenient.status().ToString();
+  EXPECT_TRUE(report.truncated);
+  EXPECT_FALSE(report.checksum_present);
+  EXPECT_EQ(report.lines_seen, report.lines_loaded + report.skipped.size());
+}
+
+TEST(WorldSerializationTest, ChecksumMismatchIsDataLossStrict) {
+  World world = MakeWorld();
+  std::string path = ::testing::TempDir() + "/world_bitrot.tsv";
+  std::string content = SaveWorldToString(world, path);
+  // Flip one payload byte (first byte of line 2); the footer no longer
+  // matches.
+  size_t pos = content.find('\n') + 1;
+  content[pos] ^= 0x20;
+  ASSERT_TRUE(WriteStringToFile(content, path).ok());
+
+  auto strict = LoadWorld(path);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_EQ(strict.status().code(), Status::Code::kDataLoss);
+
+  LoadReport report;
+  auto lenient = LoadWorld(path, {LoadOptions::Mode::kLenient}, &report);
+  ASSERT_TRUE(lenient.ok());
+  EXPECT_TRUE(report.checksum_present);
+  EXPECT_FALSE(report.checksum_ok);
+  EXPECT_EQ(report.lines_seen, report.lines_loaded + report.skipped.size());
+}
+
+TEST(WorldSerializationTest, V1WithoutFooterStillLoads) {
+  World world = MakeWorld();
+  std::string path = ::testing::TempDir() + "/world_v1.tsv";
+  std::string content = SaveWorldToString(world, path);
+  // Rewrite as the legacy format: v1 header, no checksum footer.
+  size_t header_end = content.find('\n');
+  size_t footer = content.rfind("#crc32");
+  ASSERT_NE(footer, std::string::npos);
+  std::string v1 = "semdrift-world\tv1\n" + content.substr(header_end + 1,
+                                                           footer - header_end - 1);
+  ASSERT_TRUE(WriteStringToFile(v1, path).ok());
+
+  LoadReport report;
+  auto loaded = LoadWorld(path, LoadOptions{}, &report);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_concepts(), world.num_concepts());
+  EXPECT_EQ(report.format_version, 1);
+  EXPECT_FALSE(report.checksum_present);
+  EXPECT_FALSE(report.truncated);
+}
+
+TEST(WorldSerializationTest, BadWeightStrictVsLenient) {
+  std::string path = ::testing::TempDir() + "/world_badweight.tsv";
+  ASSERT_TRUE(WriteStringToFile(
+                  "semdrift-world\tv1\n"
+                  "C\tanimal\n"
+                  "I\tcat\n"
+                  "M\tanimal\tcat\tnot-a-number\t1\n",
+                  path)
+                  .ok());
+
+  auto strict = LoadWorld(path);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_EQ(strict.status().code(), Status::Code::kInvalidArgument);
+  EXPECT_NE(strict.status().message().find("weight"), std::string::npos);
+
+  LoadReport report;
+  auto lenient = LoadWorld(path, {LoadOptions::Mode::kLenient}, &report);
+  ASSERT_TRUE(lenient.ok());
+  EXPECT_EQ(report.lines_seen, 3u);
+  EXPECT_EQ(report.lines_loaded, 2u);
+  ASSERT_EQ(report.skipped.size(), 1u);
+  EXPECT_EQ(report.skipped[0].line_number, 4u);
+}
+
+TEST(CorpusSerializationTest, TruncatedCorpusIsDataLossStrict) {
+  World world = MakeWorld();
+  CorpusSpec spec;
+  spec.num_sentences = 200;
+  Rng rng(3);
+  Corpus corpus = GenerateCorpus(world, spec, &rng);
+  std::string path = ::testing::TempDir() + "/corpus_truncated.tsv";
+  ASSERT_TRUE(SaveCorpus(world, corpus, path).ok());
+  auto content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  ASSERT_TRUE(WriteStringToFile(content->substr(0, content->size() * 2 / 3), path).ok());
+
+  auto strict = LoadCorpus(world, path);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_EQ(strict.status().code(), Status::Code::kDataLoss);
+
+  LoadReport report;
+  auto lenient = LoadCorpus(world, path, {LoadOptions::Mode::kLenient}, &report);
+  ASSERT_TRUE(lenient.ok());
+  EXPECT_TRUE(report.truncated);
+  EXPECT_LT(lenient->sentences.size(), corpus.sentences.size());
+  EXPECT_EQ(report.lines_seen, report.lines_loaded + report.skipped.size());
+}
+
+TEST(CorpusSerializationTest, UnknownNamesAndBadKindStrictVsLenient) {
+  World::Builder builder;
+  builder.AddMembership(builder.AddConcept("animal"), builder.AddInstance("cat"), 1.0);
+  World world = builder.Build();
+  std::string path = ::testing::TempDir() + "/corpus_badlines.tsv";
+  ASSERT_TRUE(WriteStringToFile(
+                  "semdrift-corpus\tv1\n"
+                  "S\t0\tanimal\t-\tanimal\tcat\tcats are animals\n"
+                  "S\t0\tdinosaur\t-\tdinosaur\tcat\tunknown concept\n"
+                  "S\t9\tanimal\t-\tanimal\tcat\tkind out of range\n"
+                  "S\t0\tanimal\t-\tanimal\t\tno candidates\n",
+                  path)
+                  .ok());
+
+  auto strict = LoadCorpus(world, path);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_EQ(strict.status().code(), Status::Code::kInvalidArgument);
+  EXPECT_NE(strict.status().message().find("dinosaur"), std::string::npos);
+
+  LoadReport report;
+  auto lenient = LoadCorpus(world, path, {LoadOptions::Mode::kLenient}, &report);
+  ASSERT_TRUE(lenient.ok());
+  EXPECT_EQ(lenient->sentences.size(), 1u);
+  EXPECT_EQ(report.lines_seen, 4u);
+  EXPECT_EQ(report.lines_loaded, 1u);
+  EXPECT_EQ(report.skipped.size(), 3u);
 }
 
 TEST(TaxonomyExportTest, WritesLivePairsOnly) {

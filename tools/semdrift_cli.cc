@@ -3,79 +3,145 @@
 //   semdrift generate --scale 0.25 --seed 2014 --world w.tsv --corpus c.tsv
 //       Generate a ground-truth world + Hearst corpus and save both.
 //   semdrift run --world w.tsv --corpus c.tsv --out taxonomy.tsv [--no-clean]
+//                [--lenient] [--checkpoint-dir D [--resume] [--validate]
+//                [--keep-checkpoints N]]
 //       Load world+corpus, run iterative extraction (and DP cleaning unless
 //       --no-clean), report quality against ground truth, export the
-//       taxonomy.
+//       taxonomy. With --checkpoint-dir the run snapshots after every
+//       iteration and --resume continues from the latest valid snapshot.
 //   semdrift parse --world w.tsv
 //       Read raw sentences from stdin, parse each with the Hearst parser,
 //       print the candidate analysis.
+//   semdrift fuzz-load [--count 200] [--seed 2014] [--scale 0.05] [--dir D]
+//       Fault-injection sweep: corrupt world/corpus/checkpoint files in
+//       seeded, targeted ways and prove every loader survives — each
+//       corruption must yield a clean Status (strict) or a fully-accounted
+//       LoadReport (lenient), never a crash or silent half-load.
 //
-// Every subcommand is deterministic in --seed.
+// Every subcommand is deterministic in --seed. Unknown flags, missing flag
+// values and non-numeric values for numeric flags exit non-zero.
 
 #include <cstdio>
-#include <cstring>
+#include <filesystem>
 #include <iostream>
+#include <set>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "corpus/serialization.h"
 #include "dp/cleaner.h"
 #include "eval/experiment.h"
 #include "eval/metrics.h"
+#include "extract/checkpoint.h"
 #include "extract/extractor.h"
 #include "extract/hearst_parser.h"
+#include "util/fault_injection.h"
 #include "util/logging.h"
+#include "util/string_util.h"
 
 using namespace semdrift;
 
 namespace {
 
-/// Minimal --flag value parser: flags() holds every "--name value" pair.
+/// Command-line flag parser. Each subcommand declares which flags take a
+/// value and which are boolean, so `--no-clean` can never shift a later
+/// `--name value` pair out of alignment, and an unknown or malformed flag
+/// is a hard error instead of a note on stderr.
 class Flags {
  public:
-  Flags(int argc, char** argv, int first) {
-    for (int i = first; i + 1 < argc; i += 2) {
-      if (std::strncmp(argv[i], "--", 2) == 0) {
-        values_[argv[i] + 2] = argv[i + 1];
+  Flags(int argc, char** argv, int first, std::set<std::string> valued,
+        std::set<std::string> boolean) {
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (!StartsWith(arg, "--")) {
+        Fail("unexpected argument: " + arg);
+        return;
+      }
+      std::string name = arg.substr(2);
+      if (boolean.count(name) > 0) {
+        present_.insert(name);
+      } else if (valued.count(name) > 0) {
+        if (i + 1 >= argc) {
+          Fail("missing value for --" + name);
+          return;
+        }
+        values_[name] = argv[++i];
       } else {
-        std::fprintf(stderr, "unexpected argument: %s\n", argv[i]);
+        Fail("unknown flag --" + name);
+        return;
       }
     }
-    // Boolean flags (no value) are handled by Has() on the raw argv.
-    for (int i = first; i < argc; ++i) raw_.emplace_back(argv[i]);
   }
+
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
 
   std::string Get(const std::string& name, const std::string& fallback) const {
     auto it = values_.find(name);
     return it == values_.end() ? fallback : it->second;
   }
+  /// Numeric accessors refuse garbage: `--scale abc` is a fatal error, not
+  /// a silent 0.0.
   double GetDouble(const std::string& name, double fallback) const {
     auto it = values_.find(name);
-    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+    if (it == values_.end()) return fallback;
+    double value = 0.0;
+    if (!ParseDouble(it->second, &value)) DieBadValue(name, it->second);
+    return value;
   }
   uint64_t GetUint(const std::string& name, uint64_t fallback) const {
     auto it = values_.find(name);
-    return it == values_.end() ? fallback : std::strtoull(it->second.c_str(), nullptr, 10);
+    if (it == values_.end()) return fallback;
+    uint64_t value = 0;
+    if (!ParseUint64(it->second, &value)) DieBadValue(name, it->second);
+    return value;
   }
-  bool Has(const std::string& name) const {
-    for (const std::string& arg : raw_) {
-      if (arg == "--" + name) return true;
-    }
-    return false;
-  }
+  bool Has(const std::string& name) const { return present_.count(name) > 0; }
 
  private:
+  void Fail(const std::string& why) { error_ = why; }
+  [[noreturn]] static void DieBadValue(const std::string& name,
+                                       const std::string& value) {
+    std::fprintf(stderr, "invalid value for --%s: '%s'\n", name.c_str(),
+                 value.c_str());
+    std::exit(2);
+  }
+
   std::unordered_map<std::string, std::string> values_;
-  std::vector<std::string> raw_;
+  std::set<std::string> present_;
+  std::string error_;
 };
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage:\n"
-               "  semdrift generate --scale S --seed N --world W --corpus C\n"
-               "  semdrift run --world W --corpus C --out T.tsv [--no-clean]\n"
-               "  semdrift parse --world W   (sentences on stdin)\n");
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  semdrift generate --scale S --seed N --world W --corpus C\n"
+      "  semdrift run --world W --corpus C --out T.tsv [--no-clean] [--lenient]\n"
+      "               [--checkpoint-dir D [--resume] [--validate]\n"
+      "               [--keep-checkpoints N]]\n"
+      "  semdrift parse --world W   (sentences on stdin)\n"
+      "  semdrift fuzz-load [--count N] [--seed N] [--scale S] [--dir D]\n");
   return 2;
+}
+
+/// Prints lenient-load damage so skipped lines are visible, not silent.
+void ReportSkips(const char* what, const LoadReport& report) {
+  if (report.skipped.empty() && !report.truncated &&
+      (!report.checksum_present || report.checksum_ok)) {
+    return;
+  }
+  std::fprintf(stderr, "%s: loaded %zu/%zu lines", what, report.lines_loaded,
+               report.lines_seen);
+  if (report.truncated) std::fprintf(stderr, ", truncated");
+  if (report.checksum_present && !report.checksum_ok) {
+    std::fprintf(stderr, ", checksum mismatch");
+  }
+  std::fprintf(stderr, "\n");
+  for (const auto& skip : report.skipped) {
+    std::fprintf(stderr, "  line %zu: %s\n", skip.line_number, skip.reason.c_str());
+  }
 }
 
 int Generate(const Flags& flags) {
@@ -104,20 +170,49 @@ int Generate(const Flags& flags) {
 }
 
 int Run(const Flags& flags) {
-  auto world = LoadWorld(flags.Get("world", "world.tsv"));
+  LoadOptions load_options;
+  if (flags.Has("lenient")) load_options.mode = LoadOptions::Mode::kLenient;
+  LoadReport world_report;
+  auto world = LoadWorld(flags.Get("world", "world.tsv"), load_options, &world_report);
   if (!world.ok()) {
     std::fprintf(stderr, "%s\n", world.status().ToString().c_str());
     return 1;
   }
-  auto corpus = LoadCorpus(*world, flags.Get("corpus", "corpus.tsv"));
+  ReportSkips("world", world_report);
+  LoadReport corpus_report;
+  auto corpus = LoadCorpus(*world, flags.Get("corpus", "corpus.tsv"), load_options,
+                           &corpus_report);
   if (!corpus.ok()) {
     std::fprintf(stderr, "%s\n", corpus.status().ToString().c_str());
     return 1;
   }
+  ReportSkips("corpus", corpus_report);
 
   KnowledgeBase kb;
   IterativeExtractor extractor(&corpus->sentences, ExtractorOptions{});
-  auto iterations = extractor.Run(&kb);
+  std::vector<IterationStats> iterations;
+  std::string checkpoint_dir = flags.Get("checkpoint-dir", "");
+  if (!checkpoint_dir.empty()) {
+    CheckpointConfig checkpoint;
+    checkpoint.dir = checkpoint_dir;
+    checkpoint.resume = flags.Has("resume");
+    checkpoint.validate_each_iteration = flags.Has("validate");
+    checkpoint.keep_last = static_cast<int>(flags.GetUint("keep-checkpoints", 0));
+    checkpoint.num_concepts = world->num_concepts();
+    checkpoint.num_sentences = corpus->sentences.size();
+    auto run = RunWithCheckpoints(&extractor, &kb, checkpoint);
+    if (!run.ok()) {
+      std::fprintf(stderr, "%s\n", run.status().ToString().c_str());
+      return 1;
+    }
+    iterations = std::move(*run);
+  } else {
+    if (flags.Has("resume")) {
+      std::fprintf(stderr, "--resume requires --checkpoint-dir\n");
+      return 2;
+    }
+    iterations = extractor.Run(&kb);
+  }
   GroundTruth truth(&*world);
   std::vector<ConceptId> scope;
   for (size_t ci = 0; ci < world->num_concepts(); ++ci) {
@@ -184,14 +279,185 @@ int Parse(const Flags& flags) {
   return 0;
 }
 
+/// One fuzz-load target: a pristine file plus the loads to attempt on a
+/// corrupted copy of it.
+struct FuzzTally {
+  int runs = 0;
+  int strict_ok = 0;       // Corruption happened to be survivable.
+  int strict_rejected = 0; // Clean Status error.
+  int lenient_ok = 0;
+  int lenient_rejected = 0;
+  int violations = 0;      // LoadReport failed to account for the damage.
+};
+
+void PrintTally(const char* name, const FuzzTally& t) {
+  std::printf("%-10s %5d runs  strict ok/rejected %4d/%4d  "
+              "lenient ok/rejected %4d/%4d  violations %d\n",
+              name, t.runs, t.strict_ok, t.strict_rejected, t.lenient_ok,
+              t.lenient_rejected, t.violations);
+}
+
+/// A lenient load must account for every payload line: seen = loaded +
+/// skipped. Anything else means lines vanished silently.
+bool ReportAccounts(const LoadReport& report) {
+  return report.lines_seen == report.lines_loaded + report.skipped.size();
+}
+
+int FuzzLoad(const Flags& flags) {
+  uint64_t seed = flags.GetUint("seed", 2014);
+  int count = static_cast<int>(flags.GetUint("count", 200));
+  double scale = flags.GetDouble("scale", 0.05);
+  std::string dir = flags.Get("dir", "");
+  if (dir.empty()) {
+    dir = (std::filesystem::temp_directory_path() / "semdrift-fuzz").string();
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot create %s: %s\n", dir.c_str(), ec.message().c_str());
+    return 1;
+  }
+
+  // Pristine artifacts to corrupt: a world, a corpus, and a real checkpoint
+  // produced by a short checkpointed extraction over them.
+  ExperimentConfig config = PaperScaleConfig(scale);
+  config.seed = seed;
+  config.corpus.render_text = true;
+  auto experiment = Experiment::Build(config);
+  std::string world_path = dir + "/world.tsv";
+  std::string corpus_path = dir + "/corpus.tsv";
+  Status s = SaveWorld(experiment->world(), world_path);
+  if (s.ok()) s = SaveCorpus(experiment->world(), experiment->corpus(), corpus_path);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  CheckpointConfig checkpoint;
+  checkpoint.dir = dir + "/ckpt";
+  std::vector<IterationStats> stats;
+  auto kb = experiment->ExtractWithCheckpoints(checkpoint, &stats);
+  if (!kb.ok() || stats.empty()) {
+    std::fprintf(stderr, "checkpoint seed run failed: %s\n",
+                 kb.status().ToString().c_str());
+    return 1;
+  }
+  std::string checkpoint_path = CheckpointPath(checkpoint.dir, stats.back().iteration);
+
+  std::vector<std::string> pristine(3);
+  const char* names[3] = {"world", "corpus", "checkpoint"};
+  const std::string paths[3] = {world_path, corpus_path, checkpoint_path};
+  for (int t = 0; t < 3; ++t) {
+    auto content = ReadFileToString(paths[t]);
+    if (!content.ok()) {
+      std::fprintf(stderr, "%s\n", content.status().ToString().c_str());
+      return 1;
+    }
+    pristine[t] = std::move(*content);
+  }
+
+  FuzzTally tallies[3];
+  int violations = 0;
+  std::string fuzz_path = dir + "/fuzzed.bin";
+  for (int i = 0; i < count; ++i) {
+    int target = i % 3;
+    FaultInjector injector(seed ^ (0x9e3779b97f4a7c15ULL * (i + 1)));
+    FaultKind kind;
+    std::string corrupted = injector.CorruptRandom(pristine[target], &kind);
+    Status written = WriteStringToFile(corrupted, fuzz_path);
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+      return 1;
+    }
+    FuzzTally& tally = tallies[target];
+    ++tally.runs;
+    if (target == 0) {
+      auto strict = LoadWorld(fuzz_path);
+      strict.ok() ? ++tally.strict_ok : ++tally.strict_rejected;
+      LoadOptions lenient{LoadOptions::Mode::kLenient};
+      LoadReport report;
+      auto loose = LoadWorld(fuzz_path, lenient, &report);
+      loose.ok() ? ++tally.lenient_ok : ++tally.lenient_rejected;
+      if (loose.ok() && !ReportAccounts(report)) ++tally.violations;
+    } else if (target == 1) {
+      auto strict = LoadCorpus(experiment->world(), fuzz_path);
+      strict.ok() ? ++tally.strict_ok : ++tally.strict_rejected;
+      LoadOptions lenient{LoadOptions::Mode::kLenient};
+      LoadReport report;
+      auto loose = LoadCorpus(experiment->world(), fuzz_path, lenient, &report);
+      loose.ok() ? ++tally.lenient_ok : ++tally.lenient_rejected;
+      if (loose.ok() && !ReportAccounts(report)) ++tally.violations;
+    } else {
+      // Checkpoints have no lenient mode: the full restore pipeline (load,
+      // replay, validate) must either produce a valid KB or reject cleanly.
+      auto loaded = LoadCheckpoint(fuzz_path);
+      if (!loaded.ok()) {
+        ++tally.strict_rejected;
+      } else {
+        auto restored = KnowledgeBase::FromRecords(loaded->records);
+        if (restored.ok() &&
+            restored->Validate(experiment->world().num_concepts(),
+                               experiment->corpus().sentences.size()).ok()) {
+          ++tally.strict_ok;
+        } else {
+          ++tally.strict_rejected;
+        }
+      }
+    }
+  }
+
+  std::printf("fuzz-load: %d corruptions over %s seed %llu\n", count, dir.c_str(),
+              static_cast<unsigned long long>(seed));
+  for (int t = 0; t < 3; ++t) {
+    PrintTally(names[t], tallies[t]);
+    violations += tallies[t].violations;
+  }
+  if (violations > 0) {
+    std::fprintf(stderr, "FAIL: %d lenient loads did not account for all lines\n",
+                 violations);
+    return 1;
+  }
+  std::printf("OK: no crashes, every load rejected cleanly or accounted for damage\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
-  Flags flags(argc, argv, 2);
   std::string command = argv[1];
-  if (command == "generate") return Generate(flags);
-  if (command == "run") return Run(flags);
-  if (command == "parse") return Parse(flags);
+  if (command == "generate") {
+    Flags flags(argc, argv, 2, {"scale", "seed", "world", "corpus"}, {});
+    if (!flags.ok()) {
+      std::fprintf(stderr, "%s\n", flags.error().c_str());
+      return Usage();
+    }
+    return Generate(flags);
+  }
+  if (command == "run") {
+    Flags flags(argc, argv, 2,
+                {"world", "corpus", "out", "checkpoint-dir", "keep-checkpoints"},
+                {"no-clean", "resume", "validate", "lenient"});
+    if (!flags.ok()) {
+      std::fprintf(stderr, "%s\n", flags.error().c_str());
+      return Usage();
+    }
+    return Run(flags);
+  }
+  if (command == "parse") {
+    Flags flags(argc, argv, 2, {"world"}, {});
+    if (!flags.ok()) {
+      std::fprintf(stderr, "%s\n", flags.error().c_str());
+      return Usage();
+    }
+    return Parse(flags);
+  }
+  if (command == "fuzz-load") {
+    Flags flags(argc, argv, 2, {"count", "seed", "scale", "dir"}, {});
+    if (!flags.ok()) {
+      std::fprintf(stderr, "%s\n", flags.error().c_str());
+      return Usage();
+    }
+    return FuzzLoad(flags);
+  }
   return Usage();
 }
