@@ -7,15 +7,19 @@
 
 #include "corpus/generator.h"
 #include "corpus/world.h"
+#include "dp/detector.h"
 #include "dp/features.h"
+#include "dp/seed_labeling.h"
 #include "extract/extractor.h"
 #include "extract/hearst_parser.h"
 #include "kb/knowledge_base.h"
 #include "ml/kpca.h"
 #include "ml/manifold.h"
+#include "ml/random_forest.h"
 #include "mutex/mutex_index.h"
 #include "rank/scorers.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace semdrift {
 namespace {
@@ -154,6 +158,74 @@ BENCHMARK(BM_RollbackCascade)
     ->Arg(static_cast<int>(CascadePolicy::kAllTriggersDead))
     ->Arg(static_cast<int>(CascadePolicy::kAnyTriggerDead))
     ->Unit(benchmark::kMillisecond);
+
+// --- Parallel-stage benchmarks: each runs at 1 and 4 worker threads so the
+// thread-count scaling of the per-concept pipeline is visible in one run.
+// Output is bit-identical across thread counts; only the time changes.
+
+std::vector<ConceptId> MicroScope() {
+  std::vector<ConceptId> scope;
+  for (size_t ci = 0; ci < MicroWorld::Get().world.num_concepts(); ++ci) {
+    scope.push_back(ConceptId(static_cast<uint32_t>(ci)));
+  }
+  return scope;
+}
+
+void BM_ScoreCacheWarm(benchmark::State& state) {
+  static KnowledgeBase* kb = new KnowledgeBase(ExtractMicro());
+  std::vector<ConceptId> scope = MicroScope();
+  SetGlobalThreadCount(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    ScoreCache scores(kb, RankModel::kRandomWalk);
+    scores.Warm(scope);
+    benchmark::DoNotOptimize(scores.Concept(ConceptId(0)).size());
+  }
+  SetGlobalThreadCount(0);
+  state.SetItemsProcessed(state.iterations() * scope.size());
+}
+BENCHMARK(BM_ScoreCacheWarm)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_CollectTrainingData(benchmark::State& state) {
+  static KnowledgeBase* kb = new KnowledgeBase(ExtractMicro());
+  const MicroWorld& m = MicroWorld::Get();
+  static MutexIndex* mutex = new MutexIndex(*kb, m.world.num_concepts());
+  std::vector<ConceptId> scope = MicroScope();
+  SetGlobalThreadCount(static_cast<int>(state.range(0)));
+  ScoreCache scores(kb, RankModel::kRandomWalk);
+  scores.Warm(scope);
+  FeatureExtractor features(kb, mutex, &scores);
+  SeedLabeler seeds(kb, mutex, [](const IsAPair&) { return false; });
+  for (auto _ : state) {
+    TrainingData data = CollectTrainingData(*kb, &features, seeds, scope);
+    benchmark::DoNotOptimize(data.size());
+  }
+  SetGlobalThreadCount(0);
+  state.SetItemsProcessed(state.iterations() * scope.size());
+}
+BENCHMARK(BM_CollectTrainingData)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_ForestFit(benchmark::State& state) {
+  // Planted 3-class features, same shape as the DP detector's input.
+  Rng rng(11);
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  for (int i = 0; i < 600; ++i) {
+    int label = i % 3;
+    x.push_back({rng.NextDouble() + label, rng.NextDouble(),
+                 rng.NextDouble() * (label + 1), rng.NextDouble()});
+    y.push_back(label);
+  }
+  RandomForestOptions options;
+  options.num_trees = 50;
+  SetGlobalThreadCount(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    RandomForest forest;
+    forest.Fit(x, y, 3, options);
+    benchmark::DoNotOptimize(forest.num_trees());
+  }
+  SetGlobalThreadCount(0);
+}
+BENCHMARK(BM_ForestFit)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
 void BM_KernelPcaFit(benchmark::State& state) {
   size_t n = static_cast<size_t>(state.range(0));

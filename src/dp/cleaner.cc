@@ -26,6 +26,9 @@ CleaningReport DpCleaner::Clean(KnowledgeBase* kb,
     // Fresh views of the (possibly already partially cleaned) KB.
     MutexIndex mutex(*kb, num_concepts_, options_.mutex);
     ScoreCache scores(kb, options_.score_model);
+    // Bulk warm-up: build + walk every in-scope concept graph across the
+    // thread pool now, so feature extraction below hits a frozen cache.
+    scores.Warm(scope);
     FeatureExtractor features(kb, &mutex, &scores);
     SeedLabeler seeds(kb, &mutex, verified_, options_.seeds);
 

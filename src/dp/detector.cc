@@ -4,21 +4,31 @@
 #include <cassert>
 #include <cmath>
 
+#include "util/thread_pool.h"
+
 namespace semdrift {
 
 TrainingData CollectTrainingData(const KnowledgeBase& kb, FeatureExtractor* features,
                                  const SeedLabeler& seeds,
                                  const std::vector<ConceptId>& concepts) {
+  // Concepts are independent (feature extraction and seed labeling only read
+  // shared state), so they fan out across the pool; the ordered reduction
+  // below keeps the result identical to a serial loop at any thread count.
+  std::vector<ConceptTrainingData> per_concept =
+      ParallelMap<ConceptTrainingData>(concepts.size(), [&](size_t i) {
+        ConceptId c = concepts[i];
+        ConceptTrainingData entry;
+        entry.concept_id = c;
+        for (InstanceId e : kb.LiveInstancesOf(c)) {
+          entry.instances.push_back(e);
+          entry.features.push_back(features->Extract(c, e));
+          entry.seed_labels.push_back(seeds.Label(c, e));
+        }
+        return entry;
+      });
   TrainingData data;
   data.reserve(concepts.size());
-  for (ConceptId c : concepts) {
-    ConceptTrainingData entry;
-    entry.concept_id = c;
-    for (InstanceId e : kb.LiveInstancesOf(c)) {
-      entry.instances.push_back(e);
-      entry.features.push_back(features->Extract(c, e));
-      entry.seed_labels.push_back(seeds.Label(c, e));
-    }
+  for (ConceptTrainingData& entry : per_concept) {
     if (!entry.instances.empty()) data.push_back(std::move(entry));
   }
   return data;

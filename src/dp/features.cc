@@ -28,35 +28,81 @@ double SparseCosine(const std::unordered_map<InstanceId, int>& a,
   return dot / (std::sqrt(norm_a) * std::sqrt(norm_b));
 }
 
-double FeatureExtractor::F1(ConceptId c, InstanceId e) const {
-  std::unordered_map<InstanceId, int> sub = kb_->SubInstancesOf(IsAPair{c, e});
-  if (sub.empty()) return 0.0;
-  std::unordered_map<InstanceId, int> core;
-  for (const auto& [instance, count] : kb_->Iter1InstancesOf(c)) {
-    core.emplace(instance, count);
+const FeatureExtractor::ConceptContext& FeatureExtractor::ContextFor(
+    ConceptId c) const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = contexts_.find(c.value);
+    if (it != contexts_.end()) return *it->second;
   }
-  return SparseCosine(sub, core);
+  // Built outside the lock: Concept(c) may run a full random walk on a cold
+  // cache. A racing duplicate build produces an identical context (all
+  // inputs are deterministic); the first insert wins.
+  auto ctx = std::make_unique<ConceptContext>();
+  for (const auto& [instance, count] : kb_->Iter1InstancesOf(c)) {
+    ctx->core.emplace(instance, count);
+    ctx->core_norm_sq += static_cast<double>(count) * count;
+  }
+  ctx->scores = &scores_->Concept(c);
+  ctx->scale = static_cast<double>(ctx->scores->size());
+  if (ctx->scale <= 0.0) ctx->scale = 1.0;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = contexts_.emplace(c.value, std::move(ctx));
+  (void)inserted;
+  return *it->second;
 }
 
-FeatureVector FeatureExtractor::Extract(ConceptId c, InstanceId e) {
+double FeatureExtractor::F1FromSub(
+    const ConceptContext& ctx,
+    const std::unordered_map<InstanceId, int>& sub) const {
+  if (sub.empty() || ctx.core.empty()) return 0.0;
+  // Same arithmetic (and accumulation order) as SparseCosine(sub, core),
+  // with the core's norm precomputed in the context.
+  const auto& small = sub.size() <= ctx.core.size() ? sub : ctx.core;
+  const auto& large = sub.size() <= ctx.core.size() ? ctx.core : sub;
+  double dot = 0.0;
+  for (const auto& [key, value] : small) {
+    auto it = large.find(key);
+    if (it != large.end()) dot += static_cast<double>(value) * it->second;
+  }
+  if (dot == 0.0) return 0.0;
+  double sub_norm_sq = 0.0;
+  for (const auto& [key, value] : sub) {
+    (void)key;
+    sub_norm_sq += static_cast<double>(value) * value;
+  }
+  return dot / (std::sqrt(sub_norm_sq) * std::sqrt(ctx.core_norm_sq));
+}
+
+double FeatureExtractor::F1(ConceptId c, InstanceId e) const {
+  std::unordered_map<InstanceId, int> sub = kb_->SubInstancesOf(IsAPair{c, e});
+  return F1FromSub(ContextFor(c), sub);
+}
+
+FeatureVector FeatureExtractor::Extract(ConceptId c, InstanceId e) const {
+  const ConceptContext& ctx = ContextFor(c);
+  // sub(e) once, shared by f1 and f4 (the seed computed it twice).
+  std::unordered_map<InstanceId, int> sub = kb_->SubInstancesOf(IsAPair{c, e});
+
   FeatureVector features{};
-  features[0] = F1(c, e);
+  features[0] = F1FromSub(ctx, sub);
   features[1] = static_cast<double>(mutex_->F2Count(c, e));
   // Walk scores sum to 1 within a concept, so their magnitude depends on
   // concept size. The paper trains one detector per concept where that is
   // harmless; our pooled KPCA representation and multi-task training share
   // one space across concepts, so f3/f4 are rescaled to the within-concept
   // uniform level (1.0 = the score a uniform visit distribution would give).
-  double scale = static_cast<double>(scores_->Concept(c).size());
-  if (scale <= 0.0) scale = 1.0;
-  features[2] = scores_->Get(c, e) * scale;
+  auto score_of = [&](InstanceId instance) {
+    auto it = ctx.scores->find(instance);
+    return it == ctx.scores->end() ? 0.0 : it->second;
+  };
+  features[2] = score_of(e) * ctx.scale;
   // f4: unweighted average random-walk score over distinct sub-instances.
-  std::unordered_map<InstanceId, int> sub = kb_->SubInstancesOf(IsAPair{c, e});
   if (!sub.empty()) {
     double total = 0.0;
     for (const auto& [instance, count] : sub) {
       (void)count;
-      total += scores_->Get(c, instance) * scale;
+      total += score_of(instance) * ctx.scale;
     }
     features[3] = total / static_cast<double>(sub.size());
   }

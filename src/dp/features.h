@@ -2,6 +2,8 @@
 #define SEMDRIFT_DP_FEATURES_H_
 
 #include <array>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "kb/knowledge_base.h"
@@ -21,6 +23,13 @@ using FeatureVector = std::array<double, 4>;
 /// Computes feature vectors for instances of a concept. Holds borrowed
 /// views of the KB, the mutex index and a score cache; all must outlive the
 /// extractor and reflect the same KB state.
+///
+/// Per-concept state (the iteration-1 core vector of Eq. 1, its norm, the
+/// concept's score map and scale) is computed once per concept and cached —
+/// the seed rebuilt the core vector for every single instance, which made
+/// feature extraction quadratic in concept size. Extract() is thread-safe
+/// and lock-free after a concept's first touch, so training-data collection
+/// can fan out across concepts on the thread pool.
 class FeatureExtractor {
  public:
   FeatureExtractor(const KnowledgeBase* kb, const MutexIndex* mutex,
@@ -30,16 +39,36 @@ class FeatureExtractor {
   FeatureExtractor(const FeatureExtractor&) = delete;
   FeatureExtractor& operator=(const FeatureExtractor&) = delete;
 
-  /// Features of instance `e` under concept `c`.
-  FeatureVector Extract(ConceptId c, InstanceId e);
+  /// Features of instance `e` under concept `c`. sub(e) is computed once
+  /// and shared between f1 and f4.
+  FeatureVector Extract(ConceptId c, InstanceId e) const;
 
   /// Feature f1 alone (exposed for Fig. 3(a) and tests).
   double F1(ConceptId c, InstanceId e) const;
 
  private:
+  /// Immutable once built; shared by every instance of the concept.
+  struct ConceptContext {
+    /// Iteration-1 core frequency vector F(E(C,1)) and its squared norm.
+    std::unordered_map<InstanceId, int> core;
+    double core_norm_sq = 0.0;
+    /// The concept's random-walk score map (borrowed from the ScoreCache;
+    /// stable for the cache's lifetime) and the within-concept scale.
+    const std::unordered_map<InstanceId, double>* scores = nullptr;
+    double scale = 1.0;
+  };
+
+  const ConceptContext& ContextFor(ConceptId c) const;
+
+  double F1FromSub(const ConceptContext& ctx,
+                   const std::unordered_map<InstanceId, int>& sub) const;
+
   const KnowledgeBase* kb_;
   const MutexIndex* mutex_;
   ScoreCache* scores_;
+  mutable std::mutex mu_;
+  /// unique_ptr indirection keeps contexts address-stable across rehashes.
+  mutable std::unordered_map<uint32_t, std::unique_ptr<ConceptContext>> contexts_;
 };
 
 /// Cosine similarity between two sparse frequency distributions (instance ->

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "util/thread_pool.h"
+
 namespace semdrift {
 
 namespace {
@@ -137,19 +139,22 @@ void RandomForest::Fit(const std::vector<std::vector<double>>& x,
   assert(!x.empty() && x.size() == y.size());
   num_classes_ = num_classes;
   trees_.assign(options.num_trees, DecisionTree());
-  Rng rng(options.seed);
   std::vector<std::vector<size_t>> by_class(num_classes);
+  std::vector<int> present;
   if (options.balance_classes) {
     for (size_t i = 0; i < y.size(); ++i) by_class[y[i]].push_back(i);
+    for (int k = 0; k < num_classes; ++k) {
+      if (!by_class[k].empty()) present.push_back(k);
+    }
   }
-  std::vector<size_t> bootstrap(x.size());
-  for (auto& tree : trees_) {
+  // Each tree draws its bootstrap and grows from its own seeded RNG stream
+  // (TaskSeed(seed, t)), so trees are independent and the trained forest is
+  // bit-identical whether trees are grown serially or across the pool.
+  ParallelFor(trees_.size(), [&](size_t t) {
+    Rng rng(TaskSeed(options.seed, t));
+    std::vector<size_t> bootstrap(x.size());
     if (options.balance_classes) {
       // Equal-probability class draw, then a uniform member of that class.
-      std::vector<int> present;
-      for (int k = 0; k < num_classes; ++k) {
-        if (!by_class[k].empty()) present.push_back(k);
-      }
       for (size_t i = 0; i < x.size(); ++i) {
         const auto& rows = by_class[present[rng.NextBounded(present.size())]];
         bootstrap[i] = rows[rng.NextBounded(rows.size())];
@@ -159,8 +164,8 @@ void RandomForest::Fit(const std::vector<std::vector<double>>& x,
         bootstrap[i] = static_cast<size_t>(rng.NextBounded(x.size()));
       }
     }
-    tree.Fit(x, y, bootstrap, num_classes, options, &rng);
-  }
+    trees_[t].Fit(x, y, bootstrap, num_classes, options, &rng);
+  });
 }
 
 std::vector<double> RandomForest::PredictProba(const std::vector<double>& point) const {

@@ -57,7 +57,10 @@ class DecisionTree {
 /// Bagged ensemble of DecisionTrees with soft (probability-averaged) voting.
 class RandomForest {
  public:
-  /// Fits the ensemble. `y` holds class labels in [0, num_classes).
+  /// Fits the ensemble. `y` holds class labels in [0, num_classes). Trees
+  /// are grown in parallel on the global thread pool; each tree uses its own
+  /// deterministic RNG stream derived from `options.seed`, so the fitted
+  /// forest is bit-identical at any thread count.
   void Fit(const std::vector<std::vector<double>>& x, const std::vector<int>& y,
            int num_classes, const RandomForestOptions& options);
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/thread_pool.h"
+
 namespace semdrift {
 
 namespace {
@@ -15,47 +17,89 @@ MutexIndex::MutexIndex(const KnowledgeBase& kb, size_t num_concepts,
   core_norms_.assign(num_concepts, 0.0);
   similar_.resize(num_concepts);
 
-  // Core vectors (iteration-1 frequency) + an inverted index over shared
-  // core instances for sparse pairwise dot products.
+  // Phase 1 — per-concept core vectors (iteration-1 frequency), extracted in
+  // parallel, then merged into an inverted index over shared core instances
+  // in concept order (ordered reduction: the index is identical at any
+  // thread count).
+  struct ConceptCore {
+    double norm_sq = 0.0;
+    std::vector<std::pair<InstanceId, double>> postings;  // (instance, weight)
+  };
+  std::vector<ConceptCore> cores =
+      ParallelMap<ConceptCore>(num_concepts, [&](size_t ci) {
+        ConceptCore core;
+        for (const auto& [e, count] : kb.Iter1InstancesOf(ConceptId(
+                 static_cast<uint32_t>(ci)))) {
+          double w = static_cast<double>(count);
+          core.norm_sq += w * w;
+          core.postings.emplace_back(e, w);
+        }
+        return core;
+      });
+
   struct Posting {
     uint32_t concept_id;
     double weight;
   };
   std::unordered_map<InstanceId, std::vector<Posting>> inverted;
-  std::vector<int> core_sizes(num_concepts, 0);
   for (size_t ci = 0; ci < num_concepts; ++ci) {
-    ConceptId c(static_cast<uint32_t>(ci));
-    double norm_sq = 0.0;
-    int size = 0;
-    for (const auto& [e, count] : kb.Iter1InstancesOf(c)) {
-      double w = static_cast<double>(count);
-      norm_sq += w * w;
-      ++size;
-      inverted[e].push_back(Posting{c.value, w});
+    if (cores[ci].postings.size() >=
+        static_cast<size_t>(params_.min_core_instances)) {
+      core_norms_[ci] = std::sqrt(cores[ci].norm_sq);
     }
-    core_sizes[ci] = size;
-    if (size >= params_.min_core_instances) {
-      core_norms_[ci] = std::sqrt(norm_sq);
+    for (const auto& [e, w] : cores[ci].postings) {
+      inverted[e].push_back(Posting{static_cast<uint32_t>(ci), w});
     }
   }
 
-  // Sparse pairwise dot products over co-occurring core instances.
-  std::unordered_map<uint64_t, double> dots;
+  // Phase 2 — sparse pairwise dot products over co-occurring core instances.
+  // Instances are sharded across the pool; each shard accumulates a local
+  // dot map, and shard maps are then summed. All weights are integer counts,
+  // so the partial sums are exact and the merged dots are independent of the
+  // sharding.
+  std::vector<const std::vector<Posting>*> shared_instances;
   for (const auto& [e, postings] : inverted) {
-    if (postings.size() < 2) continue;
-    for (size_t i = 0; i < postings.size(); ++i) {
-      for (size_t j = i + 1; j < postings.size(); ++j) {
-        uint64_t key = PairKey(ConceptId(postings[i].concept_id),
-                               ConceptId(postings[j].concept_id));
-        dots[key] += postings[i].weight * postings[j].weight;
-      }
-    }
+    (void)e;
+    if (postings.size() >= 2) shared_instances.push_back(&postings);
   }
+  int threads = GlobalThreadCount();
+  size_t num_shards =
+      std::min(shared_instances.size(), static_cast<size_t>(threads) * 4);
+  std::vector<std::unordered_map<uint64_t, double>> shard_dots =
+      ParallelMap<std::unordered_map<uint64_t, double>>(num_shards, [&](size_t s) {
+        std::unordered_map<uint64_t, double> local;
+        for (size_t idx = s; idx < shared_instances.size(); idx += num_shards) {
+          const std::vector<Posting>& postings = *shared_instances[idx];
+          for (size_t i = 0; i < postings.size(); ++i) {
+            for (size_t j = i + 1; j < postings.size(); ++j) {
+              uint64_t key = PairKey(ConceptId(postings[i].concept_id),
+                                     ConceptId(postings[j].concept_id));
+              local[key] += postings[i].weight * postings[j].weight;
+            }
+          }
+        }
+        return local;
+      });
+  std::unordered_map<uint64_t, double> dots;
+  for (const auto& shard : shard_dots) {
+    for (const auto& [key, dot] : shard) dots[key] += dot;
+  }
+
+  // Emit similarities in sorted key order so sims_ contents and the
+  // highly-similar closure lists are deterministic regardless of hash-map
+  // iteration order.
+  std::vector<uint64_t> keys;
+  keys.reserve(dots.size());
   for (const auto& [key, dot] : dots) {
+    (void)dot;
+    keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+  for (uint64_t key : keys) {
     uint32_t a = static_cast<uint32_t>(key >> 32);
     uint32_t b = static_cast<uint32_t>(key & 0xffffffffu);
     if (core_norms_[a] <= 0.0 || core_norms_[b] <= 0.0) continue;
-    double sim = dot / (core_norms_[a] * core_norms_[b]);
+    double sim = dots[key] / (core_norms_[a] * core_norms_[b]);
     sims_.emplace(key, sim);
     if (sim > params_.similar_threshold) {
       similar_[a].push_back(ConceptId(b));
@@ -63,12 +107,20 @@ MutexIndex::MutexIndex(const KnowledgeBase& kb, size_t num_concepts,
     }
   }
 
-  // Live containment index for f2.
+  // Phase 3 — live containment index for f2: per-concept live instances in
+  // parallel, merged in concept order.
+  std::vector<std::vector<InstanceId>> live =
+      ParallelMap<std::vector<InstanceId>>(num_concepts, [&](size_t ci) {
+        ConceptId c(static_cast<uint32_t>(ci));
+        std::vector<InstanceId> out;
+        for (InstanceId e : kb.InstancesEverOf(c)) {
+          if (kb.Contains(IsAPair{c, e})) out.push_back(e);
+        }
+        return out;
+      });
   for (size_t ci = 0; ci < num_concepts; ++ci) {
     ConceptId c(static_cast<uint32_t>(ci));
-    for (InstanceId e : kb.InstancesEverOf(c)) {
-      if (kb.Contains(IsAPair{c, e})) containing_[e].push_back(c);
-    }
+    for (InstanceId e : live[ci]) containing_[e].push_back(c);
   }
 }
 

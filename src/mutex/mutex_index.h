@@ -37,7 +37,11 @@ struct MutexParams {
 ///
 /// Construction cost is near-linear in KB size: only concept pairs sharing
 /// at least one core instance have nonzero similarity; everything else is
-/// mutually exclusive by default.
+/// mutually exclusive by default. Construction fans its three phases
+/// (per-concept core extraction, pairwise dot products, live containment)
+/// out over the global thread pool; the built index is bit-identical at any
+/// thread count, and all queries on the built index are const and
+/// thread-safe.
 class MutexIndex {
  public:
   /// Builds from the KB's current live state. The index is a snapshot:

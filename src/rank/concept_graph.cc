@@ -16,10 +16,13 @@ ConceptGraph ConceptGraph::Build(const KnowledgeBase& kb, ConceptId c) {
     graph.node_counts_.push_back(static_cast<double>(count));
     graph.root_weights_.push_back(static_cast<double>(kb.Iter1Count(pair)));
   }
-  graph.out_edges_.resize(graph.nodes_.size());
+  size_t n = graph.nodes_.size();
 
-  // Edges: trigger -> produced instance per live record, accumulated.
-  std::unordered_map<uint64_t, double> edge_weights;
+  // Edges: trigger -> produced instance per live record. Collected as packed
+  // (from, to) keys, then sort + run-length merge — the duplicate count *is*
+  // the edge weight (each live record contributes 1.0), and the sorted order
+  // yields CSR rows sorted by target directly.
+  std::vector<uint64_t> raw_edges;
   kb.ForEachLiveRecordOfConcept(c, [&](const ExtractionRecord& record) {
     for (InstanceId t : record.triggers) {
       auto ti = graph.index_.find(t);
@@ -28,20 +31,31 @@ ConceptGraph ConceptGraph::Build(const KnowledgeBase& kb, ConceptId c) {
         if (e == t) continue;
         auto ei = graph.index_.find(e);
         if (ei == graph.index_.end()) continue;
-        uint64_t key = (static_cast<uint64_t>(ti->second) << 32) |
-                       static_cast<uint64_t>(ei->second);
-        edge_weights[key] += 1.0;
+        raw_edges.push_back((static_cast<uint64_t>(ti->second) << 32) |
+                            static_cast<uint64_t>(ei->second));
       }
     }
   });
-  for (const auto& [key, weight] : edge_weights) {
+  std::sort(raw_edges.begin(), raw_edges.end());
+
+  graph.edge_offsets_.assign(n + 1, 0);
+  graph.edge_targets_.reserve(raw_edges.size());
+  graph.edge_weights_.reserve(raw_edges.size());
+  graph.out_degrees_.assign(n, 0.0);
+  for (size_t i = 0; i < raw_edges.size();) {
+    uint64_t key = raw_edges[i];
+    size_t run = i;
+    while (run < raw_edges.size() && raw_edges[run] == key) ++run;
     uint32_t from = static_cast<uint32_t>(key >> 32);
-    uint32_t to = static_cast<uint32_t>(key & 0xffffffffu);
-    graph.out_edges_[from].emplace_back(to, weight);
+    double weight = static_cast<double>(run - i);
+    graph.edge_targets_.push_back(static_cast<uint32_t>(key & 0xffffffffu));
+    graph.edge_weights_.push_back(weight);
+    ++graph.edge_offsets_[from + 1];
+    graph.out_degrees_[from] += weight;
+    i = run;
   }
-  // Deterministic order for reproducible walks.
-  for (auto& edges : graph.out_edges_) {
-    std::sort(edges.begin(), edges.end());
+  for (size_t i = 0; i < n; ++i) {
+    graph.edge_offsets_[i + 1] += graph.edge_offsets_[i];
   }
   return graph;
 }

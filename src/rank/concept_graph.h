@@ -1,6 +1,7 @@
 #ifndef SEMDRIFT_RANK_CONCEPT_GRAPH_H_
 #define SEMDRIFT_RANK_CONCEPT_GRAPH_H_
 
+#include <cstdint>
 #include <unordered_map>
 #include <vector>
 
@@ -15,22 +16,49 @@ namespace semdrift {
 /// extraction records realizing the edge). Iteration-1 instances are the
 /// graph's *roots*, weighted by their iteration-1 support — the restart
 /// distribution of the random walk.
+///
+/// Adjacency is stored in CSR form (one offsets array, flat target/weight
+/// arrays): the random walk's inner loop streams contiguous memory instead
+/// of chasing a vector-of-vectors, and building it is a sort + merge over a
+/// flat edge list rather than a hash-map accumulation. Edges of a node are
+/// sorted by target index, as before, so walk results are unchanged.
 class ConceptGraph {
  public:
   /// Builds the graph for `c` from the KB's live records.
   static ConceptGraph Build(const KnowledgeBase& kb, ConceptId c);
 
   size_t num_nodes() const { return nodes_.size(); }
+  size_t num_edges() const { return edge_targets_.size(); }
 
   InstanceId node(size_t index) const { return nodes_[index]; }
 
   /// Node index of an instance; SIZE_MAX when absent.
   size_t IndexOf(InstanceId e) const;
 
-  /// Weighted out-edges of a node: (target index, weight).
-  const std::vector<std::pair<uint32_t, double>>& OutEdges(size_t index) const {
-    return out_edges_[index];
+  /// Borrowed view of one node's out-edges in the CSR arrays.
+  struct OutEdgeSpan {
+    const uint32_t* targets;
+    const double* weights;
+    size_t count;
+
+    size_t size() const { return count; }
+    bool empty() const { return count == 0; }
+  };
+
+  /// Weighted out-edges of a node, sorted by target index.
+  OutEdgeSpan OutEdges(size_t index) const {
+    size_t begin = edge_offsets_[index];
+    return OutEdgeSpan{edge_targets_.data() + begin, edge_weights_.data() + begin,
+                       edge_offsets_[index + 1] - begin};
   }
+
+  // Raw CSR arrays (size n + 1 / E / E) for walk kernels.
+  const std::vector<size_t>& edge_offsets() const { return edge_offsets_; }
+  const std::vector<uint32_t>& edge_targets() const { return edge_targets_; }
+  const std::vector<double>& edge_weights() const { return edge_weights_; }
+
+  /// Weighted out-degree per node (precomputed edge-weight row sums).
+  const std::vector<double>& out_degrees() const { return out_degrees_; }
 
   /// Restart weights, indexed by node; zero for non-root nodes.
   const std::vector<double>& root_weights() const { return root_weights_; }
@@ -41,7 +69,10 @@ class ConceptGraph {
  private:
   std::vector<InstanceId> nodes_;
   std::unordered_map<InstanceId, size_t> index_;
-  std::vector<std::vector<std::pair<uint32_t, double>>> out_edges_;
+  std::vector<size_t> edge_offsets_;
+  std::vector<uint32_t> edge_targets_;
+  std::vector<double> edge_weights_;
+  std::vector<double> out_degrees_;
   std::vector<double> root_weights_;
   std::vector<double> node_counts_;
 };

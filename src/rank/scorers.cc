@@ -3,6 +3,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "util/thread_pool.h"
+
 namespace semdrift {
 
 namespace {
@@ -20,19 +22,16 @@ std::vector<double> FrequencyScores(const ConceptGraph& graph) {
   return scores;
 }
 
-/// Power iteration for a teleporting walk. `restart` must be L1-normalized;
-/// `out_edges` are row-stochasticized on the fly; dangling mass teleports.
-std::vector<double> TeleportingWalk(
-    const std::vector<std::vector<std::pair<uint32_t, double>>>& out_edges,
-    const std::vector<double>& restart, const WalkParams& params) {
-  size_t n = out_edges.size();
-  std::vector<double> out_degree(n, 0.0);
-  for (size_t i = 0; i < n; ++i) {
-    for (const auto& [to, w] : out_edges[i]) {
-      (void)to;
-      out_degree[i] += w;
-    }
-  }
+/// Power iteration for a teleporting walk over CSR adjacency. `restart`
+/// must be L1-normalized; rows are stochasticized on the fly via the
+/// precomputed `out_degrees`; dangling mass teleports.
+std::vector<double> TeleportingWalk(const std::vector<size_t>& offsets,
+                                    const std::vector<uint32_t>& targets,
+                                    const std::vector<double>& weights,
+                                    const std::vector<double>& out_degrees,
+                                    const std::vector<double>& restart,
+                                    const WalkParams& params) {
+  size_t n = out_degrees.size();
   std::vector<double> p = restart;
   std::vector<double> next(n, 0.0);
   for (int iter = 0; iter < params.max_iterations; ++iter) {
@@ -40,13 +39,13 @@ std::vector<double> TeleportingWalk(
     double dangling = 0.0;
     for (size_t i = 0; i < n; ++i) {
       if (p[i] == 0.0) continue;
-      if (out_degree[i] <= 0.0) {
+      if (out_degrees[i] <= 0.0) {
         dangling += p[i];
         continue;
       }
-      double share = p[i] / out_degree[i];
-      for (const auto& [to, w] : out_edges[i]) {
-        next[to] += share * w;
+      double share = p[i] / out_degrees[i];
+      for (size_t e = offsets[i]; e < offsets[i + 1]; ++e) {
+        next[targets[e]] += share * weights[e];
       }
     }
     double l1 = 0.0;
@@ -72,30 +71,42 @@ std::vector<double> RandomWalkScores(const ConceptGraph& graph,
   } else {
     for (double& w : restart) w /= total;
   }
-  return TeleportingWalk(
-      [&graph] {
-        std::vector<std::vector<std::pair<uint32_t, double>>> edges;
-        edges.reserve(graph.num_nodes());
-        for (size_t i = 0; i < graph.num_nodes(); ++i) edges.push_back(graph.OutEdges(i));
-        return edges;
-      }(),
-      restart, params);
+  // The walk consumes the graph's own CSR arrays — no per-call copy.
+  return TeleportingWalk(graph.edge_offsets(), graph.edge_targets(),
+                         graph.edge_weights(), graph.out_degrees(), restart, params);
 }
 
 std::vector<double> PageRankScores(const ConceptGraph& graph,
                                    const WalkParams& params) {
   size_t n = graph.num_nodes();
   // Undirected: symmetrize the edge set (the paper's PageRank baseline uses
-  // the same graph with undirected edges and uniform teleportation).
-  std::vector<std::vector<std::pair<uint32_t, double>>> edges(n);
+  // the same graph with undirected edges and uniform teleportation). Rows
+  // keep the historical append order — reverse edges from lower-indexed
+  // sources, own edges, reverse edges from higher-indexed sources — so the
+  // walk's accumulation order (and hence its floating-point result) is
+  // unchanged.
+  std::vector<std::vector<std::pair<uint32_t, double>>> rows(n);
   for (size_t i = 0; i < n; ++i) {
-    for (const auto& [to, w] : graph.OutEdges(i)) {
-      edges[i].emplace_back(to, w);
-      edges[to].emplace_back(static_cast<uint32_t>(i), w);
+    ConceptGraph::OutEdgeSpan edges = graph.OutEdges(i);
+    for (size_t e = 0; e < edges.size(); ++e) {
+      rows[i].emplace_back(edges.targets[e], edges.weights[e]);
+      rows[edges.targets[e]].emplace_back(static_cast<uint32_t>(i), edges.weights[e]);
+    }
+  }
+  std::vector<size_t> offsets(n + 1, 0);
+  std::vector<uint32_t> targets;
+  std::vector<double> weights;
+  std::vector<double> out_degrees(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    offsets[i + 1] = offsets[i] + rows[i].size();
+    for (const auto& [to, w] : rows[i]) {
+      targets.push_back(to);
+      weights.push_back(w);
+      out_degrees[i] += w;
     }
   }
   std::vector<double> restart(n, n ? 1.0 / n : 0.0);
-  return TeleportingWalk(edges, restart, params);
+  return TeleportingWalk(offsets, targets, weights, out_degrees, restart, params);
 }
 
 }  // namespace
@@ -124,17 +135,53 @@ std::unordered_map<InstanceId, double> ScoreConcept(const KnowledgeBase& kb,
   return out;
 }
 
-double ScoreCache::Get(ConceptId c, InstanceId e) {
+double ScoreCache::Get(ConceptId c, InstanceId e) const {
   const auto& scores = Concept(c);
   auto it = scores.find(e);
   return it == scores.end() ? 0.0 : it->second;
 }
 
-const std::unordered_map<InstanceId, double>& ScoreCache::Concept(ConceptId c) {
-  auto it = cache_.find(c.value);
-  if (it != cache_.end()) return it->second;
-  auto [inserted, _] = cache_.emplace(c.value, ScoreConcept(*kb_, c, model_, params_));
-  return inserted->second;
+const std::unordered_map<InstanceId, double>& ScoreCache::Concept(ConceptId c) const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(c.value);
+    if (it != cache_.end()) return *it->second;
+  }
+  // Compute outside the lock so concurrent misses on *different* concepts
+  // don't serialize on one walk. A racing duplicate computation of the same
+  // concept yields the identical map (scoring is deterministic); the first
+  // insert wins and the loser is discarded.
+  auto computed = std::make_unique<std::unordered_map<InstanceId, double>>(
+      ScoreConcept(*kb_, c, model_, params_));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = cache_.emplace(c.value, std::move(computed));
+  (void)inserted;
+  return *it->second;
+}
+
+void ScoreCache::Warm(const std::vector<ConceptId>& concepts) {
+  // Skip concepts already cached, then build the rest concurrently — each
+  // concept's graph build + walk is independent. Results are inserted in
+  // input order (ordered reduction), so the cache's contents are identical
+  // for every thread count.
+  std::vector<ConceptId> missing;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (ConceptId c : concepts) {
+      if (cache_.find(c.value) == cache_.end()) missing.push_back(c);
+    }
+  }
+  if (missing.empty()) return;
+  auto computed =
+      ParallelMap<std::unordered_map<InstanceId, double>>(missing.size(), [&](size_t i) {
+        return ScoreConcept(*kb_, missing[i], model_, params_);
+      });
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < missing.size(); ++i) {
+    cache_.emplace(missing[i].value,
+                   std::make_unique<std::unordered_map<InstanceId, double>>(
+                       std::move(computed[i])));
+  }
 }
 
 }  // namespace semdrift

@@ -1,6 +1,8 @@
 #ifndef SEMDRIFT_RANK_SCORERS_H_
 #define SEMDRIFT_RANK_SCORERS_H_
 
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -48,6 +50,13 @@ std::vector<double> ScoreGraph(const ConceptGraph& graph, RankModel model,
 /// instance) pairs; each concept's walk runs once on first touch. The cache
 /// reads the KB at query time — invalidate (create a fresh cache) after any
 /// rollback.
+///
+/// Thread-safe: Get/Concept may be called concurrently (the per-concept
+/// score maps are immutable once inserted, and Concept returns a reference
+/// that stays valid for the cache's lifetime). Warm() bulk-builds many
+/// concepts across the global thread pool; warming the working set up front
+/// turns all later queries into lock-then-lookup hits, which is how the
+/// cleaning pipeline uses it before fanning feature extraction out.
 class ScoreCache {
  public:
   ScoreCache(const KnowledgeBase* kb, RankModel model, WalkParams params = {})
@@ -57,16 +66,27 @@ class ScoreCache {
   ScoreCache& operator=(const ScoreCache&) = delete;
 
   /// Score of (c, e); 0 when the pair is unknown or dead.
-  double Get(ConceptId c, InstanceId e);
+  double Get(ConceptId c, InstanceId e) const;
 
-  /// Whole-concept view (computing it on first use).
-  const std::unordered_map<InstanceId, double>& Concept(ConceptId c);
+  /// Whole-concept view (computing it on first use). The returned reference
+  /// is stable until the cache is destroyed.
+  const std::unordered_map<InstanceId, double>& Concept(ConceptId c) const;
+
+  /// Pre-computes every listed concept, fanning graph builds + walks out
+  /// over the global thread pool. Already-cached concepts are skipped. The
+  /// resulting cache state is bit-identical for every thread count.
+  void Warm(const std::vector<ConceptId>& concepts);
 
  private:
   const KnowledgeBase* kb_;
   RankModel model_;
   WalkParams params_;
-  std::unordered_map<uint32_t, std::unordered_map<InstanceId, double>> cache_;
+  mutable std::mutex mu_;
+  /// unique_ptr indirection keeps concept maps address-stable across
+  /// rehashes, so references handed out by Concept() never dangle.
+  mutable std::unordered_map<uint32_t,
+                             std::unique_ptr<std::unordered_map<InstanceId, double>>>
+      cache_;
 };
 
 }  // namespace semdrift

@@ -39,6 +39,7 @@
 #include "util/fault_injection.h"
 #include "util/logging.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 using namespace semdrift;
 
@@ -122,8 +123,19 @@ int Usage() {
       "               [--checkpoint-dir D [--resume] [--validate]\n"
       "               [--keep-checkpoints N]]\n"
       "  semdrift parse --world W   (sentences on stdin)\n"
-      "  semdrift fuzz-load [--count N] [--seed N] [--scale S] [--dir D]\n");
+      "  semdrift fuzz-load [--count N] [--seed N] [--scale S] [--dir D]\n"
+      "\n"
+      "Every subcommand accepts --threads N (default: SEMDRIFT_THREADS env\n"
+      "var, then hardware concurrency). Results are identical at any thread\n"
+      "count.\n");
   return 2;
+}
+
+/// Applies the global --threads control (0 = auto: SEMDRIFT_THREADS env var,
+/// then hardware concurrency). Parallel stages are bit-deterministic, so
+/// this only changes wall-clock time, never output.
+void ApplyThreadsFlag(const Flags& flags) {
+  SetGlobalThreadCount(static_cast<int>(flags.GetUint("threads", 0)));
 }
 
 /// Prints lenient-load damage so skipped lines are visible, not silent.
@@ -145,6 +157,7 @@ void ReportSkips(const char* what, const LoadReport& report) {
 }
 
 int Generate(const Flags& flags) {
+  ApplyThreadsFlag(flags);
   ExperimentConfig config = PaperScaleConfig(flags.GetDouble("scale", 0.25));
   config.seed = flags.GetUint("seed", 2014);
   config.corpus.render_text = true;
@@ -170,6 +183,7 @@ int Generate(const Flags& flags) {
 }
 
 int Run(const Flags& flags) {
+  ApplyThreadsFlag(flags);
   LoadOptions load_options;
   if (flags.Has("lenient")) load_options.mode = LoadOptions::Mode::kLenient;
   LoadReport world_report;
@@ -250,6 +264,7 @@ int Run(const Flags& flags) {
 }
 
 int Parse(const Flags& flags) {
+  ApplyThreadsFlag(flags);
   auto world = LoadWorld(flags.Get("world", "world.tsv"));
   if (!world.ok()) {
     std::fprintf(stderr, "%s\n", world.status().ToString().c_str());
@@ -304,6 +319,7 @@ bool ReportAccounts(const LoadReport& report) {
 }
 
 int FuzzLoad(const Flags& flags) {
+  ApplyThreadsFlag(flags);
   uint64_t seed = flags.GetUint("seed", 2014);
   int count = static_cast<int>(flags.GetUint("count", 200));
   double scale = flags.GetDouble("scale", 0.05);
@@ -355,54 +371,82 @@ int FuzzLoad(const Flags& flags) {
     pristine[t] = std::move(*content);
   }
 
+  // The sweep runs across the thread pool: each iteration corrupts into its
+  // own scratch file, loads, and returns an outcome. Ordered reduction of
+  // the outcomes makes the tallies identical to the serial sweep (each
+  // iteration's FaultInjector is seeded by index, never by schedule).
+  struct FuzzOutcome {
+    int target = 0;
+    FuzzTally delta;
+    std::string io_error;  // Scratch-file write failure, fatal.
+  };
+  std::vector<FuzzOutcome> outcomes = ParallelMap<FuzzOutcome>(
+      static_cast<size_t>(count), [&](size_t i) {
+        FuzzOutcome out;
+        out.target = static_cast<int>(i % 3);
+        FaultInjector injector(seed ^ (0x9e3779b97f4a7c15ULL * (i + 1)));
+        FaultKind kind;
+        std::string corrupted = injector.CorruptRandom(pristine[out.target], &kind);
+        std::string fuzz_path = dir + "/fuzzed-" + std::to_string(i) + ".bin";
+        Status written = WriteStringToFile(corrupted, fuzz_path);
+        if (!written.ok()) {
+          out.io_error = written.ToString();
+          return out;
+        }
+        FuzzTally& tally = out.delta;
+        ++tally.runs;
+        if (out.target == 0) {
+          auto strict = LoadWorld(fuzz_path);
+          strict.ok() ? ++tally.strict_ok : ++tally.strict_rejected;
+          LoadOptions lenient{LoadOptions::Mode::kLenient};
+          LoadReport report;
+          auto loose = LoadWorld(fuzz_path, lenient, &report);
+          loose.ok() ? ++tally.lenient_ok : ++tally.lenient_rejected;
+          if (loose.ok() && !ReportAccounts(report)) ++tally.violations;
+        } else if (out.target == 1) {
+          auto strict = LoadCorpus(experiment->world(), fuzz_path);
+          strict.ok() ? ++tally.strict_ok : ++tally.strict_rejected;
+          LoadOptions lenient{LoadOptions::Mode::kLenient};
+          LoadReport report;
+          auto loose = LoadCorpus(experiment->world(), fuzz_path, lenient, &report);
+          loose.ok() ? ++tally.lenient_ok : ++tally.lenient_rejected;
+          if (loose.ok() && !ReportAccounts(report)) ++tally.violations;
+        } else {
+          // Checkpoints have no lenient mode: the full restore pipeline (load,
+          // replay, validate) must either produce a valid KB or reject cleanly.
+          auto loaded = LoadCheckpoint(fuzz_path);
+          if (!loaded.ok()) {
+            ++tally.strict_rejected;
+          } else {
+            auto restored = KnowledgeBase::FromRecords(loaded->records);
+            if (restored.ok() &&
+                restored->Validate(experiment->world().num_concepts(),
+                                   experiment->corpus().sentences.size()).ok()) {
+              ++tally.strict_ok;
+            } else {
+              ++tally.strict_rejected;
+            }
+          }
+        }
+        std::error_code remove_ec;
+        std::filesystem::remove(fuzz_path, remove_ec);  // Best-effort scratch cleanup.
+        return out;
+      });
+
   FuzzTally tallies[3];
   int violations = 0;
-  std::string fuzz_path = dir + "/fuzzed.bin";
-  for (int i = 0; i < count; ++i) {
-    int target = i % 3;
-    FaultInjector injector(seed ^ (0x9e3779b97f4a7c15ULL * (i + 1)));
-    FaultKind kind;
-    std::string corrupted = injector.CorruptRandom(pristine[target], &kind);
-    Status written = WriteStringToFile(corrupted, fuzz_path);
-    if (!written.ok()) {
-      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+  for (const FuzzOutcome& out : outcomes) {
+    if (!out.io_error.empty()) {
+      std::fprintf(stderr, "%s\n", out.io_error.c_str());
       return 1;
     }
-    FuzzTally& tally = tallies[target];
-    ++tally.runs;
-    if (target == 0) {
-      auto strict = LoadWorld(fuzz_path);
-      strict.ok() ? ++tally.strict_ok : ++tally.strict_rejected;
-      LoadOptions lenient{LoadOptions::Mode::kLenient};
-      LoadReport report;
-      auto loose = LoadWorld(fuzz_path, lenient, &report);
-      loose.ok() ? ++tally.lenient_ok : ++tally.lenient_rejected;
-      if (loose.ok() && !ReportAccounts(report)) ++tally.violations;
-    } else if (target == 1) {
-      auto strict = LoadCorpus(experiment->world(), fuzz_path);
-      strict.ok() ? ++tally.strict_ok : ++tally.strict_rejected;
-      LoadOptions lenient{LoadOptions::Mode::kLenient};
-      LoadReport report;
-      auto loose = LoadCorpus(experiment->world(), fuzz_path, lenient, &report);
-      loose.ok() ? ++tally.lenient_ok : ++tally.lenient_rejected;
-      if (loose.ok() && !ReportAccounts(report)) ++tally.violations;
-    } else {
-      // Checkpoints have no lenient mode: the full restore pipeline (load,
-      // replay, validate) must either produce a valid KB or reject cleanly.
-      auto loaded = LoadCheckpoint(fuzz_path);
-      if (!loaded.ok()) {
-        ++tally.strict_rejected;
-      } else {
-        auto restored = KnowledgeBase::FromRecords(loaded->records);
-        if (restored.ok() &&
-            restored->Validate(experiment->world().num_concepts(),
-                               experiment->corpus().sentences.size()).ok()) {
-          ++tally.strict_ok;
-        } else {
-          ++tally.strict_rejected;
-        }
-      }
-    }
+    FuzzTally& tally = tallies[out.target];
+    tally.runs += out.delta.runs;
+    tally.strict_ok += out.delta.strict_ok;
+    tally.strict_rejected += out.delta.strict_rejected;
+    tally.lenient_ok += out.delta.lenient_ok;
+    tally.lenient_rejected += out.delta.lenient_rejected;
+    tally.violations += out.delta.violations;
   }
 
   std::printf("fuzz-load: %d corruptions over %s seed %llu\n", count, dir.c_str(),
@@ -426,7 +470,7 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string command = argv[1];
   if (command == "generate") {
-    Flags flags(argc, argv, 2, {"scale", "seed", "world", "corpus"}, {});
+    Flags flags(argc, argv, 2, {"scale", "seed", "world", "corpus", "threads"}, {});
     if (!flags.ok()) {
       std::fprintf(stderr, "%s\n", flags.error().c_str());
       return Usage();
@@ -435,7 +479,8 @@ int main(int argc, char** argv) {
   }
   if (command == "run") {
     Flags flags(argc, argv, 2,
-                {"world", "corpus", "out", "checkpoint-dir", "keep-checkpoints"},
+                {"world", "corpus", "out", "checkpoint-dir", "keep-checkpoints",
+                 "threads"},
                 {"no-clean", "resume", "validate", "lenient"});
     if (!flags.ok()) {
       std::fprintf(stderr, "%s\n", flags.error().c_str());
@@ -444,7 +489,7 @@ int main(int argc, char** argv) {
     return Run(flags);
   }
   if (command == "parse") {
-    Flags flags(argc, argv, 2, {"world"}, {});
+    Flags flags(argc, argv, 2, {"world", "threads"}, {});
     if (!flags.ok()) {
       std::fprintf(stderr, "%s\n", flags.error().c_str());
       return Usage();
@@ -452,7 +497,7 @@ int main(int argc, char** argv) {
     return Parse(flags);
   }
   if (command == "fuzz-load") {
-    Flags flags(argc, argv, 2, {"count", "seed", "scale", "dir"}, {});
+    Flags flags(argc, argv, 2, {"count", "seed", "scale", "dir", "threads"}, {});
     if (!flags.ok()) {
       std::fprintf(stderr, "%s\n", flags.error().c_str());
       return Usage();
