@@ -34,10 +34,14 @@ class LineLoader {
     }
     if (!lenient_) {
       if (file.truncated) {
-        return Status::DataLoss(path_ + ": truncated file (missing checksum footer)");
+        return Status::DataLoss(path_ +
+                                ": truncated file (missing checksum footer) at byte offset " +
+                                std::to_string(file.bytes_read));
       }
       if (file.checksum_present && !file.checksum_ok) {
-        return Status::DataLoss(path_ + ": checksum mismatch (corrupt file)");
+        return Status::DataLoss(path_ + ": checksum mismatch (corrupt file) over " +
+                                std::to_string(file.bytes_read) +
+                                " bytes (byte offset 0)");
       }
     }
     return Status::OK();

@@ -1,11 +1,145 @@
 #include "dp/cleaner.h"
 
+#include <limits>
 #include <unordered_set>
 
 #include "dp/sentence_check.h"
+#include "rank/scorers.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace semdrift {
+
+namespace {
+
+/// One flagged (pair, DP type) detection from a classification pass.
+struct Detection {
+  IsAPair pair;
+  DpClass type;
+};
+
+/// Supervised score warm-up: one guarded checked walk per concept, results
+/// inserted into the cache in scope order. A non-converged walk degrades the
+/// concept (capped scores + flag); a walk that throws, stalls past its
+/// deadline or emits NaN exhausts its retries and quarantines the concept.
+Status WarmSupervised(const KnowledgeBase& kb, ScoreCache* scores,
+                      RankModel model, const std::vector<ConceptId>& scope,
+                      Supervisor* supervisor) {
+  struct Slot {
+    ConceptScores value;
+    StageOutcome outcome;
+  };
+  std::vector<Slot> slots = ParallelMap<Slot>(scope.size(), [&](size_t i) {
+    ConceptId c = scope[i];
+    Slot slot;
+    std::function<ConceptScores(int)> body = [&, c](int attempt) {
+      ConceptScores computed = ScoreConceptChecked(kb, c, model);
+      if (supervisor->NanFaultActive(PipelineStage::kScoreWarm, c.value, attempt) &&
+          !computed.scores.empty()) {
+        computed.scores.begin()->second = std::numeric_limits<double>::quiet_NaN();
+      }
+      return computed;
+    };
+    std::function<std::string(const ConceptScores&)> validate =
+        [](const ConceptScores& computed) {
+          for (const auto& [instance, score] : computed.scores) {
+            (void)instance;
+            if (!(score == score) || score - score != 0.0) {
+              return std::string("non-finite score in converged walk");
+            }
+          }
+          return std::string();
+        };
+    ConceptScores value;
+    if (supervisor->RunGuarded<ConceptScores>(PipelineStage::kScoreWarm, c.value,
+                                              body, validate, &value,
+                                              &slot.outcome)) {
+      slot.value = std::move(value);
+    }
+    return slot;
+  });
+  for (size_t i = 0; i < scope.size(); ++i) {
+    Status merged = supervisor->MergeOutcome(PipelineStage::kScoreWarm,
+                                             scope[i].value, slots[i].outcome);
+    if (!merged.ok()) return merged;
+    if (!slots[i].outcome.ok) continue;  // Quarantined: never enters the cache.
+    if (!slots[i].value.converged) {
+      supervisor->health()->Record(
+          scope[i].value, ConceptOutcome::kDegraded, 0, PipelineStage::kScoreWarm,
+          "walk did not converge after " + std::to_string(slots[i].value.iterations) +
+              " iterations; scores capped to [0, 1]");
+    }
+    scores->Insert(scope[i], std::move(slots[i].value.scores));
+  }
+  return Status::OK();
+}
+
+/// Supervised classification: per-concept guarded passes, detections
+/// flattened in scope order (matching the unsupervised serial loop), bad
+/// feature vectors dropped with provenance.
+Status ClassifySupervised(const KnowledgeBase& kb, const FeatureExtractor& features,
+                          const DpDetector& detector,
+                          const std::vector<ConceptId>& scope,
+                          Supervisor* supervisor, std::vector<Detection>* out) {
+  struct Payload {
+    std::vector<Detection> detections;
+    std::vector<DroppedInstance> drops;
+  };
+  struct Slot {
+    Payload payload;
+    StageOutcome outcome;
+  };
+  std::vector<Slot> slots = ParallelMap<Slot>(scope.size(), [&](size_t i) {
+    ConceptId c = scope[i];
+    Slot slot;
+    std::function<Payload(int)> body = [&, c](int attempt) {
+      Payload payload;
+      bool poison = supervisor->NanFaultActive(PipelineStage::kDetectorScore,
+                                               c.value, attempt);
+      for (InstanceId e : kb.LiveInstancesOf(c)) {
+        PollCancellation("detector score");
+        FeatureVector f = features.Extract(c, e);
+        if (poison) {
+          f[0] = std::numeric_limits<double>::quiet_NaN();
+          poison = false;
+        }
+        int bad = FirstNonFiniteIndex(f);
+        if (bad >= 0) {
+          payload.drops.push_back(DroppedInstance{
+              c.value, e.value, PipelineStage::kDetectorScore,
+              "non-finite feature f" + std::to_string(bad + 1)});
+          continue;
+        }
+        DpClass type = detector.Classify(c, f);
+        if (type == DpClass::kAccidentalDP || type == DpClass::kIntentionalDP) {
+          payload.detections.push_back(Detection{IsAPair{c, e}, type});
+        }
+      }
+      return payload;
+    };
+    Payload value;
+    if (supervisor->RunGuarded<Payload>(PipelineStage::kDetectorScore, c.value,
+                                        body, {}, &value, &slot.outcome)) {
+      slot.payload = std::move(value);
+    }
+    return slot;
+  });
+  for (size_t i = 0; i < scope.size(); ++i) {
+    Status merged = supervisor->MergeOutcome(PipelineStage::kDetectorScore,
+                                             scope[i].value, slots[i].outcome);
+    if (!merged.ok()) return merged;
+    if (!slots[i].outcome.ok) continue;  // Quarantined: no detections used.
+    for (const DroppedInstance& drop : slots[i].payload.drops) {
+      supervisor->health()->RecordDrop(drop);
+    }
+    for (const Detection& detection : slots[i].payload.detections) {
+      out->push_back(detection);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 DpCleaner::DpCleaner(const SentenceStore* sentences, VerifiedSource verified,
                      size_t num_concepts, CleanerOptions options)
@@ -16,25 +150,73 @@ DpCleaner::DpCleaner(const SentenceStore* sentences, VerifiedSource verified,
 
 CleaningReport DpCleaner::Clean(KnowledgeBase* kb,
                                 const std::vector<ConceptId>& scope) const {
+  // The unsupervised path cannot fail (no guard ever reports an error).
+  Result<CleaningReport> result = CleanImpl(kb, scope, nullptr);
+  return *result;
+}
+
+Result<CleaningReport> DpCleaner::CleanSupervised(
+    KnowledgeBase* kb, const std::vector<ConceptId>& scope,
+    const SupervisedCleanHooks& hooks) const {
+  if (hooks.supervisor == nullptr) {
+    return Status::InvalidArgument("CleanSupervised requires a supervisor");
+  }
+  return CleanImpl(kb, scope, &hooks);
+}
+
+Result<CleaningReport> DpCleaner::CleanImpl(KnowledgeBase* kb,
+                                            const std::vector<ConceptId>& scope,
+                                            const SupervisedCleanHooks* hooks) const {
+  Supervisor* supervisor = hooks != nullptr ? hooks->supervisor : nullptr;
   CleaningReport report;
   report.live_pairs_before = kb->num_live_pairs();
   std::unordered_set<IsAPair, IsAPairHash> seen_accidental;
   std::unordered_set<IsAPair, IsAPairHash> seen_intentional;
   std::unique_ptr<DpDetector> detector;
 
-  for (int round = 1; round <= options_.max_rounds; ++round) {
+  int first_round = hooks != nullptr ? hooks->first_round : 1;
+  for (int round = first_round; round <= options_.max_rounds; ++round) {
+    // Quarantined concepts drop out of the scope between rounds/stages only
+    // — within a stage the scope is fixed, which keeps surviving concepts'
+    // work independent of when a doomed concept's guard fired.
+    std::vector<ConceptId> live_scope =
+        supervisor != nullptr ? supervisor->Surviving(scope) : scope;
+    if (live_scope.empty()) break;
+
     // Fresh views of the (possibly already partially cleaned) KB.
     MutexIndex mutex(*kb, num_concepts_, options_.mutex);
     ScoreCache scores(kb, options_.score_model);
     // Bulk warm-up: build + walk every in-scope concept graph across the
     // thread pool now, so feature extraction below hits a frozen cache.
-    scores.Warm(scope);
+    if (supervisor != nullptr) {
+      Status warmed = WarmSupervised(*kb, &scores, options_.score_model,
+                                     live_scope, supervisor);
+      if (!warmed.ok()) return warmed;
+      live_scope = supervisor->Surviving(live_scope);
+      if (live_scope.empty()) break;
+    } else {
+      scores.Warm(live_scope);
+    }
     FeatureExtractor features(kb, &mutex, &scores);
     SeedLabeler seeds(kb, &mutex, verified_, options_.seeds);
 
     if (options_.retrain_each_round || detector == nullptr) {
-      TrainingData data = CollectTrainingData(*kb, &features, seeds, scope);
-      auto trained = TrainDetector(options_.detector, data, options_.train);
+      std::unique_ptr<DpDetector> trained;
+      if (supervisor != nullptr) {
+        Result<TrainingData> data = CollectTrainingDataSupervised(
+            *kb, &features, seeds, live_scope, supervisor);
+        if (!data.ok()) return data.status();
+        live_scope = supervisor->Surviving(live_scope);
+        if (live_scope.empty()) break;
+        Result<SupervisedTrainResult> train_result =
+            TrainDetectorSupervised(options_.detector, *data, options_.train,
+                                    supervisor);
+        if (!train_result.ok()) return train_result.status();
+        trained = std::move(train_result->detector);
+      } else {
+        TrainingData data = CollectTrainingData(*kb, &features, seeds, live_scope);
+        trained = TrainDetector(options_.detector, data, options_.train);
+      }
       if (trained != nullptr) {
         detector = std::move(trained);
       } else if (detector == nullptr) {
@@ -44,17 +226,19 @@ CleaningReport DpCleaner::Clean(KnowledgeBase* kb,
     }
 
     // Classify every live instance in scope against this round's features.
-    struct Detection {
-      IsAPair pair;
-      DpClass type;
-    };
     std::vector<Detection> detections;
-    for (ConceptId c : scope) {
-      for (InstanceId e : kb->LiveInstancesOf(c)) {
-        FeatureVector f = features.Extract(c, e);
-        DpClass type = detector->Classify(c, f);
-        if (type == DpClass::kAccidentalDP || type == DpClass::kIntentionalDP) {
-          detections.push_back(Detection{IsAPair{c, e}, type});
+    if (supervisor != nullptr) {
+      Status classified = ClassifySupervised(*kb, features, *detector, live_scope,
+                                             supervisor, &detections);
+      if (!classified.ok()) return classified;
+    } else {
+      for (ConceptId c : live_scope) {
+        for (InstanceId e : kb->LiveInstancesOf(c)) {
+          FeatureVector f = features.Extract(c, e);
+          DpClass type = detector->Classify(c, f);
+          if (type == DpClass::kAccidentalDP || type == DpClass::kIntentionalDP) {
+            detections.push_back(Detection{IsAPair{c, e}, type});
+          }
         }
       }
     }
@@ -135,6 +319,10 @@ CleaningReport DpCleaner::Clean(KnowledgeBase* kb,
 
     report.rounds = round;
     report.records_rolled_back += rolled_this_round;
+    if (hooks != nullptr && hooks->on_round) {
+      Status checkpointed = hooks->on_round(round, *kb);
+      if (!checkpointed.ok()) return checkpointed;
+    }
     if (rolled_this_round == 0) break;
   }
 

@@ -1,6 +1,7 @@
 #ifndef SEMDRIFT_DP_CLEANER_H_
 #define SEMDRIFT_DP_CLEANER_H_
 
+#include <functional>
 #include <vector>
 
 #include "dp/detector.h"
@@ -67,6 +68,21 @@ struct CleaningReport {
   size_t live_pairs_after = 0;
 };
 
+/// Wiring for a supervised clean (util/supervisor.h): guarded stages,
+/// quarantine-aware scope filtering, and a per-round checkpoint callback.
+struct SupervisedCleanHooks {
+  /// Required. Owns the policy, the fault plan and the health report.
+  Supervisor* supervisor = nullptr;
+  /// First round to execute. Resume support: rounds below this already ran
+  /// against the restored KB before its checkpoint was written, and each
+  /// round is a deterministic function of KB state, so restarting at
+  /// first_round reproduces the uninterrupted run's remaining rounds.
+  int first_round = 1;
+  /// Called after every completed round with the cleaned KB (checkpoint
+  /// writing). A non-OK status aborts cleaning with that status.
+  std::function<Status(int round, const KnowledgeBase& kb)> on_round;
+};
+
 /// The DP-based cleaner (Sec. 4): per round it rebuilds the mutex index and
 /// the score cache from live KB state, re-labels seeds, trains the
 /// configured detector, classifies every live instance of the scoped
@@ -87,9 +103,24 @@ class DpCleaner {
   /// Cleans `kb` in place over the given concept scope.
   CleaningReport Clean(KnowledgeBase* kb, const std::vector<ConceptId>& scope) const;
 
+  /// Cleans under a supervision layer: score warm-up, training-data
+  /// collection, detector training and per-concept classification each run
+  /// inside a StageGuard; quarantined concepts drop out of the live scope
+  /// between stages; hooks.on_round fires after each completed round. With
+  /// no fault injected and no stage failing, the KB and report are
+  /// bit-identical to Clean() at any thread count.
+  Result<CleaningReport> CleanSupervised(KnowledgeBase* kb,
+                                         const std::vector<ConceptId>& scope,
+                                         const SupervisedCleanHooks& hooks) const;
+
   const CleanerOptions& options() const { return options_; }
 
  private:
+  /// Shared round loop; `hooks == nullptr` is the plain unsupervised path.
+  Result<CleaningReport> CleanImpl(KnowledgeBase* kb,
+                                   const std::vector<ConceptId>& scope,
+                                   const SupervisedCleanHooks* hooks) const;
+
   const SentenceStore* sentences_;
   VerifiedSource verified_;
   size_t num_concepts_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 
 #include "util/thread_pool.h"
 
@@ -30,6 +31,82 @@ TrainingData CollectTrainingData(const KnowledgeBase& kb, FeatureExtractor* feat
   data.reserve(concepts.size());
   for (ConceptTrainingData& entry : per_concept) {
     if (!entry.instances.empty()) data.push_back(std::move(entry));
+  }
+  return data;
+}
+
+bool HasLabeled(const TrainingData& data) {
+  for (const auto& concept_data : data) {
+    for (DpClass label : concept_data.seed_labels) {
+      if (label != DpClass::kUnlabeled) return true;
+    }
+  }
+  return false;
+}
+
+Result<TrainingData> CollectTrainingDataSupervised(
+    const KnowledgeBase& kb, FeatureExtractor* features, const SeedLabeler& seeds,
+    const std::vector<ConceptId>& concepts, Supervisor* supervisor) {
+  struct Payload {
+    ConceptTrainingData entry;
+    std::vector<DroppedInstance> drops;
+  };
+  struct Slot {
+    Payload payload;
+    StageOutcome outcome;
+  };
+  // Guarded fan-out: each concept's gather runs its own attempt loop on a
+  // pool worker. Guards only observe; all health mutation happens in the
+  // ordered driver loop below, so the result is thread-count-invariant.
+  std::vector<Slot> slots = ParallelMap<Slot>(concepts.size(), [&](size_t i) {
+    ConceptId c = concepts[i];
+    Slot slot;
+    std::function<Payload(int)> body = [&, c](int attempt) {
+      Payload payload;
+      payload.entry.concept_id = c;
+      bool poison = supervisor->NanFaultActive(PipelineStage::kCollectTraining,
+                                               c.value, attempt);
+      for (InstanceId e : kb.LiveInstancesOf(c)) {
+        PollCancellation("collect training data");
+        FeatureVector f = features->Extract(c, e);
+        if (poison) {
+          f[0] = std::numeric_limits<double>::quiet_NaN();
+          poison = false;  // One poisoned instance is enough.
+        }
+        int bad = FirstNonFiniteIndex(f);
+        if (bad >= 0) {
+          payload.drops.push_back(DroppedInstance{
+              c.value, e.value, PipelineStage::kCollectTraining,
+              "non-finite feature f" + std::to_string(bad + 1)});
+          continue;
+        }
+        payload.entry.instances.push_back(e);
+        payload.entry.features.push_back(f);
+        payload.entry.seed_labels.push_back(seeds.Label(c, e));
+      }
+      return payload;
+    };
+    Payload value;
+    if (supervisor->RunGuarded<Payload>(PipelineStage::kCollectTraining, c.value,
+                                        body, {}, &value, &slot.outcome)) {
+      slot.payload = std::move(value);
+    }
+    return slot;
+  });
+
+  TrainingData data;
+  data.reserve(concepts.size());
+  for (size_t i = 0; i < concepts.size(); ++i) {
+    Status merged = supervisor->MergeOutcome(PipelineStage::kCollectTraining,
+                                             concepts[i].value, slots[i].outcome);
+    if (!merged.ok()) return merged;
+    if (!slots[i].outcome.ok) continue;  // Quarantined: excluded from the pool.
+    for (const DroppedInstance& drop : slots[i].payload.drops) {
+      supervisor->health()->RecordDrop(drop);
+    }
+    if (!slots[i].payload.entry.instances.empty()) {
+      data.push_back(std::move(slots[i].payload.entry));
+    }
   }
   return data;
 }
@@ -285,6 +362,26 @@ std::unique_ptr<DpDetector> TrainLinearKpca(const TrainingData& data,
 
 }  // namespace
 
+const char* DetectorKindName(DetectorKind kind) {
+  switch (kind) {
+    case DetectorKind::kAdHoc1:
+      return "ad-hoc-1";
+    case DetectorKind::kAdHoc2:
+      return "ad-hoc-2";
+    case DetectorKind::kAdHoc3:
+      return "ad-hoc-3";
+    case DetectorKind::kAdHoc4:
+      return "ad-hoc-4";
+    case DetectorKind::kSupervised:
+      return "supervised";
+    case DetectorKind::kSemiSupervised:
+      return "semi-supervised";
+    case DetectorKind::kSemiSupervisedMultiTask:
+      return "semi-supervised-multitask";
+  }
+  return "unknown";
+}
+
 std::unique_ptr<DpDetector> TrainDetector(DetectorKind kind, const TrainingData& data,
                                           const DetectorTrainOptions& options) {
   std::vector<LabeledSample> labeled = PoolLabeled(data);
@@ -305,6 +402,64 @@ std::unique_ptr<DpDetector> TrainDetector(DetectorKind kind, const TrainingData&
       return TrainLinearKpca(data, options, /*multitask=*/true);
   }
   return nullptr;
+}
+
+Result<SupervisedTrainResult> TrainDetectorSupervised(
+    DetectorKind kind, const TrainingData& data, const DetectorTrainOptions& options,
+    Supervisor* supervisor) {
+  SupervisedTrainResult result;
+  // No labeled seeds is not a fault: same nullptr contract as TrainDetector,
+  // and the caller decides whether that ends cleaning.
+  if (!HasLabeled(data)) return result;
+
+  std::function<std::unique_ptr<DpDetector>(int)> body = [&](int attempt) {
+    (void)attempt;
+    return TrainDetector(kind, data, options);
+  };
+  std::function<std::string(const std::unique_ptr<DpDetector>&)> validate =
+      [](const std::unique_ptr<DpDetector>& detector) {
+        return detector != nullptr ? std::string()
+                                   : std::string("training produced no detector");
+      };
+  StageOutcome outcome;
+  std::unique_ptr<DpDetector> trained;
+  supervisor->RunGuarded<std::unique_ptr<DpDetector>>(
+      PipelineStage::kDetectorTrain, ComputeFaultPlan::kGlobalScope, body, validate,
+      &trained, &outcome);
+  result.retries = outcome.retries;
+  if (outcome.ok) {
+    result.detector = std::move(trained);
+    return result;
+  }
+
+  // Degrade down the ad-hoc ladder. The fallbacks run unguarded: they are
+  // the last resort, have no numeric fitting to fail, and an injected
+  // persistent train fault must not take them down with the primary.
+  for (DetectorKind fallback : {DetectorKind::kAdHoc3, DetectorKind::kAdHoc1}) {
+    if (fallback == kind) continue;
+    result.detector = TrainDetector(fallback, data, options);
+    if (result.detector != nullptr) {
+      result.fell_back = true;
+      result.detail = std::string(DetectorKindName(kind)) + " failed (" +
+                      outcome.error + "); fell back to " +
+                      DetectorKindName(fallback);
+      supervisor->health()->RecordDetectorFallback(outcome.retries, result.detail);
+      return result;
+    }
+  }
+
+  // Even the ladder failed. Fail-fast mode surfaces the primary error;
+  // quarantine mode records the degradation and returns no detector (the
+  // cleaner stops cleaning, which is the maximal graceful degradation).
+  if (!supervisor->options().quarantine) {
+    return Status::Internal("detector training failed after " +
+                            std::to_string(outcome.retries) +
+                            " retries and no fallback trained: " + outcome.error);
+  }
+  result.detail = std::string(DetectorKindName(kind)) +
+                  " and all fallbacks failed: " + outcome.error;
+  supervisor->health()->RecordDetectorFallback(outcome.retries, result.detail);
+  return result;
 }
 
 }  // namespace semdrift

@@ -12,6 +12,8 @@
 #include "ml/random_forest.h"
 #include "text/ids.h"
 #include "util/rng.h"
+#include "util/status.h"
+#include "util/supervisor.h"
 
 namespace semdrift {
 
@@ -43,6 +45,19 @@ TrainingData CollectTrainingData(const KnowledgeBase& kb, FeatureExtractor* feat
                                  const SeedLabeler& seeds,
                                  const std::vector<ConceptId>& concepts);
 
+/// True when any concept carries at least one seed label.
+bool HasLabeled(const TrainingData& data);
+
+/// CollectTrainingData under supervision: each concept's gather runs in a
+/// StageGuard (deadline + retries + planned faults); instances whose feature
+/// vector contains NaN/Inf are dropped with provenance instead of poisoning
+/// the pool; exhausted concepts are quarantined (or, fail-fast, abort with
+/// the error). With no faults and no failures the result is bit-identical
+/// to CollectTrainingData.
+Result<TrainingData> CollectTrainingDataSupervised(
+    const KnowledgeBase& kb, FeatureExtractor* features, const SeedLabeler& seeds,
+    const std::vector<ConceptId>& concepts, Supervisor* supervisor);
+
 /// The detector family ladder of Table 4.
 enum class DetectorKind {
   kAdHoc1 = 0,  // Threshold on f1 (Property 1).
@@ -67,12 +82,37 @@ struct DetectorTrainOptions {
   uint64_t seed = 7;
 };
 
+/// Short stable name, e.g. "ad-hoc-3", "semi-supervised-multitask".
+const char* DetectorKindName(DetectorKind kind);
+
 /// Trains a detector of the requested kind from `data`. For the ad-hoc and
 /// supervised kinds only the labeled subset is used; the semi-supervised
 /// kinds also consume unlabeled rows. Returns nullptr when `data` contains
 /// no labeled instance at all.
 std::unique_ptr<DpDetector> TrainDetector(DetectorKind kind, const TrainingData& data,
                                           const DetectorTrainOptions& options);
+
+/// What TrainDetectorSupervised produced. `detector` may still be nullptr
+/// when there was nothing to train on (no labeled seeds — same contract as
+/// TrainDetector) or when even the fallback ladder failed.
+struct SupervisedTrainResult {
+  std::unique_ptr<DpDetector> detector;
+  /// The requested kind failed and an ad-hoc fallback was trained instead.
+  bool fell_back = false;
+  int retries = 0;
+  std::string detail;
+};
+
+/// TrainDetector under supervision: the train runs in a StageGuard keyed by
+/// ComputeFaultPlan::kGlobalScope (training pools across concepts — it is a
+/// global stage). A failed or nullptr-producing train is retried, then
+/// degraded down the ad-hoc ladder (kAdHoc3, kAdHoc1) — the simplest
+/// detectors with no numeric fitting to fail — and recorded as a detector
+/// fallback in the health report. Fail-fast mode (quarantine off) returns
+/// the error instead.
+Result<SupervisedTrainResult> TrainDetectorSupervised(
+    DetectorKind kind, const TrainingData& data, const DetectorTrainOptions& options,
+    Supervisor* supervisor);
 
 /// Single-feature threshold detector (the Ad-hoc rows of Table 4): DP when
 /// the feature falls on the learned side of the threshold; DP type decided

@@ -57,11 +57,95 @@ Result<KnowledgeBase> Experiment::ExtractWithCheckpoints(
   return kb;
 }
 
+Result<SupervisedRunResult> RunSupervisedPipeline(
+    IterativeExtractor* extractor, const SentenceStore* sentences,
+    VerifiedSource verified, size_t num_concepts, size_t num_sentences,
+    const std::vector<ConceptId>& scope, const SupervisedRunConfig& config) {
+  SupervisedRunResult result;
+  Supervisor supervisor(config.supervisor, config.faults);
+
+  const bool checkpointing = !config.checkpoint.dir.empty();
+  CheckpointConfig ckpt = config.checkpoint;
+  ckpt.num_concepts = num_concepts;
+  ckpt.num_sentences = num_sentences;
+
+  // Resume peek: a kClean-phase snapshot means extraction already finished —
+  // restore the KB, the stats and the health report (quarantine state) here
+  // and hand the round cursor to the cleaner. kExtract-phase snapshots are
+  // left for RunWithCheckpoints, which owns mid-extraction resume.
+  int resume_round = 0;
+  bool extraction_done = false;
+  if (checkpointing && ckpt.resume) {
+    auto restored = LoadLatestValidCheckpoint(ckpt.dir, num_concepts, num_sentences);
+    if (restored.ok()) {
+      if (restored->state.phase == CheckpointPhase::kClean) {
+        result.kb = std::move(restored->kb);
+        result.stats = std::move(restored->state.stats);
+        *supervisor.health() = restored->state.health;
+        resume_round = restored->state.clean_round;
+        extraction_done = true;
+      }
+    } else if (restored.status().code() != Status::Code::kNotFound) {
+      return restored.status();
+    }
+  }
+
+  if (!extraction_done) {
+    if (checkpointing) {
+      auto stats = RunWithCheckpoints(extractor, &result.kb, ckpt);
+      if (!stats.ok()) return stats.status();
+      result.stats = std::move(*stats);
+    } else {
+      result.stats = extractor->Run(&result.kb);
+    }
+  }
+
+  if (config.clean) {
+    DpCleaner cleaner(sentences, std::move(verified), num_concepts,
+                      config.cleaner);
+    SupervisedCleanHooks hooks;
+    hooks.supervisor = &supervisor;
+    hooks.first_round = resume_round + 1;
+    if (checkpointing) {
+      int last_iteration =
+          result.stats.empty() ? 1 : result.stats.back().iteration;
+      hooks.on_round = [&ckpt, &supervisor, &result,
+                        last_iteration](int round, const KnowledgeBase& kb) {
+        CheckpointState state;
+        state.completed_iteration = std::max(1, last_iteration);
+        state.stats = result.stats;
+        state.records = kb.records();
+        state.phase = CheckpointPhase::kClean;
+        state.clean_round = round;
+        state.health = *supervisor.health();
+        Status s = WriteCheckpoint(ckpt.dir, state);
+        if (!s.ok()) return s;
+        if (ckpt.keep_last > 0) return PruneCheckpoints(ckpt.dir, ckpt.keep_last);
+        return Status::OK();
+      };
+    }
+    auto report = cleaner.CleanSupervised(&result.kb, scope, hooks);
+    if (!report.ok()) return report.status();
+    result.cleaning = std::move(*report);
+  }
+
+  result.health = *supervisor.health();
+  return result;
+}
+
 VerifiedSource Experiment::MakeVerifiedSource() const {
   const World* world = &world_;
   return [world](const IsAPair& pair) {
     return world->IsVerified(pair.concept_id, pair.instance);
   };
+}
+
+Result<SupervisedRunResult> Experiment::RunSupervised(
+    const std::vector<ConceptId>& scope, const SupervisedRunConfig& config) const {
+  IterativeExtractor extractor(&corpus_.sentences, config_.extractor);
+  return RunSupervisedPipeline(&extractor, &corpus_.sentences,
+                               MakeVerifiedSource(), world_.num_concepts(),
+                               corpus_.sentences.size(), scope, config);
 }
 
 std::vector<ConceptId> Experiment::EvalConcepts() const {

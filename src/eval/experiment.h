@@ -7,10 +7,12 @@
 
 #include "corpus/generator.h"
 #include "corpus/world.h"
+#include "dp/cleaner.h"
 #include "eval/ground_truth.h"
 #include "extract/checkpoint.h"
 #include "extract/extractor.h"
 #include "kb/knowledge_base.h"
+#include "util/supervisor.h"
 
 namespace semdrift {
 
@@ -31,6 +33,42 @@ struct ExperimentConfig {
 /// evaluation concepts embedded in a few-hundred-concept universe, scaled by
 /// `scale` (1.0 is the default bench size; tests pass ~0.1).
 ExperimentConfig PaperScaleConfig(double scale = 1.0);
+
+/// Everything a supervised end-to-end run needs beyond the experiment
+/// itself: cleaning configuration, supervision policy, the (normally empty)
+/// fault plan, and optional checkpointing across both phases.
+struct SupervisedRunConfig {
+  CleanerOptions cleaner;
+  SupervisorOptions supervisor;
+  ComputeFaultPlan faults;
+  /// Checkpointing is active when `checkpoint.dir` is non-empty. Extraction
+  /// snapshots every iteration; cleaning snapshots every round (phase =
+  /// kClean), carrying the health report so --resume restores quarantine.
+  CheckpointConfig checkpoint;
+  /// Run DP cleaning after extraction.
+  bool clean = true;
+};
+
+/// What a supervised pipeline run produced.
+struct SupervisedRunResult {
+  KnowledgeBase kb;
+  std::vector<IterationStats> stats;
+  CleaningReport cleaning;
+  RunHealthReport health;
+};
+
+/// Extraction followed by supervised DP cleaning, with optional
+/// checkpoint/resume spanning both phases. On resume, a kClean-phase
+/// snapshot restores the KB, the stats and the health report (quarantine
+/// state included) and continues cleaning at the next round; cleaning
+/// rounds are deterministic functions of KB state, so the resumed run's
+/// final KB is byte-identical to an uninterrupted one. With supervision
+/// enabled and no fault injected the result matches the unsupervised
+/// pipeline bit for bit.
+Result<SupervisedRunResult> RunSupervisedPipeline(
+    IterativeExtractor* extractor, const SentenceStore* sentences,
+    VerifiedSource verified, size_t num_concepts, size_t num_sentences,
+    const std::vector<ConceptId>& scope, const SupervisedRunConfig& config);
 
 class Experiment {
  public:
@@ -57,6 +95,10 @@ class Experiment {
       CheckpointConfig checkpoint, std::vector<IterationStats>* stats = nullptr,
       const std::function<void(const IterationStats&, const KnowledgeBase&)>&
           on_iteration = nullptr) const;
+
+  /// RunSupervisedPipeline over this experiment's corpus and world.
+  Result<SupervisedRunResult> RunSupervised(const std::vector<ConceptId>& scope,
+                                            const SupervisedRunConfig& config) const;
 
   const World& world() const { return world_; }
   const Corpus& corpus() const { return corpus_; }

@@ -14,9 +14,27 @@ namespace semdrift {
 namespace {
 
 constexpr char kCheckpointTag[] = "semdrift-checkpoint";
-constexpr int kCheckpointVersion = 1;
+// v1: extraction-only snapshots (4-field M line). v2 adds phase, cleaning
+// round and health-report lines; v1 files still load (phase = extract).
+constexpr int kCheckpointVersion = 2;
 constexpr char kFilePrefix[] = "checkpoint-";
 constexpr char kFileSuffix[] = ".ckpt";
+
+const char* CheckpointPhaseName(CheckpointPhase phase) {
+  return phase == CheckpointPhase::kClean ? "clean" : "extract";
+}
+
+bool ParseCheckpointPhase(std::string_view name, CheckpointPhase* out) {
+  if (name == "extract") {
+    *out = CheckpointPhase::kExtract;
+    return true;
+  }
+  if (name == "clean") {
+    *out = CheckpointPhase::kClean;
+    return true;
+  }
+  return false;
+}
 
 std::string JoinIds(const std::vector<InstanceId>& ids) {
   if (ids.empty()) return "-";
@@ -60,11 +78,20 @@ std::string CheckpointPath(const std::string& dir, int iteration) {
   return dir + "/" + name;
 }
 
+int CheckpointFileIndex(const CheckpointState& state) {
+  return state.completed_iteration +
+         (state.phase == CheckpointPhase::kClean ? state.clean_round : 0);
+}
+
 Status SaveCheckpoint(const CheckpointState& state, const std::string& path) {
+  std::vector<std::string> health_lines = state.health.ToLines();
   FramedWriter out(path, kCheckpointTag, kCheckpointVersion);
   out.WriteLine("M\t" + std::to_string(state.completed_iteration) + "\t" +
                 std::to_string(state.records.size()) + "\t" +
-                std::to_string(state.stats.size()));
+                std::to_string(state.stats.size()) + "\t" +
+                CheckpointPhaseName(state.phase) + "\t" +
+                std::to_string(state.clean_round) + "\t" +
+                std::to_string(health_lines.size()));
   for (const IterationStats& s : state.stats) {
     out.WriteLine("T\t" + std::to_string(s.iteration) + "\t" +
                   std::to_string(s.extractions) + "\t" +
@@ -80,6 +107,7 @@ Status SaveCheckpoint(const CheckpointState& state, const std::string& path) {
                   (r.rolled_back ? "1" : "0") + "\t" + JoinIds(r.instances) +
                   "\t" + JoinIds(r.triggers));
   }
+  for (const std::string& line : health_lines) out.WriteLine(line);
   return out.Close();
 }
 
@@ -90,36 +118,54 @@ Result<CheckpointState> LoadCheckpoint(const std::string& path) {
                                /*min_checksum_version=*/1);
   if (!framed.ok()) return framed.status();
   if (framed->truncated) {
-    return Status::DataLoss(path + ": truncated checkpoint (missing footer)");
+    return Status::DataLoss(path + ": truncated checkpoint (missing footer) at byte offset " +
+                            std::to_string(framed->bytes_read));
   }
   if (!framed->checksum_ok) {
-    return Status::DataLoss(path + ": checksum mismatch");
+    return Status::DataLoss(path + ": checksum mismatch over " +
+                            std::to_string(framed->bytes_read) + " bytes (byte offset 0)");
   }
 
   auto fail = [&](size_t index, const std::string& why) {
     return Status::DataLoss(path + ":" +
-                            std::to_string(framed->line_numbers[index]) + ": " + why);
+                            std::to_string(framed->line_numbers[index]) +
+                            " (byte offset " +
+                            std::to_string(framed->line_offsets[index]) + "): " + why);
   };
 
   if (framed->lines.empty()) return Status::DataLoss(path + ": missing meta line");
   CheckpointState state;
   uint64_t num_records = 0;
   uint64_t num_stats = 0;
+  uint64_t num_health = 0;
   {
     std::vector<std::string> fields = Split(framed->lines[0], '\t');
     int64_t completed = 0;
-    if (fields.size() != 4 || fields[0] != "M" ||
+    // v1 meta line: M <iter> <records> <stats>. v2 appends <phase>
+    // <clean_round> <health-line count>.
+    size_t expected_fields = framed->version >= 2 ? 7 : 4;
+    int64_t clean_round = 0;
+    if (fields.size() != expected_fields || fields[0] != "M" ||
         !ParseIntInRange(fields[1], 1, 1000000, &completed) ||
         !ParseUint64(fields[2], &num_records) ||
-        !ParseUint64(fields[3], &num_stats)) {
+        !ParseUint64(fields[3], &num_stats) ||
+        (framed->version >= 2 &&
+         (!ParseCheckpointPhase(fields[4], &state.phase) ||
+          !ParseIntInRange(fields[5], 0, 1000000, &clean_round) ||
+          !ParseUint64(fields[6], &num_health)))) {
       return fail(0, "malformed meta line");
     }
     state.completed_iteration = static_cast<int>(completed);
+    state.clean_round = static_cast<int>(clean_round);
+    if (state.phase == CheckpointPhase::kExtract && state.clean_round != 0) {
+      return fail(0, "extract-phase checkpoint claims a cleaning round");
+    }
   }
   // Compare without arithmetic on the untrusted counts (overflow-safe):
-  // lines.size() >= 1 here, so the subtraction below cannot underflow.
+  // lines.size() >= 1 here, so the subtractions below cannot underflow.
   if (num_stats > framed->lines.size() - 1 ||
-      framed->lines.size() - 1 - num_stats != num_records) {
+      num_records > framed->lines.size() - 1 - num_stats ||
+      framed->lines.size() - 1 - num_stats - num_records != num_health) {
     return Status::DataLoss(path + ": line count disagrees with meta line");
   }
 
@@ -169,6 +215,15 @@ Result<CheckpointState> LoadCheckpoint(const std::string& path) {
     r.rolled_back = fields[4] == "1";
     state.records.push_back(std::move(r));
   }
+
+  for (size_t i = 0; i < num_health; ++i) {
+    size_t index = 1 + num_stats + num_records + i;
+    Status merged = state.health.MergeLine(
+        framed->lines[index],
+        path + ":" + std::to_string(framed->line_numbers[index]) +
+            " (byte offset " + std::to_string(framed->line_offsets[index]) + ")");
+    if (!merged.ok()) return merged;
+  }
   return state;
 }
 
@@ -176,7 +231,7 @@ Status WriteCheckpoint(const std::string& dir, const CheckpointState& state) {
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
   if (ec) return Status::IOError("cannot create " + dir + ": " + ec.message());
-  std::string final_path = CheckpointPath(dir, state.completed_iteration);
+  std::string final_path = CheckpointPath(dir, CheckpointFileIndex(state));
   std::string tmp_path = final_path + ".tmp";
   Status s = SaveCheckpoint(state, tmp_path);
   if (!s.ok()) return s;
@@ -271,6 +326,9 @@ Result<std::vector<IterationStats>> RunWithCheckpoints(
       first_iteration = restored->state.completed_iteration + 1;
       SD_LOG(kInfo) << "checkpoint: resuming after iteration "
                     << restored->state.completed_iteration;
+      // A cleaning-phase snapshot means extraction already finished; the
+      // caller resumes cleaning from state.clean_round instead.
+      if (restored->state.phase == CheckpointPhase::kClean) return stats;
       // The interrupted run may already have reached its fixpoint or cap.
       if (!stats.empty() && stats.back().extractions == 0 &&
           stats.back().iteration > 1) {

@@ -8,6 +8,7 @@
 #include "extract/extractor.h"
 #include "kb/knowledge_base.h"
 #include "util/status.h"
+#include "util/supervisor.h"
 
 namespace semdrift {
 
@@ -30,8 +31,20 @@ namespace semdrift {
 /// checkpoint that *is* damaged anyway (checksum/replay/validation failure)
 /// is skipped and the previous one is used.
 
+/// Which half of the pipeline a snapshot belongs to. Format v2 snapshots
+/// carry the phase (and, for kClean, the completed round plus the run's
+/// health report) so a resume lands exactly where the crash happened —
+/// including restored quarantine state. v1 files load as kExtract.
+enum class CheckpointPhase {
+  /// Mid-extraction: `completed_iteration` extraction iterations applied.
+  kExtract = 0,
+  /// Mid-cleaning: extraction finished, `clean_round` cleaning rounds
+  /// applied on top.
+  kClean,
+};
+
 /// One snapshot: everything needed to continue the run after
-/// `completed_iteration`.
+/// `completed_iteration` (and, in the kClean phase, `clean_round`).
 struct CheckpointState {
   /// The last iteration fully applied to the records.
   int completed_iteration = 0;
@@ -39,7 +52,21 @@ struct CheckpointState {
   std::vector<IterationStats> stats;
   /// The KB's provenance log (KnowledgeBase::records()).
   std::vector<ExtractionRecord> records;
+  CheckpointPhase phase = CheckpointPhase::kExtract;
+  /// Cleaning rounds completed (kClean phase only).
+  int clean_round = 0;
+  /// Supervision outcomes so far — quarantined/degraded concepts survive a
+  /// crash and stay excluded/flagged after --resume. Empty when the run is
+  /// unsupervised.
+  RunHealthReport health;
 };
+
+/// The file index a snapshot is stored under: extraction snapshots use their
+/// iteration; cleaning snapshots continue the sequence at
+/// `completed_iteration + clean_round` (collision-free — extraction stopped
+/// before ever producing that index, and newest-valid-wins ordering keeps
+/// working across the phase boundary).
+int CheckpointFileIndex(const CheckpointState& state);
 
 /// Serializes one snapshot to `path` (not atomic — use WriteCheckpoint for
 /// the rename dance). Exposed for tests.
@@ -99,7 +126,9 @@ struct CheckpointConfig {
 /// the iteration cap. `kb` must be empty unless resuming restored into it.
 /// Produces byte-identical extraction state to an uninterrupted Run —
 /// that equivalence is what makes mid-run kills recoverable without
-/// touching Table 1/2 numbers.
+/// touching Table 1/2 numbers. A restored kClean-phase snapshot returns its
+/// stats immediately (extraction is already complete; the caller resumes
+/// cleaning from `state.clean_round`).
 Result<std::vector<IterationStats>> RunWithCheckpoints(
     IterativeExtractor* extractor, KnowledgeBase* kb,
     const CheckpointConfig& config,

@@ -10,6 +10,9 @@ bool KernelPca::Fit(const Matrix& x, const KpcaOptions& options) {
   size_t n = x.rows();
   size_t d = x.cols();
   if (n < 2 || d == 0) return false;
+  // A single NaN would propagate through standardization into every kernel
+  // entry; reject up front so the caller's fallback path can take over.
+  if (!x.AllFinite()) return false;
 
   // Standardization statistics.
   feature_mean_.assign(d, 0.0);

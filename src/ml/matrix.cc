@@ -87,6 +87,13 @@ double Matrix::MaxAbsDiff(const Matrix& other) const {
   return m;
 }
 
+bool Matrix::AllFinite() const {
+  for (double v : data_) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
 namespace {
 
 /// In-place Cholesky factorization: lower triangle of `a` becomes L with

@@ -62,6 +62,11 @@ class Matrix {
   /// Max |a_ij - b_ij|; utility for tests.
   double MaxAbsDiff(const Matrix& other) const;
 
+  /// True when every entry is finite (no NaN / +-Inf). Fit routines reject
+  /// non-finite input up front: one poisoned entry would silently spread
+  /// through a whole kernel matrix or forest.
+  bool AllFinite() const;
+
  private:
   size_t rows_ = 0;
   size_t cols_ = 0;

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "util/cancellation.h"
 #include "util/thread_pool.h"
 
 namespace semdrift {
@@ -30,11 +31,17 @@ std::vector<double> TeleportingWalk(const std::vector<size_t>& offsets,
                                     const std::vector<double>& weights,
                                     const std::vector<double>& out_degrees,
                                     const std::vector<double>& restart,
-                                    const WalkParams& params) {
+                                    const WalkParams& params,
+                                    WalkOutcome* outcome) {
   size_t n = out_degrees.size();
   std::vector<double> p = restart;
   std::vector<double> next(n, 0.0);
+  bool converged = (n == 0);  // Nothing to converge on an empty graph.
+  int iterations = 0;
   for (int iter = 0; iter < params.max_iterations; ++iter) {
+    // Cooperative cancellation: one poll per power iteration is the
+    // granularity at which a supervised deadline can stop a runaway walk.
+    PollCancellation("teleporting walk");
     std::fill(next.begin(), next.end(), 0.0);
     double dangling = 0.0;
     for (size_t i = 0; i < n; ++i) {
@@ -56,13 +63,22 @@ std::vector<double> TeleportingWalk(const std::vector<size_t>& offsets,
       next[i] = value;
     }
     p.swap(next);
-    if (l1 < params.tolerance) break;
+    iterations = iter + 1;
+    if (l1 < params.tolerance) {
+      converged = true;
+      break;
+    }
+  }
+  if (outcome != nullptr) {
+    outcome->converged = converged;
+    outcome->iterations = iterations;
   }
   return p;
 }
 
 std::vector<double> RandomWalkScores(const ConceptGraph& graph,
-                                     const WalkParams& params) {
+                                     const WalkParams& params,
+                                     WalkOutcome* outcome) {
   std::vector<double> restart = graph.root_weights();
   double total = std::accumulate(restart.begin(), restart.end(), 0.0);
   if (total <= 0.0) {
@@ -73,11 +89,13 @@ std::vector<double> RandomWalkScores(const ConceptGraph& graph,
   }
   // The walk consumes the graph's own CSR arrays — no per-call copy.
   return TeleportingWalk(graph.edge_offsets(), graph.edge_targets(),
-                         graph.edge_weights(), graph.out_degrees(), restart, params);
+                         graph.edge_weights(), graph.out_degrees(), restart, params,
+                         outcome);
 }
 
 std::vector<double> PageRankScores(const ConceptGraph& graph,
-                                   const WalkParams& params) {
+                                   const WalkParams& params,
+                                   WalkOutcome* outcome) {
   size_t n = graph.num_nodes();
   // Undirected: symmetrize the edge set (the paper's PageRank baseline uses
   // the same graph with undirected edges and uniform teleportation). Rows
@@ -106,20 +124,21 @@ std::vector<double> PageRankScores(const ConceptGraph& graph,
     }
   }
   std::vector<double> restart(n, n ? 1.0 / n : 0.0);
-  return TeleportingWalk(offsets, targets, weights, out_degrees, restart, params);
+  return TeleportingWalk(offsets, targets, weights, out_degrees, restart, params,
+                         outcome);
 }
 
 }  // namespace
 
 std::vector<double> ScoreGraph(const ConceptGraph& graph, RankModel model,
-                               const WalkParams& params) {
+                               const WalkParams& params, WalkOutcome* outcome) {
   switch (model) {
     case RankModel::kFrequency:
       return FrequencyScores(graph);
     case RankModel::kPageRank:
-      return PageRankScores(graph, params);
+      return PageRankScores(graph, params, outcome);
     case RankModel::kRandomWalk:
-      return RandomWalkScores(graph, params);
+      return RandomWalkScores(graph, params, outcome);
   }
   return {};
 }
@@ -132,6 +151,35 @@ std::unordered_map<InstanceId, double> ScoreConcept(const KnowledgeBase& kb,
   std::unordered_map<InstanceId, double> out;
   out.reserve(scores.size());
   for (size_t i = 0; i < scores.size(); ++i) out.emplace(graph.node(i), scores[i]);
+  return out;
+}
+
+ConceptScores ScoreConceptChecked(const KnowledgeBase& kb, ConceptId c,
+                                  RankModel model, const WalkParams& params) {
+  ConceptGraph graph = ConceptGraph::Build(kb, c);
+  WalkOutcome walk;
+  std::vector<double> scores = ScoreGraph(graph, model, params, &walk);
+  ConceptScores out;
+  out.converged = walk.converged;
+  out.iterations = walk.iterations;
+  if (!walk.converged) {
+    // Only a non-converged vector gets sanitized: it can carry overshoot or
+    // non-finite junk. A converged result is returned untouched, keeping the
+    // checked path bit-identical to ScoreConcept when nothing went wrong.
+    for (double& s : scores) {
+      if (!(s == s) || s - s != 0.0) {
+        s = 0.0;  // NaN / +-Inf.
+      } else if (s < 0.0) {
+        s = 0.0;
+      } else if (s > 1.0) {
+        s = 1.0;
+      }
+    }
+  }
+  out.scores.reserve(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    out.scores.emplace(graph.node(i), scores[i]);
+  }
   return out;
 }
 
@@ -182,6 +230,13 @@ void ScoreCache::Warm(const std::vector<ConceptId>& concepts) {
                    std::make_unique<std::unordered_map<InstanceId, double>>(
                        std::move(computed[i])));
   }
+}
+
+void ScoreCache::Insert(ConceptId c, std::unordered_map<InstanceId, double> scores) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // emplace is first-insert-wins: an already-cached concept keeps its map.
+  cache_.emplace(c.value, std::make_unique<std::unordered_map<InstanceId, double>>(
+                              std::move(scores)));
 }
 
 }  // namespace semdrift

@@ -33,6 +33,13 @@ struct WalkParams {
   int max_iterations = 200;
 };
 
+/// Convergence telemetry from a power-iteration walk. The frequency model
+/// trivially "converges" (no iteration happens).
+struct WalkOutcome {
+  bool converged = true;
+  int iterations = 0;
+};
+
 /// Scores every live instance of a concept under one model. Scores are
 /// normalized to sum to 1 over the concept (they are visit probabilities
 /// for the walk models; frequency is normalized for comparability).
@@ -41,9 +48,26 @@ std::unordered_map<InstanceId, double> ScoreConcept(const KnowledgeBase& kb,
                                                     const WalkParams& params = {});
 
 /// Same, but over an already-built graph (used by benches that reuse one
-/// graph across models).
+/// graph across models). `outcome`, when given, reports convergence.
 std::vector<double> ScoreGraph(const ConceptGraph& graph, RankModel model,
-                               const WalkParams& params = {});
+                               const WalkParams& params = {},
+                               WalkOutcome* outcome = nullptr);
+
+/// ScoreConcept plus convergence telemetry and graceful degradation for the
+/// supervised pipeline.
+struct ConceptScores {
+  std::unordered_map<InstanceId, double> scores;
+  bool converged = true;
+  int iterations = 0;
+};
+
+/// Like ScoreConcept, but reports convergence and sanitizes a *non-converged*
+/// result: non-finite entries are zeroed and the rest clamped into [0, 1], so
+/// a degraded concept still yields usable (capped) scores instead of
+/// poisoning downstream features. A converged result is passed through
+/// untouched — on the happy path this is bit-identical to ScoreConcept.
+ConceptScores ScoreConceptChecked(const KnowledgeBase& kb, ConceptId c,
+                                  RankModel model, const WalkParams& params = {});
 
 /// Lazy per-concept score cache. The DP features (f3, f4) and the
 /// Intentional-DP sentence check (Eq. 21) query scores for many (concept,
@@ -76,6 +100,11 @@ class ScoreCache {
   /// over the global thread pool. Already-cached concepts are skipped. The
   /// resulting cache state is bit-identical for every thread count.
   void Warm(const std::vector<ConceptId>& concepts);
+
+  /// Inserts a precomputed score map; first insert wins (a concept already
+  /// cached is left untouched). Lets the supervised pipeline warm the cache
+  /// one guarded concept at a time with checked (possibly degraded) results.
+  void Insert(ConceptId c, std::unordered_map<InstanceId, double> scores);
 
  private:
   const KnowledgeBase* kb_;

@@ -1,0 +1,27 @@
+#include "util/cancellation.h"
+
+namespace semdrift {
+
+namespace {
+
+thread_local const CancellationToken* t_current_token = nullptr;
+
+}  // namespace
+
+const CancellationToken* CancellationToken::Current() { return t_current_token; }
+
+ScopedCancellation::ScopedCancellation(const CancellationToken* token)
+    : previous_(t_current_token) {
+  t_current_token = token;
+}
+
+ScopedCancellation::~ScopedCancellation() { t_current_token = previous_; }
+
+void PollCancellation(const char* where) {
+  const CancellationToken* token = t_current_token;
+  if (token == nullptr || !token->ShouldStop()) return;
+  throw StageCancelledError(std::string("cancelled in ") + where +
+                            " (deadline exceeded or stage cancelled)");
+}
+
+}  // namespace semdrift

@@ -1,7 +1,11 @@
 #include "util/fault_injection.h"
 
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <system_error>
 
 namespace semdrift {
 
@@ -43,6 +47,20 @@ std::string GarbageBytes(Rng* rng, size_t n) {
   return out;
 }
 
+/// SplitMix64 finalizer; decorrelates (seed, key) pairs for the fault plan's
+/// per-concept decisions without pulling in the thread-pool header.
+uint64_t MixSeed(uint64_t seed, uint64_t key) {
+  uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (key + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Uniform double in [0, 1) from a mixed hash (53-bit mantissa fill).
+double MixToUnit(uint64_t mixed) {
+  return static_cast<double>(mixed >> 11) * 0x1.0p-53;
+}
+
 }  // namespace
 
 const char* FaultKindName(FaultKind kind) {
@@ -59,6 +77,8 @@ const char* FaultKindName(FaultKind kind) {
       return "garbage-line";
     case FaultKind::kSpliceGarbage:
       return "splice-garbage";
+    case FaultKind::kZeroFill:
+      return "zero-fill";
   }
   return "unknown";
 }
@@ -66,7 +86,8 @@ const char* FaultKindName(FaultKind kind) {
 std::vector<FaultKind> AllFaultKinds() {
   return {FaultKind::kTruncate,       FaultKind::kFlipBytes,
           FaultKind::kDropLine,       FaultKind::kDuplicateLine,
-          FaultKind::kGarbageLine,    FaultKind::kSpliceGarbage};
+          FaultKind::kGarbageLine,    FaultKind::kSpliceGarbage,
+          FaultKind::kZeroFill};
 }
 
 std::string FaultInjector::Corrupt(const std::string& content, FaultKind kind) {
@@ -127,6 +148,18 @@ std::string FaultInjector::Corrupt(const std::string& content, FaultKind kind) {
       out.insert(pos, garbage);
       return out;
     }
+    case FaultKind::kZeroFill: {
+      // Zero a random range, length preserved: the shape a crashed ext4
+      // delayed-allocation write comes back in after journal replay. Range
+      // length is capped at a "page" so most of the file stays intact (the
+      // interesting case: damage embedded in otherwise-valid content).
+      std::string out = content;
+      size_t pos = static_cast<size_t>(rng_.NextBounded(out.size()));
+      size_t max_len = std::min<size_t>(out.size() - pos, 4096);
+      size_t len = 1 + static_cast<size_t>(rng_.NextBounded(max_len));
+      for (size_t i = pos; i < pos + len; ++i) out[i] = '\0';
+      return out;
+    }
   }
   return content;
 }
@@ -146,13 +179,122 @@ Status FaultInjector::CorruptFile(const std::string& in_path,
   return WriteStringToFile(Corrupt(*content, kind), out_path);
 }
 
+const char* PipelineStageName(PipelineStage stage) {
+  switch (stage) {
+    case PipelineStage::kScoreWarm:
+      return "warm";
+    case PipelineStage::kCollectTraining:
+      return "collect";
+    case PipelineStage::kDetectorTrain:
+      return "train";
+    case PipelineStage::kDetectorScore:
+      return "score";
+  }
+  return "unknown";
+}
+
+bool ParsePipelineStage(std::string_view name, PipelineStage* out) {
+  for (PipelineStage stage :
+       {PipelineStage::kScoreWarm, PipelineStage::kCollectTraining,
+        PipelineStage::kDetectorTrain, PipelineStage::kDetectorScore}) {
+    if (name == PipelineStageName(stage)) {
+      *out = stage;
+      return true;
+    }
+  }
+  return false;
+}
+
+const char* ComputeFaultKindName(ComputeFaultKind kind) {
+  switch (kind) {
+    case ComputeFaultKind::kThrow:
+      return "throw";
+    case ComputeFaultKind::kStall:
+      return "stall";
+    case ComputeFaultKind::kNanEmit:
+      return "nan";
+  }
+  return "unknown";
+}
+
+bool ParseComputeFaultKind(std::string_view name, ComputeFaultKind* out) {
+  for (ComputeFaultKind kind : AllComputeFaultKinds()) {
+    if (name == ComputeFaultKindName(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<ComputeFaultKind> AllComputeFaultKinds() {
+  return {ComputeFaultKind::kThrow, ComputeFaultKind::kStall,
+          ComputeFaultKind::kNanEmit};
+}
+
+bool ComputeFaultPlan::ConceptFaulted(uint32_t concept_id) const {
+  if (rate <= 0.0) return false;
+  if (rate >= 1.0) return true;
+  return MixToUnit(MixSeed(seed, concept_id)) < rate;
+}
+
+std::optional<ComputeFaultKind> ComputeFaultPlan::FaultFor(PipelineStage stage,
+                                                           uint32_t concept_id,
+                                                           int attempt) const {
+  if (!ConceptFaulted(concept_id) || kinds.empty()) return std::nullopt;
+  bool stage_targeted = false;
+  for (PipelineStage s : stages) stage_targeted |= (s == stage);
+  if (!stage_targeted) return std::nullopt;
+  if (transient_attempts > 0 && attempt >= transient_attempts) return std::nullopt;
+  // Kind is a pure function of (seed, concept_id) so every attempt and every
+  // stage sees the same flavor — the fault is a property of the concept.
+  uint64_t pick = MixSeed(seed ^ 0xc2b2ae3d27d4eb4fULL, concept_id);
+  return kinds[pick % kinds.size()];
+}
+
+std::vector<uint32_t> ComputeFaultPlan::FaultedAmong(
+    const std::vector<uint32_t>& universe) const {
+  std::vector<uint32_t> out;
+  for (uint32_t concept_id : universe) {
+    if (ConceptFaulted(concept_id)) out.push_back(concept_id);
+  }
+  return out;
+}
+
 Result<std::string> ReadFileToString(const std::string& path) {
+  // Reject non-regular files up front: reading a directory, FIFO or device
+  // node either blocks forever or yields bytes that are not "the file's
+  // contents" — and a FIFO read that drains early looks exactly like a
+  // silently-truncated load.
+  std::error_code ec;
+  std::filesystem::file_status st = std::filesystem::status(path, ec);
+  if (ec) return Status::IOError("cannot stat " + path + ": " + ec.message());
+  if (!std::filesystem::is_regular_file(st)) {
+    return Status::DataLoss(path + ": not a regular file (refusing partial read)");
+  }
+  uintmax_t size_before = std::filesystem::file_size(path, ec);
+  if (ec) return Status::IOError("cannot stat " + path + ": " + ec.message());
+
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open " + path);
   std::ostringstream buffer;
   buffer << in.rdbuf();
   if (in.bad()) return Status::IOError("read failed for " + path);
-  return buffer.str();
+  std::string content = buffer.str();
+
+  // A size change between stat and read-completion means a writer raced us:
+  // the bytes we hold are some interleaving of old and new content, not any
+  // version that ever existed on disk. Refuse rather than return a torn view.
+  uintmax_t size_after = std::filesystem::file_size(path, ec);
+  if (ec) return Status::IOError("cannot stat " + path + ": " + ec.message());
+  if (content.size() != size_before || size_after != size_before) {
+    return Status::DataLoss(
+        path + ": size changed mid-read (expected " + std::to_string(size_before) +
+        " bytes, read " + std::to_string(content.size()) + ", now " +
+        std::to_string(size_after) + " at byte offset " +
+        std::to_string(std::min<uintmax_t>(content.size(), size_before)) + ")");
+  }
+  return content;
 }
 
 Status WriteStringToFile(const std::string& content, const std::string& path) {

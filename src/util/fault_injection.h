@@ -1,7 +1,9 @@
 #ifndef SEMDRIFT_UTIL_FAULT_INJECTION_H_
 #define SEMDRIFT_UTIL_FAULT_INJECTION_H_
 
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/rng.h"
@@ -27,6 +29,10 @@ enum class FaultKind {
   /// Splice random binary garbage into the middle of a random line
   /// (field-level corruption: numbers become junk, tabs disappear).
   kSpliceGarbage,
+  /// Overwrite a random byte range with zeros, length preserved — the
+  /// classic ext4 journal-replay artifact after a crash (delayed-allocation
+  /// blocks come back as zero pages).
+  kZeroFill,
 };
 
 /// Human-readable name, e.g. "truncate"; used in fuzz-load reports.
@@ -58,7 +64,83 @@ class FaultInjector {
   Rng rng_;
 };
 
-/// Reads a whole file into a string. Shared by the injector and tests.
+/// Pipeline stages the supervision layer guards (util/supervisor.h). Shared
+/// with the compute-fault plan below so injected faults are keyed by
+/// stage x concept x seed. Values are stable: they are persisted in
+/// checkpoint health lines.
+enum class PipelineStage {
+  /// ScoreCache::Warm — one RWR graph build + walk per concept.
+  kScoreWarm = 0,
+  /// CollectTrainingData — per-concept feature extraction + seed labels.
+  kCollectTraining,
+  /// Detector training (a global stage, not per-concept).
+  kDetectorTrain,
+  /// Per-concept classification of live instances.
+  kDetectorScore,
+};
+
+/// Short stable name ("warm", "collect", "train", "score") used in health
+/// reports, checkpoint lines and the CLI's --fault-stages flag.
+const char* PipelineStageName(PipelineStage stage);
+bool ParsePipelineStage(std::string_view name, PipelineStage* out);
+
+/// Compute-fault flavors the supervisor can inject inside a guarded stage.
+enum class ComputeFaultKind {
+  /// The stage body throws.
+  kThrow = 0,
+  /// The stage body spins (polling cancellation) until its deadline fires.
+  kStall,
+  /// The stage emits NaN into its output, exercising output validation or
+  /// the drop-instance-with-provenance path.
+  kNanEmit,
+};
+
+const char* ComputeFaultKindName(ComputeFaultKind kind);
+bool ParseComputeFaultKind(std::string_view name, ComputeFaultKind* out);
+std::vector<ComputeFaultKind> AllComputeFaultKinds();
+
+/// Seeded plan deciding which concepts suffer which compute fault at which
+/// stage. Purely functional in (seed, stage, concept_id, attempt): the same
+/// plan makes the same decisions at any thread count and on any resumed run,
+/// which is what lets the quarantine tests demand *exactly* the planned
+/// concepts fail.
+struct ComputeFaultPlan {
+  /// Sentinel "concept" for global (non-per-concept) stages like detector
+  /// training.
+  static constexpr uint32_t kGlobalScope = 0xfffffffeu;
+
+  uint64_t seed = 0;
+  /// Fraction of concepts faulted (hash-thresholded per concept). 0 = off.
+  double rate = 0.0;
+  /// Fault flavor per faulted concept is drawn from this set (seeded).
+  std::vector<ComputeFaultKind> kinds = AllComputeFaultKinds();
+  /// Stages where faults fire. Defaults to the first per-concept stage so a
+  /// faulted concept is quarantined before any later stage sees it.
+  std::vector<PipelineStage> stages = {PipelineStage::kScoreWarm};
+  /// When > 0, a fault clears after this many failed attempts (a transient
+  /// fault: attempt `transient_attempts` succeeds, exercising the retry
+  /// path). 0 = the fault is persistent and retries exhaust.
+  int transient_attempts = 0;
+
+  bool enabled() const { return rate > 0.0; }
+
+  /// Whether this plan faults `concept` at all (independent of stage).
+  bool ConceptFaulted(uint32_t concept_id) const;
+
+  /// The fault to inject for this (stage, concept_id, attempt), if any.
+  std::optional<ComputeFaultKind> FaultFor(PipelineStage stage, uint32_t concept_id,
+                                           int attempt) const;
+
+  /// All faulted concepts among `universe`, in input order (test helper).
+  std::vector<uint32_t> FaultedAmong(const std::vector<uint32_t>& universe) const;
+};
+
+/// Reads a whole regular file into a string. Shared by the injector, the
+/// loaders' tests and the CLI. Hardened against partial loads: non-regular
+/// files (directories, FIFOs, device nodes) are rejected, and a file whose
+/// size changes between stat and read-completion (a concurrent writer — the
+/// bytes are some interleaving, not any consistent version) fails with
+/// kDataLoss rather than returning a silently-partial or torn view.
 Result<std::string> ReadFileToString(const std::string& path);
 
 /// Writes a string to a file, replacing it.

@@ -60,6 +60,7 @@ Result<FramedFile> ReadFramedFile(const std::string& path, std::string_view tag,
   Crc32 crc;
   std::string line;
   size_t line_number = 0;
+  size_t offset = 0;
 
   if (!std::getline(in, line)) {
     return Status::InvalidArgument(path + ": empty file, expected '" +
@@ -78,10 +79,13 @@ Result<FramedFile> ReadFramedFile(const std::string& path, std::string_view tag,
   file.version = static_cast<int>(version);
   crc.Update(line);
   crc.Update("\n");
+  offset += line.size() + 1;
 
   bool saw_footer = false;
   while (std::getline(in, line)) {
     ++line_number;
+    size_t line_offset = offset;
+    offset += line.size() + 1;
     if (StartsWith(line, kFooterPrefix)) {
       file.checksum_present = true;
       uint64_t stored = 0;
@@ -114,8 +118,10 @@ Result<FramedFile> ReadFramedFile(const std::string& path, std::string_view tag,
     if (line.empty()) continue;
     file.lines.push_back(line);
     file.line_numbers.push_back(line_number);
+    file.line_offsets.push_back(line_offset);
   }
   if (in.bad()) return Status::IOError("read failed for " + path);
+  file.bytes_read = offset;
   if (file.version >= min_checksum_version && !saw_footer) file.truncated = true;
   return file;
 }

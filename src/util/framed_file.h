@@ -57,6 +57,11 @@ struct FramedFile {
   std::vector<std::string> lines;
   /// 1-based file line number of each payload line (header is line 1).
   std::vector<size_t> line_numbers;
+  /// Byte offset of each payload line's first byte, for kDataLoss messages
+  /// that pinpoint where in the file the bad bytes live.
+  std::vector<size_t> line_offsets;
+  /// Total payload bytes consumed (= byte offset where reading stopped).
+  size_t bytes_read = 0;
   /// A `#crc32` footer line was present.
   bool checksum_present = false;
   /// Footer present and matching the preceding bytes.

@@ -1,0 +1,257 @@
+#include "util/supervisor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "util/string_util.h"
+
+namespace semdrift {
+
+namespace {
+
+/// Tabs and newlines would break the line-oriented checkpoint format; a
+/// detail string is human-facing only, so flattening them is lossless for
+/// the machine contract.
+std::string Sanitize(const std::string& detail) {
+  std::string out = detail;
+  for (char& c : out) {
+    if (c == '\t' || c == '\n' || c == '\r') c = ' ';
+  }
+  return out;
+}
+
+int OutcomeRank(ConceptOutcome outcome) { return static_cast<int>(outcome); }
+
+}  // namespace
+
+const char* ConceptOutcomeName(ConceptOutcome outcome) {
+  switch (outcome) {
+    case ConceptOutcome::kOk:
+      return "ok";
+    case ConceptOutcome::kRetried:
+      return "retried";
+    case ConceptOutcome::kDegraded:
+      return "degraded";
+    case ConceptOutcome::kQuarantined:
+      return "quarantined";
+  }
+  return "unknown";
+}
+
+bool ParseConceptOutcome(std::string_view name, ConceptOutcome* out) {
+  for (ConceptOutcome outcome :
+       {ConceptOutcome::kOk, ConceptOutcome::kRetried, ConceptOutcome::kDegraded,
+        ConceptOutcome::kQuarantined}) {
+    if (name == ConceptOutcomeName(outcome)) {
+      *out = outcome;
+      return true;
+    }
+  }
+  return false;
+}
+
+void RunHealthReport::Record(uint32_t concept_id, ConceptOutcome outcome, int retries,
+                             PipelineStage stage, const std::string& detail) {
+  if (outcome == ConceptOutcome::kOk) return;  // Absence means healthy.
+  auto it = concepts_.find(concept_id);
+  if (it == concepts_.end()) {
+    concepts_.emplace(concept_id, ConceptHealth{concept_id, outcome, retries, stage,
+                                             Sanitize(detail)});
+    return;
+  }
+  ConceptHealth& entry = it->second;
+  entry.retries = std::max(entry.retries, retries);
+  if (OutcomeRank(outcome) > OutcomeRank(entry.outcome)) {
+    entry.outcome = outcome;
+    entry.stage = stage;
+    entry.detail = Sanitize(detail);
+  }
+}
+
+void RunHealthReport::RecordDrop(const DroppedInstance& drop) {
+  drops_.emplace(std::make_tuple(drop.concept_id, drop.instance,
+                                 static_cast<int>(drop.stage)),
+                 Sanitize(drop.reason));
+  Record(drop.concept_id, ConceptOutcome::kDegraded, 0, drop.stage,
+         "dropped instance " + std::to_string(drop.instance) + ": " + drop.reason);
+}
+
+void RunHealthReport::RecordDetectorFallback(int retries, const std::string& detail) {
+  detector_fallback_ = true;
+  detector_retries_ = std::max(detector_retries_, retries);
+  if (detector_detail_.empty()) detector_detail_ = Sanitize(detail);
+}
+
+bool RunHealthReport::IsQuarantined(uint32_t concept_id) const {
+  auto it = concepts_.find(concept_id);
+  return it != concepts_.end() && it->second.outcome == ConceptOutcome::kQuarantined;
+}
+
+std::vector<uint32_t> RunHealthReport::Quarantined() const {
+  std::vector<uint32_t> out;
+  for (const auto& [concept_id, entry] : concepts_) {
+    if (entry.outcome == ConceptOutcome::kQuarantined) out.push_back(concept_id);
+  }
+  return out;
+}
+
+size_t RunHealthReport::CountWithOutcome(ConceptOutcome outcome) const {
+  size_t n = 0;
+  for (const auto& [concept_id, entry] : concepts_) {
+    (void)concept_id;
+    if (entry.outcome == outcome) ++n;
+  }
+  return n;
+}
+
+std::vector<std::string> RunHealthReport::ToLines() const {
+  std::vector<std::string> lines;
+  for (const auto& [concept_id, entry] : concepts_) {
+    lines.push_back("H\t" + std::to_string(concept_id) + "\t" +
+                    ConceptOutcomeName(entry.outcome) + "\t" +
+                    std::to_string(entry.retries) + "\t" +
+                    PipelineStageName(entry.stage) + "\t" + entry.detail);
+  }
+  for (const auto& [key, reason] : drops_) {
+    lines.push_back("D\t" + std::to_string(std::get<0>(key)) + "\t" +
+                    std::to_string(std::get<1>(key)) + "\t" +
+                    PipelineStageName(static_cast<PipelineStage>(std::get<2>(key))) +
+                    "\t" + reason);
+  }
+  if (detector_fallback_) {
+    lines.push_back("F\t" + std::to_string(detector_retries_) + "\t" +
+                    detector_detail_);
+  }
+  return lines;
+}
+
+Status RunHealthReport::MergeLine(const std::string& line,
+                                  const std::string& context) {
+  auto fail = [&](const std::string& why) {
+    return Status::DataLoss(context + ": " + why);
+  };
+  std::vector<std::string> fields = Split(line, '\t');
+  if (fields.empty()) return fail("empty health line");
+  if (fields[0] == "H") {
+    uint64_t concept_id = 0;
+    int64_t retries = 0;
+    ConceptOutcome outcome;
+    PipelineStage stage;
+    if (fields.size() != 6 || !ParseUint64(fields[1], &concept_id) ||
+        concept_id > 0xffffffffULL || !ParseConceptOutcome(fields[2], &outcome) ||
+        outcome == ConceptOutcome::kOk ||
+        !ParseIntInRange(fields[3], 0, 1000000, &retries) ||
+        !ParsePipelineStage(fields[4], &stage)) {
+      return fail("malformed concept-health line");
+    }
+    Record(static_cast<uint32_t>(concept_id), outcome, static_cast<int>(retries),
+           stage, fields[5]);
+    return Status::OK();
+  }
+  if (fields[0] == "D") {
+    uint64_t concept_id = 0;
+    uint64_t instance = 0;
+    PipelineStage stage;
+    if (fields.size() != 5 || !ParseUint64(fields[1], &concept_id) ||
+        concept_id > 0xffffffffULL || !ParseUint64(fields[2], &instance) ||
+        instance > 0xffffffffULL || !ParsePipelineStage(fields[3], &stage)) {
+      return fail("malformed dropped-instance line");
+    }
+    RecordDrop(DroppedInstance{static_cast<uint32_t>(concept_id),
+                               static_cast<uint32_t>(instance), stage, fields[4]});
+    return Status::OK();
+  }
+  if (fields[0] == "F") {
+    int64_t retries = 0;
+    if (fields.size() != 3 || !ParseIntInRange(fields[1], 0, 1000000, &retries)) {
+      return fail("malformed detector-fallback line");
+    }
+    RecordDetectorFallback(static_cast<int>(retries), fields[2]);
+    return Status::OK();
+  }
+  return fail("unknown health line type '" + fields[0] + "'");
+}
+
+std::string RunHealthReport::ToTable() const {
+  std::ostringstream out;
+  out << "run health: " << CountWithOutcome(ConceptOutcome::kQuarantined)
+      << " quarantined, " << CountWithOutcome(ConceptOutcome::kDegraded)
+      << " degraded, " << CountWithOutcome(ConceptOutcome::kRetried)
+      << " retried, " << num_drops() << " instances dropped\n";
+  for (const auto& [concept_id, entry] : concepts_) {
+    out << "  concept " << concept_id << ": " << ConceptOutcomeName(entry.outcome)
+        << " at " << PipelineStageName(entry.stage);
+    if (entry.retries > 0) out << " after " << entry.retries << " retries";
+    if (!entry.detail.empty()) out << " (" << entry.detail << ")";
+    out << "\n";
+  }
+  if (detector_fallback_) {
+    out << "  detector: fell back (" << detector_detail_ << ")\n";
+  }
+  return out.str();
+}
+
+bool Supervisor::NanFaultActive(PipelineStage stage, uint32_t concept_id,
+                                int attempt) const {
+  auto fault = faults_.FaultFor(stage, concept_id, attempt);
+  return fault.has_value() && *fault == ComputeFaultKind::kNanEmit;
+}
+
+Status Supervisor::MergeOutcome(PipelineStage stage, uint32_t concept_id,
+                                const StageOutcome& outcome) {
+  std::string where = std::string(PipelineStageName(stage)) + " stage, concept " +
+                      std::to_string(concept_id);
+  if (outcome.ok) {
+    if (outcome.retries > 0) {
+      health_.Record(concept_id, ConceptOutcome::kRetried, outcome.retries, stage,
+                     "recovered after transient failure: " + outcome.error);
+    }
+    return Status::OK();
+  }
+  if (!options_.quarantine) {
+    return Status::Internal(where + " failed after " +
+                            std::to_string(outcome.retries) +
+                            " retries: " + outcome.error);
+  }
+  health_.Record(concept_id, ConceptOutcome::kQuarantined, outcome.retries, stage,
+                 outcome.error);
+  return Status::OK();
+}
+
+void Supervisor::InjectPlannedFault(PipelineStage stage, uint32_t concept_id,
+                                    int attempt) const {
+  auto fault = faults_.FaultFor(stage, concept_id, attempt);
+  if (!fault.has_value()) return;
+  switch (*fault) {
+    case ComputeFaultKind::kThrow:
+      throw std::runtime_error("injected fault: throw at " +
+                               std::string(PipelineStageName(stage)) +
+                               ", concept " + std::to_string(concept_id));
+    case ComputeFaultKind::kStall:
+      // Spin politely until the stage deadline cancels us; models a hung
+      // dependency. With no deadline armed this would hang forever — which
+      // is exactly what an unsupervised hung stage does.
+      for (;;) {
+        PollCancellation("injected stall");
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    case ComputeFaultKind::kNanEmit:
+      // Handled by the driver via NanFaultActive (the guard cannot poison an
+      // arbitrary T).
+      break;
+  }
+}
+
+void Supervisor::BackoffSleep(int attempt) const {
+  int base = std::max(0, options_.backoff_base_ms);
+  if (base == 0) return;
+  int shift = std::min(attempt - 1, 20);
+  int64_t delay = static_cast<int64_t>(base) << shift;
+  delay = std::min<int64_t>(delay, std::max(0, options_.backoff_cap_ms));
+  if (delay > 0) std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+}
+
+}  // namespace semdrift

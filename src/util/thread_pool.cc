@@ -4,6 +4,7 @@
 #include <exception>
 #include <limits>
 
+#include "util/cancellation.h"
 #include "util/string_util.h"
 
 namespace semdrift {
@@ -67,6 +68,10 @@ uint64_t TaskSeed(uint64_t base_seed, uint64_t task_index) {
 struct ThreadPool::Job {
   const std::function<void(size_t)>* body = nullptr;
   size_t n = 0;
+  /// The submitting thread's cancellation token, installed in every worker
+  /// for the job's duration — cooperative cancellation of a guarded stage
+  /// reaches its parallel sub-work (e.g. per-tree forest fits).
+  const CancellationToken* cancellation = nullptr;
   std::atomic<size_t> next{0};
   /// Threads currently inside RunJob (caller included).
   std::atomic<int> active{0};
@@ -96,6 +101,9 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::RunJob(Job* job) {
   bool was_in_region = t_in_parallel_region;
   t_in_parallel_region = true;
+  // No-op on the submitting thread (its token is already current); forwards
+  // the token to pool workers.
+  ScopedCancellation forward_token(job->cancellation);
   for (;;) {
     size_t i = job->next.fetch_add(1, std::memory_order_relaxed);
     if (i >= job->n) break;
@@ -155,6 +163,7 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& body) 
   auto job = std::make_shared<Job>();
   job->body = &body;
   job->n = n;
+  job->cancellation = CancellationToken::Current();
   {
     std::lock_guard<std::mutex> lock(mu_);
     current_job_ = job;

@@ -28,3 +28,25 @@ execute_process(
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "parse failed (${rc})")
 endif()
+# Supervised run with seeded compute faults: must complete, print a health
+# table, and still export a taxonomy.
+execute_process(
+  COMMAND ${CLI} run --world ${WORK_DIR}/w.tsv --corpus ${WORK_DIR}/c.tsv
+          --out ${WORK_DIR}/ts.tsv --supervise --health-report
+          --fault-rate 0.1 --fault-seed 7 --fault-kinds throw
+          --max-retries 1 --stage-deadline-ms 5000
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "supervised run failed (${rc}): ${out} ${err}")
+endif()
+if(NOT out MATCHES "health:")
+  message(FATAL_ERROR "supervised run output missing health summary: ${out}")
+endif()
+# Bad --quarantine value is a usage error, not a crash or a silent default.
+execute_process(
+  COMMAND ${CLI} run --world ${WORK_DIR}/w.tsv --corpus ${WORK_DIR}/c.tsv
+          --supervise --quarantine maybe
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "bad --quarantine value should exit 2, got ${rc}")
+endif()

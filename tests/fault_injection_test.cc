@@ -54,6 +54,48 @@ TEST(FaultInjectorTest, OriginalIsUntouchedAndEmptyIsSafe) {
   }
 }
 
+TEST(FaultInjectorTest, ZeroFillPreservesLengthAndZerosARange) {
+  std::string content = SampleContent();
+  ASSERT_EQ(content.find('\0'), std::string::npos);
+  for (uint64_t seed = 0; seed < 16; ++seed) {
+    FaultInjector injector(seed);
+    std::string corrupted = injector.Corrupt(content, FaultKind::kZeroFill);
+    ASSERT_EQ(corrupted.size(), content.size()) << "seed " << seed;
+    EXPECT_NE(corrupted, content) << "seed " << seed;
+    // The damage is one contiguous zeroed range; everything else is intact.
+    size_t first = corrupted.find('\0');
+    ASSERT_NE(first, std::string::npos) << "seed " << seed;
+    size_t last = corrupted.find_last_of('\0');
+    for (size_t i = first; i <= last; ++i) {
+      EXPECT_EQ(corrupted[i], '\0') << "seed " << seed << " index " << i;
+    }
+    EXPECT_EQ(corrupted.substr(0, first), content.substr(0, first));
+    EXPECT_EQ(corrupted.substr(last + 1), content.substr(last + 1));
+  }
+}
+
+TEST(ReadFileToStringTest, RoundTripsARegularFile) {
+  std::string path = ::testing::TempDir() + "/read_roundtrip.bin";
+  std::string payload = "line one\nline two";
+  payload.push_back('\0');  // Binary-safe: zero bytes must round-trip too.
+  payload += "with a zero byte\n";
+  payload += SampleContent();
+  ASSERT_TRUE(WriteStringToFile(payload, path).ok());
+  auto read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, payload);
+}
+
+TEST(ReadFileToStringTest, RejectsNonRegularFiles) {
+  auto dir = ReadFileToString(::testing::TempDir());
+  ASSERT_FALSE(dir.ok());
+  EXPECT_EQ(dir.status().code(), Status::Code::kDataLoss);
+  EXPECT_NE(dir.status().message().find("not a regular file"), std::string::npos);
+
+  auto missing = ReadFileToString(::testing::TempDir() + "/does_not_exist.bin");
+  EXPECT_FALSE(missing.ok());
+}
+
 /// The acceptance sweep, in-process: >= 200 seeded corruptions across all
 /// three persisted artifacts. Every one must either load (the corruption
 /// happened to be survivable), fail with a clean Status, or — in lenient

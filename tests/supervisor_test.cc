@@ -1,0 +1,387 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/cancellation.h"
+#include "util/fault_injection.h"
+#include "util/supervisor.h"
+#include "util/thread_pool.h"
+
+namespace semdrift {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Cancellation primitives.
+
+TEST(CancellationTest, NoTokenMeansPollIsANoOp) {
+  EXPECT_EQ(CancellationToken::Current(), nullptr);
+  EXPECT_NO_THROW(PollCancellation("nowhere"));
+}
+
+TEST(CancellationTest, ExplicitCancelTripsThePoll) {
+  CancellationToken token;
+  ScopedCancellation scoped(&token);
+  EXPECT_EQ(CancellationToken::Current(), &token);
+  EXPECT_NO_THROW(PollCancellation("before cancel"));
+  token.Cancel();
+  EXPECT_THROW(PollCancellation("after cancel"), StageCancelledError);
+}
+
+TEST(CancellationTest, DeadlineTripsThePoll) {
+  CancellationToken token;
+  token.ArmDeadline(std::chrono::milliseconds(1));
+  ScopedCancellation scoped(&token);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(token.ShouldStop());
+  EXPECT_THROW(PollCancellation("past deadline"), StageCancelledError);
+}
+
+TEST(CancellationTest, NonPositiveDeadlineDisarms) {
+  CancellationToken token;
+  token.ArmDeadline(std::chrono::milliseconds(1));
+  token.ArmDeadline(std::chrono::milliseconds(0));
+  std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  EXPECT_FALSE(token.ShouldStop());
+}
+
+TEST(CancellationTest, ScopesNestAndRestore) {
+  CancellationToken outer;
+  CancellationToken inner;
+  {
+    ScopedCancellation a(&outer);
+    {
+      ScopedCancellation b(&inner);
+      EXPECT_EQ(CancellationToken::Current(), &inner);
+    }
+    EXPECT_EQ(CancellationToken::Current(), &outer);
+  }
+  EXPECT_EQ(CancellationToken::Current(), nullptr);
+}
+
+TEST(CancellationTest, ThreadPoolForwardsTheSubmittersToken) {
+  CancellationToken token;
+  ScopedCancellation scoped(&token);
+  ThreadPool pool(4);
+  std::atomic<int> saw_token{0};
+  pool.ParallelFor(16, [&](size_t) {
+    if (CancellationToken::Current() == &token) saw_token.fetch_add(1);
+  });
+  EXPECT_EQ(saw_token.load(), 16);
+}
+
+TEST(CancellationTest, CancelledTokenStopsPoolWorkViaPoll) {
+  CancellationToken token;
+  token.Cancel();
+  ScopedCancellation scoped(&token);
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.ParallelFor(8, [&](size_t) { PollCancellation("pool body"); }),
+      StageCancelledError);
+}
+
+// ---------------------------------------------------------------------------
+// Fault plans.
+
+TEST(ComputeFaultPlanTest, DisabledPlanFaultsNothing) {
+  ComputeFaultPlan plan;
+  EXPECT_FALSE(plan.enabled());
+  for (uint32_t c = 0; c < 64; ++c) {
+    EXPECT_FALSE(plan.ConceptFaulted(c));
+    EXPECT_FALSE(plan.FaultFor(PipelineStage::kScoreWarm, c, 0).has_value());
+  }
+}
+
+TEST(ComputeFaultPlanTest, RateOneFaultsEverything) {
+  ComputeFaultPlan plan;
+  plan.seed = 7;
+  plan.rate = 1.0;
+  for (uint32_t c = 0; c < 64; ++c) EXPECT_TRUE(plan.ConceptFaulted(c));
+}
+
+TEST(ComputeFaultPlanTest, DeterministicInSeedAndIndependentOfOrder) {
+  ComputeFaultPlan a;
+  a.seed = 2014;
+  a.rate = 0.1;
+  ComputeFaultPlan b = a;
+  std::vector<uint32_t> universe;
+  for (uint32_t c = 0; c < 200; ++c) universe.push_back(c);
+  std::vector<uint32_t> faulted = a.FaultedAmong(universe);
+  EXPECT_EQ(faulted, b.FaultedAmong(universe));
+  EXPECT_FALSE(faulted.empty());
+  EXPECT_LT(faulted.size(), universe.size() / 2);
+  // Membership is per-concept, not positional: reversing the universe
+  // selects the same concepts.
+  std::vector<uint32_t> reversed(universe.rbegin(), universe.rend());
+  std::vector<uint32_t> faulted_rev = b.FaultedAmong(reversed);
+  std::vector<uint32_t> faulted_rev_sorted(faulted_rev.rbegin(), faulted_rev.rend());
+  EXPECT_EQ(faulted, faulted_rev_sorted);
+}
+
+TEST(ComputeFaultPlanTest, StageTargetingAndTransientCutoff) {
+  ComputeFaultPlan plan;
+  plan.seed = 5;
+  plan.rate = 1.0;
+  plan.stages = {PipelineStage::kCollectTraining};
+  plan.transient_attempts = 2;
+  EXPECT_FALSE(plan.FaultFor(PipelineStage::kScoreWarm, 3, 0).has_value());
+  EXPECT_TRUE(plan.FaultFor(PipelineStage::kCollectTraining, 3, 0).has_value());
+  EXPECT_TRUE(plan.FaultFor(PipelineStage::kCollectTraining, 3, 1).has_value());
+  // Attempt `transient_attempts` succeeds: the fault has cleared.
+  EXPECT_FALSE(plan.FaultFor(PipelineStage::kCollectTraining, 3, 2).has_value());
+}
+
+TEST(ComputeFaultPlanTest, StageAndKindNamesRoundTrip) {
+  for (PipelineStage stage :
+       {PipelineStage::kScoreWarm, PipelineStage::kCollectTraining,
+        PipelineStage::kDetectorTrain, PipelineStage::kDetectorScore}) {
+    PipelineStage parsed;
+    ASSERT_TRUE(ParsePipelineStage(PipelineStageName(stage), &parsed));
+    EXPECT_EQ(parsed, stage);
+  }
+  for (ComputeFaultKind kind : AllComputeFaultKinds()) {
+    ComputeFaultKind parsed;
+    ASSERT_TRUE(ParseComputeFaultKind(ComputeFaultKindName(kind), &parsed));
+    EXPECT_EQ(parsed, kind);
+  }
+  PipelineStage stage;
+  EXPECT_FALSE(ParsePipelineStage("bogus", &stage));
+  ComputeFaultKind kind;
+  EXPECT_FALSE(ParseComputeFaultKind("bogus", &kind));
+}
+
+// ---------------------------------------------------------------------------
+// The guarded attempt loop.
+
+TEST(SupervisorTest, HappyPathRunsTheBodyOnce) {
+  Supervisor supervisor(SupervisorOptions{});
+  int calls = 0;
+  int value = 0;
+  StageOutcome outcome;
+  bool ok = supervisor.RunGuarded<int>(
+      PipelineStage::kScoreWarm, 1,
+      [&](int attempt) {
+        ++calls;
+        EXPECT_EQ(attempt, 0);
+        return 42;
+      },
+      nullptr, &value, &outcome);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(value, 42);
+  EXPECT_EQ(outcome.retries, 0);
+  EXPECT_TRUE(supervisor.MergeOutcome(PipelineStage::kScoreWarm, 1, outcome).ok());
+  EXPECT_TRUE(supervisor.health()->empty());
+}
+
+TEST(SupervisorTest, TransientThrowRetriesThenSucceeds) {
+  SupervisorOptions options;
+  options.max_retries = 2;
+  options.backoff_base_ms = 0;
+  Supervisor supervisor(options);
+  int value = 0;
+  StageOutcome outcome;
+  bool ok = supervisor.RunGuarded<int>(
+      PipelineStage::kScoreWarm, 9,
+      [&](int attempt) {
+        if (attempt == 0) throw std::runtime_error("transient glitch");
+        return 7;
+      },
+      nullptr, &value, &outcome);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(value, 7);
+  EXPECT_EQ(outcome.retries, 1);
+  EXPECT_EQ(outcome.error, "transient glitch");
+  ASSERT_TRUE(supervisor.MergeOutcome(PipelineStage::kScoreWarm, 9, outcome).ok());
+  EXPECT_EQ(supervisor.health()->CountWithOutcome(ConceptOutcome::kRetried), 1u);
+  EXPECT_FALSE(supervisor.IsQuarantined(9));
+}
+
+TEST(SupervisorTest, ValidationFailureCountsAsAFailedAttempt) {
+  SupervisorOptions options;
+  options.max_retries = 1;
+  options.backoff_base_ms = 0;
+  Supervisor supervisor(options);
+  int value = -1;
+  StageOutcome outcome;
+  bool ok = supervisor.RunGuarded<int>(
+      PipelineStage::kDetectorScore, 4, [](int) { return 13; },
+      [](const int& v) { return v == 13 ? "unlucky output" : ""; }, &value,
+      &outcome);
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(value, -1);  // Output untouched on exhaustion.
+  EXPECT_EQ(outcome.error, "unlucky output");
+  ASSERT_TRUE(
+      supervisor.MergeOutcome(PipelineStage::kDetectorScore, 4, outcome).ok());
+  EXPECT_TRUE(supervisor.IsQuarantined(4));
+  EXPECT_EQ(supervisor.health()->Quarantined(), std::vector<uint32_t>{4});
+}
+
+TEST(SupervisorTest, QuarantineOffTurnsExhaustionIntoAnError) {
+  SupervisorOptions options;
+  options.max_retries = 0;
+  options.quarantine = false;
+  Supervisor supervisor(options);
+  int value = 0;
+  StageOutcome outcome;
+  bool ok = supervisor.RunGuarded<int>(
+      PipelineStage::kScoreWarm, 2,
+      [](int) -> int { throw std::runtime_error("persistent"); }, nullptr,
+      &value, &outcome);
+  EXPECT_FALSE(ok);
+  Status merged = supervisor.MergeOutcome(PipelineStage::kScoreWarm, 2, outcome);
+  EXPECT_FALSE(merged.ok());
+  EXPECT_NE(merged.message().find("persistent"), std::string::npos);
+}
+
+TEST(SupervisorTest, StallFaultIsCancelledAtTheDeadline) {
+  SupervisorOptions options;
+  options.stage_deadline_ms = 20;
+  options.max_retries = 1;
+  options.backoff_base_ms = 0;
+  ComputeFaultPlan plan;
+  plan.seed = 11;
+  plan.rate = 1.0;
+  plan.kinds = {ComputeFaultKind::kStall};
+  plan.stages = {PipelineStage::kScoreWarm};
+  Supervisor supervisor(options, plan);
+  int calls = 0;
+  int value = 0;
+  StageOutcome outcome;
+  bool ok = supervisor.RunGuarded<int>(
+      PipelineStage::kScoreWarm, 6,
+      [&](int) {
+        ++calls;
+        return 1;
+      },
+      nullptr, &value, &outcome);
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(calls, 0);  // The stall fires before the body.
+  EXPECT_TRUE(outcome.cancelled);
+  ASSERT_TRUE(supervisor.MergeOutcome(PipelineStage::kScoreWarm, 6, outcome).ok());
+  EXPECT_TRUE(supervisor.IsQuarantined(6));
+}
+
+TEST(SupervisorTest, ThrowFaultClearsAfterTransientAttempts) {
+  SupervisorOptions options;
+  options.max_retries = 2;
+  options.backoff_base_ms = 0;
+  ComputeFaultPlan plan;
+  plan.seed = 3;
+  plan.rate = 1.0;
+  plan.kinds = {ComputeFaultKind::kThrow};
+  plan.stages = {PipelineStage::kCollectTraining};
+  plan.transient_attempts = 1;
+  Supervisor supervisor(options, plan);
+  int value = 0;
+  StageOutcome outcome;
+  bool ok = supervisor.RunGuarded<int>(
+      PipelineStage::kCollectTraining, 8, [](int) { return 5; }, nullptr,
+      &value, &outcome);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(value, 5);
+  EXPECT_EQ(outcome.retries, 1);
+}
+
+TEST(SupervisorTest, SurvivingFiltersQuarantinedIds) {
+  struct FakeId {
+    uint32_t value;
+  };
+  Supervisor supervisor(SupervisorOptions{});
+  supervisor.health()->Record(2, ConceptOutcome::kQuarantined, 3,
+                              PipelineStage::kScoreWarm, "dead");
+  std::vector<FakeId> scope = {{1}, {2}, {3}};
+  std::vector<FakeId> live = supervisor.Surviving(scope);
+  ASSERT_EQ(live.size(), 2u);
+  EXPECT_EQ(live[0].value, 1u);
+  EXPECT_EQ(live[1].value, 3u);
+}
+
+TEST(SupervisorTest, FirstNonFiniteIndexFindsNanAndInf) {
+  std::vector<double> clean = {0.0, 1.5, -3.0};
+  EXPECT_EQ(FirstNonFiniteIndex(clean), -1);
+  std::vector<double> with_nan = {0.0, std::nan(""), 1.0};
+  EXPECT_EQ(FirstNonFiniteIndex(with_nan), 1);
+  std::vector<double> with_inf = {std::numeric_limits<double>::infinity()};
+  EXPECT_EQ(FirstNonFiniteIndex(with_inf), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Health report bookkeeping and serialization.
+
+TEST(RunHealthReportTest, OutcomesEscalateAndNeverDowngrade) {
+  RunHealthReport report;
+  report.Record(5, ConceptOutcome::kRetried, 1, PipelineStage::kScoreWarm, "r");
+  report.Record(5, ConceptOutcome::kDegraded, 0, PipelineStage::kCollectTraining,
+                "d");
+  EXPECT_EQ(report.concepts().at(5).outcome, ConceptOutcome::kDegraded);
+  // A later, milder observation does not downgrade.
+  report.Record(5, ConceptOutcome::kRetried, 2, PipelineStage::kDetectorScore, "r2");
+  EXPECT_EQ(report.concepts().at(5).outcome, ConceptOutcome::kDegraded);
+  report.Record(5, ConceptOutcome::kQuarantined, 3, PipelineStage::kDetectorScore,
+                "q");
+  EXPECT_TRUE(report.IsQuarantined(5));
+}
+
+TEST(RunHealthReportTest, DropsDeduplicateAndDegradeTheConcept) {
+  RunHealthReport report;
+  DroppedInstance drop;
+  drop.concept_id = 7;
+  drop.instance = 100;
+  drop.stage = PipelineStage::kCollectTraining;
+  drop.reason = "non-finite feature f0";
+  report.RecordDrop(drop);
+  report.RecordDrop(drop);
+  EXPECT_EQ(report.num_drops(), 1u);
+  EXPECT_EQ(report.concepts().at(7).outcome, ConceptOutcome::kDegraded);
+}
+
+TEST(RunHealthReportTest, LinesRoundTrip) {
+  RunHealthReport report;
+  report.Record(3, ConceptOutcome::kQuarantined, 2, PipelineStage::kScoreWarm,
+                "walk exploded\twith a tab");
+  report.Record(9, ConceptOutcome::kRetried, 1, PipelineStage::kDetectorScore,
+                "flaky");
+  DroppedInstance drop;
+  drop.concept_id = 3;
+  drop.instance = 44;
+  drop.reason = "nan";
+  report.RecordDrop(drop);
+  report.RecordDetectorFallback(1, "fell back to ad-hoc-3");
+
+  RunHealthReport merged;
+  for (const std::string& line : report.ToLines()) {
+    ASSERT_TRUE(merged.MergeLine(line, "test").ok()) << line;
+  }
+  EXPECT_EQ(report, merged);
+  EXPECT_TRUE(merged.IsQuarantined(3));
+  EXPECT_TRUE(merged.detector_fallback());
+}
+
+TEST(RunHealthReportTest, MalformedLinesAreDataLoss) {
+  RunHealthReport report;
+  for (const std::string& bad :
+       {std::string("H\tnot-a-number\tok\t0\twarm\tx"),
+        std::string("H\t1\tbogus-outcome\t0\twarm\tx"),
+        std::string("H\t1\tok\t0\tbogus-stage\tx"), std::string("Z\t1"),
+        std::string("H\t1")}) {
+    Status s = report.MergeLine(bad, "ctx");
+    EXPECT_FALSE(s.ok()) << bad;
+    EXPECT_EQ(s.code(), Status::Code::kDataLoss) << bad;
+    EXPECT_NE(s.message().find("ctx"), std::string::npos) << bad;
+  }
+}
+
+TEST(RunHealthReportTest, EmptyReportHasNoLines) {
+  RunHealthReport report;
+  EXPECT_TRUE(report.empty());
+  EXPECT_TRUE(report.ToLines().empty());
+}
+
+}  // namespace
+}  // namespace semdrift

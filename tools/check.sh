@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# One-command sanitizer gate: the full test suite under ASan+UBSan, then the
+# concurrency-sensitive tests under TSan (the two sanitizers are mutually
+# exclusive, hence two build trees). Run from the repo root:
+#
+#   tools/check.sh [jobs]
+#
+# Build trees live in build-asan/ and build-tsan/ and are reused across runs
+# (incremental). Exits non-zero on the first failing configure, build or test.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc 2>/dev/null || echo 2)}"
+
+echo "== ASan+UBSan: configure + build + full ctest =="
+cmake -B build-asan -S . -DSEMDRIFT_SANITIZE="address;undefined" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-asan -j "$JOBS"
+ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+echo "== TSan: concurrency tests =="
+TSAN_TARGETS=(thread_pool_test parallel_determinism_test supervisor_test)
+cmake -B build-tsan -S . -DSEMDRIFT_SANITIZE=thread \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-tsan -j "$JOBS" --target "${TSAN_TARGETS[@]}"
+for t in "${TSAN_TARGETS[@]}"; do
+  echo "-- TSan: $t"
+  "build-tsan/tests/$t"
+done
+
+echo "OK: ASan+UBSan suite and TSan concurrency tests all green"

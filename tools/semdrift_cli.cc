@@ -4,11 +4,19 @@
 //       Generate a ground-truth world + Hearst corpus and save both.
 //   semdrift run --world w.tsv --corpus c.tsv --out taxonomy.tsv [--no-clean]
 //                [--lenient] [--checkpoint-dir D [--resume] [--validate]
-//                [--keep-checkpoints N]]
+//                [--keep-checkpoints N]] [--supervise] [--health-report]
+//                [--stage-deadline-ms N] [--max-retries N] [--quarantine on|off]
+//                [--fault-rate R --fault-seed N --fault-kinds K --fault-stages S]
 //       Load world+corpus, run iterative extraction (and DP cleaning unless
 //       --no-clean), report quality against ground truth, export the
 //       taxonomy. With --checkpoint-dir the run snapshots after every
 //       iteration and --resume continues from the latest valid snapshot.
+//       --supervise (implied by --health-report or --fault-rate > 0) runs
+//       the cleaning stages under the supervision layer: per-concept
+//       deadlines, bounded retries and quarantine, with --health-report
+//       printing the per-concept outcome table. The --fault-* flags enable
+//       seeded compute-fault injection (kinds: throw,stall,nan; stages:
+//       warm,collect,train,score) for robustness drills.
 //   semdrift parse --world w.tsv
 //       Read raw sentences from stdin, parse each with the Hearst parser,
 //       print the candidate analysis.
@@ -121,7 +129,11 @@ int Usage() {
       "  semdrift generate --scale S --seed N --world W --corpus C\n"
       "  semdrift run --world W --corpus C --out T.tsv [--no-clean] [--lenient]\n"
       "               [--checkpoint-dir D [--resume] [--validate]\n"
-      "               [--keep-checkpoints N]]\n"
+      "               [--keep-checkpoints N]] [--supervise] [--health-report]\n"
+      "               [--stage-deadline-ms N] [--max-retries N]\n"
+      "               [--quarantine on|off] [--fault-rate R] [--fault-seed N]\n"
+      "               [--fault-kinds throw,stall,nan]\n"
+      "               [--fault-stages warm,collect,train,score]\n"
       "  semdrift parse --world W   (sentences on stdin)\n"
       "  semdrift fuzz-load [--count N] [--seed N] [--scale S] [--dir D]\n"
       "\n"
@@ -202,10 +214,122 @@ int Run(const Flags& flags) {
   }
   ReportSkips("corpus", corpus_report);
 
+  std::string checkpoint_dir = flags.Get("checkpoint-dir", "");
+  if (checkpoint_dir.empty() && flags.Has("resume")) {
+    std::fprintf(stderr, "--resume requires --checkpoint-dir\n");
+    return 2;
+  }
+
+  GroundTruth truth(&*world);
+  std::vector<ConceptId> scope;
+  for (size_t ci = 0; ci < world->num_concepts(); ++ci) {
+    scope.push_back(ConceptId(static_cast<uint32_t>(ci)));
+  }
+
+  double fault_rate = flags.GetDouble("fault-rate", 0.0);
+  bool supervise =
+      flags.Has("supervise") || flags.Has("health-report") || fault_rate > 0.0;
+  if (supervise) {
+    SupervisedRunConfig config;
+    config.supervisor.stage_deadline_ms =
+        static_cast<int>(flags.GetUint("stage-deadline-ms", 30000));
+    config.supervisor.max_retries =
+        static_cast<int>(flags.GetUint("max-retries", 2));
+    std::string quarantine = flags.Get("quarantine", "on");
+    if (quarantine == "on") {
+      config.supervisor.quarantine = true;
+    } else if (quarantine == "off") {
+      config.supervisor.quarantine = false;
+    } else {
+      std::fprintf(stderr, "invalid value for --quarantine: '%s' (expected on|off)\n",
+                   quarantine.c_str());
+      return 2;
+    }
+    config.faults.rate = fault_rate;
+    config.faults.seed = flags.GetUint("fault-seed", 2014);
+    std::string kinds = flags.Get("fault-kinds", "");
+    if (!kinds.empty()) {
+      config.faults.kinds.clear();
+      for (const std::string& name : Split(kinds, ',')) {
+        ComputeFaultKind kind;
+        if (!ParseComputeFaultKind(name, &kind)) {
+          std::fprintf(stderr,
+                       "invalid value for --fault-kinds: '%s' (expected "
+                       "throw|stall|nan)\n",
+                       name.c_str());
+          return 2;
+        }
+        config.faults.kinds.push_back(kind);
+      }
+    }
+    std::string stages = flags.Get("fault-stages", "");
+    if (!stages.empty()) {
+      config.faults.stages.clear();
+      for (const std::string& name : Split(stages, ',')) {
+        PipelineStage stage;
+        if (!ParsePipelineStage(name, &stage)) {
+          std::fprintf(stderr,
+                       "invalid value for --fault-stages: '%s' (expected "
+                       "warm|collect|train|score)\n",
+                       name.c_str());
+          return 2;
+        }
+        config.faults.stages.push_back(stage);
+      }
+    }
+    config.checkpoint.dir = checkpoint_dir;
+    config.checkpoint.resume = flags.Has("resume");
+    config.checkpoint.validate_each_iteration = flags.Has("validate");
+    config.checkpoint.keep_last =
+        static_cast<int>(flags.GetUint("keep-checkpoints", 0));
+    config.clean = !flags.Has("no-clean");
+
+    const World* world_ptr = &*world;
+    IterativeExtractor extractor(&corpus->sentences, ExtractorOptions{});
+    auto run = RunSupervisedPipeline(
+        &extractor, &corpus->sentences,
+        [world_ptr](const IsAPair& pair) {
+          return world_ptr->IsVerified(pair.concept_id, pair.instance);
+        },
+        world->num_concepts(), corpus->sentences.size(), scope, config);
+    if (!run.ok()) {
+      std::fprintf(stderr, "%s\n", run.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("supervised run: %zu iterations, %zu live pairs (precision %.3f)\n",
+                run->stats.size(), run->kb.num_live_pairs(),
+                LivePairPrecision(truth, run->kb, scope));
+    if (config.clean) {
+      std::printf("cleaned: %d rounds, %zu DPs, %zu -> %zu pairs\n",
+                  run->cleaning.rounds,
+                  run->cleaning.intentional_dps.size() +
+                      run->cleaning.accidental_dps.size(),
+                  run->cleaning.live_pairs_before, run->cleaning.live_pairs_after);
+    }
+    const RunHealthReport& health = run->health;
+    std::printf("health: %zu quarantined, %zu degraded, %zu retried, %zu dropped "
+                "instances%s\n",
+                health.CountWithOutcome(ConceptOutcome::kQuarantined),
+                health.CountWithOutcome(ConceptOutcome::kDegraded),
+                health.CountWithOutcome(ConceptOutcome::kRetried),
+                health.num_drops(),
+                health.detector_fallback() ? ", detector fell back" : "");
+    if (flags.Has("health-report")) {
+      std::printf("%s", health.ToTable().c_str());
+    }
+    std::string out = flags.Get("out", "taxonomy.tsv");
+    Status s = ExportTaxonomyTsv(run->kb, *world, out);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("taxonomy -> %s\n", out.c_str());
+    return 0;
+  }
+
   KnowledgeBase kb;
   IterativeExtractor extractor(&corpus->sentences, ExtractorOptions{});
   std::vector<IterationStats> iterations;
-  std::string checkpoint_dir = flags.Get("checkpoint-dir", "");
   if (!checkpoint_dir.empty()) {
     CheckpointConfig checkpoint;
     checkpoint.dir = checkpoint_dir;
@@ -221,16 +345,7 @@ int Run(const Flags& flags) {
     }
     iterations = std::move(*run);
   } else {
-    if (flags.Has("resume")) {
-      std::fprintf(stderr, "--resume requires --checkpoint-dir\n");
-      return 2;
-    }
     iterations = extractor.Run(&kb);
-  }
-  GroundTruth truth(&*world);
-  std::vector<ConceptId> scope;
-  for (size_t ci = 0; ci < world->num_concepts(); ++ci) {
-    scope.push_back(ConceptId(static_cast<uint32_t>(ci)));
   }
   std::printf("extracted %zu pairs in %zu iterations (precision %.3f)\n",
               kb.num_live_pairs(), iterations.size(),
@@ -480,8 +595,10 @@ int main(int argc, char** argv) {
   if (command == "run") {
     Flags flags(argc, argv, 2,
                 {"world", "corpus", "out", "checkpoint-dir", "keep-checkpoints",
-                 "threads"},
-                {"no-clean", "resume", "validate", "lenient"});
+                 "threads", "stage-deadline-ms", "max-retries", "quarantine",
+                 "fault-rate", "fault-seed", "fault-kinds", "fault-stages"},
+                {"no-clean", "resume", "validate", "lenient", "supervise",
+                 "health-report"});
     if (!flags.ok()) {
       std::fprintf(stderr, "%s\n", flags.error().c_str());
       return Usage();
