@@ -1,0 +1,326 @@
+// Closed-loop load generator for the serving stack (BENCH_serve.json).
+//
+// Builds the bench-scale experiment, writes a snapshot, then drives a
+// Batcher-fronted QueryEngine with C closed-loop clients (each client
+// submits one request and waits for the answer before sending the next,
+// so concurrency == clients). The workload is a deterministic mix over
+// every populated concept: instances-of (top-k), concepts-of, is-a,
+// drift-score and mutex.
+//
+// Three measurements land in the JSON report:
+//
+//   cold — first pass over the workload, empty result cache;
+//   hot  — second pass over the identical workload, cache fully warm;
+//   cached_point — a single hot point query (is-a) answered directly by
+//          QueryEngine::Answer in a tight loop, i.e. the floor latency a
+//          cached lookup pays without batching overhead.
+//
+// Per query type: request count, p50/p99 latency (µs) cold and hot, and
+// the cache hit rate of the hot pass. The bench batcher runs with
+// max_wait_ms 0: closed-loop clients refill the queue themselves, so a
+// coalescing linger would only add idle time to every sample.
+//
+//   bench_serve [--scale 0.25] [--threads 4] [--clients 8]
+//               [--out BENCH_serve.json]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "eval/experiment.h"
+#include "serve/batcher.h"
+#include "serve/query_engine.h"
+#include "serve/snapshot.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+using namespace semdrift;
+
+namespace {
+
+constexpr int kNumTypes = 5;
+constexpr const char* kTypeNames[kNumTypes] = {"instances-of", "concepts-of",
+                                               "is-a", "drift-score", "mutex"};
+
+struct WorkItem {
+  int type;  // Index into kTypeNames.
+  std::string line;
+};
+
+/// One latency sample: request type + wall nanoseconds from Submit to get().
+struct Sample {
+  int type;
+  uint64_t ns;
+};
+
+struct PassResult {
+  double wall_ms = 0.0;
+  double qps = 0.0;
+  uint64_t failures = 0;  // Responses that were not OK.
+  std::vector<uint64_t> latencies_ns[kNumTypes];
+};
+
+/// p-th percentile of `ns` in microseconds (ns is sorted in place).
+double PercentileUs(std::vector<uint64_t>* ns, double p) {
+  if (ns->empty()) return 0.0;
+  std::sort(ns->begin(), ns->end());
+  const size_t idx = static_cast<size_t>(p / 100.0 * (ns->size() - 1) + 0.5);
+  return static_cast<double>((*ns)[idx]) / 1e3;
+}
+
+/// Deterministic query mix: every populated concept contributes one query
+/// of each type, with arguments read off the snapshot itself.
+std::vector<WorkItem> BuildWorkload(const SnapshotReader& snap) {
+  std::vector<WorkItem> workload;
+  const std::string anchor(snap.ConceptName(0));
+  for (uint32_t c = 0; c < snap.num_concepts(); ++c) {
+    if (snap.ConceptEnd(c) == snap.ConceptBegin(c)) continue;
+    const std::string concept_name(snap.ConceptName(c));
+    const std::string member(
+        snap.InstanceName(snap.PairInstance(snap.ConceptBegin(c))));
+    workload.push_back({0, "instances-of\t" + concept_name + "\t8"});
+    workload.push_back({1, "concepts-of\t" + member});
+    workload.push_back({2, "is-a\t" + member + "\t" + concept_name});
+    workload.push_back({3, "drift-score\t" + member + "\t" + concept_name});
+    workload.push_back({4, "mutex\t" + concept_name + "\t" + anchor});
+  }
+  return workload;
+}
+
+/// One closed-loop pass: `clients` threads stride through the workload,
+/// each waiting for its answer before submitting the next request.
+PassResult RunPass(Batcher* batcher, const std::vector<WorkItem>& workload,
+                   size_t clients) {
+  std::vector<std::vector<Sample>> samples(clients);
+  std::vector<uint64_t> failures(clients, 0);
+  Timer wall;
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      samples[c].reserve(workload.size() / clients + 1);
+      for (size_t i = c; i < workload.size(); i += clients) {
+        const auto start = std::chrono::steady_clock::now();
+        const std::string response = batcher->Submit(workload[i].line).get();
+        const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+        samples[c].push_back({workload[i].type, static_cast<uint64_t>(ns)});
+        if (response.rfind("OK", 0) != 0) failures[c]++;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  PassResult result;
+  result.wall_ms = wall.ElapsedMillis();
+  result.qps = result.wall_ms > 0.0
+                   ? static_cast<double>(workload.size()) / (result.wall_ms / 1e3)
+                   : 0.0;
+  for (size_t c = 0; c < clients; ++c) {
+    result.failures += failures[c];
+    for (const Sample& s : samples[c]) result.latencies_ns[s.type].push_back(s.ns);
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = bench::EnvScale();
+  int threads = 4;
+  size_t clients = 8;
+  std::string out = "BENCH_serve.json";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--scale") {
+      if (!ParseDouble(value(), &scale)) std::exit(2);
+    } else if (arg == "--threads") {
+      threads = std::atoi(value().c_str());
+    } else if (arg == "--clients") {
+      clients = static_cast<size_t>(std::atoi(value().c_str()));
+    } else if (arg == "--out") {
+      out = value();
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  if (clients == 0) clients = 1;
+  SetGlobalThreadCount(threads);
+
+  std::printf("bench_serve: scale %g, threads %d, clients %zu\n", scale, threads,
+              clients);
+  ExperimentConfig config = PaperScaleConfig(scale);
+  auto experiment = Experiment::Build(config);
+  KnowledgeBase kb = experiment->Extract();
+
+  const std::string snapshot_path =
+      (std::filesystem::temp_directory_path() / "bench_serve_snapshot.bin").string();
+  Status written = WriteServingSnapshot(kb, experiment->world(),
+                                        experiment->corpus().sentences.size(),
+                                        nullptr, snapshot_path);
+  if (!written.ok()) {
+    std::fprintf(stderr, "snapshot write failed: %s\n", written.ToString().c_str());
+    return 1;
+  }
+  auto opened = SnapshotReader::Open(snapshot_path);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "snapshot open failed: %s\n",
+                 opened.status().ToString().c_str());
+    return 1;
+  }
+  const SnapshotReader& snap = *opened;
+
+  std::vector<WorkItem> workload = BuildWorkload(snap);
+  std::printf("snapshot: %u concepts, %llu pairs, %llu bytes; workload %zu requests\n",
+              snap.num_concepts(),
+              static_cast<unsigned long long>(snap.num_pairs()),
+              static_cast<unsigned long long>(snap.file_bytes()), workload.size());
+  if (workload.empty()) {
+    std::fprintf(stderr, "empty workload: no populated concepts\n");
+    return 1;
+  }
+
+  // Cache must hold the whole workload so the hot pass is all hits.
+  QueryEngineOptions engine_options;
+  engine_options.cache_capacity = std::max<size_t>(4096, 2 * workload.size());
+  QueryEngine engine(&snap, engine_options);
+  BatcherOptions batcher_options;
+  batcher_options.max_wait_ms = 0;  // Closed-loop clients refill the queue.
+  Batcher batcher(&engine, batcher_options);
+
+  PassResult cold = RunPass(&batcher, workload, clients);
+  QueryTypeStats after_cold[kNumTypes];
+  for (int t = 0; t < kNumTypes; ++t) {
+    after_cold[t] = engine.stats().Snapshot(static_cast<QueryType>(t));
+  }
+  PassResult hot = RunPass(&batcher, workload, clients);
+  uint64_t hot_hits = 0, hot_count = 0;
+  QueryTypeStats hot_stats[kNumTypes];
+  for (int t = 0; t < kNumTypes; ++t) {
+    QueryTypeStats total = engine.stats().Snapshot(static_cast<QueryType>(t));
+    hot_stats[t].count = total.count - after_cold[t].count;
+    hot_stats[t].cache_hits = total.cache_hits - after_cold[t].cache_hits;
+    hot_hits += hot_stats[t].cache_hits;
+    hot_count += hot_stats[t].count;
+  }
+  const double hot_hit_rate =
+      hot_count == 0 ? 0.0 : static_cast<double>(hot_hits) / hot_count;
+
+  // Floor latency of a cached point query, without batching in the path.
+  const std::string point_query = workload[2].line;  // First is-a.
+  (void)engine.Answer(point_query);  // Ensure it is cached.
+  constexpr int kPointIters = 2000;
+  std::vector<uint64_t> point_ns;
+  point_ns.reserve(kPointIters);
+  for (int i = 0; i < kPointIters; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    const std::string response = engine.Answer(point_query);
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+    point_ns.push_back(static_cast<uint64_t>(ns));
+    if (response.rfind("OK", 0) != 0) {
+      std::fprintf(stderr, "cached point query failed: %s\n", response.c_str());
+      return 1;
+    }
+  }
+  const double point_p50_us = PercentileUs(&point_ns, 50.0);
+  const double point_p99_us = PercentileUs(&point_ns, 99.0);
+
+  BatcherStats batch_stats = batcher.Snapshot();
+  std::printf("cold: %7.1f ms  %9.0f qps\n", cold.wall_ms, cold.qps);
+  std::printf("hot:  %7.1f ms  %9.0f qps  hit rate %.3f\n", hot.wall_ms, hot.qps,
+              hot_hit_rate);
+  std::printf("cached point (%s): p50 %.1f us  p99 %.1f us\n", point_query.c_str(),
+              point_p50_us, point_p99_us);
+  std::printf("batches: %llu over %llu requests (max batch %llu)\n",
+              static_cast<unsigned long long>(batch_stats.batches),
+              static_cast<unsigned long long>(batch_stats.requests),
+              static_cast<unsigned long long>(batch_stats.max_batch));
+
+  FILE* f = std::fopen(out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f,
+               "  \"scale\": %g,\n  \"threads\": %d,\n  \"clients\": %zu,\n"
+               "  \"requests_per_pass\": %zu,\n  \"snapshot_bytes\": %llu,\n",
+               scale, threads, clients, workload.size(),
+               static_cast<unsigned long long>(snap.file_bytes()));
+  std::fprintf(f, "  \"cold\": {\"wall_ms\": %.3f, \"qps\": %.1f},\n", cold.wall_ms,
+               cold.qps);
+  std::fprintf(f,
+               "  \"hot\": {\"wall_ms\": %.3f, \"qps\": %.1f, "
+               "\"cache_hit_rate\": %.4f},\n",
+               hot.wall_ms, hot.qps, hot_hit_rate);
+  std::fprintf(f, "  \"query_types\": [\n");
+  for (int t = 0; t < kNumTypes; ++t) {
+    const double hit_rate =
+        hot_stats[t].count == 0
+            ? 0.0
+            : static_cast<double>(hot_stats[t].cache_hits) / hot_stats[t].count;
+    std::fprintf(f,
+                 "    {\"type\": \"%s\", \"count\": %zu, "
+                 "\"cold_p50_us\": %.1f, \"cold_p99_us\": %.1f, "
+                 "\"hot_p50_us\": %.1f, \"hot_p99_us\": %.1f, "
+                 "\"hot_hit_rate\": %.4f}%s\n",
+                 kTypeNames[t], cold.latencies_ns[t].size(),
+                 PercentileUs(&cold.latencies_ns[t], 50.0),
+                 PercentileUs(&cold.latencies_ns[t], 99.0),
+                 PercentileUs(&hot.latencies_ns[t], 50.0),
+                 PercentileUs(&hot.latencies_ns[t], 99.0), hit_rate,
+                 t + 1 == kNumTypes ? "" : ",");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"cached_point\": {\"query\": \"%s\", \"iters\": %d, "
+               "\"p50_us\": %.2f, \"p99_us\": %.2f},\n",
+               "is-a (hot cache, direct engine)", kPointIters, point_p50_us,
+               point_p99_us);
+  std::fprintf(f,
+               "  \"batches\": {\"requests\": %llu, \"batches\": %llu, "
+               "\"max_batch\": %llu}\n",
+               static_cast<unsigned long long>(batch_stats.requests),
+               static_cast<unsigned long long>(batch_stats.batches),
+               static_cast<unsigned long long>(batch_stats.max_batch));
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("-> %s\n", out.c_str());
+
+  std::error_code ec;
+  std::filesystem::remove(snapshot_path, ec);
+
+  if (cold.failures + hot.failures > 0) {
+    std::fprintf(stderr, "FAIL: %llu non-OK responses\n",
+                 static_cast<unsigned long long>(cold.failures + hot.failures));
+    return 1;
+  }
+  if (cold.qps <= 0.0 || hot.qps <= 0.0) {
+    std::fprintf(stderr, "FAIL: zero QPS\n");
+    return 1;
+  }
+  if (point_p50_us >= 1000.0) {
+    std::fprintf(stderr, "FAIL: cached point p50 %.1f us is not sub-millisecond\n",
+                 point_p50_us);
+    return 1;
+  }
+  return 0;
+}

@@ -133,6 +133,14 @@ Result<SupervisedRunResult> RunSupervisedPipeline(
   return result;
 }
 
+Status WriteServingSnapshot(const KnowledgeBase& kb, const World& world,
+                            size_t num_sentences, const RunHealthReport* health,
+                            const std::string& path, const SnapshotOptions& options) {
+  Status valid = kb.Validate(world.num_concepts(), num_sentences);
+  if (!valid.ok()) return valid;
+  return WriteSnapshot(kb, world, health, options, path);
+}
+
 VerifiedSource Experiment::MakeVerifiedSource() const {
   const World* world = &world_;
   return [world](const IsAPair& pair) {

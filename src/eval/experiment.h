@@ -12,6 +12,7 @@
 #include "extract/checkpoint.h"
 #include "extract/extractor.h"
 #include "kb/knowledge_base.h"
+#include "serve/snapshot.h"
 #include "util/supervisor.h"
 
 namespace semdrift {
@@ -65,6 +66,17 @@ struct SupervisedRunResult {
 /// final KB is byte-identical to an uninterrupted one. With supervision
 /// enabled and no fault injected the result matches the unsupervised
 /// pipeline bit for bit.
+/// The end-of-run handoff to the serving subsystem: validates `kb` against
+/// the world/corpus id spaces (KnowledgeBase::Validate with bounds — a KB
+/// that fails its own invariants must never become a snapshot), then
+/// compiles it into an immutable serving snapshot at `path` via
+/// serve/snapshot.h. `health` (optional) supplies quarantine flags;
+/// `num_sentences` is the corpus bound for validation.
+Status WriteServingSnapshot(const KnowledgeBase& kb, const World& world,
+                            size_t num_sentences, const RunHealthReport* health,
+                            const std::string& path,
+                            const SnapshotOptions& options = {});
+
 Result<SupervisedRunResult> RunSupervisedPipeline(
     IterativeExtractor* extractor, const SentenceStore* sentences,
     VerifiedSource verified, size_t num_concepts, size_t num_sentences,

@@ -1,0 +1,140 @@
+#include "serve/batcher.h"
+
+#include <utility>
+#include <vector>
+
+#include "util/cancellation.h"
+#include "util/thread_pool.h"
+
+namespace semdrift {
+
+Batcher::Batcher(QueryEngine* engine, BatcherOptions options)
+    : engine_(engine), options_(options) {
+  if (options_.max_batch == 0) options_.max_batch = 1;
+  paused_ = options_.start_paused;
+  dispatcher_ = std::thread([this] { DispatchLoop(); });
+}
+
+Batcher::~Batcher() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    paused_ = false;  // A paused batcher still drains on shutdown.
+  }
+  wake_.notify_all();
+  dispatcher_.join();
+}
+
+std::future<std::string> Batcher::Submit(std::string line) {
+  return Submit(std::move(line), options_.default_deadline_ms);
+}
+
+std::future<std::string> Batcher::Submit(std::string line, int deadline_ms) {
+  Request req;
+  req.line = std::move(line);
+  if (deadline_ms > 0) {
+    req.has_deadline = true;
+    req.deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(deadline_ms);
+  }
+  std::future<std::string> future = req.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      req.promise.set_value("ERR\tserver shutting down");
+      return future;
+    }
+    queue_.push_back(std::move(req));
+    stats_.requests++;
+  }
+  wake_.notify_all();
+  return future;
+}
+
+void Batcher::Pause() {
+  std::lock_guard<std::mutex> lock(mu_);
+  paused_ = true;
+}
+
+void Batcher::Resume() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+  }
+  wake_.notify_all();
+}
+
+BatcherStats Batcher::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void Batcher::DispatchLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    wake_.wait(lock, [this] {
+      return stopping_ || (!paused_ && !queue_.empty());
+    });
+    if (queue_.empty()) {
+      if (stopping_) return;
+      continue;
+    }
+    // Coalesce: take what is already queued; if the batch is still small,
+    // linger up to max_wait_ms for stragglers (but never past a deadline
+    // already in the queue — expiring while parked would be self-inflicted).
+    if (!stopping_ && queue_.size() < options_.max_batch &&
+        options_.max_wait_ms > 0) {
+      auto park_until = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(options_.max_wait_ms);
+      for (const Request& r : queue_) {
+        if (r.has_deadline && r.deadline < park_until) park_until = r.deadline;
+      }
+      wake_.wait_until(lock, park_until, [this] {
+        return stopping_ || queue_.size() >= options_.max_batch;
+      });
+      if (paused_ && !stopping_) continue;
+    }
+    std::deque<Request> batch;
+    while (!queue_.empty() && batch.size() < options_.max_batch) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    stats_.batches++;
+    stats_.max_batch = std::max<uint64_t>(stats_.max_batch, batch.size());
+    lock.unlock();
+    RunBatch(&batch);
+    lock.lock();
+  }
+}
+
+void Batcher::RunBatch(std::deque<Request>* batch) {
+  const size_t n = batch->size();
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<std::string> responses = ParallelMap<std::string>(n, [&](size_t i) {
+    Request& req = (*batch)[i];
+    if (req.has_deadline) {
+      if (req.deadline <= now) return std::string("ERR\tdeadline exceeded");
+      CancellationToken token;
+      token.ArmDeadline(std::chrono::duration_cast<std::chrono::milliseconds>(
+          req.deadline - now));
+      ScopedCancellation scoped(&token);
+      return engine_->Answer(req.line);
+    }
+    return engine_->Answer(req.line);
+  });
+  // Record expiries before fulfilling any promise: a waiter woken by get()
+  // must already see its request counted in Snapshot().
+  uint64_t expired = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (responses[i] == "ERR\tdeadline exceeded") expired++;
+  }
+  if (expired > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.deadline_expired += expired;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    (*batch)[i].promise.set_value(std::move(responses[i]));
+  }
+}
+
+}  // namespace semdrift

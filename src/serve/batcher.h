@@ -1,0 +1,96 @@
+#ifndef SEMDRIFT_SERVE_BATCHER_H_
+#define SEMDRIFT_SERVE_BATCHER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "serve/query_engine.h"
+
+namespace semdrift {
+
+struct BatcherOptions {
+  /// Dispatch as soon as this many requests are queued.
+  size_t max_batch = 64;
+  /// ... or when the oldest queued request has waited this long.
+  int max_wait_ms = 1;
+  /// Deadline applied to requests submitted without an explicit one;
+  /// <= 0 means no deadline. Covers queue wait plus execution.
+  int default_deadline_ms = 1000;
+  /// Start with dispatch paused (tests use this to force coalescing
+  /// deterministically: queue N requests, then Resume()).
+  bool start_paused = false;
+};
+
+/// Counters for the dispatch loop (all monotone; read with Snapshot()).
+struct BatcherStats {
+  uint64_t requests = 0;
+  uint64_t batches = 0;
+  uint64_t max_batch = 0;
+  uint64_t deadline_expired = 0;
+};
+
+/// Coalesces submitted query lines into batches and executes each batch on
+/// the global thread pool via the ordered ParallelMap, completing every
+/// request's future with the engine's response. Because QueryEngine answers
+/// are deterministic, batched/concurrent execution is bit-identical to
+/// feeding the same lines to the engine serially.
+///
+/// Deadlines reuse util/cancellation: each request carries an absolute
+/// deadline; a request whose deadline passes while queued is answered
+/// `ERR deadline exceeded` without executing, and during execution the
+/// remaining budget is armed on a CancellationToken installed for the
+/// worker (so future long-running query kinds can poll it).
+class Batcher {
+ public:
+  /// `engine` must outlive the batcher.
+  explicit Batcher(QueryEngine* engine, BatcherOptions options = {});
+  /// Drains the queue (dispatching anything still pending), then stops.
+  ~Batcher();
+
+  Batcher(const Batcher&) = delete;
+  Batcher& operator=(const Batcher&) = delete;
+
+  /// Enqueues one request line; the future yields the response line.
+  std::future<std::string> Submit(std::string line);
+  /// Same with an explicit deadline (<= 0: none) overriding the default.
+  std::future<std::string> Submit(std::string line, int deadline_ms);
+
+  /// Holds dispatch so queued requests coalesce; Resume() releases them.
+  void Pause();
+  void Resume();
+
+  BatcherStats Snapshot() const;
+
+ private:
+  struct Request {
+    std::string line;
+    std::promise<std::string> promise;
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline{};
+  };
+
+  void DispatchLoop();
+  /// Runs one batch on the pool and completes its promises.
+  void RunBatch(std::deque<Request>* batch);
+
+  QueryEngine* engine_;
+  BatcherOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable wake_;
+  std::deque<Request> queue_;
+  bool paused_ = false;
+  bool stopping_ = false;
+  BatcherStats stats_;
+  std::thread dispatcher_;
+};
+
+}  // namespace semdrift
+
+#endif  // SEMDRIFT_SERVE_BATCHER_H_

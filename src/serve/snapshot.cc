@@ -1,0 +1,732 @@
+#include "serve/snapshot.h"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/crc32.h"
+#include "util/fault_injection.h"
+#include "util/thread_pool.h"
+
+namespace semdrift {
+
+namespace {
+
+// -- Format constants --------------------------------------------------------
+
+// "SDSNAP1\n" as a little-endian u64.
+constexpr uint64_t kMagic = 0x0a3150414e534453ull;
+// "SNAP" end marker after the file CRC.
+constexpr uint32_t kEndMagic = 0x50414e53u;
+constexpr uint32_t kVersion = 1;
+constexpr size_t kHeaderBytes = 48;
+constexpr size_t kSectionEntryBytes = 24;
+constexpr size_t kFooterBytes = 8;
+
+constexpr uint32_t FourCc(char a, char b, char c, char d) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(a)) |
+         static_cast<uint32_t>(static_cast<unsigned char>(b)) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(c)) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(d)) << 24;
+}
+
+// Section order is fixed in version 1.
+enum SectionIndex {
+  kSecConceptNames = 0,
+  kSecInstanceNames,
+  kSecForwardCsr,
+  kSecRank,
+  kSecScores,
+  kSecSupport,
+  kSecInverseCsr,
+  kSecConceptMeta,
+  kSecMutex,
+  kSecNameSort,
+  kNumSections,
+};
+
+constexpr uint32_t kSectionTags[kNumSections] = {
+    FourCc('C', 'N', 'A', 'M'), FourCc('I', 'N', 'A', 'M'),
+    FourCc('F', 'C', 'S', 'R'), FourCc('R', 'A', 'N', 'K'),
+    FourCc('S', 'C', 'O', 'R'), FourCc('S', 'U', 'P', 'P'),
+    FourCc('I', 'C', 'S', 'R'), FourCc('C', 'M', 'E', 'T'),
+    FourCc('M', 'U', 'T', 'X'), FourCc('N', 'S', 'R', 'T'),
+};
+
+// -- Little-endian append/read helpers --------------------------------------
+
+void AppendU32(std::string* out, uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out->append(b, 4);
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out->append(b, 8);
+}
+
+void AppendF64(std::string* out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  AppendU64(out, bits);
+}
+
+uint32_t ReadU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | static_cast<unsigned char>(p[i]);
+  return v;
+}
+
+uint64_t ReadU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | static_cast<unsigned char>(p[i]);
+  return v;
+}
+
+size_t Align8(size_t n) { return (n + 7) & ~size_t{7}; }
+
+uint64_t MutexKey(uint32_t a, uint32_t b) {
+  uint32_t lo = a < b ? a : b;
+  uint32_t hi = a < b ? b : a;
+  return (static_cast<uint64_t>(lo) << 32) | hi;
+}
+
+bool Finite(double v) { return v == v && v - v == 0.0; }
+
+/// Interned name table: u32 offsets[n+1] into the blob, then the blob.
+std::string BuildNameSection(size_t n,
+                             const std::function<const std::string&(size_t)>& name) {
+  std::string payload;
+  std::string blob;
+  std::vector<uint32_t> offsets(n + 1, 0);
+  for (size_t i = 0; i < n; ++i) {
+    offsets[i] = static_cast<uint32_t>(blob.size());
+    blob += name(i);
+  }
+  offsets[n] = static_cast<uint32_t>(blob.size());
+  payload.reserve(4 * offsets.size() + blob.size());
+  for (uint32_t o : offsets) AppendU32(&payload, o);
+  payload += blob;
+  return payload;
+}
+
+}  // namespace
+
+// -- Writer ------------------------------------------------------------------
+
+Status WriteSnapshot(const KnowledgeBase& kb, const World& world,
+                     const RunHealthReport* health, const SnapshotOptions& options,
+                     const std::string& path) {
+  const size_t nc = world.num_concepts();
+  const size_t ni = world.num_instances();
+
+  // Score every concept over the final KB (checked: a non-converged walk
+  // yields capped finite scores, never NaN in the score column). Fans out
+  // over the global pool; concept order makes the result deterministic.
+  std::vector<std::unordered_map<InstanceId, double>> scores =
+      ParallelMap<std::unordered_map<InstanceId, double>>(nc, [&](size_t ci) {
+        return ScoreConceptChecked(kb, ConceptId(static_cast<uint32_t>(ci)),
+                                   options.model, options.walk)
+            .scores;
+      });
+
+  // Forward CSR: live pairs per concept, restricted to world id spaces
+  // (open-class discoveries are skipped, matching ExportTaxonomyTsv), rows
+  // sorted by instance id.
+  std::vector<uint64_t> fwd_rows(nc + 1, 0);
+  std::vector<uint32_t> fwd_instance;
+  std::vector<double> score_col;
+  std::vector<uint32_t> support_col;
+  std::vector<uint32_t> iter1_col;
+  std::vector<uint32_t> rank;
+  for (size_t ci = 0; ci < nc; ++ci) {
+    ConceptId c(static_cast<uint32_t>(ci));
+    std::vector<InstanceId> live = kb.LiveInstancesOf(c);
+    live.erase(std::remove_if(live.begin(), live.end(),
+                              [&](InstanceId e) { return e.value >= ni; }),
+               live.end());
+    std::sort(live.begin(), live.end());
+    const uint64_t base = fwd_instance.size();
+    for (InstanceId e : live) {
+      IsAPair pair{c, e};
+      fwd_instance.push_back(e.value);
+      auto it = scores[ci].find(e);
+      score_col.push_back(it == scores[ci].end() ? 0.0 : it->second);
+      support_col.push_back(static_cast<uint32_t>(kb.Count(pair)));
+      iter1_col.push_back(static_cast<uint32_t>(kb.Iter1Count(pair)));
+    }
+    // Rank slice: same pairs re-ordered by (score desc, instance id asc).
+    std::vector<uint32_t> order(live.size());
+    for (size_t i = 0; i < order.size(); ++i) {
+      order[i] = static_cast<uint32_t>(base + i);
+    }
+    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      if (score_col[a] != score_col[b]) return score_col[a] > score_col[b];
+      return fwd_instance[a] < fwd_instance[b];
+    });
+    rank.insert(rank.end(), order.begin(), order.end());
+    fwd_rows[ci + 1] = fwd_instance.size();
+  }
+  const uint64_t np = fwd_instance.size();
+  if (np > 0xffffffffull) {
+    return Status::Internal("snapshot: pair count " + std::to_string(np) +
+                            " exceeds the u32 pair-index space");
+  }
+  for (double s : score_col) {
+    if (!Finite(s)) return Status::Internal("snapshot: non-finite score column");
+  }
+
+  // Inverse CSR by counting sort; iterating forward pairs in (concept asc,
+  // instance asc) order makes every inverse row concept-sorted for free.
+  std::vector<uint64_t> inv_rows(ni + 1, 0);
+  for (uint32_t e : fwd_instance) inv_rows[e + 1]++;
+  for (size_t i = 1; i <= ni; ++i) inv_rows[i] += inv_rows[i - 1];
+  std::vector<uint32_t> inv_concept(np, 0);
+  std::vector<uint32_t> inv_pair(np, 0);
+  {
+    std::vector<uint64_t> next(inv_rows.begin(), inv_rows.end() - 1);
+    for (size_t ci = 0; ci < nc; ++ci) {
+      for (uint64_t j = fwd_rows[ci]; j < fwd_rows[ci + 1]; ++j) {
+        uint64_t slot = next[fwd_instance[j]]++;
+        inv_concept[slot] = static_cast<uint32_t>(ci);
+        inv_pair[slot] = static_cast<uint32_t>(j);
+      }
+    }
+  }
+
+  // Concept metadata + the sparse mutex table. The effective-similarity
+  // replication below mirrors MutexIndex::EffectiveSim exactly (closure max
+  // over each side's highly-similar partners, not the cross product).
+  MutexIndex midx(kb, nc, options.mutex);
+  std::vector<uint8_t> flags(nc, 0);
+  std::vector<uint32_t> usable;
+  for (size_t ci = 0; ci < nc; ++ci) {
+    ConceptId c(static_cast<uint32_t>(ci));
+    if (health != nullptr && health->IsQuarantined(c.value)) flags[ci] |= 1u;
+    if (midx.Usable(c)) {
+      flags[ci] |= 2u;
+      usable.push_back(c.value);
+    }
+  }
+  struct MutexEntry {
+    uint64_t key;
+    double sim;
+  };
+  std::vector<std::vector<MutexEntry>> mutex_rows =
+      ParallelMap<std::vector<MutexEntry>>(usable.size(), [&](size_t i) {
+        std::vector<MutexEntry> row;
+        ConceptId a(usable[i]);
+        for (size_t j = i + 1; j < usable.size(); ++j) {
+          ConceptId b(usable[j]);
+          double eff = midx.Sim(a, b);
+          for (ConceptId a2 : midx.SimilarConcepts(a)) {
+            eff = std::max(eff, midx.Sim(a2, b));
+          }
+          for (ConceptId b2 : midx.SimilarConcepts(b)) {
+            eff = std::max(eff, midx.Sim(a, b2));
+          }
+          if (eff > 0.0) row.push_back(MutexEntry{MutexKey(a.value, b.value), eff});
+        }
+        return row;
+      });
+  std::vector<MutexEntry> mutex_entries;
+  for (const auto& row : mutex_rows) {
+    mutex_entries.insert(mutex_entries.end(), row.begin(), row.end());
+  }
+  std::sort(mutex_entries.begin(), mutex_entries.end(),
+            [](const MutexEntry& a, const MutexEntry& b) { return a.key < b.key; });
+
+  // Name-sorted permutations for allocation-free name lookup.
+  std::vector<uint32_t> concept_by_name(nc), instance_by_name(ni);
+  for (size_t i = 0; i < nc; ++i) concept_by_name[i] = static_cast<uint32_t>(i);
+  for (size_t i = 0; i < ni; ++i) instance_by_name[i] = static_cast<uint32_t>(i);
+  std::sort(concept_by_name.begin(), concept_by_name.end(),
+            [&](uint32_t a, uint32_t b) {
+              return world.ConceptName(ConceptId(a)) < world.ConceptName(ConceptId(b));
+            });
+  std::sort(instance_by_name.begin(), instance_by_name.end(),
+            [&](uint32_t a, uint32_t b) {
+              return world.InstanceName(InstanceId(a)) <
+                     world.InstanceName(InstanceId(b));
+            });
+
+  // -- Assemble section payloads --------------------------------------------
+
+  std::string sections[kNumSections];
+  sections[kSecConceptNames] = BuildNameSection(nc, [&](size_t i) -> const std::string& {
+    return world.ConceptName(ConceptId(static_cast<uint32_t>(i)));
+  });
+  sections[kSecInstanceNames] =
+      BuildNameSection(ni, [&](size_t i) -> const std::string& {
+        return world.InstanceName(InstanceId(static_cast<uint32_t>(i)));
+      });
+  {
+    std::string& s = sections[kSecForwardCsr];
+    for (uint64_t r : fwd_rows) AppendU64(&s, r);
+    for (uint32_t e : fwd_instance) AppendU32(&s, e);
+  }
+  for (uint32_t r : rank) AppendU32(&sections[kSecRank], r);
+  for (double v : score_col) AppendF64(&sections[kSecScores], v);
+  {
+    std::string& s = sections[kSecSupport];
+    for (uint32_t v : support_col) AppendU32(&s, v);
+    for (uint32_t v : iter1_col) AppendU32(&s, v);
+  }
+  {
+    std::string& s = sections[kSecInverseCsr];
+    for (uint64_t r : inv_rows) AppendU64(&s, r);
+    for (uint32_t c : inv_concept) AppendU32(&s, c);
+    for (uint32_t p : inv_pair) AppendU32(&s, p);
+  }
+  sections[kSecConceptMeta].assign(reinterpret_cast<const char*>(flags.data()),
+                                   flags.size());
+  {
+    std::string& s = sections[kSecMutex];
+    AppendF64(&s, options.mutex.mutex_threshold);
+    AppendF64(&s, options.mutex.similar_threshold);
+    AppendU64(&s, mutex_entries.size());
+    for (const MutexEntry& e : mutex_entries) AppendU64(&s, e.key);
+    for (const MutexEntry& e : mutex_entries) AppendF64(&s, e.sim);
+  }
+  {
+    std::string& s = sections[kSecNameSort];
+    for (uint32_t c : concept_by_name) AppendU32(&s, c);
+    for (uint32_t e : instance_by_name) AppendU32(&s, e);
+  }
+
+  // -- Frame: header, section table, padded payloads, footer ----------------
+
+  size_t offsets[kNumSections];
+  size_t cursor = kHeaderBytes + kNumSections * kSectionEntryBytes + 8;
+  for (int i = 0; i < kNumSections; ++i) {
+    offsets[i] = cursor;
+    cursor = Align8(cursor + sections[i].size());
+  }
+  const uint64_t total_bytes = cursor + kFooterBytes;
+
+  std::string file;
+  file.reserve(total_bytes);
+  AppendU64(&file, kMagic);
+  AppendU32(&file, kVersion);
+  AppendU32(&file, kNumSections);
+  AppendU64(&file, total_bytes);
+  AppendU32(&file, static_cast<uint32_t>(nc));
+  AppendU32(&file, static_cast<uint32_t>(ni));
+  AppendU64(&file, np);
+  AppendU32(&file, Crc32Of(std::string_view(file.data(), file.size())));
+  AppendU32(&file, 0);  // pad
+
+  std::string table;
+  for (int i = 0; i < kNumSections; ++i) {
+    AppendU32(&table, kSectionTags[i]);
+    AppendU32(&table, Crc32Of(sections[i]));
+    AppendU64(&table, offsets[i]);
+    AppendU64(&table, sections[i].size());
+  }
+  file += table;
+  AppendU32(&file, Crc32Of(table));
+  AppendU32(&file, 0);  // pad
+
+  for (int i = 0; i < kNumSections; ++i) {
+    file += sections[i];
+    file.append(Align8(file.size()) - file.size(), '\0');
+  }
+  AppendU32(&file, Crc32Of(file));
+  AppendU32(&file, kEndMagic);
+
+  // Temp-and-rename, same as checkpoints: a torn write can only leave a
+  // `.tmp` carcass, never a partial file under the final name.
+  std::string tmp = path + ".snap-tmp";
+  Status written = WriteStringToFile(file, tmp);
+  if (!written.ok()) return written;
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    return Status::IOError("cannot rename " + tmp + " to " + path + ": " +
+                           ec.message());
+  }
+  return Status::OK();
+}
+
+// -- Reader ------------------------------------------------------------------
+
+Result<SnapshotReader> SnapshotReader::Open(const std::string& path) {
+  auto content = ReadFileToString(path);
+  if (!content.ok()) return content.status();
+  SnapshotReader reader;
+  reader.file_bytes_ = content->size();
+  reader.buffer_.assign((content->size() + 7) / 8, 0);
+  std::memcpy(reader.buffer_.data(), content->data(), content->size());
+  Status mapped = reader.Map();
+  if (!mapped.ok()) {
+    return Status::DataLoss("snapshot " + path + ": " + mapped.message());
+  }
+  Status valid = reader.Validate();
+  if (!valid.ok()) {
+    return Status::DataLoss("snapshot " + path + ": " + valid.message());
+  }
+  return reader;
+}
+
+Status SnapshotReader::Map() {
+  const char* base = reinterpret_cast<const char*>(buffer_.data());
+  const uint64_t size = file_bytes_;
+  const size_t table_bytes = kNumSections * kSectionEntryBytes;
+  if (size < kHeaderBytes + table_bytes + 8 + kFooterBytes) {
+    return Status::DataLoss("file too small (" + std::to_string(size) + " bytes)");
+  }
+  if (ReadU64(base) != kMagic) return Status::DataLoss("bad magic");
+  const uint32_t version = ReadU32(base + 8);
+  if (version != kVersion) {
+    return Status::DataLoss("unsupported version " + std::to_string(version));
+  }
+  if (ReadU32(base + 12) != kNumSections) {
+    return Status::DataLoss("unexpected section count");
+  }
+  if (ReadU64(base + 16) != size) {
+    return Status::DataLoss("declared size " + std::to_string(ReadU64(base + 16)) +
+                            " != actual " + std::to_string(size) +
+                            " (torn write?)");
+  }
+  num_concepts_ = ReadU32(base + 24);
+  num_instances_ = ReadU32(base + 28);
+  num_pairs_ = ReadU64(base + 32);
+  if (ReadU32(base + 40) != Crc32Of(std::string_view(base, 40))) {
+    return Status::DataLoss("header checksum mismatch");
+  }
+  // Whole-file CRC first: one check that covers padding and the table too.
+  if (ReadU32(base + size - 8) !=
+      Crc32Of(std::string_view(base, static_cast<size_t>(size - 8)))) {
+    return Status::DataLoss("file checksum mismatch");
+  }
+  if (ReadU32(base + size - 4) != kEndMagic) {
+    return Status::DataLoss("missing end marker (torn write?)");
+  }
+  if (ReadU32(base + kHeaderBytes + table_bytes) !=
+      Crc32Of(std::string_view(base + kHeaderBytes, table_bytes))) {
+    return Status::DataLoss("section table checksum mismatch");
+  }
+
+  uint64_t offsets[kNumSections];
+  uint64_t sizes[kNumSections];
+  for (int i = 0; i < kNumSections; ++i) {
+    const char* entry = base + kHeaderBytes + i * kSectionEntryBytes;
+    if (ReadU32(entry) != kSectionTags[i]) {
+      return Status::DataLoss("section " + std::to_string(i) + " has wrong tag");
+    }
+    offsets[i] = ReadU64(entry + 8);
+    sizes[i] = ReadU64(entry + 16);
+    if (offsets[i] % 8 != 0 || offsets[i] > size - kFooterBytes ||
+        sizes[i] > size - kFooterBytes - offsets[i]) {
+      return Status::DataLoss("section " + std::to_string(i) +
+                              " extends past the file");
+    }
+    if (ReadU32(entry + 4) !=
+        Crc32Of(std::string_view(base + offsets[i],
+                                 static_cast<size_t>(sizes[i])))) {
+      return Status::DataLoss("section " + std::to_string(i) +
+                              " checksum mismatch");
+    }
+  }
+
+  const uint64_t nc = num_concepts_;
+  const uint64_t ni = num_instances_;
+  const uint64_t np = num_pairs_;
+  auto expect = [&](int sec, uint64_t want) -> Status {
+    if (sizes[sec] != want) {
+      return Status::DataLoss("section " + std::to_string(sec) + " size " +
+                              std::to_string(sizes[sec]) + " != expected " +
+                              std::to_string(want));
+    }
+    return Status::OK();
+  };
+
+  if (sizes[kSecConceptNames] < 4 * (nc + 1)) {
+    return Status::DataLoss("concept name table shorter than its offset array");
+  }
+  concept_name_offsets_ =
+      reinterpret_cast<const uint32_t*>(base + offsets[kSecConceptNames]);
+  concept_name_blob_ =
+      base + offsets[kSecConceptNames] + 4 * (nc + 1);
+  concept_blob_bytes_ = sizes[kSecConceptNames] - 4 * (nc + 1);
+
+  if (sizes[kSecInstanceNames] < 4 * (ni + 1)) {
+    return Status::DataLoss("instance name table shorter than its offset array");
+  }
+  instance_name_offsets_ =
+      reinterpret_cast<const uint32_t*>(base + offsets[kSecInstanceNames]);
+  instance_name_blob_ = base + offsets[kSecInstanceNames] + 4 * (ni + 1);
+  instance_blob_bytes_ = sizes[kSecInstanceNames] - 4 * (ni + 1);
+
+  Status s = expect(kSecForwardCsr, 8 * (nc + 1) + 4 * np);
+  if (!s.ok()) return s;
+  fwd_rows_ = reinterpret_cast<const uint64_t*>(base + offsets[kSecForwardCsr]);
+  fwd_instance_ = reinterpret_cast<const uint32_t*>(base + offsets[kSecForwardCsr] +
+                                                    8 * (nc + 1));
+
+  s = expect(kSecRank, 4 * np);
+  if (!s.ok()) return s;
+  rank_ = reinterpret_cast<const uint32_t*>(base + offsets[kSecRank]);
+
+  s = expect(kSecScores, 8 * np);
+  if (!s.ok()) return s;
+  score_ = reinterpret_cast<const double*>(base + offsets[kSecScores]);
+
+  s = expect(kSecSupport, 8 * np);
+  if (!s.ok()) return s;
+  support_ = reinterpret_cast<const uint32_t*>(base + offsets[kSecSupport]);
+  iter1_ = reinterpret_cast<const uint32_t*>(base + offsets[kSecSupport] + 4 * np);
+
+  s = expect(kSecInverseCsr, 8 * (ni + 1) + 8 * np);
+  if (!s.ok()) return s;
+  inv_rows_ = reinterpret_cast<const uint64_t*>(base + offsets[kSecInverseCsr]);
+  inv_concept_ = reinterpret_cast<const uint32_t*>(base + offsets[kSecInverseCsr] +
+                                                   8 * (ni + 1));
+  inv_pair_ = reinterpret_cast<const uint32_t*>(base + offsets[kSecInverseCsr] +
+                                                8 * (ni + 1) + 4 * np);
+
+  s = expect(kSecConceptMeta, nc);
+  if (!s.ok()) return s;
+  concept_flags_ = reinterpret_cast<const uint8_t*>(base + offsets[kSecConceptMeta]);
+
+  if (sizes[kSecMutex] < 24 || (sizes[kSecMutex] - 24) % 16 != 0) {
+    return Status::DataLoss("mutex table has impossible size");
+  }
+  {
+    const char* m = base + offsets[kSecMutex];
+    uint64_t bits = ReadU64(m);
+    std::memcpy(&mutex_threshold_, &bits, 8);
+    bits = ReadU64(m + 8);
+    std::memcpy(&similar_threshold_, &bits, 8);
+    num_mutex_ = ReadU64(m + 16);
+    if (num_mutex_ != (sizes[kSecMutex] - 24) / 16) {
+      return Status::DataLoss("mutex table count disagrees with its size");
+    }
+    mutex_keys_ = reinterpret_cast<const uint64_t*>(m + 24);
+    mutex_sims_ = reinterpret_cast<const double*>(m + 24 + 8 * num_mutex_);
+  }
+
+  s = expect(kSecNameSort, 4 * nc + 4 * ni);
+  if (!s.ok()) return s;
+  concept_by_name_ = reinterpret_cast<const uint32_t*>(base + offsets[kSecNameSort]);
+  instance_by_name_ =
+      reinterpret_cast<const uint32_t*>(base + offsets[kSecNameSort] + 4 * nc);
+  return Status::OK();
+}
+
+Status SnapshotReader::Validate() const {
+  const uint64_t nc = num_concepts_;
+  const uint64_t ni = num_instances_;
+  const uint64_t np = num_pairs_;
+
+  // String tables: monotone offsets ending exactly at the blob size.
+  auto check_names = [](const uint32_t* offsets, uint64_t n, uint64_t blob_bytes,
+                        const char* what) -> Status {
+    if (offsets[0] != 0) {
+      return Status::DataLoss(std::string(what) + " name offsets do not start at 0");
+    }
+    for (uint64_t i = 0; i < n; ++i) {
+      if (offsets[i + 1] < offsets[i]) {
+        return Status::DataLoss(std::string(what) + " name offsets not monotone at " +
+                                std::to_string(i));
+      }
+    }
+    if (offsets[n] != blob_bytes) {
+      return Status::DataLoss(std::string(what) + " name blob bounds mismatch");
+    }
+    return Status::OK();
+  };
+  Status s = check_names(concept_name_offsets_, nc, concept_blob_bytes_, "concept");
+  if (!s.ok()) return s;
+  s = check_names(instance_name_offsets_, ni, instance_blob_bytes_, "instance");
+  if (!s.ok()) return s;
+
+  // Forward CSR: monotone rows covering exactly np, instance ids in range
+  // and strictly increasing within a row.
+  if (fwd_rows_[0] != 0 || fwd_rows_[nc] != np) {
+    return Status::DataLoss("forward CSR rows do not cover the pair array");
+  }
+  for (uint64_t c = 0; c < nc; ++c) {
+    if (fwd_rows_[c + 1] < fwd_rows_[c]) {
+      return Status::DataLoss("forward CSR rows not monotone at concept " +
+                              std::to_string(c));
+    }
+    for (uint64_t j = fwd_rows_[c]; j < fwd_rows_[c + 1]; ++j) {
+      if (fwd_instance_[j] >= ni) {
+        return Status::DataLoss("pair " + std::to_string(j) +
+                                " references instance out of range");
+      }
+      if (j > fwd_rows_[c] && fwd_instance_[j] <= fwd_instance_[j - 1]) {
+        return Status::DataLoss("forward row of concept " + std::to_string(c) +
+                                " not strictly sorted by instance");
+      }
+    }
+  }
+
+  // Score column must be finite (the writer stores checked scores).
+  for (uint64_t j = 0; j < np; ++j) {
+    double v = score_[j];
+    if (!(v == v) || v - v != 0.0) {
+      return Status::DataLoss("non-finite score at pair " + std::to_string(j));
+    }
+  }
+
+  // Rank: each concept slice is a permutation of its row, ordered by
+  // (score desc, instance asc).
+  {
+    std::vector<uint8_t> seen(np, 0);
+    for (uint64_t c = 0; c < nc; ++c) {
+      for (uint64_t j = fwd_rows_[c]; j < fwd_rows_[c + 1]; ++j) {
+        uint32_t p = rank_[j];
+        if (p < fwd_rows_[c] || p >= fwd_rows_[c + 1]) {
+          return Status::DataLoss("rank entry escapes its concept row at " +
+                                  std::to_string(j));
+        }
+        if (seen[p]) {
+          return Status::DataLoss("rank entry duplicated at " + std::to_string(j));
+        }
+        seen[p] = 1;
+        if (j > fwd_rows_[c]) {
+          uint32_t prev = rank_[j - 1];
+          if (score_[p] > score_[prev] ||
+              (score_[p] == score_[prev] &&
+               fwd_instance_[p] <= fwd_instance_[prev])) {
+            return Status::DataLoss("rank order violated at " + std::to_string(j));
+          }
+        }
+      }
+    }
+  }
+
+  // Inverse CSR: monotone, in-range, concept-sorted rows whose entries agree
+  // with the forward index pair for pair.
+  if (inv_rows_[0] != 0 || inv_rows_[ni] != np) {
+    return Status::DataLoss("inverse CSR rows do not cover the pair array");
+  }
+  {
+    std::vector<uint8_t> seen(np, 0);
+    for (uint64_t e = 0; e < ni; ++e) {
+      if (inv_rows_[e + 1] < inv_rows_[e]) {
+        return Status::DataLoss("inverse CSR rows not monotone at instance " +
+                                std::to_string(e));
+      }
+      for (uint64_t i = inv_rows_[e]; i < inv_rows_[e + 1]; ++i) {
+        uint32_t c = inv_concept_[i];
+        uint32_t p = inv_pair_[i];
+        if (c >= nc || p >= np) {
+          return Status::DataLoss("inverse entry out of range at " +
+                                  std::to_string(i));
+        }
+        if (seen[p]) {
+          return Status::DataLoss("inverse entry reuses pair " + std::to_string(p));
+        }
+        seen[p] = 1;
+        if (p < fwd_rows_[c] || p >= fwd_rows_[c + 1] || fwd_instance_[p] != e) {
+          return Status::DataLoss("inverse entry disagrees with forward pair " +
+                                  std::to_string(p));
+        }
+        if (i > inv_rows_[e] && inv_concept_[i] <= inv_concept_[i - 1]) {
+          return Status::DataLoss("inverse row of instance " + std::to_string(e) +
+                                  " not strictly sorted by concept");
+        }
+      }
+    }
+  }
+
+  // Mutex table: strictly increasing keys of distinct in-range concepts,
+  // finite non-negative similarities.
+  for (uint64_t i = 0; i < num_mutex_; ++i) {
+    uint32_t lo = static_cast<uint32_t>(mutex_keys_[i] >> 32);
+    uint32_t hi = static_cast<uint32_t>(mutex_keys_[i] & 0xffffffffu);
+    if (lo >= hi || hi >= nc) {
+      return Status::DataLoss("mutex key out of range at " + std::to_string(i));
+    }
+    if (i > 0 && mutex_keys_[i] <= mutex_keys_[i - 1]) {
+      return Status::DataLoss("mutex keys not strictly sorted at " +
+                              std::to_string(i));
+    }
+    double v = mutex_sims_[i];
+    if (!(v == v) || v - v != 0.0 || v < 0.0) {
+      return Status::DataLoss("mutex similarity invalid at " + std::to_string(i));
+    }
+  }
+
+  // Name-sort arrays: true permutations in non-descending name order.
+  auto check_perm = [this](const uint32_t* perm, uint64_t n, bool concepts,
+                           const char* what) -> Status {
+    std::vector<uint8_t> seen(n, 0);
+    for (uint64_t i = 0; i < n; ++i) {
+      if (perm[i] >= n || seen[perm[i]]) {
+        return Status::DataLoss(std::string(what) +
+                                " name-sort array is not a permutation");
+      }
+      seen[perm[i]] = 1;
+      if (i > 0) {
+        std::string_view prev = concepts ? ConceptName(perm[i - 1])
+                                         : InstanceName(perm[i - 1]);
+        std::string_view cur =
+            concepts ? ConceptName(perm[i]) : InstanceName(perm[i]);
+        if (cur < prev) {
+          return Status::DataLoss(std::string(what) +
+                                  " name-sort array is out of order");
+        }
+      }
+    }
+    return Status::OK();
+  };
+  s = check_perm(concept_by_name_, nc, true, "concept");
+  if (!s.ok()) return s;
+  s = check_perm(instance_by_name_, ni, false, "instance");
+  if (!s.ok()) return s;
+  return Status::OK();
+}
+
+uint32_t SnapshotReader::FindConcept(std::string_view name) const {
+  const uint32_t* begin = concept_by_name_;
+  const uint32_t* end = begin + num_concepts_;
+  const uint32_t* it = std::lower_bound(
+      begin, end, name,
+      [this](uint32_t id, std::string_view n) { return ConceptName(id) < n; });
+  if (it == end || ConceptName(*it) != name) return kNoId;
+  return *it;
+}
+
+uint32_t SnapshotReader::FindInstance(std::string_view name) const {
+  const uint32_t* begin = instance_by_name_;
+  const uint32_t* end = begin + num_instances_;
+  const uint32_t* it = std::lower_bound(
+      begin, end, name,
+      [this](uint32_t id, std::string_view n) { return InstanceName(id) < n; });
+  if (it == end || InstanceName(*it) != name) return kNoId;
+  return *it;
+}
+
+uint64_t SnapshotReader::FindPair(uint32_t c, uint32_t e) const {
+  const uint32_t* begin = fwd_instance_ + fwd_rows_[c];
+  const uint32_t* end = fwd_instance_ + fwd_rows_[c + 1];
+  const uint32_t* it = std::lower_bound(begin, end, e);
+  if (it == end || *it != e) return kNoPair;
+  return static_cast<uint64_t>(it - fwd_instance_);
+}
+
+double SnapshotReader::EffectiveSim(uint32_t a, uint32_t b) const {
+  if (a == b) return 1.0;
+  uint64_t key = MutexKey(a, b);
+  const uint64_t* end = mutex_keys_ + num_mutex_;
+  const uint64_t* it = std::lower_bound(mutex_keys_, end, key);
+  if (it == end || *it != key) return 0.0;
+  return mutex_sims_[it - mutex_keys_];
+}
+
+bool SnapshotReader::IsMutex(uint32_t a, uint32_t b) const {
+  if (a == b || a >= num_concepts_ || b >= num_concepts_) return false;
+  if (!MutexUsable(a) || !MutexUsable(b)) return false;
+  return EffectiveSim(a, b) < mutex_threshold_;
+}
+
+}  // namespace semdrift

@@ -1,0 +1,208 @@
+#ifndef SEMDRIFT_SERVE_SNAPSHOT_H_
+#define SEMDRIFT_SERVE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "corpus/world.h"
+#include "kb/knowledge_base.h"
+#include "mutex/mutex_index.h"
+#include "rank/scorers.h"
+#include "util/status.h"
+#include "util/supervisor.h"
+
+namespace semdrift {
+
+/// Immutable, versioned serving snapshot of a finished run (the read side of
+/// the pipeline): a KnowledgeBase compiled into one binary file that a
+/// QueryEngine can answer from with zero per-query allocation.
+///
+/// Layout (version 1; every payload offset is 8-byte aligned and every
+/// section carries its own CRC32, with a whole-file CRC32 footer on top):
+///
+///   header      magic "SDSNAP1\n", version, counts, header CRC
+///   section table  (tag, CRC, offset, size) per section + table CRC
+///   CNAM/INAM   interned name tables: u32 offsets[n+1] + byte blob
+///   FCSR        forward CSR concept->pairs: u64 rows[nc+1] + u32 inst[np],
+///               each row sorted by instance id (binary-searchable)
+///   RANK        per-concept pair indices re-ordered by (score desc, id asc)
+///               — top-k-by-score is a prefix read
+///   SCOR        f64 score column (Eq. 3 walk score over the final KB)
+///   SUPP        u32 support + u32 iter1 columns
+///   ICSR        inverse CSR instance->pairs: u64 rows[ni+1] + u32 concept
+///               + u32 forward pair index (score column is shared)
+///   CMET        per-concept flags (quarantined, mutex-usable)
+///   MUTX        thresholds + sorted (concept,concept) keys with effective
+///               similarity — the sparse complement of "is mutex"
+///   NSRT        name-sorted id permutations for allocation-free name lookup
+///   footer      whole-file CRC32 + end magic
+///
+/// The CSR flattening mirrors ConceptGraph's packed adjacency (PR 2): row
+/// offsets plus contiguous columns, so a concept's instances, scores and
+/// supports are one cache-friendly slice.
+
+/// Scoring/mutex configuration compiled into a snapshot. Defaults match the
+/// cleaning pipeline (CleanerOptions), so served drift scores are the scores
+/// the DP features saw over the final KB.
+struct SnapshotOptions {
+  RankModel model = RankModel::kRandomWalk;
+  WalkParams walk;
+  MutexParams mutex;
+};
+
+/// Compiles the live pairs of `kb` (restricted to the world's concept and
+/// instance id spaces, like ExportTaxonomyTsv) into a snapshot at `path`.
+/// Scores are computed here (ScoreCache::Warm across the thread pool);
+/// quarantine flags come from `health` when given. The file is written to a
+/// temp name and renamed into place, so a torn write never leaves a partial
+/// snapshot under the final name.
+Status WriteSnapshot(const KnowledgeBase& kb, const World& world,
+                     const RunHealthReport* health, const SnapshotOptions& options,
+                     const std::string& path);
+
+/// A loaded snapshot: one contiguous 8-byte-aligned buffer with typed
+/// pointers into it. All accessors are const, thread-safe and allocation-free
+/// after Open(). Open() verifies framing (magic, version, section CRCs, file
+/// CRC) and then deep structure (Validate()): CSR monotonicity, id bounds,
+/// string-table bounds, rank-permutation integrity — a snapshot that opens
+/// is safe to serve from without per-query checks.
+class SnapshotReader {
+ public:
+  static constexpr uint32_t kNoId = 0xffffffffu;
+  static constexpr uint64_t kNoPair = ~0ull;
+
+  static Result<SnapshotReader> Open(const std::string& path);
+
+  SnapshotReader(SnapshotReader&&) = default;
+  SnapshotReader& operator=(SnapshotReader&&) = default;
+  SnapshotReader(const SnapshotReader&) = delete;
+  SnapshotReader& operator=(const SnapshotReader&) = delete;
+
+  uint32_t num_concepts() const { return num_concepts_; }
+  uint32_t num_instances() const { return num_instances_; }
+  uint64_t num_pairs() const { return num_pairs_; }
+  uint64_t num_mutex_pairs() const { return num_mutex_; }
+  uint64_t file_bytes() const { return file_bytes_; }
+
+  // -- Names ----------------------------------------------------------------
+
+  std::string_view ConceptName(uint32_t c) const {
+    return Interned(concept_name_offsets_, concept_name_blob_, c);
+  }
+  std::string_view InstanceName(uint32_t e) const {
+    return Interned(instance_name_offsets_, instance_name_blob_, e);
+  }
+
+  /// Binary search over the name-sorted permutation; kNoId when absent.
+  uint32_t FindConcept(std::string_view name) const;
+  uint32_t FindInstance(std::string_view name) const;
+
+  // -- Forward index (concept -> pairs) -------------------------------------
+
+  /// Pair-index range [first, last) of concept `c`. Rows are sorted by
+  /// instance id.
+  uint64_t ConceptBegin(uint32_t c) const { return fwd_rows_[c]; }
+  uint64_t ConceptEnd(uint32_t c) const { return fwd_rows_[c + 1]; }
+
+  uint32_t PairInstance(uint64_t pair) const { return fwd_instance_[pair]; }
+  double PairScore(uint64_t pair) const { return score_[pair]; }
+  uint32_t PairSupport(uint64_t pair) const { return support_[pair]; }
+  uint32_t PairIter1(uint64_t pair) const { return iter1_[pair]; }
+
+  /// Pair indices of concept `c` in (score desc, instance id asc) order;
+  /// slice delimiters are ConceptBegin/End.
+  const uint32_t* RankOrder() const { return rank_; }
+
+  /// Binary search for (c, e); kNoPair when the pair is not live.
+  uint64_t FindPair(uint32_t c, uint32_t e) const;
+
+  // -- Inverse index (instance -> pairs) ------------------------------------
+
+  uint64_t InstanceBegin(uint32_t e) const { return inv_rows_[e]; }
+  uint64_t InstanceEnd(uint32_t e) const { return inv_rows_[e + 1]; }
+  /// Concept of the i-th inverse entry; rows are sorted by concept id.
+  uint32_t InvConcept(uint64_t i) const { return inv_concept_[i]; }
+  /// Forward pair index of the i-th inverse entry (shares the score column).
+  uint64_t InvPairIndex(uint64_t i) const { return inv_pair_[i]; }
+
+  // -- Concept metadata & mutex ---------------------------------------------
+
+  /// Concept was quarantined by the supervised run that produced this KB.
+  bool ConceptQuarantined(uint32_t c) const { return (concept_flags_[c] & 1u) != 0; }
+  /// Concept has enough core instances to participate in mutex labeling.
+  bool MutexUsable(uint32_t c) const { return (concept_flags_[c] & 2u) != 0; }
+
+  double mutex_threshold() const { return mutex_threshold_; }
+  double similar_threshold() const { return similar_threshold_; }
+
+  /// Effective (closure-max) similarity; 0 when the pair shares no core
+  /// instances even through highly-similar twins.
+  double EffectiveSim(uint32_t a, uint32_t b) const;
+
+  /// MutexIndex::IsMutex over the compiled table: both usable, distinct,
+  /// effective similarity below the threshold.
+  bool IsMutex(uint32_t a, uint32_t b) const;
+
+  // -- Integrity -------------------------------------------------------------
+
+  /// Deep structural validation (run by Open; exposed for snapshot-verify):
+  /// CSR row monotonicity and bounds, per-row sortedness, rank slices being
+  /// true score-ordered permutations, inverse/forward cross-consistency,
+  /// string-table monotone offsets, mutex key order, name-sort permutations.
+  /// Returns kDataLoss naming the first violated invariant.
+  Status Validate() const;
+
+ private:
+  SnapshotReader() = default;
+
+  static std::string_view Interned(const uint32_t* offsets, const char* blob,
+                                   uint32_t i) {
+    return std::string_view(blob + offsets[i], offsets[i + 1] - offsets[i]);
+  }
+
+  /// Points the typed members into buffer_; fails on framing damage.
+  Status Map();
+
+  /// The whole file, 8-byte aligned.
+  std::vector<uint64_t> buffer_;
+  uint64_t file_bytes_ = 0;
+
+  uint32_t num_concepts_ = 0;
+  uint32_t num_instances_ = 0;
+  uint64_t num_pairs_ = 0;
+  uint64_t num_mutex_ = 0;
+
+  const uint32_t* concept_name_offsets_ = nullptr;
+  const char* concept_name_blob_ = nullptr;
+  uint64_t concept_blob_bytes_ = 0;
+  const uint32_t* instance_name_offsets_ = nullptr;
+  const char* instance_name_blob_ = nullptr;
+  uint64_t instance_blob_bytes_ = 0;
+
+  const uint64_t* fwd_rows_ = nullptr;
+  const uint32_t* fwd_instance_ = nullptr;
+  const uint32_t* rank_ = nullptr;
+  const double* score_ = nullptr;
+  const uint32_t* support_ = nullptr;
+  const uint32_t* iter1_ = nullptr;
+
+  const uint64_t* inv_rows_ = nullptr;
+  const uint32_t* inv_concept_ = nullptr;
+  const uint32_t* inv_pair_ = nullptr;
+
+  const uint8_t* concept_flags_ = nullptr;
+
+  double mutex_threshold_ = 0.0;
+  double similar_threshold_ = 0.0;
+  const uint64_t* mutex_keys_ = nullptr;
+  const double* mutex_sims_ = nullptr;
+
+  const uint32_t* concept_by_name_ = nullptr;
+  const uint32_t* instance_by_name_ = nullptr;
+};
+
+}  // namespace semdrift
+
+#endif  // SEMDRIFT_SERVE_SNAPSHOT_H_

@@ -1,0 +1,117 @@
+# CTest script: run --snapshot-out -> snapshot-verify -> serve -> scripted
+# queries -> expected-answers diff. The expected answers come from `semdrift
+# query` one-shots over the same snapshot, so the serve path (batcher + line
+# protocol on stdin/stdout) must agree byte for byte with direct engine
+# answers — including top-k-by-score ordering.
+file(MAKE_DIRECTORY ${WORK_DIR})
+execute_process(
+  COMMAND ${CLI} generate --scale 0.05 --seed 11
+          --world ${WORK_DIR}/w.tsv --corpus ${WORK_DIR}/c.tsv
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "generate failed (${rc}): ${out} ${err}")
+endif()
+
+execute_process(
+  COMMAND ${CLI} run --world ${WORK_DIR}/w.tsv --corpus ${WORK_DIR}/c.tsv
+          --out ${WORK_DIR}/t.tsv --snapshot-out ${WORK_DIR}/s.bin
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "run failed (${rc}): ${out} ${err}")
+endif()
+# Satellite contract: a successful run names the artifacts it wrote.
+if(NOT out MATCHES "taxonomy -> ")
+  message(FATAL_ERROR "run output missing taxonomy path: ${out}")
+endif()
+if(NOT out MATCHES "snapshot -> ")
+  message(FATAL_ERROR "run output missing snapshot path: ${out}")
+endif()
+
+execute_process(
+  COMMAND ${CLI} snapshot-verify ${WORK_DIR}/s.bin
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "snapshot-verify failed on a fresh snapshot (${rc}): ${err}")
+endif()
+
+# Damaged files must fail verification with a non-zero exit (deep seeded
+# corruption is covered by serve_snapshot_test; this guards the CLI exit
+# code contract).
+file(WRITE ${WORK_DIR}/not-a-snapshot.bin "this is not a snapshot\n")
+execute_process(
+  COMMAND ${CLI} snapshot-verify ${WORK_DIR}/not-a-snapshot.bin
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "snapshot-verify accepted garbage")
+endif()
+
+# Pull a real live (concept, instance) pair from the exported taxonomy so
+# the session exercises OK answers, not just misses.
+file(STRINGS ${WORK_DIR}/t.tsv taxonomy_lines LIMIT_COUNT 2)
+list(GET taxonomy_lines 1 first_pair)
+string(REPLACE "\t" ";" first_pair_fields "${first_pair}")
+list(GET first_pair_fields 0 concept_name)
+list(GET first_pair_fields 1 instance_name)
+
+set(queries
+  "instances-of\t${concept_name}\t5"
+  "instances-of\t${concept_name}"
+  "concepts-of\t${instance_name}"
+  "is-a\t${instance_name}\t${concept_name}"
+  "drift-score\t${instance_name}\t${concept_name}"
+  "mutex\t${concept_name}\tasian country"
+  "drift-score\tno such instance\t${concept_name}"
+  "instances-of\tno such concept"
+)
+set(script "")
+set(expected "")
+foreach(q IN LISTS queries)
+  string(APPEND script "${q}\n")
+  string(REPLACE "\t" ";" argv "${q}")
+  execute_process(
+    COMMAND ${CLI} query --snapshot ${WORK_DIR}/s.bin ${argv}
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  # Non-zero exits are expected for the NOT_FOUND probes; the printed answer
+  # is still the contract being diffed.
+  string(APPEND expected "${out}")
+endforeach()
+string(APPEND script "stats\nquit\n")
+file(WRITE ${WORK_DIR}/queries.txt "${script}")
+
+execute_process(
+  COMMAND ${CLI} serve --snapshot ${WORK_DIR}/s.bin
+  INPUT_FILE ${WORK_DIR}/queries.txt
+  OUTPUT_FILE ${WORK_DIR}/served.txt
+  ERROR_VARIABLE err
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "serve failed (${rc}): ${err}")
+endif()
+
+file(READ ${WORK_DIR}/served.txt served)
+# The session ends with the stats response; everything before it must equal
+# the one-shot answers byte for byte.
+string(FIND "${served}" "OK\tstats" stats_at)
+if(stats_at EQUAL -1)
+  message(FATAL_ERROR "serve session missing stats response: ${served}")
+endif()
+string(SUBSTRING "${served}" 0 ${stats_at} served_answers)
+if(NOT served_answers STREQUAL expected)
+  message(FATAL_ERROR "serve answers differ from one-shot answers.\n"
+          "served:\n${served_answers}\nexpected:\n${expected}")
+endif()
+
+# The first query must actually have answered with instances.
+string(REPLACE "\t" ";" first_fields "${expected}")
+list(GET first_fields 0 first_status)
+if(NOT first_status STREQUAL "OK")
+  message(FATAL_ERROR "instances-of on a live concept did not answer OK: ${expected}")
+endif()
+
+# The query one-shot must exit non-zero on a miss (scriptability contract).
+execute_process(
+  COMMAND ${CLI} query --snapshot ${WORK_DIR}/s.bin instances-of "no such concept"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "query exit code should be non-zero for NOT_FOUND")
+endif()

@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "eval/experiment.h"
+#include "rank/scorers.h"
+#include "serve/query_engine.h"
+#include "serve/snapshot.h"
+#include "util/string_util.h"
+
+namespace semdrift {
+namespace {
+
+class QueryEngineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ExperimentConfig config = PaperScaleConfig(0.05);
+    config.seed = 31;
+    experiment_ = Experiment::Build(config).release();
+    kb_ = new KnowledgeBase(experiment_->Extract());
+    path_ = ::testing::TempDir() + "/serve_query_engine_test.bin";
+    Status written =
+        WriteSnapshot(*kb_, experiment_->world(), nullptr, SnapshotOptions{}, path_);
+    ASSERT_TRUE(written.ok()) << written.ToString();
+    auto opened = SnapshotReader::Open(path_);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    snapshot_ = new SnapshotReader(std::move(*opened));
+  }
+  static void TearDownTestSuite() {
+    delete snapshot_;
+    delete kb_;
+    delete experiment_;
+    snapshot_ = nullptr;
+    kb_ = nullptr;
+    experiment_ = nullptr;
+  }
+
+  /// A concept that actually has live instances (query answers are boring
+  /// otherwise).
+  static ConceptId PopulatedConcept() {
+    for (uint32_t c = 0; c < snapshot_->num_concepts(); ++c) {
+      if (snapshot_->ConceptEnd(c) - snapshot_->ConceptBegin(c) >= 3) {
+        return ConceptId(c);
+      }
+    }
+    ADD_FAILURE() << "no populated concept in the test KB";
+    return ConceptId(0);
+  }
+
+  static Experiment* experiment_;
+  static KnowledgeBase* kb_;
+  static SnapshotReader* snapshot_;
+  static std::string path_;
+};
+
+Experiment* QueryEngineTest::experiment_ = nullptr;
+KnowledgeBase* QueryEngineTest::kb_ = nullptr;
+SnapshotReader* QueryEngineTest::snapshot_ = nullptr;
+std::string QueryEngineTest::path_;
+
+TEST_F(QueryEngineTest, TopKOrderingMatchesDirectKbScores) {
+  QueryEngine engine(snapshot_);
+  const World& world = experiment_->world();
+  for (uint32_t ci = 0; ci < snapshot_->num_concepts(); ++ci) {
+    ConceptId c(ci);
+    // Direct lookup: live instances ranked by checked walk score, ties by id.
+    ConceptScores scored =
+        ScoreConceptChecked(*kb_, c, RankModel::kRandomWalk, WalkParams{});
+    std::vector<InstanceId> live = kb_->LiveInstancesOf(c);
+    live.erase(std::remove_if(live.begin(), live.end(),
+                              [&](InstanceId e) {
+                                return e.value >= world.num_instances();
+                              }),
+               live.end());
+    auto score_of = [&](InstanceId e) {
+      auto it = scored.scores.find(e);
+      return it == scored.scores.end() ? 0.0 : it->second;
+    };
+    std::sort(live.begin(), live.end(), [&](InstanceId a, InstanceId b) {
+      if (score_of(a) != score_of(b)) return score_of(a) > score_of(b);
+      return a.value < b.value;
+    });
+    const size_t k = std::min<size_t>(5, live.size());
+
+    std::string response = engine.Answer("instances-of\t" + world.ConceptName(c) +
+                                         "\t" + std::to_string(k));
+    std::vector<std::string> fields = Split(response, '\t');
+    ASSERT_GE(fields.size(), 3u + k) << response;
+    EXPECT_EQ(fields[0], "OK");
+    EXPECT_EQ(fields[1], "n=" + std::to_string(live.size()));
+    EXPECT_EQ(fields[2], "quarantined=0");
+    for (size_t i = 0; i < k; ++i) {
+      const std::string expected_name = world.InstanceName(live[i]);
+      ASSERT_TRUE(StartsWith(fields[3 + i], expected_name + "="))
+          << "concept " << world.ConceptName(c) << " rank " << i << ": got "
+          << fields[3 + i] << ", want instance " << expected_name;
+      char* end = nullptr;
+      const double served = std::strtod(fields[3 + i].c_str() +
+                                        expected_name.size() + 1, &end);
+      EXPECT_EQ(served, score_of(live[i]));  // %.17g round-trips exactly.
+    }
+  }
+}
+
+TEST_F(QueryEngineTest, ConceptsOfMatchesInverseMembership) {
+  QueryEngine engine(snapshot_);
+  const World& world = experiment_->world();
+  ConceptId c = PopulatedConcept();
+  const uint32_t e = snapshot_->PairInstance(snapshot_->ConceptBegin(c.value));
+  std::string response =
+      engine.Answer("concepts-of\t" + world.InstanceName(InstanceId(e)));
+  std::vector<std::string> fields = Split(response, '\t');
+  ASSERT_GE(fields.size(), 2u) << response;
+  EXPECT_EQ(fields[0], "OK");
+  const uint64_t expected_n = snapshot_->InstanceEnd(e) - snapshot_->InstanceBegin(e);
+  EXPECT_EQ(fields[1], "n=" + std::to_string(expected_n));
+  ASSERT_EQ(fields.size(), 2 + expected_n);
+  for (uint64_t i = 0; i < expected_n; ++i) {
+    const uint32_t concept_id = snapshot_->InvConcept(snapshot_->InstanceBegin(e) + i);
+    EXPECT_TRUE(StartsWith(fields[2 + i],
+                           world.ConceptName(ConceptId(concept_id)) + "="));
+    EXPECT_TRUE(kb_->Contains(IsAPair{ConceptId(concept_id), InstanceId(e)}));
+  }
+}
+
+TEST_F(QueryEngineTest, IsAAndDriftScoreAgreeWithSnapshot) {
+  QueryEngine engine(snapshot_);
+  const World& world = experiment_->world();
+  ConceptId c = PopulatedConcept();
+  const std::string concept_name = world.ConceptName(c);
+  const uint64_t pair = snapshot_->ConceptBegin(c.value);
+  const std::string member = world.InstanceName(InstanceId(snapshot_->PairInstance(pair)));
+
+  std::string yes = engine.Answer("is-a\t" + member + "\t" + concept_name);
+  ASSERT_TRUE(StartsWith(yes, "OK\tyes\tscore=")) << yes;
+  std::string drift = engine.Answer("drift-score\t" + member + "\t" + concept_name);
+  // The drift-score payload is exactly the is-a score field.
+  std::vector<std::string> yes_fields = Split(yes, '\t');
+  EXPECT_EQ(drift, "OK\t" + yes_fields[2].substr(std::string("score=").size()));
+
+  // A known instance that is NOT live under this concept: no + score 0,
+  // matching ScoreCache::Get's contract for dead/unknown pairs.
+  uint32_t outsider = SnapshotReader::kNoId;
+  for (uint32_t e = 0; e < snapshot_->num_instances(); ++e) {
+    if (snapshot_->FindPair(c.value, e) == SnapshotReader::kNoPair) {
+      outsider = e;
+      break;
+    }
+  }
+  ASSERT_NE(outsider, SnapshotReader::kNoId);
+  const std::string outsider_name = world.InstanceName(InstanceId(outsider));
+  EXPECT_EQ(engine.Answer("is-a\t" + outsider_name + "\t" + concept_name), "OK\tno");
+  EXPECT_EQ(engine.Answer("drift-score\t" + outsider_name + "\t" + concept_name),
+            "OK\t0");
+
+  EXPECT_EQ(engine.Answer("is-a\tnot a real instance\t" + concept_name),
+            "NOT_FOUND\tnot a real instance");
+}
+
+TEST_F(QueryEngineTest, WhitespaceModeResolvesMultiWordNames) {
+  QueryEngine engine(snapshot_);
+  const World& world = experiment_->world();
+  // Find a multi-word concept with a live instance.
+  for (uint32_t ci = 0; ci < snapshot_->num_concepts(); ++ci) {
+    const std::string& name = world.ConceptName(ConceptId(ci));
+    if (name.find(' ') == std::string::npos) continue;
+    if (snapshot_->ConceptEnd(ci) == snapshot_->ConceptBegin(ci)) continue;
+    const std::string member =
+        world.InstanceName(InstanceId(snapshot_->PairInstance(snapshot_->ConceptBegin(ci))));
+    if (member.find(' ') != std::string::npos) continue;
+    // Space-separated line, no tabs: the engine must find the split.
+    std::string spacey = engine.Answer("is-a " + member + " " + name);
+    std::string tabbed = engine.Answer("is-a\t" + member + "\t" + name);
+    EXPECT_EQ(spacey, tabbed);
+    EXPECT_TRUE(StartsWith(tabbed, "OK\tyes")) << tabbed;
+    return;
+  }
+  GTEST_SKIP() << "no multi-word concept with live instances in this world";
+}
+
+TEST_F(QueryEngineTest, CacheHitsAreByteIdenticalAndCounted) {
+  QueryEngine engine(snapshot_);
+  const World& world = experiment_->world();
+  ConceptId c = PopulatedConcept();
+  const std::string query = "instances-of\t" + world.ConceptName(c) + "\t3";
+  std::string first = engine.Answer(query);
+  std::string second = engine.Answer(query);
+  EXPECT_EQ(first, second);
+  QueryTypeStats stats = engine.stats().Snapshot(QueryType::kInstancesOf);
+  EXPECT_EQ(stats.count, 2u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_GT(stats.total_ns, 0u);
+  EXPECT_DOUBLE_EQ(stats.HitRate(), 0.5);
+}
+
+TEST_F(QueryEngineTest, TinyCacheEvictsButStaysCorrect) {
+  QueryEngineOptions options;
+  options.cache_shards = 1;
+  options.cache_capacity = 2;
+  QueryEngine engine(snapshot_, options);
+  const World& world = experiment_->world();
+  std::vector<std::string> queries;
+  for (uint32_t ci = 0; ci < std::min<uint32_t>(8, snapshot_->num_concepts()); ++ci) {
+    queries.push_back("instances-of\t" + world.ConceptName(ConceptId(ci)) + "\t2");
+  }
+  std::vector<std::string> first;
+  for (const std::string& q : queries) first.push_back(engine.Answer(q));
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(engine.Answer(queries[i]), first[i]);
+  }
+}
+
+TEST_F(QueryEngineTest, MalformedRequestsAreErrorsNotCrashes) {
+  QueryEngine engine(snapshot_);
+  EXPECT_TRUE(StartsWith(engine.Answer(""), "ERR\t"));
+  EXPECT_TRUE(StartsWith(engine.Answer("frobnicate\tx"), "ERR\t"));
+  EXPECT_TRUE(StartsWith(engine.Answer("is-a\tonly-one-arg"), "ERR\t"));
+  EXPECT_TRUE(StartsWith(engine.Answer("instances-of"), "ERR\t"));
+  EXPECT_TRUE(StartsWith(engine.Answer("mutex\ta"), "ERR\t"));
+  QueryTypeStats stats = engine.stats().Snapshot(QueryType::kIsA);
+  EXPECT_EQ(stats.errors, 1u);
+}
+
+TEST_F(QueryEngineTest, StatsVerbReportsAllTypes) {
+  QueryEngine engine(snapshot_);
+  std::string response = engine.Answer("stats");
+  EXPECT_TRUE(StartsWith(response, "OK\tstats")) << response;
+  for (const char* name :
+       {"instances-of=", "concepts-of=", "is-a=", "drift-score=", "mutex="}) {
+    EXPECT_NE(response.find(name), std::string::npos) << response;
+  }
+}
+
+}  // namespace
+}  // namespace semdrift

@@ -2,7 +2,8 @@
 //
 //   semdrift generate --scale 0.25 --seed 2014 --world w.tsv --corpus c.tsv
 //       Generate a ground-truth world + Hearst corpus and save both.
-//   semdrift run --world w.tsv --corpus c.tsv --out taxonomy.tsv [--no-clean]
+//   semdrift run --world w.tsv --corpus c.tsv --out taxonomy.tsv
+//                [--snapshot-out s.bin] [--no-clean]
 //                [--lenient] [--checkpoint-dir D [--resume] [--validate]
 //                [--keep-checkpoints N]] [--supervise] [--health-report]
 //                [--stage-deadline-ms N] [--max-retries N] [--quarantine on|off]
@@ -20,6 +21,20 @@
 //   semdrift parse --world w.tsv
 //       Read raw sentences from stdin, parse each with the Hearst parser,
 //       print the candidate analysis.
+//   semdrift serve --snapshot s.bin [--cache N] [--cache-shards N]
+//                  [--max-batch N] [--max-wait-ms N] [--deadline-ms N]
+//       Load a serving snapshot and answer line-protocol queries on
+//       stdin/stdout (instances-of, concepts-of, is-a, drift-score, mutex,
+//       stats; `quit` exits). Requests are coalesced into batches and
+//       executed on the thread pool; responses come back in request order.
+//   semdrift query --snapshot s.bin <verb> <args...>
+//       One-shot: answer a single query and exit (non-zero on ERR or
+//       NOT_FOUND). Each shell argument becomes one protocol field, so
+//       multi-word names need quoting, not tabs.
+//   semdrift snapshot-verify <file>
+//       Check snapshot framing (magic, version, CRCs) and deep structure
+//       (CSR monotonicity, id bounds, rank permutations, string-table
+//       bounds). Exits non-zero on any corruption.
 //   semdrift fuzz-load [--count 200] [--seed 2014] [--scale 0.05] [--dir D]
 //       Fault-injection sweep: corrupt world/corpus/checkpoint files in
 //       seeded, targeted ways and prove every loader survives — each
@@ -29,11 +44,16 @@
 // Every subcommand is deterministic in --seed. Unknown flags, missing flag
 // values and non-numeric values for numeric flags exit non-zero.
 
+#include <condition_variable>
 #include <cstdio>
+#include <deque>
 #include <filesystem>
+#include <future>
 #include <iostream>
+#include <mutex>
 #include <set>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -44,6 +64,9 @@
 #include "extract/checkpoint.h"
 #include "extract/extractor.h"
 #include "extract/hearst_parser.h"
+#include "serve/batcher.h"
+#include "serve/query_engine.h"
+#include "serve/snapshot.h"
 #include "util/fault_injection.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -127,7 +150,8 @@ int Usage() {
       stderr,
       "usage:\n"
       "  semdrift generate --scale S --seed N --world W --corpus C\n"
-      "  semdrift run --world W --corpus C --out T.tsv [--no-clean] [--lenient]\n"
+      "  semdrift run --world W --corpus C --out T.tsv [--snapshot-out S]\n"
+      "               [--no-clean] [--lenient]\n"
       "               [--checkpoint-dir D [--resume] [--validate]\n"
       "               [--keep-checkpoints N]] [--supervise] [--health-report]\n"
       "               [--stage-deadline-ms N] [--max-retries N]\n"
@@ -135,6 +159,10 @@ int Usage() {
       "               [--fault-kinds throw,stall,nan]\n"
       "               [--fault-stages warm,collect,train,score]\n"
       "  semdrift parse --world W   (sentences on stdin)\n"
+      "  semdrift serve --snapshot S [--cache N] [--cache-shards N]\n"
+      "               [--max-batch N] [--max-wait-ms N] [--deadline-ms N]\n"
+      "  semdrift query --snapshot S <verb> <args...>\n"
+      "  semdrift snapshot-verify <file>\n"
       "  semdrift fuzz-load [--count N] [--seed N] [--scale S] [--dir D]\n"
       "\n"
       "Every subcommand accepts --threads N (default: SEMDRIFT_THREADS env\n"
@@ -191,6 +219,29 @@ int Generate(const Flags& flags) {
               world_path.c_str());
   std::printf("corpus: %zu sentences -> %s\n", experiment->corpus().sentences.size(),
               corpus_path.c_str());
+  return 0;
+}
+
+/// Successful runs name every artifact they wrote (taxonomy, checkpoints,
+/// snapshot) on stdout so serve/query commands can be chained in scripts.
+/// Writing the serving snapshot is part of the run: a KB that fails
+/// validation fails the run rather than becoming a corrupt snapshot.
+int FinishRun(const Flags& flags, const KnowledgeBase& kb, const World& world,
+              size_t num_sentences, const RunHealthReport* health,
+              const std::string& taxonomy_path, const std::string& checkpoint_dir) {
+  std::printf("taxonomy -> %s\n", taxonomy_path.c_str());
+  if (!checkpoint_dir.empty()) {
+    std::printf("checkpoints -> %s\n", checkpoint_dir.c_str());
+  }
+  std::string snapshot_path = flags.Get("snapshot-out", "");
+  if (!snapshot_path.empty()) {
+    Status s = WriteServingSnapshot(kb, world, num_sentences, health, snapshot_path);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("snapshot -> %s\n", snapshot_path.c_str());
+  }
   return 0;
 }
 
@@ -323,8 +374,8 @@ int Run(const Flags& flags) {
       std::fprintf(stderr, "%s\n", s.ToString().c_str());
       return 1;
     }
-    std::printf("taxonomy -> %s\n", out.c_str());
-    return 0;
+    return FinishRun(flags, run->kb, *world, corpus->sentences.size(),
+                     &run->health, out, checkpoint_dir);
   }
 
   KnowledgeBase kb;
@@ -374,8 +425,8 @@ int Run(const Flags& flags) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
     return 1;
   }
-  std::printf("taxonomy -> %s\n", out.c_str());
-  return 0;
+  return FinishRun(flags, kb, *world, corpus->sentences.size(),
+                   /*health=*/nullptr, out, checkpoint_dir);
 }
 
 int Parse(const Flags& flags) {
@@ -406,6 +457,148 @@ int Parse(const Flags& flags) {
     }
     std::printf("]\n");
   }
+  return 0;
+}
+
+Result<SnapshotReader> OpenSnapshotOrDie(const std::string& path) {
+  if (path.empty()) {
+    std::fprintf(stderr, "--snapshot is required\n");
+    std::exit(2);
+  }
+  return SnapshotReader::Open(path);
+}
+
+int Serve(const Flags& flags) {
+  ApplyThreadsFlag(flags);
+  auto reader = OpenSnapshotOrDie(flags.Get("snapshot", ""));
+  if (!reader.ok()) {
+    std::fprintf(stderr, "%s\n", reader.status().ToString().c_str());
+    return 1;
+  }
+  QueryEngineOptions engine_options;
+  engine_options.cache_capacity = flags.GetUint("cache", 4096);
+  engine_options.cache_shards = flags.GetUint("cache-shards", 16);
+  QueryEngine engine(&*reader, engine_options);
+  BatcherOptions batch_options;
+  batch_options.max_batch = flags.GetUint("max-batch", 64);
+  batch_options.max_wait_ms = static_cast<int>(flags.GetUint("max-wait-ms", 1));
+  batch_options.default_deadline_ms =
+      static_cast<int>(flags.GetUint("deadline-ms", 1000));
+  Batcher batcher(&engine, batch_options);
+  std::fprintf(stderr, "serving %u concepts, %u instances, %llu pairs; ready\n",
+               reader->num_concepts(), reader->num_instances(),
+               static_cast<unsigned long long>(reader->num_pairs()));
+
+  // Reader/printer split: stdin keeps feeding the batcher while earlier
+  // requests execute (that concurrency is what makes batches form), and a
+  // printer thread emits responses strictly in request order.
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::future<std::string>> pending;
+  bool input_done = false;
+  std::thread printer([&] {
+    for (;;) {
+      std::future<std::string> next;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return input_done || !pending.empty(); });
+        if (pending.empty()) return;
+        next = std::move(pending.front());
+        pending.pop_front();
+      }
+      std::string response = next.get();
+      std::fputs(response.c_str(), stdout);
+      std::fputc('\n', stdout);
+      std::fflush(stdout);
+    }
+  });
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line == "quit" || line == "exit") break;
+    if (line.empty()) continue;
+    std::future<std::string> response = batcher.Submit(line);
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      pending.push_back(std::move(response));
+    }
+    cv.notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    input_done = true;
+  }
+  cv.notify_all();
+  printer.join();
+  return 0;
+}
+
+/// One-shot query. Positional arguments become protocol fields (joined with
+/// tabs), so a quoted multi-word name stays a single field. Exits non-zero
+/// when the answer is ERR or NOT_FOUND, making it scriptable.
+int Query(int argc, char** argv) {
+  std::string snapshot_path;
+  std::string line;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--snapshot" || arg == "--threads") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        return 2;
+      }
+      if (arg == "--snapshot") {
+        snapshot_path = argv[++i];
+      } else {
+        uint64_t threads = 0;
+        if (!ParseUint64(argv[++i], &threads)) {
+          std::fprintf(stderr, "invalid value for --threads: '%s'\n", argv[i]);
+          return 2;
+        }
+        SetGlobalThreadCount(static_cast<int>(threads));
+      }
+      continue;
+    }
+    if (StartsWith(arg, "--")) {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return 2;
+    }
+    if (!line.empty()) line += '\t';
+    line += arg;
+  }
+  if (line.empty()) {
+    std::fprintf(stderr, "usage: semdrift query --snapshot S <verb> <args...>\n");
+    return 2;
+  }
+  auto reader = OpenSnapshotOrDie(snapshot_path);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "%s\n", reader.status().ToString().c_str());
+    return 1;
+  }
+  QueryEngine engine(&*reader);
+  std::string response = engine.Answer(line);
+  std::printf("%s\n", response.c_str());
+  return response.compare(0, 2, "OK") == 0 ? 0 : 1;
+}
+
+/// Integrity gate for stored snapshots: Open() re-checks framing and every
+/// CRC, then Validate() walks the deep structural invariants. Non-zero exit
+/// on any corruption makes this usable as a deploy precondition.
+int SnapshotVerify(int argc, char** argv) {
+  if (argc != 3 || StartsWith(argv[2], "--")) {
+    std::fprintf(stderr, "usage: semdrift snapshot-verify <file>\n");
+    return 2;
+  }
+  std::string path = argv[2];
+  auto reader = SnapshotReader::Open(path);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "FAIL %s\n", reader.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("OK %s: %u concepts, %u instances, %llu pairs, %llu mutex pairs, "
+              "%llu bytes\n",
+              path.c_str(), reader->num_concepts(), reader->num_instances(),
+              static_cast<unsigned long long>(reader->num_pairs()),
+              static_cast<unsigned long long>(reader->num_mutex_pairs()),
+              static_cast<unsigned long long>(reader->file_bytes()));
   return 0;
 }
 
@@ -594,9 +787,10 @@ int main(int argc, char** argv) {
   }
   if (command == "run") {
     Flags flags(argc, argv, 2,
-                {"world", "corpus", "out", "checkpoint-dir", "keep-checkpoints",
-                 "threads", "stage-deadline-ms", "max-retries", "quarantine",
-                 "fault-rate", "fault-seed", "fault-kinds", "fault-stages"},
+                {"world", "corpus", "out", "snapshot-out", "checkpoint-dir",
+                 "keep-checkpoints", "threads", "stage-deadline-ms", "max-retries",
+                 "quarantine", "fault-rate", "fault-seed", "fault-kinds",
+                 "fault-stages"},
                 {"no-clean", "resume", "validate", "lenient", "supervise",
                  "health-report"});
     if (!flags.ok()) {
@@ -613,6 +807,19 @@ int main(int argc, char** argv) {
     }
     return Parse(flags);
   }
+  if (command == "serve") {
+    Flags flags(argc, argv, 2,
+                {"snapshot", "cache", "cache-shards", "max-batch", "max-wait-ms",
+                 "deadline-ms", "threads"},
+                {});
+    if (!flags.ok()) {
+      std::fprintf(stderr, "%s\n", flags.error().c_str());
+      return Usage();
+    }
+    return Serve(flags);
+  }
+  if (command == "query") return Query(argc, argv);
+  if (command == "snapshot-verify") return SnapshotVerify(argc, argv);
   if (command == "fuzz-load") {
     Flags flags(argc, argv, 2, {"count", "seed", "scale", "dir", "threads"}, {});
     if (!flags.ok()) {
