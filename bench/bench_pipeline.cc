@@ -30,6 +30,7 @@
 
 #include "dp/detector.h"
 #include "dp/features.h"
+#include "obs/metrics.h"
 #include "dp/seed_labeling.h"
 #include "eval/experiment.h"
 #include "ml/random_forest.h"
@@ -363,7 +364,10 @@ void WriteJson(const std::string& path, double scale, int threads, int repeat,
   }
   std::fprintf(f, "  ],\n");
   std::fprintf(f, "  \"detection_pipeline\":\n");
-  emit_stage(combined, "    ", true);
+  emit_stage(combined, "    ", false);
+  // The run's full metrics registry (pool jobs, warm/collect/train timings),
+  // so one file captures both the macro timings and the hot-path telemetry.
+  std::fprintf(f, "  \"metrics\": %s\n", semdrift::GlobalMetrics().ToJson().c_str());
   std::fprintf(f, "}\n");
   std::fclose(f);
 }

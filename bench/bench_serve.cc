@@ -34,6 +34,7 @@
 
 #include "bench_common.h"
 #include "eval/experiment.h"
+#include "obs/metrics.h"
 #include "serve/batcher.h"
 #include "serve/query_engine.h"
 #include "serve/snapshot.h"
@@ -297,10 +298,11 @@ int main(int argc, char** argv) {
                point_p99_us);
   std::fprintf(f,
                "  \"batches\": {\"requests\": %llu, \"batches\": %llu, "
-               "\"max_batch\": %llu}\n",
+               "\"max_batch\": %llu},\n",
                static_cast<unsigned long long>(batch_stats.requests),
                static_cast<unsigned long long>(batch_stats.batches),
                static_cast<unsigned long long>(batch_stats.max_batch));
+  std::fprintf(f, "  \"metrics\": %s\n", GlobalMetrics().ToJson().c_str());
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("-> %s\n", out.c_str());

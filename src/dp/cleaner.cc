@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "dp/sentence_check.h"
+#include "obs/trace.h"
 #include "rank/scorers.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
@@ -29,6 +30,8 @@ Status WarmSupervised(const KnowledgeBase& kb, ScoreCache* scores,
     ConceptScores value;
     StageOutcome outcome;
   };
+  ScopedSpan span(&GlobalTrace(), "warm.batch");
+  span.AddTag("concepts", static_cast<uint64_t>(scope.size()));
   std::vector<Slot> slots = ParallelMap<Slot>(scope.size(), [&](size_t i) {
     ConceptId c = scope[i];
     Slot slot;
@@ -89,6 +92,8 @@ Status ClassifySupervised(const KnowledgeBase& kb, const FeatureExtractor& featu
     Payload payload;
     StageOutcome outcome;
   };
+  ScopedSpan span(&GlobalTrace(), "score.batch");
+  span.AddTag("concepts", static_cast<uint64_t>(scope.size()));
   std::vector<Slot> slots = ParallelMap<Slot>(scope.size(), [&](size_t i) {
     ConceptId c = scope[i];
     Slot slot;
@@ -175,7 +180,15 @@ Result<CleaningReport> DpCleaner::CleanImpl(KnowledgeBase* kb,
   std::unique_ptr<DpDetector> detector;
 
   int first_round = hooks != nullptr ? hooks->first_round : 1;
+  // Spans recorded during cleaning carry the round as their epoch; reset on
+  // every exit path so later spans (snapshot write, serve) are not
+  // attributed to the last round.
+  struct EpochReset {
+    ~EpochReset() { GlobalTrace().SetEpoch(-1); }
+  } epoch_reset;
   for (int round = first_round; round <= options_.max_rounds; ++round) {
+    GlobalTrace().SetEpoch(round);
+    ScopedSpan round_span(&GlobalTrace(), "clean.round");
     // Quarantined concepts drop out of the scope between rounds/stages only
     // — within a stage the scope is fixed, which keeps surviving concepts'
     // work independent of when a doomed concept's guard fired.
@@ -319,6 +332,9 @@ Result<CleaningReport> DpCleaner::CleanImpl(KnowledgeBase* kb,
 
     report.rounds = round;
     report.records_rolled_back += rolled_this_round;
+    round_span.AddTag("scope", static_cast<uint64_t>(live_scope.size()));
+    round_span.AddTag("detections", static_cast<uint64_t>(detections.size()));
+    round_span.AddTag("rolled_back", static_cast<uint64_t>(rolled_this_round));
     if (hooks != nullptr && hooks->on_round) {
       Status checkpointed = hooks->on_round(round, *kb);
       if (!checkpointed.ok()) return checkpointed;

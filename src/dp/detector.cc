@@ -2,12 +2,41 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace semdrift {
+
+namespace {
+
+/// Worker-side gather instrumentation shared by the plain and supervised
+/// collectors (order-free atomics; safe from pool workers).
+struct CollectMetrics {
+  MetricsRegistry::Counter concepts;
+  MetricsRegistry::Counter instances;
+  MetricsRegistry::Histogram concept_ns;
+};
+
+CollectMetrics& GetCollectMetrics() {
+  static CollectMetrics metrics{
+      GlobalMetrics().RegisterCounter("collect.concepts"),
+      GlobalMetrics().RegisterCounter("collect.instances"),
+      GlobalMetrics().RegisterHistogram("collect.concept_ns", LatencyBucketsNs())};
+  return metrics;
+}
+
+uint64_t ElapsedNs(std::chrono::steady_clock::time_point start) {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now() - start)
+                                   .count());
+}
+
+}  // namespace
 
 TrainingData CollectTrainingData(const KnowledgeBase& kb, FeatureExtractor* features,
                                  const SeedLabeler& seeds,
@@ -15,8 +44,11 @@ TrainingData CollectTrainingData(const KnowledgeBase& kb, FeatureExtractor* feat
   // Concepts are independent (feature extraction and seed labeling only read
   // shared state), so they fan out across the pool; the ordered reduction
   // below keeps the result identical to a serial loop at any thread count.
+  ScopedSpan span(&GlobalTrace(), "collect.batch");
+  span.AddTag("concepts", static_cast<uint64_t>(concepts.size()));
   std::vector<ConceptTrainingData> per_concept =
       ParallelMap<ConceptTrainingData>(concepts.size(), [&](size_t i) {
+        auto start = std::chrono::steady_clock::now();
         ConceptId c = concepts[i];
         ConceptTrainingData entry;
         entry.concept_id = c;
@@ -25,6 +57,10 @@ TrainingData CollectTrainingData(const KnowledgeBase& kb, FeatureExtractor* feat
           entry.features.push_back(features->Extract(c, e));
           entry.seed_labels.push_back(seeds.Label(c, e));
         }
+        CollectMetrics& metrics = GetCollectMetrics();
+        metrics.concepts.Add();
+        metrics.instances.Add(entry.instances.size());
+        metrics.concept_ns.Observe(static_cast<double>(ElapsedNs(start)));
         return entry;
       });
   TrainingData data;
@@ -58,10 +94,13 @@ Result<TrainingData> CollectTrainingDataSupervised(
   // Guarded fan-out: each concept's gather runs its own attempt loop on a
   // pool worker. Guards only observe; all health mutation happens in the
   // ordered driver loop below, so the result is thread-count-invariant.
+  ScopedSpan span(&GlobalTrace(), "collect.batch");
+  span.AddTag("concepts", static_cast<uint64_t>(concepts.size()));
   std::vector<Slot> slots = ParallelMap<Slot>(concepts.size(), [&](size_t i) {
     ConceptId c = concepts[i];
     Slot slot;
     std::function<Payload(int)> body = [&, c](int attempt) {
+      auto start = std::chrono::steady_clock::now();
       Payload payload;
       payload.entry.concept_id = c;
       bool poison = supervisor->NanFaultActive(PipelineStage::kCollectTraining,
@@ -84,6 +123,10 @@ Result<TrainingData> CollectTrainingDataSupervised(
         payload.entry.features.push_back(f);
         payload.entry.seed_labels.push_back(seeds.Label(c, e));
       }
+      CollectMetrics& metrics = GetCollectMetrics();
+      metrics.concepts.Add();
+      metrics.instances.Add(payload.entry.instances.size());
+      metrics.concept_ns.Observe(static_cast<double>(ElapsedNs(start)));
       return payload;
     };
     Payload value;
@@ -384,6 +427,20 @@ const char* DetectorKindName(DetectorKind kind) {
 
 std::unique_ptr<DpDetector> TrainDetector(DetectorKind kind, const TrainingData& data,
                                           const DetectorTrainOptions& options) {
+  // Metrics only: TrainDetector runs both from serial drivers and from the
+  // guarded attempt thread, so spans (which must record in deterministic
+  // order) are emitted by the callers instead.
+  static MetricsRegistry::Counter train_calls =
+      GlobalMetrics().RegisterCounter("train.calls");
+  static MetricsRegistry::Histogram train_ns =
+      GlobalMetrics().RegisterHistogram("train.ns", LatencyBucketsNs());
+  auto start = std::chrono::steady_clock::now();
+  train_calls.Add();
+  struct TrainTimer {
+    std::chrono::steady_clock::time_point start;
+    MetricsRegistry::Histogram* hist;
+    ~TrainTimer() { hist->Observe(static_cast<double>(ElapsedNs(start))); }
+  } timer{start, &train_ns};
   std::vector<LabeledSample> labeled = PoolLabeled(data);
   switch (kind) {
     case DetectorKind::kAdHoc1:
@@ -412,6 +469,9 @@ Result<SupervisedTrainResult> TrainDetectorSupervised(
   // and the caller decides whether that ends cleaning.
   if (!HasLabeled(data)) return result;
 
+  ScopedSpan span(&GlobalTrace(), "detector.train");
+  span.AddTag("kind", DetectorKindName(kind));
+
   std::function<std::unique_ptr<DpDetector>(int)> body = [&](int attempt) {
     (void)attempt;
     return TrainDetector(kind, data, options);
@@ -428,9 +488,11 @@ Result<SupervisedTrainResult> TrainDetectorSupervised(
       &trained, &outcome);
   result.retries = outcome.retries;
   if (outcome.ok) {
+    span.SetOutcome(outcome.retries > 0 ? "retried" : "ok");
     result.detector = std::move(trained);
     return result;
   }
+  span.SetOutcome("fallback");
 
   // Degrade down the ad-hoc ladder. The fallbacks run unguarded: they are
   // the last resort, have no numeric fitting to fail, and an injected
@@ -451,6 +513,7 @@ Result<SupervisedTrainResult> TrainDetectorSupervised(
   // Even the ladder failed. Fail-fast mode surfaces the primary error;
   // quarantine mode records the degradation and returns no detector (the
   // cleaner stops cleaning, which is the maximal graceful degradation).
+  span.SetOutcome("failed");
   if (!supervisor->options().quarantine) {
     return Status::Internal("detector training failed after " +
                             std::to_string(outcome.retries) +

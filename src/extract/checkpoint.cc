@@ -1,10 +1,13 @@
 #include "extract/checkpoint.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <system_error>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/framed_file.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -228,6 +231,23 @@ Result<CheckpointState> LoadCheckpoint(const std::string& path) {
 }
 
 Status WriteCheckpoint(const std::string& dir, const CheckpointState& state) {
+  static MetricsRegistry::Counter writes =
+      GlobalMetrics().RegisterCounter("checkpoint.writes");
+  static MetricsRegistry::Histogram write_ns =
+      GlobalMetrics().RegisterHistogram("checkpoint.write_ns", LatencyBucketsNs());
+  writes.Add();
+  ScopedSpan span(&GlobalTrace(), "checkpoint.write");
+  span.AddTag("records", static_cast<uint64_t>(state.records.size()));
+  struct WriteTimer {
+    std::chrono::steady_clock::time_point start = std::chrono::steady_clock::now();
+    MetricsRegistry::Histogram* hist;
+    ~WriteTimer() {
+      hist->Observe(static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count()));
+    }
+  } timer{.hist = &write_ns};
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
   if (ec) return Status::IOError("cannot create " + dir + ": " + ec.message());

@@ -2,7 +2,26 @@
 
 #include <cassert>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace semdrift {
+
+namespace {
+
+struct ExtractMetrics {
+  MetricsRegistry::Counter iterations;
+  MetricsRegistry::Counter extractions;
+};
+
+ExtractMetrics& GetExtractMetrics() {
+  static ExtractMetrics metrics{
+      GlobalMetrics().RegisterCounter("extract.iterations"),
+      GlobalMetrics().RegisterCounter("extract.extractions")};
+  return metrics;
+}
+
+}  // namespace
 
 IterativeExtractor::IterativeExtractor(const SentenceStore* corpus,
                                        ExtractorOptions options)
@@ -10,6 +29,10 @@ IterativeExtractor::IterativeExtractor(const SentenceStore* corpus,
 
 size_t IterativeExtractor::RunIteration(KnowledgeBase* kb, int iteration) {
   assert(iteration >= 1);
+  GlobalTrace().SetEpoch(iteration);
+  ScopedSpan span(&GlobalTrace(), "extract.iteration");
+  ExtractMetrics& metrics = GetExtractMetrics();
+  metrics.iterations.Add();
 
   if (iteration == 1) {
     size_t extracted = 0;
@@ -20,6 +43,8 @@ size_t IterativeExtractor::RunIteration(KnowledgeBase* kb, int iteration) {
       consumed_[sentence.id.value] = true;
       ++extracted;
     }
+    metrics.extractions.Add(extracted);
+    span.AddTag("extractions", static_cast<uint64_t>(extracted));
     return extracted;
   }
 
@@ -89,6 +114,8 @@ size_t IterativeExtractor::RunIteration(KnowledgeBase* kb, int iteration) {
                         sentence.candidate_instances, decision.triggers, iteration);
     consumed_[decision.sentence.value] = true;
   }
+  metrics.extractions.Add(decisions.size());
+  span.AddTag("extractions", static_cast<uint64_t>(decisions.size()));
   return decisions.size();
 }
 

@@ -1,0 +1,227 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace semdrift {
+
+namespace obs_internal {
+
+/// Histogram storage: fixed bounds plus atomics. Bucket counts, total count
+/// and sum are updated with independent relaxed RMWs — a snapshot taken mid
+/// observation can be off by one observation, which is fine for reporting.
+struct HistogramCell {
+  std::string name;
+  std::vector<double> upper_bounds;
+  /// upper_bounds.size() + 1 cells; the last is the +Inf overflow bucket.
+  std::deque<std::atomic<uint64_t>> buckets;
+  std::atomic<uint64_t> count{0};
+  std::atomic<double> sum{0.0};
+};
+
+}  // namespace obs_internal
+
+using obs_internal::HistogramCell;
+
+void MetricsRegistry::Histogram::Observe(double value) const {
+  if (cell_ == nullptr) return;
+  // First bucket whose upper bound is >= value ("le" semantics: an
+  // observation exactly on an edge belongs to that edge's bucket).
+  const auto& bounds = cell_->upper_bounds;
+  size_t bucket = std::lower_bound(bounds.begin(), bounds.end(), value) -
+                  bounds.begin();
+  cell_->buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  cell_->count.fetch_add(1, std::memory_order_relaxed);
+  double seen = cell_->sum.load(std::memory_order_relaxed);
+  while (!cell_->sum.compare_exchange_weak(seen, seen + value,
+                                           std::memory_order_relaxed)) {
+  }
+}
+
+MetricsRegistry::MetricsRegistry() = default;
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry::Counter MetricsRegistry::RegisterCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [existing, cell] : counters_) {
+    if (existing == name) return Counter(&cell);
+  }
+  counters_.emplace_back(name, 0);
+  return Counter(&counters_.back().second);
+}
+
+MetricsRegistry::Gauge MetricsRegistry::RegisterGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [existing, cell] : gauges_) {
+    if (existing == name) return Gauge(&cell);
+  }
+  gauges_.emplace_back(name, 0);
+  return Gauge(&gauges_.back().second);
+}
+
+MetricsRegistry::Histogram MetricsRegistry::RegisterHistogram(
+    const std::string& name, std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& cell : histograms_) {
+    if (cell->name == name) return Histogram(cell.get());
+  }
+  auto cell = std::make_unique<HistogramCell>();
+  cell->name = name;
+  cell->upper_bounds = std::move(upper_bounds);
+  // deque<atomic> cannot be resized (atomics are not movable); grow by
+  // emplacing default cells.
+  for (size_t i = 0; i <= cell->upper_bounds.size(); ++i) {
+    cell->buckets.emplace_back(0);
+  }
+  histograms_.push_back(std::move(cell));
+  return Histogram(histograms_.back().get());
+}
+
+uint64_t MetricsRegistry::CounterValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [existing, cell] : counters_) {
+    if (existing == name) return cell.load(std::memory_order_relaxed);
+  }
+  return 0;
+}
+
+int64_t MetricsRegistry::GaugeValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [existing, cell] : gauges_) {
+    if (existing == name) return cell.load(std::memory_order_relaxed);
+  }
+  return 0;
+}
+
+HistogramSnapshot MetricsRegistry::HistogramValues(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& cell : histograms_) {
+    if (cell->name != name) continue;
+    HistogramSnapshot out;
+    out.name = cell->name;
+    out.upper_bounds = cell->upper_bounds;
+    out.buckets.reserve(cell->buckets.size());
+    for (const auto& bucket : cell->buckets) {
+      out.buckets.push_back(bucket.load(std::memory_order_relaxed));
+    }
+    out.count = cell->count.load(std::memory_order_relaxed);
+    out.sum = cell->sum.load(std::memory_order_relaxed);
+    return out;
+  }
+  return HistogramSnapshot{};
+}
+
+namespace {
+
+/// %.17g keeps doubles exact; integers print as integers.
+std::string FormatDouble(double v) {
+  char buf[40];
+  if (v == static_cast<double>(static_cast<int64_t>(v)) && v >= -1e15 && v <= 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, uint64_t> counters;
+  for (const auto& [name, cell] : counters_) {
+    counters[name] = cell.load(std::memory_order_relaxed);
+  }
+  std::map<std::string, int64_t> gauges;
+  for (const auto& [name, cell] : gauges_) {
+    gauges[name] = cell.load(std::memory_order_relaxed);
+  }
+  std::map<std::string, const HistogramCell*> histograms;
+  for (const auto& cell : histograms_) histograms[cell->name] = cell.get();
+
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + name + "\":" + std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + name + "\":" + std::to_string(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, cell] : histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + name + "\":{\"bounds\":[";
+    for (size_t i = 0; i < cell->upper_bounds.size(); ++i) {
+      if (i > 0) out += ',';
+      out += FormatDouble(cell->upper_bounds[i]);
+    }
+    out += "],\"buckets\":[";
+    for (size_t i = 0; i < cell->buckets.size(); ++i) {
+      if (i > 0) out += ',';
+      out += std::to_string(cell->buckets[i].load(std::memory_order_relaxed));
+    }
+    out += "],\"count\":" +
+           std::to_string(cell->count.load(std::memory_order_relaxed)) +
+           ",\"sum\":" + FormatDouble(cell->sum.load(std::memory_order_relaxed)) +
+           "}";
+  }
+  out += "}}";
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, cell] : counters_) {
+    (void)name;
+    cell.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, cell] : gauges_) {
+    (void)name;
+    cell.store(0, std::memory_order_relaxed);
+  }
+  for (auto& cell : histograms_) {
+    for (auto& bucket : cell->buckets) bucket.store(0, std::memory_order_relaxed);
+    cell->count.store(0, std::memory_order_relaxed);
+    cell->sum.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+MetricsRegistry& GlobalMetrics() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+const std::vector<double>& LatencyBucketsNs() {
+  static const std::vector<double>* buckets = [] {
+    auto* out = new std::vector<double>();
+    // 1us .. 10s, 1-2-5 per decade.
+    for (double decade = 1e3; decade <= 1e9; decade *= 10.0) {
+      out->push_back(decade);
+      out->push_back(2 * decade);
+      out->push_back(5 * decade);
+    }
+    out->push_back(1e10);
+    return out;
+  }();
+  return *buckets;
+}
+
+const std::vector<double>& SizeBuckets() {
+  static const std::vector<double>* buckets = [] {
+    auto* out = new std::vector<double>();
+    for (double b = 1.0; b <= 4096.0; b *= 2.0) out->push_back(b);
+    return out;
+  }();
+  return *buckets;
+}
+
+}  // namespace semdrift

@@ -1,0 +1,151 @@
+#ifndef SEMDRIFT_OBS_METRICS_H_
+#define SEMDRIFT_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace semdrift {
+
+namespace obs_internal {
+struct HistogramCell;
+}  // namespace obs_internal
+
+/// Point-in-time copy of one histogram: per-bucket counts (the last bucket
+/// is the +Inf overflow), total count and value sum.
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> upper_bounds;  ///< Finite bucket edges (le semantics).
+  std::vector<uint64_t> buckets;     ///< upper_bounds.size() + 1 entries.
+  uint64_t count = 0;
+  double sum = 0.0;
+};
+
+/// Lock-free metrics registry: counters, gauges and fixed-bucket histograms.
+///
+/// Registration (RegisterCounter/...) takes a mutex and is meant to happen
+/// once per call site (function-local static handles); recording through a
+/// handle is lock-free — a counter add is one relaxed atomic RMW, a
+/// histogram observation is a branch-free bucket lookup plus three relaxed
+/// RMWs. Handles are stable for the registry's lifetime (cells live in
+/// deques, which never relocate elements).
+///
+/// Counters saturate at UINT64_MAX instead of wrapping: a long-lived serving
+/// process must never report a tiny count after 2^64 events.
+///
+/// Snapshots (CounterValue, Histogram, ToJson) read with relaxed loads —
+/// consistent enough for reporting, never blocking writers. ToJson emits
+/// names in sorted order so dumps are diffable.
+class MetricsRegistry {
+ public:
+  class Counter {
+   public:
+    Counter() = default;
+    /// Saturating add: the counter sticks at UINT64_MAX on overflow.
+    void Add(uint64_t delta = 1) const {
+      if (cell_ == nullptr) return;
+      uint64_t prev = cell_->fetch_add(delta, std::memory_order_relaxed);
+      if (prev > UINT64_MAX - delta) {
+        cell_->store(UINT64_MAX, std::memory_order_relaxed);
+      }
+    }
+    uint64_t Value() const {
+      return cell_ == nullptr ? 0 : cell_->load(std::memory_order_relaxed);
+    }
+    bool valid() const { return cell_ != nullptr; }
+
+   private:
+    friend class MetricsRegistry;
+    explicit Counter(std::atomic<uint64_t>* cell) : cell_(cell) {}
+    std::atomic<uint64_t>* cell_ = nullptr;
+  };
+
+  class Gauge {
+   public:
+    Gauge() = default;
+    void Set(int64_t value) const {
+      if (cell_ != nullptr) cell_->store(value, std::memory_order_relaxed);
+    }
+    int64_t Value() const {
+      return cell_ == nullptr ? 0 : cell_->load(std::memory_order_relaxed);
+    }
+
+   private:
+    friend class MetricsRegistry;
+    explicit Gauge(std::atomic<int64_t>* cell) : cell_(cell) {}
+    std::atomic<int64_t>* cell_ = nullptr;
+  };
+
+  class Histogram {
+   public:
+    Histogram() = default;
+    /// Buckets use `le` (less-or-equal) semantics: a value lands in the
+    /// first bucket whose upper bound is >= value; values above every bound
+    /// land in the +Inf overflow bucket.
+    void Observe(double value) const;
+    bool valid() const { return cell_ != nullptr; }
+
+   private:
+    friend class MetricsRegistry;
+    explicit Histogram(obs_internal::HistogramCell* cell) : cell_(cell) {}
+    obs_internal::HistogramCell* cell_ = nullptr;
+  };
+
+  /// Out-of-line: constructing/destroying histogram cells needs the
+  /// complete HistogramCell type, which only metrics.cc sees.
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Registering the same name twice returns the same handle (call sites in
+  /// different translation units may share a metric).
+  Counter RegisterCounter(const std::string& name);
+  Gauge RegisterGauge(const std::string& name);
+  /// `upper_bounds` must be strictly increasing; re-registration with
+  /// different bounds keeps the first registration's bounds.
+  Histogram RegisterHistogram(const std::string& name,
+                              std::vector<double> upper_bounds);
+
+  uint64_t CounterValue(const std::string& name) const;
+  int64_t GaugeValue(const std::string& name) const;
+  /// Empty-name snapshot when the histogram does not exist.
+  HistogramSnapshot HistogramValues(const std::string& name) const;
+
+  /// Deterministically ordered (sorted by name) JSON object:
+  ///   {"counters":{...},"gauges":{...},"histograms":{"h":{"bounds":[...],
+  ///    "buckets":[...],"count":N,"sum":S}}}
+  /// Compact (no newlines, no tabs) so it can ride in a single line-protocol
+  /// response field.
+  std::string ToJson() const;
+
+  /// Zeroes every registered metric (handles stay valid). Benches use this
+  /// to scope a dump to one measured phase.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;  ///< Guards registration and name lookup only.
+  std::deque<std::pair<std::string, std::atomic<uint64_t>>> counters_;
+  std::deque<std::pair<std::string, std::atomic<int64_t>>> gauges_;
+  std::deque<std::unique_ptr<obs_internal::HistogramCell>> histograms_;
+};
+
+/// The process-wide registry every pipeline/serving hook records into.
+MetricsRegistry& GlobalMetrics();
+
+/// Shared latency bucket edges in nanoseconds: 1us..10s, roughly
+/// logarithmic (1-2-5 per decade). Fixed across the codebase so latency
+/// histograms from different subsystems are comparable.
+const std::vector<double>& LatencyBucketsNs();
+
+/// Small bucket edges for size-ish distributions (batch sizes, counts):
+/// 1, 2, 4, ... 4096.
+const std::vector<double>& SizeBuckets();
+
+}  // namespace semdrift
+
+#endif  // SEMDRIFT_OBS_METRICS_H_

@@ -1,0 +1,277 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <functional>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace semdrift {
+
+namespace {
+
+/// JSON string escaping for span names, tags and error details (which may
+/// carry exception text).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Writes `content` to `path`, reporting failures into `error`.
+bool WriteFileOrError(const std::string& path, const std::string& content,
+                      std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  bool ok = std::fclose(f) == 0 && written == content.size();
+  if (!ok && error != nullptr) *error = "short write to " + path;
+  return ok;
+}
+
+}  // namespace
+
+std::string TraceSpan::CanonicalLine() const {
+  std::string out = std::to_string(id) + " " + name;
+  if (concept_id != kNoConcept) out += " concept=" + std::to_string(concept_id);
+  out += " epoch=" + std::to_string(epoch);
+  if (attempt > 0) out += " attempt=" + std::to_string(attempt);
+  if (!outcome.empty()) out += " outcome=" + outcome;
+  for (const auto& [key, value] : tags) out += " " + key + "=" + value;
+  return out;
+}
+
+TraceRecorder::TraceRecorder(size_t capacity)
+    : capacity_(capacity < 1 ? 1 : capacity) {
+  ring_.resize(capacity_);
+  epoch_steady_ns_ = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+uint64_t TraceRecorder::NowNs() const {
+  uint64_t now = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  return now - epoch_steady_ns_;
+}
+
+void TraceRecorder::Record(TraceSpan span) {
+  if (!enabled()) return;
+  static MetricsRegistry::Counter spans_total =
+      GlobalMetrics().RegisterCounter("trace.spans");
+  static MetricsRegistry::Counter spans_dropped_counter =
+      GlobalMetrics().RegisterCounter("trace.spans_dropped");
+  span.wall_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  if (span.epoch == -1) span.epoch = epoch();
+  // Spans are recorded at their end; anchor the start on the recorder's own
+  // steady clock so Chrome traces begin near t=0.
+  uint64_t now_ns = NowNs();
+  span.start_ns = span.dur_ns <= now_ns ? now_ns - span.dur_ns : 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  span.id = next_id_++;
+  // Map the OS thread id to a small stable index (0 for the first recording
+  // thread — in practice the driver).
+  uint64_t os_id = std::hash<std::thread::id>{}(std::this_thread::get_id());
+  uint32_t thread_index = 0;
+  bool found = false;
+  for (const auto& [id, index] : thread_ids_) {
+    if (id == os_id) {
+      thread_index = index;
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    thread_index = static_cast<uint32_t>(thread_ids_.size());
+    thread_ids_.emplace_back(os_id, thread_index);
+  }
+  span.thread = thread_index;
+  if (size_ == capacity_) {
+    // Drop the oldest span to make room.
+    start_ = (start_ + 1) % capacity_;
+    --size_;
+    ++dropped_;
+    spans_dropped_counter.Add();
+  }
+  ring_[(start_ + size_) % capacity_] = std::move(span);
+  ++size_;
+  spans_total.Add();
+}
+
+uint64_t TraceRecorder::spans_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_id_;
+}
+
+uint64_t TraceRecorder::spans_dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::vector<TraceSpan> TraceRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceSpan> out;
+  out.reserve(size_);
+  for (size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(start_ + i) % capacity_]);
+  }
+  return out;
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (TraceSpan& span : ring_) span = TraceSpan{};
+  start_ = 0;
+  size_ = 0;
+  next_id_ = 0;
+  dropped_ = 0;
+  thread_ids_.clear();
+}
+
+namespace {
+
+std::string SpanToJson(const TraceSpan& span) {
+  std::string out = "{\"id\":" + std::to_string(span.id) + ",\"name\":\"" +
+                    JsonEscape(span.name) + "\"";
+  if (span.concept_id != TraceSpan::kNoConcept) {
+    out += ",\"concept\":" + std::to_string(span.concept_id);
+  }
+  out += ",\"epoch\":" + std::to_string(span.epoch);
+  if (span.attempt > 0) out += ",\"attempt\":" + std::to_string(span.attempt);
+  if (!span.outcome.empty()) {
+    out += ",\"outcome\":\"" + JsonEscape(span.outcome) + "\"";
+  }
+  if (!span.tags.empty()) {
+    out += ",\"tags\":{";
+    for (size_t i = 0; i < span.tags.size(); ++i) {
+      if (i > 0) out += ',';
+      out += '"' + JsonEscape(span.tags[i].first) + "\":\"" +
+             JsonEscape(span.tags[i].second) + "\"";
+    }
+    out += '}';
+  }
+  out += ",\"wall_us\":" + std::to_string(span.wall_us) +
+         ",\"start_ns\":" + std::to_string(span.start_ns) +
+         ",\"dur_ns\":" + std::to_string(span.dur_ns) +
+         ",\"thread\":" + std::to_string(span.thread) + "}";
+  return out;
+}
+
+}  // namespace
+
+bool TraceRecorder::WriteJsonl(const std::string& path, std::string* error) const {
+  std::string content;
+  for (const TraceSpan& span : Snapshot()) {
+    content += SpanToJson(span);
+    content += '\n';
+  }
+  return WriteFileOrError(path, content, error);
+}
+
+bool TraceRecorder::WriteChromeTrace(const std::string& path,
+                                     std::string* error) const {
+  // "X" complete events: ts = start, dur = duration, both microseconds.
+  // Instant spans (dur 0) still render as zero-width slices; args carry the
+  // structured tags so the trace viewer's selection panel shows them.
+  std::string content = "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceSpan& span : Snapshot()) {
+    if (!first) content += ',';
+    first = false;
+    content += "{\"name\":\"" + JsonEscape(span.name) +
+               "\",\"cat\":\"semdrift\",\"ph\":\"X\",\"pid\":1,\"tid\":" +
+               std::to_string(span.thread) +
+               ",\"ts\":" + std::to_string(span.start_ns / 1000) +
+               ",\"dur\":" + std::to_string(span.dur_ns / 1000) + ",\"args\":{";
+    content += "\"id\":\"" + std::to_string(span.id) + "\"";
+    if (span.concept_id != TraceSpan::kNoConcept) {
+      content += ",\"concept\":\"" + std::to_string(span.concept_id) + "\"";
+    }
+    content += ",\"epoch\":\"" + std::to_string(span.epoch) + "\"";
+    if (span.attempt > 0) {
+      content += ",\"attempt\":\"" + std::to_string(span.attempt) + "\"";
+    }
+    if (!span.outcome.empty()) {
+      content += ",\"outcome\":\"" + JsonEscape(span.outcome) + "\"";
+    }
+    for (const auto& [key, value] : span.tags) {
+      content += ",\"" + JsonEscape(key) + "\":\"" + JsonEscape(value) + "\"";
+    }
+    content += "}}";
+  }
+  content += "]}\n";
+  return WriteFileOrError(path, content, error);
+}
+
+TraceRecorder& GlobalTrace() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+ScopedSpan::ScopedSpan(TraceRecorder* recorder, std::string name,
+                       uint32_t concept_id) {
+  if (recorder == nullptr || !recorder->enabled()) return;
+  recorder_ = recorder;
+  span_.name = std::move(name);
+  span_.concept_id = concept_id;
+  started_ = std::chrono::steady_clock::now();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (recorder_ == nullptr) return;
+  auto ended = std::chrono::steady_clock::now();
+  span_.dur_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(ended - started_)
+          .count());
+  recorder_->Record(std::move(span_));
+}
+
+void ScopedSpan::AddTag(const std::string& key, const std::string& value) {
+  if (recorder_ != nullptr) span_.tags.emplace_back(key, value);
+}
+
+void ScopedSpan::AddTag(const std::string& key, uint64_t value) {
+  if (recorder_ != nullptr) span_.tags.emplace_back(key, std::to_string(value));
+}
+
+void ScopedSpan::SetOutcome(std::string outcome) {
+  if (recorder_ != nullptr) span_.outcome = std::move(outcome);
+}
+
+}  // namespace semdrift

@@ -1,0 +1,155 @@
+#ifndef SEMDRIFT_OBS_TRACE_H_
+#define SEMDRIFT_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace semdrift {
+
+/// One structured span: a named unit of pipeline work with its scope
+/// (concept, epoch, attempt), an outcome tag, free-form key=value tags, and
+/// timing.
+///
+/// Determinism contract: every field except the timing block (`wall_us`,
+/// `start_ns`, `dur_ns`) and `thread` is a deterministic function of the run
+/// — spans are only ever recorded from *serial* driver contexts (stage
+/// drivers, outcome merges, round loops), never from inside parallel
+/// workers, so the recording order, the sequence ids and the tag contents
+/// are bit-identical at any thread count. Parallel work contributes to the
+/// MetricsRegistry (order-free counters) instead.
+struct TraceSpan {
+  static constexpr uint32_t kNoConcept = 0xffffffffu;
+
+  /// Deterministic sequence id (recording order).
+  uint64_t id = 0;
+  /// Dotted span name, e.g. "clean.round", "health.concept".
+  std::string name;
+  /// Owning concept; kNoConcept for global spans.
+  uint32_t concept_id = kNoConcept;
+  /// Extraction iteration or cleaning round (TraceRecorder::SetEpoch);
+  /// -1 outside any epoch.
+  int epoch = -1;
+  /// Retry count for outcome spans; 0 otherwise.
+  int attempt = 0;
+  /// "ok", "retried", "degraded", "quarantined", "failed", "cancelled" or
+  /// empty for pure timing spans.
+  std::string outcome;
+  /// Extra structured context, insertion-ordered.
+  std::vector<std::pair<std::string, std::string>> tags;
+
+  // -- Nondeterministic timing block ----------------------------------------
+  /// Wall-clock time of span start, microseconds since the Unix epoch.
+  uint64_t wall_us = 0;
+  /// Steady-clock start, nanoseconds since the recorder was created.
+  uint64_t start_ns = 0;
+  uint64_t dur_ns = 0;
+  /// Recorder-assigned small index of the recording thread.
+  uint32_t thread = 0;
+
+  /// The deterministic fields as one tab-free line (used by the
+  /// thread-count-invariance tests and by exports).
+  std::string CanonicalLine() const;
+};
+
+/// Bounded in-memory span sink with JSONL and Chrome trace_event export.
+///
+/// Recording is mutex-guarded (spans arrive from serial contexts; the lock
+/// is uncontended) and gated on an atomic enabled flag so the disabled hot
+/// path costs one relaxed load. The ring keeps the newest `capacity` spans:
+/// wraparound drops the *oldest* span and bumps spans_dropped() (also
+/// mirrored to the "trace.spans_dropped" counter of GlobalMetrics()).
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(size_t capacity = 1 << 16);
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  void Enable(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Current epoch stamped into recorded spans (set serially by stage
+  /// drivers: the extractor sets the iteration, the cleaner the round).
+  void SetEpoch(int epoch) { epoch_.store(epoch, std::memory_order_relaxed); }
+  int epoch() const { return epoch_.load(std::memory_order_relaxed); }
+
+  /// Records one span (no-op when disabled). `span.id`, `span.epoch` (when
+  /// left at -1), `span.wall_us` and `span.thread` are filled in here.
+  void Record(TraceSpan span);
+
+  size_t capacity() const { return capacity_; }
+  uint64_t spans_recorded() const;
+  uint64_t spans_dropped() const;
+
+  /// Retained spans, oldest first (recording = deterministic order).
+  std::vector<TraceSpan> Snapshot() const;
+
+  /// Drops every retained span and zeroes the sequence/drop counters (the
+  /// enabled flag and epoch are left alone).
+  void Clear();
+
+  /// One JSON object per line, every span field included. Returns false and
+  /// fills `error` on I/O failure.
+  bool WriteJsonl(const std::string& path, std::string* error) const;
+
+  /// Chrome trace_event JSON ("X" complete events, ts/dur in microseconds)
+  /// loadable in chrome://tracing or https://ui.perfetto.dev.
+  bool WriteChromeTrace(const std::string& path, std::string* error) const;
+
+ private:
+  /// Steady-clock nanoseconds since recorder construction.
+  uint64_t NowNs() const;
+
+  const size_t capacity_;
+  std::atomic<bool> enabled_{false};
+  std::atomic<int> epoch_{-1};
+
+  mutable std::mutex mu_;
+  /// Ring storage: ring_[(start_ + i) % capacity_] is the i-th oldest span.
+  std::vector<TraceSpan> ring_;
+  size_t start_ = 0;
+  size_t size_ = 0;
+  uint64_t next_id_ = 0;
+  uint64_t dropped_ = 0;
+  std::vector<std::pair<uint64_t, uint32_t>> thread_ids_;  ///< (os id hash, index).
+  uint64_t epoch_steady_ns_ = 0;  ///< Construction time, steady clock.
+};
+
+/// The process-wide recorder the pipeline hooks record into. Disabled until
+/// something (the CLI's --trace-out, a test) enables it.
+TraceRecorder& GlobalTrace();
+
+/// RAII span: times its scope and records into the recorder on destruction
+/// (when the recorder is enabled at construction time). Near-zero cost when
+/// tracing is off: one relaxed load, no clock read, no allocation.
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceRecorder* recorder, std::string name,
+             uint32_t concept_id = TraceSpan::kNoConcept);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  bool active() const { return recorder_ != nullptr; }
+  void AddTag(const std::string& key, const std::string& value);
+  void AddTag(const std::string& key, uint64_t value);
+  void SetOutcome(std::string outcome);
+  void SetConcept(uint32_t concept_id) { span_.concept_id = concept_id; }
+
+ private:
+  TraceRecorder* recorder_ = nullptr;  ///< nullptr when tracing was off.
+  TraceSpan span_;
+  std::chrono::steady_clock::time_point started_;
+};
+
+}  // namespace semdrift
+
+#endif  // SEMDRIFT_OBS_TRACE_H_

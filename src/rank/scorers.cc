@@ -1,8 +1,11 @@
 #include "rank/scorers.h"
 
+#include <chrono>
 #include <cmath>
 #include <numeric>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/cancellation.h"
 #include "util/thread_pool.h"
 
@@ -220,9 +223,24 @@ void ScoreCache::Warm(const std::vector<ConceptId>& concepts) {
     }
   }
   if (missing.empty()) return;
+  // Per-concept timing comes from the workers (order-free atomics); the
+  // driver-side span covers the whole warm batch.
+  static MetricsRegistry::Counter warm_concepts =
+      GlobalMetrics().RegisterCounter("warm.concepts");
+  static MetricsRegistry::Histogram warm_concept_ns =
+      GlobalMetrics().RegisterHistogram("warm.concept_ns", LatencyBucketsNs());
+  ScopedSpan span(&GlobalTrace(), "warm.batch");
+  span.AddTag("concepts", static_cast<uint64_t>(missing.size()));
   auto computed =
       ParallelMap<std::unordered_map<InstanceId, double>>(missing.size(), [&](size_t i) {
-        return ScoreConcept(*kb_, missing[i], model_, params_);
+        auto start = std::chrono::steady_clock::now();
+        auto scores = ScoreConcept(*kb_, missing[i], model_, params_);
+        warm_concepts.Add();
+        warm_concept_ns.Observe(static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count()));
+        return scores;
       });
   std::lock_guard<std::mutex> lock(mu_);
   for (size_t i = 0; i < missing.size(); ++i) {

@@ -3,10 +3,31 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/cancellation.h"
 #include "util/thread_pool.h"
 
 namespace semdrift {
+
+namespace {
+
+struct BatchMetrics {
+  MetricsRegistry::Counter requests;
+  MetricsRegistry::Counter batches;
+  MetricsRegistry::Histogram batch_size;
+  MetricsRegistry::Histogram queue_wait_ns;
+};
+
+BatchMetrics& GetBatchMetrics() {
+  static BatchMetrics metrics{
+      GlobalMetrics().RegisterCounter("batch.requests"),
+      GlobalMetrics().RegisterCounter("batch.batches"),
+      GlobalMetrics().RegisterHistogram("batch.size", SizeBuckets()),
+      GlobalMetrics().RegisterHistogram("batch.queue_wait_ns", LatencyBucketsNs())};
+  return metrics;
+}
+
+}  // namespace
 
 Batcher::Batcher(QueryEngine* engine, BatcherOptions options)
     : engine_(engine), options_(options) {
@@ -32,6 +53,8 @@ std::future<std::string> Batcher::Submit(std::string line) {
 std::future<std::string> Batcher::Submit(std::string line, int deadline_ms) {
   Request req;
   req.line = std::move(line);
+  req.submitted = std::chrono::steady_clock::now();
+  GetBatchMetrics().requests.Add();
   if (deadline_ms > 0) {
     req.has_deadline = true;
     req.deadline =
@@ -110,6 +133,14 @@ void Batcher::DispatchLoop() {
 void Batcher::RunBatch(std::deque<Request>* batch) {
   const size_t n = batch->size();
   const auto now = std::chrono::steady_clock::now();
+  BatchMetrics& metrics = GetBatchMetrics();
+  metrics.batches.Add();
+  metrics.batch_size.Observe(static_cast<double>(n));
+  for (const Request& req : *batch) {
+    metrics.queue_wait_ns.Observe(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now - req.submitted)
+            .count()));
+  }
   std::vector<std::string> responses = ParallelMap<std::string>(n, [&](size_t i) {
     Request& req = (*batch)[i];
     if (req.has_deadline) {

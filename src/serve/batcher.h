@@ -73,6 +73,9 @@ class Batcher {
     std::promise<std::string> promise;
     bool has_deadline = false;
     std::chrono::steady_clock::time_point deadline{};
+    /// When Submit() queued the request; feeds the batch.queue_wait_ns
+    /// histogram at dispatch time.
+    std::chrono::steady_clock::time_point submitted{};
   };
 
   void DispatchLoop();

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <cstdio>
 
+#include "obs/metrics.h"
+
 namespace semdrift {
 
 namespace {
@@ -12,7 +14,30 @@ constexpr int kNumTypes = static_cast<int>(QueryType::kNumTypes);
 
 constexpr std::string_view kTypeNames[kNumTypes] = {
     "instances-of", "concepts-of", "is-a", "drift-score", "mutex", "stats",
+    "metrics",
 };
+
+/// Pre-registered per-verb registry handles ("serve.<verb>.requests",
+/// "serve.<verb>.ns"), so each Answer() pays two atomic ops, no lookups.
+struct VerbMetrics {
+  MetricsRegistry::Counter requests;
+  MetricsRegistry::Histogram latency_ns;
+};
+
+VerbMetrics& GetVerbMetrics(int type_index) {
+  static std::vector<VerbMetrics>* metrics = [] {
+    auto* out = new std::vector<VerbMetrics>();
+    out->reserve(kNumTypes);
+    for (int i = 0; i < kNumTypes; ++i) {
+      std::string prefix = "serve." + std::string(kTypeNames[i]);
+      out->push_back(VerbMetrics{
+          GlobalMetrics().RegisterCounter(prefix + ".requests"),
+          GlobalMetrics().RegisterHistogram(prefix + ".ns", LatencyBucketsNs())});
+    }
+    return out;
+  }();
+  return (*metrics)[type_index];
+}
 
 /// %.17g: shortest text that round-trips an IEEE double exactly, so scripted
 /// expected-answer diffs never hit formatting noise.
@@ -121,12 +146,30 @@ void ServeStats::Reset() {
 QueryEngine::QueryEngine(const SnapshotReader* snapshot, QueryEngineOptions options)
     : snapshot_(snapshot), options_(options) {
   if (options_.cache_shards == 0) options_.cache_shards = 1;
+  // Shards always exist so ResizeCache can enable a cache that started
+  // disabled; per_shard_capacity_ == 0 short-circuits every cache op.
+  shards_.reserve(options_.cache_shards);
+  for (size_t i = 0; i < options_.cache_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
   if (options_.cache_capacity > 0) {
-    per_shard_capacity_ =
-        std::max<size_t>(1, options_.cache_capacity / options_.cache_shards);
-    shards_.reserve(options_.cache_shards);
-    for (size_t i = 0; i < options_.cache_shards; ++i) {
-      shards_.push_back(std::make_unique<Shard>());
+    per_shard_capacity_.store(
+        std::max<size_t>(1, options_.cache_capacity / options_.cache_shards),
+        std::memory_order_relaxed);
+  }
+}
+
+void QueryEngine::ResizeCache(size_t capacity) {
+  options_.cache_capacity = capacity;
+  size_t per_shard =
+      capacity == 0 ? 0 : std::max<size_t>(1, capacity / options_.cache_shards);
+  per_shard_capacity_.store(per_shard, std::memory_order_relaxed);
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    while (shard.lru.size() > per_shard) {
+      shard.index.erase(std::string_view(shard.lru.back().first));
+      shard.lru.pop_back();
     }
   }
 }
@@ -145,7 +188,7 @@ std::string QueryEngine::Answer(std::string_view line) {
   }
   if (type_index < 0) {
     return "ERR\tunknown verb '" + std::string(tokens[0]) +
-           "' (instances-of|concepts-of|is-a|drift-score|mutex|stats)";
+           "' (instances-of|concepts-of|is-a|drift-score|mutex|stats|metrics)";
   }
   const QueryType type = static_cast<QueryType>(type_index);
   std::vector<std::string_view> args(tokens.begin() + 1, tokens.end());
@@ -154,6 +197,9 @@ std::string QueryEngine::Answer(std::string_view line) {
   bool cache_hit = false;
   if (type == QueryType::kStats) {
     response = FormatStats();
+  } else if (type == QueryType::kMetrics) {
+    // Live process-wide registry dump; caching it would freeze the counters.
+    response = "OK\t" + GlobalMetrics().ToJson();
   } else {
     std::string key = std::string(kTypeNames[type_index]);
     for (std::string_view a : args) {
@@ -172,6 +218,9 @@ std::string QueryEngine::Answer(std::string_view line) {
       std::chrono::duration_cast<std::chrono::nanoseconds>(ended - started).count());
   const bool error = response.compare(0, 2, "OK") != 0;
   stats_.Record(type, ns, cache_hit, error);
+  VerbMetrics& verb = GetVerbMetrics(type_index);
+  verb.requests.Add();
+  verb.latency_ns.Observe(static_cast<double>(ns));
   return response;
 }
 
@@ -312,7 +361,7 @@ bool QueryEngine::SplitTwoNames(const std::vector<std::string_view>& args,
 }
 
 bool QueryEngine::CacheGet(const std::string& key, std::string* response) {
-  if (shards_.empty()) return false;
+  if (per_shard_capacity_.load(std::memory_order_relaxed) == 0) return false;
   Shard& shard =
       *shards_[std::hash<std::string_view>{}(key) % shards_.size()];
   std::lock_guard<std::mutex> lock(shard.mu);
@@ -324,7 +373,8 @@ bool QueryEngine::CacheGet(const std::string& key, std::string* response) {
 }
 
 void QueryEngine::CachePut(const std::string& key, const std::string& response) {
-  if (shards_.empty()) return;
+  const size_t per_shard = per_shard_capacity_.load(std::memory_order_relaxed);
+  if (per_shard == 0) return;
   Shard& shard =
       *shards_[std::hash<std::string_view>{}(key) % shards_.size()];
   std::lock_guard<std::mutex> lock(shard.mu);
@@ -337,7 +387,7 @@ void QueryEngine::CachePut(const std::string& key, const std::string& response) 
   shard.lru.emplace_front(key, response);
   // The map key views the list node's string, which is address-stable.
   shard.index.emplace(std::string_view(shard.lru.front().first), shard.lru.begin());
-  if (shard.lru.size() > per_shard_capacity_) {
+  if (shard.lru.size() > per_shard) {
     shard.index.erase(std::string_view(shard.lru.back().first));
     shard.lru.pop_back();
   }
@@ -346,7 +396,10 @@ void QueryEngine::CachePut(const std::string& key, const std::string& response) 
 std::string QueryEngine::FormatStats() const {
   std::string out = "OK\tstats";
   for (int i = 0; i < kNumTypes; ++i) {
-    if (static_cast<QueryType>(i) == QueryType::kStats) continue;
+    if (static_cast<QueryType>(i) == QueryType::kStats ||
+        static_cast<QueryType>(i) == QueryType::kMetrics) {
+      continue;
+    }
     QueryTypeStats s = stats_.Snapshot(static_cast<QueryType>(i));
     out += '\t';
     out += kTypeNames[i];

@@ -23,6 +23,7 @@ namespace semdrift {
 ///   drift-score <instance> <concept>  Eq. 3 walk score (0 when not live)
 ///   mutex <concept> <concept>       Sec. 3.2.1 mutual exclusion
 ///   stats                           serving counters (never cached)
+///   metrics                         process MetricsRegistry JSON (never cached)
 ///
 /// Fields are TAB-separated when the line contains a tab; otherwise the line
 /// is split on whitespace and multi-word names are re-joined by trying every
@@ -36,6 +37,7 @@ enum class QueryType : int {
   kDriftScore,
   kMutex,
   kStats,
+  kMetrics,
   kNumTypes,
 };
 
@@ -107,6 +109,13 @@ class QueryEngine {
   const ServeStats& stats() const { return stats_; }
   void ResetStats() { stats_.Reset(); }
 
+  /// Changes the result cache's total capacity in place, evicting LRU
+  /// entries that no longer fit. ServeStats are deliberately left untouched:
+  /// a cache resize is an operational tuning knob, not a stats epoch.
+  /// Capacity 0 disables (and empties) the cache. Thread-safe against
+  /// concurrent Answer() calls.
+  void ResizeCache(size_t capacity);
+
   /// Formats the `stats` response from the current counters.
   std::string FormatStats() const;
 
@@ -139,7 +148,8 @@ class QueryEngine {
 
   const SnapshotReader* snapshot_;
   QueryEngineOptions options_;
-  size_t per_shard_capacity_ = 0;
+  /// 0 disables the cache; atomic so ResizeCache can retune a live engine.
+  std::atomic<size_t> per_shard_capacity_{0};
   std::vector<std::unique_ptr<Shard>> shards_;
   ServeStats stats_;
 };

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.h"
 #include "util/crc32.h"
 #include "util/fault_injection.h"
 #include "util/thread_pool.h"
@@ -124,6 +125,9 @@ Status WriteSnapshot(const KnowledgeBase& kb, const World& world,
                      const std::string& path) {
   const size_t nc = world.num_concepts();
   const size_t ni = world.num_instances();
+  ScopedSpan span(&GlobalTrace(), "snapshot.write");
+  span.AddTag("concepts", static_cast<uint64_t>(nc));
+  span.AddTag("instances", static_cast<uint64_t>(ni));
 
   // Score every concept over the final KB (checked: a non-converged walk
   // yields capped finite scores, never NaN in the score column). Fans out

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/trace.h"
 #include "util/string_util.h"
 
 namespace semdrift {
@@ -56,6 +57,18 @@ bool ParseConceptOutcome(std::string_view name, ConceptOutcome* out) {
 void RunHealthReport::Record(uint32_t concept_id, ConceptOutcome outcome, int retries,
                              PipelineStage stage, const std::string& detail) {
   if (outcome == ConceptOutcome::kOk) return;  // Absence means healthy.
+  if (GlobalTrace().enabled()) {
+    // Carry the full mutation so a trace consumer can replay health.* spans
+    // into a fresh report and recover ToLines() exactly.
+    TraceSpan span;
+    span.name = "health.concept";
+    span.concept_id = concept_id;
+    span.attempt = retries;
+    span.outcome = ConceptOutcomeName(outcome);
+    span.tags.emplace_back("stage", PipelineStageName(stage));
+    span.tags.emplace_back("detail", Sanitize(detail));
+    GlobalTrace().Record(std::move(span));
+  }
   auto it = concepts_.find(concept_id);
   if (it == concepts_.end()) {
     concepts_.emplace(concept_id, ConceptHealth{concept_id, outcome, retries, stage,
@@ -72,6 +85,15 @@ void RunHealthReport::Record(uint32_t concept_id, ConceptOutcome outcome, int re
 }
 
 void RunHealthReport::RecordDrop(const DroppedInstance& drop) {
+  if (GlobalTrace().enabled()) {
+    TraceSpan span;
+    span.name = "health.drop";
+    span.concept_id = drop.concept_id;
+    span.tags.emplace_back("instance", std::to_string(drop.instance));
+    span.tags.emplace_back("stage", PipelineStageName(drop.stage));
+    span.tags.emplace_back("reason", Sanitize(drop.reason));
+    GlobalTrace().Record(std::move(span));
+  }
   drops_.emplace(std::make_tuple(drop.concept_id, drop.instance,
                                  static_cast<int>(drop.stage)),
                  Sanitize(drop.reason));
@@ -80,6 +102,13 @@ void RunHealthReport::RecordDrop(const DroppedInstance& drop) {
 }
 
 void RunHealthReport::RecordDetectorFallback(int retries, const std::string& detail) {
+  if (GlobalTrace().enabled()) {
+    TraceSpan span;
+    span.name = "health.fallback";
+    span.attempt = retries;
+    span.tags.emplace_back("detail", Sanitize(detail));
+    GlobalTrace().Record(std::move(span));
+  }
   detector_fallback_ = true;
   detector_retries_ = std::max(detector_retries_, retries);
   if (detector_detail_.empty()) detector_detail_ = Sanitize(detail);
@@ -204,6 +233,25 @@ Status Supervisor::MergeOutcome(PipelineStage stage, uint32_t concept_id,
                                 const StageOutcome& outcome) {
   std::string where = std::string(PipelineStageName(stage)) + " stage, concept " +
                       std::to_string(concept_id);
+  if (GlobalTrace().enabled()) {
+    // One outcome span per concept per supervised stage, emitted from the
+    // serial merge loop so ordering is deterministic. Healthy concepts get a
+    // span too: a trace reader can count coverage, not just failures.
+    TraceSpan span;
+    span.name = "stage.outcome";
+    span.concept_id = concept_id;
+    span.attempt = outcome.retries;
+    if (outcome.ok) {
+      span.outcome = outcome.retries > 0 ? "retried" : "ok";
+    } else {
+      span.outcome = options_.quarantine ? "quarantined" : "failed";
+    }
+    span.tags.emplace_back("stage", PipelineStageName(stage));
+    if (!outcome.error.empty()) {
+      span.tags.emplace_back("error", Sanitize(outcome.error));
+    }
+    GlobalTrace().Record(std::move(span));
+  }
   if (outcome.ok) {
     if (outcome.retries > 0) {
       health_.Record(concept_id, ConceptOutcome::kRetried, outcome.retries, stage,

@@ -1,15 +1,54 @@
 #include "util/thread_pool.h"
 
+#include <chrono>
 #include <cstdlib>
 #include <exception>
 #include <limits>
 
+#include "obs/metrics.h"
 #include "util/cancellation.h"
 #include "util/string_util.h"
 
 namespace semdrift {
 
 namespace {
+
+/// Pre-registered handles: top-level parallel jobs pay one relaxed atomic
+/// add per counter, never a registry lookup.
+struct PoolMetrics {
+  MetricsRegistry::Counter jobs;
+  MetricsRegistry::Counter tasks;
+  MetricsRegistry::Histogram job_ns;
+};
+
+PoolMetrics& GetPoolMetrics() {
+  static PoolMetrics metrics{
+      GlobalMetrics().RegisterCounter("pool.jobs"),
+      GlobalMetrics().RegisterCounter("pool.tasks"),
+      GlobalMetrics().RegisterHistogram("pool.job_ns", LatencyBucketsNs())};
+  return metrics;
+}
+
+/// Times one top-level job; the destructor records even when a loop body
+/// throws and the exception propagates to the submitter.
+struct JobTimer {
+  bool active = false;
+  std::chrono::steady_clock::time_point start;
+
+  explicit JobTimer(bool top_level, size_t n) : active(top_level) {
+    if (!active) return;
+    PoolMetrics& metrics = GetPoolMetrics();
+    metrics.jobs.Add();
+    metrics.tasks.Add(n);
+    start = std::chrono::steady_clock::now();
+  }
+  ~JobTimer() {
+    if (!active) return;
+    auto elapsed = std::chrono::steady_clock::now() - start;
+    GetPoolMetrics().job_ns.Observe(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()));
+  }
+};
 
 /// Set while a thread is executing loop bodies (worker or caller); nested
 /// parallel regions detect it and run inline instead of re-entering the pool.
@@ -148,6 +187,7 @@ void ThreadPool::WorkerLoop() {
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& body) {
   if (n == 0) return;
+  JobTimer timer(!t_in_parallel_region, n);
   // Serial fast path: single-thread pool, single task, or nested region.
   if (workers_.empty() || n == 1 || t_in_parallel_region) {
     bool was_in_region = t_in_parallel_region;

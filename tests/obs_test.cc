@@ -1,0 +1,248 @@
+// Unit tests for the observability layer: histogram bucket-edge (le)
+// semantics, counter saturation, ring wraparound (drop-oldest + dropped
+// counter), deterministic JSON shape, JSONL / Chrome trace exports, and a
+// many-threads concurrent-recording test that the TSan pass in
+// tools/check.sh leans on.
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/fault_injection.h"
+
+namespace semdrift {
+namespace {
+
+TEST(MetricsTest, HistogramBucketEdgesUseLeSemantics) {
+  MetricsRegistry registry;
+  auto h = registry.RegisterHistogram("h", {1.0, 10.0, 100.0});
+  h.Observe(0.5);    // <= 1
+  h.Observe(1.0);    // == edge -> first bucket (le)
+  h.Observe(10.0);   // == edge -> second bucket
+  h.Observe(100.0);  // == edge -> third bucket
+  h.Observe(100.5);  // above every bound -> +Inf overflow
+  HistogramSnapshot snap = registry.HistogramValues("h");
+  ASSERT_EQ(snap.upper_bounds, (std::vector<double>{1.0, 10.0, 100.0}));
+  ASSERT_EQ(snap.buckets.size(), 4u);
+  EXPECT_EQ(snap.buckets[0], 2u);
+  EXPECT_EQ(snap.buckets[1], 1u);
+  EXPECT_EQ(snap.buckets[2], 1u);
+  EXPECT_EQ(snap.buckets[3], 1u);
+  EXPECT_EQ(snap.count, 5u);
+  EXPECT_DOUBLE_EQ(snap.sum, 0.5 + 1.0 + 10.0 + 100.0 + 100.5);
+}
+
+TEST(MetricsTest, CounterSaturatesInsteadOfWrapping) {
+  MetricsRegistry registry;
+  auto c = registry.RegisterCounter("c");
+  c.Add(UINT64_MAX - 1);
+  EXPECT_EQ(c.Value(), UINT64_MAX - 1);
+  c.Add(10);  // Would wrap; must stick at the max.
+  EXPECT_EQ(c.Value(), UINT64_MAX);
+  c.Add(1);
+  EXPECT_EQ(c.Value(), UINT64_MAX);
+}
+
+TEST(MetricsTest, ReRegistrationSharesTheCell) {
+  MetricsRegistry registry;
+  auto a = registry.RegisterCounter("shared");
+  auto b = registry.RegisterCounter("shared");
+  a.Add(2);
+  b.Add(3);
+  EXPECT_EQ(registry.CounterValue("shared"), 5u);
+}
+
+TEST(MetricsTest, ToJsonIsSortedAndCompact) {
+  MetricsRegistry registry;
+  registry.RegisterCounter("zeta").Add(1);
+  registry.RegisterCounter("alpha").Add(2);
+  registry.RegisterGauge("g").Set(-7);
+  registry.RegisterHistogram("h", {1.0, 2.0}).Observe(1.5);
+  std::string json = registry.ToJson();
+  // Sorted keys; no whitespace (rides in one line-protocol response field).
+  EXPECT_LT(json.find("\"alpha\""), json.find("\"zeta\""));
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+  EXPECT_EQ(json.find('\t'), std::string::npos);
+  EXPECT_NE(json.find("\"g\":-7"), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+}
+
+TEST(MetricsTest, ResetZeroesButKeepsHandles) {
+  MetricsRegistry registry;
+  auto c = registry.RegisterCounter("c");
+  auto h = registry.RegisterHistogram("h", {1.0});
+  c.Add(5);
+  h.Observe(0.5);
+  registry.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+  EXPECT_EQ(registry.HistogramValues("h").count, 0u);
+  c.Add(1);  // Handle still live after Reset.
+  EXPECT_EQ(registry.CounterValue("c"), 1u);
+}
+
+TEST(TraceTest, RingWraparoundDropsOldestAndCounts) {
+  TraceRecorder recorder(/*capacity=*/4);
+  recorder.Enable(true);
+  for (int i = 0; i < 7; ++i) {
+    TraceSpan span;
+    span.name = "s" + std::to_string(i);
+    recorder.Record(std::move(span));
+  }
+  EXPECT_EQ(recorder.spans_recorded(), 7u);
+  EXPECT_EQ(recorder.spans_dropped(), 3u);
+  std::vector<TraceSpan> spans = recorder.Snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  // Oldest-first with the three oldest gone; sequence ids are global.
+  EXPECT_EQ(spans.front().name, "s3");
+  EXPECT_EQ(spans.front().id, 3u);
+  EXPECT_EQ(spans.back().name, "s6");
+  EXPECT_EQ(spans.back().id, 6u);
+}
+
+TEST(TraceTest, DisabledRecorderRecordsNothing) {
+  TraceRecorder recorder(8);
+  TraceSpan span;
+  span.name = "ignored";
+  recorder.Record(std::move(span));
+  EXPECT_EQ(recorder.spans_recorded(), 0u);
+  EXPECT_TRUE(recorder.Snapshot().empty());
+}
+
+TEST(TraceTest, ScopedSpanCapturesTagsOutcomeAndEpoch) {
+  TraceRecorder recorder(8);
+  recorder.Enable(true);
+  recorder.SetEpoch(3);
+  {
+    ScopedSpan span(&recorder, "unit.work", /*concept_id=*/42);
+    ASSERT_TRUE(span.active());
+    span.AddTag("k", "v");
+    span.AddTag("n", uint64_t{7});
+    span.SetOutcome("ok");
+  }
+  recorder.SetEpoch(-1);
+  std::vector<TraceSpan> spans = recorder.Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  const TraceSpan& s = spans[0];
+  EXPECT_EQ(s.name, "unit.work");
+  EXPECT_EQ(s.concept_id, 42u);
+  EXPECT_EQ(s.epoch, 3);
+  EXPECT_EQ(s.outcome, "ok");
+  ASSERT_EQ(s.tags.size(), 2u);
+  EXPECT_EQ(s.tags[0].first, "k");
+  EXPECT_EQ(s.tags[0].second, "v");
+  EXPECT_EQ(s.tags[1].second, "7");
+  // CanonicalLine covers only deterministic fields: no timing, no thread.
+  std::string line = s.CanonicalLine();
+  EXPECT_NE(line.find("unit.work"), std::string::npos);
+  EXPECT_EQ(line.find("wall"), std::string::npos);
+  EXPECT_EQ(line.find("dur"), std::string::npos);
+}
+
+TEST(TraceTest, ExportsWriteParseableFiles) {
+  TraceRecorder recorder(8);
+  recorder.Enable(true);
+  {
+    ScopedSpan span(&recorder, "export.work", 1);
+    span.AddTag("quote", "a\"b\\c");  // Exercises JSON escaping.
+    span.SetOutcome("ok");
+  }
+  std::string jsonl_path = ::testing::TempDir() + "/obs_test_trace.jsonl";
+  std::string chrome_path = ::testing::TempDir() + "/obs_test_trace.json";
+  std::string error;
+  ASSERT_TRUE(recorder.WriteJsonl(jsonl_path, &error)) << error;
+  ASSERT_TRUE(recorder.WriteChromeTrace(chrome_path, &error)) << error;
+
+  auto jsonl = ReadFileToString(jsonl_path);
+  ASSERT_TRUE(jsonl.ok());
+  EXPECT_NE(jsonl->find("\"name\":\"export.work\""), std::string::npos);
+  EXPECT_NE(jsonl->find("a\\\"b\\\\c"), std::string::npos);
+
+  auto chrome = ReadFileToString(chrome_path);
+  ASSERT_TRUE(chrome.ok());
+  EXPECT_EQ(chrome->find("{\"traceEvents\":["), 0u);
+  EXPECT_NE(chrome->find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_EQ((*chrome)[chrome->size() - 2], '}');  // ...]}\n
+}
+
+// Concurrent Record from many threads must be free of data races (TSan runs
+// this test via tools/check.sh) and lose nothing when under capacity.
+TEST(TraceTest, ConcurrentRecordingIsRaceFreeAndLossless) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  TraceRecorder recorder(kThreads * kPerThread);
+  recorder.Enable(true);
+  std::atomic<int> barrier{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      barrier.fetch_add(1);
+      while (barrier.load() < kThreads) {
+      }
+      for (int i = 0; i < kPerThread; ++i) {
+        ScopedSpan span(&recorder, "mt.work", static_cast<uint32_t>(t));
+        span.AddTag("i", static_cast<uint64_t>(i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(recorder.spans_recorded(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(recorder.spans_dropped(), 0u);
+  std::vector<TraceSpan> spans = recorder.Snapshot();
+  ASSERT_EQ(spans.size(), static_cast<size_t>(kThreads) * kPerThread);
+  // Sequence ids are the retention order: strictly increasing.
+  for (size_t i = 1; i < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].id, spans[i - 1].id + 1);
+  }
+}
+
+// Counters and histograms under concurrent hammering: totals must be exact
+// (every Add lands) — also part of the TSan pass.
+TEST(MetricsTest, ConcurrentRecordingIsExact) {
+  MetricsRegistry registry;
+  auto c = registry.RegisterCounter("mt.c");
+  auto h = registry.RegisterHistogram("mt.h", {10.0, 100.0});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.Add();
+        h.Observe(static_cast<double>(i % 200));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.Value(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(registry.HistogramValues("mt.h").count,
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(TraceTest, ClearDropsSpansAndResetsCounters) {
+  TraceRecorder recorder(4);
+  recorder.Enable(true);
+  for (int i = 0; i < 6; ++i) {
+    TraceSpan span;
+    span.name = "x";
+    recorder.Record(std::move(span));
+  }
+  recorder.Clear();
+  EXPECT_EQ(recorder.spans_recorded(), 0u);
+  EXPECT_EQ(recorder.spans_dropped(), 0u);
+  EXPECT_TRUE(recorder.Snapshot().empty());
+  EXPECT_TRUE(recorder.enabled());  // Clear leaves the enabled flag alone.
+  TraceSpan span;
+  span.name = "after";
+  recorder.Record(std::move(span));
+  ASSERT_EQ(recorder.Snapshot().size(), 1u);
+  EXPECT_EQ(recorder.Snapshot()[0].id, 0u);  // Ids restart after Clear.
+}
+
+}  // namespace
+}  // namespace semdrift

@@ -1,0 +1,127 @@
+#ifndef SEMDRIFT_TESTS_PROPERTY_TEST_UTIL_H_
+#define SEMDRIFT_TESTS_PROPERTY_TEST_UTIL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+#include "corpus/world.h"
+#include "kb/knowledge_base.h"
+#include "text/ids.h"
+#include "util/rng.h"
+#include "util/supervisor.h"
+
+namespace semdrift {
+namespace property {
+
+/// Seeded random-structure generators for property-based tests. Every
+/// generator is a pure function of its seed (same seed -> same structure on
+/// every platform), so a failing property prints the seed and the failure
+/// replays exactly. The distributions are deliberately skewed toward small
+/// shapes: shrinking is not implemented, so small inputs ARE the shrunk
+/// counterexamples.
+
+/// A small random world: 3-12 concepts, 2-6..26 members each, randomized
+/// polysemy/twin/verified rates spanning the interesting corners (no twins
+/// at all vs. heavy overlap, nothing verified vs. majority verified).
+inline World RandomWorld(uint64_t seed) {
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+  WorldSpec spec;
+  spec.num_concepts = static_cast<int>(rng.NextInt(3, 12));
+  spec.min_instances = static_cast<int>(rng.NextInt(2, 6));
+  spec.max_instances = spec.min_instances + static_cast<int>(rng.NextInt(0, 20));
+  spec.popularity_zipf = rng.NextDouble(0.5, 2.0);
+  spec.polysemy_rate = rng.NextDouble(0.0, 0.5);
+  spec.similar_twin_rate = rng.NextDouble(0.0, 0.3);
+  spec.twin_overlap = rng.NextDouble(0.3, 0.9);
+  spec.min_confusables = 1;
+  spec.max_confusables = static_cast<int>(rng.NextInt(1, 4));
+  spec.verified_fraction = rng.NextDouble(0.0, 0.6);
+  return GenerateWorld(spec, &rng);
+}
+
+/// A random but always-valid knowledge base over `world`: 5-80 extraction
+/// events (fresh sentence ids, 1-3 distinct true members of a random
+/// concept, triggers drawn from pairs already live for that concept so the
+/// trigger graph is well-formed) followed by a burst of random rollbacks
+/// under random cascade policies. The result passes
+/// KnowledgeBase::Validate(world.num_concepts(), *num_sentences) by
+/// construction — the property tests assert it anyway.
+inline KnowledgeBase RandomKb(const World& world, uint64_t seed,
+                              size_t* num_sentences) {
+  Rng rng(seed * 0x2545f4914f6cdd1dULL + 7);
+  KnowledgeBase kb;
+  uint32_t next_sentence = 0;
+  std::vector<uint32_t> record_ids;
+  const int events = static_cast<int>(rng.NextInt(5, 80));
+  for (int i = 0; i < events; ++i) {
+    ConceptId c(static_cast<uint32_t>(rng.NextBounded(world.num_concepts())));
+    const std::vector<InstanceId>& members = world.Members(c);
+    if (members.empty()) continue;
+    // 1-3 distinct member instances of c.
+    std::vector<InstanceId> pick = members;
+    rng.Shuffle(&pick);
+    pick.resize(std::min<size_t>(pick.size(), 1 + rng.NextBounded(3)));
+    // Triggers must be live pairs of the same concept at apply time;
+    // iteration-1 records are trigger-free seeds.
+    std::vector<InstanceId> live = kb.LiveInstancesOf(c);
+    std::vector<InstanceId> triggers;
+    if (!live.empty() && rng.NextBool(0.6)) {
+      rng.Shuffle(&live);
+      live.resize(std::min<size_t>(live.size(), 1 + rng.NextBounded(2)));
+      triggers = std::move(live);
+    }
+    const int iteration =
+        triggers.empty() ? 1 : static_cast<int>(rng.NextInt(2, 6));
+    record_ids.push_back(kb.ApplyExtraction(SentenceId(next_sentence++), c,
+                                            pick, triggers, iteration));
+  }
+  // Random rollbacks, including repeats (idempotent) and cascades.
+  const int rollbacks = static_cast<int>(rng.NextBounded(record_ids.size() + 1));
+  for (int i = 0; i < rollbacks; ++i) {
+    uint32_t id = record_ids[rng.NextBounded(record_ids.size())];
+    CascadePolicy policy = rng.NextBool(0.5) ? CascadePolicy::kAllTriggersDead
+                                             : CascadePolicy::kAnyTriggerDead;
+    kb.RollbackRecord(id, policy);
+  }
+  if (num_sentences != nullptr) *num_sentences = next_sentence;
+  return kb;
+}
+
+/// A random health report over `world`'s concept id space: per-concept
+/// outcomes across all stages, dropped instances, and sometimes a detector
+/// fallback. Used to cover the snapshot's quarantine/degraded flags.
+inline RunHealthReport RandomHealth(const World& world, uint64_t seed) {
+  Rng rng(seed * 0xda942042e4dd58b5ULL + 13);
+  RunHealthReport health;
+  const PipelineStage stages[] = {
+      PipelineStage::kScoreWarm, PipelineStage::kCollectTraining,
+      PipelineStage::kDetectorTrain, PipelineStage::kDetectorScore};
+  const ConceptOutcome outcomes[] = {
+      ConceptOutcome::kOk, ConceptOutcome::kRetried, ConceptOutcome::kDegraded,
+      ConceptOutcome::kQuarantined};
+  const int entries = static_cast<int>(rng.NextBounded(12));
+  for (int i = 0; i < entries; ++i) {
+    uint32_t c = static_cast<uint32_t>(rng.NextBounded(world.num_concepts()));
+    health.Record(c, outcomes[rng.NextBounded(4)],
+                  static_cast<int>(rng.NextBounded(3)),
+                  stages[rng.NextBounded(4)], "property fault");
+  }
+  const int drops = static_cast<int>(rng.NextBounded(4));
+  for (int i = 0; i < drops; ++i) {
+    DroppedInstance drop;
+    drop.concept_id = static_cast<uint32_t>(rng.NextBounded(world.num_concepts()));
+    drop.instance = static_cast<uint32_t>(rng.NextBounded(world.num_instances()));
+    drop.stage = stages[rng.NextBounded(4)];
+    drop.reason = "property drop";
+    health.RecordDrop(drop);
+  }
+  if (rng.NextBool(0.3)) health.RecordDetectorFallback(1, "property fallback");
+  return health;
+}
+
+}  // namespace property
+}  // namespace semdrift
+
+#endif  // SEMDRIFT_TESTS_PROPERTY_TEST_UTIL_H_

@@ -235,5 +235,86 @@ TEST_F(QueryEngineTest, StatsVerbReportsAllTypes) {
   }
 }
 
+TEST_F(QueryEngineTest, MetricsVerbReturnsRegistryJsonUncached) {
+  QueryEngine engine(snapshot_);
+  std::string response = engine.Answer("metrics");
+  ASSERT_TRUE(StartsWith(response, "OK\t{")) << response;
+  EXPECT_NE(response.find("\"counters\""), std::string::npos);
+  // Never cached: a metrics answer must always reflect current state.
+  engine.Answer("metrics");
+  QueryTypeStats stats = engine.stats().Snapshot(QueryType::kMetrics);
+  EXPECT_EQ(stats.count, 2u);
+  EXPECT_EQ(stats.cache_hits, 0u);
+}
+
+// Regression: resizing the response cache used to be impossible without
+// rebuilding the engine (discarding ServeStats). ResizeCache must preserve
+// every accumulated stat while changing capacity — including down to 0
+// (disabled) and back up.
+TEST_F(QueryEngineTest, ResizeCachePreservesStats) {
+  QueryEngineOptions options;
+  options.cache_shards = 1;
+  options.cache_capacity = 4;
+  QueryEngine engine(snapshot_, options);
+  const World& world = experiment_->world();
+  ConceptId c = PopulatedConcept();
+  const std::string query = "instances-of\t" + world.ConceptName(c) + "\t3";
+  const std::string expected = engine.Answer(query);
+  engine.Answer(query);  // Cache hit.
+  QueryTypeStats before = engine.stats().Snapshot(QueryType::kInstancesOf);
+  ASSERT_EQ(before.count, 2u);
+  ASSERT_EQ(before.cache_hits, 1u);
+
+  engine.ResizeCache(1);
+  QueryTypeStats after = engine.stats().Snapshot(QueryType::kInstancesOf);
+  EXPECT_EQ(after.count, before.count);
+  EXPECT_EQ(after.cache_hits, before.cache_hits);
+  EXPECT_EQ(after.errors, before.errors);
+  // The shrunken cache still answers correctly.
+  EXPECT_EQ(engine.Answer(query), expected);
+
+  // Capacity 0 disables caching: identical repeat answers, no new hits.
+  engine.ResizeCache(0);
+  QueryTypeStats at_disable = engine.stats().Snapshot(QueryType::kInstancesOf);
+  std::string a = engine.Answer(query);
+  std::string b = engine.Answer(query);
+  EXPECT_EQ(a, expected);
+  EXPECT_EQ(b, expected);
+  QueryTypeStats disabled = engine.stats().Snapshot(QueryType::kInstancesOf);
+  EXPECT_EQ(disabled.cache_hits, at_disable.cache_hits);
+  EXPECT_EQ(disabled.count, at_disable.count + 2);
+
+  // Re-enable: caching resumes, history still intact.
+  engine.ResizeCache(8);
+  engine.Answer(query);
+  engine.Answer(query);
+  QueryTypeStats reenabled = engine.stats().Snapshot(QueryType::kInstancesOf);
+  EXPECT_EQ(reenabled.cache_hits, disabled.cache_hits + 1);
+  EXPECT_EQ(reenabled.count, disabled.count + 2);
+}
+
+// An engine built with a disabled cache can be enabled later (shards always
+// exist; only the capacity gate changes).
+TEST_F(QueryEngineTest, ResizeCacheEnablesAnInitiallyDisabledCache) {
+  QueryEngineOptions options;
+  options.cache_capacity = 0;
+  QueryEngine engine(snapshot_, options);
+  const World& world = experiment_->world();
+  ConceptId c = PopulatedConcept();
+  const std::string query = "instances-of\t" + world.ConceptName(c) + "\t2";
+  engine.Answer(query);
+  engine.Answer(query);
+  QueryTypeStats cold = engine.stats().Snapshot(QueryType::kInstancesOf);
+  EXPECT_EQ(cold.cache_hits, 0u);
+
+  engine.ResizeCache(16);
+  std::string warm1 = engine.Answer(query);
+  std::string warm2 = engine.Answer(query);
+  EXPECT_EQ(warm1, warm2);
+  QueryTypeStats warm = engine.stats().Snapshot(QueryType::kInstancesOf);
+  EXPECT_EQ(warm.cache_hits, 1u);
+  EXPECT_EQ(warm.count, 4u);
+}
+
 }  // namespace
 }  // namespace semdrift

@@ -1,0 +1,98 @@
+// Property-based pass over the serving snapshot: for 200 seeded random
+// (world, KB, health) triples, WriteServingSnapshot -> SnapshotReader::Open
+// must round-trip (deep Validate() passes, counts and quarantine flags
+// match the source KB), and re-serializing the same inputs must produce a
+// byte-identical file (the format has no hidden nondeterminism — no
+// timestamps, no pointer-keyed iteration). Failures print the seed; re-run
+// the generator with that seed to replay.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "eval/experiment.h"
+#include "kb/knowledge_base.h"
+#include "property_test_util.h"
+#include "serve/snapshot.h"
+#include "util/fault_injection.h"
+
+namespace semdrift {
+namespace {
+
+constexpr int kSeeds = 200;
+
+TEST(ServeSnapshotPropertyTest, RandomKbsRoundTripAndReserializeByteIdentical) {
+  for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    World world = property::RandomWorld(seed);
+    size_t num_sentences = 0;
+    KnowledgeBase kb = property::RandomKb(world, seed, &num_sentences);
+    ASSERT_TRUE(kb.Validate(world.num_concepts(), num_sentences).ok());
+
+    // Every third seed also exercises health flags (quarantine/degraded).
+    RunHealthReport health;
+    const RunHealthReport* health_ptr = nullptr;
+    if (seed % 3 == 0) {
+      health = property::RandomHealth(world, seed);
+      health_ptr = &health;
+    }
+
+    const std::string path = ::testing::TempDir() + "/snapshot_prop.bin";
+    Status write =
+        WriteServingSnapshot(kb, world, num_sentences, health_ptr, path);
+    ASSERT_TRUE(write.ok()) << write.message();
+
+    auto reader = SnapshotReader::Open(path);
+    ASSERT_TRUE(reader.ok()) << reader.status().message();
+    Status valid = reader->Validate();
+    EXPECT_TRUE(valid.ok()) << valid.message();
+
+    // The snapshot's live-pair census must match the KB's.
+    ASSERT_EQ(reader->num_concepts(), world.num_concepts());
+    uint64_t live_pairs = 0;
+    for (uint32_t c = 0; c < world.num_concepts(); ++c) {
+      std::vector<InstanceId> live =
+          kb.LiveInstancesOf(ConceptId(c));
+      ASSERT_EQ(reader->ConceptEnd(c) - reader->ConceptBegin(c), live.size());
+      live_pairs += live.size();
+      for (InstanceId e : live) {
+        EXPECT_NE(reader->FindPair(c, e.value), SnapshotReader::kNoPair);
+      }
+      if (health_ptr != nullptr) {
+        EXPECT_EQ(reader->ConceptQuarantined(c), health.IsQuarantined(c));
+      }
+    }
+    EXPECT_EQ(reader->num_pairs(), live_pairs);
+
+    // Re-serialization is byte-identical.
+    const std::string path2 = ::testing::TempDir() + "/snapshot_prop2.bin";
+    ASSERT_TRUE(
+        WriteServingSnapshot(kb, world, num_sentences, health_ptr, path2).ok());
+    auto bytes1 = ReadFileToString(path);
+    auto bytes2 = ReadFileToString(path2);
+    ASSERT_TRUE(bytes1.ok() && bytes2.ok());
+    EXPECT_EQ(*bytes1, *bytes2);
+  }
+}
+
+// The provenance-log round trip must hold for arbitrary valid KBs, not just
+// pipeline-produced ones: records out -> FromRecords -> identical live set.
+TEST(ServeSnapshotPropertyTest, RandomKbsSurviveRecordRoundTrip) {
+  for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    World world = property::RandomWorld(seed);
+    size_t num_sentences = 0;
+    KnowledgeBase kb = property::RandomKb(world, seed, &num_sentences);
+    auto rebuilt = KnowledgeBase::FromRecords(kb.records());
+    ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().message();
+    ASSERT_TRUE(rebuilt->Validate(world.num_concepts(), num_sentences).ok());
+    for (uint32_t c = 0; c < world.num_concepts(); ++c) {
+      EXPECT_EQ(rebuilt->LiveInstancesOf(ConceptId(c)),
+                kb.LiveInstancesOf(ConceptId(c)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace semdrift

@@ -1,16 +1,95 @@
 #!/usr/bin/env bash
-# One-command sanitizer gate: the full test suite under ASan+UBSan, then the
-# concurrency-sensitive tests under TSan (the two sanitizers are mutually
-# exclusive, hence two build trees). Run from the repo root:
+# One-command quality gates. Run from the repo root:
 #
-#   tools/check.sh [jobs]
+#   tools/check.sh [jobs]             sanitizer gate (ASan+UBSan suite, then
+#                                     the concurrency tests under TSan)
+#   tools/check.sh --coverage [jobs]  gcov line-coverage gate: full suite in
+#                                     an instrumented tree, per-directory
+#                                     coverage table, hard floor of 80% on
+#                                     src/obs and src/serve
 #
-# Build trees live in build-asan/ and build-tsan/ and are reused across runs
-# (incremental). Exits non-zero on the first failing configure, build or test.
+# Build trees live in build-asan/, build-tsan/ and build-cov/ and are reused
+# across runs (incremental). Exits non-zero on the first failing configure,
+# build or test — or a broken coverage floor.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+MODE=sanitize
+if [[ "${1:-}" == "--coverage" ]]; then
+  MODE=coverage
+  shift
+fi
 JOBS="${1:-$(nproc 2>/dev/null || echo 2)}"
+
+if [[ "$MODE" == "coverage" ]]; then
+  echo "== Coverage: instrumented build + full ctest =="
+  cmake -B build-cov -S . -DSEMDRIFT_COVERAGE=ON -DCMAKE_BUILD_TYPE=Debug
+  cmake --build build-cov -j "$JOBS"
+  # Stale counts from a previous run would inflate coverage.
+  find build-cov -name '*.gcda' -delete
+  ctest --test-dir build-cov --output-on-failure -j "$JOBS"
+
+  echo "== Coverage: per-directory line coverage (gcov) =="
+  # gcov -n prints, per contributing source file, "Lines executed:P% of N".
+  # A header shows up once per including TU; keep the best-covered sighting
+  # of each file (gcov merges runs per TU, not across TUs) before
+  # aggregating per top-level source directory.
+  find build-cov -name '*.gcda' -print0 |
+    xargs -0 -n 64 gcov -n 2>/dev/null |
+    awk -v root="$PWD/" '
+      /^File / {
+        # "File <quote>/abs/path.cc<quote>" -> /abs/path.cc
+        f = substr($0, 7, length($0) - 7)
+        next
+      }
+      /^Lines executed:/ {
+        line = $0
+        sub(/^Lines executed:/, "", line)
+        split(line, parts, "% of ")
+        total = parts[2] + 0
+        covered = int(parts[1] * total / 100 + 0.5)
+        # Normalize to a repo-relative path; skip system/external files.
+        path = f
+        sub(root, "", path)
+        if (path !~ /^(src|tools|tests|bench)\//) next
+        if (!(path in file_total) || covered > file_covered[path]) {
+          file_covered[path] = covered
+          file_total[path] = total
+        }
+        next
+      }
+      END {
+        status = 0
+        for (path in file_total) {
+          n = split(path, seg, "/")
+          dir = (seg[1] == "src" && n > 2) ? seg[1] "/" seg[2] : seg[1]
+          dir_covered[dir] += file_covered[path]
+          dir_total[dir] += file_total[path]
+        }
+        printf "%-18s %10s %10s %8s\n", "directory", "covered", "lines", "pct"
+        # Insertion sort (mawk has no asorti).
+        m = 0
+        for (dir in dir_total) dirs[++m] = dir
+        for (i = 2; i <= m; i++) {
+          for (j = i; j > 1 && dirs[j] < dirs[j - 1]; j--) {
+            tmp = dirs[j]; dirs[j] = dirs[j - 1]; dirs[j - 1] = tmp
+          }
+        }
+        for (i = 1; i <= m; i++) {
+          dir = dirs[i]
+          pct = dir_total[dir] > 0 ? 100.0 * dir_covered[dir] / dir_total[dir] : 0
+          printf "%-18s %10d %10d %7.1f%%\n", dir, dir_covered[dir], dir_total[dir], pct
+          if ((dir == "src/obs" || dir == "src/serve") && pct < 80.0) {
+            printf "FAIL: %s line coverage %.1f%% is below the 80%% floor\n", dir, pct
+            status = 1
+          }
+        }
+        exit status
+      }'
+  echo "OK: coverage floors hold (src/obs and src/serve >= 80%)"
+  exit 0
+fi
 
 echo "== ASan+UBSan: configure + build + full ctest =="
 cmake -B build-asan -S . -DSEMDRIFT_SANITIZE="address;undefined" \
@@ -20,7 +99,7 @@ ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
 echo "== TSan: concurrency tests =="
 TSAN_TARGETS=(thread_pool_test parallel_determinism_test supervisor_test
-  serve_batcher_test)
+  serve_batcher_test obs_test)
 cmake -B build-tsan -S . -DSEMDRIFT_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-tsan -j "$JOBS" --target "${TSAN_TARGETS[@]}"

@@ -8,6 +8,7 @@
 //                [--keep-checkpoints N]] [--supervise] [--health-report]
 //                [--stage-deadline-ms N] [--max-retries N] [--quarantine on|off]
 //                [--fault-rate R --fault-seed N --fault-kinds K --fault-stages S]
+//                [--trace-out T.jsonl] [--trace-chrome T.json] [--metrics-out M.json]
 //       Load world+corpus, run iterative extraction (and DP cleaning unless
 //       --no-clean), report quality against ground truth, export the
 //       taxonomy. With --checkpoint-dir the run snapshots after every
@@ -17,16 +18,25 @@
 //       deadlines, bounded retries and quarantine, with --health-report
 //       printing the per-concept outcome table. The --fault-* flags enable
 //       seeded compute-fault injection (kinds: throw,stall,nan; stages:
-//       warm,collect,train,score) for robustness drills.
+//       warm,collect,train,score) for robustness drills. --trace-out /
+//       --trace-chrome enable span recording and export the trace as JSONL /
+//       Chrome trace_event JSON (loadable in chrome://tracing);
+//       --metrics-out dumps the process metrics registry. Tracing never
+//       changes any output byte: spans record only from serial driver
+//       contexts, so checkpoints, taxonomy and snapshot are bit-identical
+//       with tracing on or off.
 //   semdrift parse --world w.tsv
 //       Read raw sentences from stdin, parse each with the Hearst parser,
 //       print the candidate analysis.
 //   semdrift serve --snapshot s.bin [--cache N] [--cache-shards N]
 //                  [--max-batch N] [--max-wait-ms N] [--deadline-ms N]
+//                  [--stats-interval-ms N]
 //       Load a serving snapshot and answer line-protocol queries on
 //       stdin/stdout (instances-of, concepts-of, is-a, drift-score, mutex,
-//       stats; `quit` exits). Requests are coalesced into batches and
-//       executed on the thread pool; responses come back in request order.
+//       stats, metrics; `quit` exits). Requests are coalesced into batches
+//       and executed on the thread pool; responses come back in request
+//       order. --stats-interval-ms > 0 prints a serving-stats snapshot to
+//       stderr every N milliseconds.
 //   semdrift query --snapshot s.bin <verb> <args...>
 //       One-shot: answer a single query and exit (non-zero on ERR or
 //       NOT_FOUND). Each shell argument becomes one protocol field, so
@@ -44,6 +54,7 @@
 // Every subcommand is deterministic in --seed. Unknown flags, missing flag
 // values and non-numeric values for numeric flags exit non-zero.
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdio>
 #include <deque>
@@ -59,6 +70,8 @@
 
 #include "corpus/serialization.h"
 #include "dp/cleaner.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "eval/experiment.h"
 #include "eval/metrics.h"
 #include "extract/checkpoint.h"
@@ -158,9 +171,12 @@ int Usage() {
       "               [--quarantine on|off] [--fault-rate R] [--fault-seed N]\n"
       "               [--fault-kinds throw,stall,nan]\n"
       "               [--fault-stages warm,collect,train,score]\n"
+      "               [--trace-out T.jsonl] [--trace-chrome T.json]\n"
+      "               [--metrics-out M.json]\n"
       "  semdrift parse --world W   (sentences on stdin)\n"
       "  semdrift serve --snapshot S [--cache N] [--cache-shards N]\n"
       "               [--max-batch N] [--max-wait-ms N] [--deadline-ms N]\n"
+      "               [--stats-interval-ms N]\n"
       "  semdrift query --snapshot S <verb> <args...>\n"
       "  semdrift snapshot-verify <file>\n"
       "  semdrift fuzz-load [--count N] [--seed N] [--scale S] [--dir D]\n"
@@ -222,6 +238,39 @@ int Generate(const Flags& flags) {
   return 0;
 }
 
+/// Exports the observability artifacts a successful run asked for
+/// (--trace-out / --trace-chrome / --metrics-out), naming each on stdout.
+int WriteObsArtifacts(const Flags& flags) {
+  std::string trace_out = flags.Get("trace-out", "");
+  if (!trace_out.empty()) {
+    std::string error;
+    if (!GlobalTrace().WriteJsonl(trace_out, &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    std::printf("trace -> %s\n", trace_out.c_str());
+  }
+  std::string trace_chrome = flags.Get("trace-chrome", "");
+  if (!trace_chrome.empty()) {
+    std::string error;
+    if (!GlobalTrace().WriteChromeTrace(trace_chrome, &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    std::printf("chrome trace -> %s\n", trace_chrome.c_str());
+  }
+  std::string metrics_out = flags.Get("metrics-out", "");
+  if (!metrics_out.empty()) {
+    Status s = WriteStringToFile(GlobalMetrics().ToJson() + "\n", metrics_out);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("metrics -> %s\n", metrics_out.c_str());
+  }
+  return 0;
+}
+
 /// Successful runs name every artifact they wrote (taxonomy, checkpoints,
 /// snapshot) on stdout so serve/query commands can be chained in scripts.
 /// Writing the serving snapshot is part of the run: a KB that fails
@@ -242,11 +291,15 @@ int FinishRun(const Flags& flags, const KnowledgeBase& kb, const World& world,
     }
     std::printf("snapshot -> %s\n", snapshot_path.c_str());
   }
-  return 0;
+  return WriteObsArtifacts(flags);
 }
 
 int Run(const Flags& flags) {
   ApplyThreadsFlag(flags);
+  if (!flags.Get("trace-out", "").empty() ||
+      !flags.Get("trace-chrome", "").empty()) {
+    GlobalTrace().Enable(true);
+  }
   LoadOptions load_options;
   if (flags.Has("lenient")) load_options.mode = LoadOptions::Mode::kLenient;
   LoadReport world_report;
@@ -489,6 +542,22 @@ int Serve(const Flags& flags) {
                reader->num_concepts(), reader->num_instances(),
                static_cast<unsigned long long>(reader->num_pairs()));
 
+  // Optional periodic stats snapshots on stderr (stdout stays pure protocol).
+  uint64_t stats_interval_ms = flags.GetUint("stats-interval-ms", 0);
+  std::mutex stats_mu;
+  std::condition_variable stats_cv;
+  bool stats_stop = false;
+  std::thread stats_thread;
+  if (stats_interval_ms > 0) {
+    stats_thread = std::thread([&] {
+      std::unique_lock<std::mutex> lock(stats_mu);
+      while (!stats_cv.wait_for(lock, std::chrono::milliseconds(stats_interval_ms),
+                                [&] { return stats_stop; })) {
+        std::fprintf(stderr, "%s\n", engine.FormatStats().c_str());
+      }
+    });
+  }
+
   // Reader/printer split: stdin keeps feeding the batcher while earlier
   // requests execute (that concurrency is what makes batches form), and a
   // printer thread emits responses strictly in request order.
@@ -529,6 +598,14 @@ int Serve(const Flags& flags) {
   }
   cv.notify_all();
   printer.join();
+  if (stats_thread.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu);
+      stats_stop = true;
+    }
+    stats_cv.notify_all();
+    stats_thread.join();
+  }
   return 0;
 }
 
@@ -790,7 +867,7 @@ int main(int argc, char** argv) {
                 {"world", "corpus", "out", "snapshot-out", "checkpoint-dir",
                  "keep-checkpoints", "threads", "stage-deadline-ms", "max-retries",
                  "quarantine", "fault-rate", "fault-seed", "fault-kinds",
-                 "fault-stages"},
+                 "fault-stages", "trace-out", "trace-chrome", "metrics-out"},
                 {"no-clean", "resume", "validate", "lenient", "supervise",
                  "health-report"});
     if (!flags.ok()) {
@@ -810,7 +887,7 @@ int main(int argc, char** argv) {
   if (command == "serve") {
     Flags flags(argc, argv, 2,
                 {"snapshot", "cache", "cache-shards", "max-batch", "max-wait-ms",
-                 "deadline-ms", "threads"},
+                 "deadline-ms", "stats-interval-ms", "threads"},
                 {});
     if (!flags.ok()) {
       std::fprintf(stderr, "%s\n", flags.error().c_str());
