@@ -20,10 +20,21 @@
 // max_wait_ms 0: closed-loop clients refill the queue themselves, so a
 // coalescing linger would only add idle time to every sample.
 //
-//   bench_serve [--scale 0.25] [--threads 4] [--clients 8]
-//               [--out BENCH_serve.json]
+// A fourth measurement exercises hot swapping: clients run the workload
+// closed-loop against a SnapshotManager-fronted batcher while the main
+// thread publishes ≥ --swaps generations (alternating full images and
+// deltas) into a watch directory, polling after each publish. The gate is
+// zero failed (non-OK, non-shed) responses across every swap; with
+// --publish-faults every fifth publish is corrupted first and must be
+// quarantined and rolled back without the serving generation regressing.
+// --max-p99-ms (when > 0) additionally bounds the p99 request latency of
+// the swap phase.
+//
+//   bench_serve [--scale 0.25] [--threads 4] [--clients 8] [--swaps 120]
+//               [--publish-faults] [--max-p99-ms 0] [--out BENCH_serve.json]
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -38,6 +49,10 @@
 #include "serve/batcher.h"
 #include "serve/query_engine.h"
 #include "serve/snapshot.h"
+#include "serve/snapshot_delta.h"
+#include "serve/snapshot_manager.h"
+#include "util/crc32.h"
+#include "util/fault_injection.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -132,12 +147,178 @@ PassResult RunPass(Batcher* batcher, const std::vector<WorkItem>& workload,
   return result;
 }
 
+/// Result of the swap-under-load phase.
+struct SwapResult {
+  int swaps_done = 0;
+  int failed_publishes = 0;
+  int rolled_back = 0;
+  uint64_t requests = 0;
+  uint64_t failures = 0;  // Non-OK responses (shed is disabled here).
+  uint64_t shed = 0;
+  double wall_ms = 0.0;
+  double qps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  std::string error;  // Non-empty: the phase itself broke.
+};
+
+/// Publishes `swaps` generations under closed-loop query load. Odd
+/// generations republish image A as a full snapshot; even generations
+/// publish the A→B delta (so both publish paths and the base binding are
+/// exercised on every other swap). With `publish_faults`, every fifth
+/// publish first lands as a corrupted full image that must be quarantined
+/// without the serving generation moving.
+SwapResult RunSwapPhase(const SnapshotReader& snap,
+                        const std::vector<WorkItem>& workload, size_t clients,
+                        int swaps, bool publish_faults,
+                        const QueryEngineOptions& engine_options) {
+  SwapResult result;
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "bench_serve_publish").string();
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    result.error = "cannot create " + dir + ": " + ec.message();
+    return result;
+  }
+
+  const SnapshotParts parts_a = PartsFromReader(snap);
+  SnapshotParts parts_b = parts_a;
+  if (!parts_b.score.empty()) parts_b.score[0] += 1.0;
+  auto image_a = BuildSnapshotImage(parts_a);
+  auto image_b = BuildSnapshotImage(parts_b);
+  if (!image_a.ok() || !image_b.ok()) {
+    result.error = "image build failed";
+    return result;
+  }
+  const uint32_t crc_a = Crc32Of(*image_a);
+  auto delta = DiffSnapshotParts(parts_a, parts_b);
+  if (!delta.ok()) {
+    result.error = "diff failed: " + delta.status().ToString();
+    return result;
+  }
+
+  Status published = PublishSnapshotImage(*image_a, dir + "/snap-1.bin");
+  if (!published.ok()) {
+    result.error = published.ToString();
+    return result;
+  }
+  SnapshotManagerOptions manager_options;
+  manager_options.dir = dir;
+  manager_options.engine = engine_options;
+  SnapshotManager manager(manager_options);
+  Status initial = manager.LoadInitial();
+  if (!initial.ok()) {
+    result.error = initial.ToString();
+    return result;
+  }
+
+  BatcherOptions batcher_options;
+  batcher_options.max_wait_ms = 0;
+  Batcher batcher(EngineSource([&manager] { return manager.Pin(); }),
+                  batcher_options);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::vector<uint64_t>> latencies(clients);
+  std::vector<uint64_t> failures(clients, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  Timer wall;
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      size_t i = c;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto start = std::chrono::steady_clock::now();
+        const std::string response =
+            batcher.Submit(workload[i % workload.size()].line).get();
+        const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+        latencies[c].push_back(static_cast<uint64_t>(ns));
+        if (response.rfind("OK", 0) != 0) failures[c]++;
+        i += clients;
+      }
+    });
+  }
+
+  for (uint64_t gen = 2; gen <= static_cast<uint64_t>(swaps) + 1; ++gen) {
+    const bool even = gen % 2 == 0;
+    const std::string full_path = dir + "/snap-" + std::to_string(gen) + ".bin";
+    const std::string delta_path = dir + "/delta-" + std::to_string(gen) + ".bin";
+    if (publish_faults && gen % 5 == 0) {
+      // A torn full-image publish: half the bytes under the real name. The
+      // manager must quarantine it and keep serving gen-1.
+      const uint64_t before = manager.generation();
+      std::string torn = image_a->substr(0, image_a->size() / 2);
+      Status wrote = WriteStringToFile(torn, full_path);
+      if (!wrote.ok()) {
+        result.error = wrote.ToString();
+        break;
+      }
+      SnapshotPollResult poll = manager.Poll();
+      result.failed_publishes += poll.failed;
+      result.rolled_back += poll.rolled_back;
+      if (poll.failed == 0 || manager.generation() != before) {
+        result.error = "corrupt publish at generation " + std::to_string(gen) +
+                       " was not contained";
+        break;
+      }
+    }
+    Status wrote;
+    if (even) {
+      SnapshotDelta d = *delta;
+      d.base_generation = gen - 1;
+      d.base_crc32 = crc_a;  // Odd generations always serve image A.
+      d.generation = gen;
+      wrote = WriteSnapshotDeltaFile(d, delta_path);
+    } else {
+      wrote = PublishSnapshotImage(*image_a, full_path);
+    }
+    if (!wrote.ok()) {
+      result.error = wrote.ToString();
+      break;
+    }
+    SnapshotPollResult poll = manager.Poll();
+    result.failed_publishes += poll.failed;
+    result.rolled_back += poll.rolled_back;
+    if (poll.generation != gen) {
+      result.error = "generation " + std::to_string(gen) + " did not install";
+      break;
+    }
+    result.swaps_done += poll.swaps;
+  }
+
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : threads) t.join();
+  result.wall_ms = wall.ElapsedMillis();
+
+  std::vector<uint64_t> all;
+  for (size_t c = 0; c < clients; ++c) {
+    result.failures += failures[c];
+    all.insert(all.end(), latencies[c].begin(), latencies[c].end());
+  }
+  result.requests = all.size();
+  result.qps = result.wall_ms > 0.0
+                   ? static_cast<double>(all.size()) / (result.wall_ms / 1e3)
+                   : 0.0;
+  result.p50_us = PercentileUs(&all, 50.0);
+  result.p99_us = PercentileUs(&all, 99.0);
+  BatcherStats stats = batcher.Snapshot();
+  result.shed = stats.shed;
+  std::filesystem::remove_all(dir, ec);
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   double scale = bench::EnvScale();
   int threads = 4;
   size_t clients = 8;
+  int swaps = 120;
+  bool publish_faults = false;
+  double max_p99_ms = 0.0;
   std::string out = "BENCH_serve.json";
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -154,6 +335,12 @@ int main(int argc, char** argv) {
       threads = std::atoi(value().c_str());
     } else if (arg == "--clients") {
       clients = static_cast<size_t>(std::atoi(value().c_str()));
+    } else if (arg == "--swaps") {
+      swaps = std::atoi(value().c_str());
+    } else if (arg == "--publish-faults") {
+      publish_faults = true;
+    } else if (arg == "--max-p99-ms") {
+      if (!ParseDouble(value(), &max_p99_ms)) std::exit(2);
     } else if (arg == "--out") {
       out = value();
     } else {
@@ -244,6 +431,9 @@ int main(int argc, char** argv) {
   const double point_p50_us = PercentileUs(&point_ns, 50.0);
   const double point_p99_us = PercentileUs(&point_ns, 99.0);
 
+  SwapResult swap = RunSwapPhase(snap, workload, clients, swaps, publish_faults,
+                                 engine_options);
+
   BatcherStats batch_stats = batcher.Snapshot();
   std::printf("cold: %7.1f ms  %9.0f qps\n", cold.wall_ms, cold.qps);
   std::printf("hot:  %7.1f ms  %9.0f qps  hit rate %.3f\n", hot.wall_ms, hot.qps,
@@ -254,6 +444,12 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(batch_stats.batches),
               static_cast<unsigned long long>(batch_stats.requests),
               static_cast<unsigned long long>(batch_stats.max_batch));
+  std::printf("swap: %d swaps, %llu requests, %9.0f qps, p50 %.1f us, "
+              "p99 %.1f us, %llu failures, %d failed publishes (%d rolled back)\n",
+              swap.swaps_done, static_cast<unsigned long long>(swap.requests),
+              swap.qps, swap.p50_us, swap.p99_us,
+              static_cast<unsigned long long>(swap.failures),
+              swap.failed_publishes, swap.rolled_back);
 
   FILE* f = std::fopen(out.c_str(), "w");
   if (f == nullptr) {
@@ -302,6 +498,17 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(batch_stats.requests),
                static_cast<unsigned long long>(batch_stats.batches),
                static_cast<unsigned long long>(batch_stats.max_batch));
+  std::fprintf(f,
+               "  \"swap\": {\"swaps\": %d, \"requests\": %llu, "
+               "\"qps\": %.1f, \"p50_us\": %.2f, \"p99_us\": %.2f, "
+               "\"failed_responses\": %llu, \"shed\": %llu, "
+               "\"failed_publishes\": %d, \"rolled_back\": %d, "
+               "\"wall_ms\": %.3f},\n",
+               swap.swaps_done, static_cast<unsigned long long>(swap.requests),
+               swap.qps, swap.p50_us, swap.p99_us,
+               static_cast<unsigned long long>(swap.failures),
+               static_cast<unsigned long long>(swap.shed),
+               swap.failed_publishes, swap.rolled_back, swap.wall_ms);
   std::fprintf(f, "  \"metrics\": %s\n", GlobalMetrics().ToJson().c_str());
   std::fprintf(f, "}\n");
   std::fclose(f);
@@ -322,6 +529,29 @@ int main(int argc, char** argv) {
   if (point_p50_us >= 1000.0) {
     std::fprintf(stderr, "FAIL: cached point p50 %.1f us is not sub-millisecond\n",
                  point_p50_us);
+    return 1;
+  }
+  if (!swap.error.empty()) {
+    std::fprintf(stderr, "FAIL: swap phase: %s\n", swap.error.c_str());
+    return 1;
+  }
+  if (swap.swaps_done < swaps) {
+    std::fprintf(stderr, "FAIL: only %d of %d swaps installed\n", swap.swaps_done,
+                 swaps);
+    return 1;
+  }
+  if (swap.failures > 0) {
+    std::fprintf(stderr, "FAIL: %llu non-OK responses during hot swaps\n",
+                 static_cast<unsigned long long>(swap.failures));
+    return 1;
+  }
+  if (publish_faults && swap.failed_publishes == 0) {
+    std::fprintf(stderr, "FAIL: publish faults were injected but none recorded\n");
+    return 1;
+  }
+  if (max_p99_ms > 0.0 && swap.p99_us > max_p99_ms * 1000.0) {
+    std::fprintf(stderr, "FAIL: swap-phase p99 %.1f us exceeds bound %.1f ms\n",
+                 swap.p99_us, max_p99_ms);
     return 1;
   }
   return 0;

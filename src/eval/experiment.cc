@@ -2,6 +2,10 @@
 
 #include <algorithm>
 
+#include "serve/snapshot_delta.h"
+#include "util/crc32.h"
+#include "util/fault_injection.h"
+
 namespace semdrift {
 
 ExperimentConfig PaperScaleConfig(double scale) {
@@ -139,6 +143,29 @@ Status WriteServingSnapshot(const KnowledgeBase& kb, const World& world,
   Status valid = kb.Validate(world.num_concepts(), num_sentences);
   if (!valid.ok()) return valid;
   return WriteSnapshot(kb, world, health, options, path);
+}
+
+Status WriteServingSnapshotDelta(const KnowledgeBase& kb, const World& world,
+                                 size_t num_sentences, const RunHealthReport* health,
+                                 const std::string& base_path,
+                                 uint64_t base_generation, const std::string& path,
+                                 const SnapshotOptions& options) {
+  Status valid = kb.Validate(world.num_concepts(), num_sentences);
+  if (!valid.ok()) return valid;
+  // The base is read as raw bytes first: the delta's binding is the CRC32 of
+  // the exact image on disk, not of any re-serialization.
+  auto base_bytes = ReadFileToString(base_path);
+  if (!base_bytes.ok()) return base_bytes.status();
+  auto base_reader = SnapshotReader::OpenFromBuffer(*base_bytes, base_path);
+  if (!base_reader.ok()) return base_reader.status();
+  const SnapshotParts base_parts = PartsFromReader(*base_reader);
+  const SnapshotParts next_parts = CompileSnapshotParts(kb, world, health, options);
+  auto delta = DiffSnapshotParts(base_parts, next_parts);
+  if (!delta.ok()) return delta.status();
+  delta->base_generation = base_generation;
+  delta->base_crc32 = Crc32Of(*base_bytes);
+  delta->generation = base_generation + 1;
+  return WriteSnapshotDeltaFile(*delta, path);
 }
 
 VerifiedSource Experiment::MakeVerifiedSource() const {

@@ -77,6 +77,20 @@ Status WriteServingSnapshot(const KnowledgeBase& kb, const World& world,
                             const std::string& path,
                             const SnapshotOptions& options = {});
 
+/// Delta publishing: compiles `kb` exactly like WriteServingSnapshot, but
+/// instead of a full image writes the SnapshotDelta from the snapshot at
+/// `base_path` (generation `base_generation`) to the new state, bound to the
+/// base image's CRC32. The delta materializes generation base_generation + 1.
+/// Fails (kInvalidArgument) when the base snapshot describes a different
+/// world — deltas only make sense between runs over the same name spaces.
+Status WriteServingSnapshotDelta(const KnowledgeBase& kb, const World& world,
+                                 size_t num_sentences,
+                                 const RunHealthReport* health,
+                                 const std::string& base_path,
+                                 uint64_t base_generation,
+                                 const std::string& path,
+                                 const SnapshotOptions& options = {});
+
 Result<SupervisedRunResult> RunSupervisedPipeline(
     IterativeExtractor* extractor, const SentenceStore* sentences,
     VerifiedSource verified, size_t num_concepts, size_t num_sentences,

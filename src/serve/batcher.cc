@@ -1,5 +1,6 @@
 #include "serve/batcher.h"
 
+#include <algorithm>
 #include <utility>
 #include <vector>
 
@@ -16,6 +17,9 @@ struct BatchMetrics {
   MetricsRegistry::Counter batches;
   MetricsRegistry::Histogram batch_size;
   MetricsRegistry::Histogram queue_wait_ns;
+  MetricsRegistry::Counter shed;
+  MetricsRegistry::Counter overload_engaged;
+  MetricsRegistry::Gauge overload_level;
 };
 
 BatchMetrics& GetBatchMetrics() {
@@ -23,14 +27,25 @@ BatchMetrics& GetBatchMetrics() {
       GlobalMetrics().RegisterCounter("batch.requests"),
       GlobalMetrics().RegisterCounter("batch.batches"),
       GlobalMetrics().RegisterHistogram("batch.size", SizeBuckets()),
-      GlobalMetrics().RegisterHistogram("batch.queue_wait_ns", LatencyBucketsNs())};
+      GlobalMetrics().RegisterHistogram("batch.queue_wait_ns", LatencyBucketsNs()),
+      GlobalMetrics().RegisterCounter("batch.shed"),
+      GlobalMetrics().RegisterCounter("batch.overload.engaged"),
+      GlobalMetrics().RegisterGauge("batch.overload.level")};
   return metrics;
 }
+
+/// The fixed OVERLOADED response line (tests and clients match it verbatim).
+constexpr const char* kOverloadedResponse =
+    "OVERLOADED\tqueue-wait p99 over deadline budget; request shed";
 
 }  // namespace
 
 Batcher::Batcher(QueryEngine* engine, BatcherOptions options)
-    : engine_(engine), options_(options) {
+    : Batcher(EngineSource([engine] { return EnginePin{engine, nullptr}; }),
+              options) {}
+
+Batcher::Batcher(EngineSource source, BatcherOptions options)
+    : source_(std::move(source)), options_(options) {
   if (options_.max_batch == 0) options_.max_batch = 1;
   paused_ = options_.start_paused;
   dispatcher_ = std::thread([this] { DispatchLoop(); });
@@ -47,31 +62,103 @@ Batcher::~Batcher() {
 }
 
 std::future<std::string> Batcher::Submit(std::string line) {
-  return Submit(std::move(line), options_.default_deadline_ms);
+  return Submit(std::move(line), options_.default_deadline_ms,
+                RequestPriority::kNormal);
 }
 
 std::future<std::string> Batcher::Submit(std::string line, int deadline_ms) {
+  return Submit(std::move(line), deadline_ms, RequestPriority::kNormal);
+}
+
+std::future<std::string> Batcher::Submit(std::string line, int deadline_ms,
+                                         RequestPriority priority) {
   Request req;
   req.line = std::move(line);
   req.submitted = std::chrono::steady_clock::now();
   GetBatchMetrics().requests.Add();
   if (deadline_ms > 0) {
     req.has_deadline = true;
-    req.deadline =
-        std::chrono::steady_clock::now() + std::chrono::milliseconds(deadline_ms);
+    req.deadline = req.submitted + std::chrono::milliseconds(deadline_ms);
   }
   std::future<std::string> future = req.promise.get_future();
+  bool shed = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) {
       req.promise.set_value("ERR\tserver shutting down");
       return future;
     }
-    queue_.push_back(std::move(req));
-    stats_.requests++;
+    if (options_.deadline_budget_ms > 0) {
+      RefreshOverloadLocked(req.submitted);
+      // Level 1 sheds kLow, level 2 sheds kLow and kNormal. kHigh is always
+      // admitted — overload must never blind the operator's probes.
+      shed = (stats_.overload_level >= 1 && priority == RequestPriority::kLow) ||
+             (stats_.overload_level >= 2 && priority != RequestPriority::kHigh);
+    }
+    if (shed) {
+      stats_.shed++;
+    } else {
+      queue_.push_back(std::move(req));
+      stats_.requests++;
+    }
+  }
+  if (shed) {
+    GetBatchMetrics().shed.Add();
+    req.promise.set_value(kOverloadedResponse);
+    return future;
   }
   wake_.notify_all();
   return future;
+}
+
+void Batcher::RefreshOverloadLocked(std::chrono::steady_clock::time_point now) {
+  const auto horizon = now - std::chrono::milliseconds(options_.overload_window_ms);
+  while (!wait_samples_.empty() && wait_samples_.front().first < horizon) {
+    wait_samples_.pop_front();
+  }
+  while (wait_samples_.size() > options_.overload_window_samples) {
+    wait_samples_.pop_front();
+  }
+  const uint64_t p99 = QueueWaitP99Locked();
+  const uint64_t budget_ns =
+      static_cast<uint64_t>(options_.deadline_budget_ms) * 1000000ull;
+  const uint64_t engage[3] = {0, budget_ns / 2, budget_ns};
+  const uint64_t disengage[3] = {0, budget_ns / 4, budget_ns / 2};
+  int target = 0;
+  if (p99 >= engage[2]) {
+    target = 2;
+  } else if (p99 >= engage[1]) {
+    target = 1;
+  }
+  int level = stats_.overload_level;
+  if (target > level) {
+    // Engage immediately: the queue is drowning now.
+    level = target;
+  } else {
+    // Disengage one rung at a time, and only once p99 has fallen well below
+    // the rung's engage point — the hysteresis that stops flapping at the
+    // boundary.
+    while (level > target && p99 < disengage[level]) --level;
+  }
+  if (level != stats_.overload_level) {
+    if (stats_.overload_level == 0 && level > 0) {
+      stats_.overload_engaged++;
+      GetBatchMetrics().overload_engaged.Add();
+    }
+    stats_.overload_level = level;
+    GetBatchMetrics().overload_level.Set(level);
+  }
+}
+
+uint64_t Batcher::QueueWaitP99Locked() const {
+  if (wait_samples_.empty()) return 0;
+  std::vector<uint64_t> waits;
+  waits.reserve(wait_samples_.size());
+  for (const auto& [at, ns] : wait_samples_) waits.push_back(ns);
+  const size_t idx = (waits.size() - 1) * 99 / 100;
+  std::nth_element(waits.begin(), waits.begin() + static_cast<ptrdiff_t>(idx),
+                   waits.end());
+  return waits[idx];
 }
 
 void Batcher::Pause() {
@@ -124,6 +211,20 @@ void Batcher::DispatchLoop() {
     }
     stats_.batches++;
     stats_.max_batch = std::max<uint64_t>(stats_.max_batch, batch.size());
+    if (options_.deadline_budget_ms > 0) {
+      // Feed the overload window at dispatch time (one clock read per
+      // batch): the wait these requests actually endured is what decides
+      // whether the next Submit() is admitted.
+      const auto now = std::chrono::steady_clock::now();
+      for (const Request& r : batch) {
+        wait_samples_.emplace_back(
+            now, static_cast<uint64_t>(
+                     std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         now - r.submitted)
+                         .count()));
+      }
+      RefreshOverloadLocked(now);
+    }
     lock.unlock();
     RunBatch(&batch);
     lock.lock();
@@ -141,17 +242,24 @@ void Batcher::RunBatch(std::deque<Request>* batch) {
         std::chrono::duration_cast<std::chrono::nanoseconds>(now - req.submitted)
             .count()));
   }
+  // One generation per batch: resolve the pin once so every request in the
+  // batch sees the same snapshot, held alive until the promises are set.
+  EnginePin pin = source_();
+  QueryEngine* engine = pin.engine;
   std::vector<std::string> responses = ParallelMap<std::string>(n, [&](size_t i) {
     Request& req = (*batch)[i];
+    if (engine == nullptr) {
+      return std::string("ERR\tno snapshot generation available");
+    }
     if (req.has_deadline) {
       if (req.deadline <= now) return std::string("ERR\tdeadline exceeded");
       CancellationToken token;
       token.ArmDeadline(std::chrono::duration_cast<std::chrono::milliseconds>(
           req.deadline - now));
       ScopedCancellation scoped(&token);
-      return engine_->Answer(req.line);
+      return engine->Answer(req.line);
     }
-    return engine_->Answer(req.line);
+    return engine->Answer(req.line);
   });
   // Record expiries before fulfilling any promise: a waiter woken by get()
   // must already see its request counted in Snapshot().

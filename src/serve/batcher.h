@@ -9,6 +9,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 
 #include "serve/query_engine.h"
 
@@ -25,14 +26,41 @@ struct BatcherOptions {
   /// Start with dispatch paused (tests use this to force coalescing
   /// deterministically: queue N requests, then Resume()).
   bool start_paused = false;
+  /// Admission control: when > 0 and the observed p99 queue wait crosses
+  /// this budget, low-priority requests are shed with an OVERLOADED
+  /// response instead of queueing to death. Engagement is a two-level
+  /// ladder with hysteresis: level 1 (shed kLow) engages at budget/2,
+  /// level 2 (shed kLow+kNormal) at the full budget; each level disengages
+  /// only after p99 falls below half its engage threshold. <= 0 disables
+  /// shedding entirely.
+  int deadline_budget_ms = 0;
+  /// Sliding window over which the queue-wait p99 is computed.
+  int overload_window_ms = 1000;
+  /// Cap on retained wait samples (bounds Submit-side work).
+  size_t overload_window_samples = 512;
 };
 
-/// Counters for the dispatch loop (all monotone; read with Snapshot()).
+/// Caller-declared importance of a request; shedding consumes priorities
+/// from the bottom. kHigh is never shed (health probes, admin commands).
+enum class RequestPriority {
+  kLow = 0,
+  kNormal = 1,
+  kHigh = 2,
+};
+
+/// Counters for the dispatch loop (all monotone except overload_level;
+/// read with Snapshot()).
 struct BatcherStats {
   uint64_t requests = 0;
   uint64_t batches = 0;
   uint64_t max_batch = 0;
   uint64_t deadline_expired = 0;
+  /// Requests refused with OVERLOADED.
+  uint64_t shed = 0;
+  /// 0 -> overloaded transitions (how often shedding engaged).
+  uint64_t overload_engaged = 0;
+  /// Current shedding level (0 = accepting everything).
+  int overload_level = 0;
 };
 
 /// Coalesces submitted query lines into batches and executes each batch on
@@ -48,8 +76,13 @@ struct BatcherStats {
 /// worker (so future long-running query kinds can poll it).
 class Batcher {
  public:
-  /// `engine` must outlive the batcher.
+  /// `engine` must outlive the batcher. Equivalent to an EngineSource that
+  /// always returns this engine (single-snapshot serving).
   explicit Batcher(QueryEngine* engine, BatcherOptions options = {});
+  /// Hot-swap serving: `source` is resolved once per batch, so every request
+  /// in a batch is answered by one consistent generation and the returned
+  /// keepalive pins that generation until the batch completes.
+  explicit Batcher(EngineSource source, BatcherOptions options = {});
   /// Drains the queue (dispatching anything still pending), then stops.
   ~Batcher();
 
@@ -60,6 +93,10 @@ class Batcher {
   std::future<std::string> Submit(std::string line);
   /// Same with an explicit deadline (<= 0: none) overriding the default.
   std::future<std::string> Submit(std::string line, int deadline_ms);
+  /// Full form: explicit deadline and priority. Under overload the request
+  /// may resolve immediately to "OVERLOADED\t..." without executing.
+  std::future<std::string> Submit(std::string line, int deadline_ms,
+                                  RequestPriority priority);
 
   /// Holds dispatch so queued requests coalesce; Resume() releases them.
   void Pause();
@@ -81,8 +118,13 @@ class Batcher {
   void DispatchLoop();
   /// Runs one batch on the pool and completes its promises.
   void RunBatch(std::deque<Request>* batch);
+  /// Prunes the wait-sample window and walks the shedding ladder (engage
+  /// fast, disengage hysteretically). Requires mu_.
+  void RefreshOverloadLocked(std::chrono::steady_clock::time_point now);
+  /// p99 over the retained window in ns; 0 when empty. Requires mu_.
+  uint64_t QueueWaitP99Locked() const;
 
-  QueryEngine* engine_;
+  EngineSource source_;
   BatcherOptions options_;
 
   mutable std::mutex mu_;
@@ -91,6 +133,11 @@ class Batcher {
   bool paused_ = false;
   bool stopping_ = false;
   BatcherStats stats_;
+  /// (dispatch time, queue wait ns) per dispatched request, pruned by age
+  /// and count. Shed requests contribute nothing, which is what lets p99
+  /// fall back down while shedding protects the queue.
+  std::deque<std::pair<std::chrono::steady_clock::time_point, uint64_t>>
+      wait_samples_;
   std::thread dispatcher_;
 };
 

@@ -145,6 +145,7 @@ void ServeStats::Reset() {
 
 QueryEngine::QueryEngine(const SnapshotReader* snapshot, QueryEngineOptions options)
     : snapshot_(snapshot), options_(options) {
+  if (options_.shared_stats != nullptr) stats_ptr_ = options_.shared_stats;
   if (options_.cache_shards == 0) options_.cache_shards = 1;
   // Shards always exist so ResizeCache can enable a cache that started
   // disabled; per_shard_capacity_ == 0 short-circuits every cache op.
@@ -217,7 +218,7 @@ std::string QueryEngine::Answer(std::string_view line) {
   const uint64_t ns = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(ended - started).count());
   const bool error = response.compare(0, 2, "OK") != 0;
-  stats_.Record(type, ns, cache_hit, error);
+  stats_ptr_->Record(type, ns, cache_hit, error);
   VerbMetrics& verb = GetVerbMetrics(type_index);
   verb.requests.Add();
   verb.latency_ns.Observe(static_cast<double>(ns));
@@ -400,7 +401,7 @@ std::string QueryEngine::FormatStats() const {
         static_cast<QueryType>(i) == QueryType::kMetrics) {
       continue;
     }
-    QueryTypeStats s = stats_.Snapshot(static_cast<QueryType>(i));
+    QueryTypeStats s = stats_ptr_->Snapshot(static_cast<QueryType>(i));
     out += '\t';
     out += kTypeNames[i];
     out += "=count:" + std::to_string(s.count) +
@@ -409,6 +410,16 @@ std::string QueryEngine::FormatStats() const {
            ",mean_ns:" + std::to_string(static_cast<uint64_t>(s.MeanNs())) +
            ",max_ns:" + std::to_string(s.max_ns);
   }
+  // Hot-swap and admission-control counters (all 0 for single-snapshot
+  // serving: CounterValue reads 0 for never-registered names). Appended last
+  // so older consumers that split on the per-verb fields keep parsing.
+  out += "\tgeneration=" + std::to_string(options_.generation) +
+         "\tswaps=" + std::to_string(GlobalMetrics().CounterValue("serve.swap.count")) +
+         "\tfailed_publishes=" +
+         std::to_string(GlobalMetrics().CounterValue("serve.publish.failed")) +
+         "\trolled_back=" +
+         std::to_string(GlobalMetrics().CounterValue("serve.publish.rolled_back")) +
+         "\tshed=" + std::to_string(GlobalMetrics().CounterValue("batch.shed"));
   return out;
 }
 

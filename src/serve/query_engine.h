@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -86,6 +87,13 @@ struct QueryEngineOptions {
   size_t cache_shards = 16;
   /// Total cached responses across all shards; 0 disables the cache.
   size_t cache_capacity = 4096;
+  /// When set, the engine records into these stats instead of its own.
+  /// The hot-swap manager points every generation's engine at one shared
+  /// ServeStats, so counters survive swaps while each generation gets a
+  /// fresh (invalidated) response cache. Must outlive the engine.
+  ServeStats* shared_stats = nullptr;
+  /// Snapshot generation this engine serves; reported by the `stats` verb.
+  uint64_t generation = 0;
 };
 
 /// Answers line-protocol queries over a loaded snapshot. Thread-safe: the
@@ -106,8 +114,11 @@ class QueryEngine {
   std::string Answer(std::string_view line);
 
   const SnapshotReader& snapshot() const { return *snapshot_; }
-  const ServeStats& stats() const { return stats_; }
-  void ResetStats() { stats_.Reset(); }
+  const ServeStats& stats() const { return *stats_ptr_; }
+  void ResetStats() { stats_ptr_->Reset(); }
+
+  /// Generation reported by the `stats` verb (0 for single-snapshot serving).
+  uint64_t generation() const { return options_.generation; }
 
   /// Changes the result cache's total capacity in place, evicting LRU
   /// entries that no longer fit. ServeStats are deliberately left untouched:
@@ -152,7 +163,23 @@ class QueryEngine {
   std::atomic<size_t> per_shard_capacity_{0};
   std::vector<std::unique_ptr<Shard>> shards_;
   ServeStats stats_;
+  /// &stats_, or options_.shared_stats when stats outlive this engine.
+  ServeStats* stats_ptr_ = &stats_;
 };
+
+/// A borrowed engine plus whatever owns it. The Batcher resolves one pin per
+/// batch: `keepalive` holds the serving generation alive (RCU-style) while
+/// the batch runs, so a concurrent hot swap can retire the old generation
+/// without yanking it out from under in-flight queries.
+struct EnginePin {
+  QueryEngine* engine = nullptr;
+  std::shared_ptr<const void> keepalive;
+};
+
+/// Resolves the engine to use for the next batch. Must be callable from any
+/// thread; returning a null engine makes the batch answer
+/// "ERR\tno snapshot generation available".
+using EngineSource = std::function<EnginePin()>;
 
 }  // namespace semdrift
 

@@ -120,14 +120,25 @@ std::string BuildNameSection(size_t n,
 
 // -- Writer ------------------------------------------------------------------
 
-Status WriteSnapshot(const KnowledgeBase& kb, const World& world,
-                     const RunHealthReport* health, const SnapshotOptions& options,
-                     const std::string& path) {
+SnapshotParts CompileSnapshotParts(const KnowledgeBase& kb, const World& world,
+                                   const RunHealthReport* health,
+                                   const SnapshotOptions& options) {
   const size_t nc = world.num_concepts();
   const size_t ni = world.num_instances();
-  ScopedSpan span(&GlobalTrace(), "snapshot.write");
+  ScopedSpan span(&GlobalTrace(), "snapshot.compile");
   span.AddTag("concepts", static_cast<uint64_t>(nc));
   span.AddTag("instances", static_cast<uint64_t>(ni));
+
+  SnapshotParts parts;
+  parts.concept_names.reserve(nc);
+  for (size_t i = 0; i < nc; ++i) {
+    parts.concept_names.push_back(world.ConceptName(ConceptId(static_cast<uint32_t>(i))));
+  }
+  parts.instance_names.reserve(ni);
+  for (size_t i = 0; i < ni; ++i) {
+    parts.instance_names.push_back(
+        world.InstanceName(InstanceId(static_cast<uint32_t>(i))));
+  }
 
   // Score every concept over the final KB (checked: a non-converged walk
   // yields capped finite scores, never NaN in the score column). Fans out
@@ -142,12 +153,7 @@ Status WriteSnapshot(const KnowledgeBase& kb, const World& world,
   // Forward CSR: live pairs per concept, restricted to world id spaces
   // (open-class discoveries are skipped, matching ExportTaxonomyTsv), rows
   // sorted by instance id.
-  std::vector<uint64_t> fwd_rows(nc + 1, 0);
-  std::vector<uint32_t> fwd_instance;
-  std::vector<double> score_col;
-  std::vector<uint32_t> support_col;
-  std::vector<uint32_t> iter1_col;
-  std::vector<uint32_t> rank;
+  parts.fwd_rows.assign(nc + 1, 0);
   for (size_t ci = 0; ci < nc; ++ci) {
     ConceptId c(static_cast<uint32_t>(ci));
     std::vector<InstanceId> live = kb.LiveInstancesOf(c);
@@ -155,65 +161,28 @@ Status WriteSnapshot(const KnowledgeBase& kb, const World& world,
                               [&](InstanceId e) { return e.value >= ni; }),
                live.end());
     std::sort(live.begin(), live.end());
-    const uint64_t base = fwd_instance.size();
     for (InstanceId e : live) {
       IsAPair pair{c, e};
-      fwd_instance.push_back(e.value);
+      parts.fwd_instance.push_back(e.value);
       auto it = scores[ci].find(e);
-      score_col.push_back(it == scores[ci].end() ? 0.0 : it->second);
-      support_col.push_back(static_cast<uint32_t>(kb.Count(pair)));
-      iter1_col.push_back(static_cast<uint32_t>(kb.Iter1Count(pair)));
+      parts.score.push_back(it == scores[ci].end() ? 0.0 : it->second);
+      parts.support.push_back(static_cast<uint32_t>(kb.Count(pair)));
+      parts.iter1.push_back(static_cast<uint32_t>(kb.Iter1Count(pair)));
     }
-    // Rank slice: same pairs re-ordered by (score desc, instance id asc).
-    std::vector<uint32_t> order(live.size());
-    for (size_t i = 0; i < order.size(); ++i) {
-      order[i] = static_cast<uint32_t>(base + i);
-    }
-    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
-      if (score_col[a] != score_col[b]) return score_col[a] > score_col[b];
-      return fwd_instance[a] < fwd_instance[b];
-    });
-    rank.insert(rank.end(), order.begin(), order.end());
-    fwd_rows[ci + 1] = fwd_instance.size();
-  }
-  const uint64_t np = fwd_instance.size();
-  if (np > 0xffffffffull) {
-    return Status::Internal("snapshot: pair count " + std::to_string(np) +
-                            " exceeds the u32 pair-index space");
-  }
-  for (double s : score_col) {
-    if (!Finite(s)) return Status::Internal("snapshot: non-finite score column");
-  }
-
-  // Inverse CSR by counting sort; iterating forward pairs in (concept asc,
-  // instance asc) order makes every inverse row concept-sorted for free.
-  std::vector<uint64_t> inv_rows(ni + 1, 0);
-  for (uint32_t e : fwd_instance) inv_rows[e + 1]++;
-  for (size_t i = 1; i <= ni; ++i) inv_rows[i] += inv_rows[i - 1];
-  std::vector<uint32_t> inv_concept(np, 0);
-  std::vector<uint32_t> inv_pair(np, 0);
-  {
-    std::vector<uint64_t> next(inv_rows.begin(), inv_rows.end() - 1);
-    for (size_t ci = 0; ci < nc; ++ci) {
-      for (uint64_t j = fwd_rows[ci]; j < fwd_rows[ci + 1]; ++j) {
-        uint64_t slot = next[fwd_instance[j]]++;
-        inv_concept[slot] = static_cast<uint32_t>(ci);
-        inv_pair[slot] = static_cast<uint32_t>(j);
-      }
-    }
+    parts.fwd_rows[ci + 1] = parts.fwd_instance.size();
   }
 
   // Concept metadata + the sparse mutex table. The effective-similarity
   // replication below mirrors MutexIndex::EffectiveSim exactly (closure max
   // over each side's highly-similar partners, not the cross product).
   MutexIndex midx(kb, nc, options.mutex);
-  std::vector<uint8_t> flags(nc, 0);
+  parts.flags.assign(nc, 0);
   std::vector<uint32_t> usable;
   for (size_t ci = 0; ci < nc; ++ci) {
     ConceptId c(static_cast<uint32_t>(ci));
-    if (health != nullptr && health->IsQuarantined(c.value)) flags[ci] |= 1u;
+    if (health != nullptr && health->IsQuarantined(c.value)) parts.flags[ci] |= 1u;
     if (midx.Usable(c)) {
-      flags[ci] |= 2u;
+      parts.flags[ci] |= 2u;
       usable.push_back(c.value);
     }
   }
@@ -244,42 +213,154 @@ Status WriteSnapshot(const KnowledgeBase& kb, const World& world,
   }
   std::sort(mutex_entries.begin(), mutex_entries.end(),
             [](const MutexEntry& a, const MutexEntry& b) { return a.key < b.key; });
+  parts.mutex_threshold = options.mutex.mutex_threshold;
+  parts.similar_threshold = options.mutex.similar_threshold;
+  for (const MutexEntry& e : mutex_entries) {
+    parts.mutex_keys.push_back(e.key);
+    parts.mutex_sims.push_back(e.sim);
+  }
+  return parts;
+}
 
-  // Name-sorted permutations for allocation-free name lookup.
+namespace {
+
+/// Structural soundness of primary arrays — the gate in front of the image
+/// builder, so a delta applied to the wrong base can never reach the
+/// counting sorts below with out-of-range ids.
+Status CheckParts(const SnapshotParts& parts) {
+  const size_t nc = parts.num_concepts();
+  const size_t ni = parts.num_instances();
+  const uint64_t np = parts.num_pairs();
+  if (np > 0xffffffffull) {
+    return Status::Internal("snapshot: pair count " + std::to_string(np) +
+                            " exceeds the u32 pair-index space");
+  }
+  if (parts.fwd_rows.size() != nc + 1 || parts.fwd_rows[0] != 0 ||
+      parts.fwd_rows[nc] != np) {
+    return Status::Internal("snapshot: forward rows do not cover the pair array");
+  }
+  if (parts.score.size() != np || parts.support.size() != np ||
+      parts.iter1.size() != np || parts.flags.size() != nc) {
+    return Status::Internal("snapshot: column lengths disagree with pair count");
+  }
+  for (size_t c = 0; c < nc; ++c) {
+    if (parts.fwd_rows[c + 1] < parts.fwd_rows[c]) {
+      return Status::Internal("snapshot: forward rows not monotone at concept " +
+                              std::to_string(c));
+    }
+    for (uint64_t j = parts.fwd_rows[c]; j < parts.fwd_rows[c + 1]; ++j) {
+      if (parts.fwd_instance[j] >= ni) {
+        return Status::Internal("snapshot: pair references instance out of range");
+      }
+      if (j > parts.fwd_rows[c] && parts.fwd_instance[j] <= parts.fwd_instance[j - 1]) {
+        return Status::Internal("snapshot: row of concept " + std::to_string(c) +
+                                " not strictly sorted by instance");
+      }
+    }
+  }
+  for (double s : parts.score) {
+    if (!Finite(s)) return Status::Internal("snapshot: non-finite score column");
+  }
+  if (parts.mutex_keys.size() != parts.mutex_sims.size()) {
+    return Status::Internal("snapshot: mutex key/sim columns disagree");
+  }
+  for (size_t i = 0; i < parts.mutex_keys.size(); ++i) {
+    uint32_t lo = static_cast<uint32_t>(parts.mutex_keys[i] >> 32);
+    uint32_t hi = static_cast<uint32_t>(parts.mutex_keys[i] & 0xffffffffu);
+    if (lo >= hi || hi >= nc) {
+      return Status::Internal("snapshot: mutex key out of range");
+    }
+    if (i > 0 && parts.mutex_keys[i] <= parts.mutex_keys[i - 1]) {
+      return Status::Internal("snapshot: mutex keys not strictly sorted");
+    }
+    if (!Finite(parts.mutex_sims[i]) || parts.mutex_sims[i] < 0.0) {
+      return Status::Internal("snapshot: mutex similarity invalid");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::string> BuildSnapshotImage(const SnapshotParts& parts) {
+  Status sound = CheckParts(parts);
+  if (!sound.ok()) return sound;
+  const size_t nc = parts.num_concepts();
+  const size_t ni = parts.num_instances();
+  const uint64_t np = parts.num_pairs();
+
+  // Rank slices: each concept's pairs re-ordered by (score desc, id asc).
+  std::vector<uint32_t> rank;
+  rank.reserve(np);
+  for (size_t ci = 0; ci < nc; ++ci) {
+    const uint64_t base = parts.fwd_rows[ci];
+    std::vector<uint32_t> order(parts.fwd_rows[ci + 1] - base);
+    for (size_t i = 0; i < order.size(); ++i) {
+      order[i] = static_cast<uint32_t>(base + i);
+    }
+    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      if (parts.score[a] != parts.score[b]) return parts.score[a] > parts.score[b];
+      return parts.fwd_instance[a] < parts.fwd_instance[b];
+    });
+    rank.insert(rank.end(), order.begin(), order.end());
+  }
+
+  // Inverse CSR by counting sort; iterating forward pairs in (concept asc,
+  // instance asc) order makes every inverse row concept-sorted for free.
+  std::vector<uint64_t> inv_rows(ni + 1, 0);
+  for (uint32_t e : parts.fwd_instance) inv_rows[e + 1]++;
+  for (size_t i = 1; i <= ni; ++i) inv_rows[i] += inv_rows[i - 1];
+  std::vector<uint32_t> inv_concept(np, 0);
+  std::vector<uint32_t> inv_pair(np, 0);
+  {
+    std::vector<uint64_t> next(inv_rows.begin(), inv_rows.end() - 1);
+    for (size_t ci = 0; ci < nc; ++ci) {
+      for (uint64_t j = parts.fwd_rows[ci]; j < parts.fwd_rows[ci + 1]; ++j) {
+        uint64_t slot = next[parts.fwd_instance[j]]++;
+        inv_concept[slot] = static_cast<uint32_t>(ci);
+        inv_pair[slot] = static_cast<uint32_t>(j);
+      }
+    }
+  }
+
+  // Name-sorted permutations for allocation-free name lookup. Ties break by
+  // id so the permutation is a pure function of the name tables.
   std::vector<uint32_t> concept_by_name(nc), instance_by_name(ni);
   for (size_t i = 0; i < nc; ++i) concept_by_name[i] = static_cast<uint32_t>(i);
   for (size_t i = 0; i < ni; ++i) instance_by_name[i] = static_cast<uint32_t>(i);
   std::sort(concept_by_name.begin(), concept_by_name.end(),
             [&](uint32_t a, uint32_t b) {
-              return world.ConceptName(ConceptId(a)) < world.ConceptName(ConceptId(b));
+              if (parts.concept_names[a] != parts.concept_names[b]) {
+                return parts.concept_names[a] < parts.concept_names[b];
+              }
+              return a < b;
             });
   std::sort(instance_by_name.begin(), instance_by_name.end(),
             [&](uint32_t a, uint32_t b) {
-              return world.InstanceName(InstanceId(a)) <
-                     world.InstanceName(InstanceId(b));
+              if (parts.instance_names[a] != parts.instance_names[b]) {
+                return parts.instance_names[a] < parts.instance_names[b];
+              }
+              return a < b;
             });
 
   // -- Assemble section payloads --------------------------------------------
 
   std::string sections[kNumSections];
-  sections[kSecConceptNames] = BuildNameSection(nc, [&](size_t i) -> const std::string& {
-    return world.ConceptName(ConceptId(static_cast<uint32_t>(i)));
-  });
-  sections[kSecInstanceNames] =
-      BuildNameSection(ni, [&](size_t i) -> const std::string& {
-        return world.InstanceName(InstanceId(static_cast<uint32_t>(i)));
-      });
+  sections[kSecConceptNames] = BuildNameSection(
+      nc, [&](size_t i) -> const std::string& { return parts.concept_names[i]; });
+  sections[kSecInstanceNames] = BuildNameSection(
+      ni, [&](size_t i) -> const std::string& { return parts.instance_names[i]; });
   {
     std::string& s = sections[kSecForwardCsr];
-    for (uint64_t r : fwd_rows) AppendU64(&s, r);
-    for (uint32_t e : fwd_instance) AppendU32(&s, e);
+    for (uint64_t r : parts.fwd_rows) AppendU64(&s, r);
+    for (uint32_t e : parts.fwd_instance) AppendU32(&s, e);
   }
   for (uint32_t r : rank) AppendU32(&sections[kSecRank], r);
-  for (double v : score_col) AppendF64(&sections[kSecScores], v);
+  for (double v : parts.score) AppendF64(&sections[kSecScores], v);
   {
     std::string& s = sections[kSecSupport];
-    for (uint32_t v : support_col) AppendU32(&s, v);
-    for (uint32_t v : iter1_col) AppendU32(&s, v);
+    for (uint32_t v : parts.support) AppendU32(&s, v);
+    for (uint32_t v : parts.iter1) AppendU32(&s, v);
   }
   {
     std::string& s = sections[kSecInverseCsr];
@@ -287,15 +368,15 @@ Status WriteSnapshot(const KnowledgeBase& kb, const World& world,
     for (uint32_t c : inv_concept) AppendU32(&s, c);
     for (uint32_t p : inv_pair) AppendU32(&s, p);
   }
-  sections[kSecConceptMeta].assign(reinterpret_cast<const char*>(flags.data()),
-                                   flags.size());
+  sections[kSecConceptMeta].assign(reinterpret_cast<const char*>(parts.flags.data()),
+                                   parts.flags.size());
   {
     std::string& s = sections[kSecMutex];
-    AppendF64(&s, options.mutex.mutex_threshold);
-    AppendF64(&s, options.mutex.similar_threshold);
-    AppendU64(&s, mutex_entries.size());
-    for (const MutexEntry& e : mutex_entries) AppendU64(&s, e.key);
-    for (const MutexEntry& e : mutex_entries) AppendF64(&s, e.sim);
+    AppendF64(&s, parts.mutex_threshold);
+    AppendF64(&s, parts.similar_threshold);
+    AppendU64(&s, parts.mutex_keys.size());
+    for (uint64_t k : parts.mutex_keys) AppendU64(&s, k);
+    for (double v : parts.mutex_sims) AppendF64(&s, v);
   }
   {
     std::string& s = sections[kSecNameSort];
@@ -342,11 +423,14 @@ Status WriteSnapshot(const KnowledgeBase& kb, const World& world,
   }
   AppendU32(&file, Crc32Of(file));
   AppendU32(&file, kEndMagic);
+  return file;
+}
 
+Status PublishSnapshotImage(const std::string& image, const std::string& path) {
   // Temp-and-rename, same as checkpoints: a torn write can only leave a
-  // `.tmp` carcass, never a partial file under the final name.
+  // `.snap-tmp` carcass, never a partial file under the final name.
   std::string tmp = path + ".snap-tmp";
-  Status written = WriteStringToFile(file, tmp);
+  Status written = WriteStringToFile(image, tmp);
   if (!written.ok()) return written;
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);
@@ -357,22 +441,36 @@ Status WriteSnapshot(const KnowledgeBase& kb, const World& world,
   return Status::OK();
 }
 
+Status WriteSnapshot(const KnowledgeBase& kb, const World& world,
+                     const RunHealthReport* health, const SnapshotOptions& options,
+                     const std::string& path) {
+  SnapshotParts parts = CompileSnapshotParts(kb, world, health, options);
+  auto image = BuildSnapshotImage(parts);
+  if (!image.ok()) return image.status();
+  return PublishSnapshotImage(*image, path);
+}
+
 // -- Reader ------------------------------------------------------------------
 
 Result<SnapshotReader> SnapshotReader::Open(const std::string& path) {
   auto content = ReadFileToString(path);
   if (!content.ok()) return content.status();
+  return OpenFromBuffer(*content, path);
+}
+
+Result<SnapshotReader> SnapshotReader::OpenFromBuffer(std::string_view content,
+                                                      const std::string& label) {
   SnapshotReader reader;
-  reader.file_bytes_ = content->size();
-  reader.buffer_.assign((content->size() + 7) / 8, 0);
-  std::memcpy(reader.buffer_.data(), content->data(), content->size());
+  reader.file_bytes_ = content.size();
+  reader.buffer_.assign((content.size() + 7) / 8, 0);
+  std::memcpy(reader.buffer_.data(), content.data(), content.size());
   Status mapped = reader.Map();
   if (!mapped.ok()) {
-    return Status::DataLoss("snapshot " + path + ": " + mapped.message());
+    return Status::DataLoss("snapshot " + label + ": " + mapped.message());
   }
   Status valid = reader.Validate();
   if (!valid.ok()) {
-    return Status::DataLoss("snapshot " + path + ": " + valid.message());
+    return Status::DataLoss("snapshot " + label + ": " + valid.message());
   }
   return reader;
 }
@@ -731,6 +829,51 @@ bool SnapshotReader::IsMutex(uint32_t a, uint32_t b) const {
   if (a == b || a >= num_concepts_ || b >= num_concepts_) return false;
   if (!MutexUsable(a) || !MutexUsable(b)) return false;
   return EffectiveSim(a, b) < mutex_threshold_;
+}
+
+SnapshotParts PartsFromReader(const SnapshotReader& reader) {
+  SnapshotParts parts;
+  const uint32_t nc = reader.num_concepts();
+  const uint32_t ni = reader.num_instances();
+  const uint64_t np = reader.num_pairs();
+  parts.concept_names.reserve(nc);
+  for (uint32_t c = 0; c < nc; ++c) {
+    parts.concept_names.emplace_back(reader.ConceptName(c));
+  }
+  parts.instance_names.reserve(ni);
+  for (uint32_t e = 0; e < ni; ++e) {
+    parts.instance_names.emplace_back(reader.InstanceName(e));
+  }
+  parts.fwd_rows.reserve(nc + 1);
+  parts.fwd_rows.push_back(0);
+  for (uint32_t c = 0; c < nc; ++c) parts.fwd_rows.push_back(reader.ConceptEnd(c));
+  parts.fwd_instance.reserve(np);
+  parts.score.reserve(np);
+  parts.support.reserve(np);
+  parts.iter1.reserve(np);
+  for (uint64_t p = 0; p < np; ++p) {
+    parts.fwd_instance.push_back(reader.PairInstance(p));
+    parts.score.push_back(reader.PairScore(p));
+    parts.support.push_back(reader.PairSupport(p));
+    parts.iter1.push_back(reader.PairIter1(p));
+  }
+  parts.flags.reserve(nc);
+  for (uint32_t c = 0; c < nc; ++c) {
+    uint8_t f = 0;
+    if (reader.ConceptQuarantined(c)) f |= 1u;
+    if (reader.MutexUsable(c)) f |= 2u;
+    parts.flags.push_back(f);
+  }
+  parts.mutex_threshold = reader.mutex_threshold();
+  parts.similar_threshold = reader.similar_threshold();
+  const uint64_t nm = reader.num_mutex_pairs();
+  parts.mutex_keys.reserve(nm);
+  parts.mutex_sims.reserve(nm);
+  for (uint64_t i = 0; i < nm; ++i) {
+    parts.mutex_keys.push_back(reader.MutexKeyAt(i));
+    parts.mutex_sims.push_back(reader.MutexSimAt(i));
+  }
+  return parts;
 }
 
 }  // namespace semdrift

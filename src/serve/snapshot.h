@@ -52,12 +52,57 @@ struct SnapshotOptions {
   MutexParams mutex;
 };
 
+/// The primary arrays a snapshot is assembled from. Everything else in the
+/// file (rank order, inverse CSR, name-sort permutations) is derived from
+/// these by BuildSnapshotImage, which is what makes delta application
+/// well-defined: a delta edits primary arrays, derivation is recomputed, and
+/// the materialized image is byte-identical to one written directly from the
+/// same arrays.
+struct SnapshotParts {
+  std::vector<std::string> concept_names;
+  std::vector<std::string> instance_names;
+  /// Forward CSR: rows[c]..rows[c+1] index the pair columns; each row is
+  /// strictly sorted by instance id.
+  std::vector<uint64_t> fwd_rows;
+  std::vector<uint32_t> fwd_instance;
+  std::vector<double> score;
+  std::vector<uint32_t> support;
+  std::vector<uint32_t> iter1;
+  /// Per-concept flags: bit 0 quarantined, bit 1 mutex-usable.
+  std::vector<uint8_t> flags;
+  double mutex_threshold = 0.0;
+  double similar_threshold = 0.0;
+  /// Sparse effective-similarity table, keys (lo << 32 | hi) strictly sorted.
+  std::vector<uint64_t> mutex_keys;
+  std::vector<double> mutex_sims;
+
+  size_t num_concepts() const { return concept_names.size(); }
+  size_t num_instances() const { return instance_names.size(); }
+  uint64_t num_pairs() const { return fwd_instance.size(); }
+};
+
 /// Compiles the live pairs of `kb` (restricted to the world's concept and
-/// instance id spaces, like ExportTaxonomyTsv) into a snapshot at `path`.
-/// Scores are computed here (ScoreCache::Warm across the thread pool);
-/// quarantine flags come from `health` when given. The file is written to a
-/// temp name and renamed into place, so a torn write never leaves a partial
-/// snapshot under the final name.
+/// instance id spaces, like ExportTaxonomyTsv) into primary arrays. Scores
+/// are computed here (checked walk across the thread pool); quarantine flags
+/// come from `health` when given.
+SnapshotParts CompileSnapshotParts(const KnowledgeBase& kb, const World& world,
+                                   const RunHealthReport* health,
+                                   const SnapshotOptions& options);
+
+/// Assembles the full framed file image (header, section table, payloads,
+/// CRC footer) from primary arrays, recomputing every derived section. The
+/// image is a deterministic function of the parts alone, so
+/// `BuildSnapshotImage(PartsFromReader(r))` reproduces r's file byte for
+/// byte. Fails (kInternal) if the parts are structurally unsound — this is
+/// the safety gate the delta applier relies on before an image is ever
+/// mapped.
+Result<std::string> BuildSnapshotImage(const SnapshotParts& parts);
+
+/// Writes an already-built image to `path` via temp-and-rename, so a torn
+/// write never leaves a partial file under the final name.
+Status PublishSnapshotImage(const std::string& image, const std::string& path);
+
+/// CompileSnapshotParts + BuildSnapshotImage + PublishSnapshotImage.
 Status WriteSnapshot(const KnowledgeBase& kb, const World& world,
                      const RunHealthReport* health, const SnapshotOptions& options,
                      const std::string& path);
@@ -74,6 +119,12 @@ class SnapshotReader {
   static constexpr uint64_t kNoPair = ~0ull;
 
   static Result<SnapshotReader> Open(const std::string& path);
+
+  /// Opens from an in-memory image (the hot-swap manager materializes
+  /// generations in memory before ever serving them). `label` names the
+  /// source in error messages the way a path would.
+  static Result<SnapshotReader> OpenFromBuffer(std::string_view content,
+                                               const std::string& label);
 
   SnapshotReader(SnapshotReader&&) = default;
   SnapshotReader& operator=(SnapshotReader&&) = default;
@@ -145,6 +196,11 @@ class SnapshotReader {
   /// effective similarity below the threshold.
   bool IsMutex(uint32_t a, uint32_t b) const;
 
+  /// Raw mutex table entries (i < num_mutex_pairs()); PartsFromReader and
+  /// snapshot-verify walk them in key order.
+  uint64_t MutexKeyAt(uint64_t i) const { return mutex_keys_[i]; }
+  double MutexSimAt(uint64_t i) const { return mutex_sims_[i]; }
+
   // -- Integrity -------------------------------------------------------------
 
   /// Deep structural validation (run by Open; exposed for snapshot-verify):
@@ -202,6 +258,10 @@ class SnapshotReader {
   const uint32_t* concept_by_name_ = nullptr;
   const uint32_t* instance_by_name_ = nullptr;
 };
+
+/// Recovers the primary arrays from a validated reader — the base state a
+/// SnapshotDelta is applied to.
+SnapshotParts PartsFromReader(const SnapshotReader& reader);
 
 }  // namespace semdrift
 

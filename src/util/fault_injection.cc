@@ -79,6 +79,10 @@ const char* FaultKindName(FaultKind kind) {
       return "splice-garbage";
     case FaultKind::kZeroFill:
       return "zero-fill";
+    case FaultKind::kTornRename:
+      return "torn-rename";
+    case FaultKind::kPartialDeltaWrite:
+      return "partial-delta-write";
   }
   return "unknown";
 }
@@ -87,7 +91,8 @@ std::vector<FaultKind> AllFaultKinds() {
   return {FaultKind::kTruncate,       FaultKind::kFlipBytes,
           FaultKind::kDropLine,       FaultKind::kDuplicateLine,
           FaultKind::kGarbageLine,    FaultKind::kSpliceGarbage,
-          FaultKind::kZeroFill};
+          FaultKind::kZeroFill,       FaultKind::kTornRename,
+          FaultKind::kPartialDeltaWrite};
 }
 
 std::string FaultInjector::Corrupt(const std::string& content, FaultKind kind) {
@@ -160,6 +165,19 @@ std::string FaultInjector::Corrupt(const std::string& content, FaultKind kind) {
       for (size_t i = pos; i < pos + len; ++i) out[i] = '\0';
       return out;
     }
+    case FaultKind::kTornRename: {
+      // The rename never landed: the final name holds zero bytes.
+      return std::string();
+    }
+    case FaultKind::kPartialDeltaWrite: {
+      // Keep a strict prefix of whole lines (always dropping at least the
+      // last one, which is the checksum footer for framed files). Every
+      // surviving byte is valid, so only end-of-file accounting can object.
+      std::vector<std::string> lines = SplitKeepingNewlines(content);
+      size_t keep = static_cast<size_t>(rng_.NextBounded(lines.size()));
+      lines.resize(keep);
+      return JoinLines(lines);
+    }
   }
   return content;
 }
@@ -189,6 +207,8 @@ const char* PipelineStageName(PipelineStage stage) {
       return "train";
     case PipelineStage::kDetectorScore:
       return "score";
+    case PipelineStage::kSnapshotLoad:
+      return "load";
   }
   return "unknown";
 }
@@ -196,7 +216,8 @@ const char* PipelineStageName(PipelineStage stage) {
 bool ParsePipelineStage(std::string_view name, PipelineStage* out) {
   for (PipelineStage stage :
        {PipelineStage::kScoreWarm, PipelineStage::kCollectTraining,
-        PipelineStage::kDetectorTrain, PipelineStage::kDetectorScore}) {
+        PipelineStage::kDetectorTrain, PipelineStage::kDetectorScore,
+        PipelineStage::kSnapshotLoad}) {
     if (name == PipelineStageName(stage)) {
       *out = stage;
       return true;

@@ -33,6 +33,16 @@ enum class FaultKind {
   /// classic ext4 journal-replay artifact after a crash (delayed-allocation
   /// blocks come back as zero pages).
   kZeroFill,
+  /// The rename of a temp file onto the final name never happened: the
+  /// destination is empty. Models a publish that crashed between temp write
+  /// and rename (the temp carcass is a separate file; the reader sees zero
+  /// bytes under the real name).
+  kTornRename,
+  /// Keep a random prefix of whole lines and drop the rest, including the
+  /// checksum footer — a delta publish torn on a clean line boundary, which
+  /// only the framed-file `truncated` signal can catch (every surviving line
+  /// parses).
+  kPartialDeltaWrite,
 };
 
 /// Human-readable name, e.g. "truncate"; used in fuzz-load reports.
@@ -77,6 +87,11 @@ enum class PipelineStage {
   kDetectorTrain,
   /// Per-concept classification of live instances.
   kDetectorScore,
+  /// Serving-snapshot generation load (SnapshotManager): read + materialize
+  /// + validate a published full or delta file. Guarded so a transient read
+  /// race (publisher mid-write) retries with backoff instead of quarantining
+  /// a good publish.
+  kSnapshotLoad,
 };
 
 /// Short stable name ("warm", "collect", "train", "score") used in health

@@ -108,10 +108,88 @@ if(NOT first_status STREQUAL "OK")
   message(FATAL_ERROR "instances-of on a live concept did not answer OK: ${expected}")
 endif()
 
-# The query one-shot must exit non-zero on a miss (scriptability contract).
+# The query one-shot must exit with the documented NOT_FOUND code (3) on a
+# miss, distinct from ERR (1) — the scriptability contract.
 execute_process(
   COMMAND ${CLI} query --snapshot ${WORK_DIR}/s.bin instances-of "no such concept"
   RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 3)
+  message(FATAL_ERROR "query exit code for NOT_FOUND should be 3, got ${rc}")
+endif()
+execute_process(
+  COMMAND ${CLI} query --snapshot ${WORK_DIR}/s.bin no-such-verb x
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR "query exit code for ERR should be 1, got ${rc}")
+endif()
+
+# Delta publishing: re-running the same pipeline against the existing
+# snapshot as base yields an (empty) delta materializing generation 2, and
+# snapshot-verify walks the base + delta chain.
+execute_process(
+  COMMAND ${CLI} run --world ${WORK_DIR}/w.tsv --corpus ${WORK_DIR}/c.tsv
+          --out ${WORK_DIR}/t2.tsv
+          --snapshot-delta-out ${WORK_DIR}/d.bin
+          --snapshot-delta-base ${WORK_DIR}/s.bin
+          --snapshot-delta-base-gen 1
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "run --snapshot-delta-out failed (${rc}): ${out} ${err}")
+endif()
+if(NOT out MATCHES "snapshot delta -> ")
+  message(FATAL_ERROR "run output missing delta path: ${out}")
+endif()
+
+execute_process(
+  COMMAND ${CLI} snapshot-verify ${WORK_DIR}/s.bin ${WORK_DIR}/d.bin
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "snapshot-verify chain failed (${rc}): ${out} ${err}")
+endif()
+if(NOT out MATCHES "chain verified through generation 2")
+  message(FATAL_ERROR "chain verification did not reach generation 2: ${out}")
+endif()
+
+# A truncated delta must fail chain verification.
+file(READ ${WORK_DIR}/d.bin delta_content)
+string(LENGTH "${delta_content}" delta_len)
+math(EXPR half_len "${delta_len} / 2")
+string(SUBSTRING "${delta_content}" 0 ${half_len} torn_delta)
+file(WRITE ${WORK_DIR}/d-torn.bin "${torn_delta}")
+execute_process(
+  COMMAND ${CLI} snapshot-verify ${WORK_DIR}/s.bin ${WORK_DIR}/d-torn.bin
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
 if(rc EQUAL 0)
-  message(FATAL_ERROR "query exit code should be non-zero for NOT_FOUND")
+  message(FATAL_ERROR "snapshot-verify accepted a torn delta")
+endif()
+
+# Hot-swap serving smoke: the same scripted session against a publish
+# directory (generation 1 = the snapshot) must answer byte-identically to
+# single-snapshot mode before the stats line.
+file(MAKE_DIRECTORY ${WORK_DIR}/publish)
+file(COPY ${WORK_DIR}/s.bin DESTINATION ${WORK_DIR}/publish)
+file(RENAME ${WORK_DIR}/publish/s.bin ${WORK_DIR}/publish/snap-1.bin)
+execute_process(
+  COMMAND ${CLI} serve --publish-dir ${WORK_DIR}/publish
+  INPUT_FILE ${WORK_DIR}/queries.txt
+  OUTPUT_FILE ${WORK_DIR}/served_hotswap.txt
+  ERROR_VARIABLE err
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "serve --publish-dir failed (${rc}): ${err}")
+endif()
+file(READ ${WORK_DIR}/served_hotswap.txt served_hotswap)
+string(FIND "${served_hotswap}" "OK\tstats" hotswap_stats_at)
+if(hotswap_stats_at EQUAL -1)
+  message(FATAL_ERROR "hot-swap session missing stats response: ${served_hotswap}")
+endif()
+string(SUBSTRING "${served_hotswap}" 0 ${hotswap_stats_at} hotswap_answers)
+if(NOT hotswap_answers STREQUAL expected)
+  message(FATAL_ERROR "hot-swap serve answers differ from one-shot answers.\n"
+          "served:\n${hotswap_answers}\nexpected:\n${expected}")
+endif()
+# The hot-swap stats line reports the serving generation.
+string(SUBSTRING "${served_hotswap}" ${hotswap_stats_at} -1 hotswap_stats)
+if(NOT hotswap_stats MATCHES "generation=1")
+  message(FATAL_ERROR "hot-swap stats missing generation: ${hotswap_stats}")
 endif()

@@ -133,6 +133,61 @@ TEST_F(BatcherTest, DeadlineExpiredWhileQueuedIsAnErrorNotAnAnswer) {
   EXPECT_EQ(batcher.Snapshot().deadline_expired, 1u);
 }
 
+TEST_F(BatcherTest, OverloadShedsByPriorityAndRecoversWithHysteresis) {
+  QueryEngine engine(snapshot_);
+  BatcherOptions options;
+  options.start_paused = true;
+  options.deadline_budget_ms = 10;
+  options.overload_window_ms = 150;
+  options.max_batch = 64;
+  Batcher batcher(&engine, options);
+
+  // Build up real queue wait: park requests behind the paused dispatcher for
+  // well over the 10 ms budget, then let the batch through. The dispatch
+  // records their waits, pushing p99 past the full-budget engage rung.
+  std::vector<std::future<std::string>> parked;
+  for (int i = 0; i < 8; ++i) {
+    parked.push_back(batcher.Submit(workload_[i % workload_.size()]));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  batcher.Resume();
+  for (auto& f : parked) {
+    EXPECT_NE(f.get().rfind("OVERLOADED", 0), 0u);  // Admitted before overload.
+  }
+  BatcherStats stats = batcher.Snapshot();
+  EXPECT_EQ(stats.overload_level, 2);
+  EXPECT_EQ(stats.overload_engaged, 1u);
+
+  // At level 2 only kHigh is admitted; shed responses carry the distinct
+  // OVERLOADED line so clients can tell back-pressure from failure.
+  auto low = batcher.Submit(workload_[0], 0, RequestPriority::kLow);
+  auto normal = batcher.Submit(workload_[0], 0, RequestPriority::kNormal);
+  auto high = batcher.Submit(workload_[0], 0, RequestPriority::kHigh);
+  const std::string kShed =
+      "OVERLOADED\tqueue-wait p99 over deadline budget; request shed";
+  EXPECT_EQ(low.get(), kShed);
+  EXPECT_EQ(normal.get(), kShed);
+  EXPECT_EQ(high.get().rfind("OK", 0), 0u);
+  EXPECT_EQ(batcher.Snapshot().shed, 2u);
+
+  // Recovery: once the overload window ages out the p99 decays, and a
+  // normal-priority probe is admitted again. Still the same single engage
+  // episode — hysteresis, not flapping.
+  std::this_thread::sleep_for(std::chrono::milliseconds(160));
+  auto probe = batcher.Submit(workload_[0], 0, RequestPriority::kNormal);
+  EXPECT_EQ(probe.get().rfind("OK", 0), 0u);
+  stats = batcher.Snapshot();
+  EXPECT_EQ(stats.overload_level, 0);
+  EXPECT_EQ(stats.overload_engaged, 1u);
+  EXPECT_EQ(stats.shed, 2u);
+}
+
+TEST_F(BatcherTest, EngineSourceNullPinYieldsErrorNotCrash) {
+  Batcher batcher(EngineSource([] { return EnginePin{}; }));
+  const std::string response = batcher.Submit(workload_[0]).get();
+  EXPECT_EQ(response, "ERR\tno snapshot generation available");
+}
+
 TEST_F(BatcherTest, DestructionDrainsPendingRequests) {
   QueryEngine engine(snapshot_);
   std::vector<std::future<std::string>> futures;

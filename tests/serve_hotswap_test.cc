@@ -1,0 +1,329 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/batcher.h"
+#include "serve/query_engine.h"
+#include "serve/snapshot.h"
+#include "serve/snapshot_delta.h"
+#include "serve/snapshot_manager.h"
+#include "property_test_util.h"
+#include "util/crc32.h"
+#include "util/fault_injection.h"
+
+namespace semdrift {
+namespace {
+
+/// Shared fixtures: two snapshot images (A and B) over the same small world,
+/// the A→B delta records, and a tiny query workload valid on both.
+class HotSwapTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    World world = property::RandomWorld(5);
+    size_t ns = 0;
+    KnowledgeBase kb_a = property::RandomKb(world, 5, &ns);
+    KnowledgeBase kb_b = property::RandomKb(world, 1005, &ns);
+    parts_a_ = new SnapshotParts(
+        CompileSnapshotParts(kb_a, world, nullptr, SnapshotOptions{}));
+    SnapshotParts parts_b =
+        CompileSnapshotParts(kb_b, world, nullptr, SnapshotOptions{});
+    auto image_a = BuildSnapshotImage(*parts_a_);
+    auto image_b = BuildSnapshotImage(parts_b);
+    ASSERT_TRUE(image_a.ok() && image_b.ok());
+    image_a_ = new std::string(std::move(*image_a));
+    image_b_ = new std::string(std::move(*image_b));
+    crc_a_ = Crc32Of(*image_a_);
+    crc_b_ = Crc32Of(*image_b_);
+    auto delta_ab = DiffSnapshotParts(*parts_a_, parts_b);
+    auto delta_ba = DiffSnapshotParts(parts_b, *parts_a_);
+    ASSERT_TRUE(delta_ab.ok() && delta_ba.ok());
+    delta_ab_ = new SnapshotDelta(std::move(*delta_ab));
+    delta_ba_ = new SnapshotDelta(std::move(*delta_ba));
+
+    auto reader = SnapshotReader::OpenFromBuffer(*image_a_, "fixture");
+    ASSERT_TRUE(reader.ok());
+    workload_ = new std::vector<std::string>();
+    for (uint32_t c = 0; c < reader->num_concepts(); ++c) {
+      const std::string concept_name(reader->ConceptName(c));
+      workload_->push_back("instances-of\t" + concept_name + "\t4");
+      if (reader->ConceptEnd(c) > reader->ConceptBegin(c)) {
+        const std::string member(
+            reader->InstanceName(reader->PairInstance(reader->ConceptBegin(c))));
+        workload_->push_back("is-a\t" + member + "\t" + concept_name);
+        workload_->push_back("concepts-of\t" + member);
+      }
+    }
+    ASSERT_FALSE(workload_->empty());
+  }
+  static void TearDownTestSuite() {
+    delete parts_a_;
+    delete image_a_;
+    delete image_b_;
+    delete delta_ab_;
+    delete delta_ba_;
+    delete workload_;
+  }
+
+  /// A fresh publish directory for one test (or one sweep iteration).
+  static std::string FreshDir(const std::string& name) {
+    std::string dir = ::testing::TempDir() + "/hotswap_" + name;
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+    std::filesystem::create_directories(dir, ec);
+    return dir;
+  }
+
+  static Status PublishFull(const std::string& dir, uint64_t gen,
+                            const std::string& image) {
+    return PublishSnapshotImage(image,
+                                dir + "/snap-" + std::to_string(gen) + ".bin");
+  }
+
+  /// Publishes `delta` rebased to materialize `gen` from `gen - 1`.
+  static Status PublishDelta(const std::string& dir, uint64_t gen,
+                             const SnapshotDelta& delta, uint32_t base_crc) {
+    SnapshotDelta d = delta;
+    d.base_generation = gen - 1;
+    d.base_crc32 = base_crc;
+    d.generation = gen;
+    return WriteSnapshotDeltaFile(d,
+                                  dir + "/delta-" + std::to_string(gen) + ".bin");
+  }
+
+  static SnapshotParts* parts_a_;
+  static std::string* image_a_;
+  static std::string* image_b_;
+  static uint32_t crc_a_;
+  static uint32_t crc_b_;
+  static SnapshotDelta* delta_ab_;
+  static SnapshotDelta* delta_ba_;
+  static std::vector<std::string>* workload_;
+};
+
+SnapshotParts* HotSwapTest::parts_a_ = nullptr;
+std::string* HotSwapTest::image_a_ = nullptr;
+std::string* HotSwapTest::image_b_ = nullptr;
+uint32_t HotSwapTest::crc_a_ = 0;
+uint32_t HotSwapTest::crc_b_ = 0;
+SnapshotDelta* HotSwapTest::delta_ab_ = nullptr;
+SnapshotDelta* HotSwapTest::delta_ba_ = nullptr;
+std::vector<std::string>* HotSwapTest::workload_ = nullptr;
+
+TEST_F(HotSwapTest, InitialLoadPicksNewestGoodFull) {
+  const std::string dir = FreshDir("initial");
+  ASSERT_TRUE(PublishFull(dir, 1, *image_a_).ok());
+  ASSERT_TRUE(PublishFull(dir, 3, *image_b_).ok());
+  // A corrupt newer full must be quarantined, falling back to generation 3.
+  ASSERT_TRUE(
+      WriteStringToFile(image_b_->substr(0, image_b_->size() / 2),
+                        dir + "/snap-5.bin")
+          .ok());
+  SnapshotManagerOptions options;
+  options.dir = dir;
+  options.backoff_base_ms = 0;
+  SnapshotManager manager(options);
+  Status initial = manager.LoadInitial();
+  ASSERT_TRUE(initial.ok()) << initial.ToString();
+  EXPECT_EQ(manager.generation(), 3u);
+  EXPECT_EQ(manager.Current()->image_crc32, crc_b_);
+  EXPECT_TRUE(std::filesystem::exists(dir + "/snap-5.bin.quarantined"));
+  EXPECT_FALSE(std::filesystem::exists(dir + "/snap-5.bin"));
+}
+
+TEST_F(HotSwapTest, PollAppliesContiguousDeltaChain) {
+  const std::string dir = FreshDir("chain");
+  ASSERT_TRUE(PublishFull(dir, 1, *image_a_).ok());
+  SnapshotManagerOptions options;
+  options.dir = dir;
+  options.backoff_base_ms = 0;
+  SnapshotManager manager(options);
+  ASSERT_TRUE(manager.LoadInitial().ok());
+  ASSERT_EQ(manager.generation(), 1u);
+
+  ASSERT_TRUE(PublishDelta(dir, 2, *delta_ab_, crc_a_).ok());
+  ASSERT_TRUE(PublishDelta(dir, 3, *delta_ba_, crc_b_).ok());
+  SnapshotPollResult poll = manager.Poll();
+  EXPECT_EQ(poll.swaps, 2);
+  EXPECT_EQ(poll.failed, 0);
+  EXPECT_EQ(manager.generation(), 3u);
+  // Generation 3 re-materializes image A exactly (A → B → A).
+  EXPECT_EQ(manager.Current()->image_crc32, crc_a_);
+  const std::string response =
+      manager.Current()->engine->Answer((*workload_)[0]);
+  EXPECT_EQ(response.rfind("OK", 0), 0u) << response;
+}
+
+TEST_F(HotSwapTest, InFlightQueriesFinishOnTheOldGeneration) {
+  const std::string dir = FreshDir("pin");
+  ASSERT_TRUE(PublishFull(dir, 1, *image_a_).ok());
+  SnapshotManagerOptions options;
+  options.dir = dir;
+  options.backoff_base_ms = 0;
+  SnapshotManager manager(options);
+  ASSERT_TRUE(manager.LoadInitial().ok());
+
+  EnginePin pin = manager.Pin();
+  ASSERT_NE(pin.engine, nullptr);
+  ASSERT_TRUE(PublishFull(dir, 2, *image_b_).ok());
+  SnapshotPollResult poll = manager.Poll();
+  EXPECT_EQ(poll.swaps, 1);
+  EXPECT_EQ(manager.generation(), 2u);
+  // The pinned engine is the old generation, still alive and answering.
+  EXPECT_NE(pin.engine, manager.Current()->engine.get());
+  EXPECT_EQ(pin.engine->generation(), 1u);
+  for (const std::string& line : *workload_) {
+    const std::string response = pin.engine->Answer(line);
+    EXPECT_EQ(response.rfind("OK", 0), 0u) << response;
+  }
+}
+
+TEST_F(HotSwapTest, CrashDuringPublishIsContainedAndRecoverable) {
+  const std::string dir = FreshDir("crash");
+  ASSERT_TRUE(PublishFull(dir, 1, *image_a_).ok());
+  // A crashed publisher leaves two kinds of carcass: a temp file that never
+  // reached its final name (ignored — it does not match the publish naming),
+  // and a torn write under the real name (quarantined).
+  ASSERT_TRUE(WriteStringToFile(image_b_->substr(0, 100),
+                                dir + "/snap-2.bin.snap-tmp")
+                  .ok());
+  ASSERT_TRUE(
+      WriteStringToFile(image_b_->substr(0, image_b_->size() / 3),
+                        dir + "/snap-3.bin")
+          .ok());
+  SnapshotManagerOptions options;
+  options.dir = dir;
+  options.backoff_base_ms = 0;
+  SnapshotManager manager(options);
+  ASSERT_TRUE(manager.LoadInitial().ok());
+  EXPECT_EQ(manager.generation(), 1u);
+  EXPECT_TRUE(std::filesystem::exists(dir + "/snap-3.bin.quarantined"));
+
+  // Rollback proper: a bad publish while a generation is already serving.
+  ASSERT_TRUE(
+      WriteStringToFile(image_b_->substr(0, image_b_->size() / 2),
+                        dir + "/snap-5.bin")
+          .ok());
+  SnapshotPollResult poll = manager.Poll();
+  EXPECT_EQ(poll.failed, 1);
+  EXPECT_EQ(poll.rolled_back, 1);
+  EXPECT_EQ(poll.swaps, 0);
+  EXPECT_EQ(manager.generation(), 1u);
+
+  // The publisher retries cleanly under the same name; serving moves on.
+  ASSERT_TRUE(PublishFull(dir, 5, *image_b_).ok());
+  poll = manager.Poll();
+  EXPECT_EQ(poll.swaps, 1);
+  EXPECT_EQ(manager.generation(), 5u);
+
+  // A restart over the same directory (quarantined files and all) recovers.
+  SnapshotManager restarted(options);
+  ASSERT_TRUE(restarted.LoadInitial().ok());
+  EXPECT_EQ(restarted.generation(), 5u);
+}
+
+/// 60-seed corruption sweep at the manager level: a corrupted delta publish
+/// must be detected, quarantined, and rolled back — the serving generation
+/// never moves and never serves an image that failed validation.
+TEST_F(HotSwapTest, CorruptDeltaPublishesAreQuarantinedAndRolledBack) {
+  // One pristine delta file to corrupt per seed.
+  const std::string pristine_path = ::testing::TempDir() + "/hotswap_pristine_delta";
+  {
+    SnapshotDelta d = *delta_ab_;
+    d.base_generation = 1;
+    d.base_crc32 = crc_a_;
+    d.generation = 2;
+    ASSERT_TRUE(WriteSnapshotDeltaFile(d, pristine_path).ok());
+  }
+  auto pristine = ReadFileToString(pristine_path);
+  ASSERT_TRUE(pristine.ok());
+
+  int rejected = 0;
+  for (uint64_t seed = 0; seed < 60; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    FaultInjector injector(0x5eed ^ (0x9e3779b97f4a7c15ULL * (seed + 1)));
+    FaultKind kind;
+    std::string corrupted = injector.CorruptRandom(*pristine, &kind);
+    if (corrupted == *pristine) continue;  // Identity corruption.
+    const std::string dir = FreshDir("sweep_" + std::to_string(seed));
+    ASSERT_TRUE(PublishFull(dir, 1, *image_a_).ok());
+    SnapshotManagerOptions options;
+    options.dir = dir;
+    options.load_retries = 0;  // Persistent corruption: retrying only slows the sweep.
+    options.backoff_base_ms = 0;
+    SnapshotManager manager(options);
+    ASSERT_TRUE(manager.LoadInitial().ok());
+    ASSERT_TRUE(WriteStringToFile(corrupted, dir + "/delta-2.bin").ok());
+    SnapshotPollResult poll = manager.Poll();
+    if (poll.failed > 0) {
+      rejected++;
+      EXPECT_EQ(manager.generation(), 1u);
+      EXPECT_GE(poll.rolled_back, 1);
+      EXPECT_EQ(poll.swaps, 0);
+      EXPECT_TRUE(std::filesystem::exists(dir + "/delta-2.bin.quarantined"));
+    } else {
+      // Survivable corruption: it installed, so it must have validated.
+      EXPECT_EQ(manager.generation(), 2u);
+    }
+  }
+  EXPECT_GT(rejected, 40);
+}
+
+/// TSan target: four closed-loop clients query through the batcher while the
+/// publisher performs 100 swaps (alternating full images and deltas). Every
+/// response must be OK — a swap never yields a failed or torn answer.
+TEST_F(HotSwapTest, ConcurrentSwapsUnderQueryLoadNeverFailAQuery) {
+  const std::string dir = FreshDir("concurrent");
+  ASSERT_TRUE(PublishFull(dir, 1, *image_a_).ok());
+  SnapshotManagerOptions options;
+  options.dir = dir;
+  options.backoff_base_ms = 0;
+  SnapshotManager manager(options);
+  ASSERT_TRUE(manager.LoadInitial().ok());
+  BatcherOptions batch_options;
+  batch_options.max_wait_ms = 0;
+  Batcher batcher(EngineSource([&manager] { return manager.Pin(); }),
+                  batch_options);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> failures{0};
+  std::atomic<uint64_t> answered{0};
+  constexpr int kClients = 4;
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      size_t i = static_cast<size_t>(t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::string response =
+            batcher.Submit((*workload_)[i % workload_->size()]).get();
+        if (response.rfind("OK", 0) != 0) failures.fetch_add(1);
+        answered.fetch_add(1);
+        ++i;
+      }
+    });
+  }
+
+  int swaps = 0;
+  for (uint64_t gen = 2; gen <= 101; ++gen) {
+    Status published = gen % 2 == 0
+                           ? PublishDelta(dir, gen, *delta_ab_, crc_a_)
+                           : PublishFull(dir, gen, *image_a_);
+    ASSERT_TRUE(published.ok()) << published.ToString();
+    SnapshotPollResult poll = manager.Poll();
+    ASSERT_EQ(poll.generation, gen);
+    swaps += poll.swaps;
+  }
+  stop.store(true);
+  for (std::thread& t : clients) t.join();
+
+  EXPECT_EQ(swaps, 100);
+  EXPECT_EQ(manager.generation(), 101u);
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_GT(answered.load(), 0u);
+}
+
+}  // namespace
+}  // namespace semdrift

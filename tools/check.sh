@@ -7,6 +7,10 @@
 #                                     an instrumented tree, per-directory
 #                                     coverage table, hard floor of 80% on
 #                                     src/obs and src/serve
+#   tools/check.sh --soak [jobs]      serving soak under ASan: bench_serve's
+#                                     swap-under-load phase with injected
+#                                     publish faults, gating zero dropped
+#                                     queries and a bounded p99
 #
 # Build trees live in build-asan/, build-tsan/ and build-cov/ and are reused
 # across runs (incremental). Exits non-zero on the first failing configure,
@@ -18,6 +22,9 @@ cd "$(dirname "$0")/.."
 MODE=sanitize
 if [[ "${1:-}" == "--coverage" ]]; then
   MODE=coverage
+  shift
+elif [[ "${1:-}" == "--soak" ]]; then
+  MODE=soak
   shift
 fi
 JOBS="${1:-$(nproc 2>/dev/null || echo 2)}"
@@ -91,6 +98,22 @@ if [[ "$MODE" == "coverage" ]]; then
   exit 0
 fi
 
+if [[ "$MODE" == "soak" ]]; then
+  echo "== Soak: bench_serve swap-under-load with publish faults (ASan) =="
+  cmake -B build-asan -S . -DSEMDRIFT_SANITIZE="address;undefined" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-asan -j "$JOBS" --target bench_serve
+  # 120 swaps under continuous query load, every fifth publish torn. The
+  # bench exits non-zero on any failed (non-shed) response, any uncontained
+  # corrupt publish, or a swap-phase p99 above the bound (generous: ASan
+  # plus fault injection is not a latency environment, but an unbounded p99
+  # would hide a swap stall).
+  build-asan/bench/bench_serve --scale 0.1 --swaps 120 --publish-faults \
+    --max-p99-ms 250 --out build-asan/BENCH_serve_soak.json
+  echo "OK: soak held — zero dropped queries across 120 faulted hot swaps"
+  exit 0
+fi
+
 echo "== ASan+UBSan: configure + build + full ctest =="
 cmake -B build-asan -S . -DSEMDRIFT_SANITIZE="address;undefined" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
@@ -99,7 +122,7 @@ ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
 echo "== TSan: concurrency tests =="
 TSAN_TARGETS=(thread_pool_test parallel_determinism_test supervisor_test
-  serve_batcher_test obs_test)
+  serve_batcher_test serve_hotswap_test obs_test)
 cmake -B build-tsan -S . -DSEMDRIFT_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-tsan -j "$JOBS" --target "${TSAN_TARGETS[@]}"

@@ -3,7 +3,9 @@
 //   semdrift generate --scale 0.25 --seed 2014 --world w.tsv --corpus c.tsv
 //       Generate a ground-truth world + Hearst corpus and save both.
 //   semdrift run --world w.tsv --corpus c.tsv --out taxonomy.tsv
-//                [--snapshot-out s.bin] [--no-clean]
+//                [--snapshot-out s.bin]
+//                [--snapshot-delta-out d.bin --snapshot-delta-base s.bin
+//                 [--snapshot-delta-base-gen N]] [--no-clean]
 //                [--lenient] [--checkpoint-dir D [--resume] [--validate]
 //                [--keep-checkpoints N]] [--supervise] [--health-report]
 //                [--stage-deadline-ms N] [--max-retries N] [--quarantine on|off]
@@ -28,28 +30,46 @@
 //   semdrift parse --world w.tsv
 //       Read raw sentences from stdin, parse each with the Hearst parser,
 //       print the candidate analysis.
-//   semdrift serve --snapshot s.bin [--cache N] [--cache-shards N]
+//   semdrift serve --snapshot s.bin | --publish-dir D [--poll-ms N]
+//                  [--cache N] [--cache-shards N]
 //                  [--max-batch N] [--max-wait-ms N] [--deadline-ms N]
-//                  [--stats-interval-ms N]
+//                  [--deadline-budget-ms N] [--stats-interval-ms N]
 //       Load a serving snapshot and answer line-protocol queries on
 //       stdin/stdout (instances-of, concepts-of, is-a, drift-score, mutex,
 //       stats, metrics; `quit` exits). Requests are coalesced into batches
 //       and executed on the thread pool; responses come back in request
-//       order. --stats-interval-ms > 0 prints a serving-stats snapshot to
-//       stderr every N milliseconds.
+//       order. With --publish-dir the server instead watches a publish
+//       directory (snap-<gen>.bin full images, delta-<gen>.bin deltas) and
+//       hot-swaps generations atomically: in-flight queries finish on the
+//       old generation, corrupt publishes are quarantined (renamed
+//       *.quarantined) and serving rolls back to the last good generation.
+//       --deadline-budget-ms > 0 enables admission control: when the p99
+//       queue wait crosses the budget, low-priority requests are refused
+//       with an OVERLOADED response instead of queueing to death.
+//       --stats-interval-ms > 0 prints a serving-stats snapshot to stderr
+//       every N milliseconds.
 //   semdrift query --snapshot s.bin <verb> <args...>
-//       One-shot: answer a single query and exit (non-zero on ERR or
-//       NOT_FOUND). Each shell argument becomes one protocol field, so
-//       multi-word names need quoting, not tabs.
-//   semdrift snapshot-verify <file>
+//       One-shot: answer a single query and exit. Exit codes form the
+//       scripting contract shared with serve's line protocol: 0 = OK,
+//       1 = ERR, 2 = usage, 3 = NOT_FOUND (miss), 4 = OVERLOADED (shed by
+//       admission control; never produced by a one-shot, reserved so
+//       wrappers can map serve responses to the same codes). Each shell
+//       argument becomes one protocol field, so multi-word names need
+//       quoting, not tabs.
+//   semdrift snapshot-verify <base> [delta...]
 //       Check snapshot framing (magic, version, CRCs) and deep structure
 //       (CSR monotonicity, id bounds, rank permutations, string-table
-//       bounds). Exits non-zero on any corruption.
+//       bounds). With delta files, verifies the whole publish chain: each
+//       delta must load strictly, bind to the previous image's CRC32, and
+//       materialize an image that passes the same deep validation. Exits
+//       non-zero on any corruption.
 //   semdrift fuzz-load [--count 200] [--seed 2014] [--scale 0.05] [--dir D]
-//       Fault-injection sweep: corrupt world/corpus/checkpoint files in
-//       seeded, targeted ways and prove every loader survives — each
-//       corruption must yield a clean Status (strict) or a fully-accounted
-//       LoadReport (lenient), never a crash or silent half-load.
+//       Fault-injection sweep: corrupt world/corpus/checkpoint/snapshot/
+//       delta files in seeded, targeted ways and prove every loader
+//       survives — each corruption must yield a clean Status (strict) or a
+//       fully-accounted LoadReport (lenient), never a crash or silent
+//       half-load. Delta corruptions that slip past the loader must still
+//       materialize into a snapshot that passes deep validation.
 //
 // Every subcommand is deterministic in --seed. Unknown flags, missing flag
 // values and non-numeric values for numeric flags exit non-zero.
@@ -80,6 +100,9 @@
 #include "serve/batcher.h"
 #include "serve/query_engine.h"
 #include "serve/snapshot.h"
+#include "serve/snapshot_delta.h"
+#include "serve/snapshot_manager.h"
+#include "util/crc32.h"
 #include "util/fault_injection.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -164,6 +187,8 @@ int Usage() {
       "usage:\n"
       "  semdrift generate --scale S --seed N --world W --corpus C\n"
       "  semdrift run --world W --corpus C --out T.tsv [--snapshot-out S]\n"
+      "               [--snapshot-delta-out D --snapshot-delta-base S\n"
+      "               [--snapshot-delta-base-gen N]]\n"
       "               [--no-clean] [--lenient]\n"
       "               [--checkpoint-dir D [--resume] [--validate]\n"
       "               [--keep-checkpoints N]] [--supervise] [--health-report]\n"
@@ -174,11 +199,13 @@ int Usage() {
       "               [--trace-out T.jsonl] [--trace-chrome T.json]\n"
       "               [--metrics-out M.json]\n"
       "  semdrift parse --world W   (sentences on stdin)\n"
-      "  semdrift serve --snapshot S [--cache N] [--cache-shards N]\n"
+      "  semdrift serve --snapshot S | --publish-dir D [--poll-ms N]\n"
+      "               [--cache N] [--cache-shards N]\n"
       "               [--max-batch N] [--max-wait-ms N] [--deadline-ms N]\n"
-      "               [--stats-interval-ms N]\n"
+      "               [--deadline-budget-ms N] [--stats-interval-ms N]\n"
       "  semdrift query --snapshot S <verb> <args...>\n"
-      "  semdrift snapshot-verify <file>\n"
+      "               (exit: 0 OK, 1 ERR, 2 usage, 3 NOT_FOUND, 4 OVERLOADED)\n"
+      "  semdrift snapshot-verify <base> [delta...]\n"
       "  semdrift fuzz-load [--count N] [--seed N] [--scale S] [--dir D]\n"
       "\n"
       "Every subcommand accepts --threads N (default: SEMDRIFT_THREADS env\n"
@@ -290,6 +317,24 @@ int FinishRun(const Flags& flags, const KnowledgeBase& kb, const World& world,
       return 1;
     }
     std::printf("snapshot -> %s\n", snapshot_path.c_str());
+  }
+  std::string delta_path = flags.Get("snapshot-delta-out", "");
+  if (!delta_path.empty()) {
+    std::string base_path = flags.Get("snapshot-delta-base", "");
+    if (base_path.empty()) {
+      std::fprintf(stderr,
+                   "--snapshot-delta-out requires --snapshot-delta-base\n");
+      return 2;
+    }
+    uint64_t base_gen = flags.GetUint("snapshot-delta-base-gen", 1);
+    Status s = WriteServingSnapshotDelta(kb, world, num_sentences, health,
+                                         base_path, base_gen, delta_path);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("snapshot delta -> %s (generation %llu)\n", delta_path.c_str(),
+                static_cast<unsigned long long>(base_gen + 1));
   }
   return WriteObsArtifacts(flags);
 }
@@ -521,29 +566,12 @@ Result<SnapshotReader> OpenSnapshotOrDie(const std::string& path) {
   return SnapshotReader::Open(path);
 }
 
-int Serve(const Flags& flags) {
-  ApplyThreadsFlag(flags);
-  auto reader = OpenSnapshotOrDie(flags.Get("snapshot", ""));
-  if (!reader.ok()) {
-    std::fprintf(stderr, "%s\n", reader.status().ToString().c_str());
-    return 1;
-  }
-  QueryEngineOptions engine_options;
-  engine_options.cache_capacity = flags.GetUint("cache", 4096);
-  engine_options.cache_shards = flags.GetUint("cache-shards", 16);
-  QueryEngine engine(&*reader, engine_options);
-  BatcherOptions batch_options;
-  batch_options.max_batch = flags.GetUint("max-batch", 64);
-  batch_options.max_wait_ms = static_cast<int>(flags.GetUint("max-wait-ms", 1));
-  batch_options.default_deadline_ms =
-      static_cast<int>(flags.GetUint("deadline-ms", 1000));
-  Batcher batcher(&engine, batch_options);
-  std::fprintf(stderr, "serving %u concepts, %u instances, %llu pairs; ready\n",
-               reader->num_concepts(), reader->num_instances(),
-               static_cast<unsigned long long>(reader->num_pairs()));
-
+/// The serve loop proper, shared by single-snapshot and hot-swap modes:
+/// stdin feeds the batcher, a printer thread emits responses in request
+/// order, and an optional stats thread snapshots to stderr.
+int ServeLoop(Batcher& batcher, const std::function<std::string()>& format_stats,
+              uint64_t stats_interval_ms) {
   // Optional periodic stats snapshots on stderr (stdout stays pure protocol).
-  uint64_t stats_interval_ms = flags.GetUint("stats-interval-ms", 0);
   std::mutex stats_mu;
   std::condition_variable stats_cv;
   bool stats_stop = false;
@@ -553,7 +581,7 @@ int Serve(const Flags& flags) {
       std::unique_lock<std::mutex> lock(stats_mu);
       while (!stats_cv.wait_for(lock, std::chrono::milliseconds(stats_interval_ms),
                                 [&] { return stats_stop; })) {
-        std::fprintf(stderr, "%s\n", engine.FormatStats().c_str());
+        std::fprintf(stderr, "%s\n", format_stats().c_str());
       }
     });
   }
@@ -609,9 +637,75 @@ int Serve(const Flags& flags) {
   return 0;
 }
 
+int Serve(const Flags& flags) {
+  ApplyThreadsFlag(flags);
+  QueryEngineOptions engine_options;
+  engine_options.cache_capacity = flags.GetUint("cache", 4096);
+  engine_options.cache_shards = flags.GetUint("cache-shards", 16);
+  BatcherOptions batch_options;
+  batch_options.max_batch = flags.GetUint("max-batch", 64);
+  batch_options.max_wait_ms = static_cast<int>(flags.GetUint("max-wait-ms", 1));
+  batch_options.default_deadline_ms =
+      static_cast<int>(flags.GetUint("deadline-ms", 1000));
+  batch_options.deadline_budget_ms =
+      static_cast<int>(flags.GetUint("deadline-budget-ms", 0));
+  uint64_t stats_interval_ms = flags.GetUint("stats-interval-ms", 0);
+
+  std::string publish_dir = flags.Get("publish-dir", "");
+  if (!publish_dir.empty()) {
+    // Hot-swap mode: a SnapshotManager watches the publish directory and
+    // flips generations atomically; the batcher pins one generation per
+    // batch. The manager is declared before the batcher so it outlives the
+    // batcher's shutdown drain (which still resolves pins).
+    SnapshotManagerOptions manager_options;
+    manager_options.dir = publish_dir;
+    manager_options.engine = engine_options;
+    SnapshotManager manager(manager_options);
+    Status initial = manager.LoadInitial();
+    if (!initial.ok()) {
+      std::fprintf(stderr, "%s\n", initial.ToString().c_str());
+      return 1;
+    }
+    Batcher batcher(EngineSource([&manager] { return manager.Pin(); }),
+                    batch_options);
+    uint64_t poll_ms = flags.GetUint("poll-ms", 200);
+    manager.StartWatching(poll_ms);
+    {
+      auto current = manager.Current();
+      std::fprintf(stderr,
+                   "serving generation %llu: %u concepts, %u instances, "
+                   "%llu pairs; watching %s; ready\n",
+                   static_cast<unsigned long long>(current->generation),
+                   current->reader.num_concepts(), current->reader.num_instances(),
+                   static_cast<unsigned long long>(current->reader.num_pairs()),
+                   publish_dir.c_str());
+    }
+    int rc = ServeLoop(
+        batcher,
+        [&manager] { return manager.Current()->engine->FormatStats(); },
+        stats_interval_ms);
+    manager.StopWatching();
+    return rc;
+  }
+
+  auto reader = OpenSnapshotOrDie(flags.Get("snapshot", ""));
+  if (!reader.ok()) {
+    std::fprintf(stderr, "%s\n", reader.status().ToString().c_str());
+    return 1;
+  }
+  QueryEngine engine(&*reader, engine_options);
+  Batcher batcher(&engine, batch_options);
+  std::fprintf(stderr, "serving %u concepts, %u instances, %llu pairs; ready\n",
+               reader->num_concepts(), reader->num_instances(),
+               static_cast<unsigned long long>(reader->num_pairs()));
+  return ServeLoop(batcher, [&engine] { return engine.FormatStats(); },
+                   stats_interval_ms);
+}
+
 /// One-shot query. Positional arguments become protocol fields (joined with
-/// tabs), so a quoted multi-word name stays a single field. Exits non-zero
-/// when the answer is ERR or NOT_FOUND, making it scriptable.
+/// tabs), so a quoted multi-word name stays a single field. The exit code
+/// mirrors the response class so scripts can branch without parsing: 0 OK,
+/// 1 ERR, 3 NOT_FOUND, 4 OVERLOADED (reserved — one-shots never shed).
 int Query(int argc, char** argv) {
   std::string snapshot_path;
   std::string line;
@@ -653,19 +747,33 @@ int Query(int argc, char** argv) {
   QueryEngine engine(&*reader);
   std::string response = engine.Answer(line);
   std::printf("%s\n", response.c_str());
-  return response.compare(0, 2, "OK") == 0 ? 0 : 1;
+  if (StartsWith(response, "OK")) return 0;
+  if (StartsWith(response, "NOT_FOUND")) return 3;
+  if (StartsWith(response, "OVERLOADED")) return 4;
+  return 1;
 }
 
 /// Integrity gate for stored snapshots: Open() re-checks framing and every
-/// CRC, then Validate() walks the deep structural invariants. Non-zero exit
-/// on any corruption makes this usable as a deploy precondition.
+/// CRC, then Validate() walks the deep structural invariants. With extra
+/// arguments the remaining files are verified as a delta chain rooted at the
+/// base: each delta's framing, checksum, base binding (generation + base
+/// image CRC32) and record invariants are checked, and each materialized
+/// image is re-opened so Validate() runs on every generation the chain can
+/// produce. Non-zero exit on any corruption makes this usable as a deploy
+/// precondition.
 int SnapshotVerify(int argc, char** argv) {
-  if (argc != 3 || StartsWith(argv[2], "--")) {
-    std::fprintf(stderr, "usage: semdrift snapshot-verify <file>\n");
+  if (argc < 3 || StartsWith(argv[2], "--")) {
+    std::fprintf(stderr,
+                 "usage: semdrift snapshot-verify <base> [delta...]\n");
     return 2;
   }
   std::string path = argv[2];
-  auto reader = SnapshotReader::Open(path);
+  auto bytes = ReadFileToString(path);
+  if (!bytes.ok()) {
+    std::fprintf(stderr, "FAIL %s\n", bytes.status().ToString().c_str());
+    return 1;
+  }
+  auto reader = SnapshotReader::OpenFromBuffer(*bytes, path);
   if (!reader.ok()) {
     std::fprintf(stderr, "FAIL %s\n", reader.status().ToString().c_str());
     return 1;
@@ -676,6 +784,44 @@ int SnapshotVerify(int argc, char** argv) {
               static_cast<unsigned long long>(reader->num_pairs()),
               static_cast<unsigned long long>(reader->num_mutex_pairs()),
               static_cast<unsigned long long>(reader->file_bytes()));
+  if (argc == 3) return 0;
+
+  // Walk the chain. The first delta declares which generation the base is;
+  // the CRC binding is what actually authenticates it.
+  SnapshotParts parts = PartsFromReader(*reader);
+  uint32_t crc = Crc32Of(*bytes);
+  uint64_t generation = 0;
+  for (int i = 3; i < argc; ++i) {
+    std::string delta_path = argv[i];
+    auto delta = LoadSnapshotDelta(delta_path);
+    if (!delta.ok()) {
+      std::fprintf(stderr, "FAIL %s\n", delta.status().ToString().c_str());
+      return 1;
+    }
+    if (i == 3) generation = delta->base_generation;
+    auto image = MaterializeSnapshotDelta(*delta, parts, generation, crc);
+    if (!image.ok()) {
+      std::fprintf(stderr, "FAIL %s\n", image.status().ToString().c_str());
+      return 1;
+    }
+    auto next = SnapshotReader::OpenFromBuffer(*image, delta_path);
+    if (!next.ok()) {
+      std::fprintf(stderr, "FAIL %s\n", next.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("OK %s: generation %llu, %zu records, materialized %u "
+                "concepts, %u instances, %llu pairs\n",
+                delta_path.c_str(),
+                static_cast<unsigned long long>(delta->generation),
+                delta->num_records(), next->num_concepts(),
+                next->num_instances(),
+                static_cast<unsigned long long>(next->num_pairs()));
+    parts = PartsFromReader(*next);
+    crc = Crc32Of(*image);
+    generation = delta->generation;
+  }
+  std::printf("OK chain verified through generation %llu\n",
+              static_cast<unsigned long long>(generation));
   return 0;
 }
 
@@ -744,10 +890,53 @@ int FuzzLoad(const Flags& flags) {
   }
   std::string checkpoint_path = CheckpointPath(checkpoint.dir, stats.back().iteration);
 
-  std::vector<std::string> pristine(3);
-  const char* names[3] = {"world", "corpus", "checkpoint"};
-  const std::string paths[3] = {world_path, corpus_path, checkpoint_path};
-  for (int t = 0; t < 3; ++t) {
+  // Serving artifacts round out the target set: a full snapshot compiled
+  // from the extracted KB, and a delta from that snapshot to a perturbed
+  // compile (one score nudged, so the delta carries real records).
+  std::string snap_path = dir + "/snap.bin";
+  s = WriteServingSnapshot(*kb, experiment->world(),
+                           experiment->corpus().sentences.size(), nullptr,
+                           snap_path);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  auto snap_bytes = ReadFileToString(snap_path);
+  if (!snap_bytes.ok()) {
+    std::fprintf(stderr, "%s\n", snap_bytes.status().ToString().c_str());
+    return 1;
+  }
+  const uint32_t base_crc = Crc32Of(*snap_bytes);
+  auto base_reader = SnapshotReader::OpenFromBuffer(*snap_bytes, snap_path);
+  if (!base_reader.ok()) {
+    std::fprintf(stderr, "%s\n", base_reader.status().ToString().c_str());
+    return 1;
+  }
+  const SnapshotParts base_parts = PartsFromReader(*base_reader);
+  std::string delta_path = dir + "/delta.bin";
+  {
+    SnapshotParts next_parts = base_parts;
+    if (!next_parts.score.empty()) next_parts.score[0] += 1.0;
+    auto delta = DiffSnapshotParts(base_parts, next_parts);
+    if (!delta.ok()) {
+      std::fprintf(stderr, "%s\n", delta.status().ToString().c_str());
+      return 1;
+    }
+    delta->base_generation = 1;
+    delta->base_crc32 = base_crc;
+    delta->generation = 2;
+    Status wrote = WriteSnapshotDeltaFile(*delta, delta_path);
+    if (!wrote.ok()) {
+      std::fprintf(stderr, "%s\n", wrote.ToString().c_str());
+      return 1;
+    }
+  }
+
+  std::vector<std::string> pristine(5);
+  const char* names[5] = {"world", "corpus", "checkpoint", "snapshot", "delta"};
+  const std::string paths[5] = {world_path, corpus_path, checkpoint_path,
+                                snap_path, delta_path};
+  for (int t = 0; t < 5; ++t) {
     auto content = ReadFileToString(paths[t]);
     if (!content.ok()) {
       std::fprintf(stderr, "%s\n", content.status().ToString().c_str());
@@ -768,7 +957,7 @@ int FuzzLoad(const Flags& flags) {
   std::vector<FuzzOutcome> outcomes = ParallelMap<FuzzOutcome>(
       static_cast<size_t>(count), [&](size_t i) {
         FuzzOutcome out;
-        out.target = static_cast<int>(i % 3);
+        out.target = static_cast<int>(i % 5);
         FaultInjector injector(seed ^ (0x9e3779b97f4a7c15ULL * (i + 1)));
         FaultKind kind;
         std::string corrupted = injector.CorruptRandom(pristine[out.target], &kind);
@@ -796,7 +985,7 @@ int FuzzLoad(const Flags& flags) {
           auto loose = LoadCorpus(experiment->world(), fuzz_path, lenient, &report);
           loose.ok() ? ++tally.lenient_ok : ++tally.lenient_rejected;
           if (loose.ok() && !ReportAccounts(report)) ++tally.violations;
-        } else {
+        } else if (out.target == 2) {
           // Checkpoints have no lenient mode: the full restore pipeline (load,
           // replay, validate) must either produce a valid KB or reject cleanly.
           auto loaded = LoadCheckpoint(fuzz_path);
@@ -812,13 +1001,39 @@ int FuzzLoad(const Flags& flags) {
               ++tally.strict_rejected;
             }
           }
+        } else if (out.target == 3) {
+          // Snapshots are strict-only by design: Open() re-checks every CRC
+          // and then deep-validates structure.
+          auto opened = SnapshotReader::Open(fuzz_path);
+          opened.ok() ? ++tally.strict_ok : ++tally.strict_rejected;
+        } else {
+          // Deltas: load, materialize against the pristine base, and re-open
+          // the produced image. A delta that loads and materializes must
+          // yield a snapshot that passes full validation — anything else is
+          // a containment violation, not a mere rejection.
+          auto delta = LoadSnapshotDelta(fuzz_path);
+          if (!delta.ok()) {
+            ++tally.strict_rejected;
+          } else {
+            auto image = MaterializeSnapshotDelta(*delta, base_parts, 1, base_crc);
+            if (!image.ok()) {
+              ++tally.strict_rejected;
+            } else {
+              auto opened = SnapshotReader::OpenFromBuffer(*image, fuzz_path);
+              if (opened.ok()) {
+                ++tally.strict_ok;
+              } else {
+                ++tally.violations;
+              }
+            }
+          }
         }
         std::error_code remove_ec;
         std::filesystem::remove(fuzz_path, remove_ec);  // Best-effort scratch cleanup.
         return out;
       });
 
-  FuzzTally tallies[3];
+  FuzzTally tallies[5];
   int violations = 0;
   for (const FuzzOutcome& out : outcomes) {
     if (!out.io_error.empty()) {
@@ -836,12 +1051,13 @@ int FuzzLoad(const Flags& flags) {
 
   std::printf("fuzz-load: %d corruptions over %s seed %llu\n", count, dir.c_str(),
               static_cast<unsigned long long>(seed));
-  for (int t = 0; t < 3; ++t) {
+  for (int t = 0; t < 5; ++t) {
     PrintTally(names[t], tallies[t]);
     violations += tallies[t].violations;
   }
   if (violations > 0) {
-    std::fprintf(stderr, "FAIL: %d lenient loads did not account for all lines\n",
+    std::fprintf(stderr,
+                 "FAIL: %d loads did not account for or contain the damage\n",
                  violations);
     return 1;
   }
@@ -864,10 +1080,12 @@ int main(int argc, char** argv) {
   }
   if (command == "run") {
     Flags flags(argc, argv, 2,
-                {"world", "corpus", "out", "snapshot-out", "checkpoint-dir",
-                 "keep-checkpoints", "threads", "stage-deadline-ms", "max-retries",
-                 "quarantine", "fault-rate", "fault-seed", "fault-kinds",
-                 "fault-stages", "trace-out", "trace-chrome", "metrics-out"},
+                {"world", "corpus", "out", "snapshot-out", "snapshot-delta-out",
+                 "snapshot-delta-base", "snapshot-delta-base-gen",
+                 "checkpoint-dir", "keep-checkpoints", "threads",
+                 "stage-deadline-ms", "max-retries", "quarantine", "fault-rate",
+                 "fault-seed", "fault-kinds", "fault-stages", "trace-out",
+                 "trace-chrome", "metrics-out"},
                 {"no-clean", "resume", "validate", "lenient", "supervise",
                  "health-report"});
     if (!flags.ok()) {
@@ -886,8 +1104,9 @@ int main(int argc, char** argv) {
   }
   if (command == "serve") {
     Flags flags(argc, argv, 2,
-                {"snapshot", "cache", "cache-shards", "max-batch", "max-wait-ms",
-                 "deadline-ms", "stats-interval-ms", "threads"},
+                {"snapshot", "publish-dir", "poll-ms", "cache", "cache-shards",
+                 "max-batch", "max-wait-ms", "deadline-ms", "deadline-budget-ms",
+                 "stats-interval-ms", "threads"},
                 {});
     if (!flags.ok()) {
       std::fprintf(stderr, "%s\n", flags.error().c_str());
