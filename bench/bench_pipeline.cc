@@ -337,8 +337,9 @@ bool SameTrainingData(const TrainingData& a, const TrainingData& b) {
 }
 
 void WriteJson(const std::string& path, double scale, int threads, int repeat,
-               const std::vector<StageResult>& stages,
-               const StageResult& combined) {
+               const std::vector<StageResult>& stages, const StageResult& combined,
+               const std::vector<std::pair<int, double>>& forest_thread_sweep,
+               const std::vector<std::pair<int, double>>& forest_bin_sweep) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -363,6 +364,18 @@ void WriteJson(const std::string& path, double scale, int threads, int repeat,
     emit_stage(stages[i], "    ", i + 1 == stages.size());
   }
   std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"forest_thread_sweep\": [");
+  for (size_t i = 0; i < forest_thread_sweep.size(); ++i) {
+    std::fprintf(f, "%s{\"threads\": %d, \"ms\": %.3f}", i == 0 ? "" : ", ",
+                 forest_thread_sweep[i].first, forest_thread_sweep[i].second);
+  }
+  std::fprintf(f, "],\n");
+  std::fprintf(f, "  \"forest_bin_sweep\": [");
+  for (size_t i = 0; i < forest_bin_sweep.size(); ++i) {
+    std::fprintf(f, "%s{\"max_bins\": %d, \"ms\": %.3f}", i == 0 ? "" : ", ",
+                 forest_bin_sweep[i].first, forest_bin_sweep[i].second);
+  }
+  std::fprintf(f, "],\n");
   std::fprintf(f, "  \"detection_pipeline\":\n");
   emit_stage(combined, "    ", false);
   // The run's full metrics registry (pool jobs, warm/collect/train timings),
@@ -503,19 +516,29 @@ int main(int argc, char** argv) {
       y.push_back(static_cast<int>(x.size()) % 3);
     }
   }
+  // Baseline: the pre-histogram trainer — exact splits, one serial RNG
+  // stream, re-sorting each feature column at every node. Serial/parallel:
+  // the binned trainer at 1/N threads.
   RandomForestOptions forest_options;
   forest_stage.baseline_ms = TimeMs(repeat, [&] {
     LegacyForestFit(x, y, 3, forest_options);
   });
+  auto fit_or_die = [&](RandomForest* forest, const RandomForestOptions& options) {
+    Status fit = forest->Fit(x, y, 3, options);
+    if (!fit.ok()) {
+      std::fprintf(stderr, "forest fit failed: %s\n", fit.ToString().c_str());
+      std::exit(1);
+    }
+  };
   RandomForest serial_forest;
   forest_stage.serial_ms = TimeMs(repeat, [&] {
     SetGlobalThreadCount(1);
-    serial_forest.Fit(x, y, 3, forest_options);
+    fit_or_die(&serial_forest, forest_options);
   });
   RandomForest parallel_forest;
   forest_stage.parallel_ms = TimeMs(repeat, [&] {
     SetGlobalThreadCount(threads);
-    parallel_forest.Fit(x, y, 3, forest_options);
+    fit_or_die(&parallel_forest, forest_options);
   });
   for (size_t i = 0; i < x.size() && i < 200; ++i) {
     if (serial_forest.PredictProba(x[i]) != parallel_forest.PredictProba(x[i])) {
@@ -524,6 +547,31 @@ int main(int argc, char** argv) {
     }
   }
   stages.push_back(forest_stage);
+
+  // --- Forest sweeps: thread scaling and bin-count sensitivity -------------
+  std::vector<std::pair<int, double>> forest_thread_sweep;
+  for (int t : {1, 2, 4, 8}) {
+    double ms = TimeMs(repeat, [&] {
+      SetGlobalThreadCount(t);
+      RandomForest forest;
+      fit_or_die(&forest, forest_options);
+    });
+    forest_thread_sweep.emplace_back(t, ms);
+    std::printf("forest_fit @ %d thread%s  %8.1f ms\n", t, t == 1 ? " " : "s",
+                ms);
+  }
+  std::vector<std::pair<int, double>> forest_bin_sweep;
+  for (int bins : {64, 128, 256}) {
+    RandomForestOptions options = forest_options;
+    options.max_bins = bins;
+    double ms = TimeMs(repeat, [&] {
+      SetGlobalThreadCount(threads);
+      RandomForest forest;
+      fit_or_die(&forest, options);
+    });
+    forest_bin_sweep.emplace_back(bins, ms);
+    std::printf("forest_fit @ %3d bins    %8.1f ms\n", bins, ms);
+  }
 
   // --- Combined detection pipeline (the ISSUE's acceptance metric) --------
   StageResult combined;
@@ -548,7 +596,8 @@ int main(int argc, char** argv) {
                                          : 0.0,
               combined.bit_identical ? "bit-identical" : "MISMATCH");
 
-  WriteJson(out, scale, threads, repeat, stages, combined);
+  WriteJson(out, scale, threads, repeat, stages, combined, forest_thread_sweep,
+            forest_bin_sweep);
   std::printf("-> %s\n", out.c_str());
 
   bool ok = combined.bit_identical;

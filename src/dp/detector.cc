@@ -9,6 +9,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace semdrift {
 
@@ -292,6 +293,29 @@ std::unique_ptr<DpDetector> TrainAdHoc(int property_index,
                                          best_dp_below, type_threshold);
 }
 
+/// Forest-fit instrumentation (registered once; recorded per fit). The
+/// nodes/histogram counters expose how much work the histogram trainer's
+/// subtraction trick saves: subtractions are scans avoided.
+struct ForestMetrics {
+  MetricsRegistry::Counter fits;
+  MetricsRegistry::Counter fit_errors;
+  MetricsRegistry::Counter nodes;
+  MetricsRegistry::Counter histogram_builds;
+  MetricsRegistry::Counter histogram_subtractions;
+  MetricsRegistry::Histogram fit_ms;
+};
+
+ForestMetrics& GetForestMetrics() {
+  static ForestMetrics metrics{
+      GlobalMetrics().RegisterCounter("ml.forest.fits"),
+      GlobalMetrics().RegisterCounter("ml.forest.fit_errors"),
+      GlobalMetrics().RegisterCounter("ml.forest.nodes"),
+      GlobalMetrics().RegisterCounter("ml.forest.histogram_builds"),
+      GlobalMetrics().RegisterCounter("ml.forest.histogram_subtractions"),
+      GlobalMetrics().RegisterHistogram("ml.forest.fit_ms", LatencyBucketsMs())};
+  return metrics;
+}
+
 std::unique_ptr<DpDetector> TrainForest(const std::vector<LabeledSample>& labeled,
                                         const RandomForestOptions& options) {
   if (labeled.empty()) return nullptr;
@@ -304,7 +328,21 @@ std::unique_ptr<DpDetector> TrainForest(const std::vector<LabeledSample>& labele
     y.push_back(static_cast<int>(sample.label));
   }
   RandomForest forest;
-  forest.Fit(x, y, /*num_classes=*/3, options);
+  ForestMetrics& metrics = GetForestMetrics();
+  Timer timer;
+  Status fit = forest.Fit(x, y, /*num_classes=*/3, options);
+  if (!fit.ok()) {
+    // Degenerate training input (e.g. every labeled row NaN-dropped). Same
+    // nullptr contract as "nothing to train on"; the supervised path's
+    // fallback ladder takes it from here.
+    metrics.fit_errors.Add();
+    return nullptr;
+  }
+  metrics.fits.Add();
+  metrics.fit_ms.Observe(timer.ElapsedMillis());
+  metrics.nodes.Add(forest.fit_stats().nodes);
+  metrics.histogram_builds.Add(forest.fit_stats().histogram_builds);
+  metrics.histogram_subtractions.Add(forest.fit_stats().histogram_subtractions);
   return std::make_unique<ForestDetector>(std::move(forest));
 }
 

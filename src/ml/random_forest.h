@@ -4,7 +4,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "ml/binned_matrix.h"
 #include "util/rng.h"
+#include "util/status.h"
 
 namespace semdrift {
 
@@ -20,23 +22,60 @@ struct RandomForestOptions {
   /// rare class (the paper's Intentional DPs are ~3% of seeds) is almost
   /// never predicted.
   bool balance_classes = true;
+  /// Use the legacy exact-split trainer (per-node gather + sort + scan of
+  /// raw doubles) instead of the histogram trainer. Orders of magnitude
+  /// slower on large inputs; kept as the oracle for differential tests.
+  bool exact_splits = false;
+  /// Bins per feature for the histogram trainer, in [2, 256]. Smaller is
+  /// faster but quantizes candidate thresholds more coarsely.
+  int max_bins = 256;
   uint64_t seed = 42;
 };
 
 /// A CART-style decision tree (gini impurity, axis-aligned splits) grown on
-/// a bootstrap sample with per-split feature subsampling. Used only through
-/// RandomForest but exposed for unit tests.
+/// a bootstrap sample with per-split feature subsampling. Two trainers grow
+/// the same node representation:
+///
+///   Fit       — the exact trainer: per node, gather + sort each candidate
+///               feature column and scan every distinct-value boundary.
+///   FitBinned — the histogram trainer: per node, accumulate per-bin class
+///               counts over a pre-binned feature-major matrix in one linear
+///               pass and scan bin boundaries, deriving one child's
+///               histogram from parent - sibling (the subtraction trick).
+///
+/// Both grow via an explicit frontier worklist — no recursion — so
+/// pathological max_depth / adversarial data cannot overflow the stack.
+/// Used through RandomForest but exposed for unit tests.
 class DecisionTree {
  public:
-  /// Fits on rows `indices` of (x, y). `x` is row-major n x d.
+  /// Per-tree growth counters, accumulated deterministically.
+  struct GrowthStats {
+    uint64_t nodes = 0;
+    uint64_t histogram_builds = 0;        // Histograms filled by row scan.
+    uint64_t histogram_subtractions = 0;  // Derived as parent - sibling.
+  };
+
+  /// Exact trainer: fits on rows `indices` of (x, y). `x` is row-major
+  /// n x d. Draws from `rng` once per node in deterministic preorder.
   void Fit(const std::vector<std::vector<double>>& x, const std::vector<int>& y,
            const std::vector<size_t>& indices, int num_classes,
            const RandomForestOptions& options, Rng* rng);
+
+  /// Histogram trainer: fits on rows `indices` (bootstrap row ids into
+  /// `binned`/`y`, duplicates allowed, consumed as the in-place partition
+  /// scratch). Nodes draw feature subsets from per-node RNG streams seeded
+  /// by TaskSeed(node_seed_base, node_id), and frontier nodes at each depth
+  /// fan out over the thread pool, so the grown tree is bit-identical at
+  /// any thread count.
+  void FitBinned(const BinnedMatrix& binned, const std::vector<int>& y,
+                 std::vector<uint32_t> indices, int num_classes,
+                 const RandomForestOptions& options, uint64_t node_seed_base);
 
   /// Class-count distribution at the leaf reached by `point`.
   const std::vector<int>& Leaf(const std::vector<double>& point) const;
 
   size_t num_nodes() const { return nodes_.size(); }
+  const GrowthStats& stats() const { return stats_; }
 
  private:
   struct Node {
@@ -47,22 +86,31 @@ class DecisionTree {
     std::vector<int> counts;   // Populated for leaves.
   };
 
-  int32_t Grow(const std::vector<std::vector<double>>& x, const std::vector<int>& y,
-               std::vector<size_t>& indices, size_t begin, size_t end, int depth,
-               int num_classes, const RandomForestOptions& options, Rng* rng);
-
   std::vector<Node> nodes_;
+  GrowthStats stats_;
 };
 
 /// Bagged ensemble of DecisionTrees with soft (probability-averaged) voting.
 class RandomForest {
  public:
+  /// Forest-level fit counters: per-tree GrowthStats summed in tree order.
+  struct FitStats {
+    uint64_t nodes = 0;
+    uint64_t histogram_builds = 0;
+    uint64_t histogram_subtractions = 0;
+    double binning_ms = 0.0;  // Histogram trainer: one-time quantization.
+  };
+
   /// Fits the ensemble. `y` holds class labels in [0, num_classes). Trees
   /// are grown in parallel on the global thread pool; each tree uses its own
   /// deterministic RNG stream derived from `options.seed`, so the fitted
-  /// forest is bit-identical at any thread count.
-  void Fit(const std::vector<std::vector<double>>& x, const std::vector<int>& y,
-           int num_classes, const RandomForestOptions& options);
+  /// forest is bit-identical at any thread count. Fails with
+  /// InvalidArgument (leaving the forest empty) on an empty training set,
+  /// zero-width or ragged feature rows, labels outside [0, num_classes), or
+  /// out-of-range options — the histogram trainer additionally rejects
+  /// non-finite feature values.
+  Status Fit(const std::vector<std::vector<double>>& x, const std::vector<int>& y,
+             int num_classes, const RandomForestOptions& options);
 
   /// Class-probability estimate for a point.
   std::vector<double> PredictProba(const std::vector<double>& point) const;
@@ -72,10 +120,12 @@ class RandomForest {
 
   size_t num_trees() const { return trees_.size(); }
   int num_classes() const { return num_classes_; }
+  const FitStats& fit_stats() const { return fit_stats_; }
 
  private:
   std::vector<DecisionTree> trees_;
   int num_classes_ = 0;
+  FitStats fit_stats_;
 };
 
 }  // namespace semdrift

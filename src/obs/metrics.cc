@@ -215,6 +215,22 @@ const std::vector<double>& LatencyBucketsNs() {
   return *buckets;
 }
 
+const std::vector<double>& LatencyBucketsMs() {
+  static const std::vector<double>* buckets = [] {
+    auto* out = new std::vector<double>();
+    // 10us .. 100s (in ms), 1-2-5 per decade: coarse phase timings like
+    // forest fits that would crowd into the top of the ns buckets.
+    for (double decade = 1e-2; decade <= 1e4; decade *= 10.0) {
+      out->push_back(decade);
+      out->push_back(2 * decade);
+      out->push_back(5 * decade);
+    }
+    out->push_back(1e5);
+    return out;
+  }();
+  return *buckets;
+}
+
 const std::vector<double>& SizeBuckets() {
   static const std::vector<double>* buckets = [] {
     auto* out = new std::vector<double>();

@@ -142,6 +142,11 @@ MetricsRegistry& GlobalMetrics();
 /// histograms from different subsystems are comparable.
 const std::vector<double>& LatencyBucketsNs();
 
+/// Millisecond-scale latency bucket edges: 10us..100s (expressed in ms),
+/// 1-2-5 per decade. For coarse phase timings (model fits, batch stages)
+/// that the ns buckets would squash into their top edge.
+const std::vector<double>& LatencyBucketsMs();
+
 /// Small bucket edges for size-ish distributions (batch sizes, counts):
 /// 1, 2, 4, ... 4096.
 const std::vector<double>& SizeBuckets();

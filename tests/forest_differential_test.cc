@@ -1,0 +1,171 @@
+// Differential tests for the histogram (binned) forest trainer against the
+// exact trainer. The binned trainer is a different algorithm — same model
+// family, coarser split-candidate set — so the contract is *agreement*, not
+// bit-identity: predictions must agree above a fixed floor on synthetic
+// data, and at the pipeline level the supervised detector must make the
+// same decisions either way on a broad sample of random worlds.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dp/detector.h"
+#include "dp/features.h"
+#include "dp/seed_labeling.h"
+#include "ml/random_forest.h"
+#include "mutex/mutex_index.h"
+#include "rank/scorers.h"
+#include "property_test_util.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace semdrift {
+namespace {
+
+/// Gaussian blobs: a problem both trainers solve near-perfectly, so any
+/// systematic binned/exact divergence shows up as agreement loss.
+void MakeBlobData(size_t n, uint64_t seed, std::vector<std::vector<double>>* x,
+                  std::vector<int>* y) {
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    int cls = static_cast<int>(i % 3);
+    x->push_back({cls * 2.0 + 0.4 * rng.NextGaussian(),
+                  -cls * 1.5 + 0.4 * rng.NextGaussian(),
+                  rng.NextDouble(),
+                  cls * 1.0 + 0.3 * rng.NextGaussian()});
+    y->push_back(cls);
+  }
+}
+
+TEST(ForestDifferentialTest, PredictionsAgreeWithExactTrainerAboveFloor) {
+  int agree = 0;
+  int total = 0;
+  for (uint64_t seed : {11u, 22u, 33u, 44u, 55u}) {
+    std::vector<std::vector<double>> x;
+    std::vector<int> y;
+    MakeBlobData(600, seed, &x, &y);
+    RandomForestOptions options;
+    options.num_trees = 30;
+    options.seed = seed;
+    RandomForest binned;
+    ASSERT_TRUE(binned.Fit(x, y, 3, options).ok());
+    options.exact_splits = true;
+    RandomForest exact;
+    ASSERT_TRUE(exact.Fit(x, y, 3, options).ok());
+    for (const auto& point : x) {
+      agree += binned.Predict(point) == exact.Predict(point);
+      ++total;
+    }
+  }
+  // Fixed floor: the two trainers disagree only near decision boundaries.
+  EXPECT_GE(agree, static_cast<int>(0.97 * total))
+      << agree << "/" << total << " predictions agree";
+}
+
+TEST(ForestDifferentialTest, LowCardinalityFeaturesGiveIdenticalCandidates) {
+  // When every feature has <= max_bins distinct values, the binned cut set
+  // IS the exact midpoint set, so both trainers see the same candidate
+  // thresholds and (same seed) produce trees predicting identically.
+  Rng rng(9);
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  for (int i = 0; i < 400; ++i) {
+    x.push_back({static_cast<double>(rng.NextBounded(12)),
+                 static_cast<double>(rng.NextBounded(5))});
+    y.push_back((x.back()[0] > 5.0) == (x.back()[1] > 2.0) ? 1 : 0);
+  }
+  RandomForestOptions options;
+  options.num_trees = 20;
+  options.seed = 3;
+  RandomForest binned;
+  ASSERT_TRUE(binned.Fit(x, y, 2, options).ok());
+  options.exact_splits = true;
+  RandomForest exact;
+  ASSERT_TRUE(exact.Fit(x, y, 2, options).ok());
+  int agree = 0;
+  for (const auto& point : x) agree += binned.Predict(point) == exact.Predict(point);
+  EXPECT_GE(agree, static_cast<int>(0.99 * x.size()));
+}
+
+TEST(ForestDifferentialTest, DetectorDecisionsMatchAcrossRandomWorlds) {
+  // Pipeline-level differential: across >= 20 random worlds, the supervised
+  // detector trained with the binned forest must classify every live
+  // instance exactly like the one trained with the exact forest. Worlds
+  // whose seed labeler produces no labels train no detector; the seed range
+  // is wide enough that many worlds do train one.
+  int worlds_with_detector = 0;
+  int decisions = 0;
+  for (uint64_t seed = 1; seed <= 24; ++seed) {
+    World world = property::RandomWorld(seed);
+    size_t num_sentences = 0;
+    KnowledgeBase kb = property::RandomKb(world, seed, &num_sentences);
+    std::vector<ConceptId> scope;
+    for (size_t c = 0; c < world.num_concepts(); ++c) {
+      scope.push_back(ConceptId(static_cast<uint32_t>(c)));
+    }
+    MutexIndex mutex(kb, scope.size());
+    ScoreCache scores(&kb, RankModel::kRandomWalk);
+    scores.Warm(scope);
+    FeatureExtractor features(&kb, &mutex, &scores);
+    SeedLabeler seeds(&kb, &mutex, [&world](const IsAPair& p) {
+      return world.IsVerified(p.concept_id, p.instance);
+    });
+    TrainingData data = CollectTrainingData(kb, &features, seeds, scope);
+    if (!HasLabeled(data)) continue;
+
+    DetectorTrainOptions options;
+    options.seed = seed;
+    // A bigger-than-default forest: the two trainers grow slightly
+    // different trees (different per-node RNG streams), so the per-instance
+    // majority vote needs enough trees to be stable on boundary cases.
+    options.forest.num_trees = 300;
+    auto binned = TrainDetector(DetectorKind::kSupervised, data, options);
+    options.forest.exact_splits = true;
+    auto exact = TrainDetector(DetectorKind::kSupervised, data, options);
+    ASSERT_EQ(binned == nullptr, exact == nullptr) << "world seed " << seed;
+    if (binned == nullptr) continue;
+    ++worlds_with_detector;
+    for (const ConceptTrainingData& task : data) {
+      for (size_t i = 0; i < task.instances.size(); ++i) {
+        EXPECT_EQ(binned->Classify(task.concept_id, task.features[i]),
+                  exact->Classify(task.concept_id, task.features[i]))
+            << "world seed " << seed << " concept " << task.concept_id.value
+            << " row " << i;
+        ++decisions;
+      }
+    }
+  }
+  // The property only bites if the sweep actually exercised trained
+  // detectors on real instances.
+  EXPECT_GE(worlds_with_detector, 5) << "seed range trained too few detectors";
+  EXPECT_GT(decisions, 100);
+}
+
+TEST(ForestDifferentialTest, BinnedForestIsBitIdenticalAcrossThreadCounts) {
+  // Agreement with the exact trainer is statistical; determinism of the
+  // binned trainer itself is exact. 1, 2 and 8 threads must produce
+  // byte-identical probability vectors.
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  MakeBlobData(500, 77, &x, &y);
+  RandomForestOptions options;
+  options.num_trees = 24;
+  options.seed = 77;
+  std::vector<std::vector<double>> baseline;
+  for (int threads : {1, 2, 8}) {
+    SetGlobalThreadCount(threads);
+    RandomForest forest;
+    ASSERT_TRUE(forest.Fit(x, y, 3, options).ok());
+    std::vector<std::vector<double>> proba;
+    for (const auto& point : x) proba.push_back(forest.PredictProba(point));
+    if (baseline.empty()) {
+      baseline = std::move(proba);
+      continue;
+    }
+    EXPECT_EQ(proba, baseline) << "threads " << threads;
+  }
+  SetGlobalThreadCount(0);
+}
+
+}  // namespace
+}  // namespace semdrift

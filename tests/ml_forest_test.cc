@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "ml/random_forest.h"
 #include "util/rng.h"
 
@@ -48,6 +50,68 @@ TEST(DecisionTreeTest, SplitsSimpleThreshold) {
   EXPECT_GT(tree.Leaf({15.0})[1], 0);
 }
 
+TEST(DecisionTreeTest, BinnedSplitsSimpleThreshold) {
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  std::vector<uint32_t> all;
+  for (uint32_t i = 0; i < 20; ++i) {
+    x.push_back({static_cast<double>(i)});
+    y.push_back(i < 10 ? 0 : 1);
+    all.push_back(i);
+  }
+  auto binned = BinnedMatrix::Build(x, 256);
+  ASSERT_TRUE(binned.ok());
+  DecisionTree tree;
+  RandomForestOptions options;
+  options.features_per_split = 1;
+  tree.FitBinned(*binned, y, all, 2, options, /*node_seed_base=*/17);
+  EXPECT_GT(tree.num_nodes(), 1u);
+  EXPECT_GT(tree.Leaf({3.0})[0], 0);
+  EXPECT_EQ(tree.Leaf({3.0})[1], 0);
+  EXPECT_GT(tree.Leaf({15.0})[1], 0);
+  EXPECT_GE(tree.stats().histogram_builds, 1u);
+}
+
+TEST(DecisionTreeTest, WorklistSurvivesPathologicalChainDepth) {
+  // Alternating labels over a single monotone feature make the best gini
+  // split peel one sample off an end at every node: the tree degenerates to
+  // a chain roughly as deep as the sample count. The recursive trainer put
+  // one stack frame (with live std::vector temporaries) per chain link;
+  // the explicit worklist must grow this shape comfortably.
+  const int n = 2500;
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  std::vector<size_t> all;
+  for (int i = 0; i < n; ++i) {
+    x.push_back({static_cast<double>(i)});
+    y.push_back(i % 2);
+    all.push_back(i);
+  }
+  RandomForestOptions options;
+  options.max_depth = std::numeric_limits<int>::max();
+  options.min_samples_leaf = 1;
+  options.features_per_split = 1;
+  DecisionTree tree;
+  Rng rng(13);
+  tree.Fit(x, y, all, 2, options, &rng);
+  // A chain over n samples has ~2n-1 nodes; anything above 2000 proves the
+  // pathological depth was actually reached (not truncated by max_depth).
+  EXPECT_GT(tree.num_nodes(), 2000u);
+  EXPECT_EQ(tree.stats().nodes, tree.num_nodes());
+  // The tree still classifies the training points.
+  EXPECT_GT(tree.Leaf({0.0})[0], 0);
+  EXPECT_GT(tree.Leaf({1.0})[1], 0);
+
+  // The binned trainer grows the same pathology without recursion either;
+  // its depth is capped by bin count but the worklist must not blow up.
+  std::vector<uint32_t> all32(all.begin(), all.end());
+  auto binned = BinnedMatrix::Build(x, 256);
+  ASSERT_TRUE(binned.ok());
+  DecisionTree binned_tree;
+  binned_tree.FitBinned(*binned, y, all32, 2, options, /*node_seed_base=*/13);
+  EXPECT_GT(binned_tree.num_nodes(), 100u);
+}
+
 TEST(RandomForestTest, LearnsXor) {
   Rng rng(3);
   std::vector<std::vector<double>> x;
@@ -56,10 +120,41 @@ TEST(RandomForestTest, LearnsXor) {
   RandomForest forest;
   RandomForestOptions options;
   options.num_trees = 30;
-  forest.Fit(x, y, 2, options);
+  ASSERT_TRUE(forest.Fit(x, y, 2, options).ok());
   int correct = 0;
   for (size_t i = 0; i < x.size(); ++i) correct += forest.Predict(x[i]) == y[i];
   EXPECT_GT(correct, static_cast<int>(0.95 * x.size()));
+}
+
+TEST(RandomForestTest, ExactTrainerLearnsXor) {
+  Rng rng(3);
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  MakeXorData(400, &rng, &x, &y);
+  RandomForest forest;
+  RandomForestOptions options;
+  options.num_trees = 30;
+  options.exact_splits = true;
+  ASSERT_TRUE(forest.Fit(x, y, 2, options).ok());
+  int correct = 0;
+  for (size_t i = 0; i < x.size(); ++i) correct += forest.Predict(x[i]) == y[i];
+  EXPECT_GT(correct, static_cast<int>(0.95 * x.size()));
+  EXPECT_EQ(forest.fit_stats().histogram_builds, 0u);
+}
+
+TEST(RandomForestTest, CoarseBinsStillLearn) {
+  Rng rng(21);
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  MakeXorData(400, &rng, &x, &y);
+  RandomForest forest;
+  RandomForestOptions options;
+  options.num_trees = 30;
+  options.max_bins = 16;
+  ASSERT_TRUE(forest.Fit(x, y, 2, options).ok());
+  int correct = 0;
+  for (size_t i = 0; i < x.size(); ++i) correct += forest.Predict(x[i]) == y[i];
+  EXPECT_GT(correct, static_cast<int>(0.9 * x.size()));
 }
 
 TEST(RandomForestTest, ThreeClasses) {
@@ -75,7 +170,7 @@ TEST(RandomForestTest, ThreeClasses) {
   RandomForest forest;
   RandomForestOptions options;
   options.num_trees = 25;
-  forest.Fit(x, y, 3, options);
+  ASSERT_TRUE(forest.Fit(x, y, 3, options).ok());
   int correct = 0;
   for (size_t i = 0; i < x.size(); ++i) correct += forest.Predict(x[i]) == y[i];
   EXPECT_GT(correct, 290);
@@ -95,13 +190,32 @@ TEST(RandomForestTest, DeterministicGivenSeed) {
   options.num_trees = 10;
   options.seed = 99;
   RandomForest a;
-  a.Fit(x, y, 2, options);
+  ASSERT_TRUE(a.Fit(x, y, 2, options).ok());
   RandomForest b;
-  b.Fit(x, y, 2, options);
+  ASSERT_TRUE(b.Fit(x, y, 2, options).ok());
   for (size_t i = 0; i < 50; ++i) {
     EXPECT_EQ(a.Predict(x[i]), b.Predict(x[i]));
     EXPECT_EQ(a.PredictProba(x[i]), b.PredictProba(x[i]));
   }
+  EXPECT_EQ(a.fit_stats().nodes, b.fit_stats().nodes);
+  EXPECT_EQ(a.fit_stats().histogram_builds, b.fit_stats().histogram_builds);
+  EXPECT_EQ(a.fit_stats().histogram_subtractions,
+            b.fit_stats().histogram_subtractions);
+}
+
+TEST(RandomForestTest, SubtractionTrickActuallyFires) {
+  Rng rng(15);
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  MakeXorData(600, &rng, &x, &y);
+  RandomForest forest;
+  RandomForestOptions options;
+  options.num_trees = 10;
+  ASSERT_TRUE(forest.Fit(x, y, 2, options).ok());
+  // Internal (histogram-carrying) nodes outnumber scans: every split's
+  // larger child derives its histogram from parent - sibling.
+  EXPECT_GT(forest.fit_stats().histogram_subtractions, 0u);
+  EXPECT_LT(forest.fit_stats().histogram_builds, forest.fit_stats().nodes);
 }
 
 TEST(RandomForestTest, MinSamplesLeafLimitsDepth) {
@@ -113,7 +227,7 @@ TEST(RandomForestTest, MinSamplesLeafLimitsDepth) {
   coarse.num_trees = 1;
   coarse.min_samples_leaf = 50;
   RandomForest forest;
-  forest.Fit(x, y, 2, coarse);
+  ASSERT_TRUE(forest.Fit(x, y, 2, coarse).ok());
   // With leaves of >= 50 samples, a 100-sample tree has at most 3 nodes.
   EXPECT_EQ(forest.num_trees(), 1u);
 }
@@ -127,10 +241,54 @@ TEST(RandomForestTest, MaxDepthZeroGivesStumps) {
   options.num_trees = 5;
   options.max_depth = 0;
   RandomForest forest;
-  forest.Fit(x, y, 2, options);
+  ASSERT_TRUE(forest.Fit(x, y, 2, options).ok());
   // Depth-0 trees are single leaves: prediction equals the majority class.
   auto proba = forest.PredictProba({0.0, 0.0});
   EXPECT_NEAR(proba[0] + proba[1], 1.0, 1e-9);
+}
+
+TEST(RandomForestTest, RejectsDegenerateInputOnBothTrainers) {
+  // These used to be a release-stripped assert (x[0] on an empty x is UB);
+  // now every caller gets a Status and an empty, harmless forest.
+  for (bool exact : {false, true}) {
+    RandomForestOptions options;
+    options.exact_splits = exact;
+    options.num_trees = 3;
+    RandomForest forest;
+    // Empty training set.
+    EXPECT_FALSE(forest.Fit({}, {}, 2, options).ok()) << "exact=" << exact;
+    EXPECT_EQ(forest.num_trees(), 0u);
+    // Zero-width feature vectors.
+    EXPECT_FALSE(forest.Fit({{}, {}}, {0, 1}, 2, options).ok()) << "exact=" << exact;
+    EXPECT_EQ(forest.num_trees(), 0u);
+    // Ragged rows.
+    EXPECT_FALSE(forest.Fit({{1.0}, {1.0, 2.0}}, {0, 1}, 2, options).ok());
+    // Label/row count mismatch.
+    EXPECT_FALSE(forest.Fit({{1.0}, {2.0}}, {0}, 2, options).ok());
+    // Labels outside [0, num_classes).
+    EXPECT_FALSE(forest.Fit({{1.0}, {2.0}}, {0, 2}, 2, options).ok());
+    EXPECT_FALSE(forest.Fit({{1.0}, {2.0}}, {0, -1}, 2, options).ok());
+    // Degenerate options.
+    options.num_trees = 0;
+    EXPECT_FALSE(forest.Fit({{1.0}, {2.0}}, {0, 1}, 2, options).ok());
+    options.num_trees = 3;
+    // A failed fit leaves no stale trees behind from a previous good fit.
+    ASSERT_TRUE(forest.Fit({{1.0}, {2.0}}, {0, 1}, 2, options).ok());
+    EXPECT_EQ(forest.num_trees(), 3u);
+    EXPECT_FALSE(forest.Fit({}, {}, 2, options).ok());
+    EXPECT_EQ(forest.num_trees(), 0u);
+  }
+  // The histogram trainer also rejects what it cannot quantize.
+  RandomForestOptions options;
+  RandomForest forest;
+  EXPECT_FALSE(
+      forest.Fit({{std::numeric_limits<double>::quiet_NaN()}, {1.0}}, {0, 1}, 2,
+                 options)
+          .ok());
+  options.max_bins = 1;
+  EXPECT_FALSE(forest.Fit({{1.0}, {2.0}}, {0, 1}, 2, options).ok());
+  options.max_bins = 300;
+  EXPECT_FALSE(forest.Fit({{1.0}, {2.0}}, {0, 1}, 2, options).ok());
 }
 
 }  // namespace

@@ -123,9 +123,13 @@ TEST_F(ParallelDeterminismTest, MutexIndexIsThreadCountInvariant) {
 }
 
 TEST_F(ParallelDeterminismTest, RandomForestFitIsThreadCountInvariant) {
-  // Training data comes from the shared KB; the forest's per-tree RNG
-  // streams are seeded by tree index, so fitting at any thread count must
-  // give bit-identical probabilities.
+  // Training data comes from the shared KB. Both trainers must be
+  // thread-count invariant: the exact trainer parallelizes only across
+  // trees (per-tree RNG streams seeded by tree index); the binned trainer
+  // additionally parallelizes *inside* each tree (per-feature histogram
+  // scans, per-pair frontier work, per-node RNG streams seeded by
+  // deterministically assigned node ids). Either way, fitting at any
+  // thread count must give bit-identical probabilities.
   MutexIndex mutex(*kb_, scope_.size());
   ScoreCache scores(kb_, RankModel::kRandomWalk);
   scores.Warm(scope_);
@@ -141,20 +145,36 @@ TEST_F(ParallelDeterminismTest, RandomForestFitIsThreadCountInvariant) {
   }
   ASSERT_GT(x.size(), 10u);
 
-  std::vector<std::vector<double>> baseline;
-  for (int threads : kThreadCounts) {
-    SetGlobalThreadCount(threads);
-    RandomForest forest;
-    RandomForestOptions options;
-    options.num_trees = 40;
-    forest.Fit(x, y, 3, options);
-    std::vector<std::vector<double>> proba;
-    for (const auto& point : x) proba.push_back(forest.PredictProba(point));
-    if (baseline.empty()) {
-      baseline = std::move(proba);
-      continue;
+  for (bool exact : {false, true}) {
+    std::vector<std::vector<double>> baseline;
+    RandomForest::FitStats baseline_stats{};
+    for (int threads : kThreadCounts) {
+      SetGlobalThreadCount(threads);
+      RandomForest forest;
+      RandomForestOptions options;
+      options.num_trees = 40;
+      options.exact_splits = exact;
+      ASSERT_TRUE(forest.Fit(x, y, 3, options).ok());
+      std::vector<std::vector<double>> proba;
+      for (const auto& point : x) proba.push_back(forest.PredictProba(point));
+      if (baseline.empty()) {
+        baseline = std::move(proba);
+        baseline_stats = forest.fit_stats();
+        continue;
+      }
+      EXPECT_EQ(proba, baseline) << "exact=" << exact << " threads " << threads;
+      // Structural stats (node/histogram counts) are part of the contract
+      // too: a forest that predicts identically but was built differently
+      // would still break checkpoint byte-identity.
+      EXPECT_EQ(forest.fit_stats().nodes, baseline_stats.nodes)
+          << "exact=" << exact << " threads " << threads;
+      EXPECT_EQ(forest.fit_stats().histogram_builds,
+                baseline_stats.histogram_builds)
+          << "exact=" << exact << " threads " << threads;
+      EXPECT_EQ(forest.fit_stats().histogram_subtractions,
+                baseline_stats.histogram_subtractions)
+          << "exact=" << exact << " threads " << threads;
     }
-    EXPECT_EQ(proba, baseline) << "threads " << threads;
   }
 }
 

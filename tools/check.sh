@@ -122,7 +122,8 @@ ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
 echo "== TSan: concurrency tests =="
 TSAN_TARGETS=(thread_pool_test parallel_determinism_test supervisor_test
-  serve_batcher_test serve_hotswap_test obs_test)
+  serve_batcher_test serve_hotswap_test obs_test ml_forest_test
+  forest_differential_test)
 cmake -B build-tsan -S . -DSEMDRIFT_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-tsan -j "$JOBS" --target "${TSAN_TARGETS[@]}"
