@@ -59,8 +59,46 @@ std::vector<InstanceId> SampleList(const World& world, ConceptId c, int count,
 
 }  // namespace
 
+Status ValidateCorpusSpec(const CorpusSpec& spec) {
+  auto probability = [](double v, const char* field) {
+    if (!(v >= 0.0 && v <= 1.0)) {  // NaN fails both comparisons.
+      return Status::InvalidArgument(std::string("CorpusSpec.") + field +
+                                     " must be in [0, 1]");
+    }
+    return Status::OK();
+  };
+  if (spec.num_sentences < 0) {
+    return Status::InvalidArgument("CorpusSpec.num_sentences must be >= 0");
+  }
+  if (Status s = probability(spec.frac_ambiguous, "frac_ambiguous"); !s.ok()) return s;
+  if (Status s = probability(spec.polyseme_link_prob, "polyseme_link_prob"); !s.ok()) return s;
+  if (Status s = probability(spec.misparse_rate, "misparse_rate"); !s.ok()) return s;
+  if (Status s = probability(spec.misparse_late_frac, "misparse_late_frac"); !s.ok()) return s;
+  if (Status s = probability(spec.wrongfact_rate, "wrongfact_rate"); !s.ok()) return s;
+  if (Status s = probability(spec.ambiguous_uniform_prob, "ambiguous_uniform_prob"); !s.ok()) return s;
+  if (Status s = probability(spec.other_than_prob, "other_than_prob"); !s.ok()) return s;
+  if (spec.min_list < 1) {
+    return Status::InvalidArgument("CorpusSpec.min_list must be >= 1");
+  }
+  if (spec.max_list < spec.min_list) {
+    return Status::InvalidArgument("CorpusSpec.max_list must be >= min_list");
+  }
+  if (!std::isfinite(spec.concept_zipf) || spec.concept_zipf < 0.0) {
+    return Status::InvalidArgument(
+        "CorpusSpec.concept_zipf must be finite and >= 0");
+  }
+  return Status::OK();
+}
+
+Result<Corpus> GenerateCorpusChecked(const World& world, const CorpusSpec& spec,
+                                     Rng* rng) {
+  Status valid = ValidateCorpusSpec(spec);
+  if (!valid.ok()) return valid;
+  return GenerateCorpus(world, spec, rng);
+}
+
 Corpus GenerateCorpus(const World& world, const CorpusSpec& spec, Rng* rng) {
-  assert(spec.min_list >= 1 && spec.max_list >= spec.min_list);
+  assert(ValidateCorpusSpec(spec).ok());
   Corpus corpus;
   SentenceRenderer renderer(&world);
 
@@ -113,11 +151,22 @@ Corpus GenerateCorpus(const World& world, const CorpusSpec& spec, Rng* rng) {
       // sentence — the paper's "(cat isA dog)" channel.
       const auto& confusables = world.Confusables(head);
       if (confusables.empty()) continue;
-      ConceptId excluded = confusables[rng->NextBounded(confusables.size())];
+      size_t ex_idx = rng->NextBounded(confusables.size());
+      ConceptId excluded = confusables[ex_idx];
       std::vector<InstanceId> list = SampleList(
           world, head, std::min(list_len, 2), ListSampling::kTail, InstanceId(), rng);
       Sentence s;
-      s.candidate_concepts = {excluded};  // The wrong commitment.
+      if (spec.misparse_late_frac > 0.0 && confusables.size() >= 2 &&
+          rng->NextBool(spec.misparse_late_frac)) {
+        // Late-burst variant: two wrong candidates leave the attachment to
+        // later KB-disambiguated iterations, so the false pairs land as a
+        // late noise epoch instead of iteration-1 support-1 singletons.
+        size_t other_idx = rng->NextBounded(confusables.size() - 1);
+        if (other_idx >= ex_idx) ++other_idx;
+        s.candidate_concepts = {excluded, confusables[other_idx]};
+      } else {
+        s.candidate_concepts = {excluded};  // The wrong commitment.
+      }
       s.candidate_instances = list;
       if (spec.render_text) s.text = renderer.RenderOtherThan(head, excluded, list, rng);
       emit(std::move(s), SentenceKind::kMisparse, head);

@@ -48,6 +48,12 @@ struct CorpusSpec {
   /// Of all sentences: ambiguous sentences whose parse wrongly commits to
   /// the adjacent concept (accidental-DP source #1).
   double misparse_rate = 0.01;
+  /// Fraction of misparse sentences emitted with *two* wrong candidate
+  /// concepts instead of one committed wrong concept. Single-candidate
+  /// misparses are consumed in iteration 1; two-candidate ones defer to
+  /// later iterations where the KB disambiguates — so their false pairs
+  /// arrive as a late burst-noise epoch rather than early i.i.d. noise.
+  double misparse_late_frac = 0.0;
   /// Of all sentences: unambiguous sentences carrying one false fact
   /// (accidental-DP source #2).
   double wrongfact_rate = 0.01;
@@ -87,6 +93,15 @@ struct Corpus {
 ///  * misparse and wrong-fact sentences inject support-1 false pairs, the
 ///    Accidental-DP channel.
 Corpus GenerateCorpus(const World& world, const CorpusSpec& spec, Rng* rng);
+
+/// Rejects degenerate specs (negative sentence budget, inverted list-length
+/// ranges, out-of-range probabilities) with kInvalidArgument naming the
+/// offending field; GenerateCorpus on an invalid spec is UB.
+Status ValidateCorpusSpec(const CorpusSpec& spec);
+
+/// Validating wrapper: ValidateCorpusSpec then GenerateCorpus.
+Result<Corpus> GenerateCorpusChecked(const World& world, const CorpusSpec& spec,
+                                     Rng* rng);
 
 }  // namespace semdrift
 

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "text/morphology.h"
+
 namespace semdrift {
 
 ConceptId World::FindConcept(std::string_view name) const {
@@ -140,8 +142,61 @@ double ZipfWeight(size_t rank, double exponent) {
 
 }  // namespace
 
+Status ValidateWorldSpec(const WorldSpec& spec) {
+  auto probability = [](double v, const char* field) {
+    if (!(v >= 0.0 && v <= 1.0)) {  // NaN fails both comparisons.
+      return Status::InvalidArgument(std::string("WorldSpec.") + field +
+                                     " must be in [0, 1]");
+    }
+    return Status::OK();
+  };
+  if (spec.num_concepts < 1) {
+    return Status::InvalidArgument("WorldSpec.num_concepts must be >= 1");
+  }
+  if (spec.min_instances < 1) {
+    return Status::InvalidArgument("WorldSpec.min_instances must be >= 1");
+  }
+  if (spec.max_instances < spec.min_instances) {
+    return Status::InvalidArgument(
+        "WorldSpec.max_instances must be >= min_instances");
+  }
+  if (!std::isfinite(spec.popularity_zipf) || spec.popularity_zipf < 0.0) {
+    return Status::InvalidArgument(
+        "WorldSpec.popularity_zipf must be finite and >= 0");
+  }
+  if (Status s = probability(spec.polysemy_rate, "polysemy_rate"); !s.ok()) return s;
+  if (Status s = probability(spec.similar_twin_rate, "similar_twin_rate"); !s.ok()) return s;
+  if (Status s = probability(spec.twin_overlap, "twin_overlap"); !s.ok()) return s;
+  if (Status s = probability(spec.verified_fraction, "verified_fraction"); !s.ok()) return s;
+  if (Status s = probability(spec.morph_variant_rate, "morph_variant_rate"); !s.ok()) return s;
+  if (spec.min_confusables < 0) {
+    return Status::InvalidArgument("WorldSpec.min_confusables must be >= 0");
+  }
+  if (spec.max_confusables < spec.min_confusables) {
+    return Status::InvalidArgument(
+        "WorldSpec.max_confusables must be >= min_confusables");
+  }
+  std::unordered_set<std::string> seen;
+  for (const std::string& name : spec.named_concepts) {
+    if (name.empty()) {
+      return Status::InvalidArgument("WorldSpec.named_concepts has an empty name");
+    }
+    if (!seen.insert(name).second) {
+      return Status::InvalidArgument("WorldSpec.named_concepts duplicates \"" +
+                                     name + "\"");
+    }
+  }
+  return Status::OK();
+}
+
+Result<World> GenerateWorldChecked(const WorldSpec& spec, Rng* rng) {
+  Status valid = ValidateWorldSpec(spec);
+  if (!valid.ok()) return valid;
+  return GenerateWorld(spec, rng);
+}
+
 World GenerateWorld(const WorldSpec& spec, Rng* rng) {
-  assert(spec.num_concepts >= 1);
+  assert(ValidateWorldSpec(spec).ok());
   World::Builder builder;
   NameGenerator names(rng);
 
@@ -154,13 +209,29 @@ World GenerateWorld(const WorldSpec& spec, Rng* rng) {
   std::unordered_set<std::string> used_names(spec.named_concepts.begin(),
                                              spec.named_concepts.end());
   std::unordered_set<std::string> used_instance_names;
+  std::vector<std::string> instance_names;  // insertion-ordered for rng picks
   std::unordered_set<IsAPair, IsAPairHash> memberships;
 
   auto new_instance_name = [&]() {
+    // Morphology-heavy worlds mint some names as pluralized variants of
+    // earlier ones ("bakon"/"bakons" as distinct instances). The branch
+    // consumes no rng draws at rate 0 so legacy seeds are unchanged.
+    if (spec.morph_variant_rate > 0.0 && !instance_names.empty() &&
+        rng->NextBool(spec.morph_variant_rate)) {
+      const std::string& base =
+          instance_names[rng->NextBounded(instance_names.size())];
+      std::string variant = Pluralize(base);
+      if (used_instance_names.insert(variant).second) {
+        instance_names.push_back(variant);
+        return variant;
+      }
+      // Variant already taken (re-pluralized or clashing) — fresh word below.
+    }
     std::string name;
     do {
       name = names.NewWord(2, 4);
     } while (!used_instance_names.insert(name).second);
+    instance_names.push_back(name);
     return name;
   };
 

@@ -10,6 +10,7 @@
 #include "text/ids.h"
 #include "text/vocab.h"
 #include "util/rng.h"
+#include "util/status.h"
 
 namespace semdrift {
 
@@ -194,6 +195,12 @@ struct WorldSpec {
   int max_confusables = 5;
   /// Fraction of true memberships present in the verified source.
   double verified_fraction = 0.25;
+  /// Fraction of generated instance names that are morphological variants
+  /// (pluralized forms) of an earlier instance's name instead of fresh
+  /// pseudo-words. "bakon" and "bakons" become *distinct* instances whose
+  /// surface forms differ only in number — hostile to vocabulary lookup,
+  /// similarity scoring and serialization round-trips.
+  double morph_variant_rate = 0.0;
   /// Concept names to assign to the first concepts (e.g. the paper's 20
   /// evaluation concepts); the remainder get generated pseudo-word names.
   std::vector<std::string> named_concepts;
@@ -203,8 +210,18 @@ struct WorldSpec {
 /// WorldSpec::named_concepts.
 std::vector<std::string> PaperEvaluationConcepts();
 
+/// Rejects degenerate specs (zero concepts, inverted instance ranges,
+/// out-of-range probabilities, duplicate named concepts) with a
+/// kInvalidArgument naming the offending field. The scenario grammar hits
+/// these corners constantly; GenerateWorld on an invalid spec is UB.
+Status ValidateWorldSpec(const WorldSpec& spec);
+
 /// Builds a random world from the spec. Deterministic in (*rng) state.
+/// Precondition: ValidateWorldSpec(spec).ok().
 World GenerateWorld(const WorldSpec& spec, Rng* rng);
+
+/// Validating wrapper: ValidateWorldSpec then GenerateWorld.
+Result<World> GenerateWorldChecked(const WorldSpec& spec, Rng* rng);
 
 }  // namespace semdrift
 

@@ -36,6 +36,13 @@ std::unique_ptr<Experiment> Experiment::Build(const ExperimentConfig& config) {
       new Experiment(config, std::move(world), std::move(corpus)));
 }
 
+Result<std::unique_ptr<Experiment>> Experiment::BuildChecked(
+    const ExperimentConfig& config) {
+  if (Status s = ValidateWorldSpec(config.world); !s.ok()) return s;
+  if (Status s = ValidateCorpusSpec(config.corpus); !s.ok()) return s;
+  return Build(config);
+}
+
 KnowledgeBase Experiment::Extract(
     std::vector<IterationStats>* stats,
     const std::function<void(const IterationStats&, const KnowledgeBase&)>&

@@ -102,6 +102,12 @@ class Experiment {
   /// the corpus borrow the world.
   static std::unique_ptr<Experiment> Build(const ExperimentConfig& config);
 
+  /// Validating variant for untrusted configs (the scenario grammar and TOML
+  /// files): rejects degenerate world/corpus specs with kInvalidArgument
+  /// instead of tripping generator asserts.
+  static Result<std::unique_ptr<Experiment>> BuildChecked(
+      const ExperimentConfig& config);
+
   Experiment(const Experiment&) = delete;
   Experiment& operator=(const Experiment&) = delete;
 

@@ -7,10 +7,12 @@ namespace semdrift {
 Prf Prf::FromCounts(size_t true_positives, size_t predicted_positives,
                     size_t actual_positives) {
   Prf out;
-  out.precision = predicted_positives > 0
+  out.precision_defined = predicted_positives > 0;
+  out.precision = out.precision_defined
                       ? static_cast<double>(true_positives) / predicted_positives
                       : 0.0;
-  out.recall = actual_positives > 0
+  out.recall_defined = actual_positives > 0;
+  out.recall = out.recall_defined
                    ? static_cast<double>(true_positives) / actual_positives
                    : 0.0;
   out.f1 = (out.precision + out.recall) > 0.0
@@ -41,12 +43,16 @@ CleaningMetrics EvaluateCleaning(
       if (correct) ++remaining_correct;
     }
   }
-  m.perror = m.removed > 0 ? static_cast<double>(removed_errors) / m.removed : 0.0;
+  m.perror_defined = m.removed > 0;
+  m.perror = m.perror_defined ? static_cast<double>(removed_errors) / m.removed : 0.0;
+  m.rerror_defined = m.total_errors > 0;
   m.rerror =
-      m.total_errors > 0 ? static_cast<double>(removed_errors) / m.total_errors : 0.0;
+      m.rerror_defined ? static_cast<double>(removed_errors) / m.total_errors : 0.0;
+  m.pcorr_defined = m.remaining > 0;
   m.pcorr =
-      m.remaining > 0 ? static_cast<double>(remaining_correct) / m.remaining : 0.0;
-  m.rcorr = m.total_correct > 0
+      m.pcorr_defined ? static_cast<double>(remaining_correct) / m.remaining : 0.0;
+  m.rcorr_defined = m.total_correct > 0;
+  m.rcorr = m.rcorr_defined
                 ? static_cast<double>(remaining_correct) / m.total_correct
                 : 0.0;
   return m;
@@ -63,6 +69,12 @@ std::vector<IsAPair> LivePairsOf(const KnowledgeBase& kb,
 
 double LivePairPrecision(const GroundTruth& truth, const KnowledgeBase& kb,
                          const std::vector<ConceptId>& scope) {
+  return LivePairPrecisionSample(truth, kb, scope).value;
+}
+
+PrecisionSample LivePairPrecisionSample(const GroundTruth& truth,
+                                        const KnowledgeBase& kb,
+                                        const std::vector<ConceptId>& scope) {
   size_t total = 0;
   size_t correct = 0;
   for (ConceptId c : scope) {
@@ -71,7 +83,11 @@ double LivePairPrecision(const GroundTruth& truth, const KnowledgeBase& kb,
       if (truth.PairCorrect(IsAPair{c, e})) ++correct;
     }
   }
-  return total > 0 ? static_cast<double>(correct) / total : 0.0;
+  PrecisionSample out;
+  out.pairs = total;
+  out.defined = total > 0;
+  out.value = out.defined ? static_cast<double>(correct) / total : 0.0;
+  return out;
 }
 
 Prf DetectionPrf(const std::vector<DpClass>& predicted,

@@ -10,11 +10,16 @@
 
 namespace semdrift {
 
-/// Precision / recall / F1 triple.
+/// Precision / recall / F1 triple. A zero denominator (no predictions, no
+/// actual positives) yields 0.0 with the matching `_defined` flag cleared —
+/// never NaN — so harnesses ranking runs by these numbers can distinguish
+/// "measured 0" from "nothing to measure".
 struct Prf {
   double precision = 0.0;
   double recall = 0.0;
   double f1 = 0.0;
+  bool precision_defined = false;
+  bool recall_defined = false;
 
   static Prf FromCounts(size_t true_positives, size_t predicted_positives,
                         size_t actual_positives);
@@ -34,6 +39,13 @@ struct CleaningMetrics {
   size_t remaining = 0;
   size_t total_errors = 0;
   size_t total_correct = 0;
+  /// Each ratio above is 0.0 with its flag cleared when the denominator is
+  /// empty (nothing removed / no errors / nothing remaining / nothing
+  /// correct) — an empty-population evaluation is all-undefined, not NaN.
+  bool perror_defined = false;
+  bool rerror_defined = false;
+  bool pcorr_defined = false;
+  bool rcorr_defined = false;
 };
 
 /// Evaluates a removal set against the pre-cleaning live pair population
@@ -50,6 +62,18 @@ std::vector<IsAPair> LivePairsOf(const KnowledgeBase& kb,
 /// facts) — the y-axis of Fig. 5(a).
 double LivePairPrecision(const GroundTruth& truth, const KnowledgeBase& kb,
                          const std::vector<ConceptId>& scope);
+
+/// LivePairPrecision with its denominator: `defined` is false (and value
+/// 0.0) when the scope holds no live pairs at all — a cleaner that empties
+/// the KB has no precision, not a perfect or zero one.
+struct PrecisionSample {
+  double value = 0.0;
+  size_t pairs = 0;
+  bool defined = false;
+};
+PrecisionSample LivePairPrecisionSample(const GroundTruth& truth,
+                                        const KnowledgeBase& kb,
+                                        const std::vector<ConceptId>& scope);
 
 /// Binary DP-detection precision/recall/F1: positives are DPs (either
 /// type). `predicted` and `actual` are parallel per-instance label arrays.

@@ -1,0 +1,153 @@
+#include "scenario/grammar.h"
+
+#include <algorithm>
+#include <initializer_list>
+
+#include "util/rng.h"
+
+namespace semdrift {
+namespace scenario {
+
+namespace {
+
+/// All grammar draws pick from explicit grids (multiples of the shrinker's
+/// steps) rather than continuous ranges: a sampled scenario and its
+/// minimized form then live in the same value space.
+double Pick(Rng* rng, std::initializer_list<double> grid) {
+  return grid.begin()[rng->NextBounded(grid.size())];
+}
+
+int PickInt(Rng* rng, std::initializer_list<int> grid) {
+  return grid.begin()[rng->NextBounded(grid.size())];
+}
+
+/// Small worlds and thin corpora: a hunt runs hundreds of these, and small
+/// inputs are the shrunk counterexamples. Coverage stays thin (the drift
+/// driver) because sentence budgets scale with the concept count.
+void SampleBase(Rng* rng, Scenario* s) {
+  s->world.num_concepts = PickInt(rng, {12, 16, 24, 32, 48});
+  s->world.min_instances = PickInt(rng, {2, 3, 4});
+  s->world.max_instances =
+      s->world.min_instances + PickInt(rng, {8, 16, 24, 40});
+  s->world.popularity_zipf = Pick(rng, {0.8, 1.0, 1.3, 1.6});
+  s->world.polysemy_rate = Pick(rng, {0.1, 0.2, 0.3});
+  s->world.similar_twin_rate = Pick(rng, {0.0, 0.05, 0.1});
+  s->world.twin_overlap = Pick(rng, {0.6, 0.7, 0.8});
+  s->world.min_confusables = 2;
+  s->world.max_confusables = PickInt(rng, {3, 4, 5});
+  s->world.verified_fraction = Pick(rng, {0.1, 0.25, 0.4});
+  s->corpus.num_sentences = PickInt(rng, {800, 1200, 2000, 3000});
+  s->corpus.frac_ambiguous = Pick(rng, {0.5, 0.6, 0.7});
+  s->corpus.polyseme_link_prob = Pick(rng, {0.6, 0.75, 0.9});
+  s->corpus.misparse_rate = Pick(rng, {0.0, 0.02, 0.04});
+  s->corpus.wrongfact_rate = Pick(rng, {0.0, 0.02, 0.04});
+  s->corpus.concept_zipf = Pick(rng, {0.4, 0.6, 0.8});
+  s->pipeline.max_iterations = PickInt(rng, {6, 8, 12});
+  s->pipeline.max_rounds = PickInt(rng, {2, 4, 6});
+  s->pipeline.frequency_threshold_k = PickInt(rng, {2, 3, 4});
+}
+
+void ApplyDpDense(Rng* rng, Scenario* s) {
+  s->world.polysemy_rate = Pick(rng, {0.6, 0.75, 0.9});
+  s->world.min_confusables = 3;
+  s->world.max_confusables = PickInt(rng, {5, 6});
+  s->corpus.frac_ambiguous = Pick(rng, {0.7, 0.8, 0.9});
+  s->corpus.polyseme_link_prob = Pick(rng, {0.85, 0.95, 1.0});
+  s->corpus.ambiguous_uniform_prob = Pick(rng, {0.95, 1.0});
+}
+
+void ApplyMutexChain(Rng* rng, Scenario* s) {
+  s->world.num_concepts = PickInt(rng, {32, 48, 64});
+  s->world.similar_twin_rate = 0.0;
+  s->world.min_confusables = PickInt(rng, {4, 5});
+  s->world.max_confusables = s->world.min_confusables + 2;
+  s->pipeline.mutex_threshold = Pick(rng, {0.2, 0.3, 0.4});
+  s->pipeline.similar_threshold =
+      std::max(s->pipeline.mutex_threshold + 0.1, 0.5);
+  s->pipeline.min_core_instances = PickInt(rng, {1, 2});
+}
+
+void ApplyTwinStraddle(Rng* rng, Scenario* s) {
+  s->world.similar_twin_rate = Pick(rng, {0.3, 0.45, 0.6});
+  s->pipeline.similar_threshold = Pick(rng, {0.4, 0.5, 0.6});
+  // Overlap straddling the highly-similar band: the twin's core cosine
+  // lands just above or just below the closure threshold.
+  double delta = Pick(rng, {-0.1, -0.05, 0.0, 0.05, 0.1});
+  s->world.twin_overlap =
+      std::clamp(s->pipeline.similar_threshold + delta, 0.3, 0.9);
+  s->pipeline.min_core_instances = PickInt(rng, {2, 3});
+}
+
+void ApplyBurstNoise(Rng* rng, Scenario* s) {
+  s->corpus.misparse_rate = Pick(rng, {0.05, 0.1, 0.15, 0.2});
+  s->corpus.misparse_late_frac = Pick(rng, {0.6, 0.8, 1.0});
+  s->corpus.wrongfact_rate = Pick(rng, {0.05, 0.1, 0.15});
+  s->pipeline.eq21_gate_accidental = rng->NextBool(0.5);
+}
+
+void ApplyMorphology(Rng* rng, Scenario* s) {
+  s->world.morph_variant_rate = Pick(rng, {0.3, 0.5, 0.7});
+  s->corpus.render_text = true;
+  s->pipeline.serialize_roundtrip = true;
+}
+
+void ApplyFaultOverlay(Rng* rng, Scenario* s) {
+  s->faults.rate = Pick(rng, {0.1, 0.25, 0.5});
+  s->faults.seed = rng->Next();
+  // Stall is left to hand-written scenarios: each stall attempt costs a
+  // full stage deadline of wall clock, which a hunt cannot afford.
+  static const char* kKinds[] = {"throw", "nan"};
+  s->faults.kinds = {kKinds[rng->NextBounded(2)]};
+  static const char* kStages[] = {"warm", "collect", "score"};
+  s->faults.stages = {kStages[rng->NextBounded(3)]};
+  s->faults.transient_attempts = PickInt(rng, {0, 2});
+  s->faults.max_retries = PickInt(rng, {0, 1, 2});
+}
+
+}  // namespace
+
+std::vector<std::string> ScenarioArchetypes() {
+  return {"dp-dense",   "mutex-chain", "twin-straddle", "burst-noise",
+          "morphology", "fault-overlay", "kitchen-sink"};
+}
+
+Scenario SampleScenario(uint64_t seed, const std::string& archetype) {
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0xadf7);
+  Scenario s;
+  s.seed = seed;
+  s.archetype = archetype;
+  s.name = archetype + "-s" + std::to_string(seed);
+  s.paper_named_concepts = false;
+  s.num_eval_concepts = 8;
+  SampleBase(&rng, &s);
+  if (archetype == "dp-dense") {
+    ApplyDpDense(&rng, &s);
+  } else if (archetype == "mutex-chain") {
+    ApplyMutexChain(&rng, &s);
+  } else if (archetype == "twin-straddle") {
+    ApplyTwinStraddle(&rng, &s);
+  } else if (archetype == "burst-noise") {
+    ApplyBurstNoise(&rng, &s);
+  } else if (archetype == "morphology") {
+    ApplyMorphology(&rng, &s);
+  } else if (archetype == "fault-overlay") {
+    ApplyFaultOverlay(&rng, &s);
+  } else if (archetype == "kitchen-sink") {
+    ApplyDpDense(&rng, &s);
+    ApplyBurstNoise(&rng, &s);
+    if (rng.NextBool(0.5)) ApplyMorphology(&rng, &s);
+    if (rng.NextBool(0.5)) ApplyFaultOverlay(&rng, &s);
+  }
+  return s;
+}
+
+Scenario SampleScenario(uint64_t seed) {
+  std::vector<std::string> archetypes = ScenarioArchetypes();
+  // The archetype draw uses its own stream so the per-archetype overload
+  // with the same seed samples identical remaining dimensions.
+  Rng pick(seed * 0x2545f4914f6cdd1dULL + 0x5ce7);
+  return SampleScenario(seed, archetypes[pick.NextBounded(archetypes.size())]);
+}
+
+}  // namespace scenario
+}  // namespace semdrift

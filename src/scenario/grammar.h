@@ -1,0 +1,48 @@
+#ifndef SEMDRIFT_SCENARIO_GRAMMAR_H_
+#define SEMDRIFT_SCENARIO_GRAMMAR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.h"
+
+namespace semdrift {
+namespace scenario {
+
+/// The scenario grammar: a typed parameter tree sampled archetype-first.
+/// Each archetype aims one of the paper's drift mechanisms at the pipeline:
+///
+///   dp-dense      — every popular instance polysemous, ambiguous sentences
+///                   dominant: the Intentional-DP channel at saturation.
+///   mutex-chain   — many confusable partners per concept and a raised
+///                   mutex band: long chains of mutually-exclusive concepts
+///                   sharing drifted instances (feature f2 under stress).
+///   twin-straddle — heavy twin rates with overlap straddling the
+///                   highly-similar threshold: near-duplicate concepts the
+///                   similarity closure may or may not merge.
+///   burst-noise   — misparse/wrong-fact noise arriving as a *late* epoch
+///                   (two-candidate misparses defer to KB disambiguation)
+///                   instead of iteration-1 singletons.
+///   morphology    — instance names that are pluralized variants of each
+///                   other, with a serialize-reload-reserialize gate.
+///   fault-overlay — a friendly-ish world under a ComputeFaultPlan overlay:
+///                   quarantine/degradation interacting with cleaning.
+///   kitchen-sink  — several of the above at once.
+///
+/// Every sampled value lives on the shrinker's benign+k*step grid, so a
+/// minimized scenario is expressible in the same grammar.
+std::vector<std::string> ScenarioArchetypes();
+
+/// Samples a scenario; the archetype is drawn from the seed too. Pure
+/// function of the seed — same seed, same scenario, any platform, any
+/// thread count.
+Scenario SampleScenario(uint64_t seed);
+
+/// Samples within a fixed archetype (must be one of ScenarioArchetypes()).
+Scenario SampleScenario(uint64_t seed, const std::string& archetype);
+
+}  // namespace scenario
+}  // namespace semdrift
+
+#endif  // SEMDRIFT_SCENARIO_GRAMMAR_H_

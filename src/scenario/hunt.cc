@@ -1,0 +1,134 @@
+#include "scenario/hunt.h"
+
+#include <algorithm>
+
+#include "scenario/grammar.h"
+#include "util/string_util.h"
+
+namespace semdrift {
+namespace scenario {
+
+namespace {
+
+void Log(const HuntOptions& options, const std::string& line) {
+  if (options.log) options.log(line);
+}
+
+std::string DescribeFailure(const std::string& failure_class,
+                            const ScenarioMetrics& m,
+                            const HuntOptions& options) {
+  if (failure_class == "invariant") return "invariant break";
+  if (failure_class == "precision-collapse") {
+    return "precision_after=" + FormatDouble(m.precision_after, 3) +
+           " below floor " + FormatDouble(options.precision_floor, 3) + " (" +
+           std::to_string(m.live_pairs_after) + " live pairs)";
+  }
+  return "cleaning dropped precision " + FormatDouble(m.precision_before, 3) +
+         " -> " + FormatDouble(m.precision_after, 3) + " (margin " +
+         FormatDouble(options.regression_margin, 3) + ")";
+}
+
+}  // namespace
+
+std::string ClassifyFailure(const ScenarioOutcome& outcome,
+                            const HuntOptions& options) {
+  const ScenarioMetrics& m = outcome.metrics;
+  if (outcome.invariant_failure) return "invariant";
+  if (m.rounds >= 1 &&
+      m.records_rolled_back >= options.min_rolled_back_for_collapse &&
+      m.precision_after_defined &&
+      m.live_pairs_after >= options.min_pairs_for_collapse &&
+      m.precision_after < options.precision_floor) {
+    return "precision-collapse";
+  }
+  if (m.precision_before_defined && m.precision_after_defined &&
+      m.precision_after < m.precision_before - options.regression_margin) {
+    return "cleaning-regression";
+  }
+  return "";
+}
+
+void PinEnvelope(Scenario* s, const ScenarioMetrics& m) {
+  ScenarioEnvelope e;
+  if (m.precision_before_defined) {
+    e.min_precision_before = std::max(0.0, m.precision_before - 0.05);
+  }
+  if (m.precision_after_defined) {
+    e.min_precision_after = std::max(0.0, m.precision_after - 0.05);
+    e.max_precision_after = std::min(1.0, m.precision_after + 0.05);
+  }
+  if (m.cleaning.pcorr_defined) {
+    e.min_pcorr = std::max(0.0, m.cleaning.pcorr - 0.05);
+  }
+  // Counts are deterministic; the slack only guards against platform noise.
+  e.min_live_pairs_after =
+      static_cast<int64_t>(m.live_pairs_after - m.live_pairs_after / 5);
+  e.max_rounds = m.rounds;
+  e.max_records_rolled_back =
+      static_cast<int64_t>(m.records_rolled_back + m.records_rolled_back / 5);
+  e.max_quarantined = static_cast<int64_t>(m.quarantined);
+  s->envelope = e;
+}
+
+Result<HuntReport> RunHunt(const HuntOptions& options) {
+  HuntReport report;
+  for (int i = 0; i < options.num_samples; ++i) {
+    const uint64_t sample_seed = options.seed + static_cast<uint64_t>(i);
+    Scenario sample = options.archetype.empty()
+                          ? SampleScenario(sample_seed)
+                          : SampleScenario(sample_seed, options.archetype);
+    auto outcome = RunScenario(sample);
+    ++report.samples_run;
+    if (!outcome.ok()) {
+      // A sampled scenario failing validation is a grammar bug — surface it.
+      return Status::Internal("hunt: sample seed " +
+                              std::to_string(sample_seed) + " unusable: " +
+                              std::string(outcome.status().message()));
+    }
+    const std::string failure_class = ClassifyFailure(*outcome, options);
+    Log(options, sample.name + ": " + FormatMetricsLine(outcome->metrics) +
+                     (failure_class.empty() ? "" : "  [" + failure_class + "]"));
+    if (failure_class.empty()) continue;
+
+    HuntFinding finding;
+    finding.sample_seed = sample_seed;
+    finding.failure_class = failure_class;
+    finding.scenario = sample;
+    finding.metrics = outcome->metrics;
+    const std::string pre_shrink =
+        DescribeFailure(failure_class, outcome->metrics, options);
+
+    if (options.shrink) {
+      auto shrunk = ShrinkScenario(
+          sample,
+          [&](const Scenario& candidate) {
+            auto run = RunScenario(candidate);
+            if (!run.ok()) return false;
+            return ClassifyFailure(*run, options) == failure_class;
+          },
+          options.shrink_options);
+      if (!shrunk.ok()) return shrunk.status();
+      finding.scenario = shrunk->scenario;
+      finding.shrink_evaluations = shrunk->evaluations;
+      auto final_run = RunScenario(shrunk->scenario);
+      if (!final_run.ok()) return final_run.status();
+      finding.metrics = final_run->metrics;
+      Log(options, "  shrunk in " + std::to_string(shrunk->evaluations) +
+                       " evals: " + FormatMetricsLine(finding.metrics));
+    }
+
+    finding.summary = failure_class + ": " +
+                      DescribeFailure(failure_class, finding.metrics, options);
+    finding.scenario.notes =
+        "hunter discovery (seed " + std::to_string(sample_seed) +
+        ", archetype " + finding.scenario.archetype + "): pre-shrink " +
+        pre_shrink + "; minimized " +
+        DescribeFailure(failure_class, finding.metrics, options);
+    PinEnvelope(&finding.scenario, finding.metrics);
+    report.findings.push_back(std::move(finding));
+  }
+  return report;
+}
+
+}  // namespace scenario
+}  // namespace semdrift

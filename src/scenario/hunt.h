@@ -1,0 +1,91 @@
+#ifndef SEMDRIFT_SCENARIO_HUNT_H_
+#define SEMDRIFT_SCENARIO_HUNT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "scenario/runner.h"
+#include "scenario/scenario.h"
+#include "scenario/shrink.h"
+
+namespace semdrift {
+namespace scenario {
+
+/// Search configuration. Everything downstream of `seed` is deterministic:
+/// the sample sequence, each run, each shrink — so a hunt with a fixed seed
+/// reproduces the same minimized scenarios byte-for-byte at any thread
+/// count.
+struct HuntOptions {
+  uint64_t seed = 1;
+  int num_samples = 50;
+  /// Restrict sampling to one grammar archetype; empty draws the archetype
+  /// per sample from its own seed stream.
+  std::string archetype;
+  /// A run where cleaning engaged — executed at least one round and rolled
+  /// back at least `min_rolled_back_for_collapse` records — yet left a
+  /// defined post-cleaning precision below this floor (backed by at least
+  /// `min_pairs_for_collapse` live pairs) is flagged as a precision
+  /// collapse. The engagement conditions keep the shrinker from minimizing
+  /// every finding into "noisy extraction, cleaner idle" trivia.
+  double precision_floor = 0.55;
+  size_t min_pairs_for_collapse = 20;
+  size_t min_rolled_back_for_collapse = 1;
+  /// A run where cleaning *lowered* precision by more than this margin is
+  /// flagged as a cleaning regression even above the floor.
+  double regression_margin = 0.2;
+  /// Minimize each finding before reporting it.
+  bool shrink = true;
+  ShrinkOptions shrink_options;
+  /// Progress sink (one line per sample / shrink); null discards.
+  std::function<void(const std::string&)> log;
+};
+
+/// Failure classes, from most to least severe. The shrinker's predicate is
+/// "the same class reproduces", so a minimized scenario demonstrates the
+/// class it was filed under, not merely any failure.
+///   "invariant"           — KnowledgeBase::Validate or the serialize
+///                           round-trip broke;
+///   "precision-collapse"  — cleaned precision fell below the floor;
+///   "cleaning-regression" — cleaning reduced precision by more than the
+///                           margin.
+/// Empty string = the run is unremarkable.
+std::string ClassifyFailure(const ScenarioOutcome& outcome,
+                            const HuntOptions& options);
+
+/// Pins a replay envelope around measured metrics: tight precision bands
+/// (±0.05) and count ceilings with a small slack. A checked-in hunter
+/// discovery then *passes* replay — the envelope records the collapsed
+/// behavior; the discovery story lives in the scenario's notes.
+void PinEnvelope(Scenario* s, const ScenarioMetrics& m);
+
+struct HuntFinding {
+  /// Minimized scenario (raw sample when shrinking is off), with notes
+  /// documenting seed, archetype, failure class and the pre-shrink metric,
+  /// and an envelope pinned to the minimized run's metrics.
+  Scenario scenario;
+  uint64_t sample_seed = 0;
+  std::string failure_class;
+  /// One-line human summary: class plus the metric that tripped it.
+  std::string summary;
+  /// Metrics of the final (minimized) scenario.
+  ScenarioMetrics metrics;
+  size_t shrink_evaluations = 0;
+};
+
+struct HuntReport {
+  size_t samples_run = 0;
+  std::vector<HuntFinding> findings;
+};
+
+/// Samples the grammar `num_samples` times, runs each scenario through the
+/// full pipeline, classifies failures, and (optionally) shrinks each one.
+/// Status errors only for infrastructure problems; scenarios that merely
+/// misbehave become findings.
+Result<HuntReport> RunHunt(const HuntOptions& options);
+
+}  // namespace scenario
+}  // namespace semdrift
+
+#endif  // SEMDRIFT_SCENARIO_HUNT_H_

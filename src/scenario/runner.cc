@@ -1,0 +1,320 @@
+#include "scenario/runner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <unordered_set>
+
+#include "corpus/serialization.h"
+#include "dp/cleaner.h"
+#include "eval/experiment.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/fault_injection.h"
+#include "util/string_util.h"
+#include "util/supervisor.h"
+
+namespace semdrift {
+namespace scenario {
+
+namespace {
+
+/// Save -> load -> re-save must be byte-identical; morphology-heavy worlds
+/// ("bakon"/"bakons" as distinct instances) are where the loaders' name
+/// resolution would silently conflate entries if it were going to.
+void CheckSerializeRoundtrip(const World& world, const Corpus& corpus,
+                             const Scenario& s, ScenarioOutcome* outcome) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::path dir = fs::temp_directory_path(ec);
+  if (ec) {
+    outcome->violations.push_back("serialize roundtrip: no temp dir: " +
+                                  ec.message());
+    outcome->invariant_failure = true;
+    return;
+  }
+  dir /= "semdrift_scenario_" + s.name + "_" + std::to_string(s.seed);
+  fs::create_directories(dir, ec);
+  const std::string world_a = (dir / "world_a.sdw").string();
+  const std::string world_b = (dir / "world_b.sdw").string();
+  const std::string corpus_a = (dir / "corpus_a.sdc").string();
+  const std::string corpus_b = (dir / "corpus_b.sdc").string();
+  auto fail = [&](const std::string& why) {
+    outcome->violations.push_back("serialize roundtrip: " + why);
+    outcome->invariant_failure = true;
+  };
+  do {
+    if (Status st = SaveWorld(world, world_a); !st.ok()) {
+      fail("SaveWorld: " + std::string(st.message()));
+      break;
+    }
+    auto reloaded = LoadWorld(world_a);
+    if (!reloaded.ok()) {
+      fail("LoadWorld: " + std::string(reloaded.status().message()));
+      break;
+    }
+    if (Status st = SaveWorld(*reloaded, world_b); !st.ok()) {
+      fail("re-SaveWorld: " + std::string(st.message()));
+      break;
+    }
+    auto bytes_a = ReadFileToString(world_a);
+    auto bytes_b = ReadFileToString(world_b);
+    if (!bytes_a.ok() || !bytes_b.ok() || *bytes_a != *bytes_b) {
+      fail("world bytes differ after reload");
+      break;
+    }
+    if (Status st = SaveCorpus(world, corpus, corpus_a); !st.ok()) {
+      fail("SaveCorpus: " + std::string(st.message()));
+      break;
+    }
+    auto corpus2 = LoadCorpus(world, corpus_a);
+    if (!corpus2.ok()) {
+      fail("LoadCorpus: " + std::string(corpus2.status().message()));
+      break;
+    }
+    if (Status st = SaveCorpus(world, *corpus2, corpus_b); !st.ok()) {
+      fail("re-SaveCorpus: " + std::string(st.message()));
+      break;
+    }
+    auto cbytes_a = ReadFileToString(corpus_a);
+    auto cbytes_b = ReadFileToString(corpus_b);
+    if (!cbytes_a.ok() || !cbytes_b.ok() || *cbytes_a != *cbytes_b) {
+      fail("corpus bytes differ after reload");
+      break;
+    }
+  } while (false);
+  fs::remove_all(dir, ec);  // Best effort; a leftover temp dir is harmless.
+}
+
+Result<ComputeFaultPlan> PlanFromFaults(const ScenarioFaults& f) {
+  ComputeFaultPlan plan;
+  plan.seed = f.seed;
+  plan.rate = f.rate;
+  plan.transient_attempts = f.transient_attempts;
+  if (!f.kinds.empty()) {
+    plan.kinds.clear();
+    for (const std::string& name : f.kinds) {
+      ComputeFaultKind kind;
+      if (!ParseComputeFaultKind(name, &kind)) {
+        return Status::InvalidArgument("unknown fault kind: " + name);
+      }
+      plan.kinds.push_back(kind);
+    }
+  }
+  if (!f.stages.empty()) {
+    plan.stages.clear();
+    for (const std::string& name : f.stages) {
+      PipelineStage stage;
+      if (!ParsePipelineStage(name, &stage)) {
+        return Status::InvalidArgument("unknown pipeline stage: " + name);
+      }
+      plan.stages.push_back(stage);
+    }
+  }
+  return plan;
+}
+
+}  // namespace
+
+std::vector<std::string> CheckEnvelope(const ScenarioEnvelope& envelope,
+                                       const ScenarioMetrics& m) {
+  std::vector<std::string> out;
+  auto bound_min = [&out](const std::optional<double>& bound, double value,
+                          bool defined, const char* metric) {
+    if (!bound.has_value()) return;
+    if (!defined) {
+      out.push_back(std::string(metric) +
+                    " undefined (empty denominator) but a floor of " +
+                    FormatDouble(*bound, 3) + " is set");
+    } else if (value < *bound) {
+      out.push_back(std::string(metric) + " " + FormatDouble(value, 3) +
+                    " below floor " + FormatDouble(*bound, 3));
+    }
+  };
+  bound_min(envelope.min_precision_before, m.precision_before,
+            m.precision_before_defined, "precision_before");
+  bound_min(envelope.min_precision_after, m.precision_after,
+            m.precision_after_defined, "precision_after");
+  if (envelope.max_precision_after.has_value() && m.precision_after_defined &&
+      m.precision_after > *envelope.max_precision_after) {
+    out.push_back("precision_after " + FormatDouble(m.precision_after, 3) +
+                  " above ceiling " +
+                  FormatDouble(*envelope.max_precision_after, 3));
+  }
+  bound_min(envelope.min_pcorr, m.cleaning.pcorr, m.cleaning.pcorr_defined,
+            "pcorr");
+  bound_min(envelope.min_rerror, m.cleaning.rerror, m.cleaning.rerror_defined,
+            "rerror");
+  auto bound_max_count = [&out](const std::optional<int64_t>& bound,
+                                int64_t value, const char* metric) {
+    if (bound.has_value() && value > *bound) {
+      out.push_back(std::string(metric) + " " + std::to_string(value) +
+                    " above ceiling " + std::to_string(*bound));
+    }
+  };
+  if (envelope.min_live_pairs_after.has_value() &&
+      static_cast<int64_t>(m.live_pairs_after) < *envelope.min_live_pairs_after) {
+    out.push_back("live_pairs_after " + std::to_string(m.live_pairs_after) +
+                  " below floor " +
+                  std::to_string(*envelope.min_live_pairs_after));
+  }
+  bound_max_count(envelope.max_rounds, m.rounds, "rounds");
+  bound_max_count(envelope.max_records_rolled_back,
+                  static_cast<int64_t>(m.records_rolled_back),
+                  "records_rolled_back");
+  bound_max_count(envelope.max_quarantined, static_cast<int64_t>(m.quarantined),
+                  "quarantined");
+  return out;
+}
+
+Result<ScenarioOutcome> RunScenario(const Scenario& s) {
+  if (Status st = ValidateScenario(s); !st.ok()) return st;
+  const auto started = std::chrono::steady_clock::now();
+  ScopedSpan span(&GlobalTrace(), "scenario.run");
+  span.AddTag("scenario", s.name);
+  GlobalMetrics().RegisterCounter("scenario.runs").Add();
+
+  ExperimentConfig config;
+  config.world = s.world;
+  if (s.paper_named_concepts) config.world.named_concepts = PaperEvaluationConcepts();
+  config.corpus = s.corpus;
+  config.extractor.max_iterations = s.pipeline.max_iterations;
+  config.seed = s.seed;
+  config.num_eval_concepts = s.num_eval_concepts;
+  auto exp = Experiment::BuildChecked(config);
+  if (!exp.ok()) return exp.status();
+  const Experiment& e = **exp;
+
+  ScenarioOutcome outcome;
+  outcome.metrics.num_sentences = e.corpus().sentences.size();
+
+  if (s.pipeline.serialize_roundtrip) {
+    CheckSerializeRoundtrip(e.world(), e.corpus(), s, &outcome);
+  }
+
+  // Extraction is unsupervised, like eval/experiment's pipeline: the fault
+  // overlay targets the supervised cleaning stages.
+  std::vector<IterationStats> stats;
+  KnowledgeBase kb = e.Extract(&stats);
+  outcome.metrics.iterations = stats.empty() ? 0 : stats.back().iteration;
+  if (Status st = kb.Validate(e.world().num_concepts(), e.corpus().sentences.size());
+      !st.ok()) {
+    outcome.violations.push_back("invariant: post-extraction KB: " +
+                                 std::string(st.message()));
+    outcome.invariant_failure = true;
+  }
+
+  const std::vector<ConceptId> scope = e.EvalConcepts();
+  const std::vector<IsAPair> pre_pairs = LivePairsOf(kb, scope);
+  outcome.metrics.live_pairs_before = pre_pairs.size();
+  {
+    PrecisionSample before = LivePairPrecisionSample(e.truth(), kb, scope);
+    outcome.metrics.precision_before = before.value;
+    outcome.metrics.precision_before_defined = before.defined;
+  }
+
+  if (s.pipeline.clean) {
+    CleanerOptions copts;
+    copts.max_rounds = s.pipeline.max_rounds;
+    copts.mutex.mutex_threshold = s.pipeline.mutex_threshold;
+    copts.mutex.similar_threshold = s.pipeline.similar_threshold;
+    copts.mutex.min_core_instances = s.pipeline.min_core_instances;
+    copts.seeds.frequency_threshold_k = s.pipeline.frequency_threshold_k;
+    copts.eq21_gate_accidental = s.pipeline.eq21_gate_accidental;
+    copts.eq21_min_average_vote = s.pipeline.eq21_min_average_vote;
+
+    auto plan = PlanFromFaults(s.faults);
+    if (!plan.ok()) return plan.status();
+    SupervisorOptions sup;
+    sup.max_retries = s.faults.max_retries;
+    sup.quarantine = s.faults.quarantine;
+    sup.stage_deadline_ms = s.faults.stage_deadline_ms;
+    Supervisor supervisor(sup, *plan);
+    SupervisedCleanHooks hooks;
+    hooks.supervisor = &supervisor;
+
+    DpCleaner cleaner(&e.corpus().sentences, e.MakeVerifiedSource(),
+                      e.world().num_concepts(), copts);
+    auto report = cleaner.CleanSupervised(&kb, scope, hooks);
+    if (report.ok()) {
+      outcome.metrics.rounds = report->rounds;
+      outcome.metrics.records_rolled_back = report->records_rolled_back;
+    } else {
+      // Fail-fast abort (quarantine off and a stage exhausted its retries):
+      // scenario-induced behavior, reported as a violation, with the
+      // partially-cleaned KB measured as-is below.
+      outcome.violations.push_back("cleaning aborted: " +
+                                   std::string(report.status().message()));
+    }
+    const RunHealthReport& health = *supervisor.health();
+    outcome.metrics.quarantined = health.Quarantined().size();
+    outcome.metrics.drops = health.num_drops();
+    if (Status st = kb.Validate(e.world().num_concepts(),
+                                e.corpus().sentences.size());
+        !st.ok()) {
+      outcome.violations.push_back("invariant: post-cleaning KB: " +
+                                   std::string(st.message()));
+      outcome.invariant_failure = true;
+    }
+  }
+
+  {
+    PrecisionSample after = LivePairPrecisionSample(e.truth(), kb, scope);
+    outcome.metrics.precision_after = after.value;
+    outcome.metrics.precision_after_defined = after.defined;
+  }
+  std::unordered_set<IsAPair, IsAPairHash> still_live;
+  for (const IsAPair& pair : LivePairsOf(kb, scope)) still_live.insert(pair);
+  outcome.metrics.live_pairs_after = still_live.size();
+  std::unordered_set<IsAPair, IsAPairHash> removed;
+  for (const IsAPair& pair : pre_pairs) {
+    if (still_live.count(pair) == 0) removed.insert(pair);
+  }
+  outcome.metrics.cleaning = EvaluateCleaning(e.truth(), pre_pairs, removed);
+
+  std::vector<std::string> envelope_violations =
+      CheckEnvelope(s.envelope, outcome.metrics);
+  outcome.violations.insert(outcome.violations.end(),
+                            envelope_violations.begin(),
+                            envelope_violations.end());
+
+  if (!outcome.violations.empty()) {
+    GlobalMetrics().RegisterCounter("scenario.violations")
+        .Add(outcome.violations.size());
+  }
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                started)
+          .count();
+  GlobalMetrics()
+      .RegisterHistogram("scenario.run_ms", LatencyBucketsMs())
+      .Observe(elapsed_ms);
+  span.SetOutcome(outcome.ok() ? "pass" : "fail");
+  span.AddTag("violations", static_cast<uint64_t>(outcome.violations.size()));
+  return outcome;
+}
+
+std::string FormatMetricsLine(const ScenarioMetrics& m) {
+  std::string out;
+  out += "iters=" + std::to_string(m.iterations);
+  out += " rounds=" + std::to_string(m.rounds);
+  out += " pairs=" + std::to_string(m.live_pairs_before) + "->" +
+         std::to_string(m.live_pairs_after);
+  out += " precision=" + (m.precision_before_defined
+                              ? FormatDouble(m.precision_before, 3)
+                              : std::string("n/a")) +
+         "->" + (m.precision_after_defined ? FormatDouble(m.precision_after, 3)
+                                           : std::string("n/a"));
+  out += " pcorr=" +
+         (m.cleaning.pcorr_defined ? FormatDouble(m.cleaning.pcorr, 3)
+                                   : std::string("n/a"));
+  out += " rerror=" +
+         (m.cleaning.rerror_defined ? FormatDouble(m.cleaning.rerror, 3)
+                                    : std::string("n/a"));
+  out += " rolled_back=" + std::to_string(m.records_rolled_back);
+  out += " quarantined=" + std::to_string(m.quarantined);
+  return out;
+}
+
+}  // namespace scenario
+}  // namespace semdrift

@@ -1,0 +1,67 @@
+#ifndef SEMDRIFT_SCENARIO_RUNNER_H_
+#define SEMDRIFT_SCENARIO_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "scenario/scenario.h"
+
+namespace semdrift {
+namespace scenario {
+
+/// Everything a scenario run measures. All values are deterministic
+/// functions of the scenario (bit-identical at any thread count), so the
+/// envelope gate and the hunter's ranking replay exactly.
+struct ScenarioMetrics {
+  int iterations = 0;
+  size_t live_pairs_before = 0;
+  size_t live_pairs_after = 0;
+  double precision_before = 0.0;
+  bool precision_before_defined = false;
+  double precision_after = 0.0;
+  bool precision_after_defined = false;
+  CleaningMetrics cleaning;
+  int rounds = 0;
+  size_t records_rolled_back = 0;
+  size_t quarantined = 0;
+  size_t drops = 0;
+  size_t num_sentences = 0;
+};
+
+/// The verdict on one run: measured metrics plus every violation found —
+/// envelope bounds broken and invariants failed (KnowledgeBase::Validate,
+/// serialize round-trip mismatches). An empty violation list is a pass.
+struct ScenarioOutcome {
+  ScenarioMetrics metrics;
+  std::vector<std::string> violations;
+  /// True when any violation is an invariant break (not just an envelope
+  /// bound) — the hunter treats these as a distinct failure class.
+  bool invariant_failure = false;
+
+  bool ok() const { return violations.empty(); }
+};
+
+/// Envelope check only (exposed for the hunter and tests): violation
+/// strings, empty when within bounds. A min bound on an undefined metric is
+/// reported as a violation.
+std::vector<std::string> CheckEnvelope(const ScenarioEnvelope& envelope,
+                                       const ScenarioMetrics& metrics);
+
+/// Runs the full pipeline for one scenario: generate world and corpus
+/// (checked), optional serialize round-trip gate, iterative extraction,
+/// KB invariant validation, supervised DP cleaning under the scenario's
+/// fault overlay, evaluation via eval/metrics, then the envelope gate.
+/// Returns a Status error only when the scenario itself is unusable
+/// (invalid spec, unreadable work dir); pipeline misbehavior lands in the
+/// outcome's violations. Records scenario.* metrics and a scenario.run
+/// trace span per call.
+Result<ScenarioOutcome> RunScenario(const Scenario& s);
+
+/// One-line metric summary for CLI/hunt logs.
+std::string FormatMetricsLine(const ScenarioMetrics& m);
+
+}  // namespace scenario
+}  // namespace semdrift
+
+#endif  // SEMDRIFT_SCENARIO_RUNNER_H_

@@ -1,0 +1,470 @@
+#include "scenario/scenario.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "util/fault_injection.h"
+#include "util/string_util.h"
+
+namespace semdrift {
+namespace scenario {
+
+namespace {
+
+/// Shortest decimal that round-trips the exact double — "0.29" stays
+/// "0.29", never "0.28999999999999998". Byte-exact write->parse->write is
+/// what the shrinker's bit-identical-output promise rests on.
+std::string FmtDouble(double v) {
+  char buf[64];
+  auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  (void)ec;  // 64 bytes always suffice for a double.
+  return std::string(buf, end);
+}
+
+std::string Quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+Status Unquote(const std::string& raw, std::string* out) {
+  if (raw.size() < 2 || raw.front() != '"' || raw.back() != '"') {
+    return Status::InvalidArgument("expected a quoted string, got: " + raw);
+  }
+  out->clear();
+  for (size_t i = 1; i + 1 < raw.size(); ++i) {
+    char c = raw[i];
+    if (c == '\\') {
+      if (i + 1 >= raw.size() - 1) {  // Escaped char would be the closing quote.
+        return Status::InvalidArgument("dangling escape in: " + raw);
+      }
+      ++i;
+      switch (raw[i]) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case 'n': out->push_back('\n'); break;
+        default:
+          return Status::InvalidArgument("unknown escape in: " + raw);
+      }
+    } else if (c == '"') {
+      return Status::InvalidArgument("unescaped quote inside: " + raw);
+    } else {
+      out->push_back(c);
+    }
+  }
+  return Status::OK();
+}
+
+std::string QuoteList(const std::vector<std::string>& items) {
+  std::string out = "[";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += Quote(items[i]);
+  }
+  out += "]";
+  return out;
+}
+
+Status UnquoteList(const std::string& raw, std::vector<std::string>* out) {
+  std::string t = Trim(raw);
+  if (t.size() < 2 || t.front() != '[' || t.back() != ']') {
+    return Status::InvalidArgument("expected a [\"...\"] array, got: " + raw);
+  }
+  out->clear();
+  std::string inner = Trim(t.substr(1, t.size() - 2));
+  if (inner.empty()) return Status::OK();
+  // Items are quoted strings without embedded commas (fault kind/stage
+  // names), so a comma split suffices.
+  for (const std::string& part : Split(inner, ',')) {
+    std::string item;
+    if (Status s = Unquote(Trim(part), &item); !s.ok()) return s;
+    out->push_back(std::move(item));
+  }
+  return Status::OK();
+}
+
+Status SetDouble(const std::string& v, double* out) {
+  if (!ParseDouble(v, out)) {
+    return Status::InvalidArgument("bad float: " + v);
+  }
+  return Status::OK();
+}
+
+Status SetInt(const std::string& v, int* out) {
+  int64_t wide = 0;
+  if (!ParseIntInRange(v, INT32_MIN, INT32_MAX, &wide)) {
+    return Status::InvalidArgument("bad integer: " + v);
+  }
+  *out = static_cast<int>(wide);
+  return Status::OK();
+}
+
+Status SetUint64(const std::string& v, uint64_t* out) {
+  if (!ParseUint64(v, out)) {
+    return Status::InvalidArgument("bad unsigned integer: " + v);
+  }
+  return Status::OK();
+}
+
+Status SetBool(const std::string& v, bool* out) {
+  if (v == "true") { *out = true; return Status::OK(); }
+  if (v == "false") { *out = false; return Status::OK(); }
+  return Status::InvalidArgument("bad bool (want true/false): " + v);
+}
+
+Status SetOptDouble(const std::string& v, std::optional<double>* out) {
+  double parsed = 0.0;
+  if (Status s = SetDouble(v, &parsed); !s.ok()) return s;
+  *out = parsed;
+  return Status::OK();
+}
+
+Status SetOptInt64(const std::string& v, std::optional<int64_t>* out) {
+  int64_t parsed = 0;
+  if (!ParseInt64(v, &parsed)) {
+    return Status::InvalidArgument("bad integer: " + v);
+  }
+  *out = parsed;
+  return Status::OK();
+}
+
+Status InRange01(double v, const char* field) {
+  if (!(v >= 0.0 && v <= 1.0)) {
+    return Status::InvalidArgument(std::string(field) + " must be in [0, 1]");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ValidateScenario(const Scenario& s) {
+  if (s.name.empty()) {
+    return Status::InvalidArgument("scenario name must be non-empty");
+  }
+  for (char c : s.name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.';
+    if (!ok) {
+      return Status::InvalidArgument(
+          "scenario name must be a safe file stem ([A-Za-z0-9._-]): " + s.name);
+    }
+  }
+  if (s.num_eval_concepts < 1) {
+    return Status::InvalidArgument("num_eval_concepts must be >= 1");
+  }
+  if (Status st = ValidateWorldSpec(s.world); !st.ok()) return st;
+  if (Status st = ValidateCorpusSpec(s.corpus); !st.ok()) return st;
+
+  const ScenarioPipeline& p = s.pipeline;
+  if (p.max_iterations < 1) {
+    return Status::InvalidArgument("pipeline.max_iterations must be >= 1");
+  }
+  if (p.max_rounds < 0) {
+    return Status::InvalidArgument("pipeline.max_rounds must be >= 0");
+  }
+  if (Status st = InRange01(p.mutex_threshold, "pipeline.mutex_threshold"); !st.ok()) return st;
+  if (Status st = InRange01(p.similar_threshold, "pipeline.similar_threshold"); !st.ok()) return st;
+  if (p.mutex_threshold > p.similar_threshold) {
+    return Status::InvalidArgument(
+        "pipeline.mutex_threshold must be <= similar_threshold");
+  }
+  if (p.min_core_instances < 1) {
+    return Status::InvalidArgument("pipeline.min_core_instances must be >= 1");
+  }
+  if (p.frequency_threshold_k < 0) {
+    return Status::InvalidArgument("pipeline.frequency_threshold_k must be >= 0");
+  }
+  if (Status st = InRange01(p.eq21_min_average_vote, "pipeline.eq21_min_average_vote");
+      !st.ok()) {
+    return st;
+  }
+
+  const ScenarioFaults& f = s.faults;
+  if (Status st = InRange01(f.rate, "faults.rate"); !st.ok()) return st;
+  if (f.transient_attempts < 0) {
+    return Status::InvalidArgument("faults.transient_attempts must be >= 0");
+  }
+  if (f.max_retries < 0) {
+    return Status::InvalidArgument("faults.max_retries must be >= 0");
+  }
+  for (const std::string& kind : f.kinds) {
+    ComputeFaultKind parsed;
+    if (!ParseComputeFaultKind(kind, &parsed)) {
+      return Status::InvalidArgument("unknown fault kind: " + kind);
+    }
+    if (parsed == ComputeFaultKind::kStall && f.stage_deadline_ms <= 0) {
+      return Status::InvalidArgument(
+          "faults.kinds includes \"stall\" but no stage_deadline_ms to cancel it");
+    }
+  }
+  for (const std::string& stage : f.stages) {
+    PipelineStage parsed;
+    if (!ParsePipelineStage(stage, &parsed)) {
+      return Status::InvalidArgument("unknown pipeline stage: " + stage);
+    }
+  }
+
+  const ScenarioEnvelope& e = s.envelope;
+  auto check_opt01 = [](const std::optional<double>& v, const char* field) {
+    return v.has_value() ? InRange01(*v, field) : Status::OK();
+  };
+  if (Status st = check_opt01(e.min_precision_before, "envelope.min_precision_before");
+      !st.ok()) {
+    return st;
+  }
+  if (Status st = check_opt01(e.min_precision_after, "envelope.min_precision_after");
+      !st.ok()) {
+    return st;
+  }
+  if (Status st = check_opt01(e.max_precision_after, "envelope.max_precision_after");
+      !st.ok()) {
+    return st;
+  }
+  if (Status st = check_opt01(e.min_pcorr, "envelope.min_pcorr"); !st.ok()) return st;
+  if (Status st = check_opt01(e.min_rerror, "envelope.min_rerror"); !st.ok()) return st;
+  if (e.min_precision_after.has_value() && e.max_precision_after.has_value() &&
+      *e.min_precision_after > *e.max_precision_after) {
+    return Status::InvalidArgument(
+        "envelope.min_precision_after must be <= max_precision_after");
+  }
+  auto check_nonneg = [](const std::optional<int64_t>& v, const char* field) {
+    if (v.has_value() && *v < 0) {
+      return Status::InvalidArgument(std::string(field) + " must be >= 0");
+    }
+    return Status::OK();
+  };
+  if (Status st = check_nonneg(e.min_live_pairs_after, "envelope.min_live_pairs_after");
+      !st.ok()) {
+    return st;
+  }
+  if (Status st = check_nonneg(e.max_rounds, "envelope.max_rounds"); !st.ok()) return st;
+  if (Status st = check_nonneg(e.max_records_rolled_back,
+                               "envelope.max_records_rolled_back");
+      !st.ok()) {
+    return st;
+  }
+  if (Status st = check_nonneg(e.max_quarantined, "envelope.max_quarantined"); !st.ok()) {
+    return st;
+  }
+  return Status::OK();
+}
+
+std::string ScenarioToToml(const Scenario& s) {
+  std::string out;
+  auto line = [&out](const std::string& text) { out += text; out += '\n'; };
+  line("# semdrift adversarial scenario (see DESIGN.md §13)");
+  line("[scenario]");
+  line("name = " + Quote(s.name));
+  line("archetype = " + Quote(s.archetype));
+  line("notes = " + Quote(s.notes));
+  line("seed = " + std::to_string(s.seed));
+  line("num_eval_concepts = " + std::to_string(s.num_eval_concepts));
+  line("paper_named_concepts = " + std::string(s.paper_named_concepts ? "true" : "false"));
+  line("");
+  line("[world]");
+  line("num_concepts = " + std::to_string(s.world.num_concepts));
+  line("min_instances = " + std::to_string(s.world.min_instances));
+  line("max_instances = " + std::to_string(s.world.max_instances));
+  line("popularity_zipf = " + FmtDouble(s.world.popularity_zipf));
+  line("polysemy_rate = " + FmtDouble(s.world.polysemy_rate));
+  line("similar_twin_rate = " + FmtDouble(s.world.similar_twin_rate));
+  line("twin_overlap = " + FmtDouble(s.world.twin_overlap));
+  line("min_confusables = " + std::to_string(s.world.min_confusables));
+  line("max_confusables = " + std::to_string(s.world.max_confusables));
+  line("verified_fraction = " + FmtDouble(s.world.verified_fraction));
+  line("morph_variant_rate = " + FmtDouble(s.world.morph_variant_rate));
+  line("");
+  line("[corpus]");
+  line("num_sentences = " + std::to_string(s.corpus.num_sentences));
+  line("frac_ambiguous = " + FmtDouble(s.corpus.frac_ambiguous));
+  line("polyseme_link_prob = " + FmtDouble(s.corpus.polyseme_link_prob));
+  line("misparse_rate = " + FmtDouble(s.corpus.misparse_rate));
+  line("misparse_late_frac = " + FmtDouble(s.corpus.misparse_late_frac));
+  line("wrongfact_rate = " + FmtDouble(s.corpus.wrongfact_rate));
+  line("min_list = " + std::to_string(s.corpus.min_list));
+  line("max_list = " + std::to_string(s.corpus.max_list));
+  line("concept_zipf = " + FmtDouble(s.corpus.concept_zipf));
+  line("ambiguous_uniform_prob = " + FmtDouble(s.corpus.ambiguous_uniform_prob));
+  line("other_than_prob = " + FmtDouble(s.corpus.other_than_prob));
+  line("render_text = " + std::string(s.corpus.render_text ? "true" : "false"));
+  line("");
+  line("[pipeline]");
+  line("max_iterations = " + std::to_string(s.pipeline.max_iterations));
+  line("max_rounds = " + std::to_string(s.pipeline.max_rounds));
+  line("mutex_threshold = " + FmtDouble(s.pipeline.mutex_threshold));
+  line("similar_threshold = " + FmtDouble(s.pipeline.similar_threshold));
+  line("min_core_instances = " + std::to_string(s.pipeline.min_core_instances));
+  line("frequency_threshold_k = " + std::to_string(s.pipeline.frequency_threshold_k));
+  line("eq21_gate_accidental = " +
+       std::string(s.pipeline.eq21_gate_accidental ? "true" : "false"));
+  line("eq21_min_average_vote = " + FmtDouble(s.pipeline.eq21_min_average_vote));
+  line("clean = " + std::string(s.pipeline.clean ? "true" : "false"));
+  line("serialize_roundtrip = " +
+       std::string(s.pipeline.serialize_roundtrip ? "true" : "false"));
+  line("");
+  line("[faults]");
+  line("rate = " + FmtDouble(s.faults.rate));
+  line("seed = " + std::to_string(s.faults.seed));
+  line("kinds = " + QuoteList(s.faults.kinds));
+  line("stages = " + QuoteList(s.faults.stages));
+  line("transient_attempts = " + std::to_string(s.faults.transient_attempts));
+  line("max_retries = " + std::to_string(s.faults.max_retries));
+  line("quarantine = " + std::string(s.faults.quarantine ? "true" : "false"));
+  line("stage_deadline_ms = " + std::to_string(s.faults.stage_deadline_ms));
+  line("");
+  line("[envelope]");
+  auto opt_double = [&](const char* key, const std::optional<double>& v) {
+    if (v.has_value()) line(std::string(key) + " = " + FmtDouble(*v));
+  };
+  auto opt_int = [&](const char* key, const std::optional<int64_t>& v) {
+    if (v.has_value()) line(std::string(key) + " = " + std::to_string(*v));
+  };
+  opt_double("min_precision_before", s.envelope.min_precision_before);
+  opt_double("min_precision_after", s.envelope.min_precision_after);
+  opt_double("max_precision_after", s.envelope.max_precision_after);
+  opt_double("min_pcorr", s.envelope.min_pcorr);
+  opt_double("min_rerror", s.envelope.min_rerror);
+  opt_int("min_live_pairs_after", s.envelope.min_live_pairs_after);
+  opt_int("max_rounds", s.envelope.max_rounds);
+  opt_int("max_records_rolled_back", s.envelope.max_records_rolled_back);
+  opt_int("max_quarantined", s.envelope.max_quarantined);
+  return out;
+}
+
+Result<Scenario> ScenarioFromToml(const std::string& text) {
+  Scenario s;
+  std::string section;
+  int line_no = 0;
+  for (const std::string& raw : Split(text, '\n')) {
+    ++line_no;
+    std::string t = Trim(raw);
+    if (t.empty() || t[0] == '#') continue;
+    auto fail = [&](const std::string& why) {
+      return Status::InvalidArgument("scenario toml line " +
+                                     std::to_string(line_no) + ": " + why);
+    };
+    if (t.front() == '[') {
+      if (t.back() != ']') return fail("malformed section header: " + t);
+      section = t.substr(1, t.size() - 2);
+      if (section != "scenario" && section != "world" && section != "corpus" &&
+          section != "pipeline" && section != "faults" && section != "envelope") {
+        return fail("unknown section [" + section + "]");
+      }
+      continue;
+    }
+    size_t eq = t.find('=');
+    if (eq == std::string::npos) return fail("expected key = value, got: " + t);
+    std::string key = Trim(t.substr(0, eq));
+    std::string value = Trim(t.substr(eq + 1));
+    if (section.empty()) return fail("key before any [section]: " + key);
+
+    Status st = Status::OK();
+    bool known = true;
+    if (section == "scenario") {
+      if (key == "name") st = Unquote(value, &s.name);
+      else if (key == "archetype") st = Unquote(value, &s.archetype);
+      else if (key == "notes") st = Unquote(value, &s.notes);
+      else if (key == "seed") st = SetUint64(value, &s.seed);
+      else if (key == "num_eval_concepts") st = SetInt(value, &s.num_eval_concepts);
+      else if (key == "paper_named_concepts") st = SetBool(value, &s.paper_named_concepts);
+      else known = false;
+    } else if (section == "world") {
+      WorldSpec& w = s.world;
+      if (key == "num_concepts") st = SetInt(value, &w.num_concepts);
+      else if (key == "min_instances") st = SetInt(value, &w.min_instances);
+      else if (key == "max_instances") st = SetInt(value, &w.max_instances);
+      else if (key == "popularity_zipf") st = SetDouble(value, &w.popularity_zipf);
+      else if (key == "polysemy_rate") st = SetDouble(value, &w.polysemy_rate);
+      else if (key == "similar_twin_rate") st = SetDouble(value, &w.similar_twin_rate);
+      else if (key == "twin_overlap") st = SetDouble(value, &w.twin_overlap);
+      else if (key == "min_confusables") st = SetInt(value, &w.min_confusables);
+      else if (key == "max_confusables") st = SetInt(value, &w.max_confusables);
+      else if (key == "verified_fraction") st = SetDouble(value, &w.verified_fraction);
+      else if (key == "morph_variant_rate") st = SetDouble(value, &w.morph_variant_rate);
+      else known = false;
+    } else if (section == "corpus") {
+      CorpusSpec& c = s.corpus;
+      if (key == "num_sentences") st = SetInt(value, &c.num_sentences);
+      else if (key == "frac_ambiguous") st = SetDouble(value, &c.frac_ambiguous);
+      else if (key == "polyseme_link_prob") st = SetDouble(value, &c.polyseme_link_prob);
+      else if (key == "misparse_rate") st = SetDouble(value, &c.misparse_rate);
+      else if (key == "misparse_late_frac") st = SetDouble(value, &c.misparse_late_frac);
+      else if (key == "wrongfact_rate") st = SetDouble(value, &c.wrongfact_rate);
+      else if (key == "min_list") st = SetInt(value, &c.min_list);
+      else if (key == "max_list") st = SetInt(value, &c.max_list);
+      else if (key == "concept_zipf") st = SetDouble(value, &c.concept_zipf);
+      else if (key == "ambiguous_uniform_prob") st = SetDouble(value, &c.ambiguous_uniform_prob);
+      else if (key == "other_than_prob") st = SetDouble(value, &c.other_than_prob);
+      else if (key == "render_text") st = SetBool(value, &c.render_text);
+      else known = false;
+    } else if (section == "pipeline") {
+      ScenarioPipeline& p = s.pipeline;
+      if (key == "max_iterations") st = SetInt(value, &p.max_iterations);
+      else if (key == "max_rounds") st = SetInt(value, &p.max_rounds);
+      else if (key == "mutex_threshold") st = SetDouble(value, &p.mutex_threshold);
+      else if (key == "similar_threshold") st = SetDouble(value, &p.similar_threshold);
+      else if (key == "min_core_instances") st = SetInt(value, &p.min_core_instances);
+      else if (key == "frequency_threshold_k") st = SetInt(value, &p.frequency_threshold_k);
+      else if (key == "eq21_gate_accidental") st = SetBool(value, &p.eq21_gate_accidental);
+      else if (key == "eq21_min_average_vote") st = SetDouble(value, &p.eq21_min_average_vote);
+      else if (key == "clean") st = SetBool(value, &p.clean);
+      else if (key == "serialize_roundtrip") st = SetBool(value, &p.serialize_roundtrip);
+      else known = false;
+    } else if (section == "faults") {
+      ScenarioFaults& f = s.faults;
+      if (key == "rate") st = SetDouble(value, &f.rate);
+      else if (key == "seed") st = SetUint64(value, &f.seed);
+      else if (key == "kinds") st = UnquoteList(value, &f.kinds);
+      else if (key == "stages") st = UnquoteList(value, &f.stages);
+      else if (key == "transient_attempts") st = SetInt(value, &f.transient_attempts);
+      else if (key == "max_retries") st = SetInt(value, &f.max_retries);
+      else if (key == "quarantine") st = SetBool(value, &f.quarantine);
+      else if (key == "stage_deadline_ms") st = SetInt(value, &f.stage_deadline_ms);
+      else known = false;
+    } else if (section == "envelope") {
+      ScenarioEnvelope& e = s.envelope;
+      if (key == "min_precision_before") st = SetOptDouble(value, &e.min_precision_before);
+      else if (key == "min_precision_after") st = SetOptDouble(value, &e.min_precision_after);
+      else if (key == "max_precision_after") st = SetOptDouble(value, &e.max_precision_after);
+      else if (key == "min_pcorr") st = SetOptDouble(value, &e.min_pcorr);
+      else if (key == "min_rerror") st = SetOptDouble(value, &e.min_rerror);
+      else if (key == "min_live_pairs_after") st = SetOptInt64(value, &e.min_live_pairs_after);
+      else if (key == "max_rounds") st = SetOptInt64(value, &e.max_rounds);
+      else if (key == "max_records_rolled_back") st = SetOptInt64(value, &e.max_records_rolled_back);
+      else if (key == "max_quarantined") st = SetOptInt64(value, &e.max_quarantined);
+      else known = false;
+    }
+    if (!known) return fail("unknown key \"" + key + "\" in [" + section + "]");
+    if (!st.ok()) return fail(key + ": " + std::string(st.message()));
+  }
+  if (Status st = ValidateScenario(s); !st.ok()) return st;
+  return s;
+}
+
+Status SaveScenarioFile(const Scenario& s, const std::string& path) {
+  if (Status st = ValidateScenario(s); !st.ok()) return st;
+  return WriteStringToFile(ScenarioToToml(s), path);
+}
+
+Result<Scenario> LoadScenarioFile(const std::string& path) {
+  auto text = ReadFileToString(path);
+  if (!text.ok()) return text.status();
+  auto parsed = ScenarioFromToml(*text);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument(path + ": " +
+                                   std::string(parsed.status().message()));
+  }
+  return parsed;
+}
+
+}  // namespace scenario
+}  // namespace semdrift

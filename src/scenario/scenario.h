@@ -1,0 +1,119 @@
+#ifndef SEMDRIFT_SCENARIO_SCENARIO_H_
+#define SEMDRIFT_SCENARIO_SCENARIO_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "corpus/generator.h"
+#include "corpus/world.h"
+#include "util/status.h"
+
+namespace semdrift {
+namespace scenario {
+
+/// Pipeline knobs a scenario may override — the thresholds the paper's
+/// cleaning guarantees hinge on (Sec. 3.2.1's similarity bands, Fig. 5(b)'s
+/// seed-labeling k, Eq. 21's vote floor) plus the iteration/round budgets.
+struct ScenarioPipeline {
+  int max_iterations = 12;
+  int max_rounds = 6;
+  double mutex_threshold = 0.15;
+  double similar_threshold = 0.5;
+  int min_core_instances = 3;
+  int frequency_threshold_k = 4;
+  bool eq21_gate_accidental = true;
+  double eq21_min_average_vote = 0.42;
+  /// Run DP cleaning after extraction (off = raw drift measurement).
+  bool clean = true;
+  /// Save the world and corpus, reload them, and require the reloaded copy
+  /// to re-serialize byte-identically before running the pipeline — the
+  /// morphology-heavy scenarios use this to stress the loaders.
+  bool serialize_roundtrip = false;
+};
+
+/// Compute-fault overlay, reusing util/fault_injection's ComputeFaultPlan
+/// through the supervisor. Kind/stage names use the fault-injection string
+/// forms ("throw"/"stall"/"nan", "score_warm"/"collect_training"/...);
+/// empty lists mean the plan's defaults.
+struct ScenarioFaults {
+  double rate = 0.0;
+  uint64_t seed = 0;
+  std::vector<std::string> kinds;
+  std::vector<std::string> stages;
+  int transient_attempts = 0;
+  int max_retries = 2;
+  bool quarantine = true;
+  /// Stage deadline forwarded to the supervisor. Stall faults spin until
+  /// this cancels them, so a scenario using "stall" must set it (validated);
+  /// <= 0 disables deadlines entirely.
+  int stage_deadline_ms = 30000;
+};
+
+/// Recorded behavior bounds a replay gates on. Unset bounds are not
+/// checked. Precision bounds apply only when the metric is defined (has a
+/// nonzero denominator); an *undefined* metric with a min bound set is
+/// itself a violation — a cleaner that empties the KB must not pass a
+/// precision floor vacuously.
+struct ScenarioEnvelope {
+  std::optional<double> min_precision_before;
+  std::optional<double> min_precision_after;
+  std::optional<double> max_precision_after;
+  std::optional<double> min_pcorr;
+  std::optional<double> min_rerror;
+  std::optional<int64_t> min_live_pairs_after;
+  std::optional<int64_t> max_rounds;
+  std::optional<int64_t> max_records_rolled_back;
+  std::optional<int64_t> max_quarantined;
+};
+
+/// One named adversarial scenario: a full parameterization of world, corpus,
+/// pipeline and fault overlay, plus the behavior envelope its replay gates
+/// on. Serialized as scenarios/<name>.toml; the serializer and parser
+/// round-trip byte-exactly (shortest-round-trip doubles), which is what lets
+/// the shrinker promise bit-identical minimized output.
+struct Scenario {
+  std::string name;
+  /// Grammar archetype this scenario instantiates (see grammar.h), or
+  /// "manual" for hand-written ones.
+  std::string archetype;
+  /// Free-form provenance: what the scenario stresses, how it was found,
+  /// the pre-fix metric for hunter discoveries.
+  std::string notes;
+  /// Master seed (world and corpus derive their streams from it, matching
+  /// eval/experiment's derivation).
+  uint64_t seed = 2014;
+  /// Cleaning/evaluation scope: the first N concepts.
+  int num_eval_concepts = 20;
+  /// Name the first concepts after the paper's 20 evaluation concepts.
+  bool paper_named_concepts = false;
+  WorldSpec world;
+  CorpusSpec corpus;
+  ScenarioPipeline pipeline;
+  ScenarioFaults faults;
+  ScenarioEnvelope envelope;
+};
+
+/// Structural validity: world/corpus specs pass their validators, the name
+/// is a safe file stem, thresholds and probabilities are in range, fault
+/// kind/stage names parse. Everything the runner assumes.
+Status ValidateScenario(const Scenario& s);
+
+/// Serializes to the scenario TOML subset (stable field order, shortest
+/// round-trip doubles, only set envelope bounds emitted).
+std::string ScenarioToToml(const Scenario& s);
+
+/// Parses what ScenarioToToml emits: [section] headers, `key = value` lines
+/// with integer/float/bool/quoted-string/string-array values, full-line `#`
+/// comments. Unknown sections or keys are hard errors (a typo'd bound must
+/// not silently stop gating). The result is validated.
+Result<Scenario> ScenarioFromToml(const std::string& text);
+
+Status SaveScenarioFile(const Scenario& s, const std::string& path);
+Result<Scenario> LoadScenarioFile(const std::string& path);
+
+}  // namespace scenario
+}  // namespace semdrift
+
+#endif  // SEMDRIFT_SCENARIO_SCENARIO_H_

@@ -1,0 +1,264 @@
+#include "scenario/shrink.h"
+
+#include <cmath>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace semdrift {
+namespace scenario {
+
+namespace {
+
+/// One shrinkable dimension: a numeric accessor plus its benign anchor and
+/// quantization step. The ladder of candidate values is always
+/// `benign + n * step` (notch arithmetic), computed the same way on every
+/// run, so shrunk values land on exactly reproducible doubles. Booleans are
+/// int dimensions with a 0/1 ladder.
+struct Dim {
+  const char* name;
+  bool is_int;
+  double benign;
+  double step;
+  double (*get)(const Scenario&);
+  void (*set)(Scenario*, double);
+};
+
+/// Fixed dimension order — part of the determinism contract. Benign anchors
+/// are the simplest value that keeps a scenario meaningful (zero rates, the
+/// pipeline's paper defaults, a small world), so a minimized scenario reads
+/// as "defaults plus exactly the knobs the failure needs".
+const std::vector<Dim>& Dimensions() {
+  static const std::vector<Dim> dims = {
+      {"world.num_concepts", true, 4, 4,
+       [](const Scenario& s) { return double(s.world.num_concepts); },
+       [](Scenario* s, double v) { s->world.num_concepts = int(v); }},
+      {"world.min_instances", true, 2, 1,
+       [](const Scenario& s) { return double(s.world.min_instances); },
+       [](Scenario* s, double v) { s->world.min_instances = int(v); }},
+      {"world.max_instances", true, 3, 4,
+       [](const Scenario& s) { return double(s.world.max_instances); },
+       [](Scenario* s, double v) { s->world.max_instances = int(v); }},
+      {"world.popularity_zipf", false, 0.0, 0.1,
+       [](const Scenario& s) { return s.world.popularity_zipf; },
+       [](Scenario* s, double v) { s->world.popularity_zipf = v; }},
+      {"world.polysemy_rate", false, 0.0, 0.05,
+       [](const Scenario& s) { return s.world.polysemy_rate; },
+       [](Scenario* s, double v) { s->world.polysemy_rate = v; }},
+      {"world.similar_twin_rate", false, 0.0, 0.05,
+       [](const Scenario& s) { return s.world.similar_twin_rate; },
+       [](Scenario* s, double v) { s->world.similar_twin_rate = v; }},
+      {"world.twin_overlap", false, 0.3, 0.05,
+       [](const Scenario& s) { return s.world.twin_overlap; },
+       [](Scenario* s, double v) { s->world.twin_overlap = v; }},
+      {"world.min_confusables", true, 0, 1,
+       [](const Scenario& s) { return double(s.world.min_confusables); },
+       [](Scenario* s, double v) { s->world.min_confusables = int(v); }},
+      {"world.max_confusables", true, 1, 1,
+       [](const Scenario& s) { return double(s.world.max_confusables); },
+       [](Scenario* s, double v) { s->world.max_confusables = int(v); }},
+      {"world.verified_fraction", false, 0.0, 0.05,
+       [](const Scenario& s) { return s.world.verified_fraction; },
+       [](Scenario* s, double v) { s->world.verified_fraction = v; }},
+      {"world.morph_variant_rate", false, 0.0, 0.1,
+       [](const Scenario& s) { return s.world.morph_variant_rate; },
+       [](Scenario* s, double v) { s->world.morph_variant_rate = v; }},
+      {"corpus.num_sentences", true, 100, 100,
+       [](const Scenario& s) { return double(s.corpus.num_sentences); },
+       [](Scenario* s, double v) { s->corpus.num_sentences = int(v); }},
+      {"corpus.frac_ambiguous", false, 0.0, 0.05,
+       [](const Scenario& s) { return s.corpus.frac_ambiguous; },
+       [](Scenario* s, double v) { s->corpus.frac_ambiguous = v; }},
+      {"corpus.polyseme_link_prob", false, 0.0, 0.05,
+       [](const Scenario& s) { return s.corpus.polyseme_link_prob; },
+       [](Scenario* s, double v) { s->corpus.polyseme_link_prob = v; }},
+      {"corpus.ambiguous_uniform_prob", false, 0.95, 0.05,
+       [](const Scenario& s) { return s.corpus.ambiguous_uniform_prob; },
+       [](Scenario* s, double v) { s->corpus.ambiguous_uniform_prob = v; }},
+      {"corpus.misparse_rate", false, 0.0, 0.01,
+       [](const Scenario& s) { return s.corpus.misparse_rate; },
+       [](Scenario* s, double v) { s->corpus.misparse_rate = v; }},
+      {"corpus.misparse_late_frac", false, 0.0, 0.1,
+       [](const Scenario& s) { return s.corpus.misparse_late_frac; },
+       [](Scenario* s, double v) { s->corpus.misparse_late_frac = v; }},
+      {"corpus.wrongfact_rate", false, 0.0, 0.01,
+       [](const Scenario& s) { return s.corpus.wrongfact_rate; },
+       [](Scenario* s, double v) { s->corpus.wrongfact_rate = v; }},
+      {"corpus.concept_zipf", false, 0.0, 0.1,
+       [](const Scenario& s) { return s.corpus.concept_zipf; },
+       [](Scenario* s, double v) { s->corpus.concept_zipf = v; }},
+      {"pipeline.max_iterations", true, 1, 1,
+       [](const Scenario& s) { return double(s.pipeline.max_iterations); },
+       [](Scenario* s, double v) { s->pipeline.max_iterations = int(v); }},
+      {"pipeline.max_rounds", true, 0, 1,
+       [](const Scenario& s) { return double(s.pipeline.max_rounds); },
+       [](Scenario* s, double v) { s->pipeline.max_rounds = int(v); }},
+      {"pipeline.mutex_threshold", false, 0.15, 0.05,
+       [](const Scenario& s) { return s.pipeline.mutex_threshold; },
+       [](Scenario* s, double v) { s->pipeline.mutex_threshold = v; }},
+      {"pipeline.similar_threshold", false, 0.5, 0.05,
+       [](const Scenario& s) { return s.pipeline.similar_threshold; },
+       [](Scenario* s, double v) { s->pipeline.similar_threshold = v; }},
+      {"pipeline.min_core_instances", true, 3, 1,
+       [](const Scenario& s) { return double(s.pipeline.min_core_instances); },
+       [](Scenario* s, double v) { s->pipeline.min_core_instances = int(v); }},
+      {"pipeline.frequency_threshold_k", true, 4, 1,
+       [](const Scenario& s) { return double(s.pipeline.frequency_threshold_k); },
+       [](Scenario* s, double v) { s->pipeline.frequency_threshold_k = int(v); }},
+      {"pipeline.eq21_min_average_vote", false, 0.42, 0.02,
+       [](const Scenario& s) { return s.pipeline.eq21_min_average_vote; },
+       [](Scenario* s, double v) { s->pipeline.eq21_min_average_vote = v; }},
+      {"pipeline.eq21_gate_accidental", true, 1, 1,
+       [](const Scenario& s) { return s.pipeline.eq21_gate_accidental ? 1.0 : 0.0; },
+       [](Scenario* s, double v) { s->pipeline.eq21_gate_accidental = v != 0.0; }},
+      {"pipeline.serialize_roundtrip", true, 0, 1,
+       [](const Scenario& s) { return s.pipeline.serialize_roundtrip ? 1.0 : 0.0; },
+       [](Scenario* s, double v) { s->pipeline.serialize_roundtrip = v != 0.0; }},
+      {"faults.rate", false, 0.0, 0.05,
+       [](const Scenario& s) { return s.faults.rate; },
+       [](Scenario* s, double v) { s->faults.rate = v; }},
+      {"faults.transient_attempts", true, 0, 1,
+       [](const Scenario& s) { return double(s.faults.transient_attempts); },
+       [](Scenario* s, double v) { s->faults.transient_attempts = int(v); }},
+      {"faults.max_retries", true, 0, 1,
+       [](const Scenario& s) { return double(s.faults.max_retries); },
+       [](Scenario* s, double v) { s->faults.max_retries = int(v); }},
+  };
+  return dims;
+}
+
+/// Current position of a dimension in notches above its benign anchor.
+/// Values below benign (possible in hand-written scenarios) count as
+/// negative notches and shrink upward toward benign the same way.
+long NotchesOf(const Dim& dim, const Scenario& s) {
+  return std::lround((dim.get(s) - dim.benign) / dim.step);
+}
+
+double ValueAtNotch(const Dim& dim, long notch) {
+  double v = dim.benign + double(notch) * dim.step;
+  if (dim.is_int) v = std::round(v);
+  return v;
+}
+
+class CachedPredicate {
+ public:
+  CachedPredicate(const ScenarioPredicate& predicate, size_t max_evaluations)
+      : predicate_(predicate), max_evaluations_(max_evaluations) {}
+
+  /// False on cap: a candidate we could not afford to evaluate is treated
+  /// as not reproducing, so it is never committed.
+  bool Holds(const Scenario& s) {
+    const std::string key = ScenarioToToml(s);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+    if (evaluations_ >= max_evaluations_) {
+      capped_ = true;
+      return false;
+    }
+    ++evaluations_;
+    bool holds = predicate_(s);
+    cache_.emplace(key, holds);
+    return holds;
+  }
+
+  size_t evaluations() const { return evaluations_; }
+  bool capped() const { return capped_; }
+
+ private:
+  const ScenarioPredicate& predicate_;
+  size_t max_evaluations_;
+  size_t evaluations_ = 0;
+  bool capped_ = false;
+  std::unordered_map<std::string, bool> cache_;
+};
+
+/// Tries `notch` for `dim`; commits into *s when the candidate is valid and
+/// the failure still reproduces.
+bool TryNotch(const Dim& dim, long notch, Scenario* s, CachedPredicate* pred) {
+  Scenario candidate = *s;
+  dim.set(&candidate, ValueAtNotch(dim, notch));
+  if (!ValidateScenario(candidate).ok()) return false;
+  if (!pred->Holds(candidate)) return false;
+  *s = candidate;
+  return true;
+}
+
+/// Walks one dimension as far toward benign as the predicate allows:
+/// jump-to-benign and halving for speed, then single notches. The loop only
+/// exits once the one-notch move fails (or notch 0 is reached), which is
+/// the per-dimension minimality certificate.
+bool ShrinkDim(const Dim& dim, Scenario* s, CachedPredicate* pred) {
+  bool changed = false;
+  while (true) {
+    long n = NotchesOf(dim, *s);
+    if (n == 0) break;
+    long toward = n > 0 ? 1 : -1;
+    // Candidates ordered most-aggressive first; duplicates collapse when n
+    // is small.
+    long candidates[3] = {0, n / 2, n - toward};
+    bool moved = false;
+    for (long cand : candidates) {
+      if (cand == n) continue;
+      if (std::abs(cand) > std::abs(n)) continue;
+      if (TryNotch(dim, cand, s, pred)) {
+        moved = true;
+        changed = true;
+        break;
+      }
+    }
+    if (!moved) break;
+  }
+  return changed;
+}
+
+/// With the fault overlay shrunk inert (rate 0), its remaining fields are
+/// noise in the minimized file — clear them when behavior is unchanged.
+bool SimplifyInertFaults(Scenario* s, CachedPredicate* pred) {
+  if (s->faults.rate != 0.0) return false;
+  if (s->faults.kinds.empty() && s->faults.stages.empty() &&
+      s->faults.seed == 0) {
+    return false;
+  }
+  Scenario candidate = *s;
+  candidate.faults.kinds.clear();
+  candidate.faults.stages.clear();
+  candidate.faults.seed = 0;
+  if (!ValidateScenario(candidate).ok()) return false;
+  if (!pred->Holds(candidate)) return false;
+  *s = candidate;
+  return true;
+}
+
+}  // namespace
+
+Result<ShrinkResult> ShrinkScenario(const Scenario& failing,
+                                    const ScenarioPredicate& predicate,
+                                    const ShrinkOptions& options) {
+  if (Status st = ValidateScenario(failing); !st.ok()) return st;
+  CachedPredicate pred(predicate, options.max_evaluations);
+  if (!pred.Holds(failing)) {
+    return Status::InvalidArgument(
+        "shrink: predicate does not hold on the input scenario");
+  }
+
+  ShrinkResult result;
+  result.scenario = failing;
+  // Dimensions interact (a smaller world can unlock a smaller corpus), so
+  // sweep until a whole pass commits nothing.
+  while (true) {
+    ++result.passes;
+    bool changed = false;
+    for (const Dim& dim : Dimensions()) {
+      if (ShrinkDim(dim, &result.scenario, &pred)) changed = true;
+      if (pred.capped()) break;
+    }
+    if (SimplifyInertFaults(&result.scenario, &pred)) changed = true;
+    if (!changed || pred.capped()) break;
+  }
+  result.evaluations = pred.evaluations();
+  result.reached_eval_cap = pred.capped();
+  return result;
+}
+
+}  // namespace scenario
+}  // namespace semdrift

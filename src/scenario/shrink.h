@@ -1,0 +1,55 @@
+#ifndef SEMDRIFT_SCENARIO_SHRINK_H_
+#define SEMDRIFT_SCENARIO_SHRINK_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "scenario/scenario.h"
+#include "util/status.h"
+
+namespace semdrift {
+namespace scenario {
+
+/// True when the failure under investigation still reproduces on `s`.
+/// The shrinker only commits moves the predicate accepts, so the predicate
+/// defines what is being minimized (an invariant break, a precision
+/// collapse, a cleaning regression — see hunt.h's failure classes).
+using ScenarioPredicate = std::function<bool(const Scenario&)>;
+
+struct ShrinkOptions {
+  /// Hard cap on predicate evaluations (cache misses). The shrink sequence
+  /// is deterministic, so a capped shrink is still reproducible — just not
+  /// guaranteed one-notch minimal.
+  size_t max_evaluations = 400;
+};
+
+struct ShrinkResult {
+  Scenario scenario;
+  /// Predicate evaluations actually run (cache misses).
+  size_t evaluations = 0;
+  /// Full dimension sweeps until fixpoint.
+  size_t passes = 0;
+  /// True when max_evaluations stopped the shrink before fixpoint.
+  bool reached_eval_cap = false;
+};
+
+/// Deterministically minimizes a failing scenario: every numeric dimension
+/// is walked toward its benign anchor on a fixed quantized ladder
+/// (bisection jumps for speed, then a one-notch confirm), in a fixed
+/// dimension order, over repeated passes until no dimension moves. The
+/// shrinker draws no randomness and evaluates candidates strictly
+/// sequentially, so the same failing scenario and predicate minimize to the
+/// same scenario — byte-for-byte after ScenarioToToml — at any thread
+/// count. At fixpoint (cap not hit), moving any single dimension one notch
+/// further toward benign either breaks validity or loses the failure.
+///
+/// Returns kInvalidArgument when the predicate rejects the input itself
+/// (there is no failure to minimize).
+Result<ShrinkResult> ShrinkScenario(const Scenario& failing,
+                                    const ScenarioPredicate& predicate,
+                                    const ShrinkOptions& options = {});
+
+}  // namespace scenario
+}  // namespace semdrift
+
+#endif  // SEMDRIFT_SCENARIO_SHRINK_H_

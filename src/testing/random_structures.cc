@@ -1,55 +1,37 @@
-#ifndef SEMDRIFT_TESTS_PROPERTY_TEST_UTIL_H_
-#define SEMDRIFT_TESTS_PROPERTY_TEST_UTIL_H_
+#include "testing/random_structures.h"
 
 #include <algorithm>
-#include <cstdint>
-#include <cstddef>
+#include <utility>
 #include <vector>
 
-#include "corpus/world.h"
-#include "kb/knowledge_base.h"
 #include "text/ids.h"
-#include "util/rng.h"
-#include "util/supervisor.h"
 
 namespace semdrift {
 namespace property {
 
-/// Seeded random-structure generators for property-based tests. Every
-/// generator is a pure function of its seed (same seed -> same structure on
-/// every platform), so a failing property prints the seed and the failure
-/// replays exactly. The distributions are deliberately skewed toward small
-/// shapes: shrinking is not implemented, so small inputs ARE the shrunk
-/// counterexamples.
-
-/// A small random world: 3-12 concepts, 2-6..26 members each, randomized
-/// polysemy/twin/verified rates spanning the interesting corners (no twins
-/// at all vs. heavy overlap, nothing verified vs. majority verified).
-inline World RandomWorld(uint64_t seed) {
-  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+WorldSpec RandomWorldSpec(Rng* rng) {
   WorldSpec spec;
-  spec.num_concepts = static_cast<int>(rng.NextInt(3, 12));
-  spec.min_instances = static_cast<int>(rng.NextInt(2, 6));
-  spec.max_instances = spec.min_instances + static_cast<int>(rng.NextInt(0, 20));
-  spec.popularity_zipf = rng.NextDouble(0.5, 2.0);
-  spec.polysemy_rate = rng.NextDouble(0.0, 0.5);
-  spec.similar_twin_rate = rng.NextDouble(0.0, 0.3);
-  spec.twin_overlap = rng.NextDouble(0.3, 0.9);
+  spec.num_concepts = static_cast<int>(rng->NextInt(3, 12));
+  spec.min_instances = static_cast<int>(rng->NextInt(2, 6));
+  spec.max_instances = spec.min_instances + static_cast<int>(rng->NextInt(0, 20));
+  spec.popularity_zipf = rng->NextDouble(0.5, 2.0);
+  spec.polysemy_rate = rng->NextDouble(0.0, 0.5);
+  spec.similar_twin_rate = rng->NextDouble(0.0, 0.3);
+  spec.twin_overlap = rng->NextDouble(0.3, 0.9);
   spec.min_confusables = 1;
-  spec.max_confusables = static_cast<int>(rng.NextInt(1, 4));
-  spec.verified_fraction = rng.NextDouble(0.0, 0.6);
+  spec.max_confusables = static_cast<int>(rng->NextInt(1, 4));
+  spec.verified_fraction = rng->NextDouble(0.0, 0.6);
+  return spec;
+}
+
+World RandomWorld(uint64_t seed) {
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+  WorldSpec spec = RandomWorldSpec(&rng);
   return GenerateWorld(spec, &rng);
 }
 
-/// A random but always-valid knowledge base over `world`: 5-80 extraction
-/// events (fresh sentence ids, 1-3 distinct true members of a random
-/// concept, triggers drawn from pairs already live for that concept so the
-/// trigger graph is well-formed) followed by a burst of random rollbacks
-/// under random cascade policies. The result passes
-/// KnowledgeBase::Validate(world.num_concepts(), *num_sentences) by
-/// construction — the property tests assert it anyway.
-inline KnowledgeBase RandomKb(const World& world, uint64_t seed,
-                              size_t* num_sentences) {
+KnowledgeBase RandomKb(const World& world, uint64_t seed,
+                       size_t* num_sentences) {
   Rng rng(seed * 0x2545f4914f6cdd1dULL + 7);
   KnowledgeBase kb;
   uint32_t next_sentence = 0;
@@ -89,10 +71,7 @@ inline KnowledgeBase RandomKb(const World& world, uint64_t seed,
   return kb;
 }
 
-/// A random health report over `world`'s concept id space: per-concept
-/// outcomes across all stages, dropped instances, and sometimes a detector
-/// fallback. Used to cover the snapshot's quarantine/degraded flags.
-inline RunHealthReport RandomHealth(const World& world, uint64_t seed) {
+RunHealthReport RandomHealth(const World& world, uint64_t seed) {
   Rng rng(seed * 0xda942042e4dd58b5ULL + 13);
   RunHealthReport health;
   const PipelineStage stages[] = {
@@ -123,5 +102,3 @@ inline RunHealthReport RandomHealth(const World& world, uint64_t seed) {
 
 }  // namespace property
 }  // namespace semdrift
-
-#endif  // SEMDRIFT_TESTS_PROPERTY_TEST_UTIL_H_

@@ -1,0 +1,51 @@
+#ifndef SEMDRIFT_TESTING_RANDOM_STRUCTURES_H_
+#define SEMDRIFT_TESTING_RANDOM_STRUCTURES_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "corpus/world.h"
+#include "kb/knowledge_base.h"
+#include "util/rng.h"
+#include "util/supervisor.h"
+
+namespace semdrift {
+namespace property {
+
+/// Seeded random-structure generators shared by the property-based tests and
+/// the adversarial scenario grammar (src/scenario/). Every generator is a
+/// pure function of its seed (same seed -> same structure on every
+/// platform), so a failing property prints the seed and the failure replays
+/// exactly. The distributions are deliberately skewed toward small shapes:
+/// small inputs ARE the shrunk counterexamples.
+
+/// A random *friendly* world spec: 3-12 concepts, 2-6..26 members each,
+/// randomized polysemy/twin/verified rates spanning the interesting corners
+/// (no twins at all vs. heavy overlap, nothing verified vs. majority
+/// verified). The scenario grammar starts from this and then pushes
+/// individual dimensions into hostile territory.
+WorldSpec RandomWorldSpec(Rng* rng);
+
+/// RandomWorldSpec materialized: draws a spec and generates the world from
+/// the same stream.
+World RandomWorld(uint64_t seed);
+
+/// A random but always-valid knowledge base over `world`: 5-80 extraction
+/// events (fresh sentence ids, 1-3 distinct true members of a random
+/// concept, triggers drawn from pairs already live for that concept so the
+/// trigger graph is well-formed) followed by a burst of random rollbacks
+/// under random cascade policies. The result passes
+/// KnowledgeBase::Validate(world.num_concepts(), *num_sentences) by
+/// construction — the property tests assert it anyway.
+KnowledgeBase RandomKb(const World& world, uint64_t seed,
+                       size_t* num_sentences);
+
+/// A random health report over `world`'s concept id space: per-concept
+/// outcomes across all stages, dropped instances, and sometimes a detector
+/// fallback. Used to cover the snapshot's quarantine/degraded flags.
+RunHealthReport RandomHealth(const World& world, uint64_t seed);
+
+}  // namespace property
+}  // namespace semdrift
+
+#endif  // SEMDRIFT_TESTING_RANDOM_STRUCTURES_H_

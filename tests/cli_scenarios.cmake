@@ -1,0 +1,92 @@
+# CTest script: replays the checked-in adversarial scenario corpus and
+# checks the hunter's cross-thread-count determinism.
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+# Every scenarios/*.toml must load, run, and stay inside its recorded
+# envelope. One invocation covers them all so a regression names the
+# offending scenario in its output.
+file(GLOB scenario_files ${SCENARIO_DIR}/*.toml)
+list(LENGTH scenario_files num_scenarios)
+if(num_scenarios LESS 8)
+  message(FATAL_ERROR "expected >= 8 checked-in scenarios, found ${num_scenarios}")
+endif()
+list(SORT scenario_files)
+execute_process(
+  COMMAND ${CLI} scenario-run ${scenario_files}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "scenario replay failed (${rc}):\n${out}\n${err}")
+endif()
+if(out MATCHES "FAIL")
+  message(FATAL_ERROR "scenario replay reported FAIL:\n${out}")
+endif()
+
+# Replaying twice must print identical metrics — the corpus is the
+# regression baseline, so any nondeterminism here invalidates the gate.
+execute_process(
+  COMMAND ${CLI} scenario-run ${scenario_files}
+  RESULT_VARIABLE rc2 OUTPUT_VARIABLE out2 ERROR_VARIABLE err2)
+if(NOT rc2 EQUAL 0 OR NOT out STREQUAL out2)
+  message(FATAL_ERROR "scenario replay is not deterministic:\n--- first\n${out}\n--- second\n${out2}")
+endif()
+
+# A malformed scenario file is a usage error (exit 2), never a crash.
+file(WRITE ${WORK_DIR}/broken.toml "[scenario]\nname = \"broken\"\nbogus_key = 1\n")
+execute_process(
+  COMMAND ${CLI} scenario-run ${WORK_DIR}/broken.toml
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "broken scenario should exit 2, got ${rc}: ${out} ${err}")
+endif()
+
+# scenario-hunt with a fixed seed must mint byte-identical minimized
+# scenarios at 1 and 8 threads (the acceptance bar for the shrinker).
+execute_process(
+  COMMAND ${CLI} scenario-hunt --seed 100 --samples 8 --archetype burst-noise
+          --out-dir ${WORK_DIR}/hunt1 --threads 1
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out1 ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "hunt (1 thread) failed (${rc}): ${out1} ${err}")
+endif()
+execute_process(
+  COMMAND ${CLI} scenario-hunt --seed 100 --samples 8 --archetype burst-noise
+          --out-dir ${WORK_DIR}/hunt8 --threads 8
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out8 ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "hunt (8 threads) failed (${rc}): ${out8} ${err}")
+endif()
+# The reports embed their --out-dir paths; normalize before comparing.
+string(REPLACE "${WORK_DIR}/hunt1" "OUT" norm1 "${out1}")
+string(REPLACE "${WORK_DIR}/hunt8" "OUT" norm8 "${out8}")
+if(NOT norm1 STREQUAL norm8)
+  message(FATAL_ERROR "hunt reports differ across thread counts:\n--- 1 thread\n${out1}\n--- 8 threads\n${out8}")
+endif()
+file(GLOB hunt1_files RELATIVE ${WORK_DIR}/hunt1 ${WORK_DIR}/hunt1/*.toml)
+file(GLOB hunt8_files RELATIVE ${WORK_DIR}/hunt8 ${WORK_DIR}/hunt8/*.toml)
+if(NOT hunt1_files STREQUAL hunt8_files)
+  message(FATAL_ERROR "hunt finding sets differ: ${hunt1_files} vs ${hunt8_files}")
+endif()
+if(hunt1_files STREQUAL "")
+  message(FATAL_ERROR "hunt found nothing; the determinism check is vacuous")
+endif()
+foreach(f ${hunt1_files})
+  file(READ ${WORK_DIR}/hunt1/${f} a)
+  file(READ ${WORK_DIR}/hunt8/${f} b)
+  if(NOT a STREQUAL b)
+    message(FATAL_ERROR "minimized scenario ${f} differs across thread counts")
+  endif()
+endforeach()
+
+# scenario-sample must round-trip: the emitted file re-runs cleanly.
+execute_process(
+  COMMAND ${CLI} scenario-sample --seed 42 --out ${WORK_DIR}/sampled.toml
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "scenario-sample failed (${rc}): ${out} ${err}")
+endif()
+execute_process(
+  COMMAND ${CLI} scenario-run ${WORK_DIR}/sampled.toml
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "sampled scenario failed to run (${rc}): ${out} ${err}")
+endif()

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <unordered_set>
 
 #include "corpus/generator.h"
@@ -344,6 +345,152 @@ TEST_F(GeneratorTest, RenderTextToggle) {
   Corpus corpus = GenerateCorpus(world_, spec, &rng);
   for (const auto& sentence : corpus.sentences.sentences()) {
     EXPECT_TRUE(sentence.text.empty());
+  }
+}
+
+TEST(WorldSpecValidationTest, RejectsDegenerateSpecs) {
+  WorldSpec ok;
+  EXPECT_TRUE(ValidateWorldSpec(ok).ok());
+
+  WorldSpec spec;
+  spec.num_concepts = 0;
+  EXPECT_FALSE(ValidateWorldSpec(spec).ok());
+
+  spec = WorldSpec();
+  spec.min_instances = 5;
+  spec.max_instances = 4;
+  EXPECT_FALSE(ValidateWorldSpec(spec).ok());
+
+  spec = WorldSpec();
+  spec.polysemy_rate = -0.1;
+  EXPECT_FALSE(ValidateWorldSpec(spec).ok());
+
+  spec = WorldSpec();
+  spec.polysemy_rate = std::nan("");
+  EXPECT_FALSE(ValidateWorldSpec(spec).ok());
+
+  spec = WorldSpec();
+  spec.morph_variant_rate = 1.5;
+  EXPECT_FALSE(ValidateWorldSpec(spec).ok());
+
+  spec = WorldSpec();
+  spec.max_confusables = spec.min_confusables - 1;
+  EXPECT_FALSE(ValidateWorldSpec(spec).ok());
+}
+
+TEST(WorldSpecValidationTest, CheckedGeneratorReturnsStatusNotAssert) {
+  WorldSpec spec;
+  spec.num_concepts = 0;
+  Rng rng(1);
+  auto world = GenerateWorldChecked(spec, &rng);
+  EXPECT_FALSE(world.ok());
+
+  spec = WorldSpec();
+  auto good = GenerateWorldChecked(spec, &rng);
+  ASSERT_TRUE(good.ok());
+  EXPECT_GT(good->num_concepts(), 0u);
+}
+
+TEST(WorldSpecValidationTest, MorphVariantRateZeroPreservesLegacyStream) {
+  // The morphology branch must consume no rng draws at rate 0, so legacy
+  // seeds keep producing byte-identical worlds.
+  WorldSpec spec;
+  spec.num_concepts = 20;
+  Rng rng_a(77);
+  World a = GenerateWorld(spec, &rng_a);
+  spec.morph_variant_rate = 0.0;
+  Rng rng_b(77);
+  World b = GenerateWorld(spec, &rng_b);
+  ASSERT_EQ(a.num_instances(), b.num_instances());
+  for (uint32_t i = 0; i < a.num_instances(); ++i) {
+    EXPECT_EQ(a.InstanceName(InstanceId(i)), b.InstanceName(InstanceId(i)));
+  }
+}
+
+TEST(WorldSpecValidationTest, MorphVariantsProducePluralSurfaces) {
+  WorldSpec spec;
+  spec.num_concepts = 20;
+  spec.morph_variant_rate = 0.6;
+  Rng rng(77);
+  World world = GenerateWorld(spec, &rng);
+  size_t plural_pairs = 0;
+  std::unordered_set<std::string> names;
+  for (uint32_t i = 0; i < world.num_instances(); ++i) {
+    names.insert(world.InstanceName(InstanceId(i)));
+  }
+  for (const std::string& name : names) {
+    if (name.size() > 1 && names.count(name + "s") > 0) ++plural_pairs;
+  }
+  EXPECT_GT(plural_pairs, 0u);
+}
+
+TEST(CorpusSpecValidationTest, RejectsDegenerateSpecs) {
+  CorpusSpec ok;
+  EXPECT_TRUE(ValidateCorpusSpec(ok).ok());
+
+  CorpusSpec spec;
+  spec.num_sentences = -1;
+  EXPECT_FALSE(ValidateCorpusSpec(spec).ok());
+
+  spec = CorpusSpec();
+  spec.misparse_rate = 2.0;
+  EXPECT_FALSE(ValidateCorpusSpec(spec).ok());
+
+  spec = CorpusSpec();
+  spec.misparse_late_frac = -0.5;
+  EXPECT_FALSE(ValidateCorpusSpec(spec).ok());
+
+  spec = CorpusSpec();
+  spec.min_list = 3;
+  spec.max_list = 2;
+  EXPECT_FALSE(ValidateCorpusSpec(spec).ok());
+}
+
+TEST_F(GeneratorTest, CheckedGeneratorMatchesUnchecked) {
+  CorpusSpec spec;
+  spec.num_sentences = 300;
+  Rng rng_a(99);
+  Corpus plain = GenerateCorpus(world_, spec, &rng_a);
+  Rng rng_b(99);
+  auto checked = GenerateCorpusChecked(world_, spec, &rng_b);
+  ASSERT_TRUE(checked.ok());
+  ASSERT_EQ(plain.sentences.size(), checked->sentences.size());
+
+  spec.num_sentences = -5;
+  Rng rng_c(99);
+  EXPECT_FALSE(GenerateCorpusChecked(world_, spec, &rng_c).ok());
+}
+
+TEST_F(GeneratorTest, MisparseLateFracConcentratesFalsePairsLate) {
+  CorpusSpec spec;
+  spec.num_sentences = 4000;
+  spec.misparse_rate = 0.2;
+  spec.misparse_late_frac = 1.0;
+  Rng rng(52);
+  Corpus corpus = GenerateCorpus(world_, spec, &rng);
+  // With late_frac 1.0 every misparsed sentence carries two wrong
+  // candidates instead of one.
+  size_t double_wrong = 0, single_wrong = 0;
+  for (size_t i = 0; i < corpus.sentences.size(); ++i) {
+    const auto& truth = corpus.truths[i];
+    if (truth.kind != SentenceKind::kMisparse) continue;
+    const auto& sentence = corpus.sentences.sentences()[i];
+    if (sentence.candidate_concepts.size() >= 2) {
+      ++double_wrong;
+    } else {
+      ++single_wrong;
+    }
+  }
+  EXPECT_GT(double_wrong, 0u);
+  EXPECT_EQ(single_wrong, 0u);
+
+  // And at 0.0 the legacy single-wrong shape is preserved.
+  spec.misparse_late_frac = 0.0;
+  Rng rng2(52);
+  Corpus legacy = GenerateCorpus(world_, spec, &rng2);
+  for (size_t i = 0; i < legacy.sentences.size(); ++i) {
+    if (legacy.truths[i].kind != SentenceKind::kMisparse) continue;
+    EXPECT_EQ(legacy.sentences.sentences()[i].candidate_concepts.size(), 1u);
   }
 }
 

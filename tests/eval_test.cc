@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <unordered_set>
 
 #include "eval/experiment.h"
@@ -93,6 +94,73 @@ TEST(MetricsTest, PrfFromCounts) {
   Prf zero = Prf::FromCounts(0, 0, 0);
   EXPECT_EQ(zero.precision, 0.0);
   EXPECT_EQ(zero.f1, 0.0);
+}
+
+TEST(MetricsTest, EmptyDenominatorsAreDefinedZerosNeverNan) {
+  Prf full = Prf::FromCounts(8, 10, 16);
+  EXPECT_TRUE(full.precision_defined);
+  EXPECT_TRUE(full.recall_defined);
+
+  Prf no_predictions = Prf::FromCounts(0, 0, 16);
+  EXPECT_FALSE(no_predictions.precision_defined);
+  EXPECT_TRUE(no_predictions.recall_defined);
+  EXPECT_FALSE(std::isnan(no_predictions.precision));
+  EXPECT_FALSE(std::isnan(no_predictions.f1));
+
+  Prf no_actuals = Prf::FromCounts(0, 10, 0);
+  EXPECT_TRUE(no_actuals.precision_defined);
+  EXPECT_FALSE(no_actuals.recall_defined);
+  EXPECT_FALSE(std::isnan(no_actuals.recall));
+}
+
+TEST(MetricsTest, CleaningMetricsFlagEmptyPopulations) {
+  World world = BuildTruthWorld();
+  GroundTruth truth(&world);
+  ConceptId animal = world.FindConcept("animal");
+  InstanceId dog = world.FindInstance("dog");
+
+  // Nothing removed: perror undefined; everything else defined.
+  std::vector<IsAPair> population{{animal, dog}};
+  CleaningMetrics kept = EvaluateCleaning(truth, population, {});
+  EXPECT_FALSE(kept.perror_defined);
+  EXPECT_FALSE(kept.rerror_defined);  // No errors in population either.
+  EXPECT_TRUE(kept.pcorr_defined);
+  EXPECT_TRUE(kept.rcorr_defined);
+  EXPECT_FALSE(std::isnan(kept.perror));
+  EXPECT_FALSE(std::isnan(kept.rerror));
+
+  // Everything removed: pcorr undefined.
+  std::unordered_set<IsAPair, IsAPairHash> all{{animal, dog}};
+  CleaningMetrics emptied = EvaluateCleaning(truth, population, all);
+  EXPECT_FALSE(emptied.pcorr_defined);
+  EXPECT_FALSE(std::isnan(emptied.pcorr));
+
+  // Empty population: all four undefined, none NaN.
+  CleaningMetrics empty = EvaluateCleaning(truth, {}, {});
+  EXPECT_FALSE(empty.perror_defined);
+  EXPECT_FALSE(empty.rerror_defined);
+  EXPECT_FALSE(empty.pcorr_defined);
+  EXPECT_FALSE(empty.rcorr_defined);
+}
+
+TEST(MetricsTest, PrecisionSampleTracksDenominator) {
+  World world = BuildTruthWorld();
+  GroundTruth truth(&world);
+  KnowledgeBase kb;
+  std::vector<ConceptId> scope{world.FindConcept("animal")};
+
+  PrecisionSample empty = LivePairPrecisionSample(truth, kb, scope);
+  EXPECT_FALSE(empty.defined);
+  EXPECT_EQ(empty.pairs, 0u);
+  EXPECT_EQ(empty.value, 0.0);
+
+  kb.ApplyExtraction(SentenceId(0), world.FindConcept("animal"),
+                     {world.FindInstance("dog")}, {}, 1);
+  PrecisionSample one = LivePairPrecisionSample(truth, kb, scope);
+  EXPECT_TRUE(one.defined);
+  EXPECT_EQ(one.pairs, 1u);
+  EXPECT_NEAR(one.value, 1.0, 1e-12);
+  EXPECT_NEAR(LivePairPrecision(truth, kb, scope), one.value, 1e-12);
 }
 
 TEST(MetricsTest, CleaningMetricsMatchHandComputation) {

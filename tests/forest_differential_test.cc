@@ -15,7 +15,7 @@
 #include "ml/random_forest.h"
 #include "mutex/mutex_index.h"
 #include "rank/scorers.h"
-#include "property_test_util.h"
+#include "testing/random_structures.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "scenario/grammar.h"
+#include "scenario/scenario.h"
+
+namespace semdrift {
+namespace scenario {
+namespace {
+
+TEST(ScenarioGrammarTest, SamplingIsDeterministic) {
+  for (uint64_t seed : {1ULL, 7ULL, 42ULL, 9999ULL}) {
+    Scenario a = SampleScenario(seed);
+    Scenario b = SampleScenario(seed);
+    EXPECT_EQ(ScenarioToToml(a), ScenarioToToml(b)) << "seed " << seed;
+  }
+}
+
+TEST(ScenarioGrammarTest, DifferentSeedsDiffer) {
+  EXPECT_NE(ScenarioToToml(SampleScenario(1)), ScenarioToToml(SampleScenario(2)));
+}
+
+TEST(ScenarioGrammarTest, EveryArchetypeSamplesValid) {
+  for (const std::string& archetype : ScenarioArchetypes()) {
+    for (uint64_t seed = 1; seed <= 20; ++seed) {
+      Scenario s = SampleScenario(seed, archetype);
+      EXPECT_EQ(s.archetype, archetype);
+      Status st = ValidateScenario(s);
+      EXPECT_TRUE(st.ok()) << archetype << " seed " << seed << ": "
+                           << st.ToString();
+    }
+  }
+}
+
+TEST(ScenarioGrammarTest, ArchetypeDrawUsesSeparateStream) {
+  // The no-archetype overload must produce the same scenario as naming the
+  // archetype it drew — the archetype pick must not perturb the dimensions.
+  Scenario drawn = SampleScenario(77);
+  Scenario named = SampleScenario(77, drawn.archetype);
+  EXPECT_EQ(ScenarioToToml(drawn), ScenarioToToml(named));
+}
+
+TEST(ScenarioGrammarTest, TomlRoundTripIsByteExact) {
+  for (uint64_t seed = 1; seed <= 30; ++seed) {
+    Scenario s = SampleScenario(seed);
+    // Exercise the envelope section too.
+    s.envelope.min_precision_after = 0.123456789012345;
+    s.envelope.max_rounds = 5;
+    std::string toml = ScenarioToToml(s);
+    auto parsed = ScenarioFromToml(toml);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_EQ(toml, ScenarioToToml(*parsed)) << "seed " << seed;
+  }
+}
+
+TEST(ScenarioGrammarTest, NotesWithEscapesRoundTrip) {
+  Scenario s = SampleScenario(3);
+  s.notes = "line one\nquote \" and backslash \\ end";
+  auto parsed = ScenarioFromToml(ScenarioToToml(s));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->notes, s.notes);
+}
+
+TEST(ScenarioGrammarTest, UnknownKeyIsHardError) {
+  Scenario s = SampleScenario(1);
+  std::string toml = ScenarioToToml(s);
+  auto bad = ScenarioFromToml(toml + "\n[pipeline]\nmax_roundz = 3\n");
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(ScenarioGrammarTest, UnknownSectionIsHardError) {
+  auto bad = ScenarioFromToml(ScenarioToToml(SampleScenario(1)) +
+                              "\n[extras]\nx = 1\n");
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(ScenarioGrammarTest, ValidatorRejectsDegenerateKnobs) {
+  Scenario s = SampleScenario(1);
+  s.world.num_concepts = 0;
+  EXPECT_FALSE(ValidateScenario(s).ok());
+
+  s = SampleScenario(1);
+  s.corpus.misparse_rate = 1.5;
+  EXPECT_FALSE(ValidateScenario(s).ok());
+
+  s = SampleScenario(1);
+  s.name = "has/slash";
+  EXPECT_FALSE(ValidateScenario(s).ok());
+
+  s = SampleScenario(1);
+  s.pipeline.similar_threshold = 0.1;
+  s.pipeline.mutex_threshold = 0.2;
+  EXPECT_FALSE(ValidateScenario(s).ok());
+
+  s = SampleScenario(1);
+  s.faults.kinds = {"sparkle"};
+  EXPECT_FALSE(ValidateScenario(s).ok());
+}
+
+TEST(ScenarioGrammarTest, StallRequiresStageDeadline) {
+  Scenario s = SampleScenario(1);
+  s.faults.rate = 0.1;
+  s.faults.kinds = {"stall"};
+  s.faults.stage_deadline_ms = 0;
+  EXPECT_FALSE(ValidateScenario(s).ok());
+  s.faults.stage_deadline_ms = 50;
+  EXPECT_TRUE(ValidateScenario(s).ok());
+}
+
+TEST(ScenarioGrammarTest, GrammarNeverSamplesStall) {
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    Scenario s = SampleScenario(seed, "fault-overlay");
+    for (const std::string& kind : s.faults.kinds) EXPECT_NE(kind, "stall");
+  }
+}
+
+}  // namespace
+}  // namespace scenario
+}  // namespace semdrift

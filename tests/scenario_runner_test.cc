@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "scenario/grammar.h"
+#include "scenario/hunt.h"
+#include "scenario/runner.h"
+
+namespace semdrift {
+namespace scenario {
+namespace {
+
+/// A small, cheap scenario that still exercises extraction + cleaning.
+Scenario SmallScenario() {
+  Scenario s = SampleScenario(3, "dp-dense");
+  s.corpus.num_sentences = 500;
+  s.world.num_concepts = 12;
+  return s;
+}
+
+TEST(ScenarioRunnerTest, RunIsDeterministic) {
+  Scenario s = SmallScenario();
+  auto a = RunScenario(s);
+  auto b = RunScenario(s);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_EQ(FormatMetricsLine(a->metrics), FormatMetricsLine(b->metrics));
+  EXPECT_EQ(a->metrics.live_pairs_before, b->metrics.live_pairs_before);
+  EXPECT_EQ(a->metrics.records_rolled_back, b->metrics.records_rolled_back);
+}
+
+TEST(ScenarioRunnerTest, InvalidScenarioIsStatusError) {
+  Scenario s = SmallScenario();
+  s.world.num_concepts = 0;
+  EXPECT_FALSE(RunScenario(s).ok());
+}
+
+TEST(ScenarioRunnerTest, PinnedEnvelopePassesAndTightenedEnvelopeFails) {
+  Scenario s = SmallScenario();
+  auto baseline = RunScenario(s);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  ASSERT_TRUE(baseline->metrics.precision_after_defined);
+
+  PinEnvelope(&s, baseline->metrics);
+  auto pinned = RunScenario(s);
+  ASSERT_TRUE(pinned.ok()) << pinned.status().ToString();
+  EXPECT_TRUE(pinned->ok())
+      << (pinned->violations.empty() ? "" : pinned->violations.front());
+
+  s.envelope.min_precision_after = baseline->metrics.precision_after + 0.01;
+  auto gated = RunScenario(s);
+  ASSERT_TRUE(gated.ok()) << gated.status().ToString();
+  EXPECT_FALSE(gated->ok());
+}
+
+TEST(ScenarioRunnerTest, MinBoundOnUndefinedMetricViolates) {
+  ScenarioMetrics m;
+  m.precision_after_defined = false;
+  ScenarioEnvelope envelope;
+  envelope.min_precision_after = 0.5;
+  std::vector<std::string> violations = CheckEnvelope(envelope, m);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("undefined"), std::string::npos);
+}
+
+TEST(ScenarioRunnerTest, CountCeilingsGate) {
+  ScenarioMetrics m;
+  m.rounds = 5;
+  m.records_rolled_back = 100;
+  ScenarioEnvelope envelope;
+  envelope.max_rounds = 4;
+  envelope.max_records_rolled_back = 99;
+  EXPECT_EQ(CheckEnvelope(envelope, m).size(), 2u);
+}
+
+TEST(ScenarioRunnerTest, SerializeRoundtripGateRuns) {
+  Scenario s = SampleScenario(11, "morphology");
+  s.corpus.num_sentences = 400;
+  ASSERT_TRUE(s.pipeline.serialize_roundtrip);
+  auto outcome = RunScenario(s);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_FALSE(outcome->invariant_failure)
+      << (outcome->violations.empty() ? "" : outcome->violations.front());
+}
+
+TEST(ScenarioRunnerTest, FaultOverlayQuarantinesDeterministically) {
+  Scenario s = SampleScenario(5, "fault-overlay");
+  s.corpus.num_sentences = 500;
+  auto a = RunScenario(s);
+  auto b = RunScenario(s);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->metrics.quarantined, b->metrics.quarantined);
+  EXPECT_EQ(a->metrics.drops, b->metrics.drops);
+}
+
+TEST(ScenarioRunnerTest, ClassifyFailureClasses) {
+  HuntOptions options;
+  options.precision_floor = 0.55;
+  options.min_pairs_for_collapse = 20;
+  options.regression_margin = 0.2;
+
+  ScenarioOutcome outcome;
+  outcome.metrics.rounds = 2;
+  outcome.metrics.records_rolled_back = 10;
+  outcome.metrics.live_pairs_after = 50;
+  outcome.metrics.precision_after = 0.4;
+  outcome.metrics.precision_after_defined = true;
+  outcome.metrics.precision_before = 0.5;
+  outcome.metrics.precision_before_defined = true;
+  EXPECT_EQ(ClassifyFailure(outcome, options), "precision-collapse");
+
+  // Cleaning never engaged: not a collapse, whatever the precision.
+  outcome.metrics.records_rolled_back = 0;
+  EXPECT_EQ(ClassifyFailure(outcome, options), "");
+  outcome.metrics.records_rolled_back = 10;
+
+  outcome.metrics.precision_after = 0.6;
+  outcome.metrics.precision_before = 0.9;
+  EXPECT_EQ(ClassifyFailure(outcome, options), "cleaning-regression");
+
+  outcome.metrics.precision_before = 0.7;
+  EXPECT_EQ(ClassifyFailure(outcome, options), "");
+
+  outcome.invariant_failure = true;
+  EXPECT_EQ(ClassifyFailure(outcome, options), "invariant");
+}
+
+}  // namespace
+}  // namespace scenario
+}  // namespace semdrift

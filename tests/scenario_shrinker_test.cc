@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "scenario/grammar.h"
+#include "scenario/runner.h"
+#include "scenario/shrink.h"
+#include "util/thread_pool.h"
+
+namespace semdrift {
+namespace scenario {
+namespace {
+
+/// A pure predicate over scenario fields (no pipeline run): lets the test
+/// prove exact minimality because the satisfying frontier is known.
+bool FieldPredicate(const Scenario& s) {
+  return s.corpus.misparse_rate >= 0.07 && s.world.num_concepts >= 20;
+}
+
+TEST(ScenarioShrinkerTest, MinimizesToTheKnownFrontier) {
+  Scenario start = SampleScenario(9, "burst-noise");
+  start.world.num_concepts = 48;
+  start.corpus.misparse_rate = 0.15;
+  ASSERT_TRUE(FieldPredicate(start));
+
+  auto shrunk = ShrinkScenario(start, FieldPredicate);
+  ASSERT_TRUE(shrunk.ok()) << shrunk.status().ToString();
+  EXPECT_FALSE(shrunk->reached_eval_cap);
+
+  // misparse_rate ladder is benign 0 step 0.01: smallest value >= 0.07 is
+  // exactly 0.07. num_concepts ladder is benign 4 step 4: smallest >= 20 is
+  // 20. Everything unconstrained must sit at its benign anchor.
+  EXPECT_NEAR(shrunk->scenario.corpus.misparse_rate, 0.07, 1e-12);
+  EXPECT_EQ(shrunk->scenario.world.num_concepts, 20);
+  EXPECT_DOUBLE_EQ(shrunk->scenario.world.polysemy_rate, 0.0);
+  EXPECT_DOUBLE_EQ(shrunk->scenario.corpus.wrongfact_rate, 0.0);
+  EXPECT_DOUBLE_EQ(shrunk->scenario.faults.rate, 0.0);
+  EXPECT_EQ(shrunk->scenario.pipeline.max_iterations, 1);
+  EXPECT_EQ(shrunk->scenario.pipeline.max_rounds, 0);
+  // Inert fault overlay cleared entirely.
+  EXPECT_TRUE(shrunk->scenario.faults.kinds.empty());
+  EXPECT_TRUE(shrunk->scenario.faults.stages.empty());
+}
+
+TEST(ScenarioShrinkerTest, ResultIsOneNotchMinimal) {
+  Scenario start = SampleScenario(9, "burst-noise");
+  start.world.num_concepts = 48;
+  start.corpus.misparse_rate = 0.15;
+  auto shrunk = ShrinkScenario(start, FieldPredicate);
+  ASSERT_TRUE(shrunk.ok());
+
+  // Moving either load-bearing dimension one notch further toward benign
+  // must lose the failure — the shrinker's minimality certificate.
+  Scenario probe = shrunk->scenario;
+  probe.corpus.misparse_rate -= 0.01;
+  EXPECT_FALSE(FieldPredicate(probe));
+  probe = shrunk->scenario;
+  probe.world.num_concepts -= 4;
+  EXPECT_FALSE(FieldPredicate(probe));
+}
+
+TEST(ScenarioShrinkerTest, RejectsNonFailingInput) {
+  Scenario start = SampleScenario(9, "burst-noise");
+  start.corpus.misparse_rate = 0.0;
+  start.world.num_concepts = 8;
+  auto shrunk = ShrinkScenario(start, FieldPredicate);
+  EXPECT_FALSE(shrunk.ok());
+}
+
+TEST(ScenarioShrinkerTest, EvaluationCapStopsDeterministically) {
+  Scenario start = SampleScenario(9, "burst-noise");
+  start.world.num_concepts = 48;
+  start.corpus.misparse_rate = 0.15;
+  ShrinkOptions options;
+  options.max_evaluations = 5;
+  auto a = ShrinkScenario(start, FieldPredicate, options);
+  auto b = ShrinkScenario(start, FieldPredicate, options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(a->reached_eval_cap);
+  EXPECT_EQ(ScenarioToToml(a->scenario), ScenarioToToml(b->scenario));
+  EXPECT_EQ(a->evaluations, b->evaluations);
+}
+
+/// Satellite 4's acceptance bar: shrinking against the *real pipeline*
+/// yields byte-identical minimized TOML at 1 and at 8 threads.
+TEST(ScenarioShrinkerTest, PipelinePredicateShrinkIsThreadCountInvariant) {
+  Scenario start = SampleScenario(5, "burst-noise");
+  start.corpus.num_sentences = 400;
+
+  auto predicate = [](const Scenario& candidate) {
+    auto run = RunScenario(candidate);
+    if (!run.ok()) return false;
+    return run->metrics.live_pairs_after >= 20;
+  };
+  ASSERT_TRUE(predicate(start));
+
+  ShrinkOptions options;
+  options.max_evaluations = 120;
+
+  SetGlobalThreadCount(1);
+  auto one = ShrinkScenario(start, predicate, options);
+  SetGlobalThreadCount(8);
+  auto eight = ShrinkScenario(start, predicate, options);
+  SetGlobalThreadCount(0);
+  ASSERT_TRUE(one.ok()) << one.status().ToString();
+  ASSERT_TRUE(eight.ok()) << eight.status().ToString();
+  EXPECT_EQ(ScenarioToToml(one->scenario), ScenarioToToml(eight->scenario));
+  EXPECT_EQ(one->evaluations, eight->evaluations);
+  EXPECT_EQ(one->passes, eight->passes);
+}
+
+}  // namespace
+}  // namespace scenario
+}  // namespace semdrift

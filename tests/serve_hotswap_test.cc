@@ -11,7 +11,7 @@
 #include "serve/snapshot.h"
 #include "serve/snapshot_delta.h"
 #include "serve/snapshot_manager.h"
-#include "property_test_util.h"
+#include "testing/random_structures.h"
 #include "util/crc32.h"
 #include "util/fault_injection.h"
 

@@ -13,7 +13,7 @@
 
 #include "eval/experiment.h"
 #include "kb/knowledge_base.h"
-#include "property_test_util.h"
+#include "testing/random_structures.h"
 #include "serve/snapshot.h"
 #include "util/fault_injection.h"
 

@@ -11,6 +11,9 @@
 #                                     swap-under-load phase with injected
 #                                     publish faults, gating zero dropped
 #                                     queries and a bounded p99
+#   tools/check.sh --scenarios [jobs] adversarial replay gate: every checked-in
+#                                     scenarios/*.toml replayed under
+#                                     ASan+UBSan against its recorded envelope
 #
 # Build trees live in build-asan/, build-tsan/ and build-cov/ and are reused
 # across runs (incremental). Exits non-zero on the first failing configure,
@@ -25,6 +28,9 @@ if [[ "${1:-}" == "--coverage" ]]; then
   shift
 elif [[ "${1:-}" == "--soak" ]]; then
   MODE=soak
+  shift
+elif [[ "${1:-}" == "--scenarios" ]]; then
+  MODE=scenarios
   shift
 fi
 JOBS="${1:-$(nproc 2>/dev/null || echo 2)}"
@@ -111,6 +117,19 @@ if [[ "$MODE" == "soak" ]]; then
   build-asan/bench/bench_serve --scale 0.1 --swaps 120 --publish-faults \
     --max-p99-ms 250 --out build-asan/BENCH_serve_soak.json
   echo "OK: soak held — zero dropped queries across 120 faulted hot swaps"
+  exit 0
+fi
+
+if [[ "$MODE" == "scenarios" ]]; then
+  echo "== Scenarios: adversarial replay corpus under ASan+UBSan =="
+  cmake -B build-asan -S . -DSEMDRIFT_SANITIZE="address;undefined" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-asan -j "$JOBS" --target semdrift_cli
+  # Every checked-in scenario must load, replay deterministically, and land
+  # inside its recorded precision/cost envelope — any memory error in the
+  # adversarial corner it exercises fails the gate too.
+  build-asan/tools/semdrift scenario-run scenarios/*.toml --verbose
+  echo "OK: all checked-in scenarios replayed inside their envelopes"
   exit 0
 fi
 

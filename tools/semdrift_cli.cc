@@ -97,6 +97,10 @@
 #include "extract/checkpoint.h"
 #include "extract/extractor.h"
 #include "extract/hearst_parser.h"
+#include "scenario/grammar.h"
+#include "scenario/hunt.h"
+#include "scenario/runner.h"
+#include "scenario/scenario.h"
 #include "serve/batcher.h"
 #include "serve/query_engine.h"
 #include "serve/snapshot.h"
@@ -207,6 +211,12 @@ int Usage() {
       "               (exit: 0 OK, 1 ERR, 2 usage, 3 NOT_FOUND, 4 OVERLOADED)\n"
       "  semdrift snapshot-verify <base> [delta...]\n"
       "  semdrift fuzz-load [--count N] [--seed N] [--scale S] [--dir D]\n"
+      "  semdrift scenario-run <file.toml>... [--verbose] [--pin-envelope]\n"
+      "               (exit: 0 all pass, 1 violations, 2 usage)\n"
+      "  semdrift scenario-hunt [--seed N] [--samples N] [--archetype A]\n"
+      "               [--floor F] [--margin M] [--no-shrink]\n"
+      "               [--max-shrink-evals N] [--out-dir D]\n"
+      "  semdrift scenario-sample --seed N [--archetype A] [--out F]\n"
       "\n"
       "Every subcommand accepts --threads N (default: SEMDRIFT_THREADS env\n"
       "var, then hardware concurrency). Results are identical at any thread\n"
@@ -1065,6 +1075,120 @@ int FuzzLoad(const Flags& flags) {
   return 0;
 }
 
+/// Replays checked-in scenarios against their recorded envelopes. One line
+/// per scenario; any violation fails the whole invocation (the ctest gate
+/// and check.sh --scenarios both run this over scenarios/*.toml).
+int ScenarioRun(const std::vector<std::string>& files, const Flags& flags) {
+  ApplyThreadsFlag(flags);
+  if (files.empty()) {
+    std::fprintf(stderr, "scenario-run: no scenario files given\n");
+    return 2;
+  }
+  int failures = 0;
+  for (const std::string& path : files) {
+    auto scenario = scenario::LoadScenarioFile(path);
+    if (!scenario.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                   scenario.status().ToString().c_str());
+      return 2;
+    }
+    auto outcome = scenario::RunScenario(*scenario);
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                   outcome.status().ToString().c_str());
+      return 2;
+    }
+    if (flags.Has("pin-envelope")) {
+      // Authoring aid: record the measured behavior as the file's replay
+      // envelope (tight precision bands, cost ceilings) and rewrite it.
+      scenario::PinEnvelope(&*scenario, outcome->metrics);
+      if (Status s = scenario::SaveScenarioFile(*scenario, path); !s.ok()) {
+        std::fprintf(stderr, "%s: %s\n", path.c_str(), s.ToString().c_str());
+        return 2;
+      }
+      outcome = scenario::RunScenario(*scenario);
+      if (!outcome.ok()) {
+        std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                     outcome.status().ToString().c_str());
+        return 2;
+      }
+    }
+    std::printf("%-28s %s  %s\n", scenario->name.c_str(),
+                outcome->ok() ? "PASS" : "FAIL",
+                scenario::FormatMetricsLine(outcome->metrics).c_str());
+    if (flags.Has("verbose") && !scenario->notes.empty()) {
+      std::printf("  notes: %s\n", scenario->notes.c_str());
+    }
+    for (const std::string& violation : outcome->violations) {
+      std::printf("  violation: %s\n", violation.c_str());
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+int ScenarioHunt(const Flags& flags) {
+  ApplyThreadsFlag(flags);
+  scenario::HuntOptions options;
+  options.seed = flags.GetUint("seed", 1);
+  options.num_samples = static_cast<int>(flags.GetUint("samples", 50));
+  options.archetype = flags.Get("archetype", "");
+  options.precision_floor = flags.GetDouble("floor", options.precision_floor);
+  options.regression_margin =
+      flags.GetDouble("margin", options.regression_margin);
+  options.shrink = !flags.Has("no-shrink");
+  options.shrink_options.max_evaluations = static_cast<size_t>(
+      flags.GetUint("max-shrink-evals", options.shrink_options.max_evaluations));
+  options.log = [](const std::string& line) {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  };
+  auto report = scenario::RunHunt(options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("hunted %zu samples, %zu findings\n", report->samples_run,
+              report->findings.size());
+  const std::string out_dir = flags.Get("out-dir", "");
+  for (const auto& finding : report->findings) {
+    std::printf("%s: %s\n", finding.scenario.name.c_str(),
+                finding.summary.c_str());
+    if (!out_dir.empty()) {
+      std::filesystem::create_directories(out_dir);
+      const std::string path =
+          out_dir + "/" + finding.scenario.name + ".toml";
+      if (Status s = scenario::SaveScenarioFile(finding.scenario, path);
+          !s.ok()) {
+        std::fprintf(stderr, "%s\n", s.ToString().c_str());
+        return 1;
+      }
+      std::printf("  -> %s\n", path.c_str());
+    }
+  }
+  return 0;
+}
+
+/// Prints (or saves) one grammar sample — the authoring starting point for
+/// hand-written scenarios, and the determinism probe for tests.
+int ScenarioSample(const Flags& flags) {
+  const uint64_t seed = flags.GetUint("seed", 1);
+  const std::string archetype = flags.Get("archetype", "");
+  scenario::Scenario s = archetype.empty()
+                             ? scenario::SampleScenario(seed)
+                             : scenario::SampleScenario(seed, archetype);
+  const std::string out = flags.Get("out", "");
+  if (out.empty()) {
+    std::fputs(scenario::ScenarioToToml(s).c_str(), stdout);
+    return 0;
+  }
+  if (Status st = scenario::SaveScenarioFile(s, out); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s -> %s\n", s.name.c_str(), out.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1116,6 +1240,36 @@ int main(int argc, char** argv) {
   }
   if (command == "query") return Query(argc, argv);
   if (command == "snapshot-verify") return SnapshotVerify(argc, argv);
+  if (command == "scenario-run") {
+    std::vector<std::string> files;
+    int i = 2;
+    while (i < argc && !StartsWith(argv[i], "--")) files.push_back(argv[i++]);
+    Flags flags(argc, argv, i, {"threads"}, {"verbose", "pin-envelope"});
+    if (!flags.ok()) {
+      std::fprintf(stderr, "%s\n", flags.error().c_str());
+      return Usage();
+    }
+    return ScenarioRun(files, flags);
+  }
+  if (command == "scenario-hunt") {
+    Flags flags(argc, argv, 2,
+                {"seed", "samples", "archetype", "floor", "margin",
+                 "max-shrink-evals", "out-dir", "threads"},
+                {"no-shrink"});
+    if (!flags.ok()) {
+      std::fprintf(stderr, "%s\n", flags.error().c_str());
+      return Usage();
+    }
+    return ScenarioHunt(flags);
+  }
+  if (command == "scenario-sample") {
+    Flags flags(argc, argv, 2, {"seed", "archetype", "out", "threads"}, {});
+    if (!flags.ok()) {
+      std::fprintf(stderr, "%s\n", flags.error().c_str());
+      return Usage();
+    }
+    return ScenarioSample(flags);
+  }
   if (command == "fuzz-load") {
     Flags flags(argc, argv, 2, {"count", "seed", "scale", "dir", "threads"}, {});
     if (!flags.ok()) {
