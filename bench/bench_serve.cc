@@ -30,21 +30,39 @@
 // --max-p99-ms (when > 0) additionally bounds the p99 request latency of
 // the swap phase.
 //
+// A fifth measurement drives the network tier end to end and multi-process:
+// for each shard count in {1, 2, 4} an in-process NetServer listens on a
+// unix socket while --clients copies of this binary (re-spawned in a hidden
+// --client mode) run the workload closed-loop over real sockets for
+// --net-seconds. Children report raw latency samples, so the merged
+// p50/p99 are exact. A cold-start probe times SnapshotReader::Open in read
+// mode (eager whole-file CRC) against mmap mode (map + header parse, CRC
+// deferred) and mmap-to-first-answer; the gate is mmap open < read open.
+//
 //   bench_serve [--scale 0.25] [--threads 4] [--clients 8] [--swaps 120]
-//               [--publish-faults] [--max-p99-ms 0] [--out BENCH_serve.json]
+//               [--publish-faults] [--max-p99-ms 0] [--net-seconds 2]
+//               [--out BENCH_serve.json]
+
+#include <spawn.h>
+#include <sys/wait.h>
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_common.h"
 #include "eval/experiment.h"
+#include "net/net_client.h"
+#include "net/router.h"
+#include "net/server.h"
 #include "obs/metrics.h"
 #include "serve/batcher.h"
 #include "serve/query_engine.h"
@@ -56,6 +74,8 @@
 #include "util/string_util.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
+
+extern char** environ;
 
 using namespace semdrift;
 
@@ -310,15 +330,246 @@ SwapResult RunSwapPhase(const SnapshotReader& snap,
   return result;
 }
 
+/// Hidden child mode (`bench_serve --client ...`): a closed-loop socket
+/// client for the net phase. Reads the workload file, round-trips lines
+/// against --connect for --seconds, then writes "failures N" followed by
+/// one latency sample (ns) per line so the parent can merge exact
+/// percentiles.
+int RunClientMode(int argc, char** argv) {
+  std::string endpoint, workload_path, out_path;
+  double seconds = 2.0;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "client: missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--connect") {
+      endpoint = value();
+    } else if (arg == "--workload") {
+      workload_path = value();
+    } else if (arg == "--seconds") {
+      if (!ParseDouble(value(), &seconds)) return 2;
+    } else if (arg == "--out") {
+      out_path = value();
+    } else {
+      std::fprintf(stderr, "client: unknown flag %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(workload_path);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty()) lines.push_back(line);
+    }
+  }
+  if (lines.empty()) {
+    std::fprintf(stderr, "client: empty workload %s\n", workload_path.c_str());
+    return 1;
+  }
+  auto client = LineClient::Connect(endpoint);
+  if (!client.ok()) {
+    std::fprintf(stderr, "client: %s\n", client.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<uint64_t> samples;
+  uint64_t failures = 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(seconds));
+  size_t i = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    const auto start = std::chrono::steady_clock::now();
+    auto response = client->RoundTrip(lines[i % lines.size()]);
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+    if (!response.ok()) {
+      std::fprintf(stderr, "client: %s\n", response.status().ToString().c_str());
+      failures++;
+      break;
+    }
+    samples.push_back(static_cast<uint64_t>(ns));
+    if (response->rfind("OK", 0) != 0) failures++;
+    ++i;
+  }
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "client: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "failures %llu\n", static_cast<unsigned long long>(failures));
+  for (uint64_t ns : samples) {
+    std::fprintf(f, "%llu\n", static_cast<unsigned long long>(ns));
+  }
+  std::fclose(f);
+  return 0;
+}
+
+/// Result of one net-phase run (one shard count).
+struct NetResult {
+  int shards = 0;
+  uint64_t requests = 0;
+  uint64_t failures = 0;
+  double qps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  std::string error;  // Non-empty: the phase itself broke.
+};
+
+/// Spawns `clients` copies of this binary in --client mode against an
+/// in-process NetServer on a unix socket and merges their raw samples.
+NetResult RunNetPhase(const char* self, const SnapshotReader& snap,
+                      const std::string& workload_path, size_t clients,
+                      int shards, double seconds,
+                      const QueryEngineOptions& engine_options) {
+  NetResult result;
+  result.shards = shards;
+
+  RouterOptions router_options;
+  router_options.num_shards = static_cast<uint32_t>(shards);
+  router_options.engine = engine_options;
+  router_options.batch.max_wait_ms = 0;
+  ShardRouter router(&snap, router_options);
+
+  const std::string sock =
+      (std::filesystem::temp_directory_path() / "bench_serve_net.sock").string();
+  NetServerOptions server_options;
+  server_options.listen = "unix:" + sock;
+  NetServer server(&router, server_options);
+  Status started = server.Start();
+  if (!started.ok()) {
+    result.error = started.ToString();
+    return result;
+  }
+
+  char seconds_arg[32];
+  std::snprintf(seconds_arg, sizeof(seconds_arg), "%g", seconds);
+  std::vector<pid_t> pids;
+  std::vector<std::string> out_paths;
+  for (size_t c = 0; c < clients; ++c) {
+    out_paths.push_back(
+        (std::filesystem::temp_directory_path() /
+         ("bench_serve_client_" + std::to_string(c) + ".txt"))
+            .string());
+    std::vector<std::string> args = {
+        self,         "--client", "--connect", server.endpoint(),
+        "--workload", workload_path, "--seconds", seconds_arg,
+        "--out",      out_paths.back()};
+    std::vector<char*> argv_c;
+    argv_c.reserve(args.size() + 1);
+    for (std::string& a : args) argv_c.push_back(a.data());
+    argv_c.push_back(nullptr);
+    pid_t pid = 0;
+    const int rc =
+        ::posix_spawnp(&pid, self, nullptr, nullptr, argv_c.data(), environ);
+    if (rc != 0) {
+      result.error = "posix_spawn: " + std::string(std::strerror(rc));
+      break;
+    }
+    pids.push_back(pid);
+  }
+  for (pid_t pid : pids) {
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      result.error = "a net client exited abnormally";
+    }
+  }
+  server.Stop();
+  if (!result.error.empty()) return result;
+
+  std::vector<uint64_t> all;
+  for (const std::string& path : out_paths) {
+    std::ifstream in(path);
+    std::string word;
+    uint64_t client_failures = 0;
+    if (!(in >> word >> client_failures) || word != "failures") {
+      result.error = "malformed client report " + path;
+      return result;
+    }
+    result.failures += client_failures;
+    uint64_t ns = 0;
+    while (in >> ns) all.push_back(ns);
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+  }
+  result.requests = all.size();
+  result.qps =
+      seconds > 0.0 ? static_cast<double>(all.size()) / seconds : 0.0;
+  result.p50_us = PercentileUs(&all, 50.0);
+  result.p99_us = PercentileUs(&all, 99.0);
+  return result;
+}
+
+/// Cold-start probe: best-of-5 open latency for the eager read path
+/// (whole-file CRC before serving) vs mmap (map + header/section-table
+/// parse, CRC deferred), plus mmap open through the first answered query.
+struct ColdStartResult {
+  double read_open_ms = 0.0;
+  double mmap_open_ms = 0.0;
+  double mmap_first_query_ms = 0.0;
+  std::string error;
+};
+
+ColdStartResult MeasureColdStart(const std::string& path,
+                                 const std::string& point_query) {
+  ColdStartResult result;
+  result.read_open_ms = result.mmap_open_ms = result.mmap_first_query_ms = 1e18;
+  constexpr int kIters = 5;
+  for (int i = 0; i < kIters; ++i) {
+    {
+      Timer t;
+      auto reader = SnapshotReader::Open(path);
+      const double ms = t.ElapsedMillis();
+      if (!reader.ok()) {
+        result.error = reader.status().ToString();
+        return result;
+      }
+      result.read_open_ms = std::min(result.read_open_ms, ms);
+    }
+    {
+      SnapshotOpenOptions options;
+      options.source = SnapshotSource::kMmap;
+      Timer t;
+      auto reader = SnapshotReader::Open(path, options);
+      const double open_ms = t.ElapsedMillis();
+      if (!reader.ok()) {
+        result.error = reader.status().ToString();
+        return result;
+      }
+      QueryEngine engine(&*reader);
+      const std::string response = engine.Answer(point_query);
+      const double first_ms = t.ElapsedMillis();
+      if (response.rfind("OK", 0) != 0) {
+        result.error = "cold mmap query failed: " + response;
+        return result;
+      }
+      result.mmap_open_ms = std::min(result.mmap_open_ms, open_ms);
+      result.mmap_first_query_ms = std::min(result.mmap_first_query_ms, first_ms);
+    }
+  }
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "--client") {
+    return RunClientMode(argc, argv);
+  }
   double scale = bench::EnvScale();
   int threads = 4;
   size_t clients = 8;
   int swaps = 120;
   bool publish_faults = false;
   double max_p99_ms = 0.0;
+  double net_seconds = 2.0;
   std::string out = "BENCH_serve.json";
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -341,6 +592,8 @@ int main(int argc, char** argv) {
       publish_faults = true;
     } else if (arg == "--max-p99-ms") {
       if (!ParseDouble(value(), &max_p99_ms)) std::exit(2);
+    } else if (arg == "--net-seconds") {
+      if (!ParseDouble(value(), &net_seconds)) std::exit(2);
     } else if (arg == "--out") {
       out = value();
     } else {
@@ -434,6 +687,44 @@ int main(int argc, char** argv) {
   SwapResult swap = RunSwapPhase(snap, workload, clients, swaps, publish_faults,
                                  engine_options);
 
+  // Net phase: real sockets, child processes, per shard count.
+  const std::string workload_path =
+      (std::filesystem::temp_directory_path() / "bench_serve_workload.txt").string();
+  {
+    std::string joined;
+    for (const WorkItem& item : workload) joined += item.line + "\n";
+    Status wrote = WriteStringToFile(joined, workload_path);
+    if (!wrote.ok()) {
+      std::fprintf(stderr, "workload write failed: %s\n", wrote.ToString().c_str());
+      return 1;
+    }
+  }
+  const int kShardCounts[] = {1, 2, 4};
+  std::vector<NetResult> net_results;
+  for (int shards : kShardCounts) {
+    net_results.push_back(RunNetPhase(argv[0], snap, workload_path, clients,
+                                      shards, net_seconds, engine_options));
+    const NetResult& n = net_results.back();
+    if (!n.error.empty()) {
+      std::fprintf(stderr, "net phase (%d shards) failed: %s\n", shards,
+                   n.error.c_str());
+      return 1;
+    }
+    std::printf("net %d shard(s): %llu requests, %9.0f qps, p50 %.1f us, "
+                "p99 %.1f us, %llu failures\n",
+                n.shards, static_cast<unsigned long long>(n.requests), n.qps,
+                n.p50_us, n.p99_us, static_cast<unsigned long long>(n.failures));
+  }
+  ColdStartResult cold_start = MeasureColdStart(snapshot_path, point_query);
+  if (!cold_start.error.empty()) {
+    std::fprintf(stderr, "cold-start probe failed: %s\n", cold_start.error.c_str());
+    return 1;
+  }
+  std::printf("cold start: read open %.3f ms, mmap open %.3f ms, "
+              "mmap first query %.3f ms\n",
+              cold_start.read_open_ms, cold_start.mmap_open_ms,
+              cold_start.mmap_first_query_ms);
+
   BatcherStats batch_stats = batcher.Snapshot();
   std::printf("cold: %7.1f ms  %9.0f qps\n", cold.wall_ms, cold.qps);
   std::printf("hot:  %7.1f ms  %9.0f qps  hit rate %.3f\n", hot.wall_ms, hot.qps,
@@ -509,6 +800,24 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(swap.failures),
                static_cast<unsigned long long>(swap.shed),
                swap.failed_publishes, swap.rolled_back, swap.wall_ms);
+  std::fprintf(f, "  \"net\": [\n");
+  for (size_t i = 0; i < net_results.size(); ++i) {
+    const NetResult& n = net_results[i];
+    std::fprintf(f,
+                 "    {\"shards\": %d, \"clients\": %zu, \"seconds\": %g, "
+                 "\"requests\": %llu, \"qps\": %.1f, \"p50_us\": %.2f, "
+                 "\"p99_us\": %.2f, \"failures\": %llu}%s\n",
+                 n.shards, clients, net_seconds,
+                 static_cast<unsigned long long>(n.requests), n.qps, n.p50_us,
+                 n.p99_us, static_cast<unsigned long long>(n.failures),
+                 i + 1 == net_results.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"cold_start\": {\"read_open_ms\": %.4f, "
+               "\"mmap_open_ms\": %.4f, \"mmap_first_query_ms\": %.4f},\n",
+               cold_start.read_open_ms, cold_start.mmap_open_ms,
+               cold_start.mmap_first_query_ms);
   std::fprintf(f, "  \"metrics\": %s\n", GlobalMetrics().ToJson().c_str());
   std::fprintf(f, "}\n");
   std::fclose(f);
@@ -516,6 +825,7 @@ int main(int argc, char** argv) {
 
   std::error_code ec;
   std::filesystem::remove(snapshot_path, ec);
+  std::filesystem::remove(workload_path, ec);
 
   if (cold.failures + hot.failures > 0) {
     std::fprintf(stderr, "FAIL: %llu non-OK responses\n",
@@ -552,6 +862,23 @@ int main(int argc, char** argv) {
   if (max_p99_ms > 0.0 && swap.p99_us > max_p99_ms * 1000.0) {
     std::fprintf(stderr, "FAIL: swap-phase p99 %.1f us exceeds bound %.1f ms\n",
                  swap.p99_us, max_p99_ms);
+    return 1;
+  }
+  for (const NetResult& n : net_results) {
+    if (n.failures > 0) {
+      std::fprintf(stderr, "FAIL: %llu non-OK responses over the socket (%d shards)\n",
+                   static_cast<unsigned long long>(n.failures), n.shards);
+      return 1;
+    }
+    if (n.qps <= 0.0) {
+      std::fprintf(stderr, "FAIL: zero socket QPS (%d shards)\n", n.shards);
+      return 1;
+    }
+  }
+  if (cold_start.mmap_open_ms >= cold_start.read_open_ms) {
+    std::fprintf(stderr,
+                 "FAIL: mmap cold open %.3f ms is not faster than read open %.3f ms\n",
+                 cold_start.mmap_open_ms, cold_start.read_open_ms);
     return 1;
   }
   return 0;

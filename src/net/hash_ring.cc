@@ -1,0 +1,55 @@
+#include "net/hash_ring.h"
+
+#include <algorithm>
+
+namespace semdrift {
+
+namespace {
+
+/// splitmix64 finalizer: cheap, well-mixed, and stable across platforms.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+uint64_t HashRing::HashKey(std::string_view key) {
+  uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a offset basis.
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 0x100000001b3ull;  // FNV-1a prime.
+  }
+  // Finalize: FNV alone clusters short keys in the low bits.
+  return Mix64(h);
+}
+
+HashRing::HashRing(uint32_t num_shards, uint32_t vnodes_per_shard)
+    : num_shards_(num_shards == 0 ? 1 : num_shards) {
+  if (vnodes_per_shard == 0) vnodes_per_shard = 1;
+  points_.reserve(static_cast<size_t>(num_shards_) * vnodes_per_shard);
+  for (uint32_t s = 0; s < num_shards_; ++s) {
+    for (uint32_t v = 0; v < vnodes_per_shard; ++v) {
+      const uint64_t position =
+          Mix64((static_cast<uint64_t>(s) << 32) | (v + 1));
+      points_.push_back(Point{position, s});
+    }
+  }
+  std::sort(points_.begin(), points_.end(), [](const Point& a, const Point& b) {
+    if (a.position != b.position) return a.position < b.position;
+    return a.shard < b.shard;  // Deterministic on (vanishingly rare) collisions.
+  });
+}
+
+uint32_t HashRing::OwnerOf(std::string_view key) const {
+  const uint64_t h = HashKey(key);
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), h,
+      [](uint64_t value, const Point& p) { return value < p.position; });
+  if (it == points_.end()) it = points_.begin();  // Wrap around the ring.
+  return it->shard;
+}
+
+}  // namespace semdrift

@@ -1,0 +1,41 @@
+#ifndef SEMDRIFT_NET_HASH_RING_H_
+#define SEMDRIFT_NET_HASH_RING_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace semdrift {
+
+/// Consistent-hash ring mapping routing keys (concept/instance names) to
+/// shards. Each shard contributes `vnodes` virtual points so the key space
+/// splits near-evenly, and adding or removing one shard moves only ~1/N of
+/// the keys. Hashing is FNV-1a for keys and splitmix64 for vnode points —
+/// deliberately NOT std::hash, whose layout varies across standard
+/// libraries; the shard map must be identical in every process that loads
+/// the same snapshot (router, bench clients, tests).
+class HashRing {
+ public:
+  HashRing(uint32_t num_shards, uint32_t vnodes_per_shard = 64);
+
+  /// Shard owning `key` (clockwise successor on the ring).
+  uint32_t OwnerOf(std::string_view key) const;
+
+  uint32_t num_shards() const { return num_shards_; }
+
+  /// Stable 64-bit FNV-1a of a routing key (exposed for tests).
+  static uint64_t HashKey(std::string_view key);
+
+ private:
+  struct Point {
+    uint64_t position;
+    uint32_t shard;
+  };
+  uint32_t num_shards_;
+  /// Sorted by position; OwnerOf is one upper_bound.
+  std::vector<Point> points_;
+};
+
+}  // namespace semdrift
+
+#endif  // SEMDRIFT_NET_HASH_RING_H_

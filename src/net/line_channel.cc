@@ -1,0 +1,137 @@
+#include "net/line_channel.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <utility>
+
+namespace semdrift {
+
+LineDecoder::LineDecoder(size_t max_line_bytes)
+    : max_line_bytes_(max_line_bytes == 0 ? 1 : max_line_bytes) {}
+
+void LineDecoder::Feed(std::string_view bytes) {
+  size_t start = 0;
+  while (start < bytes.size()) {
+    const size_t nl = bytes.find('\n', start);
+    if (nl == std::string_view::npos) {
+      // No terminator in this fragment: accumulate (or keep discarding).
+      if (!discarding_) {
+        partial_.append(bytes.substr(start));
+        if (partial_.size() > max_line_bytes_) {
+          partial_.clear();
+          discarding_ = true;
+        }
+      }
+      return;
+    }
+    if (discarding_) {
+      // The oversized line finally terminated; report it in sequence.
+      ready_.push_back(Pending{true, std::string()});
+      discarding_ = false;
+    } else {
+      partial_.append(bytes.substr(start, nl - start));
+      if (partial_.size() > max_line_bytes_) {
+        partial_.clear();
+        ready_.push_back(Pending{true, std::string()});
+      } else {
+        if (!partial_.empty() && partial_.back() == '\r') partial_.pop_back();
+        ready_.push_back(Pending{false, std::move(partial_)});
+      }
+      partial_.clear();
+    }
+    start = nl + 1;
+  }
+}
+
+LineDecoder::Event LineDecoder::Next(std::string* line) {
+  if (ready_.empty()) return Event::kNone;
+  Pending p = std::move(ready_.front());
+  ready_.pop_front();
+  if (p.oversized) return Event::kOversized;
+  *line = std::move(p.line);
+  return Event::kLine;
+}
+
+bool LineDecoder::TakeResidue(std::string* line) {
+  if (discarding_) {
+    // The peer hung up mid-oversized-line; nothing worth answering.
+    discarding_ = false;
+    return false;
+  }
+  if (partial_.empty()) return false;
+  if (!partial_.empty() && partial_.back() == '\r') partial_.pop_back();
+  *line = std::move(partial_);
+  partial_.clear();
+  return !line->empty();
+}
+
+void WriteQueue::Push(std::string bytes) {
+  if (bytes.empty()) return;
+  pending_bytes_ += bytes.size();
+  chunks_.push_back(std::move(bytes));
+}
+
+WriteQueue::FlushResult WriteQueue::Flush(int fd) {
+  while (!chunks_.empty()) {
+    const std::string& front = chunks_.front();
+    const char* data = front.data() + front_offset_;
+    const size_t len = front.size() - front_offset_;
+    // MSG_NOSIGNAL: a dead peer must surface as EPIPE, not kill the process.
+    ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n < 0 && errno == ENOTSOCK) n = ::write(fd, data, len);  // pipes in tests
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return FlushResult::kBlocked;
+      return FlushResult::kError;
+    }
+    pending_bytes_ -= static_cast<size_t>(n);
+    front_offset_ += static_cast<size_t>(n);
+    if (front_offset_ == front.size()) {
+      chunks_.pop_front();
+      front_offset_ = 0;
+    } else {
+      // Partial write: the kernel buffer is full enough that the next send
+      // would likely block anyway.
+      return FlushResult::kBlocked;
+    }
+  }
+  return FlushResult::kDrained;
+}
+
+bool ParseListenAddress(const std::string& spec, ListenAddress* out,
+                        std::string* error) {
+  *out = ListenAddress{};
+  std::string rest = spec;
+  if (rest.rfind("unix:", 0) == 0) {
+    out->is_unix = true;
+    out->path = rest.substr(5);
+    if (out->path.empty()) {
+      if (error != nullptr) *error = "unix address needs a path: " + spec;
+      return false;
+    }
+    return true;
+  }
+  if (rest.rfind("tcp:", 0) == 0) rest = rest.substr(4);
+  const size_t colon = rest.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == rest.size()) {
+    if (error != nullptr) {
+      *error = "expected tcp:host:port, unix:/path, or host:port: " + spec;
+    }
+    return false;
+  }
+  out->host = rest.substr(0, colon);
+  const std::string port_str = rest.substr(colon + 1);
+  char* end = nullptr;
+  const long port = std::strtol(port_str.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || port < 0 || port > 65535) {
+    if (error != nullptr) *error = "bad port '" + port_str + "' in: " + spec;
+    return false;
+  }
+  out->port = static_cast<uint16_t>(port);
+  return true;
+}
+
+}  // namespace semdrift

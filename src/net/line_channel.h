@@ -1,0 +1,97 @@
+#ifndef SEMDRIFT_NET_LINE_CHANNEL_H_
+#define SEMDRIFT_NET_LINE_CHANNEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+
+namespace semdrift {
+
+/// Incremental newline-framed decoder for one connection. Bytes arrive in
+/// arbitrary fragments (partial reads, verbs split across recv boundaries);
+/// Feed() buffers them and Next() yields complete lines in arrival order.
+/// A trailing '\r' is stripped so both "\n" and "\r\n" terminators work.
+///
+/// Lines longer than `max_line_bytes` are not buffered to death: once the
+/// cap is crossed the decoder discards bytes until the next terminator and
+/// then emits a single kOversized event *in order*, so the server can answer
+/// that request slot with an error instead of silently desyncing the
+/// request/response stream.
+class LineDecoder {
+ public:
+  explicit LineDecoder(size_t max_line_bytes);
+
+  enum class Event {
+    kNone,       // Need more bytes.
+    kLine,       // `*line` holds a complete line (terminator stripped).
+    kOversized,  // A line exceeded the cap; it was discarded.
+  };
+
+  /// Appends a fragment read from the socket.
+  void Feed(std::string_view bytes);
+
+  /// Pops the next event. Returns kNone when no full line is buffered.
+  Event Next(std::string* line);
+
+  /// EOF handling: moves an unterminated trailing line (if any) into
+  /// `*line`. Returns false when there is no residue or the residue was
+  /// oversized (already reported via Next()).
+  bool TakeResidue(std::string* line);
+
+  size_t buffered_bytes() const { return partial_.size(); }
+
+ private:
+  size_t max_line_bytes_;
+  /// Bytes of the current (incomplete) line.
+  std::string partial_;
+  /// True while discarding an oversized line up to its terminator.
+  bool discarding_ = false;
+  /// Decoded events not yet consumed, in arrival order.
+  struct Pending {
+    bool oversized;
+    std::string line;
+  };
+  std::deque<Pending> ready_;
+};
+
+/// Outbound byte queue for a non-blocking fd. Push() appends a response;
+/// Flush() writes as much as the kernel will take, surviving partial writes
+/// and EAGAIN, and never raises SIGPIPE.
+class WriteQueue {
+ public:
+  void Push(std::string bytes);
+
+  enum class FlushResult {
+    kDrained,  // Queue empty; caller can drop EPOLLOUT interest.
+    kBlocked,  // Kernel buffer full; keep EPOLLOUT armed.
+    kError,    // Connection is dead (EPIPE/ECONNRESET/...).
+  };
+
+  FlushResult Flush(int fd);
+
+  bool empty() const { return chunks_.empty(); }
+  size_t pending_bytes() const { return pending_bytes_; }
+
+ private:
+  std::deque<std::string> chunks_;
+  /// Bytes of chunks_.front() already written.
+  size_t front_offset_ = 0;
+  size_t pending_bytes_ = 0;
+};
+
+/// Parses "tcp:host:port", "unix:/path", or bare "host:port" (tcp implied).
+/// Returns false (with a reason in *error) on malformed input.
+struct ListenAddress {
+  bool is_unix = false;
+  std::string host;  // tcp only
+  uint16_t port = 0;  // tcp only
+  std::string path;  // unix only
+};
+bool ParseListenAddress(const std::string& spec, ListenAddress* out,
+                        std::string* error);
+
+}  // namespace semdrift
+
+#endif  // SEMDRIFT_NET_LINE_CHANNEL_H_

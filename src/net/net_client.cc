@@ -1,0 +1,147 @@
+#include "net/net_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "net/line_channel.h"
+
+namespace semdrift {
+
+LineClient::~LineClient() { Close(); }
+
+LineClient::LineClient(LineClient&& other) noexcept
+    : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+  other.fd_ = -1;
+}
+
+LineClient& LineClient::operator=(LineClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    buffer_ = std::move(other.buffer_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void LineClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+Result<LineClient> LineClient::Connect(const std::string& endpoint) {
+  ListenAddress addr;
+  std::string parse_error;
+  if (!ParseListenAddress(endpoint, &addr, &parse_error)) {
+    return Status::InvalidArgument(parse_error);
+  }
+  int fd;
+  if (addr.is_unix) {
+    sockaddr_un sun{};
+    sun.sun_family = AF_UNIX;
+    if (addr.path.size() >= sizeof(sun.sun_path)) {
+      return Status::InvalidArgument("unix socket path too long: " + addr.path);
+    }
+    std::memcpy(sun.sun_path, addr.path.c_str(), addr.path.size() + 1);
+    fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+      return Status::IOError("socket: " + std::string(std::strerror(errno)));
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&sun), sizeof(sun)) < 0) {
+      Status st = Status::IOError("connect " + addr.path + ": " +
+                                  std::string(std::strerror(errno)));
+      ::close(fd);
+      return st;
+    }
+  } else {
+    sockaddr_in sin{};
+    sin.sin_family = AF_INET;
+    sin.sin_port = htons(addr.port);
+    const std::string host = addr.host == "localhost" ? "127.0.0.1" : addr.host;
+    if (::inet_pton(AF_INET, host.c_str(), &sin.sin_addr) != 1) {
+      return Status::InvalidArgument("cannot parse IPv4 address: " + addr.host);
+    }
+    fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+      return Status::IOError("socket: " + std::string(std::strerror(errno)));
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&sin), sizeof(sin)) < 0) {
+      Status st = Status::IOError("connect " + endpoint + ": " +
+                                  std::string(std::strerror(errno)));
+      ::close(fd);
+      return st;
+    }
+  }
+  LineClient client;
+  client.fd_ = fd;
+  return client;
+}
+
+Status LineClient::SendLine(const std::string& line) {
+  return SendRaw(line + "\n");
+}
+
+Status LineClient::SendRaw(const std::string& bytes) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("send: " + std::string(std::strerror(errno)));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status LineClient::ShutdownWrite() {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  if (::shutdown(fd_, SHUT_WR) != 0) {
+    return Status::IOError("shutdown: " + std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Result<std::string> LineClient::ReadLine() {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  for (;;) {
+    const size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      return Status::IOError("connection closed by server");
+    }
+    if (errno == EINTR) continue;
+    return Status::IOError("recv: " + std::string(std::strerror(errno)));
+  }
+}
+
+Result<std::string> LineClient::RoundTrip(const std::string& line) {
+  Status sent = SendLine(line);
+  if (!sent.ok()) return sent;
+  return ReadLine();
+}
+
+}  // namespace semdrift

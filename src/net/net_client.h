@@ -1,0 +1,52 @@
+#ifndef SEMDRIFT_NET_NET_CLIENT_H_
+#define SEMDRIFT_NET_NET_CLIENT_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace semdrift {
+
+/// Minimal blocking line-protocol client (CLI one-shots, tests, bench
+/// drivers). Accepts the same endpoint grammar as the server:
+/// "tcp:host:port", "unix:/path", or bare "host:port". Reads are buffered
+/// so pipelined responses split across recv boundaries reassemble.
+class LineClient {
+ public:
+  static Result<LineClient> Connect(const std::string& endpoint);
+
+  LineClient() = default;
+  ~LineClient();
+  LineClient(LineClient&& other) noexcept;
+  LineClient& operator=(LineClient&& other) noexcept;
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+
+  /// Writes `line` plus a '\n' terminator (handles partial writes).
+  Status SendLine(const std::string& line);
+
+  /// Writes exactly `bytes`, no terminator added (tests exercising partial
+  /// frames and unterminated trailing lines).
+  Status SendRaw(const std::string& bytes);
+
+  /// Half-closes the write side so the server sees EOF while responses can
+  /// still be read.
+  Status ShutdownWrite();
+
+  /// Next response line, terminator stripped. kIOError on EOF/reset.
+  Result<std::string> ReadLine();
+
+  /// SendLine + ReadLine.
+  Result<std::string> RoundTrip(const std::string& line);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace semdrift
+
+#endif  // SEMDRIFT_NET_NET_CLIENT_H_

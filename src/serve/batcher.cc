@@ -74,19 +74,44 @@ std::future<std::string> Batcher::Submit(std::string line, int deadline_ms,
                                          RequestPriority priority) {
   Request req;
   req.line = std::move(line);
+  std::future<std::string> future = req.promise.get_future();
+  SubmitRequest(std::move(req), deadline_ms, priority);
+  return future;
+}
+
+void Batcher::SubmitCallback(std::string line, int deadline_ms,
+                             RequestPriority priority,
+                             std::function<void(std::string)> done,
+                             bool record_stats) {
+  Request req;
+  req.line = std::move(line);
+  req.callback = std::move(done);
+  req.record_stats = record_stats;
+  SubmitRequest(std::move(req), deadline_ms, priority);
+}
+
+void Batcher::Finish(Request* req, std::string response) {
+  if (req->callback) {
+    req->callback(std::move(response));
+  } else {
+    req->promise.set_value(std::move(response));
+  }
+}
+
+void Batcher::SubmitRequest(Request req, int deadline_ms,
+                            RequestPriority priority) {
   req.submitted = std::chrono::steady_clock::now();
   GetBatchMetrics().requests.Add();
   if (deadline_ms > 0) {
     req.has_deadline = true;
     req.deadline = req.submitted + std::chrono::milliseconds(deadline_ms);
   }
-  std::future<std::string> future = req.promise.get_future();
   bool shed = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) {
-      req.promise.set_value("ERR\tserver shutting down");
-      return future;
+      Finish(&req, "ERR\tserver shutting down");
+      return;
     }
     if (options_.deadline_budget_ms > 0) {
       RefreshOverloadLocked(req.submitted);
@@ -104,11 +129,10 @@ std::future<std::string> Batcher::Submit(std::string line, int deadline_ms,
   }
   if (shed) {
     GetBatchMetrics().shed.Add();
-    req.promise.set_value(kOverloadedResponse);
-    return future;
+    Finish(&req, kOverloadedResponse);
+    return;
   }
   wake_.notify_all();
-  return future;
 }
 
 void Batcher::RefreshOverloadLocked(std::chrono::steady_clock::time_point now) {
@@ -257,9 +281,9 @@ void Batcher::RunBatch(std::deque<Request>* batch) {
       token.ArmDeadline(std::chrono::duration_cast<std::chrono::milliseconds>(
           req.deadline - now));
       ScopedCancellation scoped(&token);
-      return engine->Answer(req.line);
+      return engine->Answer(req.line, req.record_stats);
     }
-    return engine->Answer(req.line);
+    return engine->Answer(req.line, req.record_stats);
   });
   // Record expiries before fulfilling any promise: a waiter woken by get()
   // must already see its request counted in Snapshot().
@@ -272,7 +296,7 @@ void Batcher::RunBatch(std::deque<Request>* batch) {
     stats_.deadline_expired += expired;
   }
   for (size_t i = 0; i < n; ++i) {
-    (*batch)[i].promise.set_value(std::move(responses[i]));
+    Finish(&(*batch)[i], std::move(responses[i]));
   }
 }
 

@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <mutex>
 #include <string>
@@ -98,6 +99,17 @@ class Batcher {
   std::future<std::string> Submit(std::string line, int deadline_ms,
                                   RequestPriority priority);
 
+  /// Completion-callback form (the network tier's path — no future/promise
+  /// allocation, no blocking get()). `done` is invoked with the response
+  /// exactly once: from a pool worker normally, or synchronously on the
+  /// calling thread when the request is shed or the batcher is stopping —
+  /// so it must not block and must not re-enter the batcher.
+  /// `record_stats == false` answers without recording ServeStats or verb
+  /// metrics (shadow scatter-gather legs, counted once at the primary).
+  void SubmitCallback(std::string line, int deadline_ms, RequestPriority priority,
+                      std::function<void(std::string)> done,
+                      bool record_stats = true);
+
   /// Holds dispatch so queued requests coalesce; Resume() releases them.
   void Pause();
   void Resume();
@@ -108,12 +120,21 @@ class Batcher {
   struct Request {
     std::string line;
     std::promise<std::string> promise;
+    /// When set, completion goes through the callback and the promise is
+    /// never touched (SubmitCallback path).
+    std::function<void(std::string)> callback;
+    bool record_stats = true;
     bool has_deadline = false;
     std::chrono::steady_clock::time_point deadline{};
     /// When Submit() queued the request; feeds the batch.queue_wait_ns
     /// histogram at dispatch time.
     std::chrono::steady_clock::time_point submitted{};
   };
+
+  /// Resolves a request through its callback or promise.
+  static void Finish(Request* req, std::string response);
+  /// Shared enqueue/shed/stopping logic behind both Submit forms.
+  void SubmitRequest(Request req, int deadline_ms, RequestPriority priority);
 
   void DispatchLoop();
   /// Runs one batch on the pool and completes its promises.

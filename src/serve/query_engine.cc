@@ -106,6 +106,29 @@ std::string_view QueryTypeName(QueryType type) {
   return kTypeNames[static_cast<int>(type)];
 }
 
+uint32_t SectionsForQuery(QueryType type) {
+  // Names mask: FindConcept/FindInstance walk NSRT and compare against both
+  // name tables; responses print names from either table too.
+  constexpr uint32_t kNames =
+      kSnapSecConceptNames | kSnapSecInstanceNames | kSnapSecNameSort;
+  switch (type) {
+    case QueryType::kInstancesOf:
+      return kNames | kSnapSecForwardCsr | kSnapSecRank | kSnapSecScores |
+             kSnapSecConceptMeta;
+    case QueryType::kConceptsOf:
+      return kNames | kSnapSecInverseCsr | kSnapSecScores;
+    case QueryType::kIsA:
+      return kNames | kSnapSecForwardCsr | kSnapSecScores | kSnapSecSupport |
+             kSnapSecConceptMeta;
+    case QueryType::kDriftScore:
+      return kNames | kSnapSecForwardCsr | kSnapSecScores;
+    case QueryType::kMutex:
+      return kNames | kSnapSecConceptMeta | kSnapSecMutex;
+    default:
+      return 0;  // stats/metrics read counters, not the snapshot.
+  }
+}
+
 // -- ServeStats --------------------------------------------------------------
 
 void ServeStats::Record(QueryType type, uint64_t ns, bool cache_hit, bool error) {
@@ -139,6 +162,52 @@ void ServeStats::Reset() {
     c.total_ns.store(0, std::memory_order_relaxed);
     c.max_ns.store(0, std::memory_order_relaxed);
   }
+}
+
+QueryTypeStats MergeTypeStats(const std::vector<const ServeStats*>& stats,
+                              QueryType type) {
+  QueryTypeStats merged;
+  for (const ServeStats* shard : stats) {
+    if (shard == nullptr) continue;
+    QueryTypeStats s = shard->Snapshot(type);
+    merged.count += s.count;
+    merged.cache_hits += s.cache_hits;
+    merged.errors += s.errors;
+    merged.total_ns += s.total_ns;
+    merged.max_ns = std::max(merged.max_ns, s.max_ns);
+  }
+  return merged;
+}
+
+std::string FormatStatsResponse(const std::vector<const ServeStats*>& stats,
+                                uint64_t generation, int num_shards) {
+  std::string out = "OK\tstats";
+  for (int i = 0; i < kNumTypes; ++i) {
+    if (static_cast<QueryType>(i) == QueryType::kStats ||
+        static_cast<QueryType>(i) == QueryType::kMetrics) {
+      continue;
+    }
+    QueryTypeStats s = MergeTypeStats(stats, static_cast<QueryType>(i));
+    out += '\t';
+    out += kTypeNames[i];
+    out += "=count:" + std::to_string(s.count) +
+           ",hits:" + std::to_string(s.cache_hits) +
+           ",errors:" + std::to_string(s.errors) +
+           ",mean_ns:" + std::to_string(static_cast<uint64_t>(s.MeanNs())) +
+           ",max_ns:" + std::to_string(s.max_ns);
+  }
+  // Hot-swap and admission-control counters (all 0 for single-snapshot
+  // serving: CounterValue reads 0 for never-registered names). Appended last
+  // so older consumers that split on the per-verb fields keep parsing.
+  out += "\tgeneration=" + std::to_string(generation) +
+         "\tswaps=" + std::to_string(GlobalMetrics().CounterValue("serve.swap.count")) +
+         "\tfailed_publishes=" +
+         std::to_string(GlobalMetrics().CounterValue("serve.publish.failed")) +
+         "\trolled_back=" +
+         std::to_string(GlobalMetrics().CounterValue("serve.publish.rolled_back")) +
+         "\tshed=" + std::to_string(GlobalMetrics().CounterValue("batch.shed"));
+  if (num_shards > 0) out += "\tshards=" + std::to_string(num_shards);
+  return out;
 }
 
 // -- QueryEngine -------------------------------------------------------------
@@ -176,6 +245,10 @@ void QueryEngine::ResizeCache(size_t capacity) {
 }
 
 std::string QueryEngine::Answer(std::string_view line) {
+  return Answer(line, /*record_stats=*/true);
+}
+
+std::string QueryEngine::Answer(std::string_view line, bool record_stats) {
   const auto started = std::chrono::steady_clock::now();
   std::vector<std::string_view> tokens = Tokenize(line);
   if (tokens.empty()) return "ERR\tempty request";
@@ -201,6 +274,12 @@ std::string QueryEngine::Answer(std::string_view line) {
   } else if (type == QueryType::kMetrics) {
     // Live process-wide registry dump; caching it would freeze the counters.
     response = "OK\t" + GlobalMetrics().ToJson();
+  } else if (Status ready = snapshot_->EnsureSections(SectionsForQuery(type));
+             !ready.ok()) {
+    // Deferred mmap verification found damage (or the file was resized under
+    // the mapping). Never cached: the failure is sticky in the reader, and a
+    // cached ERR would outlive a hot swap to a healthy generation.
+    response = "ERR\tsnapshot: " + ready.message();
   } else {
     std::string key = std::string(kTypeNames[type_index]);
     for (std::string_view a : args) {
@@ -214,14 +293,17 @@ std::string QueryEngine::Answer(std::string_view line) {
       CachePut(key, response);
     }
   }
-  const auto ended = std::chrono::steady_clock::now();
-  const uint64_t ns = static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(ended - started).count());
-  const bool error = response.compare(0, 2, "OK") != 0;
-  stats_ptr_->Record(type, ns, cache_hit, error);
-  VerbMetrics& verb = GetVerbMetrics(type_index);
-  verb.requests.Add();
-  verb.latency_ns.Observe(static_cast<double>(ns));
+  if (record_stats) {
+    const auto ended = std::chrono::steady_clock::now();
+    const uint64_t ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(ended - started)
+            .count());
+    const bool error = response.compare(0, 2, "OK") != 0;
+    stats_ptr_->Record(type, ns, cache_hit, error);
+    VerbMetrics& verb = GetVerbMetrics(type_index);
+    verb.requests.Add();
+    verb.latency_ns.Observe(static_cast<double>(ns));
+  }
   return response;
 }
 
@@ -395,32 +477,7 @@ void QueryEngine::CachePut(const std::string& key, const std::string& response) 
 }
 
 std::string QueryEngine::FormatStats() const {
-  std::string out = "OK\tstats";
-  for (int i = 0; i < kNumTypes; ++i) {
-    if (static_cast<QueryType>(i) == QueryType::kStats ||
-        static_cast<QueryType>(i) == QueryType::kMetrics) {
-      continue;
-    }
-    QueryTypeStats s = stats_ptr_->Snapshot(static_cast<QueryType>(i));
-    out += '\t';
-    out += kTypeNames[i];
-    out += "=count:" + std::to_string(s.count) +
-           ",hits:" + std::to_string(s.cache_hits) +
-           ",errors:" + std::to_string(s.errors) +
-           ",mean_ns:" + std::to_string(static_cast<uint64_t>(s.MeanNs())) +
-           ",max_ns:" + std::to_string(s.max_ns);
-  }
-  // Hot-swap and admission-control counters (all 0 for single-snapshot
-  // serving: CounterValue reads 0 for never-registered names). Appended last
-  // so older consumers that split on the per-verb fields keep parsing.
-  out += "\tgeneration=" + std::to_string(options_.generation) +
-         "\tswaps=" + std::to_string(GlobalMetrics().CounterValue("serve.swap.count")) +
-         "\tfailed_publishes=" +
-         std::to_string(GlobalMetrics().CounterValue("serve.publish.failed")) +
-         "\trolled_back=" +
-         std::to_string(GlobalMetrics().CounterValue("serve.publish.rolled_back")) +
-         "\tshed=" + std::to_string(GlobalMetrics().CounterValue("batch.shed"));
-  return out;
+  return FormatStatsResponse({stats_ptr_}, options_.generation);
 }
 
 }  // namespace semdrift

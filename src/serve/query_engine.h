@@ -45,6 +45,11 @@ enum class QueryType : int {
 /// Wire name of a query type ("instances-of", ...).
 std::string_view QueryTypeName(QueryType type);
 
+/// Snapshot sections a query type reads (SnapshotSection bitmask), for
+/// SnapshotReader::EnsureSections. Name resolution (NSRT + both name tables)
+/// is included for every name-taking verb; stats/metrics touch no section.
+uint32_t SectionsForQuery(QueryType type);
+
 /// Point-in-time copy of one query type's serving counters.
 struct QueryTypeStats {
   uint64_t count = 0;       ///< Requests answered (including errors).
@@ -81,6 +86,20 @@ class ServeStats {
   Cell cells_[static_cast<int>(QueryType::kNumTypes)];
 };
 
+/// Point-in-time merge across several ServeStats: counts sum, max_ns takes
+/// the max. The shard router aggregates its per-shard engines this way;
+/// each client request lands in exactly one shard's stats because shadow
+/// fan-out legs execute with Answer(line, /*record_stats=*/false).
+QueryTypeStats MergeTypeStats(const std::vector<const ServeStats*>& stats,
+                              QueryType type);
+
+/// Formats the `stats` response line from merged counters. With a single
+/// ServeStats and num_shards == 0 this is byte-identical to
+/// QueryEngine::FormatStats; num_shards > 0 appends a trailing
+/// "shards=<N>" field.
+std::string FormatStatsResponse(const std::vector<const ServeStats*>& stats,
+                                uint64_t generation, int num_shards = 0);
+
 struct QueryEngineOptions {
   /// Result-cache shards (power of two; keys hash to a shard so concurrent
   /// queries rarely contend on one mutex).
@@ -112,6 +131,11 @@ class QueryEngine {
 
   /// Parses and answers one request line (without trailing newline).
   std::string Answer(std::string_view line);
+
+  /// Same, but with `record_stats == false` neither ServeStats nor the
+  /// per-verb registry metrics are touched. The router's shadow fan-out legs
+  /// use this so a scatter-gathered request is counted exactly once.
+  std::string Answer(std::string_view line, bool record_stats);
 
   const SnapshotReader& snapshot() const { return *snapshot_; }
   const ServeStats& stats() const { return *stats_ptr_; }

@@ -1,9 +1,17 @@
 #include "serve/snapshot.h"
 
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
+#include <cerrno>
 #include <cstring>
 #include <filesystem>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -56,6 +64,22 @@ constexpr uint32_t kSectionTags[kNumSections] = {
     FourCc('I', 'C', 'S', 'R'), FourCc('C', 'M', 'E', 'T'),
     FourCc('M', 'U', 'T', 'X'), FourCc('N', 'S', 'R', 'T'),
 };
+
+// The public SnapshotSection bits must line up with the file's section order.
+static_assert(kSnapSecConceptNames == 1u << kSecConceptNames &&
+                  kSnapSecScores == 1u << kSecScores &&
+                  kSnapSecMutex == 1u << kSecMutex &&
+                  kSnapSecNameSort == 1u << kSecNameSort &&
+                  kSnapSecAll == (1u << kNumSections) - 1,
+              "SnapshotSection bits out of sync with SectionIndex");
+
+/// Four-character section name for error messages ("SCOR", ...).
+std::string SectionName(int i) {
+  const uint32_t tag = kSectionTags[i];
+  std::string name(4, '\0');
+  for (int b = 0; b < 4; ++b) name[b] = static_cast<char>((tag >> (8 * b)) & 0xff);
+  return name;
+}
 
 // -- Little-endian append/read helpers --------------------------------------
 
@@ -452,10 +476,110 @@ Status WriteSnapshot(const KnowledgeBase& kb, const World& world,
 
 // -- Reader ------------------------------------------------------------------
 
+/// An mmap'ed snapshot file. The fd is kept open for the lifetime of the
+/// mapping so EnsureSections can re-stat it (truncation detection).
+struct SnapshotReader::MappedFile {
+  void* base = nullptr;
+  size_t length = 0;
+  int fd = -1;
+  std::string path;
+
+  ~MappedFile() {
+    if (base != nullptr) ::munmap(base, length);
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+/// Deferred per-section CRC state. `verified` is a bitmask of sections whose
+/// CRC has been checked; the slow path serializes on `mu` so each section is
+/// hashed at most once. A failure is sticky (`failed` + `first_error`).
+struct SnapshotReader::DeferredVerify {
+  std::mutex mu;
+  std::atomic<uint32_t> verified{0};
+  /// Sections whose CRC check failed. Sticky per section: a corrupt MUTX
+  /// payload keeps failing mutex queries while every other section serves.
+  std::atomic<uint32_t> failed_sections{0};
+  /// Whole-mapping failure (stat error, file resized under the map): the
+  /// entire reader is compromised, every EnsureSections call fails.
+  std::atomic<bool> failed{false};
+  Status first_error;  // Guarded by mu.
+  uint64_t offsets[kNumSections] = {};
+  uint64_t sizes[kNumSections] = {};
+  uint32_t crcs[kNumSections] = {};
+};
+
+SnapshotReader::SnapshotReader() = default;
+SnapshotReader::~SnapshotReader() = default;
+SnapshotReader::SnapshotReader(SnapshotReader&&) noexcept = default;
+SnapshotReader& SnapshotReader::operator=(SnapshotReader&&) noexcept = default;
+
+const char* SnapshotReader::data() const {
+  return mapped_ != nullptr ? static_cast<const char*>(mapped_->base)
+                            : reinterpret_cast<const char*>(buffer_.data());
+}
+
 Result<SnapshotReader> SnapshotReader::Open(const std::string& path) {
-  auto content = ReadFileToString(path);
-  if (!content.ok()) return content.status();
-  return OpenFromBuffer(*content, path);
+  return Open(path, SnapshotOpenOptions{});
+}
+
+Result<SnapshotReader> SnapshotReader::Open(const std::string& path,
+                                            const SnapshotOpenOptions& options) {
+  if (options.source == SnapshotSource::kRead) {
+    auto content = ReadFileToString(path);
+    if (!content.ok()) return content.status();
+    return OpenFromBuffer(*content, path);
+  }
+
+  // kMmap. Hardened like ReadFileToString: only regular files are mapped (a
+  // directory, FIFO or device node has no meaningful mmap semantics), and
+  // the fd is retained so EnsureSections can detect the file being resized
+  // under the mapping.
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IOError("cannot open " + path + ": " + std::strerror(errno));
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    Status err = Status::IOError("cannot stat " + path + ": " + std::strerror(errno));
+    ::close(fd);
+    return err;
+  }
+  if (!S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return Status::DataLoss(path + ": not a regular file (refusing to mmap)");
+  }
+  if (st.st_size <= 0) {
+    ::close(fd);
+    return Status::DataLoss("snapshot " + path + ": file too small (0 bytes)");
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  void* base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  if (base == MAP_FAILED) {
+    Status err = Status::IOError("cannot mmap " + path + ": " + std::strerror(errno));
+    ::close(fd);
+    return err;
+  }
+
+  SnapshotReader reader;
+  reader.mapped_ = std::make_unique<MappedFile>();
+  reader.mapped_->base = base;
+  reader.mapped_->length = size;
+  reader.mapped_->fd = fd;
+  reader.mapped_->path = path;
+  reader.file_bytes_ = size;
+  reader.deferred_ = std::make_unique<DeferredVerify>();
+  Status mapped = reader.Map(/*defer_section_checks=*/!options.eager_verify);
+  if (!mapped.ok()) {
+    return Status::DataLoss("snapshot " + path + ": " + mapped.message());
+  }
+  if (options.eager_verify) {
+    reader.deferred_->verified.store(kSnapSecAll, std::memory_order_release);
+    Status valid = reader.Validate();
+    if (!valid.ok()) {
+      return Status::DataLoss("snapshot " + path + ": " + valid.message());
+    }
+  }
+  return reader;
 }
 
 Result<SnapshotReader> SnapshotReader::OpenFromBuffer(std::string_view content,
@@ -464,7 +588,7 @@ Result<SnapshotReader> SnapshotReader::OpenFromBuffer(std::string_view content,
   reader.file_bytes_ = content.size();
   reader.buffer_.assign((content.size() + 7) / 8, 0);
   std::memcpy(reader.buffer_.data(), content.data(), content.size());
-  Status mapped = reader.Map();
+  Status mapped = reader.Map(/*defer_section_checks=*/false);
   if (!mapped.ok()) {
     return Status::DataLoss("snapshot " + label + ": " + mapped.message());
   }
@@ -475,8 +599,74 @@ Result<SnapshotReader> SnapshotReader::OpenFromBuffer(std::string_view content,
   return reader;
 }
 
-Status SnapshotReader::Map() {
-  const char* base = reinterpret_cast<const char*>(buffer_.data());
+Status SnapshotReader::EnsureSections(uint32_t mask) const {
+  if (deferred_ == nullptr) return Status::OK();
+  mask &= kSnapSecAll;
+  DeferredVerify& d = *deferred_;
+  if (d.failed.load(std::memory_order_acquire) ||
+      (d.failed_sections.load(std::memory_order_acquire) & mask) != 0) {
+    std::lock_guard<std::mutex> lock(d.mu);
+    return d.first_error;
+  }
+  if ((d.verified.load(std::memory_order_acquire) & mask) == mask) {
+    return Status::OK();
+  }
+
+  std::lock_guard<std::mutex> lock(d.mu);
+  if (d.failed.load(std::memory_order_relaxed) ||
+      (d.failed_sections.load(std::memory_order_relaxed) & mask) != 0) {
+    return d.first_error;
+  }
+  uint32_t done = d.verified.load(std::memory_order_relaxed);
+  if ((done & mask) == mask) return Status::OK();
+
+  auto fail = [&](Status err) {
+    d.first_error = err;
+    d.failed.store(true, std::memory_order_release);
+    return err;
+  };
+
+  // ftruncate-under-map detection: a shrunk file turns reads of the mapped
+  // tail into SIGBUS, so re-stat before touching any payload byte.
+  struct stat st {};
+  if (::fstat(mapped_->fd, &st) != 0) {
+    return fail(Status::IOError("cannot stat " + mapped_->path + ": " +
+                                std::strerror(errno)));
+  }
+  if (static_cast<uint64_t>(st.st_size) != file_bytes_) {
+    return fail(Status::DataLoss(
+        mapped_->path + ": file resized from " + std::to_string(file_bytes_) +
+        " to " + std::to_string(st.st_size) + " bytes under the mapping"));
+  }
+
+  const char* base = data();
+  for (int i = 0; i < kNumSections; ++i) {
+    const uint32_t bit = 1u << i;
+    if ((mask & bit) == 0 || (done & bit) != 0) continue;
+    if (d.crcs[i] != Crc32Of(std::string_view(base + d.offsets[i],
+                                              static_cast<size_t>(d.sizes[i])))) {
+      // Sticky for this section only: queries touching it keep failing with
+      // the same error, while untouched sections stay servable.
+      Status err = Status::DataLoss(
+          mapped_->path + ": section " + SectionName(i) +
+          " checksum mismatch at byte offset " + std::to_string(d.offsets[i]));
+      if (d.first_error.ok()) d.first_error = err;
+      d.failed_sections.fetch_or(bit, std::memory_order_release);
+      return err;
+    }
+    done |= bit;
+    d.verified.store(done, std::memory_order_release);
+  }
+  return Status::OK();
+}
+
+uint32_t SnapshotReader::VerifiedSections() const {
+  return deferred_ == nullptr ? static_cast<uint32_t>(kSnapSecAll)
+                              : deferred_->verified.load(std::memory_order_acquire);
+}
+
+Status SnapshotReader::Map(bool defer_section_checks) {
+  const char* base = data();
   const uint64_t size = file_bytes_;
   const size_t table_bytes = kNumSections * kSectionEntryBytes;
   if (size < kHeaderBytes + table_bytes + 8 + kFooterBytes) {
@@ -502,8 +692,12 @@ Status SnapshotReader::Map() {
     return Status::DataLoss("header checksum mismatch");
   }
   // Whole-file CRC first: one check that covers padding and the table too.
-  if (ReadU32(base + size - 8) !=
-      Crc32Of(std::string_view(base, static_cast<size_t>(size - 8)))) {
+  // Deferred (mmap) opens skip it — it would fault every page in, and the
+  // header/table CRCs plus the per-section deferred CRCs cover every byte
+  // that is ever read.
+  if (!defer_section_checks &&
+      ReadU32(base + size - 8) !=
+          Crc32Of(std::string_view(base, static_cast<size_t>(size - 8)))) {
     return Status::DataLoss("file checksum mismatch");
   }
   if (ReadU32(base + size - 4) != kEndMagic) {
@@ -528,9 +722,13 @@ Status SnapshotReader::Map() {
       return Status::DataLoss("section " + std::to_string(i) +
                               " extends past the file");
     }
-    if (ReadU32(entry + 4) !=
-        Crc32Of(std::string_view(base + offsets[i],
-                                 static_cast<size_t>(sizes[i])))) {
+    if (defer_section_checks) {
+      deferred_->offsets[i] = offsets[i];
+      deferred_->sizes[i] = sizes[i];
+      deferred_->crcs[i] = ReadU32(entry + 4);
+    } else if (ReadU32(entry + 4) !=
+               Crc32Of(std::string_view(base + offsets[i],
+                                        static_cast<size_t>(sizes[i])))) {
       return Status::DataLoss("section " + std::to_string(i) +
                               " checksum mismatch");
     }

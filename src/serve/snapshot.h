@@ -2,6 +2,7 @@
 #define SEMDRIFT_SERVE_SNAPSHOT_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -107,18 +108,63 @@ Status WriteSnapshot(const KnowledgeBase& kb, const World& world,
                      const RunHealthReport* health, const SnapshotOptions& options,
                      const std::string& path);
 
+/// How Open() gets the file's bytes into memory.
+enum class SnapshotSource {
+  /// Read the whole file into an owned buffer; every section CRC, the
+  /// whole-file CRC and the deep structural Validate() run up front.
+  kRead,
+  /// mmap the file read-only. Framing checks that touch O(1) pages (magic,
+  /// header CRC, section table CRC, declared size, end marker) still run at
+  /// open; per-section CRCs are deferred to first use (EnsureSections) and
+  /// the whole-file CRC and deep Validate() are skipped, so cold start is
+  /// O(page faults), not O(bytes). Query results are byte-identical to the
+  /// read path. Trust model: the per-section CRCs prove the payload bytes
+  /// are exactly what BuildSnapshotImage wrote, and the writer gates deep
+  /// structure before any image exists — so deferred mode detects any
+  /// storage corruption, while a deliberately crafted evil file needs
+  /// eager_verify (snapshot-verify uses it).
+  kMmap,
+};
+
+struct SnapshotOpenOptions {
+  SnapshotSource source = SnapshotSource::kRead;
+  /// With kMmap: run every section CRC and the deep Validate() at open
+  /// anyway (faulting the whole file in). No effect on kRead, which always
+  /// verifies eagerly.
+  bool eager_verify = false;
+};
+
+/// Bitmask over the ten version-1 sections, for EnsureSections(). Bit i is
+/// section i in file order.
+enum SnapshotSection : uint32_t {
+  kSnapSecConceptNames = 1u << 0,
+  kSnapSecInstanceNames = 1u << 1,
+  kSnapSecForwardCsr = 1u << 2,
+  kSnapSecRank = 1u << 3,
+  kSnapSecScores = 1u << 4,
+  kSnapSecSupport = 1u << 5,
+  kSnapSecInverseCsr = 1u << 6,
+  kSnapSecConceptMeta = 1u << 7,
+  kSnapSecMutex = 1u << 8,
+  kSnapSecNameSort = 1u << 9,
+  kSnapSecAll = (1u << 10) - 1,
+};
+
 /// A loaded snapshot: one contiguous 8-byte-aligned buffer with typed
 /// pointers into it. All accessors are const, thread-safe and allocation-free
 /// after Open(). Open() verifies framing (magic, version, section CRCs, file
 /// CRC) and then deep structure (Validate()): CSR monotonicity, id bounds,
 /// string-table bounds, rank-permutation integrity — a snapshot that opens
-/// is safe to serve from without per-query checks.
+/// is safe to serve from without per-query checks. (With SnapshotSource::
+/// kMmap the per-section CRCs move to EnsureSections; see SnapshotSource.)
 class SnapshotReader {
  public:
   static constexpr uint32_t kNoId = 0xffffffffu;
   static constexpr uint64_t kNoPair = ~0ull;
 
   static Result<SnapshotReader> Open(const std::string& path);
+  static Result<SnapshotReader> Open(const std::string& path,
+                                     const SnapshotOpenOptions& options);
 
   /// Opens from an in-memory image (the hot-swap manager materializes
   /// generations in memory before ever serving them). `label` names the
@@ -126,10 +172,30 @@ class SnapshotReader {
   static Result<SnapshotReader> OpenFromBuffer(std::string_view content,
                                                const std::string& label);
 
-  SnapshotReader(SnapshotReader&&) = default;
-  SnapshotReader& operator=(SnapshotReader&&) = default;
+  ~SnapshotReader();
+  SnapshotReader(SnapshotReader&&) noexcept;
+  SnapshotReader& operator=(SnapshotReader&&) noexcept;
   SnapshotReader(const SnapshotReader&) = delete;
   SnapshotReader& operator=(const SnapshotReader&) = delete;
+
+  /// True when backed by a live file mapping (kMmap) rather than an owned
+  /// buffer.
+  bool mmap_backed() const { return mapped_ != nullptr; }
+
+  /// For mmap-backed readers: CRC-verifies every section in `mask` that has
+  /// not been verified yet, re-statting the file first so an ftruncate under
+  /// the mapping is caught before any payload page is touched (a shrunk
+  /// mapping would SIGBUS). Failures are sticky per section — a corrupt
+  /// section keeps failing every query that touches it, while queries over
+  /// intact sections keep serving (damage confinement). Whole-mapping
+  /// failures (stat error, file resized under the map) are globally sticky:
+  /// every later call fails. Readers opened through kRead (or
+  /// OpenFromBuffer) return OK immediately. Thread-safe; the fast path is
+  /// one atomic load.
+  Status EnsureSections(uint32_t mask) const;
+
+  /// Sections CRC-verified so far (kSnapSecAll for eagerly-verified readers).
+  uint32_t VerifiedSections() const;
 
   uint32_t num_concepts() const { return num_concepts_; }
   uint32_t num_instances() const { return num_instances_; }
@@ -211,18 +277,30 @@ class SnapshotReader {
   Status Validate() const;
 
  private:
-  SnapshotReader() = default;
+  struct MappedFile;
+  struct DeferredVerify;
+
+  SnapshotReader();
 
   static std::string_view Interned(const uint32_t* offsets, const char* blob,
                                    uint32_t i) {
     return std::string_view(blob + offsets[i], offsets[i + 1] - offsets[i]);
   }
 
-  /// Points the typed members into buffer_; fails on framing damage.
-  Status Map();
+  /// Points the typed members into data(); fails on framing damage. With
+  /// `defer_section_checks` the per-section and whole-file CRCs are recorded
+  /// into deferred_ instead of being checked here.
+  Status Map(bool defer_section_checks);
 
-  /// The whole file, 8-byte aligned.
+  /// Start of the file bytes: the mapping when mmap-backed, else buffer_.
+  const char* data() const;
+
+  /// The whole file, 8-byte aligned (kRead / OpenFromBuffer only).
   std::vector<uint64_t> buffer_;
+  /// Live mapping + kept fd (kMmap only).
+  std::unique_ptr<MappedFile> mapped_;
+  /// Per-section deferred-CRC bookkeeping (kMmap only).
+  std::unique_ptr<DeferredVerify> deferred_;
   uint64_t file_bytes_ = 0;
 
   uint32_t num_concepts_ = 0;

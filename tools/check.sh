@@ -14,6 +14,11 @@
 #   tools/check.sh --scenarios [jobs] adversarial replay gate: every checked-in
 #                                     scenarios/*.toml replayed under
 #                                     ASan+UBSan against its recorded envelope
+#   tools/check.sh --net [jobs]       network soak under ASan: bench_serve's
+#                                     multi-process socket phase (8 client
+#                                     processes against shard counts 1/2/4)
+#                                     plus the 8-client server test, gating
+#                                     zero non-OK responses over the wire
 #
 # Build trees live in build-asan/, build-tsan/ and build-cov/ and are reused
 # across runs (incremental). Exits non-zero on the first failing configure,
@@ -31,6 +36,9 @@ elif [[ "${1:-}" == "--soak" ]]; then
   shift
 elif [[ "${1:-}" == "--scenarios" ]]; then
   MODE=scenarios
+  shift
+elif [[ "${1:-}" == "--net" ]]; then
+  MODE=net
   shift
 fi
 JOBS="${1:-$(nproc 2>/dev/null || echo 2)}"
@@ -120,6 +128,24 @@ if [[ "$MODE" == "soak" ]]; then
   exit 0
 fi
 
+if [[ "$MODE" == "net" ]]; then
+  echo "== Net: multi-process socket serving under ASan =="
+  cmake -B build-asan -S . -DSEMDRIFT_SANITIZE="address;undefined" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-asan -j "$JOBS" --target bench_serve net_server_test
+  # The epoll front-end, router and reorder buffer under concurrent client
+  # processes: any memory error, any non-OK response over the wire, or an
+  # mmap cold open slower than the eager read path fails the gate. Swaps are
+  # trimmed — the soak mode owns hot-swap torture; this mode owns sockets.
+  build-asan/bench/bench_serve --scale 0.1 --swaps 10 --net-seconds 3 \
+    --out build-asan/BENCH_serve_net.json
+  # The in-process suite covers the corners a clean bench run cannot reach:
+  # abrupt disconnects, oversized lines, backpressure, shed, hot swap mid-load.
+  build-asan/tests/net_server_test
+  echo "OK: socket serving held under ASan across shard counts 1/2/4"
+  exit 0
+fi
+
 if [[ "$MODE" == "scenarios" ]]; then
   echo "== Scenarios: adversarial replay corpus under ASan+UBSan =="
   cmake -B build-asan -S . -DSEMDRIFT_SANITIZE="address;undefined" \
@@ -142,7 +168,7 @@ ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 echo "== TSan: concurrency tests =="
 TSAN_TARGETS=(thread_pool_test parallel_determinism_test supervisor_test
   serve_batcher_test serve_hotswap_test obs_test ml_forest_test
-  forest_differential_test)
+  forest_differential_test net_protocol_test net_router_test net_server_test)
 cmake -B build-tsan -S . -DSEMDRIFT_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-tsan -j "$JOBS" --target "${TSAN_TARGETS[@]}"

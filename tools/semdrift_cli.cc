@@ -31,9 +31,10 @@
 //       Read raw sentences from stdin, parse each with the Hearst parser,
 //       print the candidate analysis.
 //   semdrift serve --snapshot s.bin | --publish-dir D [--poll-ms N]
-//                  [--cache N] [--cache-shards N]
+//                  [--mmap] [--cache N] [--cache-shards N]
 //                  [--max-batch N] [--max-wait-ms N] [--deadline-ms N]
 //                  [--deadline-budget-ms N] [--stats-interval-ms N]
+//                  [--listen tcp:host:port|unix:/path [--shards N]]
 //       Load a serving snapshot and answer line-protocol queries on
 //       stdin/stdout (instances-of, concepts-of, is-a, drift-score, mutex,
 //       stats, metrics; `quit` exits). Requests are coalesced into batches
@@ -47,13 +48,22 @@
 //       queue wait crosses the budget, low-priority requests are refused
 //       with an OVERLOADED response instead of queueing to death.
 //       --stats-interval-ms > 0 prints a serving-stats snapshot to stderr
-//       every N milliseconds.
-//   semdrift query --snapshot s.bin <verb> <args...>
-//       One-shot: answer a single query and exit. Exit codes form the
+//       every N milliseconds. --mmap opens the snapshot zero-copy with
+//       per-section CRC validation deferred to first touch (fast cold
+//       start; corrupt sections fail only the verbs that touch them).
+//       --listen serves the same protocol on a TCP or unix socket instead
+//       of stdin/stdout (epoll front-end, pipelining with responses in
+//       request order); --shards N partitions the concept space over N
+//       workers by consistent hash, byte-identical answers at any shard
+//       count, with `stats` merged across shards. SIGINT/SIGTERM shut the
+//       socket server down cleanly.
+//   semdrift query (--snapshot s.bin [--mmap] | --connect EP) <verb> <args...>
+//       One-shot: answer a single query and exit. --snapshot opens the
+//       file directly; --connect round-trips the query to a serve --listen
+//       endpoint (same address grammar). Exit codes form the
 //       scripting contract shared with serve's line protocol: 0 = OK,
 //       1 = ERR, 2 = usage, 3 = NOT_FOUND (miss), 4 = OVERLOADED (shed by
-//       admission control; never produced by a one-shot, reserved so
-//       wrappers can map serve responses to the same codes). Each shell
+//       admission control). Each shell
 //       argument becomes one protocol field, so multi-word names need
 //       quoting, not tabs.
 //   semdrift snapshot-verify <base> [delta...]
@@ -74,9 +84,14 @@
 // Every subcommand is deterministic in --seed. Unknown flags, missing flag
 // values and non-numeric values for numeric flags exit non-zero.
 
+#include <poll.h>
+#include <unistd.h>
+
 #include <chrono>
 #include <condition_variable>
+#include <csignal>
 #include <cstdio>
+#include <cstring>
 #include <deque>
 #include <filesystem>
 #include <future>
@@ -97,6 +112,9 @@
 #include "extract/checkpoint.h"
 #include "extract/extractor.h"
 #include "extract/hearst_parser.h"
+#include "net/net_client.h"
+#include "net/router.h"
+#include "net/server.h"
 #include "scenario/grammar.h"
 #include "scenario/hunt.h"
 #include "scenario/runner.h"
@@ -568,12 +586,15 @@ int Parse(const Flags& flags) {
   return 0;
 }
 
-Result<SnapshotReader> OpenSnapshotOrDie(const std::string& path) {
+Result<SnapshotReader> OpenSnapshotOrDie(const std::string& path,
+                                         bool use_mmap = false) {
   if (path.empty()) {
     std::fprintf(stderr, "--snapshot is required\n");
     std::exit(2);
   }
-  return SnapshotReader::Open(path);
+  SnapshotOpenOptions options;
+  options.source = use_mmap ? SnapshotSource::kMmap : SnapshotSource::kRead;
+  return SnapshotReader::Open(path, options);
 }
 
 /// The serve loop proper, shared by single-snapshot and hot-swap modes:
@@ -647,7 +668,119 @@ int ServeLoop(Batcher& batcher, const std::function<std::string()>& format_stats
   return 0;
 }
 
+/// Signal-driven shutdown for `serve --listen`: the handler writes one byte
+/// into a self-pipe (the only async-signal-safe notification there is), and
+/// the main thread blocks on poll() until it arrives.
+int g_shutdown_pipe[2] = {-1, -1};
+
+extern "C" void HandleShutdownSignal(int) {
+  const char byte = 1;
+  // Best-effort: a full pipe already means shutdown is pending.
+  [[maybe_unused]] ssize_t n = ::write(g_shutdown_pipe[1], &byte, 1);
+}
+
+/// Runs the network front-end until SIGINT/SIGTERM. Prints the resolved
+/// endpoint to stderr (port 0 means "pick one", so scripts need the answer).
+int RunNetServer(ShardRouter& router, const std::string& listen,
+                 uint64_t stats_interval_ms) {
+  NetServerOptions server_options;
+  server_options.listen = listen;
+  NetServer server(&router, server_options);
+  if (Status started = server.Start(); !started.ok()) {
+    std::fprintf(stderr, "%s\n", started.ToString().c_str());
+    return 1;
+  }
+  if (::pipe(g_shutdown_pipe) != 0) {
+    std::fprintf(stderr, "pipe: %s\n", std::strerror(errno));
+    return 1;
+  }
+  struct sigaction sa {};
+  sa.sa_handler = HandleShutdownSignal;
+  sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  std::fprintf(stderr, "listening on %s; %u shards; ready\n",
+               server.endpoint().c_str(), router.num_shards());
+
+  const int timeout_ms =
+      stats_interval_ms > 0 ? static_cast<int>(stats_interval_ms) : -1;
+  for (;;) {
+    pollfd pfd{g_shutdown_pipe[0], POLLIN, 0};
+    const int n = ::poll(&pfd, 1, timeout_ms);
+    if (n < 0 && errno == EINTR) continue;
+    if (n > 0) break;  // Signal arrived (or the pipe broke; either way: out).
+    // Timeout: periodic stats snapshot, answered through the router's own
+    // `stats` path so the line matches what a socket client would see.
+    std::promise<std::string> stats;
+    router.Submit("stats", RequestPriority::kHigh,
+                  [&stats](std::string r) { stats.set_value(std::move(r)); });
+    std::fprintf(stderr, "%s\n", stats.get_future().get().c_str());
+  }
+  server.Stop();
+  ::close(g_shutdown_pipe[0]);
+  ::close(g_shutdown_pipe[1]);
+  g_shutdown_pipe[0] = g_shutdown_pipe[1] = -1;
+  return 0;
+}
+
+/// `serve --listen`: socket front-end over the sharded router instead of the
+/// stdin/stdout loop. Shares the snapshot/publish-dir/admission flags with
+/// the stdin mode; adds --shards (worker count) and --mmap (zero-copy
+/// snapshot load).
+int ServeNet(const Flags& flags) {
+  ApplyThreadsFlag(flags);
+  RouterOptions router_options;
+  router_options.num_shards =
+      static_cast<uint32_t>(flags.GetUint("shards", 1));
+  if (router_options.num_shards == 0) router_options.num_shards = 1;
+  router_options.engine.cache_capacity = flags.GetUint("cache", 4096);
+  router_options.engine.cache_shards = flags.GetUint("cache-shards", 16);
+  router_options.batch.max_batch = flags.GetUint("max-batch", 64);
+  router_options.batch.max_wait_ms =
+      static_cast<int>(flags.GetUint("max-wait-ms", 1));
+  router_options.batch.default_deadline_ms =
+      static_cast<int>(flags.GetUint("deadline-ms", 1000));
+  router_options.batch.deadline_budget_ms =
+      static_cast<int>(flags.GetUint("deadline-budget-ms", 0));
+  const uint64_t stats_interval_ms = flags.GetUint("stats-interval-ms", 0);
+  const std::string listen = flags.Get("listen", "");
+  // A malformed address is a usage error (exit 2), same as any bad flag
+  // value — not a runtime serving failure.
+  ListenAddress parsed_listen;
+  std::string listen_error;
+  if (!ParseListenAddress(listen, &parsed_listen, &listen_error)) {
+    std::fprintf(stderr, "--listen: %s\n", listen_error.c_str());
+    return 2;
+  }
+
+  std::string publish_dir = flags.Get("publish-dir", "");
+  if (!publish_dir.empty()) {
+    SnapshotManagerOptions manager_options;
+    manager_options.dir = publish_dir;
+    manager_options.engine = router_options.engine;
+    SnapshotManager manager(manager_options);
+    if (Status initial = manager.LoadInitial(); !initial.ok()) {
+      std::fprintf(stderr, "%s\n", initial.ToString().c_str());
+      return 1;
+    }
+    ShardRouter router(&manager, router_options);
+    manager.StartWatching(flags.GetUint("poll-ms", 200));
+    const int rc = RunNetServer(router, listen, stats_interval_ms);
+    manager.StopWatching();
+    return rc;
+  }
+
+  auto reader = OpenSnapshotOrDie(flags.Get("snapshot", ""), flags.Has("mmap"));
+  if (!reader.ok()) {
+    std::fprintf(stderr, "%s\n", reader.status().ToString().c_str());
+    return 1;
+  }
+  ShardRouter router(&*reader, router_options);
+  return RunNetServer(router, listen, stats_interval_ms);
+}
+
 int Serve(const Flags& flags) {
+  if (!flags.Get("listen", "").empty()) return ServeNet(flags);
   ApplyThreadsFlag(flags);
   QueryEngineOptions engine_options;
   engine_options.cache_capacity = flags.GetUint("cache", 4096);
@@ -698,7 +831,7 @@ int Serve(const Flags& flags) {
     return rc;
   }
 
-  auto reader = OpenSnapshotOrDie(flags.Get("snapshot", ""));
+  auto reader = OpenSnapshotOrDie(flags.Get("snapshot", ""), flags.Has("mmap"));
   if (!reader.ok()) {
     std::fprintf(stderr, "%s\n", reader.status().ToString().c_str());
     return 1;
@@ -718,16 +851,24 @@ int Serve(const Flags& flags) {
 /// 1 ERR, 3 NOT_FOUND, 4 OVERLOADED (reserved — one-shots never shed).
 int Query(int argc, char** argv) {
   std::string snapshot_path;
+  std::string connect;
+  bool use_mmap = false;
   std::string line;
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
-    if (arg == "--snapshot" || arg == "--threads") {
+    if (arg == "--mmap") {
+      use_mmap = true;
+      continue;
+    }
+    if (arg == "--snapshot" || arg == "--connect" || arg == "--threads") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "missing value for %s\n", arg.c_str());
         return 2;
       }
       if (arg == "--snapshot") {
         snapshot_path = argv[++i];
+      } else if (arg == "--connect") {
+        connect = argv[++i];
       } else {
         uint64_t threads = 0;
         if (!ParseUint64(argv[++i], &threads)) {
@@ -746,16 +887,35 @@ int Query(int argc, char** argv) {
     line += arg;
   }
   if (line.empty()) {
-    std::fprintf(stderr, "usage: semdrift query --snapshot S <verb> <args...>\n");
+    std::fprintf(stderr,
+                 "usage: semdrift query --snapshot S | --connect EP "
+                 "<verb> <args...>\n");
     return 2;
   }
-  auto reader = OpenSnapshotOrDie(snapshot_path);
-  if (!reader.ok()) {
-    std::fprintf(stderr, "%s\n", reader.status().ToString().c_str());
-    return 1;
+  std::string response;
+  if (!connect.empty()) {
+    // Remote one-shot: same request, same exit-code contract, answered by a
+    // running `serve --listen` instance over its socket.
+    auto client = LineClient::Connect(connect);
+    if (!client.ok()) {
+      std::fprintf(stderr, "%s\n", client.status().ToString().c_str());
+      return 1;
+    }
+    auto remote = client->RoundTrip(line);
+    if (!remote.ok()) {
+      std::fprintf(stderr, "%s\n", remote.status().ToString().c_str());
+      return 1;
+    }
+    response = std::move(remote).value();
+  } else {
+    auto reader = OpenSnapshotOrDie(snapshot_path, use_mmap);
+    if (!reader.ok()) {
+      std::fprintf(stderr, "%s\n", reader.status().ToString().c_str());
+      return 1;
+    }
+    QueryEngine engine(&*reader);
+    response = engine.Answer(line);
   }
-  QueryEngine engine(&*reader);
-  std::string response = engine.Answer(line);
   std::printf("%s\n", response.c_str());
   if (StartsWith(response, "OK")) return 0;
   if (StartsWith(response, "NOT_FOUND")) return 3;
@@ -1230,8 +1390,8 @@ int main(int argc, char** argv) {
     Flags flags(argc, argv, 2,
                 {"snapshot", "publish-dir", "poll-ms", "cache", "cache-shards",
                  "max-batch", "max-wait-ms", "deadline-ms", "deadline-budget-ms",
-                 "stats-interval-ms", "threads"},
-                {});
+                 "stats-interval-ms", "threads", "listen", "shards"},
+                {"mmap"});
     if (!flags.ok()) {
       std::fprintf(stderr, "%s\n", flags.error().c_str());
       return Usage();
