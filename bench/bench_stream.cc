@@ -1,0 +1,322 @@
+// Staleness-vs-throughput curve for streaming extraction (BENCH_stream.json).
+//
+// Fixes one bench-scale corpus and replays it through StreamPipeline at epoch
+// counts {1, 2, 4, 8, 16}, publishing every epoch into a watch directory that
+// an in-process SnapshotManager polls — so each point pays the full serving
+// hand-off (compile, frame, publish, validate, atomic swap), not just the
+// extraction cost. All runs are pure incremental (no final rebuild): that is
+// the low-staleness operating mode the curve is about, and it also surfaces
+// the price of incrementality as a divergence column.
+//
+// Per epoch count the report records:
+//
+//   sentences_per_sec — ingest throughput over the whole run;
+//   avg_staleness_ms  — sentence-weighted time from delta hand-off to the
+//                       epoch's snapshot being built (what a freshly arrived
+//                       sentence waits before it is answerable);
+//   publish->swap     — avg/max latency of the manager installing an epoch's
+//                       generation after the pipeline published it;
+//   divergence        — live-pair Jaccard distance from the batch taxonomy
+//                       over the full corpus (0 = identical).
+//
+// More epochs buy lower staleness at the cost of repeated scoped cleaning
+// and publish overhead; the curve quantifies that trade. Gates are
+// correctness-only (every generation installs, no failed publishes, bounded
+// divergence) — timing shape is reported, not asserted, because CI machines
+// are noisy.
+//
+//   bench_stream [--scale 0.25] [--threads 4] [--out BENCH_stream.json]
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "bench_common.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "obs/metrics.h"
+#include "serve/snapshot_manager.h"
+#include "stream/stream.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+using namespace semdrift;
+
+namespace {
+
+struct CurvePoint {
+  int epochs = 0;
+  double wall_ms = 0.0;
+  double sentences_per_sec = 0.0;
+  double avg_staleness_ms = 0.0;
+  double avg_swap_ms = 0.0;
+  double max_swap_ms = 0.0;
+  int swaps = 0;
+  int published_deltas = 0;
+  size_t live_pairs = 0;
+  uint64_t stale_sentences = 0;
+  double divergence = 0.0;
+  std::string error;  // Non-empty: this point (and the bench) failed.
+};
+
+std::vector<ConceptId> FullScope(const World& world) {
+  std::vector<ConceptId> scope;
+  scope.reserve(world.num_concepts());
+  for (size_t c = 0; c < world.num_concepts(); ++c) {
+    scope.push_back(ConceptId{static_cast<uint32_t>(c)});
+  }
+  return scope;
+}
+
+using PairSet = std::unordered_set<IsAPair, IsAPairHash>;
+
+/// Live-pair Jaccard distance between the batch pair set and a KB over the
+/// full concept scope.
+double Divergence(const PairSet& batch_pairs, const KnowledgeBase& kb,
+                  const std::vector<ConceptId>& scope) {
+  size_t intersection = 0, count = 0;
+  for (const IsAPair& pair : LivePairsOf(kb, scope)) {
+    ++count;
+    if (batch_pairs.count(pair) > 0) ++intersection;
+  }
+  const size_t union_size = batch_pairs.size() + count - intersection;
+  if (union_size == 0) return 0.0;
+  return 1.0 - static_cast<double>(intersection) /
+                   static_cast<double>(union_size);
+}
+
+/// One curve point: stream the corpus in `epochs` even slices, publishing
+/// each epoch for `manager`-style consumption, and diff the end state
+/// against `batch_kb`.
+CurvePoint RunPoint(const World& world, const std::vector<Sentence>& all,
+                    int epochs, const ExtractorOptions& extractor,
+                    const PairSet& batch_pairs,
+                    const std::vector<ConceptId>& scope) {
+  CurvePoint point;
+  point.epochs = epochs;
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("bench_stream_pub_" + std::to_string(epochs)))
+          .string();
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    point.error = "cannot create " + dir + ": " + ec.message();
+    return point;
+  }
+
+  StreamOptions options;
+  options.extractor = extractor;
+  options.final_full_rebuild = false;
+  options.publish_dir = dir;
+  StreamPipeline stream(&world, options);
+
+  SnapshotManagerOptions manager_options;
+  manager_options.dir = dir;
+  SnapshotManager manager(manager_options);
+
+  const size_t total = all.size();
+  double staleness_weighted_ms = 0.0;
+  Timer wall;
+  for (int k = 0; k < epochs; ++k) {
+    const size_t begin = total * static_cast<size_t>(k) / epochs;
+    const size_t end = total * static_cast<size_t>(k + 1) / epochs;
+    std::vector<Sentence> delta(all.begin() + static_cast<long>(begin),
+                                all.begin() + static_cast<long>(end));
+    const size_t delta_size = delta.size();
+    Timer epoch_timer;
+    auto stats = stream.RunEpoch(std::move(delta), k + 1 == epochs);
+    const double epoch_ms = epoch_timer.ElapsedMillis();
+    if (!stats.ok()) {
+      point.error = "epoch " + std::to_string(k + 1) + ": " +
+                    stats.status().ToString();
+      return point;
+    }
+    staleness_weighted_ms += epoch_ms * static_cast<double>(delta_size);
+    if (stats->published_delta) ++point.published_deltas;
+
+    // The serving side of the hand-off: the manager must install this
+    // epoch's generation before the next epoch runs.
+    Timer swap_timer;
+    if (k == 0) {
+      if (Status st = manager.LoadInitial(); !st.ok()) {
+        point.error = "initial load: " + st.ToString();
+        return point;
+      }
+      ++point.swaps;
+    } else {
+      SnapshotPollResult poll = manager.Poll();
+      if (poll.failed > 0 || poll.orphaned > 0) {
+        point.error = "epoch " + std::to_string(k + 1) + ": " +
+                      std::to_string(poll.failed) + " failed publishes";
+        return point;
+      }
+      point.swaps += poll.swaps;
+    }
+    const double swap_ms = swap_timer.ElapsedMillis();
+    point.avg_swap_ms += swap_ms;
+    point.max_swap_ms = std::max(point.max_swap_ms, swap_ms);
+    if (manager.generation() != stats->generation) {
+      point.error = "generation " + std::to_string(stats->generation) +
+                    " did not install (serving " +
+                    std::to_string(manager.generation()) + ")";
+      return point;
+    }
+  }
+  point.wall_ms = wall.ElapsedMillis();
+  point.avg_swap_ms /= static_cast<double>(epochs);
+  point.sentences_per_sec =
+      point.wall_ms > 0.0
+          ? static_cast<double>(total) / (point.wall_ms / 1e3)
+          : 0.0;
+  point.avg_staleness_ms =
+      total > 0 ? staleness_weighted_ms / static_cast<double>(total) : 0.0;
+  point.live_pairs = stream.kb().num_live_pairs();
+  point.stale_sentences = stream.stale_sentences();
+  point.divergence = Divergence(batch_pairs, stream.kb(), scope);
+  std::filesystem::remove_all(dir, ec);
+  return point;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = bench::EnvScale();
+  int threads = 4;
+  std::string out = "BENCH_stream.json";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--scale") {
+      if (!ParseDouble(value(), &scale)) std::exit(2);
+    } else if (arg == "--threads") {
+      threads = std::atoi(value().c_str());
+    } else if (arg == "--out") {
+      out = value();
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  SetGlobalThreadCount(threads);
+
+  std::printf("bench_stream: scale %g, threads %d\n", scale, threads);
+  ExperimentConfig config = PaperScaleConfig(scale);
+  auto experiment = Experiment::Build(config);
+  const World& world = experiment->world();
+  std::vector<Sentence> all;
+  all.reserve(experiment->corpus().sentences.size());
+  for (const Sentence& s : experiment->corpus().sentences.sentences()) {
+    all.push_back(s);
+  }
+  const std::vector<ConceptId> scope = FullScope(world);
+
+  // Batch reference: a single full-rebuild epoch is exactly the batch
+  // pipeline over the whole corpus.
+  StreamOptions batch_options;
+  batch_options.extractor = config.extractor;
+  PairSet batch_pairs;
+  double batch_wall_ms = 0.0;
+  {
+    StreamPipeline batch(&world, batch_options);
+    Timer t;
+    auto stats = batch.RunEpoch(all, /*final_epoch=*/true);
+    batch_wall_ms = t.ElapsedMillis();
+    if (!stats.ok()) {
+      std::fprintf(stderr, "batch reference failed: %s\n",
+                   stats.status().ToString().c_str());
+      return 1;
+    }
+    if (!stats->full_rebuild) {
+      std::fprintf(stderr, "FAIL: final epoch was not a rebuild\n");
+      return 1;
+    }
+    for (const IsAPair& pair : LivePairsOf(batch.kb(), scope)) {
+      batch_pairs.insert(pair);
+    }
+  }
+  std::printf("corpus: %zu sentences; batch: %.1f ms, %zu live pairs\n",
+              all.size(), batch_wall_ms, batch_pairs.size());
+
+  const int kEpochCounts[] = {1, 2, 4, 8, 16};
+  std::vector<CurvePoint> curve;
+  for (int epochs : kEpochCounts) {
+    curve.push_back(
+        RunPoint(world, all, epochs, config.extractor, batch_pairs, scope));
+    const CurvePoint& p = curve.back();
+    if (!p.error.empty()) {
+      std::fprintf(stderr, "FAIL: %d epochs: %s\n", epochs, p.error.c_str());
+      return 1;
+    }
+    std::printf(
+        "%2d epochs: %8.1f ms, %7.0f sent/s, staleness %7.1f ms, "
+        "swap avg %6.2f ms max %6.2f ms, %d swaps (%d deltas), "
+        "divergence %.3f\n",
+        p.epochs, p.wall_ms, p.sentences_per_sec, p.avg_staleness_ms,
+        p.avg_swap_ms, p.max_swap_ms, p.swaps, p.published_deltas,
+        p.divergence);
+  }
+
+  FILE* f = std::fopen(out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f,
+               "  \"scale\": %g,\n  \"threads\": %d,\n"
+               "  \"sentences\": %zu,\n"
+               "  \"batch\": {\"wall_ms\": %.3f, \"live_pairs\": %zu},\n",
+               scale, threads, all.size(), batch_wall_ms, batch_pairs.size());
+  std::fprintf(f, "  \"curve\": [\n");
+  for (size_t i = 0; i < curve.size(); ++i) {
+    const CurvePoint& p = curve[i];
+    std::fprintf(f,
+                 "    {\"epochs\": %d, \"wall_ms\": %.3f, "
+                 "\"sentences_per_sec\": %.1f, \"avg_staleness_ms\": %.3f, "
+                 "\"avg_swap_ms\": %.3f, \"max_swap_ms\": %.3f, "
+                 "\"swaps\": %d, \"published_deltas\": %d, "
+                 "\"live_pairs\": %zu, \"stale_sentences\": %llu, "
+                 "\"divergence\": %.4f}%s\n",
+                 p.epochs, p.wall_ms, p.sentences_per_sec, p.avg_staleness_ms,
+                 p.avg_swap_ms, p.max_swap_ms, p.swaps, p.published_deltas,
+                 p.live_pairs,
+                 static_cast<unsigned long long>(p.stale_sentences),
+                 p.divergence, i + 1 == curve.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"metrics\": %s\n", GlobalMetrics().ToJson().c_str());
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("-> %s\n", out.c_str());
+
+  for (const CurvePoint& p : curve) {
+    if (p.swaps != p.epochs) {
+      std::fprintf(stderr, "FAIL: %d epochs installed only %d generations\n",
+                   p.epochs, p.swaps);
+      return 1;
+    }
+    if (p.sentences_per_sec <= 0.0) {
+      std::fprintf(stderr, "FAIL: zero throughput at %d epochs\n", p.epochs);
+      return 1;
+    }
+    if (p.divergence < 0.0 || p.divergence > 1.0) {
+      std::fprintf(stderr, "FAIL: divergence %.4f out of range at %d epochs\n",
+                   p.divergence, p.epochs);
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -1,5 +1,6 @@
 #include "dp/cleaner.h"
 
+#include <algorithm>
 #include <limits>
 #include <unordered_set>
 
@@ -158,6 +159,34 @@ CleaningReport DpCleaner::Clean(KnowledgeBase* kb,
   // The unsupervised path cannot fail (no guard ever reports an error).
   Result<CleaningReport> result = CleanImpl(kb, scope, nullptr);
   return *result;
+}
+
+CleaningReport DpCleaner::CleanDirty(KnowledgeBase* kb,
+                                     const std::vector<ConceptId>& dirty,
+                                     const std::vector<ConceptId>& within) const {
+  std::vector<ConceptId> scope;
+  if (within.empty()) {
+    scope = dirty;
+  } else {
+    std::unordered_set<uint32_t> allowed;
+    allowed.reserve(within.size());
+    for (ConceptId c : within) allowed.insert(c.value);
+    for (ConceptId c : dirty) {
+      if (allowed.count(c.value) != 0) scope.push_back(c);
+    }
+  }
+  std::sort(scope.begin(), scope.end(),
+            [](ConceptId a, ConceptId b) { return a.value < b.value; });
+  scope.erase(std::unique(scope.begin(), scope.end(),
+                          [](ConceptId a, ConceptId b) { return a.value == b.value; }),
+              scope.end());
+  if (scope.empty()) {
+    CleaningReport report;
+    report.live_pairs_before = kb->num_live_pairs();
+    report.live_pairs_after = report.live_pairs_before;
+    return report;
+  }
+  return Clean(kb, scope);
 }
 
 Result<CleaningReport> DpCleaner::CleanSupervised(

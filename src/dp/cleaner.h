@@ -103,6 +103,19 @@ class DpCleaner {
   /// Cleans `kb` in place over the given concept scope.
   CleaningReport Clean(KnowledgeBase* kb, const std::vector<ConceptId>& scope) const;
 
+  /// Scoped re-cleaning entry point for incremental (streaming) epochs:
+  /// cleans `dirty` ∩ `within` (the effective scope is sorted and
+  /// deduplicated; an empty `within` means no restriction). Per-round
+  /// feature state (mutex index, score cache, seeds) is rebuilt from the
+  /// whole live KB either way and classification is per concept, so a
+  /// round's detections on the scoped concepts match what a full-scope round
+  /// would flag on them; what scoping gives up is DPs *outside* the dirty
+  /// closure and their cascades — the divergence the streaming pipeline's
+  /// periodic full rebuilds bound. Returns Clean()'s report (empty scope:
+  /// a zero-round no-op report).
+  CleaningReport CleanDirty(KnowledgeBase* kb, const std::vector<ConceptId>& dirty,
+                            const std::vector<ConceptId>& within) const;
+
   /// Cleans under a supervision layer: score warm-up, training-data
   /// collection, detector training and per-concept classification each run
   /// inside a StageGuard; quarantined concepts drop out of the live scope

@@ -1,0 +1,60 @@
+#include "extract/dirty_set.h"
+
+#include <algorithm>
+
+namespace semdrift {
+
+InstanceConceptCsr BuildInstanceConceptCsr(const KnowledgeBase& kb,
+                                           size_t num_concepts) {
+  // Pass 1: live degree per instance (and the instance id bound).
+  size_t max_instance = 0;
+  std::vector<std::pair<uint32_t, uint32_t>> edges;  // (instance, concept)
+  for (size_t c = 0; c < num_concepts; ++c) {
+    ConceptId cid{static_cast<uint32_t>(c)};
+    for (InstanceId e : kb.LiveInstancesOf(cid)) {
+      edges.emplace_back(e.value, cid.value);
+      if (e.value + 1 > max_instance) max_instance = e.value + 1;
+    }
+  }
+
+  InstanceConceptCsr csr;
+  csr.rows.assign(max_instance + 1, 0);
+  for (const auto& [e, c] : edges) ++csr.rows[e + 1];
+  for (size_t i = 1; i < csr.rows.size(); ++i) csr.rows[i] += csr.rows[i - 1];
+
+  // Pass 2: fill columns. Sorting by (instance, concept) groups each row
+  // contiguously in instance order, so a sequential write lands every edge in
+  // its row slice with columns sorted ascending.
+  std::sort(edges.begin(), edges.end());
+  csr.concepts.resize(edges.size());
+  for (size_t i = 0; i < edges.size(); ++i) csr.concepts[i] = edges[i].second;
+  return csr;
+}
+
+std::vector<ConceptId> ComputeDirtyConcepts(const KnowledgeBase& kb,
+                                            size_t first_record,
+                                            size_t num_concepts) {
+  std::vector<bool> dirty(num_concepts, false);
+  const std::vector<ExtractionRecord>& records = kb.records();
+  if (first_record >= records.size()) return {};
+
+  InstanceConceptCsr csr = BuildInstanceConceptCsr(kb, num_concepts);
+  for (size_t r = first_record; r < records.size(); ++r) {
+    const ExtractionRecord& record = records[r];
+    if (record.concept_id.value < num_concepts) dirty[record.concept_id.value] = true;
+    for (InstanceId e : record.instances) {
+      if (e.value >= csr.num_instances()) continue;
+      for (uint64_t i = csr.rows[e.value]; i < csr.rows[e.value + 1]; ++i) {
+        dirty[csr.concepts[i]] = true;
+      }
+    }
+  }
+
+  std::vector<ConceptId> out;
+  for (size_t c = 0; c < num_concepts; ++c) {
+    if (dirty[c]) out.push_back(ConceptId{static_cast<uint32_t>(c)});
+  }
+  return out;
+}
+
+}  // namespace semdrift

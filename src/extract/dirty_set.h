@@ -1,0 +1,47 @@
+#ifndef SEMDRIFT_EXTRACT_DIRTY_SET_H_
+#define SEMDRIFT_EXTRACT_DIRTY_SET_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "kb/knowledge_base.h"
+#include "text/ids.h"
+
+namespace semdrift {
+
+/// Instance → concept incidence over the live pairs of a knowledge base,
+/// packed CSR-style (row offsets per instance id, concept columns sorted
+/// ascending). This is the adjacency scoped re-detection walks: two concepts
+/// are coupled exactly when they share a live instance — they compete for the
+/// same Eq. 21 attachment votes and contribute to each other's effective
+/// mutex similarity — so evidence arriving under one can flip decisions made
+/// under the other.
+struct InstanceConceptCsr {
+  /// rows[e]..rows[e+1] index `concepts` for instance id e.
+  std::vector<uint64_t> rows;
+  std::vector<uint32_t> concepts;
+
+  size_t num_instances() const { return rows.empty() ? 0 : rows.size() - 1; }
+};
+
+/// Builds the incidence CSR from every live pair of `kb`. `num_concepts`
+/// bounds the concept scan; instance rows size to the largest live instance
+/// id observed.
+InstanceConceptCsr BuildInstanceConceptCsr(const KnowledgeBase& kb,
+                                           size_t num_concepts);
+
+/// The dirty concept set of a streaming epoch: given that the records
+/// [first_record, kb.num_records()) were appended since the last epoch,
+/// returns every concept whose DP evidence may have changed — the concepts
+/// extracted into, plus (one CSR hop) every concept sharing a live instance
+/// with one of the new records. Sorted ascending, deduplicated. Cleaning
+/// scoped to this set sees the same per-concept inputs a full-scope round
+/// would, because concepts outside it neither gained records nor share an
+/// instance with one that did.
+std::vector<ConceptId> ComputeDirtyConcepts(const KnowledgeBase& kb,
+                                            size_t first_record,
+                                            size_t num_concepts);
+
+}  // namespace semdrift
+
+#endif  // SEMDRIFT_EXTRACT_DIRTY_SET_H_

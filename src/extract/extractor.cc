@@ -119,6 +119,10 @@ size_t IterativeExtractor::RunIteration(KnowledgeBase* kb, int iteration) {
   return decisions.size();
 }
 
+void IterativeExtractor::SyncCorpusGrowth() {
+  if (consumed_.size() < corpus_->size()) consumed_.resize(corpus_->size(), false);
+}
+
 Status IterativeExtractor::ResumeFrom(const KnowledgeBase& kb) {
   std::vector<bool> consumed(corpus_->size(), false);
   for (const ExtractionRecord& record : kb.records()) {

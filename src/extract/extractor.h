@@ -88,6 +88,13 @@ class IterativeExtractor {
   /// outside this corpus (the KB belongs to different data).
   Status ResumeFrom(const KnowledgeBase& kb);
 
+  /// Notifies the extractor that the borrowed corpus grew (streaming epoch
+  /// ingest): sentences appended since construction (or the last sync) start
+  /// unconsumed and become eligible from the next Run(). The consumed state
+  /// of existing sentences is untouched, so a grown extractor continues the
+  /// prior run instead of restarting it.
+  void SyncCorpusGrowth();
+
   /// True when sentence `id` has been consumed by some iteration.
   bool Consumed(SentenceId id) const { return consumed_[id.value]; }
 

@@ -362,6 +362,100 @@ Status KnowledgeBase::Validate(size_t num_concepts, size_t num_sentences) const 
   return Status::OK();
 }
 
+Status KnowledgeBase::ValidateConcepts(const std::vector<ConceptId>& scope,
+                                       size_t num_sentences) const {
+  auto fail = [](const std::string& why) { return Status::DataLoss("KB invariant: " + why); };
+
+  for (ConceptId c : scope) {
+    if (!c.valid()) return fail("scope lists an invalid concept id");
+    std::string at = "concept " + std::to_string(c.value);
+    if (c.value >= concept_records_.size()) {
+      // A concept with no records has nothing to check.
+      if (c.value < concept_instances_.size() && !concept_instances_[c.value].empty()) {
+        return fail(at + " indexes instances but no records");
+      }
+      continue;
+    }
+
+    // Records of the concept: in-bounds references, pair-table membership.
+    for (uint32_t id : concept_records_[c.value]) {
+      if (id >= records_.size()) return fail(at + " indexes an out-of-range record");
+      const ExtractionRecord& r = records_[id];
+      std::string rat = "record " + std::to_string(id);
+      if (r.concept_id != c) return fail(at + " indexes a foreign record");
+      if (!r.sentence.valid() ||
+          (num_sentences > 0 && r.sentence.value >= num_sentences)) {
+        return fail(rat + " references dangling sentence id " +
+                    std::to_string(r.sentence.value));
+      }
+      if (r.iteration < 1) return fail(rat + " has iteration < 1");
+      if (r.instances.empty()) return fail(rat + " has no instances");
+      for (InstanceId e : r.instances) {
+        auto it = pairs_.find(IsAPair{c, e});
+        if (it == pairs_.end()) return fail(rat + " produced a pair missing from the table");
+        const auto& producers = it->second.producing_records;
+        if (std::find(producers.begin(), producers.end(), id) == producers.end()) {
+          return fail(rat + " missing from its pair's producing records");
+        }
+      }
+      for (InstanceId t : r.triggers) {
+        auto it = pairs_.find(IsAPair{c, t});
+        if (it == pairs_.end()) return fail(rat + " triggered by a pair missing from the table");
+        const auto& triggered = it->second.triggered_records;
+        if (std::find(triggered.begin(), triggered.end(), id) == triggered.end()) {
+          return fail(rat + " missing from its trigger pair's triggered records");
+        }
+      }
+    }
+
+    // Pairs of the concept: support derives exactly from live provenance.
+    if (c.value >= concept_instances_.size()) continue;
+    for (InstanceId e : concept_instances_[c.value]) {
+      IsAPair pair{c, e};
+      auto it = pairs_.find(pair);
+      if (it == pairs_.end()) return fail(at + " indexes an unknown pair");
+      const PairStats& stats = it->second;
+      std::string pat = "pair (" + std::to_string(c.value) + "," +
+                        std::to_string(e.value) + ")";
+      int expected_count = 0;
+      int expected_iter1 = 0;
+      int expected_first = -1;
+      for (uint32_t id : stats.producing_records) {
+        if (id >= records_.size()) return fail(pat + " produced by out-of-range record id");
+        const ExtractionRecord& r = records_[id];
+        if (r.concept_id != c ||
+            std::find(r.instances.begin(), r.instances.end(), e) == r.instances.end()) {
+          return fail(pat + " produced by a record that does not list it");
+        }
+        if (expected_first < 0) expected_first = r.iteration;
+        if (!r.rolled_back) {
+          ++expected_count;
+          if (r.iteration == 1) ++expected_iter1;
+        }
+      }
+      if (stats.count != expected_count) {
+        return fail(pat + " support " + std::to_string(stats.count) +
+                    " != live producing records " + std::to_string(expected_count));
+      }
+      if (stats.iter1_count != expected_iter1) {
+        return fail(pat + " iteration-1 support disagrees with provenance");
+      }
+      if (stats.first_iteration != expected_first) {
+        return fail(pat + " first-iteration disagrees with provenance");
+      }
+      for (uint32_t id : stats.triggered_records) {
+        if (id >= records_.size()) return fail(pat + " triggers an out-of-range record id");
+        const ExtractionRecord& r = records_[id];
+        if (r.concept_id != c ||
+            std::find(r.triggers.begin(), r.triggers.end(), e) == r.triggers.end()) {
+          return fail(pat + " triggers a record that does not list it as trigger");
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
 int KnowledgeBase::RollbackTriggeredBy(const IsAPair& pair, CascadePolicy policy) {
   int rolled = 0;
   std::vector<IsAPair> dead;

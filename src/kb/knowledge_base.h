@@ -142,6 +142,18 @@ class KnowledgeBase {
   /// violated invariant.
   Status Validate(size_t num_concepts = 0, size_t num_sentences = 0) const;
 
+  /// Scoped variant for incremental (streaming) epochs: cross-checks only
+  /// the records and pairs of the given concepts — support counts against
+  /// live provenance, iteration-1 counts, first iterations, trigger-graph
+  /// edges, index membership and sentence bounds — in O(records of scope)
+  /// instead of O(records). An epoch that only touched `scope` can only have
+  /// corrupted state reachable from `scope`, so this is the full invariant
+  /// check restricted to what the epoch could have broken; full Validate()
+  /// still runs on rebuild epochs. Returns kDataLoss naming the first
+  /// violated invariant.
+  Status ValidateConcepts(const std::vector<ConceptId>& scope,
+                          size_t num_sentences = 0) const;
+
   // -- Rollback (Sec. 4.2) ---------------------------------------------------
 
   /// Rolls back one record and cascades through pair deaths per `policy`.

@@ -91,6 +91,21 @@ void ApplyMorphology(Rng* rng, Scenario* s) {
   s->pipeline.serialize_roundtrip = true;
 }
 
+/// Streaming-burst: a pure-incremental stream (no rebuild cadence, no final
+/// rebuild — worst case for drift) over a corpus whose noise arrives late,
+/// so the last epochs' dirty scopes carry most of the misparse burst. The
+/// hunter's stream-divergence class hunts for parameterizations where scoped
+/// re-cleaning lands far from the batch taxonomy.
+void ApplyStreamingBurst(Rng* rng, Scenario* s) {
+  s->stream.epochs = PickInt(rng, {3, 4, 6});
+  s->stream.final_full_rebuild = false;
+  s->stream.full_rebuild_every = PickInt(rng, {0, 0, 0, 4});
+  s->stream.rebuild_dirty_frac = Pick(rng, {1.0, 1.0, 0.9});
+  s->corpus.misparse_rate = Pick(rng, {0.04, 0.08, 0.12});
+  s->corpus.misparse_late_frac = Pick(rng, {0.7, 0.85, 1.0});
+  s->corpus.wrongfact_rate = Pick(rng, {0.02, 0.06, 0.1});
+}
+
 void ApplyFaultOverlay(Rng* rng, Scenario* s) {
   s->faults.rate = Pick(rng, {0.1, 0.25, 0.5});
   s->faults.seed = rng->Next();
@@ -107,8 +122,9 @@ void ApplyFaultOverlay(Rng* rng, Scenario* s) {
 }  // namespace
 
 std::vector<std::string> ScenarioArchetypes() {
-  return {"dp-dense",   "mutex-chain", "twin-straddle", "burst-noise",
-          "morphology", "fault-overlay", "kitchen-sink"};
+  return {"dp-dense",      "mutex-chain",   "twin-straddle",
+          "burst-noise",   "morphology",    "fault-overlay",
+          "streaming-burst", "kitchen-sink"};
 }
 
 Scenario SampleScenario(uint64_t seed, const std::string& archetype) {
@@ -132,6 +148,8 @@ Scenario SampleScenario(uint64_t seed, const std::string& archetype) {
     ApplyMorphology(&rng, &s);
   } else if (archetype == "fault-overlay") {
     ApplyFaultOverlay(&rng, &s);
+  } else if (archetype == "streaming-burst") {
+    ApplyStreamingBurst(&rng, &s);
   } else if (archetype == "kitchen-sink") {
     ApplyDpDense(&rng, &s);
     ApplyBurstNoise(&rng, &s);

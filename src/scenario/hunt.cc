@@ -18,6 +18,13 @@ std::string DescribeFailure(const std::string& failure_class,
                             const ScenarioMetrics& m,
                             const HuntOptions& options) {
   if (failure_class == "invariant") return "invariant break";
+  if (failure_class == "stream-divergence") {
+    return "stream_divergence=" + FormatDouble(m.stream_divergence, 3) +
+           " above threshold " +
+           FormatDouble(options.stream_divergence_threshold, 3) + " (" +
+           std::to_string(m.stream_epochs) + " epochs, " +
+           std::to_string(m.stream_full_rebuilds) + " rebuilds)";
+  }
   if (failure_class == "precision-collapse") {
     return "precision_after=" + FormatDouble(m.precision_after, 3) +
            " below floor " + FormatDouble(options.precision_floor, 3) + " (" +
@@ -34,6 +41,10 @@ std::string ClassifyFailure(const ScenarioOutcome& outcome,
                             const HuntOptions& options) {
   const ScenarioMetrics& m = outcome.metrics;
   if (outcome.invariant_failure) return "invariant";
+  if (m.stream_divergence_defined &&
+      m.stream_divergence > options.stream_divergence_threshold) {
+    return "stream-divergence";
+  }
   if (m.rounds >= 1 &&
       m.records_rolled_back >= options.min_rolled_back_for_collapse &&
       m.precision_after_defined &&
@@ -67,6 +78,9 @@ void PinEnvelope(Scenario* s, const ScenarioMetrics& m) {
   e.max_records_rolled_back =
       static_cast<int64_t>(m.records_rolled_back + m.records_rolled_back / 5);
   e.max_quarantined = static_cast<int64_t>(m.quarantined);
+  if (m.stream_divergence_defined) {
+    e.max_stream_divergence = std::min(1.0, m.stream_divergence + 0.05);
+  }
   s->envelope = e;
 }
 

@@ -35,6 +35,11 @@ struct HuntOptions {
   /// A run where cleaning *lowered* precision by more than this margin is
   /// flagged as a cleaning regression even above the floor.
   double regression_margin = 0.2;
+  /// A streaming run (stream.epochs > 1) whose incremental-vs-batch
+  /// live-pair Jaccard distance exceeds this is flagged as stream
+  /// divergence: scoped re-cleaning landed on a materially different
+  /// taxonomy than a batch rebuild of the same corpus would.
+  double stream_divergence_threshold = 0.5;
   /// Minimize each finding before reporting it.
   bool shrink = true;
   ShrinkOptions shrink_options;
@@ -47,6 +52,8 @@ struct HuntOptions {
 /// class it was filed under, not merely any failure.
 ///   "invariant"           — KnowledgeBase::Validate or the serialize
 ///                           round-trip broke;
+///   "stream-divergence"   — the incremental stream's taxonomy drifted past
+///                           the Jaccard-distance threshold from batch;
 ///   "precision-collapse"  — cleaned precision fell below the floor;
 ///   "cleaning-regression" — cleaning reduced precision by more than the
 ///                           margin.

@@ -10,6 +10,7 @@
 #include "eval/experiment.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "stream/stream.h"
 #include "util/fault_injection.h"
 #include "util/string_util.h"
 #include "util/supervisor.h"
@@ -164,6 +165,18 @@ std::vector<std::string> CheckEnvelope(const ScenarioEnvelope& envelope,
                   "records_rolled_back");
   bound_max_count(envelope.max_quarantined, static_cast<int64_t>(m.quarantined),
                   "quarantined");
+  if (envelope.max_stream_divergence.has_value()) {
+    if (!m.stream_divergence_defined) {
+      out.push_back(
+          "stream_divergence undefined (no stream leg or empty scope) but a "
+          "ceiling of " +
+          FormatDouble(*envelope.max_stream_divergence, 3) + " is set");
+    } else if (m.stream_divergence > *envelope.max_stream_divergence) {
+      out.push_back("stream_divergence " +
+                    FormatDouble(m.stream_divergence, 3) + " above ceiling " +
+                    FormatDouble(*envelope.max_stream_divergence, 3));
+    }
+  }
   return out;
 }
 
@@ -272,6 +285,66 @@ Result<ScenarioOutcome> RunScenario(const Scenario& s) {
   }
   outcome.metrics.cleaning = EvaluateCleaning(e.truth(), pre_pairs, removed);
 
+  if (s.stream.epochs > 1) {
+    // Streaming leg: replay the identical corpus through the incremental
+    // pipeline in even epoch slices and measure how far its final taxonomy
+    // drifts from the batch KB above. Pipeline knobs mirror the batch leg so
+    // every difference is attributable to incremental scoping, not config.
+    StreamOptions sopts;
+    sopts.extractor.max_iterations = s.pipeline.max_iterations;
+    sopts.cleaner.max_rounds = s.pipeline.clean ? s.pipeline.max_rounds : 0;
+    sopts.cleaner.mutex.mutex_threshold = s.pipeline.mutex_threshold;
+    sopts.cleaner.mutex.similar_threshold = s.pipeline.similar_threshold;
+    sopts.cleaner.mutex.min_core_instances = s.pipeline.min_core_instances;
+    sopts.cleaner.seeds.frequency_threshold_k = s.pipeline.frequency_threshold_k;
+    sopts.cleaner.eq21_gate_accidental = s.pipeline.eq21_gate_accidental;
+    sopts.cleaner.eq21_min_average_vote = s.pipeline.eq21_min_average_vote;
+    sopts.clean_scope = scope;
+    sopts.full_rebuild_every = s.stream.full_rebuild_every;
+    sopts.final_full_rebuild = s.stream.final_full_rebuild;
+    sopts.rebuild_dirty_frac = s.stream.rebuild_dirty_frac;
+    StreamPipeline stream(&e.world(), sopts);
+    const std::vector<Sentence>& all = e.corpus().sentences.sentences();
+    const size_t total = all.size();
+    const int epochs = s.stream.epochs;
+    bool aborted = false;
+    for (int k = 0; k < epochs; ++k) {
+      const size_t begin = total * static_cast<size_t>(k) / epochs;
+      const size_t end = total * static_cast<size_t>(k + 1) / epochs;
+      std::vector<Sentence> delta(all.begin() + static_cast<long>(begin),
+                                  all.begin() + static_cast<long>(end));
+      auto epoch_stats = stream.RunEpoch(std::move(delta), k + 1 == epochs);
+      if (!epoch_stats.ok()) {
+        outcome.violations.push_back(
+            "invariant: stream epoch " + std::to_string(k + 1) + ": " +
+            std::string(epoch_stats.status().message()));
+        outcome.invariant_failure = true;
+        aborted = true;
+        break;
+      }
+      ++outcome.metrics.stream_epochs;
+      if (epoch_stats->full_rebuild) ++outcome.metrics.stream_full_rebuilds;
+    }
+    if (!aborted) {
+      std::unordered_set<IsAPair, IsAPairHash> stream_live;
+      for (const IsAPair& pair : LivePairsOf(stream.kb(), scope)) {
+        stream_live.insert(pair);
+      }
+      size_t intersection = 0;
+      for (const IsAPair& pair : stream_live) {
+        if (still_live.count(pair) > 0) ++intersection;
+      }
+      const size_t union_size =
+          still_live.size() + stream_live.size() - intersection;
+      if (union_size > 0) {
+        outcome.metrics.stream_divergence =
+            1.0 - static_cast<double>(intersection) /
+                      static_cast<double>(union_size);
+        outcome.metrics.stream_divergence_defined = true;
+      }
+    }
+  }
+
   std::vector<std::string> envelope_violations =
       CheckEnvelope(s.envelope, outcome.metrics);
   outcome.violations.insert(outcome.violations.end(),
@@ -313,6 +386,15 @@ std::string FormatMetricsLine(const ScenarioMetrics& m) {
                                     : std::string("n/a"));
   out += " rolled_back=" + std::to_string(m.records_rolled_back);
   out += " quarantined=" + std::to_string(m.quarantined);
+  // Stream fields only for streaming scenarios, so pure-batch hunt and
+  // replay log lines stay byte-stable.
+  if (m.stream_epochs > 0) {
+    out += " stream_epochs=" + std::to_string(m.stream_epochs);
+    out += " stream_rebuilds=" + std::to_string(m.stream_full_rebuilds);
+    out += " stream_divergence=" +
+           (m.stream_divergence_defined ? FormatDouble(m.stream_divergence, 3)
+                                        : std::string("n/a"));
+  }
   return out;
 }
 

@@ -27,6 +27,14 @@ struct ScenarioMetrics {
   size_t quarantined = 0;
   size_t drops = 0;
   size_t num_sentences = 0;
+  /// Streaming leg (stream.epochs > 1 only): epochs run, how many were full
+  /// rebuilds, and the incremental-vs-batch live-pair Jaccard distance over
+  /// the evaluation scope. The distance is undefined when both KBs are empty
+  /// over the scope or the leg aborted.
+  int stream_epochs = 0;
+  int stream_full_rebuilds = 0;
+  double stream_divergence = 0.0;
+  bool stream_divergence_defined = false;
 };
 
 /// The verdict on one run: measured metrics plus every violation found —

@@ -188,6 +188,18 @@ Status ValidateScenario(const Scenario& s) {
     return st;
   }
 
+  const ScenarioStream& stream = s.stream;
+  if (stream.epochs < 1) {
+    return Status::InvalidArgument("stream.epochs must be >= 1");
+  }
+  if (stream.full_rebuild_every < 0) {
+    return Status::InvalidArgument("stream.full_rebuild_every must be >= 0");
+  }
+  if (Status st = InRange01(stream.rebuild_dirty_frac, "stream.rebuild_dirty_frac");
+      !st.ok()) {
+    return st;
+  }
+
   const ScenarioFaults& f = s.faults;
   if (Status st = InRange01(f.rate, "faults.rate"); !st.ok()) return st;
   if (f.transient_attempts < 0) {
@@ -231,6 +243,14 @@ Status ValidateScenario(const Scenario& s) {
   }
   if (Status st = check_opt01(e.min_pcorr, "envelope.min_pcorr"); !st.ok()) return st;
   if (Status st = check_opt01(e.min_rerror, "envelope.min_rerror"); !st.ok()) return st;
+  if (Status st = check_opt01(e.max_stream_divergence, "envelope.max_stream_divergence");
+      !st.ok()) {
+    return st;
+  }
+  if (e.max_stream_divergence.has_value() && s.stream.epochs < 2) {
+    return Status::InvalidArgument(
+        "envelope.max_stream_divergence requires stream.epochs >= 2");
+  }
   if (e.min_precision_after.has_value() && e.max_precision_after.has_value() &&
       *e.min_precision_after > *e.max_precision_after) {
     return Status::InvalidArgument(
@@ -311,6 +331,21 @@ std::string ScenarioToToml(const Scenario& s) {
   line("serialize_roundtrip = " +
        std::string(s.pipeline.serialize_roundtrip ? "true" : "false"));
   line("");
+  // [stream] is optional: omitted entirely for pure-batch scenarios so every
+  // pre-streaming scenario file keeps re-serializing byte-identically.
+  const ScenarioStream kDefaultStream;
+  if (s.stream.epochs != kDefaultStream.epochs ||
+      s.stream.full_rebuild_every != kDefaultStream.full_rebuild_every ||
+      s.stream.final_full_rebuild != kDefaultStream.final_full_rebuild ||
+      s.stream.rebuild_dirty_frac != kDefaultStream.rebuild_dirty_frac) {
+    line("[stream]");
+    line("epochs = " + std::to_string(s.stream.epochs));
+    line("full_rebuild_every = " + std::to_string(s.stream.full_rebuild_every));
+    line("final_full_rebuild = " +
+         std::string(s.stream.final_full_rebuild ? "true" : "false"));
+    line("rebuild_dirty_frac = " + FmtDouble(s.stream.rebuild_dirty_frac));
+    line("");
+  }
   line("[faults]");
   line("rate = " + FmtDouble(s.faults.rate));
   line("seed = " + std::to_string(s.faults.seed));
@@ -333,6 +368,7 @@ std::string ScenarioToToml(const Scenario& s) {
   opt_double("max_precision_after", s.envelope.max_precision_after);
   opt_double("min_pcorr", s.envelope.min_pcorr);
   opt_double("min_rerror", s.envelope.min_rerror);
+  opt_double("max_stream_divergence", s.envelope.max_stream_divergence);
   opt_int("min_live_pairs_after", s.envelope.min_live_pairs_after);
   opt_int("max_rounds", s.envelope.max_rounds);
   opt_int("max_records_rolled_back", s.envelope.max_records_rolled_back);
@@ -356,7 +392,8 @@ Result<Scenario> ScenarioFromToml(const std::string& text) {
       if (t.back() != ']') return fail("malformed section header: " + t);
       section = t.substr(1, t.size() - 2);
       if (section != "scenario" && section != "world" && section != "corpus" &&
-          section != "pipeline" && section != "faults" && section != "envelope") {
+          section != "pipeline" && section != "stream" && section != "faults" &&
+          section != "envelope") {
         return fail("unknown section [" + section + "]");
       }
       continue;
@@ -419,6 +456,13 @@ Result<Scenario> ScenarioFromToml(const std::string& text) {
       else if (key == "clean") st = SetBool(value, &p.clean);
       else if (key == "serialize_roundtrip") st = SetBool(value, &p.serialize_roundtrip);
       else known = false;
+    } else if (section == "stream") {
+      ScenarioStream& sp = s.stream;
+      if (key == "epochs") st = SetInt(value, &sp.epochs);
+      else if (key == "full_rebuild_every") st = SetInt(value, &sp.full_rebuild_every);
+      else if (key == "final_full_rebuild") st = SetBool(value, &sp.final_full_rebuild);
+      else if (key == "rebuild_dirty_frac") st = SetDouble(value, &sp.rebuild_dirty_frac);
+      else known = false;
     } else if (section == "faults") {
       ScenarioFaults& f = s.faults;
       if (key == "rate") st = SetDouble(value, &f.rate);
@@ -437,6 +481,7 @@ Result<Scenario> ScenarioFromToml(const std::string& text) {
       else if (key == "max_precision_after") st = SetOptDouble(value, &e.max_precision_after);
       else if (key == "min_pcorr") st = SetOptDouble(value, &e.min_pcorr);
       else if (key == "min_rerror") st = SetOptDouble(value, &e.min_rerror);
+      else if (key == "max_stream_divergence") st = SetOptDouble(value, &e.max_stream_divergence);
       else if (key == "min_live_pairs_after") st = SetOptInt64(value, &e.min_live_pairs_after);
       else if (key == "max_rounds") st = SetOptInt64(value, &e.max_rounds);
       else if (key == "max_records_rolled_back") st = SetOptInt64(value, &e.max_records_rolled_back);

@@ -51,6 +51,22 @@ struct ScenarioFaults {
   int stage_deadline_ms = 30000;
 };
 
+/// Streaming leg: with epochs > 1 the runner replays the same corpus through
+/// the incremental stream pipeline (src/stream) in epoch slices after the
+/// batch leg, and measures how far the streamed taxonomy drifts from the
+/// batch one over the evaluation scope (Jaccard distance of live pairs).
+/// The defaults model the worst case for divergence: pure incremental, no
+/// rebuild cadence, no final rebuild. epochs = 1 disables the leg entirely.
+struct ScenarioStream {
+  int epochs = 1;
+  /// Forwarded to StreamOptions: rebuild cadence (0 = never), whether the
+  /// last epoch rebuilds (true retires all drift, forcing divergence 0), and
+  /// the dirty-fraction escalation threshold.
+  int full_rebuild_every = 0;
+  bool final_full_rebuild = false;
+  double rebuild_dirty_frac = 1.0;
+};
+
 /// Recorded behavior bounds a replay gates on. Unset bounds are not
 /// checked. Precision bounds apply only when the metric is defined (has a
 /// nonzero denominator); an *undefined* metric with a min bound set is
@@ -66,6 +82,11 @@ struct ScenarioEnvelope {
   std::optional<int64_t> max_rounds;
   std::optional<int64_t> max_records_rolled_back;
   std::optional<int64_t> max_quarantined;
+  /// Ceiling on the incremental-vs-batch live-pair Jaccard distance over the
+  /// evaluation scope. Only meaningful for scenarios with stream.epochs > 1;
+  /// like the precision floors, a bound set while the metric is undefined
+  /// (both KBs empty over the scope) is a violation.
+  std::optional<double> max_stream_divergence;
 };
 
 /// One named adversarial scenario: a full parameterization of world, corpus,
@@ -91,6 +112,7 @@ struct Scenario {
   WorldSpec world;
   CorpusSpec corpus;
   ScenarioPipeline pipeline;
+  ScenarioStream stream;
   ScenarioFaults faults;
   ScenarioEnvelope envelope;
 };

@@ -23,6 +23,7 @@ struct ManagerMetrics {
   MetricsRegistry::Counter swaps;
   MetricsRegistry::Counter failed;
   MetricsRegistry::Counter rolled_back;
+  MetricsRegistry::Counter orphaned;
   MetricsRegistry::Histogram swap_ns;
 };
 
@@ -32,6 +33,7 @@ ManagerMetrics& GetManagerMetrics() {
       GlobalMetrics().RegisterCounter("serve.swap.count"),
       GlobalMetrics().RegisterCounter("serve.publish.failed"),
       GlobalMetrics().RegisterCounter("serve.publish.rolled_back"),
+      GlobalMetrics().RegisterCounter("serve.publish.orphaned"),
       GlobalMetrics().RegisterHistogram("serve.swap.ns", LatencyBucketsNs()),
   };
   return *m;
@@ -125,11 +127,43 @@ std::shared_ptr<ServingGeneration> SnapshotManager::LoadDelta(
                                           /*quarantine=*/true,
                                           options_.backoff_base_ms,
                                           options_.backoff_cap_ms});
-  std::function<std::shared_ptr<ServingGeneration>(int)> body =
+  // Phase 1 (retried): parse the delta file strictly. This is the only step
+  // with a transient failure mode — a publisher racing our read — so it is
+  // the only step that earns retries.
+  std::function<SnapshotDelta(int)> parse =
       [&](int /*attempt*/) {
         auto delta = LoadSnapshotDelta(path);
         if (!delta.ok()) throw std::runtime_error(delta.status().message());
-        auto image = MaterializeSnapshotDelta(*delta, base_parts, base.generation,
+        return std::move(*delta);
+      };
+  SnapshotDelta delta;
+  StageOutcome parse_outcome;
+  if (!supervisor.RunGuarded<SnapshotDelta>(
+          PipelineStage::kSnapshotLoad, static_cast<uint32_t>(base.generation + 1),
+          parse, /*validate=*/nullptr, &delta, &parse_outcome)) {
+    *error = parse_outcome.error;
+    return nullptr;
+  }
+  // A cleanly parsed delta whose base binding disagrees with the serving
+  // generation is a *permanent* condition — its base generation was rolled
+  // back, or was replaced by a republish with different bytes. Fail fast
+  // instead of burning retries and backoff on a mismatch that can never
+  // heal; the caller quarantines the doomed chain and keeps serving.
+  if (delta.base_generation != base.generation ||
+      delta.base_crc32 != base.image_crc32) {
+    *error = "delta " + path + " binds to generation " +
+             std::to_string(delta.base_generation) + " crc32 " +
+             std::to_string(delta.base_crc32) + ", but serving generation " +
+             std::to_string(base.generation) + " has crc32 " +
+             std::to_string(base.image_crc32) +
+             " (base rolled back or replaced)";
+    return nullptr;
+  }
+  // Phase 2: materialize and deep-validate — deterministic functions of the
+  // parsed bytes, guarded for the deadline but pointless to retry.
+  std::function<std::shared_ptr<ServingGeneration>(int)> body =
+      [&](int /*attempt*/) {
+        auto image = MaterializeSnapshotDelta(delta, base_parts, base.generation,
                                               base.image_crc32);
         if (!image.ok()) throw std::runtime_error(image.status().message());
         // Re-run the deep structural Validate() on the materialized image
@@ -137,12 +171,15 @@ std::shared_ptr<ServingGeneration> SnapshotManager::LoadDelta(
         auto reader = SnapshotReader::OpenFromBuffer(*image, path);
         if (!reader.ok()) throw std::runtime_error(reader.status().message());
         auto out = std::make_shared<ServingGeneration>(
-            delta->generation, Crc32Of(*image), path, std::move(*reader));
+            delta.generation, Crc32Of(*image), path, std::move(*reader));
         return out;
       };
+  Supervisor materialize_supervisor(SupervisorOptions{
+      options_.load_deadline_ms, /*max_retries=*/0,
+      /*quarantine=*/true, options_.backoff_base_ms, options_.backoff_cap_ms});
   std::shared_ptr<ServingGeneration> loaded;
   StageOutcome outcome;
-  if (!supervisor.RunGuarded<std::shared_ptr<ServingGeneration>>(
+  if (!materialize_supervisor.RunGuarded<std::shared_ptr<ServingGeneration>>(
           PipelineStage::kSnapshotLoad, static_cast<uint32_t>(base.generation + 1),
           body, /*validate=*/nullptr, &loaded, &outcome)) {
     *error = outcome.error;
@@ -241,6 +278,17 @@ SnapshotPollResult SnapshotManager::Poll() {
     std::shared_ptr<ServingGeneration> next = LoadDelta(it->second, *cur, &error);
     if (next == nullptr) {
       record_failure(it->second);
+      // The quarantined delta's image will never exist, so contiguous
+      // successors on disk chain onto a dead base and can never apply —
+      // quarantine them now instead of letting them wedge every later poll
+      // (as a permanent failed-and-rolled-back loop) until a full image
+      // happens to arrive.
+      for (auto orphan = deltas.find(it->first + 1); orphan != deltas.end();
+           orphan = deltas.find(orphan->first + 1)) {
+        Quarantine(orphan->second);
+        ++result.orphaned;
+        metrics.orphaned.Add();
+      }
       break;
     }
     Install(std::move(next));

@@ -69,6 +69,11 @@ struct SnapshotPollResult {
   /// Failed publishes observed while a good generation was already serving —
   /// i.e. rollbacks to the last good generation.
   int rolled_back = 0;
+  /// Chain deltas quarantined without a load attempt because the delta they
+  /// build on was quarantined in the same poll: their base image can never
+  /// exist, so leaving them on disk would wedge every later poll until a
+  /// full image arrives.
+  int orphaned = 0;
 };
 
 /// Watches a publish directory and hot-swaps snapshot generations under live
@@ -87,11 +92,17 @@ struct SnapshotPollResult {
 /// continues on the last good generation — the rollback is "do nothing",
 /// which is the only rollback that cannot itself fail. Transient read races
 /// (publisher mid-write) are retried with bounded seeded backoff through the
-/// util/supervisor StageGuard machinery (stage "load").
+/// util/supervisor StageGuard machinery (stage "load"); a delta whose base
+/// binding disagrees with the serving generation (its base was rolled back
+/// or replaced) is permanent and fails fast without retries, and contiguous
+/// successor deltas — now orphaned, since their base image can never exist —
+/// are quarantined in the same poll so the watcher never stalls on a dead
+/// chain.
 ///
 /// Metrics: gauge `serve.generation`, counters `serve.swap.count`,
-/// `serve.publish.failed`, `serve.publish.rolled_back`, histogram
-/// `serve.swap.ns` (per-swap load-to-install latency).
+/// `serve.publish.failed`, `serve.publish.rolled_back`,
+/// `serve.publish.orphaned`, histogram `serve.swap.ns` (per-swap
+/// load-to-install latency).
 class SnapshotManager {
  public:
   explicit SnapshotManager(SnapshotManagerOptions options);

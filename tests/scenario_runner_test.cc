@@ -121,6 +121,54 @@ TEST(ScenarioRunnerTest, ClassifyFailureClasses) {
 
   outcome.invariant_failure = true;
   EXPECT_EQ(ClassifyFailure(outcome, options), "invariant");
+
+  // Stream divergence outranks the precision classes but not invariants.
+  outcome.metrics.stream_divergence = 0.8;
+  outcome.metrics.stream_divergence_defined = true;
+  EXPECT_EQ(ClassifyFailure(outcome, options), "invariant");
+  outcome.invariant_failure = false;
+  EXPECT_EQ(ClassifyFailure(outcome, options), "stream-divergence");
+  outcome.metrics.stream_divergence = options.stream_divergence_threshold;
+  EXPECT_EQ(ClassifyFailure(outcome, options), "");
+}
+
+TEST(ScenarioRunnerTest, StreamingLegMeasuresDivergenceDeterministically) {
+  Scenario s = SampleScenario(7, "streaming-burst");
+  ASSERT_GT(s.stream.epochs, 1);
+  s.corpus.num_sentences = 600;
+  auto a = RunScenario(s);
+  auto b = RunScenario(s);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_EQ(a->metrics.stream_epochs, s.stream.epochs);
+  EXPECT_TRUE(a->metrics.stream_divergence_defined);
+  EXPECT_EQ(a->metrics.stream_divergence, b->metrics.stream_divergence);
+  EXPECT_GE(a->metrics.stream_divergence, 0.0);
+  EXPECT_LE(a->metrics.stream_divergence, 1.0);
+  // Forcing every epoch to rebuild collapses the stream onto the batch
+  // pipeline, so the distance must be exactly zero.
+  s.stream.full_rebuild_every = 1;
+  auto rebuilt = RunScenario(s);
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+  EXPECT_EQ(rebuilt->metrics.stream_full_rebuilds, s.stream.epochs);
+  EXPECT_EQ(rebuilt->metrics.stream_divergence, 0.0);
+}
+
+TEST(ScenarioRunnerTest, StreamDivergenceCeilingGates) {
+  ScenarioMetrics m;
+  m.stream_divergence = 0.3;
+  m.stream_divergence_defined = true;
+  ScenarioEnvelope envelope;
+  envelope.max_stream_divergence = 0.25;
+  ASSERT_EQ(CheckEnvelope(envelope, m).size(), 1u);
+  envelope.max_stream_divergence = 0.3;
+  EXPECT_TRUE(CheckEnvelope(envelope, m).empty());
+  // A ceiling set while the metric never got measured must not pass
+  // vacuously.
+  m.stream_divergence_defined = false;
+  std::vector<std::string> violations = CheckEnvelope(envelope, m);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("undefined"), std::string::npos);
 }
 
 }  // namespace

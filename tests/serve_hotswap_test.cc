@@ -225,6 +225,101 @@ TEST_F(HotSwapTest, CrashDuringPublishIsContainedAndRecoverable) {
   EXPECT_EQ(restarted.generation(), 5u);
 }
 
+/// Regression: a delta chain whose first link fails must not leave the
+/// successors on disk — they bind to an image that will never exist, and
+/// before orphan quarantine every later poll re-discovered the same dead
+/// chain head and the watcher stalled until a full image happened to arrive.
+TEST_F(HotSwapTest, OrphanedChainDeltasAreQuarantinedInOnePoll) {
+  const std::string dir = FreshDir("orphans");
+  ASSERT_TRUE(PublishFull(dir, 1, *image_a_).ok());
+  SnapshotManagerOptions options;
+  options.dir = dir;
+  options.load_retries = 0;
+  options.backoff_base_ms = 0;
+  SnapshotManager manager(options);
+  ASSERT_TRUE(manager.LoadInitial().ok());
+  ASSERT_EQ(manager.generation(), 1u);
+
+  // Head of the chain is torn; its successors are perfectly good publishes
+  // that can never apply once the head is quarantined.
+  {
+    SnapshotDelta d = *delta_ab_;
+    d.base_generation = 1;
+    d.base_crc32 = crc_a_;
+    d.generation = 2;
+    const std::string pristine_path = dir + "/pristine";
+    ASSERT_TRUE(WriteSnapshotDeltaFile(d, pristine_path).ok());
+    auto pristine = ReadFileToString(pristine_path);
+    ASSERT_TRUE(pristine.ok());
+    ASSERT_TRUE(WriteStringToFile(pristine->substr(0, pristine->size() / 2),
+                                  dir + "/delta-2.bin")
+                    .ok());
+  }
+  ASSERT_TRUE(PublishDelta(dir, 3, *delta_ba_, crc_b_).ok());
+  ASSERT_TRUE(PublishDelta(dir, 4, *delta_ab_, crc_a_).ok());
+
+  SnapshotPollResult poll = manager.Poll();
+  EXPECT_EQ(poll.failed, 1);
+  EXPECT_EQ(poll.rolled_back, 1);
+  EXPECT_EQ(poll.orphaned, 2);
+  EXPECT_EQ(poll.swaps, 0);
+  EXPECT_EQ(manager.generation(), 1u);
+  for (int gen = 2; gen <= 4; ++gen) {
+    const std::string name = dir + "/delta-" + std::to_string(gen) + ".bin";
+    EXPECT_TRUE(std::filesystem::exists(name + ".quarantined")) << name;
+    EXPECT_FALSE(std::filesystem::exists(name)) << name;
+  }
+  // Serving never blinked, and a later good full image recovers normally.
+  const std::string response =
+      manager.Current()->engine->Answer((*workload_)[0]);
+  EXPECT_EQ(response.rfind("OK", 0), 0u) << response;
+  ASSERT_TRUE(PublishFull(dir, 5, *image_b_).ok());
+  poll = manager.Poll();
+  EXPECT_EQ(poll.swaps, 1);
+  EXPECT_EQ(poll.failed, 0);
+  EXPECT_EQ(manager.generation(), 5u);
+}
+
+/// Regression: a cleanly parsed delta that binds to a base generation which
+/// was rolled back and republished with different bytes (same generation
+/// number, different CRC) is a permanent mismatch. It must fail fast —
+/// quarantined in one poll, successors orphaned — instead of being treated
+/// like a transient read race.
+TEST_F(HotSwapTest, DeltaAgainstRolledBackBaseIsQuarantinedWithoutStalling) {
+  const std::string dir = FreshDir("rolled_back_base");
+  ASSERT_TRUE(PublishFull(dir, 1, *image_a_).ok());
+  SnapshotManagerOptions options;
+  options.dir = dir;
+  // Generous retry budget: the base-binding mismatch must not consume it.
+  options.load_retries = 5;
+  options.backoff_base_ms = 0;
+  SnapshotManager manager(options);
+  ASSERT_TRUE(manager.LoadInitial().ok());
+  ASSERT_EQ(manager.Current()->image_crc32, crc_a_);
+
+  // The publisher built delta-2 (and delta-3 on top) against a generation-1
+  // image that was rolled back before this manager ever served it: the delta
+  // parses fine but records base crc B while we serve crc A.
+  ASSERT_TRUE(PublishDelta(dir, 2, *delta_ba_, crc_b_).ok());
+  ASSERT_TRUE(PublishDelta(dir, 3, *delta_ab_, crc_a_).ok());
+
+  SnapshotPollResult poll = manager.Poll();
+  EXPECT_EQ(poll.failed, 1);
+  EXPECT_EQ(poll.rolled_back, 1);
+  EXPECT_EQ(poll.orphaned, 1);
+  EXPECT_EQ(poll.swaps, 0);
+  EXPECT_EQ(manager.generation(), 1u);
+  EXPECT_TRUE(std::filesystem::exists(dir + "/delta-2.bin.quarantined"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/delta-3.bin.quarantined"));
+
+  // A consistent republish of the chain applies on the next poll.
+  ASSERT_TRUE(PublishDelta(dir, 2, *delta_ab_, crc_a_).ok());
+  poll = manager.Poll();
+  EXPECT_EQ(poll.swaps, 1);
+  EXPECT_EQ(manager.generation(), 2u);
+  EXPECT_EQ(manager.Current()->image_crc32, crc_b_);
+}
+
 /// 60-seed corruption sweep at the manager level: a corrupted delta publish
 /// must be detected, quarantined, and rolled back — the serving generation
 /// never moves and never serves an image that failed validation.

@@ -19,6 +19,12 @@
 #                                     processes against shard counts 1/2/4)
 #                                     plus the 8-client server test, gating
 #                                     zero non-OK responses over the wire
+#   tools/check.sh --stream [jobs]    streaming gate: the incremental-vs-batch
+#                                     differential under ASan (final KB and
+#                                     snapshot byte-identical across epoch
+#                                     schedules and thread counts), then the
+#                                     live publish/swap soak (cli_stream_soak)
+#                                     with TSan-instrumented binaries
 #
 # Build trees live in build-asan/, build-tsan/ and build-cov/ and are reused
 # across runs (incremental). Exits non-zero on the first failing configure,
@@ -39,6 +45,9 @@ elif [[ "${1:-}" == "--scenarios" ]]; then
   shift
 elif [[ "${1:-}" == "--net" ]]; then
   MODE=net
+  shift
+elif [[ "${1:-}" == "--stream" ]]; then
+  MODE=stream
   shift
 fi
 JOBS="${1:-$(nproc 2>/dev/null || echo 2)}"
@@ -146,6 +155,29 @@ if [[ "$MODE" == "net" ]]; then
   exit 0
 fi
 
+if [[ "$MODE" == "stream" ]]; then
+  echo "== Stream: incremental-vs-batch differential (ASan+UBSan) =="
+  cmake -B build-asan -S . -DSEMDRIFT_SANITIZE="address;undefined" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-asan -j "$JOBS" --target stream_differential_test
+  # 20 seeded worlds x 3 epoch schedules at 1 thread plus 6 x 3 at 8
+  # threads: the streamed KB and snapshot must end byte-identical to a
+  # one-shot batch run.
+  build-asan/tests/stream_differential_test
+
+  echo "== Stream: live publish/swap soak (TSan) =="
+  cmake -B build-tsan -S . -DSEMDRIFT_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-tsan -j "$JOBS" --target semdrift_cli
+  # Real binaries: `semdrift stream` publishing generations into a live
+  # `serve --listen --publish-dir` while 4 client processes query across the
+  # swaps. TSan watches the swap path; the test diffs every answer against
+  # per-epoch one-shot answers and the final image against a batch run.
+  ctest --test-dir build-tsan -R cli_stream_soak --output-on-failure
+  echo "OK: streaming differential and live hot-swap soak both held"
+  exit 0
+fi
+
 if [[ "$MODE" == "scenarios" ]]; then
   echo "== Scenarios: adversarial replay corpus under ASan+UBSan =="
   cmake -B build-asan -S . -DSEMDRIFT_SANITIZE="address;undefined" \
@@ -168,7 +200,8 @@ ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 echo "== TSan: concurrency tests =="
 TSAN_TARGETS=(thread_pool_test parallel_determinism_test supervisor_test
   serve_batcher_test serve_hotswap_test obs_test ml_forest_test
-  forest_differential_test net_protocol_test net_router_test net_server_test)
+  forest_differential_test net_protocol_test net_router_test net_server_test
+  stream_differential_test)
 cmake -B build-tsan -S . -DSEMDRIFT_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-tsan -j "$JOBS" --target "${TSAN_TARGETS[@]}"

@@ -27,9 +27,28 @@
 //       changes any output byte: spans record only from serial driver
 //       contexts, so checkpoints, taxonomy and snapshot are bit-identical
 //       with tracing on or off.
-//   semdrift parse --world w.tsv
-//       Read raw sentences from stdin, parse each with the Hearst parser,
-//       print the candidate analysis.
+//   semdrift stream --world w.tsv --corpus c.tsv --epochs N
+//                   [--full-rebuild-every K] [--no-final-rebuild]
+//                   [--rebuild-dirty-frac F] [--publish-dir D]
+//                   [--epoch-snapshots D2] [--max-iterations N] [--max-rounds N]
+//                   [--epoch-sleep-ms N] [--metrics-out M.json]
+//       Streaming incremental extraction: replay the corpus as N timestamped
+//       epochs. Each epoch ingests its sentence delta, continues iterative
+//       extraction, re-runs DP detection/cleaning scoped to the dirty concept
+//       set (concepts the new records touched, closed over shared live
+//       instances), revalidates through the replay path, and — with
+//       --publish-dir — publishes the result for a live `serve --publish-dir`
+//       to hot-swap: full snap-<gen>.bin on rebuild epochs, CRC-bound
+//       delta-<gen>.bin otherwise. Epoch k is a full rebuild when
+//       --full-rebuild-every divides k, when the dirty set exceeds
+//       --rebuild-dirty-frac of the world, and always on the final epoch
+//       unless --no-final-rebuild: a rebuild re-runs the whole batch pipeline
+//       over the cumulative corpus, so the stream's final state is
+//       byte-identical to a one-shot `run` over the same files.
+//       --epoch-snapshots writes every epoch's full image as epoch-<k>.bin
+//       (the per-epoch reference the soak test diffs live answers against);
+//       --epoch-sleep-ms paces publishes so a watching server observes every
+//       generation.
 //   semdrift serve --snapshot s.bin | --publish-dir D [--poll-ms N]
 //                  [--mmap] [--cache N] [--cache-shards N]
 //                  [--max-batch N] [--max-wait-ms N] [--deadline-ms N]
@@ -124,6 +143,7 @@
 #include "serve/snapshot.h"
 #include "serve/snapshot_delta.h"
 #include "serve/snapshot_manager.h"
+#include "stream/stream.h"
 #include "util/crc32.h"
 #include "util/fault_injection.h"
 #include "util/logging.h"
@@ -219,6 +239,12 @@ int Usage() {
       "               [--fault-kinds throw,stall,nan]\n"
       "               [--fault-stages warm,collect,train,score]\n"
       "               [--trace-out T.jsonl] [--trace-chrome T.json]\n"
+      "               [--metrics-out M.json]\n"
+      "  semdrift stream --world W --corpus C --epochs N\n"
+      "               [--full-rebuild-every K] [--no-final-rebuild]\n"
+      "               [--rebuild-dirty-frac F] [--publish-dir D]\n"
+      "               [--epoch-snapshots D2] [--max-iterations N]\n"
+      "               [--max-rounds N] [--epoch-sleep-ms N]\n"
       "               [--metrics-out M.json]\n"
       "  semdrift parse --world W   (sentences on stdin)\n"
       "  semdrift serve --snapshot S | --publish-dir D [--poll-ms N]\n"
@@ -553,6 +579,104 @@ int Run(const Flags& flags) {
   }
   return FinishRun(flags, kb, *world, corpus->sentences.size(),
                    /*health=*/nullptr, out, checkpoint_dir);
+}
+
+/// Streaming incremental extraction (src/stream/): replays the corpus as
+/// `--epochs` timestamped deltas through a StreamPipeline, publishing every
+/// epoch into `--publish-dir` for a live `serve --publish-dir` to hot-swap.
+int StreamCmd(const Flags& flags) {
+  ApplyThreadsFlag(flags);
+  LoadOptions load_options;
+  if (flags.Has("lenient")) load_options.mode = LoadOptions::Mode::kLenient;
+  LoadReport world_report;
+  auto world = LoadWorld(flags.Get("world", "world.tsv"), load_options, &world_report);
+  if (!world.ok()) {
+    std::fprintf(stderr, "%s\n", world.status().ToString().c_str());
+    return 1;
+  }
+  ReportSkips("world", world_report);
+  LoadReport corpus_report;
+  auto corpus = LoadCorpus(*world, flags.Get("corpus", "corpus.tsv"), load_options,
+                           &corpus_report);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "%s\n", corpus.status().ToString().c_str());
+    return 1;
+  }
+  ReportSkips("corpus", corpus_report);
+
+  int epochs = static_cast<int>(flags.GetUint("epochs", 4));
+  if (epochs < 1) {
+    std::fprintf(stderr, "--epochs must be >= 1\n");
+    return 2;
+  }
+  StreamOptions options;
+  options.extractor.max_iterations =
+      static_cast<int>(flags.GetUint("max-iterations", 12));
+  options.cleaner.max_rounds = static_cast<int>(flags.GetUint("max-rounds", 6));
+  options.full_rebuild_every =
+      static_cast<int>(flags.GetUint("full-rebuild-every", 0));
+  options.final_full_rebuild = !flags.Has("no-final-rebuild");
+  options.rebuild_dirty_frac = flags.GetDouble("rebuild-dirty-frac", 1.0);
+  options.publish_dir = flags.Get("publish-dir", "");
+  options.epoch_snapshot_dir = flags.Get("epoch-snapshots", "");
+  int sleep_ms = static_cast<int>(flags.GetUint("epoch-sleep-ms", 0));
+
+  for (const std::string& dir : {options.publish_dir, options.epoch_snapshot_dir}) {
+    if (dir.empty()) continue;
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "cannot create %s: %s\n", dir.c_str(),
+                   ec.message().c_str());
+      return 1;
+    }
+  }
+
+  GroundTruth truth(&*world);
+  std::vector<ConceptId> scope;
+  for (size_t ci = 0; ci < world->num_concepts(); ++ci) {
+    scope.push_back(ConceptId(static_cast<uint32_t>(ci)));
+  }
+
+  StreamPipeline pipeline(&*world, options);
+  const std::vector<Sentence>& all = corpus->sentences.sentences();
+  size_t total = all.size();
+  for (int k = 0; k < epochs; ++k) {
+    size_t begin = total * static_cast<size_t>(k) / static_cast<size_t>(epochs);
+    size_t end = total * static_cast<size_t>(k + 1) / static_cast<size_t>(epochs);
+    std::vector<Sentence> delta(all.begin() + begin, all.begin() + end);
+    auto stats = pipeline.RunEpoch(std::move(delta), k + 1 == epochs);
+    if (!stats.ok()) {
+      std::fprintf(stderr, "epoch %d: %s\n", k + 1,
+                   stats.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("epoch %d/%d [%s]: +%zu sentences (%zu total), %zu dirty, "
+                "%zu extracted, %zu rolled back, %zu pairs",
+                stats->epoch, epochs,
+                stats->full_rebuild ? (stats->escalated ? "rebuild:escalated"
+                                                        : "rebuild")
+                                    : "incremental",
+                stats->sentences_ingested, stats->corpus_size,
+                stats->dirty_concepts, stats->extractions,
+                stats->records_rolled_back, stats->live_pairs);
+    if (stats->generation > 0) {
+      std::printf(", gen %llu (%s)",
+                  static_cast<unsigned long long>(stats->generation),
+                  stats->published_delta ? "delta" : "full");
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+    if (sleep_ms > 0 && k + 1 < epochs) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    }
+  }
+  std::printf("stream done: %d epochs, %zu sentences, %zu live pairs "
+              "(precision %.3f), generation %llu\n",
+              epochs, pipeline.sentences().size(), pipeline.kb().num_live_pairs(),
+              LivePairPrecision(truth, pipeline.kb(), scope),
+              static_cast<unsigned long long>(pipeline.generation()));
+  return WriteObsArtifacts(flags);
 }
 
 int Parse(const Flags& flags) {
@@ -1377,6 +1501,19 @@ int main(int argc, char** argv) {
       return Usage();
     }
     return Run(flags);
+  }
+  if (command == "stream") {
+    Flags flags(argc, argv, 2,
+                {"world", "corpus", "epochs", "full-rebuild-every",
+                 "rebuild-dirty-frac", "publish-dir", "epoch-snapshots",
+                 "max-iterations", "max-rounds", "epoch-sleep-ms", "threads",
+                 "trace-out", "trace-chrome", "metrics-out"},
+                {"lenient", "no-final-rebuild"});
+    if (!flags.ok()) {
+      std::fprintf(stderr, "%s\n", flags.error().c_str());
+      return Usage();
+    }
+    return StreamCmd(flags);
   }
   if (command == "parse") {
     Flags flags(argc, argv, 2, {"world", "threads"}, {});
